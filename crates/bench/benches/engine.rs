@@ -1,0 +1,64 @@
+//! Criterion benchmarks for the roofline engine hot paths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use litegpu_roofline::{decode, engine, prefill, search, EngineParams};
+use litegpu_specs::catalog;
+use litegpu_workload::stage::PhaseWork;
+use litegpu_workload::{models, GqaPolicy, Precision, TensorParallel};
+use std::hint::black_box;
+
+fn bench_price_phase(c: &mut Criterion) {
+    let params = EngineParams::paper_defaults();
+    let arch = models::llama3_70b();
+    let phase = PhaseWork::decode(&arch, Precision::Fp8, 64, 2000).unwrap();
+    let sharded = TensorParallel::new(8)
+        .unwrap()
+        .shard_with_policy(&arch, &phase, GqaPolicy::FullShard)
+        .unwrap();
+    let spec = catalog::h100();
+    c.bench_function("price_phase_decode_llama70b_tp8", |b| {
+        b.iter(|| {
+            engine::price_phase(
+                black_box(&spec),
+                black_box(&sharded),
+                params.decode_overlap,
+                &params,
+            )
+            .unwrap()
+        })
+    });
+}
+
+fn bench_single_eval(c: &mut Criterion) {
+    let params = EngineParams::paper_defaults();
+    let arch = models::llama3_70b();
+    let spec = catalog::h100();
+    c.bench_function("decode_evaluate_end_to_end", |b| {
+        b.iter(|| decode::evaluate(&spec, &arch, black_box(4), black_box(128), &params).unwrap())
+    });
+    c.bench_function("prefill_evaluate_end_to_end", |b| {
+        b.iter(|| prefill::evaluate(&spec, &arch, black_box(2), black_box(4), &params).unwrap())
+    });
+}
+
+fn bench_search(c: &mut Criterion) {
+    let params = EngineParams::paper_defaults();
+    let mut group = c.benchmark_group("config_search");
+    group.sample_size(10);
+    for arch in [models::llama3_70b(), models::gpt3_175b()] {
+        group.bench_with_input(
+            BenchmarkId::new("best_decode_h100", &arch.name),
+            &arch,
+            |b, arch| b.iter(|| search::best_decode(&catalog::h100(), arch, &params).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("best_decode_lite", &arch.name),
+            &arch,
+            |b, arch| b.iter(|| search::best_decode(&catalog::lite_base(), arch, &params).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_price_phase, bench_single_eval, bench_search);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion benchmarks for full figure regeneration and the serving
+//! simulator — one bench per paper artifact, so `cargo bench` exercises
+//! the exact code paths the experiment binaries use.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use litegpu_roofline::{figures, EngineParams};
+use litegpu_sim::{simulate, ServingConfig};
+
+fn bench_figure3(c: &mut Criterion) {
+    let params = EngineParams::paper_defaults();
+    let mut group = c.benchmark_group("figure3");
+    group.sample_size(10);
+    group.bench_function("figure3a_full", |b| {
+        b.iter(|| figures::figure3a(&params).unwrap())
+    });
+    group.bench_function("figure3b_full", |b| {
+        b.iter(|| figures::figure3b(&params).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_tables_and_claims(c: &mut Criterion) {
+    let mut group = c.benchmark_group("claims");
+    group.sample_size(10);
+    group.bench_function("table1", |b| b.iter(litegpu::experiments::table1));
+    group.bench_function("fig1", |b| b.iter(litegpu::experiments::fig1));
+    group.bench_function("claim_yield", |b| b.iter(litegpu::experiments::claim_yield));
+    group.bench_function("claim_network", |b| {
+        b.iter(litegpu::experiments::claim_network)
+    });
+    group.bench_function("claim_power", |b| b.iter(litegpu::experiments::claim_power));
+    group.bench_function("claim_blast_radius", |b| {
+        b.iter(litegpu::experiments::claim_blast_radius)
+    });
+    group.finish();
+}
+
+fn bench_serving_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serving_sim");
+    group.sample_size(10);
+    let mut cfg = ServingConfig::splitwise_h100_demo();
+    cfg.horizon_s = 30.0;
+    group.bench_function("splitwise_h100_30s", |b| {
+        b.iter(|| simulate(&cfg, 42).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_figure3,
+    bench_tables_and_claims,
+    bench_serving_sim
+);
+criterion_main!(benches);

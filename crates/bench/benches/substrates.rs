@@ -1,0 +1,65 @@
+//! Criterion benchmarks for the substrate crates: fab math, collective
+//! cost models, binning DP and failure Monte Carlo.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use litegpu_cluster::failure::{monte_carlo_availability, FailureModel};
+use litegpu_fab::binning::BinningPolicy;
+use litegpu_fab::wafer::{DieGeometry, Wafer};
+use litegpu_fab::yield_model::{RadialDefectProfile, YieldModel};
+use litegpu_net::collective::{collective_cost, CollectiveAlgorithm, CollectiveOp};
+use litegpu_specs::catalog;
+use std::hint::black_box;
+
+fn bench_fab(c: &mut Criterion) {
+    let wafer = Wafer::w300();
+    let die = DieGeometry::square(814.0).unwrap();
+    c.bench_function("gross_dies_grid_h100", |b| {
+        b.iter(|| wafer.gross_dies(black_box(&die)).unwrap())
+    });
+    let small = die.shrink(16).unwrap();
+    c.bench_function("gross_dies_grid_1_16th", |b| {
+        b.iter(|| wafer.gross_dies(black_box(&small)).unwrap())
+    });
+    let profile = RadialDefectProfile::new(0.1, 3.0).unwrap();
+    c.bench_function("radial_yield_h100", |b| {
+        b.iter(|| {
+            profile
+                .good_dies_per_wafer(&wafer, &die, YieldModel::Murphy)
+                .unwrap()
+        })
+    });
+    let policy = BinningPolicy::new(144, 132, 0.2).unwrap();
+    c.bench_function("binning_sellable_probability", |b| {
+        b.iter(|| policy.sellable_probability(black_box(0.814)))
+    });
+}
+
+fn bench_collectives(c: &mut Criterion) {
+    c.bench_function("ring_allreduce_cost_32", |b| {
+        b.iter(|| {
+            collective_cost(
+                CollectiveOp::AllReduce,
+                CollectiveAlgorithm::Ring,
+                black_box(32),
+                black_box(16.0e6),
+                112.5e9,
+                5e-7,
+            )
+            .unwrap()
+        })
+    });
+}
+
+fn bench_failure_mc(c: &mut Criterion) {
+    let gpu = catalog::lite_base();
+    let model = FailureModel::default_for(&gpu);
+    let mut group = c.benchmark_group("failure_mc");
+    group.sample_size(10);
+    group.bench_function("monte_carlo_100y_128gpus", |b| {
+        b.iter(|| monte_carlo_availability(&gpu, &model, 4, 32, 2, 100.0, 42).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fab, bench_collectives, bench_failure_mc);
+criterion_main!(benches);

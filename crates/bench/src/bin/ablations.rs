@@ -1,0 +1,4 @@
+//! Ablation study over the reconstructed modeling choices.
+fn main() {
+    litegpu_bench::emit(&litegpu::experiments::ablations(), &[]);
+}

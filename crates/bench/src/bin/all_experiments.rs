@@ -1,0 +1,6 @@
+//! Runs every paper experiment in sequence.
+fn main() {
+    for exp in litegpu::experiments::run_all() {
+        litegpu_bench::emit(&exp, &[]);
+    }
+}

@@ -1,0 +1,4 @@
+//! Reproduces the §3 blast-radius and hot-spare claims.
+fn main() {
+    litegpu_bench::emit(&litegpu::experiments::claim_blast_radius(), &[]);
+}

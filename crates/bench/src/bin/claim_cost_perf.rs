@@ -1,0 +1,7 @@
+//! Extension experiment: decode throughput per package-cost dollar.
+use litegpu_roofline::EngineParams;
+
+fn main() {
+    let params = EngineParams::paper_defaults();
+    litegpu_bench::emit(&litegpu::experiments::claim_cost_perf(&params), &[]);
+}

@@ -1,0 +1,4 @@
+//! Reproduces the §3 circuit-vs-packet switching claims.
+fn main() {
+    litegpu_bench::emit(&litegpu::experiments::claim_network(), &[]);
+}

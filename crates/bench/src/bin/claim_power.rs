@@ -1,0 +1,4 @@
+//! Reproduces the §3 finer-grained power-management claim.
+fn main() {
+    litegpu_bench::emit(&litegpu::experiments::claim_power(), &[]);
+}

@@ -1,0 +1,4 @@
+//! Reproduces the §2 shoreline (bandwidth-to-compute) claim.
+fn main() {
+    litegpu_bench::emit(&litegpu::experiments::claim_shoreline(), &[]);
+}

@@ -1,0 +1,8 @@
+//! Reproduces the §2 yield and manufacturing-cost claims.
+fn main() {
+    let exp = litegpu::experiments::claim_yield();
+    let json = litegpu_fab::cost::h100_vs_lite_comparison()
+        .map(|c| litegpu_bench::to_json(&c))
+        .unwrap_or_default();
+    litegpu_bench::emit(&exp, &[("claim_yield.json".into(), json)]);
+}

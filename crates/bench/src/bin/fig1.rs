@@ -1,0 +1,6 @@
+//! Regenerates Figure 1 (evolution of GPUs in AI clusters).
+fn main() {
+    let exp = litegpu::experiments::fig1();
+    let json = litegpu_bench::to_json(&litegpu_specs::catalog::generations());
+    litegpu_bench::emit(&exp, &[("fig1.json".into(), json)]);
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 2 (example Lite-GPU deployment).
+fn main() {
+    let exp = litegpu::experiments::fig2();
+    litegpu_bench::emit(&exp, &[]);
+}

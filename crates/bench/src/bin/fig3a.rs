@@ -1,0 +1,33 @@
+//! Regenerates Figure 3a (prefill roofline comparison).
+use litegpu_roofline::EngineParams;
+
+fn main() {
+    let params = EngineParams::paper_defaults();
+    let (fig, exp) = litegpu::experiments::fig3a(&params).expect("figure 3a generation");
+    let series: Vec<(String, Vec<f64>)> = fig
+        .gpu_types
+        .iter()
+        .map(|g| {
+            (
+                g.clone(),
+                fig.models
+                    .iter()
+                    .map(|m| fig.point(m, g).map(|p| p.normalized).unwrap_or(0.0))
+                    .collect(),
+            )
+        })
+        .collect();
+    let svg = litegpu_plot::svg::grouped_bar_svg(
+        "Figure 3a: prefill normalized tokens/s/SM",
+        &fig.models,
+        &series,
+    )
+    .unwrap_or_default();
+    litegpu_bench::emit(
+        &exp,
+        &[
+            ("fig3a.json".into(), litegpu_bench::to_json(&fig)),
+            ("fig3a.svg".into(), svg),
+        ],
+    );
+}

@@ -1,0 +1,4 @@
+//! Serving-level simulation: phase splitting on H100 vs Lite clusters.
+fn main() {
+    litegpu_bench::emit(&litegpu::experiments::sim_serving(), &[]);
+}

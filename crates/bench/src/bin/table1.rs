@@ -1,0 +1,6 @@
+//! Regenerates Table 1 (GPU configurations).
+fn main() {
+    let exp = litegpu::experiments::table1();
+    let json = litegpu_bench::to_json(&litegpu_specs::catalog::table1());
+    litegpu_bench::emit(&exp, &[("table1.json".into(), json)]);
+}

@@ -1,0 +1,53 @@
+//! Shared plumbing for the experiment binaries: artifact output under
+//! `target/experiments/`.
+
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Directory where experiment binaries drop machine-readable artifacts.
+pub fn experiments_dir() -> PathBuf {
+    let mut p =
+        PathBuf::from(std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_string()));
+    p.push("experiments");
+    p
+}
+
+/// Prints an experiment to stdout and writes companion artifacts
+/// (`<id>.txt` plus any `(name, contents)` extras such as JSON or SVG).
+pub fn emit(exp: &litegpu::experiments::Experiment, extras: &[(String, String)]) {
+    println!("=== {} ===\n{}", exp.title, exp.output);
+    let dir = experiments_dir();
+    if std::fs::create_dir_all(&dir).is_err() {
+        return; // Artifact output is best-effort.
+    }
+    let write = |name: &str, contents: &str| {
+        if let Ok(mut f) = std::fs::File::create(dir.join(name)) {
+            let _ = f.write_all(contents.as_bytes());
+        }
+    };
+    write(&format!("{}.txt", exp.id), &exp.output);
+    for (name, contents) in extras {
+        write(name, contents);
+    }
+}
+
+/// Serializes any serde value to pretty JSON (best-effort).
+pub fn to_json<T: serde::Serialize>(value: &T) -> String {
+    serde_json::to_string_pretty(value).unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn experiments_dir_ends_with_experiments() {
+        assert!(experiments_dir().ends_with("experiments"));
+    }
+
+    #[test]
+    fn json_serializes() {
+        let s = to_json(&vec![1, 2, 3]);
+        assert!(s.contains('1'));
+    }
+}

@@ -1,0 +1,258 @@
+//! Fine- vs. coarse-grained GPU allocation.
+//!
+//! §3: "With Lite-GPUs, we can allocate and access smaller units of
+//! compute and memory, leading to greater flexibility in managing an AI
+//! cluster." The cost of coarse units is *internal fragmentation*: a
+//! request needing 1.25 H100s of compute must hold 2 H100s. This module
+//! provides a first-fit allocator over homogeneous GPU pools and
+//! fragmentation metrics, so the claim can be quantified over request
+//! mixes.
+
+use crate::{check_positive, ClusterError, Result};
+use litegpu_specs::GpuSpec;
+
+/// A tenant request, sized in *H100-equivalents* of compute (the paper's
+/// reference unit): 1.0 means one full H100's worth of SMs.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct GpuRequest {
+    /// Compute demand in H100-equivalents.
+    pub h100_equiv: f64,
+}
+
+impl GpuRequest {
+    /// Creates a request; demand must be positive.
+    pub fn new(h100_equiv: f64) -> Result<Self> {
+        Ok(Self {
+            h100_equiv: check_positive("h100_equiv", h100_equiv)?,
+        })
+    }
+}
+
+/// The outcome of placing a request mix onto a pool.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct AllocOutcome {
+    /// Requests successfully placed.
+    pub placed: usize,
+    /// Requests rejected for lack of capacity.
+    pub rejected: usize,
+    /// GPUs actually allocated.
+    pub gpus_allocated: u32,
+    /// Sum of requested compute, H100-equivalents.
+    pub requested_equiv: f64,
+    /// Sum of allocated compute, H100-equivalents (≥ requested due to
+    /// rounding up to whole GPUs).
+    pub allocated_equiv: f64,
+}
+
+impl AllocOutcome {
+    /// Internal fragmentation: allocated-but-unrequested compute as a
+    /// fraction of allocated compute. Zero is perfect.
+    pub fn fragmentation(&self) -> f64 {
+        if self.allocated_equiv <= 0.0 {
+            0.0
+        } else {
+            1.0 - self.requested_equiv_placed() / self.allocated_equiv
+        }
+    }
+
+    fn requested_equiv_placed(&self) -> f64 {
+        // requested_equiv tracks only placed requests.
+        self.requested_equiv
+    }
+}
+
+/// A first-fit allocator over a homogeneous pool of `total_gpus` GPUs of
+/// type `gpu`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Allocator {
+    /// GPU type of the pool.
+    pub gpu: GpuSpec,
+    /// Pool size.
+    pub total_gpus: u32,
+    free_gpus: u32,
+    h100_sms: f64,
+}
+
+impl Allocator {
+    /// Creates an allocator; the H100 reference is fixed at 132 SMs.
+    pub fn new(gpu: GpuSpec, total_gpus: u32) -> Result<Self> {
+        gpu.validate()?;
+        check_positive("total_gpus", total_gpus as f64)?;
+        Ok(Self {
+            gpu,
+            total_gpus,
+            free_gpus: total_gpus,
+            h100_sms: 132.0,
+        })
+    }
+
+    /// GPUs needed to satisfy one request (rounded up to whole GPUs).
+    pub fn gpus_for(&self, req: &GpuRequest) -> u32 {
+        let sms_needed = req.h100_equiv * self.h100_sms;
+        (sms_needed / self.gpu.sms as f64).ceil().max(1.0) as u32
+    }
+
+    /// Remaining free GPUs.
+    pub fn free(&self) -> u32 {
+        self.free_gpus
+    }
+
+    /// Attempts to place one request; returns GPUs allocated.
+    pub fn allocate(&mut self, req: &GpuRequest) -> Result<u32> {
+        let need = self.gpus_for(req);
+        if need > self.free_gpus {
+            return Err(ClusterError::InsufficientCapacity {
+                requested: need as f64,
+                available: self.free_gpus as f64,
+            });
+        }
+        self.free_gpus -= need;
+        Ok(need)
+    }
+
+    /// Releases `gpus` back to the pool (caps at the pool size).
+    pub fn release(&mut self, gpus: u32) {
+        self.free_gpus = (self.free_gpus + gpus).min(self.total_gpus);
+    }
+
+    /// Places a whole request mix (first-fit in order), returning the
+    /// aggregate outcome. The allocator is left holding the placements.
+    pub fn place_mix(&mut self, requests: &[GpuRequest]) -> AllocOutcome {
+        let mut placed = 0;
+        let mut rejected = 0;
+        let mut gpus_allocated = 0;
+        let mut requested = 0.0;
+        for r in requests {
+            match self.allocate(r) {
+                Ok(n) => {
+                    placed += 1;
+                    gpus_allocated += n;
+                    requested += r.h100_equiv;
+                }
+                Err(_) => rejected += 1,
+            }
+        }
+        let equiv_per_gpu = self.gpu.sms as f64 / self.h100_sms;
+        AllocOutcome {
+            placed,
+            rejected,
+            gpus_allocated,
+            requested_equiv: requested,
+            allocated_equiv: gpus_allocated as f64 * equiv_per_gpu,
+        }
+    }
+}
+
+/// Compares fragmentation of a big-GPU pool against a Lite pool of equal
+/// aggregate compute on the same request mix.
+pub fn fragmentation_comparison(
+    big: &GpuSpec,
+    lite: &GpuSpec,
+    big_pool: u32,
+    requests: &[GpuRequest],
+) -> Result<(AllocOutcome, AllocOutcome)> {
+    let ratio = (big.sms as f64 / lite.sms as f64).round() as u32;
+    let mut a = Allocator::new(big.clone(), big_pool)?;
+    let mut b = Allocator::new(lite.clone(), big_pool * ratio)?;
+    Ok((a.place_mix(requests), b.place_mix(requests)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use litegpu_specs::catalog;
+    use proptest::prelude::*;
+
+    fn fractional_mix() -> Vec<GpuRequest> {
+        // Realistic multi-tenant mix: lots of sub-GPU and odd-size asks.
+        [0.25, 0.5, 1.25, 0.75, 2.5, 0.3, 1.1, 0.6, 3.25, 0.4]
+            .iter()
+            .map(|&x| GpuRequest::new(x).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn lite_pool_fragments_less() {
+        let (big, lite) = (catalog::h100(), catalog::lite_base());
+        let (b, l) = fragmentation_comparison(&big, &lite, 24, &fractional_mix()).unwrap();
+        assert_eq!(b.rejected, 0);
+        assert_eq!(l.rejected, 0);
+        assert!(
+            l.fragmentation() < b.fragmentation(),
+            "lite {} vs big {}",
+            l.fragmentation(),
+            b.fragmentation()
+        );
+    }
+
+    #[test]
+    fn whole_gpu_requests_fragment_nothing_on_big() {
+        let mut a = Allocator::new(catalog::h100(), 8).unwrap();
+        let reqs: Vec<_> = (0..4).map(|_| GpuRequest::new(1.0).unwrap()).collect();
+        let out = a.place_mix(&reqs);
+        assert_eq!(out.gpus_allocated, 4);
+        assert!(out.fragmentation().abs() < 1e-12);
+    }
+
+    #[test]
+    fn quarter_request_wastes_three_quarters_of_an_h100() {
+        let mut a = Allocator::new(catalog::h100(), 8).unwrap();
+        let out = a.place_mix(&[GpuRequest::new(0.25).unwrap()]);
+        assert!((out.fragmentation() - 0.75).abs() < 1e-9);
+        // The same request on Lite-GPUs wastes nothing (0.25 == 1 Lite).
+        let mut l = Allocator::new(catalog::lite_base(), 32).unwrap();
+        let out = l.place_mix(&[GpuRequest::new(0.25).unwrap()]);
+        assert!(out.fragmentation().abs() < 1e-9);
+    }
+
+    #[test]
+    fn exhaustion_rejects() {
+        let mut a = Allocator::new(catalog::h100(), 2).unwrap();
+        assert!(a.allocate(&GpuRequest::new(2.0).unwrap()).is_ok());
+        assert!(matches!(
+            a.allocate(&GpuRequest::new(0.5).unwrap()),
+            Err(ClusterError::InsufficientCapacity { .. })
+        ));
+        a.release(1);
+        assert!(a.allocate(&GpuRequest::new(0.5).unwrap()).is_ok());
+    }
+
+    #[test]
+    fn release_caps_at_pool_size() {
+        let mut a = Allocator::new(catalog::h100(), 4).unwrap();
+        a.release(100);
+        assert_eq!(a.free(), 4);
+    }
+
+    #[test]
+    fn invalid_request_rejected() {
+        assert!(GpuRequest::new(0.0).is_err());
+        assert!(GpuRequest::new(-1.0).is_err());
+        assert!(GpuRequest::new(f64::NAN).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn fragmentation_in_unit_interval(sizes in proptest::collection::vec(0.05..4.0f64, 1..20)) {
+            let reqs: Vec<_> = sizes.iter().map(|&x| GpuRequest::new(x).unwrap()).collect();
+            let mut a = Allocator::new(catalog::lite_base(), 512).unwrap();
+            let out = a.place_mix(&reqs);
+            prop_assert!(out.fragmentation() >= -1e-12);
+            prop_assert!(out.fragmentation() <= 1.0);
+        }
+
+        #[test]
+        fn finer_granularity_never_worse(sizes in proptest::collection::vec(0.05..4.0f64, 1..16)) {
+            let reqs: Vec<_> = sizes.iter().map(|&x| GpuRequest::new(x).unwrap()).collect();
+            // Pool sized so ceil-rounding can never exhaust it (<=16
+            // requests of <=4 equivalents round to at most 5 GPUs each).
+            let (b, l) = fragmentation_comparison(
+                &catalog::h100(), &catalog::lite_base(), 96, &reqs,
+            ).unwrap();
+            // With ample capacity, the finer pool's fragmentation cannot
+            // exceed the coarser pool's.
+            prop_assert!(b.rejected == 0 && l.rejected == 0);
+            prop_assert!(l.fragmentation() <= b.fragmentation() + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Rack- and facility-level composition.
+//!
+//! §3 "Data-center management": "though the number of devices per rack may
+//! increase, the overall cooling requirements of the rack can be lighter
+//! ... This can eliminate the need for liquid cooling racks in the
+//! data-center, which comprise a significant portion of racks, and thus
+//! space, in an NVIDIA B200 cluster."
+
+use crate::node::ClusterSpec;
+use crate::Result;
+use litegpu_specs::cooling::CoolingClass;
+
+/// A rack class with a power envelope.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RackClass {
+    /// Power budget per rack, W.
+    pub power_budget_w: f64,
+    /// Cooling technology of the rack.
+    pub cooling: CoolingClass,
+}
+
+impl RackClass {
+    /// A conventional forced-air rack (~40 kW).
+    pub fn air() -> Self {
+        Self {
+            power_budget_w: 40_000.0,
+            cooling: CoolingClass::ForcedAir,
+        }
+    }
+
+    /// A high-airflow rack (~60 kW) for DGX-class air-cooled nodes.
+    pub fn advanced_air() -> Self {
+        Self {
+            power_budget_w: 60_000.0,
+            cooling: CoolingClass::AdvancedAir,
+        }
+    }
+
+    /// A direct-liquid-cooled rack (~130 kW, GB200-NVL72-class).
+    pub fn liquid() -> Self {
+        Self {
+            power_budget_w: 130_000.0,
+            cooling: CoolingClass::Liquid,
+        }
+    }
+}
+
+/// A facility plan for hosting a cluster.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct FacilityPlan {
+    /// Rack class used.
+    pub rack: RackClass,
+    /// Racks required.
+    pub racks: u32,
+    /// GPUs per rack.
+    pub gpus_per_rack: u32,
+    /// Relative facility cost (racks × cooling cost factor).
+    pub facility_cost_units: f64,
+}
+
+/// Plans the cheapest rack class able to host the cluster: the rack's
+/// cooling class must cover the GPU package, and rack power must cover the
+/// housed nodes.
+pub fn plan_facility(cluster: &ClusterSpec) -> Result<FacilityPlan> {
+    let package_class = cluster.package_cooling();
+    let candidates = [
+        RackClass::air(),
+        RackClass::advanced_air(),
+        RackClass::liquid(),
+    ];
+    let rack = candidates
+        .into_iter()
+        .find(|r| r.cooling >= package_class)
+        .unwrap_or(RackClass::liquid());
+    // Node power = GPUs + overhead; nodes per rack limited by power.
+    let node_power = cluster.gpus_per_node as f64 * cluster.gpu.tdp_w + cluster.node_overhead_w;
+    let nodes_per_rack = (rack.power_budget_w / node_power).floor().max(1.0) as u32;
+    let racks = cluster.nodes.div_ceil(nodes_per_rack);
+    let gpus_per_rack = nodes_per_rack.min(cluster.nodes) * cluster.gpus_per_node;
+    Ok(FacilityPlan {
+        rack,
+        racks,
+        gpus_per_rack,
+        facility_cost_units: racks as f64 * rack.cooling.facility_cost_factor(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use litegpu_specs::catalog;
+
+    #[test]
+    fn rack_classes_ordered() {
+        assert!(RackClass::air().power_budget_w < RackClass::liquid().power_budget_w);
+    }
+
+    #[test]
+    fn lite_cluster_fits_air_racks() {
+        // 128 Lite-GPUs (4 nodes of 32) on plain air racks.
+        let c = ClusterSpec::new(catalog::lite_base(), 32, 4, 800.0).unwrap();
+        let plan = plan_facility(&c).unwrap();
+        assert_eq!(plan.rack.cooling, CoolingClass::ForcedAir);
+        assert!(plan.gpus_per_rack >= 32);
+    }
+
+    #[test]
+    fn h100_cluster_needs_advanced_air() {
+        let c = ClusterSpec::new(catalog::h100(), 8, 4, 800.0).unwrap();
+        let plan = plan_facility(&c).unwrap();
+        assert_eq!(plan.rack.cooling, CoolingClass::AdvancedAir);
+    }
+
+    #[test]
+    fn equivalent_lite_facility_is_cheaper() {
+        // Equal aggregate compute: 4 nodes x 8 H100 vs 4 nodes x 32 Lite.
+        let h = ClusterSpec::new(catalog::h100(), 8, 4, 800.0).unwrap();
+        let l = ClusterSpec::new(catalog::lite_base(), 32, 4, 800.0).unwrap();
+        let ph = plan_facility(&h).unwrap();
+        let pl = plan_facility(&l).unwrap();
+        assert!(
+            pl.facility_cost_units <= ph.facility_cost_units,
+            "lite {} vs h100 {}",
+            pl.facility_cost_units,
+            ph.facility_cost_units
+        );
+        // More devices per rack - the density point of §3.
+        assert!(pl.gpus_per_rack > ph.gpus_per_rack);
+    }
+
+    #[test]
+    fn b200_class_needs_liquid() {
+        let mut b200 = catalog::h100();
+        b200.name = "B200".into();
+        b200.tdp_w = 1000.0;
+        b200.idle_power_w = 100.0;
+        let c = ClusterSpec::new(b200, 8, 4, 1000.0).unwrap();
+        let plan = plan_facility(&c).unwrap();
+        assert_eq!(plan.rack.cooling, CoolingClass::Liquid);
+    }
+}

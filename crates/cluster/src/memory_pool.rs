@@ -1,0 +1,229 @@
+//! Disaggregated memory for Lite-GPU clusters.
+//!
+//! §3 "Memory management": "Each Lite-GPU has only the fraction of the
+//! memory capacity of a larger GPU. ... Another potential approach is to
+//! use Lite-GPUs along with disaggregated memory \[which\] can be used to
+//! provide a larger memory pool for Lite-GPUs". This module models a
+//! network-attached memory pool reachable over the co-packaged-optics
+//! fabric: KV cache beyond local HBM spills to the pool, and decode
+//! attention pays pool bandwidth + latency for the spilled fraction.
+//!
+//! The interesting question it answers quantitatively: *how much batch
+//! (and therefore throughput) can pooling buy before the pool link, not
+//! HBM, becomes the decode bottleneck?*
+
+use crate::{check_positive, Result};
+use litegpu_specs::GpuSpec;
+
+/// A disaggregated memory pool attached over the optical fabric.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct MemoryPool {
+    /// Pool capacity available to one GPU, bytes.
+    pub capacity_bytes: f64,
+    /// Per-GPU bandwidth to the pool, bytes/s (a share of the optical
+    /// shoreline; cannot exceed the GPU's network bandwidth).
+    pub bandwidth_bytes_per_s: f64,
+    /// Access latency, seconds (fabric + controller).
+    pub latency_s: f64,
+}
+
+impl MemoryPool {
+    /// A CPO-attached pool: remote HBM/DDR reachable at half the GPU's
+    /// network bandwidth with ~1 µs access latency.
+    pub fn cpo_attached(gpu: &GpuSpec, capacity_gb: f64) -> Result<Self> {
+        Ok(Self {
+            capacity_bytes: check_positive("capacity_gb", capacity_gb)? * 1e9,
+            bandwidth_bytes_per_s: gpu.net_bytes_per_s() * 0.5,
+            latency_s: 1.0e-6,
+        })
+    }
+
+    /// Validates the pool parameters.
+    pub fn validate(&self) -> Result<()> {
+        check_positive("capacity_bytes", self.capacity_bytes)?;
+        check_positive("bandwidth_bytes_per_s", self.bandwidth_bytes_per_s)?;
+        if self.latency_s < 0.0 || !self.latency_s.is_finite() {
+            return Err(crate::ClusterError::InvalidParameter {
+                name: "latency_s",
+                value: self.latency_s,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Result of a tiered KV placement for one decode step.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TieredKvPlacement {
+    /// KV bytes resident in local HBM.
+    pub local_bytes: f64,
+    /// KV bytes spilled to the pool.
+    pub pooled_bytes: f64,
+    /// Time to stream the local share, seconds.
+    pub local_time_s: f64,
+    /// Time to stream the pooled share, seconds.
+    pub pool_time_s: f64,
+    /// Step memory time (local and pool streams overlap), seconds.
+    pub step_time_s: f64,
+    /// Effective bandwidth across both tiers, bytes/s.
+    pub effective_bandwidth: f64,
+}
+
+/// Places `kv_bytes` of per-step KV traffic across local HBM (budget
+/// `local_budget_bytes`) and the pool, and prices one decode step's KV
+/// streaming under overlapped tiers.
+pub fn place_kv(
+    gpu: &GpuSpec,
+    pool: &MemoryPool,
+    kv_bytes: f64,
+    local_budget_bytes: f64,
+) -> Result<TieredKvPlacement> {
+    pool.validate()?;
+    if kv_bytes < 0.0 || local_budget_bytes < 0.0 {
+        return Err(crate::ClusterError::InvalidParameter {
+            name: "kv_bytes/local_budget_bytes",
+            value: kv_bytes.min(local_budget_bytes),
+        });
+    }
+    if kv_bytes > local_budget_bytes + pool.capacity_bytes {
+        return Err(crate::ClusterError::InsufficientCapacity {
+            requested: kv_bytes,
+            available: local_budget_bytes + pool.capacity_bytes,
+        });
+    }
+    let local_bytes = kv_bytes.min(local_budget_bytes);
+    let pooled_bytes = kv_bytes - local_bytes;
+    let local_time_s = local_bytes / gpu.mem_bytes_per_s();
+    let pool_time_s = if pooled_bytes > 0.0 {
+        pool.latency_s + pooled_bytes / pool.bandwidth_bytes_per_s
+    } else {
+        0.0
+    };
+    let step_time_s = local_time_s.max(pool_time_s);
+    Ok(TieredKvPlacement {
+        local_bytes,
+        pooled_bytes,
+        local_time_s,
+        pool_time_s,
+        step_time_s,
+        effective_bandwidth: if step_time_s > 0.0 {
+            kv_bytes / step_time_s
+        } else {
+            f64::INFINITY
+        },
+    })
+}
+
+/// The pooled-KV fraction at which the pool stream takes exactly as long
+/// as the local stream — beyond this, pooling slows the step down.
+///
+/// For a GPU with HBM bandwidth `B_h` and pool bandwidth `B_p`, the
+/// break-even spill fraction is `B_p / (B_h + B_p)` (latency neglected).
+pub fn break_even_spill_fraction(gpu: &GpuSpec, pool: &MemoryPool) -> f64 {
+    let bh = gpu.mem_bytes_per_s();
+    let bp = pool.bandwidth_bytes_per_s;
+    bp / (bh + bp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use litegpu_specs::catalog;
+    use proptest::prelude::*;
+
+    fn lite_pool() -> (GpuSpec, MemoryPool) {
+        let gpu = catalog::lite_base();
+        let pool = MemoryPool::cpo_attached(&gpu, 80.0).unwrap();
+        (gpu, pool)
+    }
+
+    #[test]
+    fn all_local_matches_hbm_time() {
+        let (gpu, pool) = lite_pool();
+        let p = place_kv(&gpu, &pool, 10e9, 19e9).unwrap();
+        assert_eq!(p.pooled_bytes, 0.0);
+        assert!((p.step_time_s - 10e9 / gpu.mem_bytes_per_s()).abs() < 1e-12);
+        assert!((p.effective_bandwidth - gpu.mem_bytes_per_s()).abs() < 1.0);
+    }
+
+    #[test]
+    fn small_spill_is_free_under_overlap() {
+        // Below the break-even fraction the pool stream hides under the
+        // HBM stream: pooling buys capacity at no step-time cost.
+        let (gpu, pool) = lite_pool();
+        let kv = 10e9;
+        let frac = break_even_spill_fraction(&gpu, &pool);
+        let spill = kv * frac * 0.5; // Half the break-even spill.
+        let p = place_kv(&gpu, &pool, kv, kv - spill).unwrap();
+        let local_only_time = kv / gpu.mem_bytes_per_s();
+        assert!(
+            p.step_time_s < local_only_time,
+            "tiered {} >= local-only {local_only_time}",
+            p.step_time_s
+        );
+    }
+
+    #[test]
+    fn deep_spill_is_pool_bound() {
+        let (gpu, pool) = lite_pool();
+        let p = place_kv(&gpu, &pool, 40e9, 5e9).unwrap();
+        assert!(p.pool_time_s > p.local_time_s);
+        assert!(p.effective_bandwidth < gpu.mem_bytes_per_s());
+    }
+
+    #[test]
+    fn capacity_violation_rejected() {
+        let (gpu, pool) = lite_pool();
+        assert!(place_kv(&gpu, &pool, 200e9, 19e9).is_err());
+        assert!(place_kv(&gpu, &pool, -1.0, 19e9).is_err());
+    }
+
+    #[test]
+    fn break_even_fraction_reasonable_for_lite() {
+        // Lite: HBM 838 GB/s, pool 56.25 GB/s -> ~6.3% of KV can spill
+        // for free. Small — the paper's "different tiers of memory"
+        // programming challenge, quantified.
+        let (gpu, pool) = lite_pool();
+        let f = break_even_spill_fraction(&gpu, &pool);
+        assert!(f > 0.04 && f < 0.09, "f = {f}");
+    }
+
+    #[test]
+    fn mem_bw_variant_tolerates_less_spill_net_bw_more() {
+        // More HBM bandwidth -> relatively less tolerable spill; more
+        // network -> more.
+        let base_f = {
+            let (gpu, pool) = lite_pool();
+            break_even_spill_fraction(&gpu, &pool)
+        };
+        let membw = catalog::lite_mem_bw();
+        let pool = MemoryPool::cpo_attached(&membw, 80.0).unwrap();
+        assert!(break_even_spill_fraction(&membw, &pool) < base_f);
+        let netbw = catalog::lite_net_bw();
+        let pool = MemoryPool::cpo_attached(&netbw, 80.0).unwrap();
+        assert!(break_even_spill_fraction(&netbw, &pool) > base_f);
+    }
+
+    proptest! {
+        #[test]
+        fn step_time_monotone_in_kv(kv1 in 1e8..3e10f64, extra in 1e8..1e10f64) {
+            let (gpu, pool) = lite_pool();
+            let budget = 19e9;
+            if kv1 + extra <= budget + pool.capacity_bytes {
+                let a = place_kv(&gpu, &pool, kv1, budget).unwrap();
+                let b = place_kv(&gpu, &pool, kv1 + extra, budget).unwrap();
+                prop_assert!(b.step_time_s >= a.step_time_s - 1e-12);
+            }
+        }
+
+        #[test]
+        fn conservation_of_bytes(kv in 1e8..9e10f64, budget in 1e9..2e10f64) {
+            let (gpu, pool) = lite_pool();
+            if kv <= budget + pool.capacity_bytes {
+                let p = place_kv(&gpu, &pool, kv, budget).unwrap();
+                prop_assert!((p.local_bytes + p.pooled_bytes - kv).abs() < 1.0);
+                prop_assert!(p.local_bytes <= budget + 1.0);
+            }
+        }
+    }
+}

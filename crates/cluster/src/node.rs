@@ -1,0 +1,132 @@
+//! Node, rack and cluster composition.
+
+use crate::{check_positive, Result};
+use litegpu_specs::cooling::CoolingClass;
+use litegpu_specs::GpuSpec;
+
+/// A homogeneous GPU cluster description.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ClusterSpec {
+    /// GPU type.
+    pub gpu: GpuSpec,
+    /// GPUs per server node.
+    pub gpus_per_node: u32,
+    /// Nodes in the cluster.
+    pub nodes: u32,
+    /// Non-GPU power overhead per node (CPUs, NICs, fans), W.
+    pub node_overhead_w: f64,
+}
+
+impl ClusterSpec {
+    /// Creates a cluster spec with validation.
+    pub fn new(gpu: GpuSpec, gpus_per_node: u32, nodes: u32, node_overhead_w: f64) -> Result<Self> {
+        gpu.validate()?;
+        check_positive("gpus_per_node", gpus_per_node as f64)?;
+        check_positive("nodes", nodes as f64)?;
+        if node_overhead_w < 0.0 || !node_overhead_w.is_finite() {
+            return Err(crate::ClusterError::InvalidParameter {
+                name: "node_overhead_w",
+                value: node_overhead_w,
+            });
+        }
+        Ok(Self {
+            gpu,
+            gpus_per_node,
+            nodes,
+            node_overhead_w,
+        })
+    }
+
+    /// The paper's baseline: one node of 8 H100s.
+    pub fn h100_node() -> Self {
+        Self::new(litegpu_specs::catalog::h100(), 8, 1, 800.0)
+            .expect("H100 node constants are valid")
+    }
+
+    /// The paper's replacement: 32 Lite-GPUs (density allows one node or a
+    /// small rack; we model one logical node).
+    pub fn lite_node() -> Self {
+        Self::new(litegpu_specs::catalog::lite_base(), 32, 1, 800.0)
+            .expect("Lite node constants are valid")
+    }
+
+    /// Total GPU count.
+    pub fn total_gpus(&self) -> u32 {
+        self.gpus_per_node * self.nodes
+    }
+
+    /// Aggregate peak compute, FLOP/s.
+    pub fn total_flops(&self) -> f64 {
+        self.total_gpus() as f64 * self.gpu.flops()
+    }
+
+    /// Aggregate HBM capacity, bytes.
+    pub fn total_mem_bytes(&self) -> f64 {
+        self.total_gpus() as f64 * self.gpu.mem_capacity_bytes()
+    }
+
+    /// Aggregate HBM bandwidth, bytes/s.
+    pub fn total_mem_bw(&self) -> f64 {
+        self.total_gpus() as f64 * self.gpu.mem_bytes_per_s()
+    }
+
+    /// Peak power draw: GPUs at TDP plus node overheads, W.
+    pub fn peak_power_w(&self) -> f64 {
+        self.total_gpus() as f64 * self.gpu.tdp_w + self.nodes as f64 * self.node_overhead_w
+    }
+
+    /// Idle power draw, W.
+    pub fn idle_power_w(&self) -> f64 {
+        self.total_gpus() as f64 * self.gpu.idle_power_w + self.nodes as f64 * self.node_overhead_w
+    }
+
+    /// Cooling class required per GPU package.
+    pub fn package_cooling(&self) -> CoolingClass {
+        CoolingClass::required_for(self.gpu.tdp_w)
+    }
+
+    /// Total SMs in the cluster.
+    pub fn total_sms(&self) -> u32 {
+        self.total_gpus() * self.gpu.sms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equivalent_clusters_match_on_aggregates() {
+        // 8 H100 vs 32 Lite: same FLOPS, memory, bandwidth, SMs.
+        let h = ClusterSpec::h100_node();
+        let l = ClusterSpec::lite_node();
+        assert_eq!(h.total_flops(), l.total_flops());
+        assert_eq!(h.total_mem_bytes(), l.total_mem_bytes());
+        assert!((h.total_mem_bw() - l.total_mem_bw()).abs() / h.total_mem_bw() < 0.01);
+        assert_eq!(h.total_sms(), l.total_sms());
+    }
+
+    #[test]
+    fn peak_power_similar_but_cooling_differs() {
+        let h = ClusterSpec::h100_node();
+        let l = ClusterSpec::lite_node();
+        // Same silicon, same aggregate TDP.
+        assert!((h.peak_power_w() - l.peak_power_w()).abs() / h.peak_power_w() < 0.01);
+        // But the H100 package needs a stronger cooling class.
+        assert!(l.package_cooling() < h.package_cooling());
+    }
+
+    #[test]
+    fn validation() {
+        let gpu = litegpu_specs::catalog::h100();
+        assert!(ClusterSpec::new(gpu.clone(), 0, 1, 0.0).is_err());
+        assert!(ClusterSpec::new(gpu.clone(), 8, 0, 0.0).is_err());
+        assert!(ClusterSpec::new(gpu, 8, 1, -5.0).is_err());
+    }
+
+    #[test]
+    fn idle_below_peak() {
+        let h = ClusterSpec::h100_node();
+        assert!(h.idle_power_w() < h.peak_power_w());
+    }
+}

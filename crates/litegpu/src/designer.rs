@@ -1,0 +1,254 @@
+//! The end-to-end Lite-GPU cluster designer.
+//!
+//! Ties every substrate together: start from a parent GPU, choose a split
+//! and a customization, and receive a validated design with its
+//! manufacturing, cooling, performance and reliability consequences — the
+//! whole paper in one API call.
+
+use litegpu_cluster::failure::{ClusterReliability, FailureModel};
+use litegpu_fab::cost::{h100_and_lite_package_models, ManufacturingComparison};
+use litegpu_roofline::{figures, EngineParams};
+use litegpu_specs::cooling::{self, CoolingAssessment};
+use litegpu_specs::die::ShorelineBudget;
+use litegpu_specs::{GpuSpec, LiteCustomization, LiteDerivation, SpecError};
+
+/// Designer input: the parent GPU, the split, and the customization.
+#[derive(Debug, Clone)]
+pub struct ClusterDesigner {
+    /// The GPU being replaced.
+    pub parent: GpuSpec,
+    /// Lite-GPUs per parent GPU.
+    pub split: u32,
+    /// Shoreline/clock customization.
+    pub customization: LiteCustomization,
+    /// Roofline parameters for the performance assessment.
+    pub params: EngineParams,
+}
+
+/// A complete, validated design.
+#[derive(Debug, Clone)]
+pub struct ClusterDesign {
+    /// The derived Lite-GPU spec.
+    pub lite: GpuSpec,
+    /// The parent spec.
+    pub parent: GpuSpec,
+    /// Manufacturing comparison (per parent-GPU-equivalent).
+    pub manufacturing: ManufacturingComparison,
+    /// Cooling assessment of the Lite package.
+    pub cooling: CoolingAssessment,
+    /// Shoreline utilization of the customization, 0..=1.
+    pub shoreline_utilization: f64,
+    /// Blast-radius improvement factor vs. the parent cluster.
+    pub blast_radius_gain: f64,
+    /// Expected available-FLOPS fraction of the Lite cluster.
+    pub available_flops_fraction: f64,
+    /// Figure-3-style decode comparison on Llama3-70B: Lite tokens/s/SM
+    /// normalized to the parent (1.0 = parity).
+    pub decode_efficiency_vs_parent: f64,
+    /// Prefill counterpart.
+    pub prefill_efficiency_vs_parent: f64,
+}
+
+impl ClusterDesigner {
+    /// A designer for the paper's default 4-way H100 split.
+    pub fn paper_default() -> Self {
+        Self {
+            parent: litegpu_specs::catalog::h100(),
+            split: 4,
+            customization: LiteCustomization::plain("Lite"),
+            params: EngineParams::paper_defaults(),
+        }
+    }
+
+    /// Runs the full design pipeline.
+    pub fn design(&self) -> Result<ClusterDesign, DesignError> {
+        let derivation = LiteDerivation::new(self.parent.clone(), self.split)?;
+        let lite = derivation.customized(&self.customization)?;
+
+        // Manufacturing: reuse the calibrated package models, scaled to
+        // this split via the die-cost models.
+        let (big_pkg, lite_pkg) = h100_and_lite_package_models()?;
+        let manufacturing = ManufacturingComparison::compare(&big_pkg, &lite_pkg, self.split)?;
+
+        let cooling = cooling::assess(&lite)?;
+        let budget = ShorelineBudget::for_die(&lite.die);
+        let shoreline_utilization = budget.utilization(lite.mem_bw_gbps, lite.net_bw_gbps);
+
+        let fm = FailureModel::default_for(&self.parent);
+        let parent_rel = ClusterReliability::new(self.parent.clone(), self.parent.max_gpus, fm)?;
+        let lite_rel = ClusterReliability::new(lite.clone(), lite.max_gpus, fm)?;
+        let blast_radius_gain =
+            parent_rel.blast_radius_fraction() / lite_rel.blast_radius_fraction();
+
+        // Performance: best decode and prefill efficiency on Llama3-70B.
+        let arch = litegpu_workload::models::llama3_70b();
+        let parent_dec = litegpu_roofline::search::best_decode(&self.parent, &arch, &self.params)?;
+        let lite_dec = litegpu_roofline::search::best_decode(&lite, &arch, &self.params)?;
+        let parent_pre = litegpu_roofline::search::best_prefill(&self.parent, &arch, &self.params)?;
+        let lite_pre = litegpu_roofline::search::best_prefill(&lite, &arch, &self.params)?;
+
+        Ok(ClusterDesign {
+            manufacturing,
+            cooling,
+            shoreline_utilization,
+            blast_radius_gain,
+            available_flops_fraction: lite_rel.expected_available_flops_fraction(),
+            decode_efficiency_vs_parent: lite_dec.tokens_per_s_per_sm
+                / parent_dec.tokens_per_s_per_sm,
+            prefill_efficiency_vs_parent: lite_pre.tokens_per_s_per_sm
+                / parent_pre.tokens_per_s_per_sm,
+            lite,
+            parent: self.parent.clone(),
+        })
+    }
+}
+
+/// A Figure-2-style replacement plan: one parent GPU becomes `split`
+/// Lite-GPUs; rendered with the headline deltas annotated.
+pub fn replacement_plan(split: u32) -> Result<String, DesignError> {
+    let designer = ClusterDesigner {
+        split,
+        ..ClusterDesigner::paper_default()
+    };
+    let d = designer.design()?;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "One {} ({:.0} mm² die, {:.0} W, {} SMs)\n",
+        d.parent.name,
+        d.parent.die.area_mm2(),
+        d.parent.tdp_w,
+        d.parent.sms
+    ));
+    out.push_str("  │ replaced by co-packaged-optics connected Lite-GPUs\n  ▼\n");
+    for i in 0..split {
+        out.push_str(&format!(
+            "  [Lite-GPU {}] {:.0} mm² die, {:.0} W, {} SMs, {:.0} GB/s HBM + {:.1} GB/s optics\n",
+            i + 1,
+            d.lite.die.area_mm2(),
+            d.lite.tdp_w,
+            d.lite.sms,
+            d.lite.mem_bw_gbps,
+            d.lite.net_bw_gbps
+        ));
+    }
+    out.push_str(&format!(
+        "yield gain {:.2}x | compute-silicon cost {:.0}% lower | blast radius {:.0}x smaller\n",
+        d.manufacturing.yield_gain,
+        d.manufacturing.silicon_saving * 100.0,
+        d.blast_radius_gain
+    ));
+    out.push_str(&format!(
+        "cooling: {:?} (headroom {:.0} W) | shoreline used: {:.0}%\n",
+        d.cooling.class,
+        d.cooling.headroom_w,
+        d.shoreline_utilization * 100.0
+    ));
+    let _ = figures::Phase::Prefill; // Anchor the figures module as public API.
+    Ok(out)
+}
+
+/// Designer-level error: any substrate failure.
+#[derive(Debug)]
+pub enum DesignError {
+    /// Spec/derivation failure.
+    Spec(litegpu_specs::SpecError),
+    /// Fab-model failure.
+    Fab(litegpu_fab::FabError),
+    /// Cluster-model failure.
+    Cluster(litegpu_cluster::ClusterError),
+    /// Roofline failure.
+    Roofline(litegpu_roofline::RooflineError),
+}
+
+impl core::fmt::Display for DesignError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            DesignError::Spec(e) => write!(f, "spec: {e}"),
+            DesignError::Fab(e) => write!(f, "fab: {e}"),
+            DesignError::Cluster(e) => write!(f, "cluster: {e}"),
+            DesignError::Roofline(e) => write!(f, "roofline: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DesignError {}
+
+impl From<SpecError> for DesignError {
+    fn from(e: SpecError) -> Self {
+        DesignError::Spec(e)
+    }
+}
+impl From<litegpu_fab::FabError> for DesignError {
+    fn from(e: litegpu_fab::FabError) -> Self {
+        DesignError::Fab(e)
+    }
+}
+impl From<litegpu_cluster::ClusterError> for DesignError {
+    fn from(e: litegpu_cluster::ClusterError) -> Self {
+        DesignError::Cluster(e)
+    }
+}
+impl From<litegpu_roofline::RooflineError> for DesignError {
+    fn from(e: litegpu_roofline::RooflineError) -> Self {
+        DesignError::Roofline(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_design_matches_headlines() {
+        let d = ClusterDesigner::paper_default().design().unwrap();
+        assert!((d.manufacturing.yield_gain - 1.8).abs() < 0.1);
+        assert!(d.manufacturing.silicon_saving > 0.4);
+        assert!((d.blast_radius_gain - 4.0).abs() < 1e-9);
+        assert!(d.shoreline_utilization <= 1.0);
+        assert!(d.cooling.max_sustained_clock >= 1.1);
+        // Base Lite decode efficiency is below parity (Figure 3b).
+        assert!(d.decode_efficiency_vs_parent < 1.0);
+        assert!(d.decode_efficiency_vs_parent > 0.5);
+    }
+
+    #[test]
+    fn mem_bw_customization_beats_parity() {
+        let designer = ClusterDesigner {
+            customization: LiteCustomization {
+                name: "Lite+MemBW".into(),
+                mem_bw_factor: 2.0,
+                net_bw_factor: 1.0,
+                clock_factor: 1.0,
+            },
+            ..ClusterDesigner::paper_default()
+        };
+        let d = designer.design().unwrap();
+        assert!(
+            d.decode_efficiency_vs_parent > 1.0,
+            "got {}",
+            d.decode_efficiency_vs_parent
+        );
+    }
+
+    #[test]
+    fn replacement_plan_mentions_key_numbers() {
+        let plan = replacement_plan(4).unwrap();
+        assert!(plan.contains("H100"));
+        assert_eq!(plan.matches("[Lite-GPU").count(), 4);
+        assert!(plan.contains("yield gain"));
+    }
+
+    #[test]
+    fn infeasible_customization_surfaces_error() {
+        let designer = ClusterDesigner {
+            customization: LiteCustomization {
+                name: "impossible".into(),
+                mem_bw_factor: 8.0,
+                net_bw_factor: 4.0,
+                clock_factor: 1.0,
+            },
+            ..ClusterDesigner::paper_default()
+        };
+        assert!(matches!(designer.design(), Err(DesignError::Spec(_))));
+    }
+}

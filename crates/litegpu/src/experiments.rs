@@ -1,0 +1,654 @@
+//! One entry point per paper artifact.
+//!
+//! Every table, figure and quantitative claim in the paper has a function
+//! here returning a rendered report (and, where useful, structured data).
+//! The `litegpu-bench` binaries are thin wrappers over these, so tests,
+//! binaries and docs all exercise the same code.
+
+use litegpu_cluster::failure::{self, ClusterReliability, FailureModel};
+use litegpu_cluster::node::ClusterSpec;
+use litegpu_cluster::power_mgmt::{self, Policy};
+use litegpu_fab::cost::h100_vs_lite_comparison;
+use litegpu_fab::yield_model::YieldModel;
+use litegpu_net::switching::{CircuitSwitch, PacketSwitch, SwitchComparison};
+use litegpu_plot::bar::GroupedBarChart;
+use litegpu_plot::table::TextTable;
+use litegpu_roofline::{figures, EngineParams};
+use litegpu_sim::{simulate, ServingConfig};
+use litegpu_specs::catalog;
+
+/// A rendered experiment artifact.
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    /// Short id (`"table1"`, `"fig3a"`, `"claim_yield"`, ...).
+    pub id: &'static str,
+    /// Human title.
+    pub title: &'static str,
+    /// Rendered report text.
+    pub output: String,
+}
+
+/// Table 1: the GPU configurations.
+pub fn table1() -> Experiment {
+    let mut t = TextTable::new(&[
+        "GPU type",
+        "TFLOPS",
+        "Cap. GB",
+        "Mem BW GB/s",
+        "Net BW GB/s",
+        "#Max GPUs",
+    ]);
+    for s in catalog::table1() {
+        t.row_owned(vec![
+            s.name.clone(),
+            format!("{:.0}", s.tflops),
+            format!("{:.0}", s.mem_capacity_gb),
+            format!("{:.1}", s.mem_bw_gbps),
+            format!("{:.1}", s.net_bw_gbps),
+            format!("{}", s.max_gpus),
+        ]);
+    }
+    Experiment {
+        id: "table1",
+        title: "Table 1: GPU configurations",
+        output: t.render(),
+    }
+}
+
+/// Figure 1: the evolution of GPUs in AI clusters.
+pub fn fig1() -> Experiment {
+    let mut t = TextTable::new(&[
+        "GPU",
+        "Year",
+        "Dies",
+        "Transistors (B)",
+        "Die area mm²",
+        "TDP W",
+        "HBM GB",
+        "HBM GB/s",
+        "Cooling",
+    ]);
+    let gens = catalog::generations();
+    for g in &gens {
+        t.row_owned(vec![
+            g.name.to_string(),
+            g.year.to_string(),
+            g.compute_dies.to_string(),
+            format!("{:.1}", g.transistors_b),
+            format!("{:.0}", g.die_area_mm2),
+            format!("{:.0}", g.tdp_w),
+            format!("{:.0}", g.hbm_gb),
+            format!("{:.0}", g.hbm_bw_gbps),
+            if g.liquid_cooled { "liquid" } else { "air" }.to_string(),
+        ]);
+    }
+    let mut chart = GroupedBarChart::new("Package trajectory (normalized to P100)");
+    let base = &gens[0];
+    chart.set_groups(gens.iter().map(|g| g.name.to_string()).collect());
+    chart.add_series(
+        "transistors",
+        gens.iter()
+            .map(|g| g.transistors_b / base.transistors_b)
+            .collect(),
+    );
+    chart.add_series("tdp", gens.iter().map(|g| g.tdp_w / base.tdp_w).collect());
+    Experiment {
+        id: "fig1",
+        title: "Figure 1: Evolution of GPUs in AI clusters",
+        output: format!("{}\n{}", t.render(), chart.render(40)),
+    }
+}
+
+/// Figure 2: an example Lite-GPU deployment.
+pub fn fig2() -> Experiment {
+    let plan =
+        crate::designer::replacement_plan(4).unwrap_or_else(|e| format!("design failed: {e}"));
+    Experiment {
+        id: "fig2",
+        title: "Figure 2: Example Lite-GPU deployment (1 H100 -> 4 Lite-GPUs)",
+        output: plan,
+    }
+}
+
+fn render_figure3(fig: &figures::Figure3, title: &str) -> String {
+    let mut chart = GroupedBarChart::new(format!("{title} — normalized tokens/s/SM"));
+    chart.set_groups(fig.models.clone());
+    for gpu in &fig.gpu_types {
+        let series: Vec<f64> = fig
+            .models
+            .iter()
+            .map(|m| fig.point(m, gpu).map(|p| p.normalized).unwrap_or(0.0))
+            .collect();
+        chart.add_series(gpu.clone(), series);
+    }
+    let mut t = TextTable::new(&[
+        "model", "gpu", "norm", "tok/s/SM", "gpus", "batch", "latency",
+    ]);
+    for p in &fig.points {
+        t.row_owned(vec![
+            p.model.clone(),
+            p.gpu.clone(),
+            format!("{:.3}", p.normalized),
+            format!("{:.2}", p.tokens_per_s_per_sm),
+            p.gpus.to_string(),
+            p.batch.to_string(),
+            litegpu_specs::units::format_seconds(p.latency_s),
+        ]);
+    }
+    format!("{}\n{}", chart.render(40), t.render())
+}
+
+/// Figure 3a: prefill performance efficiency.
+pub fn fig3a(params: &EngineParams) -> Result<(figures::Figure3, Experiment), String> {
+    let fig = figures::figure3a(params).map_err(|e| e.to_string())?;
+    let output = render_figure3(&fig, "Figure 3a (prompt prefill)");
+    Ok((
+        fig,
+        Experiment {
+            id: "fig3a",
+            title: "Figure 3a: Prefill roofline comparison",
+            output,
+        },
+    ))
+}
+
+/// Figure 3b: decode performance efficiency.
+pub fn fig3b(params: &EngineParams) -> Result<(figures::Figure3, Experiment), String> {
+    let fig = figures::figure3b(params).map_err(|e| e.to_string())?;
+    let output = render_figure3(&fig, "Figure 3b (decode)");
+    Ok((
+        fig,
+        Experiment {
+            id: "fig3b",
+            title: "Figure 3b: Decode roofline comparison",
+            output,
+        },
+    ))
+}
+
+/// §2 claim: quartering an H100-class die raises yield ~1.8× and cuts
+/// manufacturing cost ~50%.
+pub fn claim_yield() -> Experiment {
+    let mut out = String::new();
+    let mut t = TextTable::new(&["yield model", "H100 yield", "Lite yield", "gain"]);
+    for (name, model) in YieldModel::standard_suite() {
+        let y_big = model.yield_fraction(814.0, 0.1);
+        let y_lite = model.yield_fraction(814.0 / 4.0, 0.1);
+        t.row_owned(vec![
+            name.to_string(),
+            format!("{y_big:.3}"),
+            format!("{y_lite:.3}"),
+            format!("{:.2}x", y_lite / y_big),
+        ]);
+    }
+    out.push_str(&t.render());
+    match h100_vs_lite_comparison() {
+        Ok(cmp) => out.push_str(&format!(
+            "\nPoisson @ D0=0.1/cm²: yield gain {:.2}x (paper: ~1.8x)\n\
+             compute-silicon saving {:.1}% (paper: ~50%)\n\
+             packaged-GPU saving {:.1}% (4 Lite packages vs 1 H100 package)\n\
+             per good die: H100 ${:.0} vs 4x Lite ${:.0}\n",
+            cmp.yield_gain,
+            cmp.silicon_saving * 100.0,
+            cmp.package_saving * 100.0,
+            cmp.big_die_cost,
+            cmp.lite_dies_cost,
+        )),
+        Err(e) => out.push_str(&format!("cost comparison failed: {e}\n")),
+    }
+    Experiment {
+        id: "claim_yield",
+        title: "§2 claim: yield x1.8 and ~50% cost saving at 1/4 die area",
+        output: out,
+    }
+}
+
+/// §2 claim: 1/4 die area doubles the shoreline-to-compute ratio.
+pub fn claim_shoreline() -> Experiment {
+    let h100 = catalog::h100();
+    let lite = catalog::lite_base();
+    let mut t = TextTable::new(&["quantity", "H100", "4x Lite", "ratio"]);
+    let p_big = h100.die.perimeter_mm();
+    let p_lite4 = 4.0 * lite.die.perimeter_mm();
+    t.row_owned(vec![
+        "total die area mm²".into(),
+        format!("{:.0}", h100.die.area_mm2()),
+        format!("{:.0}", 4.0 * lite.die.area_mm2()),
+        "1.00".into(),
+    ]);
+    t.row_owned(vec![
+        "total shoreline mm".into(),
+        format!("{p_big:.0}"),
+        format!("{p_lite4:.0}"),
+        format!("{:.2}", p_lite4 / p_big),
+    ]);
+    let bw_flop_h = h100.mem_bw_per_flop();
+    let bw_flop_l = catalog::lite_mem_bw().mem_bw_per_flop();
+    t.row_owned(vec![
+        "mem bytes/FLOP (+MemBW)".into(),
+        format!("{bw_flop_h:.5}"),
+        format!("{bw_flop_l:.5}"),
+        format!("{:.2}", bw_flop_l / bw_flop_h),
+    ]);
+    Experiment {
+        id: "claim_shoreline",
+        title: "§2 claim: 2x bandwidth-to-compute from 4-way die split",
+        output: t.render(),
+    }
+}
+
+/// §3 claim: circuit switching beats packet switching on energy, latency
+/// and radix.
+pub fn claim_network() -> Experiment {
+    let packet = PacketSwitch::tomahawk_class();
+    let circuit = CircuitSwitch::sirius_class();
+    let cmp = SwitchComparison::compare(&circuit, &packet);
+    let mut t = TextTable::new(&["metric", "packet", "circuit", "paper claim"]);
+    t.row_owned(vec![
+        "energy pJ/bit".into(),
+        format!("{:.0}", packet.energy_pj_per_bit),
+        format!("{:.0}", circuit.energy_pj_per_bit),
+        format!(">50% better ({:.0}% measured)", cmp.energy_saving * 100.0),
+    ]);
+    t.row_owned(vec![
+        "port-to-port latency".into(),
+        litegpu_specs::units::format_seconds(packet.latency_s),
+        litegpu_specs::units::format_seconds(circuit.latency_s),
+        "lower".into(),
+    ]);
+    t.row_owned(vec![
+        "radix @ 100 GB/s".into(),
+        packet.radix.to_string(),
+        circuit.radix.to_string(),
+        format!("more ports ({:.1}x)", cmp.radix_ratio),
+    ]);
+    let verdict = if cmp.paper_claims_hold() {
+        "all three §3 claims hold"
+    } else {
+        "CLAIM VIOLATION — see numbers above"
+    };
+    Experiment {
+        id: "claim_network",
+        title: "§3 claim: circuit vs packet switching",
+        output: format!("{}\n{verdict}\n", t.render()),
+    }
+}
+
+/// §3 claim: smaller blast radius and cheaper hot spares.
+pub fn claim_blast_radius() -> Experiment {
+    let fm = FailureModel::default_for(&catalog::h100());
+    let h = ClusterReliability::new(catalog::h100(), 8, fm).expect("valid");
+    let l = ClusterReliability::new(catalog::lite_base(), 32, fm).expect("valid");
+    let mut t = TextTable::new(&["metric", "8x H100", "32x Lite"]);
+    t.row_owned(vec![
+        "blast radius (FLOPS lost/failure)".into(),
+        format!("{:.1}%", h.blast_radius_fraction() * 100.0),
+        format!("{:.1}%", l.blast_radius_fraction() * 100.0),
+    ]);
+    t.row_owned(vec![
+        "per-GPU AFR".into(),
+        format!("{:.1}%", fm.afr(&h.gpu) * 100.0),
+        format!("{:.1}%", fm.afr(&l.gpu) * 100.0),
+    ]);
+    t.row_owned(vec![
+        "cluster failures/year".into(),
+        format!("{:.2}", h.failures_per_year()),
+        format!("{:.2}", l.failures_per_year()),
+    ]);
+    t.row_owned(vec![
+        "expected available FLOPS".into(),
+        format!("{:.4}%", h.expected_available_flops_fraction() * 100.0),
+        format!("{:.4}%", l.expected_available_flops_fraction() * 100.0),
+    ]);
+    let mut out = t.render();
+    // Hot-spare Monte Carlo: same serving capacity (4 instances of one
+    // "H100-node-equivalent" each), one spare unit each.
+    let mc_h = failure::monte_carlo_availability(&catalog::h100(), &fm, 4, 8, 1, 100.0, 42);
+    let mc_l = failure::monte_carlo_availability(&catalog::lite_base(), &fm, 4, 32, 1, 100.0, 42);
+    if let (Ok(mh), Ok(ml)) = (mc_h, mc_l) {
+        out.push_str(&format!(
+            "\nhot-spare Monte Carlo (4 instances, 1 spare unit, 100 sim-years):\n\
+             H100: availability {:.5}, spare overhead {:.2}% of fleet\n\
+             Lite: availability {:.5}, spare overhead {:.2}% of fleet (4x cheaper spare)\n",
+            mh.instance_availability,
+            mh.spare_overhead * 100.0,
+            ml.instance_availability,
+            ml.spare_overhead * 100.0,
+        ));
+    }
+    Experiment {
+        id: "claim_blast_radius",
+        title: "§3 claim: blast radius and hot spares",
+        output: out,
+    }
+}
+
+/// §3 claim: finer-grained power management saves energy.
+pub fn claim_power() -> Experiment {
+    let h = ClusterSpec::h100_node();
+    let l = ClusterSpec::lite_node();
+    let trace = power_mgmt::diurnal_trace();
+    let mut t = TextTable::new(&["cluster", "policy", "daily energy kWh", "vs DVFS-all"]);
+    for (name, cluster) in [("8x H100", &h), ("32x Lite", &l)] {
+        let dvfs = power_mgmt::trace_energy_j(cluster, Policy::DvfsAll, &trace).expect("valid");
+        for (pname, policy) in [
+            ("dvfs-all", Policy::DvfsAll),
+            ("gate-naive", Policy::GateIdle),
+            ("gate-to-efficiency", Policy::GateToEfficiency),
+        ] {
+            let e = power_mgmt::trace_energy_j(cluster, policy, &trace).expect("valid");
+            t.row_owned(vec![
+                name.to_string(),
+                pname.to_string(),
+                format!("{:.1}", e / 3.6e6),
+                format!("{:+.1}%", (e / dvfs - 1.0) * 100.0),
+            ]);
+        }
+    }
+    let sh = power_mgmt::gating_saving(&h, &trace).expect("valid");
+    let sl = power_mgmt::gating_saving(&l, &trace).expect("valid");
+    Experiment {
+        id: "claim_power",
+        title: "§3 claim: finer-grained power management",
+        output: format!(
+            "{}\ngate-to-efficiency saving vs fleet DVFS: H100 {:.1}% | Lite {:.1}%\n",
+            t.render(),
+            sh * 100.0,
+            sl * 100.0
+        ),
+    }
+}
+
+/// §4 extension: performance per dollar (the paper calls this the primary
+/// cloud metric but leaves the analysis out of scope).
+pub fn claim_cost_perf(params: &EngineParams) -> Experiment {
+    let arch = litegpu_workload::models::llama3_70b();
+    let cmp = match h100_vs_lite_comparison() {
+        Ok(c) => c,
+        Err(e) => {
+            return Experiment {
+                id: "claim_cost_perf",
+                title: "Extension: decode throughput per package-cost dollar",
+                output: format!("cost model failed: {e}"),
+            }
+        }
+    };
+    // Package cost per GPU; Lite fabrics add a networking adder (CPO
+    // transceivers + switch share), taken as 15% of package cost.
+    let h100_cost = cmp.big_package_cost;
+    let lite_cost = cmp.lite_packages_cost / cmp.replacement_ratio as f64 * 1.15;
+    let mut t = TextTable::new(&["gpu", "tok/s (best)", "gpus", "cluster $", "tok/s per $"]);
+    let mut out_rows = Vec::new();
+    for spec in [
+        catalog::h100(),
+        catalog::lite_base(),
+        catalog::lite_mem_bw(),
+    ] {
+        let unit_cost = if spec.name == "H100" {
+            h100_cost
+        } else {
+            lite_cost
+        };
+        match litegpu_roofline::search::best_decode(&spec, &arch, params) {
+            Ok(best) => {
+                let cluster_cost = unit_cost * best.gpus as f64;
+                let perf_per_dollar = best.tokens_per_s / cluster_cost;
+                out_rows.push((spec.name.clone(), perf_per_dollar));
+                t.row_owned(vec![
+                    spec.name.clone(),
+                    format!("{:.0}", best.tokens_per_s),
+                    best.gpus.to_string(),
+                    format!("{cluster_cost:.0}"),
+                    format!("{perf_per_dollar:.2}"),
+                ]);
+            }
+            Err(e) => {
+                t.row_owned(vec![spec.name.clone(), format!("error: {e}")]);
+            }
+        }
+    }
+    let verdict = match (
+        out_rows.iter().find(|(n, _)| n == "H100"),
+        out_rows.iter().find(|(n, _)| n == "Lite+MemBW"),
+    ) {
+        (Some((_, h)), Some((_, l))) if l > h => format!(
+            "Lite+MemBW delivers {:.2}x the decode throughput per dollar of H100\n",
+            l / h
+        ),
+        _ => "comparison incomplete\n".to_string(),
+    };
+    Experiment {
+        id: "claim_cost_perf",
+        title: "Extension: decode throughput per package-cost dollar",
+        output: format!("{}\n{verdict}", t.render()),
+    }
+}
+
+/// Serving-level validation: Splitwise-style phase splitting on H100 vs
+/// Lite clusters (discrete-event simulation).
+pub fn sim_serving() -> Experiment {
+    let mut t = TextTable::new(&[
+        "config", "req", "tok/s", "TTFT p50", "TTFT p99", "TBT p99", "TBT SLO",
+    ]);
+    for (name, cfg) in [
+        ("H100 monolithic", ServingConfig::monolithic_h100_demo()),
+        ("H100 phase-split", ServingConfig::splitwise_h100_demo()),
+        ("Lite phase-split", ServingConfig::splitwise_lite_demo()),
+    ] {
+        match simulate(&cfg, 42) {
+            Ok(r) => {
+                t.row_owned(vec![
+                    name.to_string(),
+                    format!("{}", r.completed),
+                    format!("{:.0}", r.throughput_tps),
+                    litegpu_specs::units::format_seconds(r.ttft_p50_s),
+                    litegpu_specs::units::format_seconds(r.ttft_p99_s),
+                    litegpu_specs::units::format_seconds(r.tbt_p99_s),
+                    format!("{:.1}%", r.tbt_attainment * 100.0),
+                ]);
+            }
+            Err(e) => {
+                t.row_owned(vec![name.to_string(), format!("error: {e}")]);
+            }
+        }
+    }
+    Experiment {
+        id: "sim_serving",
+        title: "Serving simulation: phase splitting on H100 vs Lite clusters",
+        output: t.render(),
+    }
+}
+
+/// Ablations over the reconstructed modeling choices: decode overlap, KV
+/// sharding policy, precision, collective constants, and the split factor
+/// itself (see DESIGN.md §4 and `litegpu_roofline::ablation`).
+pub fn ablations() -> Experiment {
+    use litegpu_roofline::ablation;
+    let mut out = String::new();
+    let render = |title: &str, points: &[ablation::AblationPoint]| -> String {
+        let mut t = TextTable::new(&[
+            "variant",
+            "Lite 70B",
+            "Lite GPT3",
+            "Lite 405B",
+            "+MemBW 70B",
+            "+MemBW GPT3",
+            "+MemBW 405B",
+        ]);
+        let fmt = |v: f64| {
+            if v.is_nan() {
+                "-".to_string()
+            } else {
+                format!("{v:.2}")
+            }
+        };
+        for p in points {
+            t.row_owned(vec![
+                p.label.clone(),
+                fmt(p.lite[0]),
+                fmt(p.lite[1]),
+                fmt(p.lite[2]),
+                fmt(p.lite_mem_bw[0]),
+                fmt(p.lite_mem_bw[1]),
+                fmt(p.lite_mem_bw[2]),
+            ]);
+        }
+        format!("-- {title} --\n{}\n", t.render())
+    };
+    if let Ok(p) = ablation::overlap_ablation() {
+        out.push_str(&render("decode overlap semantics", &p));
+    }
+    if let Ok(p) = ablation::gqa_policy_ablation() {
+        out.push_str(&render("KV sharding policy", &p));
+    }
+    if let Ok(p) = ablation::precision_ablation() {
+        out.push_str(&render("precision", &p));
+    }
+    if let Ok(p) = ablation::alpha_sensitivity(&[0.0, 1.0, 2.0, 5.0, 10.0]) {
+        out.push_str(&render("per-collective software overhead", &p));
+    }
+    if let Ok(rows) = ablation::split_factor_study(&catalog::h100(), &[2, 4, 8, 16]) {
+        let mut t = TextTable::new(&[
+            "split",
+            "plain decode eff",
+            "+MemBW decode eff",
+            "+MemBW shoreline",
+        ]);
+        for r in rows {
+            t.row_owned(vec![
+                r.split.to_string(),
+                format!("{:.2}", r.plain_efficiency),
+                r.mem_bw_efficiency
+                    .map(|v| format!("{v:.2}"))
+                    .unwrap_or_else(|| "infeasible".into()),
+                r.mem_bw_shoreline_util
+                    .map(|v| format!("{:.0}%", v * 100.0))
+                    .unwrap_or_else(|| "-".into()),
+            ]);
+        }
+        out.push_str(&format!(
+            "-- split factor (Llama3-70B decode, vs H100) --\n{}\n",
+            t.render()
+        ));
+    }
+    Experiment {
+        id: "ablations",
+        title: "Ablations over reconstructed modeling choices",
+        output: out,
+    }
+}
+
+/// Runs every experiment with paper-default parameters.
+pub fn run_all() -> Vec<Experiment> {
+    let params = EngineParams::paper_defaults();
+    let mut out = vec![
+        table1(),
+        fig1(),
+        fig2(),
+        claim_yield(),
+        claim_shoreline(),
+        claim_network(),
+        claim_blast_radius(),
+        claim_power(),
+        claim_cost_perf(&params),
+        sim_serving(),
+        ablations(),
+    ];
+    if let Ok((_, e)) = fig3a(&params) {
+        out.insert(3, e);
+    }
+    if let Ok((_, e)) = fig3b(&params) {
+        out.insert(4, e);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_lists_all_six_configs() {
+        let e = table1();
+        for name in [
+            "H100",
+            "Lite",
+            "Lite+NetBW",
+            "Lite+NetBW+FLOPS",
+            "Lite+MemBW",
+            "Lite+MemBW+NetBW",
+        ] {
+            assert!(e.output.contains(name), "missing {name}");
+        }
+        assert!(e.output.contains("2000"));
+        assert!(e.output.contains("112.5"));
+    }
+
+    #[test]
+    fn fig1_covers_generations() {
+        let e = fig1();
+        for name in ["V100", "A100", "H100", "B200", "Lite-H100"] {
+            assert!(e.output.contains(name), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn fig2_renders_plan() {
+        let e = fig2();
+        assert!(e.output.contains("Lite-GPU 4"));
+    }
+
+    #[test]
+    fn claim_yield_reports_gain() {
+        let e = claim_yield();
+        assert!(e.output.contains("poisson"));
+        assert!(e.output.contains("yield gain"));
+    }
+
+    #[test]
+    fn claim_shoreline_doubles() {
+        let e = claim_shoreline();
+        assert!(e.output.contains("2.0"), "{}", e.output);
+    }
+
+    #[test]
+    fn claim_network_holds() {
+        let e = claim_network();
+        assert!(e.output.contains("all three §3 claims hold"));
+    }
+
+    #[test]
+    fn claim_blast_radius_reports_quarters() {
+        let e = claim_blast_radius();
+        assert!(e.output.contains("12.5%"));
+        assert!(e.output.contains("3.1%"));
+    }
+
+    #[test]
+    fn claim_power_reports_savings() {
+        let e = claim_power();
+        assert!(e.output.contains("gate-to-efficiency"));
+    }
+
+    #[test]
+    fn ablations_render_all_sections() {
+        let e = ablations();
+        for section in [
+            "decode overlap semantics",
+            "KV sharding policy",
+            "precision",
+            "software overhead",
+            "split factor",
+        ] {
+            assert!(e.output.contains(section), "missing {section}");
+        }
+    }
+
+    #[test]
+    fn serving_sim_renders_three_rows() {
+        let e = sim_serving();
+        assert!(e.output.contains("H100 monolithic"));
+        assert!(e.output.contains("Lite phase-split"));
+        assert!(!e.output.contains("error:"), "{}", e.output);
+    }
+}

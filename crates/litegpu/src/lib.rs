@@ -1,0 +1,63 @@
+//! `litegpu` — a modeling and simulation suite for Lite-GPU AI clusters.
+//!
+//! This is the facade crate of the reproduction of *"Good things come in
+//! small packages: Should we build AI clusters with Lite-GPUs?"*
+//! (Microsoft Research, HotOS '25). It re-exports the substrate crates and
+//! offers two high-level entry points:
+//!
+//! - [`designer`]: an end-to-end Lite-GPU cluster designer — start from a
+//!   parent GPU (H100), pick a split factor and a shoreline/clock
+//!   customization, and get a validated spec plus manufacturing-cost,
+//!   cooling, performance and reliability deltas.
+//! - [`experiments`]: one function per paper artifact (Table 1, Figures
+//!   1–3, and the quantitative §2/§3 claims), each returning both
+//!   structured data and rendered text, so binaries, tests and notebooks
+//!   share one implementation.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use litegpu::prelude::*;
+//!
+//! // The paper's headline economics: quarter the die, ~1.8x the yield.
+//! let cmp = litegpu::fab::cost::h100_vs_lite_comparison().unwrap();
+//! assert!(cmp.yield_gain > 1.7);
+//!
+//! // And the headline performance result (Figure 3b, decode):
+//! let params = EngineParams::paper_defaults();
+//! let best = litegpu::roofline::search::best_decode(
+//!     &catalog::lite_mem_bw(),
+//!     &models::llama3_70b(),
+//!     &params,
+//! ).unwrap();
+//! assert!(best.tokens_per_s_per_sm > 0.0);
+//! ```
+
+pub use litegpu_cluster as cluster;
+pub use litegpu_fab as fab;
+pub use litegpu_net as net;
+pub use litegpu_plot as plot;
+pub use litegpu_roofline as roofline;
+pub use litegpu_sim as sim;
+pub use litegpu_specs as specs;
+pub use litegpu_workload as workload;
+
+pub mod designer;
+pub mod experiments;
+
+/// The most commonly used types, importable in one line.
+pub mod prelude {
+    pub use crate::designer::{ClusterDesign, ClusterDesigner};
+    pub use litegpu_roofline::{figures, EngineParams, OverlapMode};
+    pub use litegpu_specs::{catalog, GpuSpec, LiteCustomization, LiteDerivation};
+    pub use litegpu_workload::{models, ModelArch, Precision};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_compile() {
+        let _ = crate::specs::catalog::h100();
+        let _ = crate::workload::models::llama3_8b();
+    }
+}

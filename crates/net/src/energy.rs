@@ -1,0 +1,140 @@
+//! Network energy accounting.
+//!
+//! §3: "the total traffic in a cluster and the total power consumption of
+//! the network can be higher" with Lite-GPUs. This module converts traffic
+//! volumes into joules/watts for a given link + switching technology so
+//! that cluster-level energy comparisons (GPU savings vs. network
+//! overhead) are computable.
+
+use crate::link::LinkTech;
+use crate::switching::{CircuitSwitch, PacketSwitch};
+use crate::{check_non_negative, Result};
+
+/// A network technology stack: endpoint links plus a switching layer.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum FabricTech {
+    /// Electrical packet-switched fabric.
+    PacketSwitched {
+        /// Endpoint link technology.
+        link: LinkTech,
+        /// Switch model.
+        switch: PacketSwitch,
+    },
+    /// Optical circuit-switched fabric.
+    CircuitSwitched {
+        /// Endpoint link technology.
+        link: LinkTech,
+        /// Switch model.
+        switch: CircuitSwitch,
+    },
+}
+
+impl FabricTech {
+    /// Today's NVLink-class electrical fabric.
+    pub fn electrical_packet() -> Self {
+        FabricTech::PacketSwitched {
+            link: LinkTech::Copper,
+            switch: PacketSwitch::tomahawk_class(),
+        }
+    }
+
+    /// The paper's proposal: co-packaged optics into an optical circuit
+    /// switch.
+    pub fn cpo_circuit() -> Self {
+        FabricTech::CircuitSwitched {
+            link: LinkTech::CoPackagedOptics,
+            switch: CircuitSwitch::sirius_class(),
+        }
+    }
+
+    /// Total energy per transported bit, pJ (endpoint + switching layer).
+    pub fn energy_pj_per_bit(&self) -> f64 {
+        match self {
+            FabricTech::PacketSwitched { link, switch } => {
+                link.energy_pj_per_bit() + switch.energy_pj_per_bit
+            }
+            FabricTech::CircuitSwitched { link, switch } => {
+                link.energy_pj_per_bit() + switch.energy_pj_per_bit
+            }
+        }
+    }
+
+    /// Energy to move `bytes` across the fabric once, joules.
+    pub fn transfer_energy_j(&self, bytes: f64) -> Result<f64> {
+        check_non_negative("bytes", bytes)?;
+        Ok(bytes * 8.0 * self.energy_pj_per_bit() * 1e-12)
+    }
+
+    /// Power at a sustained traffic rate, W.
+    pub fn power_w(&self, bytes_per_s: f64) -> Result<f64> {
+        self.transfer_energy_j(bytes_per_s)
+    }
+}
+
+/// Cluster-level network energy summary for a workload interval.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct NetworkEnergy {
+    /// Total bytes moved.
+    pub bytes: f64,
+    /// Total joules consumed by the fabric.
+    pub joules: f64,
+    /// Average power over the interval, W.
+    pub avg_power_w: f64,
+}
+
+/// Computes fabric energy for `bytes` moved over `duration_s`.
+pub fn network_energy(tech: &FabricTech, bytes: f64, duration_s: f64) -> Result<NetworkEnergy> {
+    check_non_negative("duration_s", duration_s)?;
+    let joules = tech.transfer_energy_j(bytes)?;
+    let avg_power_w = if duration_s > 0.0 {
+        joules / duration_s
+    } else {
+        0.0
+    };
+    Ok(NetworkEnergy {
+        bytes,
+        joules,
+        avg_power_w,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpo_circuit_beats_electrical_packet_per_bit() {
+        let old = FabricTech::electrical_packet();
+        let new = FabricTech::cpo_circuit();
+        // Paper: >50% energy-efficiency improvement fabric-wide.
+        let saving = 1.0 - new.energy_pj_per_bit() / old.energy_pj_per_bit();
+        assert!(saving > 0.5, "saving = {saving}");
+    }
+
+    #[test]
+    fn transfer_energy_scales_linearly() {
+        let f = FabricTech::cpo_circuit();
+        let e1 = f.transfer_energy_j(1e9).unwrap();
+        let e2 = f.transfer_energy_j(2e9).unwrap();
+        assert!((e2 - 2.0 * e1).abs() < 1e-12);
+        assert!(f.transfer_energy_j(-1.0).is_err());
+    }
+
+    #[test]
+    fn network_energy_summary() {
+        let f = FabricTech::electrical_packet();
+        let e = network_energy(&f, 1e12, 10.0).unwrap();
+        assert!(e.joules > 0.0);
+        assert!((e.avg_power_w - e.joules / 10.0).abs() < 1e-12);
+        let z = network_energy(&f, 1e12, 0.0).unwrap();
+        assert_eq!(z.avg_power_w, 0.0);
+    }
+
+    #[test]
+    fn power_equals_energy_rate() {
+        let f = FabricTech::cpo_circuit();
+        // 100 GB/s at 12 pJ/bit-class -> order 10 W.
+        let p = f.power_w(100e9).unwrap();
+        assert!(p > 1.0 && p < 100.0, "p = {p}");
+    }
+}

@@ -1,0 +1,143 @@
+//! Link technologies.
+//!
+//! §1 of the paper: "driven by recent advances in co-packaged optics, in
+//! the next decade, we expect off-package communication bandwidth to
+//! improve by 1–2 orders of magnitude with much better reach (10s of
+//! meters), compared to copper-based communication". The three technology
+//! points below encode that comparison with public figures; they feed the
+//! shoreline budget (bandwidth density), the network energy model (pJ/bit)
+//! and the topology model (reach limits fan-out).
+
+use crate::{check_positive, Result};
+
+/// A GPU-to-GPU link technology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum LinkTech {
+    /// Electrical SerDes over copper (NVLink-class).
+    Copper,
+    /// Pluggable optical modules at the faceplate.
+    PluggableOptics,
+    /// Co-packaged optics: the optical engine sits millimetres from the
+    /// compute die.
+    CoPackagedOptics,
+}
+
+impl LinkTech {
+    /// Usable reach in metres.
+    pub fn reach_m(&self) -> f64 {
+        match self {
+            LinkTech::Copper => 3.0,
+            LinkTech::PluggableOptics => 100.0,
+            LinkTech::CoPackagedOptics => 50.0,
+        }
+    }
+
+    /// Energy per transported bit, pJ (SerDes/laser + retiming).
+    pub fn energy_pj_per_bit(&self) -> f64 {
+        match self {
+            LinkTech::Copper => 10.0,
+            LinkTech::PluggableOptics => 15.0,
+            LinkTech::CoPackagedOptics => 4.0,
+        }
+    }
+
+    /// Bandwidth density at the die/package edge, GB/s per mm of shoreline.
+    ///
+    /// CPO's 1–2 orders of magnitude claim shows up here: its escape
+    /// density dwarfs what copper pins manage.
+    pub fn edge_density_gbps_per_mm(&self) -> f64 {
+        match self {
+            LinkTech::Copper => 33.4,
+            LinkTech::PluggableOptics => 33.4, // Limited by the electrical escape.
+            LinkTech::CoPackagedOptics => 500.0,
+        }
+    }
+
+    /// Per-hop propagation + serialization latency floor, seconds.
+    pub fn hop_latency_s(&self) -> f64 {
+        match self {
+            LinkTech::Copper => 300e-9,
+            LinkTech::PluggableOptics => 600e-9,
+            LinkTech::CoPackagedOptics => 250e-9,
+        }
+    }
+}
+
+/// A provisioned point-to-point link.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Link {
+    /// Technology.
+    pub tech: LinkTech,
+    /// Provisioned bandwidth, bytes/s per direction.
+    pub bandwidth_bytes_per_s: f64,
+}
+
+impl Link {
+    /// Creates a link with the given per-direction bandwidth in GB/s.
+    pub fn new(tech: LinkTech, bandwidth_gbps: f64) -> Result<Self> {
+        Ok(Self {
+            tech,
+            bandwidth_bytes_per_s: check_positive("bandwidth_gbps", bandwidth_gbps)? * 1e9,
+        })
+    }
+
+    /// Time to serialize + propagate a message of `bytes`, seconds.
+    pub fn transfer_time_s(&self, bytes: f64) -> f64 {
+        self.tech.hop_latency_s() + bytes.max(0.0) / self.bandwidth_bytes_per_s
+    }
+
+    /// Power drawn when carrying `bytes_per_s` of traffic, W.
+    pub fn power_w(&self, bytes_per_s: f64) -> f64 {
+        let bits_per_s = bytes_per_s.max(0.0) * 8.0;
+        bits_per_s * self.tech.energy_pj_per_bit() * 1e-12
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpo_beats_copper_on_reach_and_energy() {
+        // The paper's premise for Lite-GPU fabrics.
+        assert!(LinkTech::CoPackagedOptics.reach_m() > 10.0 * LinkTech::Copper.reach_m());
+        assert!(
+            LinkTech::CoPackagedOptics.energy_pj_per_bit() < LinkTech::Copper.energy_pj_per_bit()
+        );
+        assert!(
+            LinkTech::CoPackagedOptics.edge_density_gbps_per_mm()
+                > 10.0 * LinkTech::Copper.edge_density_gbps_per_mm()
+        );
+    }
+
+    #[test]
+    fn pluggable_pays_energy_tax() {
+        assert!(
+            LinkTech::PluggableOptics.energy_pj_per_bit() > LinkTech::Copper.energy_pj_per_bit()
+        );
+    }
+
+    #[test]
+    fn transfer_time_has_latency_floor() {
+        let l = Link::new(LinkTech::Copper, 450.0).unwrap();
+        let t0 = l.transfer_time_s(0.0);
+        assert!((t0 - 300e-9).abs() < 1e-15);
+        let t1 = l.transfer_time_s(450e9);
+        assert!((t1 - (300e-9 + 1.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn link_power_scales_with_traffic() {
+        let l = Link::new(LinkTech::CoPackagedOptics, 225.0).unwrap();
+        // 225 GB/s * 8 bits * 4 pJ/bit = 7.2 W at line rate.
+        let p = l.power_w(225e9);
+        assert!((p - 7.2).abs() < 1e-9);
+        assert_eq!(l.power_w(-5.0), 0.0);
+    }
+
+    #[test]
+    fn invalid_bandwidth_rejected() {
+        assert!(Link::new(LinkTech::Copper, 0.0).is_err());
+        assert!(Link::new(LinkTech::Copper, f64::NAN).is_err());
+    }
+}

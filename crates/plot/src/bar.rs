@@ -1,0 +1,147 @@
+//! Grouped horizontal bar charts (the shape of the paper's Figure 3).
+
+use crate::{PlotError, Result};
+
+/// A grouped bar chart: groups on the y axis (e.g. models), one bar per
+/// series (e.g. GPU types) within each group.
+#[derive(Debug, Clone)]
+pub struct GroupedBarChart {
+    title: String,
+    groups: Vec<String>,
+    series: Vec<(String, Vec<f64>)>,
+}
+
+impl GroupedBarChart {
+    /// Creates an empty chart with a title.
+    pub fn new(title: impl Into<String>) -> Self {
+        Self {
+            title: title.into(),
+            groups: Vec::new(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Sets the group labels.
+    pub fn set_groups(&mut self, groups: Vec<String>) -> &mut Self {
+        self.groups = groups;
+        self
+    }
+
+    /// Adds a named series; its values index the groups.
+    pub fn add_series(&mut self, name: impl Into<String>, values: Vec<f64>) -> &mut Self {
+        self.series.push((name.into(), values));
+        self
+    }
+
+    /// Validates that every series matches the group count.
+    pub fn validate(&self) -> Result<()> {
+        if self.groups.is_empty() || self.series.is_empty() {
+            return Err(PlotError::Empty);
+        }
+        for (_, v) in &self.series {
+            if v.len() != self.groups.len() {
+                return Err(PlotError::ShapeMismatch {
+                    expected: self.groups.len(),
+                    actual: v.len(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Renders to text with bars up to `width` characters long.
+    ///
+    /// Bars are scaled to the maximum value across all series; each bar
+    /// shows its numeric value. Rendering never fails: shape problems
+    /// render as an error string so experiment binaries keep output
+    /// flowing (validate separately in tests).
+    pub fn render(&self, width: usize) -> String {
+        if let Err(e) = self.validate() {
+            return format!("[chart error: {e}]\n");
+        }
+        let width = width.max(10);
+        let max = self
+            .series
+            .iter()
+            .flat_map(|(_, v)| v.iter().copied())
+            .fold(f64::MIN, f64::max)
+            .max(1e-300);
+        let label_w = self
+            .series
+            .iter()
+            .map(|(n, _)| n.chars().count())
+            .max()
+            .unwrap_or(0);
+        let mut out = format!("{}\n", self.title);
+        for (gi, group) in self.groups.iter().enumerate() {
+            out.push_str(&format!("{group}\n"));
+            for (name, values) in &self.series {
+                let v = values[gi];
+                let filled = ((v / max) * width as f64).round().max(0.0) as usize;
+                let bar: String = "█".repeat(filled.min(width));
+                out.push_str(&format!("  {name:<label_w$} |{bar:<width$}| {v:.3}\n",));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chart() -> GroupedBarChart {
+        let mut c = GroupedBarChart::new("test chart");
+        c.set_groups(vec!["g1".into(), "g2".into()]);
+        c.add_series("a", vec![1.0, 0.5]);
+        c.add_series("b", vec![0.25, 0.75]);
+        c
+    }
+
+    #[test]
+    fn renders_all_groups_and_series() {
+        let s = chart().render(20);
+        for needle in ["test chart", "g1", "g2", "a", "b", "1.000", "0.750"] {
+            assert!(s.contains(needle), "missing {needle} in:\n{s}");
+        }
+    }
+
+    #[test]
+    fn bar_lengths_proportional() {
+        let s = chart().render(20);
+        let lines: Vec<&str> = s.lines().collect();
+        // Series "a" in g1 (value 1.0) must have the longest bar.
+        let count = |l: &str| l.chars().filter(|&c| c == '█').count();
+        let a_g1 = lines
+            .iter()
+            .find(|l| l.contains("a ") && l.contains("1.000"))
+            .unwrap();
+        let b_g1 = lines
+            .iter()
+            .find(|l| l.contains("b ") && l.contains("0.250"))
+            .unwrap();
+        assert_eq!(count(a_g1), 20);
+        assert_eq!(count(b_g1), 5);
+    }
+
+    #[test]
+    fn shape_mismatch_detected() {
+        let mut c = GroupedBarChart::new("bad");
+        c.set_groups(vec!["g1".into(), "g2".into()]);
+        c.add_series("a", vec![1.0]);
+        assert!(matches!(
+            c.validate(),
+            Err(PlotError::ShapeMismatch {
+                expected: 2,
+                actual: 1
+            })
+        ));
+        assert!(c.render(20).contains("chart error"));
+    }
+
+    #[test]
+    fn empty_chart_detected() {
+        let c = GroupedBarChart::new("empty");
+        assert!(matches!(c.validate(), Err(PlotError::Empty)));
+    }
+}

@@ -1,0 +1,79 @@
+//! Rendering substrate: text tables, ASCII charts and SVG output.
+//!
+//! The Rust plotting ecosystem is awkward to use offline, and the paper's
+//! figures are simple grouped bar charts — so the suite ships its own
+//! minimal renderer. Every experiment binary renders through this crate:
+//! [`table`] for Table-1-style output, [`bar`] for Figure-3-style grouped
+//! bars, [`line`](mod@line) for sweeps, and [`svg`] for self-contained vector output
+//! written under `target/experiments/`.
+//!
+//! # Examples
+//!
+//! ```
+//! use litegpu_plot::bar::GroupedBarChart;
+//!
+//! let mut c = GroupedBarChart::new("Normalized Tokens/s/SM");
+//! c.add_series("H100", vec![1.0, 1.0]);
+//! c.add_series("Lite", vec![0.95, 0.74]);
+//! c.set_groups(vec!["Llama3-70B".into(), "Llama3-405B".into()]);
+//! let text = c.render(40);
+//! assert!(text.contains("Llama3-70B"));
+//! assert!(text.contains('█'));
+//! ```
+
+pub mod bar;
+pub mod line;
+pub mod svg;
+pub mod table;
+
+pub use bar::GroupedBarChart;
+pub use line::LineChart;
+pub use table::TextTable;
+
+/// Errors produced by renderers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlotError {
+    /// Series lengths or group counts disagree.
+    ShapeMismatch {
+        /// Expected length.
+        expected: usize,
+        /// Actual length.
+        actual: usize,
+    },
+    /// Nothing to render.
+    Empty,
+}
+
+impl core::fmt::Display for PlotError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            PlotError::ShapeMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "series shape mismatch: expected {expected}, got {actual}"
+                )
+            }
+            PlotError::Empty => write!(f, "nothing to render"),
+        }
+    }
+}
+
+impl std::error::Error for PlotError {}
+
+/// Result alias for plot operations.
+pub type Result<T> = core::result::Result<T, PlotError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        let e = PlotError::ShapeMismatch {
+            expected: 3,
+            actual: 2,
+        };
+        assert!(e.to_string().contains("expected 3"));
+        assert!(PlotError::Empty.to_string().contains("nothing"));
+    }
+}

@@ -1,0 +1,156 @@
+//! ASCII line/scatter charts for parameter sweeps.
+
+use crate::{PlotError, Result};
+
+/// A multi-series line chart over a shared x axis.
+#[derive(Debug, Clone)]
+pub struct LineChart {
+    title: String,
+    x_label: String,
+    y_label: String,
+    xs: Vec<f64>,
+    series: Vec<(String, Vec<f64>)>,
+}
+
+/// Glyphs assigned to series in order.
+const GLYPHS: [char; 6] = ['*', 'o', '+', 'x', '#', '@'];
+
+impl LineChart {
+    /// Creates an empty chart.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        Self {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            xs: Vec::new(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Sets the shared x coordinates.
+    pub fn set_x(&mut self, xs: Vec<f64>) -> &mut Self {
+        self.xs = xs;
+        self
+    }
+
+    /// Adds a named series of y values (same length as x).
+    pub fn add_series(&mut self, name: impl Into<String>, ys: Vec<f64>) -> &mut Self {
+        self.series.push((name.into(), ys));
+        self
+    }
+
+    /// Validates shapes.
+    pub fn validate(&self) -> Result<()> {
+        if self.xs.is_empty() || self.series.is_empty() {
+            return Err(PlotError::Empty);
+        }
+        for (_, ys) in &self.series {
+            if ys.len() != self.xs.len() {
+                return Err(PlotError::ShapeMismatch {
+                    expected: self.xs.len(),
+                    actual: ys.len(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Renders the chart onto a `width`×`height` character canvas with a
+    /// legend. Errors render as an inline message (see
+    /// [`crate::bar::GroupedBarChart::render`] for rationale).
+    pub fn render(&self, width: usize, height: usize) -> String {
+        if let Err(e) = self.validate() {
+            return format!("[chart error: {e}]\n");
+        }
+        let (width, height) = (width.max(16), height.max(4));
+        let xmin = self.xs.iter().copied().fold(f64::MAX, f64::min);
+        let xmax = self.xs.iter().copied().fold(f64::MIN, f64::max);
+        let ys_all: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|(_, ys)| ys.iter().copied())
+            .collect();
+        let ymin = ys_all.iter().copied().fold(f64::MAX, f64::min).min(0.0);
+        let ymax = ys_all.iter().copied().fold(f64::MIN, f64::max);
+        let xspan = (xmax - xmin).max(1e-300);
+        let yspan = (ymax - ymin).max(1e-300);
+        let mut canvas = vec![vec![' '; width]; height];
+        for (si, (_, ys)) in self.series.iter().enumerate() {
+            let glyph = GLYPHS[si % GLYPHS.len()];
+            for (&x, &y) in self.xs.iter().zip(ys) {
+                let cx = (((x - xmin) / xspan) * (width - 1) as f64).round() as usize;
+                let cy = (((y - ymin) / yspan) * (height - 1) as f64).round() as usize;
+                let row = height - 1 - cy.min(height - 1);
+                canvas[row][cx.min(width - 1)] = glyph;
+            }
+        }
+        let mut out = format!("{}  ({} vs {})\n", self.title, self.y_label, self.x_label);
+        out.push_str(&format!("{ymax:>10.3} ┤"));
+        out.push_str(&canvas[0].iter().collect::<String>());
+        out.push('\n');
+        for row in canvas.iter().take(height - 1).skip(1) {
+            out.push_str(&format!("{:>10} ┤", ""));
+            out.push_str(&row.iter().collect::<String>());
+            out.push('\n');
+        }
+        out.push_str(&format!("{ymin:>10.3} ┤"));
+        out.push_str(&canvas[height - 1].iter().collect::<String>());
+        out.push('\n');
+        out.push_str(&format!(
+            "{:>11}{}{}\n",
+            "",
+            format_args!("{xmin:<.3}"),
+            format_args!("{:>width$.3}", xmax, width = width.saturating_sub(6))
+        ));
+        for (si, (name, _)) in self.series.iter().enumerate() {
+            out.push_str(&format!("  {} {}\n", GLYPHS[si % GLYPHS.len()], name));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_series_glyphs_and_legend() {
+        let mut c = LineChart::new("sweep", "batch", "tps");
+        c.set_x(vec![1.0, 2.0, 4.0, 8.0]);
+        c.add_series("h100", vec![1.0, 2.0, 3.5, 5.0]);
+        c.add_series("lite", vec![0.5, 1.0, 2.0, 4.5]);
+        let s = c.render(40, 10);
+        assert!(s.contains('*') && s.contains('o'));
+        assert!(s.contains("h100") && s.contains("lite"));
+        assert!(s.contains("sweep"));
+    }
+
+    #[test]
+    fn shape_mismatch_renders_error() {
+        let mut c = LineChart::new("bad", "x", "y");
+        c.set_x(vec![1.0, 2.0]);
+        c.add_series("s", vec![1.0]);
+        assert!(c.render(20, 5).contains("chart error"));
+    }
+
+    #[test]
+    fn flat_series_does_not_panic() {
+        let mut c = LineChart::new("flat", "x", "y");
+        c.set_x(vec![1.0, 2.0, 3.0]);
+        c.add_series("s", vec![2.0, 2.0, 2.0]);
+        let s = c.render(20, 5);
+        assert!(s.contains('*'));
+    }
+
+    #[test]
+    fn single_point_does_not_panic() {
+        let mut c = LineChart::new("pt", "x", "y");
+        c.set_x(vec![1.0]);
+        c.add_series("s", vec![1.0]);
+        let _ = c.render(20, 5);
+    }
+}

@@ -1,0 +1,153 @@
+//! Minimal self-contained SVG writer for grouped bar charts.
+//!
+//! Produces a single `<svg>` document with no external dependencies, so
+//! experiment binaries can drop vector figures under
+//! `target/experiments/` for inspection.
+
+use crate::bar::GroupedBarChart;
+use crate::Result;
+
+/// Palette for series fills.
+const COLORS: [&str; 6] = [
+    "#4878d0", "#ee854a", "#6acc64", "#d65f5f", "#956cb4", "#8c613c",
+];
+
+/// Renders a grouped bar chart to an SVG document string.
+///
+/// Layout: vertical grouped bars, y scaled to the max value, labels under
+/// each group, legend on the right.
+pub fn grouped_bar_svg(
+    chart_title: &str,
+    groups: &[String],
+    series: &[(String, Vec<f64>)],
+) -> Result<String> {
+    // Reuse GroupedBarChart's validation.
+    let mut check = GroupedBarChart::new(chart_title);
+    check.set_groups(groups.to_vec());
+    for (n, v) in series {
+        check.add_series(n.clone(), v.clone());
+    }
+    check.validate()?;
+
+    let width = 720.0;
+    let height = 360.0;
+    let margin = 50.0;
+    let plot_w = width - 2.0 * margin - 140.0; // Legend space on the right.
+    let plot_h = height - 2.0 * margin;
+    let max = series
+        .iter()
+        .flat_map(|(_, v)| v.iter().copied())
+        .fold(f64::MIN, f64::max)
+        .max(1e-300);
+    let group_w = plot_w / groups.len() as f64;
+    let bar_w = (group_w * 0.8) / series.len() as f64;
+
+    let mut svg = String::new();
+    svg.push_str(&format!(
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" viewBox="0 0 {width} {height}">"#
+    ));
+    svg.push_str(&format!(
+        r#"<text x="{}" y="20" text-anchor="middle" font-size="14" font-family="sans-serif">{}</text>"#,
+        width / 2.0,
+        xml_escape(chart_title)
+    ));
+    // Axes.
+    svg.push_str(&format!(
+        r#"<line x1="{margin}" y1="{}" x2="{}" y2="{}" stroke="black"/>"#,
+        height - margin,
+        margin + plot_w,
+        height - margin
+    ));
+    svg.push_str(&format!(
+        r#"<line x1="{margin}" y1="{margin}" x2="{margin}" y2="{}" stroke="black"/>"#,
+        height - margin
+    ));
+    // Bars.
+    for (gi, group) in groups.iter().enumerate() {
+        let gx = margin + gi as f64 * group_w + group_w * 0.1;
+        for (si, (_, values)) in series.iter().enumerate() {
+            let v = values[gi];
+            let h = (v / max) * plot_h;
+            let x = gx + si as f64 * bar_w;
+            let y = height - margin - h;
+            svg.push_str(&format!(
+                r#"<rect x="{x:.1}" y="{y:.1}" width="{:.1}" height="{h:.1}" fill="{}"/>"#,
+                bar_w * 0.9,
+                COLORS[si % COLORS.len()]
+            ));
+            svg.push_str(&format!(
+                r#"<text x="{:.1}" y="{:.1}" text-anchor="middle" font-size="8" font-family="sans-serif">{v:.2}</text>"#,
+                x + bar_w * 0.45,
+                y - 3.0
+            ));
+        }
+        svg.push_str(&format!(
+            r#"<text x="{:.1}" y="{:.1}" text-anchor="middle" font-size="11" font-family="sans-serif">{}</text>"#,
+            gx + group_w * 0.4,
+            height - margin + 16.0,
+            xml_escape(group)
+        ));
+    }
+    // Legend.
+    for (si, (name, _)) in series.iter().enumerate() {
+        let y = margin + si as f64 * 18.0;
+        let x = margin + plot_w + 16.0;
+        svg.push_str(&format!(
+            r#"<rect x="{x}" y="{y}" width="12" height="12" fill="{}"/>"#,
+            COLORS[si % COLORS.len()]
+        ));
+        svg.push_str(&format!(
+            r#"<text x="{}" y="{}" font-size="11" font-family="sans-serif">{}</text>"#,
+            x + 16.0,
+            y + 10.0,
+            xml_escape(name)
+        ));
+    }
+    svg.push_str("</svg>");
+    Ok(svg)
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (Vec<String>, Vec<(String, Vec<f64>)>) {
+        (
+            vec!["Llama3-70B".into(), "GPT3-175B".into()],
+            vec![
+                ("H100".into(), vec![1.0, 1.0]),
+                ("Lite".into(), vec![0.95, 0.84]),
+            ],
+        )
+    }
+
+    #[test]
+    fn produces_valid_looking_svg() {
+        let (g, s) = sample();
+        let svg = grouped_bar_svg("Figure 3a", &g, &s).unwrap();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert_eq!(svg.matches("<rect").count(), 4 + 2); // 4 bars + 2 legend keys.
+        assert!(svg.contains("Llama3-70B"));
+    }
+
+    #[test]
+    fn escapes_xml() {
+        let (g, s) = sample();
+        let svg = grouped_bar_svg("a < b & c", &g, &s).unwrap();
+        assert!(svg.contains("a &lt; b &amp; c"));
+    }
+
+    #[test]
+    fn shape_mismatch_propagates() {
+        let g = vec!["g1".into(), "g2".into()];
+        let s = vec![("x".into(), vec![1.0])];
+        assert!(grouped_bar_svg("bad", &g, &s).is_err());
+    }
+}

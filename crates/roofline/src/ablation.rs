@@ -1,0 +1,251 @@
+//! Sensitivity studies over the reconstructed modeling choices.
+//!
+//! DESIGN.md calls out the assumptions rebuilt from the paper's prose
+//! (overlap semantics, KV sharding policy, precision, collective
+//! constants, the 4-way split itself). Each function here sweeps one of
+//! them and reports how the Figure-3 headline numbers move, so reviewers
+//! can see exactly which conclusions are robust and which hinge on a
+//! choice.
+
+use crate::figures::{self, Figure3};
+use crate::params::{EngineParams, OverlapMode};
+use crate::{search, Result};
+use litegpu_specs::die::ShorelineBudget;
+use litegpu_specs::{GpuSpec, LiteCustomization, LiteDerivation};
+use litegpu_workload::{models, GqaPolicy, Precision};
+
+/// One ablation sample: a label and the Figure-3b normalized series for
+/// the three paper models (Lite and Lite+MemBW bars).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct AblationPoint {
+    /// What was varied.
+    pub label: String,
+    /// `Lite` normalized values per model (70B, GPT-3, 405B).
+    pub lite: Vec<f64>,
+    /// `Lite+MemBW` normalized values per model.
+    pub lite_mem_bw: Vec<f64>,
+}
+
+fn decode_point(label: impl Into<String>, fig: &Figure3) -> AblationPoint {
+    let get = |gpu: &str| -> Vec<f64> {
+        fig.models
+            .iter()
+            .map(|m| fig.point(m, gpu).map(|p| p.normalized).unwrap_or(f64::NAN))
+            .collect()
+    };
+    AblationPoint {
+        label: label.into(),
+        lite: get("Lite"),
+        lite_mem_bw: get("Lite+MemBW"),
+    }
+}
+
+/// Decode-overlap ablation: how Figure 3b moves across the three overlap
+/// semantics.
+pub fn overlap_ablation() -> Result<Vec<AblationPoint>> {
+    let mut out = Vec::new();
+    for (label, mode) in [
+        ("full-overlap", OverlapMode::Full),
+        ("serial-collectives (default)", OverlapMode::ComputeMem),
+        ("no-overlap", OverlapMode::None),
+    ] {
+        let mut p = EngineParams::paper_defaults();
+        p.decode_overlap = mode;
+        out.push(decode_point(label, &figures::figure3b(&p)?));
+    }
+    Ok(out)
+}
+
+/// KV-sharding ablation: full sharding (default, sequence-parallel
+/// attention) vs. head sharding with replication beyond the KV-head
+/// count.
+pub fn gqa_policy_ablation() -> Result<Vec<AblationPoint>> {
+    let mut out = Vec::new();
+    for (label, policy) in [
+        ("full-shard (default)", GqaPolicy::FullShard),
+        ("head-shard (replicates)", GqaPolicy::HeadShard),
+    ] {
+        let mut p = EngineParams::paper_defaults();
+        p.gqa_policy = policy;
+        out.push(decode_point(label, &figures::figure3b(&p)?));
+    }
+    Ok(out)
+}
+
+/// Precision ablation: FP8 (Table 1's 2000 TFLOPS) vs FP16.
+///
+/// FP16 halves the compute roof *and* doubles every byte, moving the
+/// memory-bound crossovers. Llama3-405B does not fit the 32-GPU Lite
+/// cluster at FP16 at all (810 GB of weights) — a finding in itself —
+/// so its column reports NaN for the FP16 row.
+pub fn precision_ablation() -> Result<Vec<AblationPoint>> {
+    let mut out = Vec::new();
+    let fig8 = figures::figure3b(&EngineParams::paper_defaults())?;
+    out.push(decode_point("fp8 (default)", &fig8));
+
+    let mut p = EngineParams::paper_defaults();
+    p.precision = Precision::Fp16;
+    p.flops_efficiency = 0.5;
+    let small_models = [models::llama3_70b(), models::gpt3_175b()];
+    let fig16 = figures::custom_figure(
+        figures::Phase::Decode,
+        &litegpu_specs::catalog::fig3b_gpu_types(),
+        &small_models,
+        &p,
+    )?;
+    let mut point = decode_point("fp16 (405B does not fit)", &fig16);
+    point.lite.push(f64::NAN);
+    point.lite_mem_bw.push(f64::NAN);
+    out.push(point);
+    Ok(out)
+}
+
+/// Collective-constant sensitivity: sweep the per-collective software
+/// overhead (the least-certain reconstructed constant).
+pub fn alpha_sensitivity(alphas_us: &[f64]) -> Result<Vec<AblationPoint>> {
+    let mut out = Vec::new();
+    for &a in alphas_us {
+        let mut p = EngineParams::paper_defaults();
+        p.alpha_sw_s = a * 1e-6;
+        out.push(decode_point(
+            format!("alpha_sw={a}us"),
+            &figures::figure3b(&p)?,
+        ));
+    }
+    Ok(out)
+}
+
+/// Split-factor study: derive 2-, 4-, 8- and 16-way Lite-GPUs (plain and
+/// +MemBW customizations) and report best decode efficiency vs. the
+/// parent on Llama3-70B. Answers "is 4 the right split?".
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SplitStudyRow {
+    /// The split factor.
+    pub split: u32,
+    /// Best plain-Lite decode tokens/s/SM normalized to the parent.
+    pub plain_efficiency: f64,
+    /// Best +MemBW decode efficiency (2x mem BW, shoreline permitting).
+    pub mem_bw_efficiency: Option<f64>,
+    /// Shoreline utilization of the +MemBW variant.
+    pub mem_bw_shoreline_util: Option<f64>,
+}
+
+/// Runs the split-factor study against a parent GPU.
+pub fn split_factor_study(parent: &GpuSpec, splits: &[u32]) -> Result<Vec<SplitStudyRow>> {
+    let params = EngineParams::paper_defaults();
+    let arch = models::llama3_70b();
+    let parent_best = search::best_decode(parent, &arch, &params)?;
+    let mut rows = Vec::new();
+    for &split in splits {
+        let derivation = LiteDerivation::new(parent.clone(), split)?;
+        let plain = derivation.base(format!("Lite/{split}"))?;
+        let plain_eff = search::best_decode(&plain, &arch, &params)?.tokens_per_s_per_sm
+            / parent_best.tokens_per_s_per_sm;
+        // +MemBW variant: only feasible if the shoreline allows 2x.
+        let custom = LiteCustomization {
+            name: format!("Lite/{split}+MemBW"),
+            mem_bw_factor: 2.0,
+            net_bw_factor: 1.0,
+            clock_factor: 1.0,
+        };
+        let (mem_bw_efficiency, mem_bw_shoreline_util) = match derivation.customized(&custom) {
+            Ok(spec) => {
+                let eff = search::best_decode(&spec, &arch, &params)?.tokens_per_s_per_sm
+                    / parent_best.tokens_per_s_per_sm;
+                let util = ShorelineBudget::for_die(&spec.die)
+                    .utilization(spec.mem_bw_gbps, spec.net_bw_gbps);
+                (Some(eff), Some(util))
+            }
+            Err(_) => (None, None),
+        };
+        rows.push(SplitStudyRow {
+            split,
+            plain_efficiency: plain_eff,
+            mem_bw_efficiency,
+            mem_bw_shoreline_util,
+        });
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use litegpu_specs::catalog;
+
+    #[test]
+    fn overlap_ablation_orders_lite_penalty() {
+        let points = overlap_ablation().unwrap();
+        assert_eq!(points.len(), 3);
+        for i in 0..3 {
+            // Full overlap is the kindest to Lite (its collectives hide);
+            // the serialized default is strictly harsher. (No-overlap is
+            // not comparable after normalization because the H100
+            // baseline also degrades.)
+            assert!(
+                points[0].lite[i] >= points[1].lite[i] - 1e-9,
+                "full >= serial at model {i}"
+            );
+            // The Lite deficit survives every overlap assumption.
+            for p in &points {
+                assert!(p.lite[i] < 1.0, "{}: model {i}", p.label);
+            }
+        }
+    }
+
+    #[test]
+    fn gqa_ablation_hits_gqa_models_only() {
+        let points = gqa_policy_ablation().unwrap();
+        let (full, head) = (&points[0], &points[1]);
+        // Llama models (GQA, 8 KV heads) degrade under head sharding...
+        assert!(head.lite[0] < full.lite[0]);
+        assert!(head.lite[2] < full.lite[2]);
+        // ...while GPT-3 (96 KV heads >= any TP degree here) is immune.
+        assert!((head.lite[1] - full.lite[1]).abs() < 0.02);
+    }
+
+    #[test]
+    fn precision_ablation_keeps_mem_bw_exceedance() {
+        let points = precision_ablation().unwrap();
+        // FP8 (the paper's setting): +MemBW exceeds H100 for both smaller
+        // models.
+        assert!(points[0].lite_mem_bw[0] > 1.0, "{:?}", points[0]);
+        assert!(points[0].lite_mem_bw[1] > 1.0, "{:?}", points[0]);
+        // FP16 doubles weights: Llama3-70B is pushed to higher TP and its
+        // exceedance erodes to ~parity, while GPT-3 (deepest memory
+        // boundedness) keeps it. A finding, not a bug: the Lite+MemBW
+        // advantage is strongest exactly where decode is most
+        // memory-bound.
+        assert!(points[1].lite_mem_bw[0] > 0.85, "{:?}", points[1]);
+        assert!(points[1].lite_mem_bw[1] > 1.0, "{:?}", points[1]);
+        assert!(points[1].lite[2].is_nan(), "fp16 405B must be marked unfit");
+    }
+
+    #[test]
+    fn alpha_sensitivity_is_monotone_for_405b() {
+        let points = alpha_sensitivity(&[0.0, 2.0, 10.0]).unwrap();
+        // Higher per-collective overhead -> worse (or equal) 405B Lite
+        // bar; small tolerance because the H100 baseline shifts too.
+        assert!(points[0].lite[2] >= points[1].lite[2] - 0.005);
+        assert!(points[1].lite[2] >= points[2].lite[2] - 0.005);
+        assert!(
+            points[0].lite[2] > points[2].lite[2],
+            "0us {} should beat 10us {}",
+            points[0].lite[2],
+            points[2].lite[2]
+        );
+    }
+
+    #[test]
+    fn split_study_shows_diminishing_returns() {
+        let rows = split_factor_study(&catalog::h100(), &[2, 4, 8]).unwrap();
+        assert_eq!(rows.len(), 3);
+        // Plain efficiency decreases with the split (more network).
+        assert!(rows[0].plain_efficiency >= rows[1].plain_efficiency);
+        assert!(rows[1].plain_efficiency >= rows[2].plain_efficiency);
+        // The 4-way +MemBW variant is feasible and beats parity.
+        let r4 = &rows[1];
+        assert!(r4.mem_bw_efficiency.unwrap() > 1.0);
+        assert!(r4.mem_bw_shoreline_util.unwrap() <= 1.0);
+    }
+}

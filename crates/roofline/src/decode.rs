@@ -1,0 +1,127 @@
+//! Decode-phase evaluation (Figure 3b).
+
+use crate::capacity;
+use crate::engine::{self, PhaseTime};
+use crate::params::EngineParams;
+use crate::{Result, RooflineError};
+use litegpu_specs::GpuSpec;
+use litegpu_workload::stage::PhaseWork;
+use litegpu_workload::{ModelArch, TensorParallel};
+
+/// A priced decode configuration.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DecodeEval {
+    /// GPU configuration name.
+    pub gpu: String,
+    /// Model name.
+    pub model: String,
+    /// GPUs in the tensor-parallel group.
+    pub gpus: u32,
+    /// Concurrent sequences in the batch.
+    pub batch: u32,
+    /// Time between tokens (one decode step), seconds.
+    pub tbt_s: f64,
+    /// Generated tokens per second (batch / TBT).
+    pub tokens_per_s: f64,
+    /// Throughput normalized by the SMs used — the paper's metric.
+    pub tokens_per_s_per_sm: f64,
+    /// Total SMs across the group.
+    pub sms_used: u32,
+    /// Full timing breakdown.
+    pub time: PhaseTime,
+}
+
+impl DecodeEval {
+    /// Whether this configuration meets the TBT SLO it was priced under.
+    pub fn meets_slo(&self, tbt_max_s: f64) -> bool {
+        self.tbt_s <= tbt_max_s
+    }
+}
+
+/// Prices one decode step for an explicit `(gpus, batch)` configuration at
+/// the steady-state context length from
+/// [`crate::params::SloConstraints::decode_context`].
+pub fn evaluate(
+    spec: &GpuSpec,
+    arch: &ModelArch,
+    gpus: u32,
+    batch: u32,
+    params: &EngineParams,
+) -> Result<DecodeEval> {
+    params.validate()?;
+    spec.validate()?;
+    let context = params.constraints.decode_context;
+    if capacity::max_batch(spec, arch, gpus, context, params) < batch {
+        return Err(RooflineError::DoesNotFit {
+            model: arch.name.clone(),
+            gpu: spec.name.clone(),
+            gpus,
+        });
+    }
+    let phase = PhaseWork::decode(arch, params.precision, batch, context)?;
+    let sharded = TensorParallel::new(gpus)?.shard_with_policy(arch, &phase, params.gqa_policy)?;
+    let time = engine::price_phase(spec, &sharded, params.decode_overlap, params)?;
+    let tokens_per_s = batch as f64 / time.total_s;
+    let sms_used = gpus * spec.sms;
+    Ok(DecodeEval {
+        gpu: spec.name.clone(),
+        model: arch.name.clone(),
+        gpus,
+        batch,
+        tbt_s: time.total_s,
+        tokens_per_s,
+        tokens_per_s_per_sm: tokens_per_s / sms_used as f64,
+        sms_used,
+        time,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Bottleneck;
+    use litegpu_specs::catalog;
+    use litegpu_workload::models;
+
+    #[test]
+    fn h100_decode_llama70_meets_tbt() {
+        let p = EngineParams::paper_defaults();
+        let e = evaluate(&catalog::h100(), &models::llama3_70b(), 2, 64, &p).unwrap();
+        assert!(e.meets_slo(0.050), "tbt = {}", e.tbt_s);
+        assert!(e.tokens_per_s > 1000.0);
+    }
+
+    #[test]
+    fn decode_memory_bound_at_moderate_batch() {
+        let p = EngineParams::paper_defaults();
+        let e = evaluate(&catalog::h100(), &models::gpt3_175b(), 8, 32, &p).unwrap();
+        assert_eq!(e.time.bound, Bottleneck::Memory);
+    }
+
+    #[test]
+    fn capacity_violation_rejected() {
+        let p = EngineParams::paper_defaults();
+        // Llama3-70B at batch 10_000 cannot fit on 8 H100s at 2000 ctx.
+        let r = evaluate(&catalog::h100(), &models::llama3_70b(), 8, 10_000, &p);
+        assert!(matches!(r, Err(RooflineError::DoesNotFit { .. })));
+    }
+
+    #[test]
+    fn mem_bw_variant_improves_decode() {
+        let p = EngineParams::paper_defaults();
+        let base = evaluate(&catalog::lite_base(), &models::gpt3_175b(), 32, 64, &p).unwrap();
+        let fat = evaluate(&catalog::lite_mem_bw(), &models::gpt3_175b(), 32, 64, &p).unwrap();
+        assert!(fat.tbt_s < base.tbt_s);
+        assert!(fat.tokens_per_s_per_sm > base.tokens_per_s_per_sm);
+    }
+
+    #[test]
+    fn tbt_grows_with_batch() {
+        let p = EngineParams::paper_defaults();
+        let small = evaluate(&catalog::h100(), &models::llama3_70b(), 4, 8, &p).unwrap();
+        let large = evaluate(&catalog::h100(), &models::llama3_70b(), 4, 256, &p).unwrap();
+        assert!(large.tbt_s > small.tbt_s);
+        // But throughput grows too (weight reads amortize).
+        assert!(large.tokens_per_s > small.tokens_per_s);
+    }
+}

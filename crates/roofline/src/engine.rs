@@ -1,0 +1,305 @@
+//! The stage-pricing engine: sharded work × GPU spec → time.
+
+use crate::params::{EngineParams, OverlapMode};
+use crate::Result;
+use litegpu_net::collective::{collective_cost, CollectiveAlgorithm, CollectiveOp};
+use litegpu_specs::GpuSpec;
+use litegpu_workload::{ShardedPhase, ShardedStage, StageKind};
+
+/// What bounds a stage or phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Bottleneck {
+    /// Tensor-core throughput.
+    Compute,
+    /// HBM bandwidth.
+    Memory,
+    /// Interconnect (collectives).
+    Network,
+}
+
+/// Priced execution of one stage on one GPU of the group.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct StageTime {
+    /// Stage identity.
+    pub kind: StageKind,
+    /// Tensor-core busy time, seconds.
+    pub compute_s: f64,
+    /// HBM transfer time, seconds.
+    pub mem_s: f64,
+    /// Collective time attached to this stage, seconds.
+    pub net_s: f64,
+    /// Stage wall-clock under the configured overlap mode, seconds.
+    pub time_s: f64,
+    /// Binding resource.
+    pub bound: Bottleneck,
+}
+
+/// Priced execution of a full phase (all layers + finals).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PhaseTime {
+    /// Per-layer stage timings.
+    pub per_layer: Vec<StageTime>,
+    /// Final-stage timings (LM head).
+    pub finals: Vec<StageTime>,
+    /// Layer count.
+    pub layers: u32,
+    /// Phase wall-clock, seconds.
+    pub total_s: f64,
+    /// Aggregate compute time, seconds (sum over layers).
+    pub compute_s: f64,
+    /// Aggregate memory time, seconds.
+    pub mem_s: f64,
+    /// Aggregate network time, seconds.
+    pub net_s: f64,
+    /// Phase-level binding resource (largest aggregate component).
+    pub bound: Bottleneck,
+}
+
+/// Prices one sharded stage on `spec`, with `group` GPUs participating in
+/// the attached collective, under an explicit overlap mode.
+pub fn price_stage(
+    spec: &GpuSpec,
+    stage: &ShardedStage,
+    group: u32,
+    overlap: OverlapMode,
+    params: &EngineParams,
+) -> Result<StageTime> {
+    let flops = spec.flops() * params.flops_efficiency;
+    let mem_bw = spec.mem_bytes_per_s() * params.mem_efficiency;
+    let compute_s = stage.per_gpu.flops / flops;
+    let mem_s = stage.per_gpu.mem_bytes() / mem_bw;
+    let net_s = if stage.all_reduce_bytes > 0.0 && group > 1 {
+        let c = collective_cost(
+            CollectiveOp::AllReduce,
+            CollectiveAlgorithm::Auto,
+            group,
+            stage.all_reduce_bytes,
+            spec.net_bytes_per_s(),
+            params.alpha_hop_s,
+        )?;
+        c.time_s + params.alpha_sw_s
+    } else {
+        0.0
+    };
+    let time_s = match overlap {
+        OverlapMode::ComputeMem => compute_s.max(mem_s) + net_s,
+        OverlapMode::Full => compute_s.max(mem_s).max(net_s),
+        OverlapMode::None => compute_s + mem_s + net_s,
+    };
+    let bound = if net_s >= compute_s && net_s >= mem_s {
+        Bottleneck::Network
+    } else if mem_s >= compute_s {
+        Bottleneck::Memory
+    } else {
+        Bottleneck::Compute
+    };
+    Ok(StageTime {
+        kind: stage.per_gpu.kind,
+        compute_s,
+        mem_s,
+        net_s,
+        time_s,
+        bound,
+    })
+}
+
+/// Prices a full sharded phase on a homogeneous group of `spec` GPUs.
+///
+/// # Examples
+///
+/// ```
+/// use litegpu_roofline::{engine, params::EngineParams};
+/// use litegpu_specs::catalog;
+/// use litegpu_workload::{models, GqaPolicy, Precision, TensorParallel};
+/// use litegpu_workload::stage::PhaseWork;
+///
+/// let arch = models::llama3_70b();
+/// let phase = PhaseWork::decode(&arch, Precision::Fp8, 16, 2000).unwrap();
+/// let sharded = TensorParallel::new(4)
+///     .unwrap()
+///     .shard_with_policy(&arch, &phase, GqaPolicy::FullShard)
+///     .unwrap();
+/// let params = EngineParams::paper_defaults();
+/// let t = engine::price_phase(&catalog::h100(), &sharded, params.decode_overlap, &params)
+///     .unwrap();
+/// assert!(t.total_s > 0.0 && t.total_s < 0.050);
+/// ```
+pub fn price_phase(
+    spec: &GpuSpec,
+    phase: &ShardedPhase,
+    overlap: OverlapMode,
+    params: &EngineParams,
+) -> Result<PhaseTime> {
+    params.validate()?;
+    let mut per_layer = Vec::with_capacity(phase.per_layer.len());
+    for s in &phase.per_layer {
+        per_layer.push(price_stage(spec, s, phase.degree, overlap, params)?);
+    }
+    let mut finals = Vec::with_capacity(phase.finals.len());
+    for s in &phase.finals {
+        finals.push(price_stage(spec, s, phase.degree, overlap, params)?);
+    }
+    let layers = phase.layers as f64;
+    let total_s = layers * per_layer.iter().map(|s| s.time_s).sum::<f64>()
+        + finals.iter().map(|s| s.time_s).sum::<f64>();
+    let compute_s = layers * per_layer.iter().map(|s| s.compute_s).sum::<f64>()
+        + finals.iter().map(|s| s.compute_s).sum::<f64>();
+    let mem_s = layers * per_layer.iter().map(|s| s.mem_s).sum::<f64>()
+        + finals.iter().map(|s| s.mem_s).sum::<f64>();
+    let net_s = layers * per_layer.iter().map(|s| s.net_s).sum::<f64>()
+        + finals.iter().map(|s| s.net_s).sum::<f64>();
+    let bound = if net_s >= compute_s && net_s >= mem_s {
+        Bottleneck::Network
+    } else if mem_s >= compute_s {
+        Bottleneck::Memory
+    } else {
+        Bottleneck::Compute
+    };
+    Ok(PhaseTime {
+        per_layer,
+        finals,
+        layers: phase.layers,
+        total_s,
+        compute_s,
+        mem_s,
+        net_s,
+        bound,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use litegpu_specs::catalog;
+    use litegpu_workload::stage::PhaseWork;
+    use litegpu_workload::{models, GqaPolicy, Precision, TensorParallel};
+    use proptest::prelude::*;
+
+    fn sharded_decode(
+        batch: u32,
+        tp: u32,
+    ) -> (litegpu_workload::ModelArch, litegpu_workload::ShardedPhase) {
+        let arch = models::llama3_70b();
+        let phase = PhaseWork::decode(&arch, Precision::Fp8, batch, 2000).unwrap();
+        let sh = TensorParallel::new(tp)
+            .unwrap()
+            .shard_with_policy(&arch, &phase, GqaPolicy::FullShard)
+            .unwrap();
+        (arch, sh)
+    }
+
+    #[test]
+    fn decode_small_batch_is_memory_bound() {
+        let (_, sh) = sharded_decode(4, 1);
+        let params = EngineParams::paper_defaults();
+        let t = price_phase(&catalog::h100(), &sh, params.decode_overlap, &params).unwrap();
+        assert_eq!(t.bound, Bottleneck::Memory);
+        // Weight-read bound: ~70 GB / 3.352 TB/s ~ 21 ms.
+        assert!(t.total_s > 0.015 && t.total_s < 0.035, "t = {}", t.total_s);
+    }
+
+    #[test]
+    fn prefill_large_batch_is_compute_bound() {
+        let arch = models::llama3_70b();
+        let phase = PhaseWork::prefill(&arch, Precision::Fp8, 4, 1500).unwrap();
+        let sh = TensorParallel::new(8)
+            .unwrap()
+            .shard_with_policy(&arch, &phase, GqaPolicy::FullShard)
+            .unwrap();
+        let params = EngineParams::paper_defaults();
+        let t = price_phase(&catalog::h100(), &sh, params.decode_overlap, &params).unwrap();
+        assert_eq!(t.bound, Bottleneck::Compute);
+    }
+
+    #[test]
+    fn single_gpu_has_no_network_time() {
+        let (_, sh) = sharded_decode(8, 1);
+        let params = EngineParams::paper_defaults();
+        let t = price_phase(&catalog::h100(), &sh, params.decode_overlap, &params).unwrap();
+        assert_eq!(t.net_s, 0.0);
+    }
+
+    #[test]
+    fn overlap_modes_are_ordered() {
+        let (_, sh) = sharded_decode(64, 8);
+        let p = EngineParams::paper_defaults();
+        let full = price_phase(&catalog::h100(), &sh, OverlapMode::Full, &p)
+            .unwrap()
+            .total_s;
+        let cm = price_phase(&catalog::h100(), &sh, OverlapMode::ComputeMem, &p)
+            .unwrap()
+            .total_s;
+        let none = price_phase(&catalog::h100(), &sh, OverlapMode::None, &p)
+            .unwrap()
+            .total_s;
+        assert!(full <= cm && cm <= none, "{full} <= {cm} <= {none}");
+    }
+
+    #[test]
+    fn lite_network_time_exceeds_h100s() {
+        // Same logical work at the same TP degree: Lite's quarter network
+        // bandwidth makes collectives slower.
+        let (_, sh) = sharded_decode(64, 8);
+        let p = EngineParams::paper_defaults();
+        let h = price_phase(&catalog::h100(), &sh, p.decode_overlap, &p).unwrap();
+        let l = price_phase(&catalog::lite_base(), &sh, p.decode_overlap, &p).unwrap();
+        assert!(l.net_s > h.net_s);
+    }
+
+    #[test]
+    fn mem_bw_variant_halves_memory_time() {
+        let (_, sh) = sharded_decode(64, 8);
+        let p = EngineParams::paper_defaults();
+        let base = price_phase(&catalog::lite_base(), &sh, p.decode_overlap, &p).unwrap();
+        let fat = price_phase(&catalog::lite_mem_bw(), &sh, p.decode_overlap, &p).unwrap();
+        let ratio = base.mem_s / fat.mem_s;
+        assert!((ratio - 2.0).abs() < 0.01, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn efficiency_factors_scale_times() {
+        let (_, sh) = sharded_decode(16, 4);
+        let mut p = EngineParams::paper_defaults();
+        let base = price_phase(&catalog::h100(), &sh, p.decode_overlap, &p).unwrap();
+        p.flops_efficiency = 0.5;
+        p.mem_efficiency = 0.5;
+        let slow = price_phase(&catalog::h100(), &sh, p.decode_overlap, &p).unwrap();
+        assert!((slow.compute_s / base.compute_s - 2.0).abs() < 1e-9);
+        assert!((slow.mem_s / base.mem_s - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_sm_memory_time_identical_h100_vs_lite() {
+        // The pivotal identity: H100 and base Lite have the same per-SM
+        // memory bandwidth, so per-SM-normalized memory-bound stage times
+        // are identical. (Total mem time at same TP differs by 4x.)
+        let h = catalog::h100();
+        let l = catalog::lite_base();
+        let h_bw_per_sm = h.mem_bytes_per_s() / h.sms as f64;
+        let l_bw_per_sm = l.mem_bytes_per_s() / l.sms as f64;
+        assert!((h_bw_per_sm / l_bw_per_sm - 1.0).abs() < 0.01);
+    }
+
+    proptest! {
+        #[test]
+        fn phase_time_at_least_each_component(batch in 1u32..256, tp in 1u32..32) {
+            let (_, sh) = sharded_decode(batch, tp);
+            let params = EngineParams::paper_defaults();
+        let t = price_phase(&catalog::h100(), &sh, params.decode_overlap, &params).unwrap();
+            prop_assert!(t.total_s >= t.compute_s - 1e-12);
+            prop_assert!(t.total_s >= t.mem_s - 1e-12);
+            prop_assert!(t.total_s >= t.net_s - 1e-12);
+            prop_assert!(t.total_s <= t.compute_s + t.mem_s + t.net_s + 1e-12);
+        }
+
+        #[test]
+        fn more_gpus_never_increase_compute_time(tp in 1u32..31) {
+            let (_, a) = sharded_decode(32, tp);
+            let (_, b) = sharded_decode(32, tp + 1);
+            let p = EngineParams::paper_defaults();
+            let ta = price_phase(&catalog::h100(), &a, p.decode_overlap, &p).unwrap();
+            let tb = price_phase(&catalog::h100(), &b, p.decode_overlap, &p).unwrap();
+            prop_assert!(tb.compute_s <= ta.compute_s + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! The Lite-GPU paper's core contribution: a roofline performance model of
+//! LLM inference on GPU clusters, plus the constrained configuration
+//! search of §4.
+//!
+//! The pipeline mirrors the paper's methodology exactly:
+//!
+//! 1. A model's prefill or decode phase is decomposed into per-layer
+//!    compute stages (projection, fused FlashAttention, MLP —
+//!    [`litegpu_workload::stage`]).
+//! 2. The stages are tensor-parallel sharded over a GPU group
+//!    ([`litegpu_workload::parallel`]), which attaches two all-reduces per
+//!    layer.
+//! 3. [`engine`] prices each stage on a [`litegpu_specs::GpuSpec`]:
+//!    compute time vs. HBM time overlap (roofline max); collective time
+//!    comes from [`litegpu_net::collective`].
+//! 4. [`capacity`] bounds feasible batch sizes (weights + KV must fit).
+//! 5. [`search`] sweeps batch size × GPU count under the Splitwise SLOs
+//!    (TTFT ≤ 1 s, TBT ≤ 50 ms) and reports the best *tokens/s/SM* — the
+//!    paper's normalized metric.
+//! 6. [`figures`] packages the Figure 3a/3b series.
+//!
+//! # Examples
+//!
+//! ```
+//! use litegpu_roofline::{params::EngineParams, search};
+//! use litegpu_specs::catalog;
+//! use litegpu_workload::models;
+//!
+//! let params = EngineParams::paper_defaults();
+//! let best = search::best_decode(&catalog::h100(), &models::llama3_70b(), &params).unwrap();
+//! assert!(best.meets_slo(params.constraints.tbt_max_s));
+//! assert!(best.tokens_per_s_per_sm > 0.0);
+//! ```
+
+pub mod ablation;
+pub mod capacity;
+pub mod decode;
+pub mod engine;
+pub mod figures;
+pub mod metrics;
+pub mod params;
+pub mod prefill;
+pub mod search;
+
+pub use engine::{Bottleneck, PhaseTime, StageTime};
+pub use params::{EngineParams, OverlapMode, SloConstraints};
+
+/// Errors produced by the roofline engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RooflineError {
+    /// A parameter was invalid.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// The model cannot fit on the given cluster at any batch size.
+    DoesNotFit {
+        /// Model name.
+        model: String,
+        /// GPU configuration name.
+        gpu: String,
+        /// GPUs in the group.
+        gpus: u32,
+    },
+    /// No configuration satisfies the latency constraints.
+    NoFeasibleConfig {
+        /// Model name.
+        model: String,
+        /// GPU configuration name.
+        gpu: String,
+    },
+    /// Underlying workload error.
+    Workload(litegpu_workload::WorkloadError),
+    /// Underlying network-model error.
+    Net(litegpu_net::NetError),
+    /// Underlying spec error.
+    Spec(litegpu_specs::SpecError),
+}
+
+impl core::fmt::Display for RooflineError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            RooflineError::InvalidParameter { name, value } => {
+                write!(f, "invalid roofline parameter {name} = {value}")
+            }
+            RooflineError::DoesNotFit { model, gpu, gpus } => {
+                write!(f, "{model} does not fit on {gpus}x {gpu}")
+            }
+            RooflineError::NoFeasibleConfig { model, gpu } => {
+                write!(f, "no feasible configuration for {model} on {gpu}")
+            }
+            RooflineError::Workload(e) => write!(f, "workload error: {e}"),
+            RooflineError::Net(e) => write!(f, "network error: {e}"),
+            RooflineError::Spec(e) => write!(f, "spec error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RooflineError {}
+
+impl From<litegpu_workload::WorkloadError> for RooflineError {
+    fn from(e: litegpu_workload::WorkloadError) -> Self {
+        RooflineError::Workload(e)
+    }
+}
+
+impl From<litegpu_net::NetError> for RooflineError {
+    fn from(e: litegpu_net::NetError) -> Self {
+        RooflineError::Net(e)
+    }
+}
+
+impl From<litegpu_specs::SpecError> for RooflineError {
+    fn from(e: litegpu_specs::SpecError) -> Self {
+        RooflineError::Spec(e)
+    }
+}
+
+/// Result alias for roofline operations.
+pub type Result<T> = core::result::Result<T, RooflineError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_and_conversions() {
+        let e = RooflineError::DoesNotFit {
+            model: "Llama3-405B".into(),
+            gpu: "Lite".into(),
+            gpus: 16,
+        };
+        assert!(e.to_string().contains("16x Lite"));
+        let w: RooflineError = litegpu_workload::WorkloadError::InvalidParameter {
+            name: "x",
+            value: 0.0,
+        }
+        .into();
+        assert!(matches!(w, RooflineError::Workload(_)));
+    }
+}

@@ -1,0 +1,166 @@
+//! Engine parameters: overlap semantics, network constants, SLOs.
+
+use litegpu_workload::{GqaPolicy, Precision};
+
+/// How compute, HBM traffic and network traffic combine within a stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum OverlapMode {
+    /// Compute and memory overlap (roofline max); the collective attached
+    /// to a stage is serialized after it. Collectives are data-dependent
+    /// on the stage output (the all-reduce cannot start before the partial
+    /// sums exist), so this is the default.
+    ComputeMem,
+    /// All three overlap: stage time = max(compute, mem, net). The paper's
+    /// most optimistic reading of "compute, memory I/O, and network I/O
+    /// can overlap within each stage", achievable with perfect
+    /// micro-batch pipelining.
+    Full,
+    /// Nothing overlaps: stage time = compute + mem + net (pessimistic
+    /// bound, useful as an ablation).
+    None,
+}
+
+/// The §4 latency SLOs and workload shape (Splitwise-derived).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SloConstraints {
+    /// Time-to-first-token bound, seconds (paper: 1 s).
+    pub ttft_max_s: f64,
+    /// Time-between-tokens bound, seconds (paper: 50 ms).
+    pub tbt_max_s: f64,
+    /// Prompt length, tokens (paper: 1500, the production median for
+    /// coding).
+    pub prompt_len: u32,
+    /// Decode context length the steady-state step is priced at
+    /// (prompt + half of a typical generation).
+    pub decode_context: u32,
+}
+
+impl Default for SloConstraints {
+    fn default() -> Self {
+        Self {
+            ttft_max_s: 1.0,
+            tbt_max_s: 0.050,
+            prompt_len: 1500,
+            decode_context: 2000,
+        }
+    }
+}
+
+/// All knobs of the roofline engine, with paper-faithful defaults.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct EngineParams {
+    /// Numeric precision (paper: FP8; Table 1's 2000 TFLOPS).
+    pub precision: Precision,
+    /// Overlap semantics for prefill. Default [`OverlapMode::Full`]:
+    /// prefill batches split into micro-batches, so a layer's collective
+    /// overlaps the next micro-batch's compute — the standard pipelined
+    /// Megatron schedule, and the paper's "compute, memory I/O, and
+    /// network I/O can overlap within each stage".
+    pub prefill_overlap: OverlapMode,
+    /// Overlap semantics for decode. Default [`OverlapMode::ComputeMem`]:
+    /// a decode step's collectives sit on the token's critical path (the
+    /// all-reduce needs the stage output), so they serialize.
+    pub decode_overlap: OverlapMode,
+    /// KV-cache sharding policy (paper: full sharding — see
+    /// [`GqaPolicy::FullShard`]).
+    pub gqa_policy: GqaPolicy,
+    /// Fixed software overhead per collective, seconds (kernel launch +
+    /// protocol).
+    pub alpha_sw_s: f64,
+    /// Per-hop link/switch latency inside a collective step, seconds.
+    pub alpha_hop_s: f64,
+    /// Fraction of HBM withheld from weights+KV (activations, fragmentation,
+    /// runtime).
+    pub hbm_reserve_frac: f64,
+    /// Achievable fraction of peak FLOPS on dense GEMMs (MFU ceiling).
+    pub flops_efficiency: f64,
+    /// Achievable fraction of peak HBM bandwidth.
+    pub mem_efficiency: f64,
+    /// Latency constraints and workload shape.
+    pub constraints: SloConstraints,
+}
+
+impl EngineParams {
+    /// The defaults used to reproduce the paper's Figure 3.
+    pub fn paper_defaults() -> Self {
+        Self {
+            precision: Precision::Fp8,
+            prefill_overlap: OverlapMode::Full,
+            decode_overlap: OverlapMode::ComputeMem,
+            gqa_policy: GqaPolicy::FullShard,
+            alpha_sw_s: 2.0e-6,
+            alpha_hop_s: 0.5e-6,
+            hbm_reserve_frac: 0.05,
+            flops_efficiency: 1.0,
+            mem_efficiency: 1.0,
+            constraints: SloConstraints::default(),
+        }
+    }
+
+    /// Validates the parameter ranges.
+    pub fn validate(&self) -> crate::Result<()> {
+        for (name, v, lo, hi) in [
+            ("alpha_sw_s", self.alpha_sw_s, 0.0, 1.0),
+            ("alpha_hop_s", self.alpha_hop_s, 0.0, 1.0),
+            ("hbm_reserve_frac", self.hbm_reserve_frac, 0.0, 0.9),
+            ("flops_efficiency", self.flops_efficiency, 0.01, 1.0),
+            ("mem_efficiency", self.mem_efficiency, 0.01, 1.0),
+            (
+                "ttft_max_s",
+                self.constraints.ttft_max_s,
+                1e-6,
+                f64::INFINITY,
+            ),
+            ("tbt_max_s", self.constraints.tbt_max_s, 1e-6, f64::INFINITY),
+        ] {
+            if !v.is_finite() && hi.is_finite() || v < lo || v > hi {
+                return Err(crate::RooflineError::InvalidParameter { name, value: v });
+            }
+        }
+        if self.constraints.prompt_len == 0 || self.constraints.decode_context == 0 {
+            return Err(crate::RooflineError::InvalidParameter {
+                name: "prompt_len/decode_context",
+                value: 0.0,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Default for EngineParams {
+    fn default() -> Self {
+        Self::paper_defaults()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_section4() {
+        let p = EngineParams::paper_defaults();
+        assert_eq!(p.constraints.ttft_max_s, 1.0);
+        assert_eq!(p.constraints.tbt_max_s, 0.050);
+        assert_eq!(p.constraints.prompt_len, 1500);
+        assert_eq!(p.precision, Precision::Fp8);
+        assert_eq!(p.gqa_policy, GqaPolicy::FullShard);
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn validation_rejects_out_of_range() {
+        let mut p = EngineParams::paper_defaults();
+        p.hbm_reserve_frac = 0.95;
+        assert!(p.validate().is_err());
+        let mut p = EngineParams::paper_defaults();
+        p.flops_efficiency = 0.0;
+        assert!(p.validate().is_err());
+        let mut p = EngineParams::paper_defaults();
+        p.constraints.prompt_len = 0;
+        assert!(p.validate().is_err());
+        let mut p = EngineParams::paper_defaults();
+        p.alpha_sw_s = -1.0;
+        assert!(p.validate().is_err());
+    }
+}

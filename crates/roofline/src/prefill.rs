@@ -1,0 +1,123 @@
+//! Prefill-phase evaluation (Figure 3a).
+
+use crate::capacity;
+use crate::engine::{self, PhaseTime};
+use crate::params::EngineParams;
+use crate::{Result, RooflineError};
+use litegpu_specs::GpuSpec;
+use litegpu_workload::stage::PhaseWork;
+use litegpu_workload::{ModelArch, TensorParallel};
+
+/// A priced prefill configuration.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PrefillEval {
+    /// GPU configuration name.
+    pub gpu: String,
+    /// Model name.
+    pub model: String,
+    /// GPUs in the tensor-parallel group.
+    pub gpus: u32,
+    /// Concurrent prompts in the batch.
+    pub batch: u32,
+    /// Time to first token for the batch, seconds.
+    pub ttft_s: f64,
+    /// Prompt tokens processed per second.
+    pub tokens_per_s: f64,
+    /// Throughput normalized by the SMs used — the paper's metric.
+    pub tokens_per_s_per_sm: f64,
+    /// Total SMs across the group.
+    pub sms_used: u32,
+    /// Full timing breakdown.
+    pub time: PhaseTime,
+}
+
+impl PrefillEval {
+    /// Whether this configuration meets the TTFT SLO it was priced under.
+    pub fn meets_slo(&self, ttft_max_s: f64) -> bool {
+        self.ttft_s <= ttft_max_s
+    }
+}
+
+/// Prices prefill for an explicit `(gpus, batch)` configuration.
+///
+/// Returns [`RooflineError::DoesNotFit`] when weights plus the prompt KV
+/// cache exceed the group's HBM.
+pub fn evaluate(
+    spec: &GpuSpec,
+    arch: &ModelArch,
+    gpus: u32,
+    batch: u32,
+    params: &EngineParams,
+) -> Result<PrefillEval> {
+    params.validate()?;
+    spec.validate()?;
+    let prompt = params.constraints.prompt_len;
+    if capacity::max_batch(spec, arch, gpus, prompt, params) < batch {
+        return Err(RooflineError::DoesNotFit {
+            model: arch.name.clone(),
+            gpu: spec.name.clone(),
+            gpus,
+        });
+    }
+    let phase = PhaseWork::prefill(arch, params.precision, batch, prompt)?;
+    let sharded = TensorParallel::new(gpus)?.shard_with_policy(arch, &phase, params.gqa_policy)?;
+    let time = engine::price_phase(spec, &sharded, params.prefill_overlap, params)?;
+    let tokens = batch as f64 * prompt as f64;
+    let tokens_per_s = tokens / time.total_s;
+    let sms_used = gpus * spec.sms;
+    Ok(PrefillEval {
+        gpu: spec.name.clone(),
+        model: arch.name.clone(),
+        gpus,
+        batch,
+        ttft_s: time.total_s,
+        tokens_per_s,
+        tokens_per_s_per_sm: tokens_per_s / sms_used as f64,
+        sms_used,
+        time,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use litegpu_specs::catalog;
+    use litegpu_workload::models;
+
+    #[test]
+    fn h100_single_gpu_prefill_llama70() {
+        let p = EngineParams::paper_defaults();
+        let e = evaluate(&catalog::h100(), &models::llama3_70b(), 1, 1, &p).unwrap();
+        // One prompt: ~2*70e9*1500 FLOPs / 2e15 ~ 105 ms, plus attention.
+        assert!(e.ttft_s > 0.08 && e.ttft_s < 0.25, "ttft = {}", e.ttft_s);
+        assert!(e.meets_slo(1.0));
+        assert_eq!(e.sms_used, 132);
+    }
+
+    #[test]
+    fn capacity_violation_is_does_not_fit() {
+        let p = EngineParams::paper_defaults();
+        let r = evaluate(&catalog::lite_base(), &models::llama3_405b(), 8, 1, &p);
+        assert!(matches!(r, Err(RooflineError::DoesNotFit { .. })));
+    }
+
+    #[test]
+    fn ttft_scales_roughly_linearly_with_batch() {
+        let p = EngineParams::paper_defaults();
+        let e1 = evaluate(&catalog::h100(), &models::llama3_70b(), 4, 1, &p).unwrap();
+        let e4 = evaluate(&catalog::h100(), &models::llama3_70b(), 4, 4, &p).unwrap();
+        let ratio = e4.ttft_s / e1.ttft_s;
+        assert!(ratio > 3.0 && ratio < 4.5, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn throughput_per_sm_comparable_across_gpu_counts_when_compute_bound() {
+        // Prefill is compute-bound, so per-SM throughput should be within
+        // ~2x across group sizes for H100 (network erodes it slowly).
+        let p = EngineParams::paper_defaults();
+        let e1 = evaluate(&catalog::h100(), &models::llama3_70b(), 1, 2, &p).unwrap();
+        let e8 = evaluate(&catalog::h100(), &models::llama3_70b(), 8, 16, &p).unwrap();
+        let ratio = e1.tokens_per_s_per_sm / e8.tokens_per_s_per_sm;
+        assert!(ratio > 0.8 && ratio < 2.0, "ratio = {ratio}");
+    }
+}

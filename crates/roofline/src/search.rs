@@ -1,0 +1,189 @@
+//! The §4 configuration search: sweep batch size × GPU count under the
+//! latency SLOs, maximize tokens/s/SM.
+//!
+//! "The search sweeps all possible batch sizes and number of GPUs for each
+//! GPU type. ... For each GPU type, we plot the configuration with the
+//! highest throughput per SM. Note that while we sweep up to the maximum
+//! number of GPUs per cluster ... the search may return that running a
+//! model with less GPUs than the maximum yields better throughput per SM."
+
+use crate::params::EngineParams;
+use crate::{capacity, decode, prefill, Result, RooflineError};
+use litegpu_specs::GpuSpec;
+use litegpu_workload::ModelArch;
+
+/// Batch sizes to evaluate in `[1, max]`: a dense log-spaced integer grid
+/// plus the capacity maximum itself (where tokens/s/SM often peaks).
+pub fn batch_grid(max: u32) -> Vec<u32> {
+    if max == 0 {
+        return Vec::new();
+    }
+    let mut grid = Vec::new();
+    let mut b = 1.0f64;
+    while (b as u32) < max {
+        grid.push(b as u32);
+        // ~12 points per octave at small sizes, coarser later.
+        b = (b * 1.18).max(b + 1.0);
+    }
+    grid.push(max);
+    grid.dedup();
+    grid
+}
+
+/// Best prefill configuration for a GPU type on a model, by tokens/s/SM,
+/// subject to TTFT ≤ `params.constraints.ttft_max_s`.
+pub fn best_prefill(
+    spec: &GpuSpec,
+    arch: &ModelArch,
+    params: &EngineParams,
+) -> Result<prefill::PrefillEval> {
+    params.validate()?;
+    let mut best: Option<prefill::PrefillEval> = None;
+    let mut fits_anywhere = false;
+    for gpus in 1..=spec.max_gpus {
+        let bmax = capacity::max_batch(spec, arch, gpus, params.constraints.prompt_len, params);
+        if bmax == 0 {
+            continue;
+        }
+        fits_anywhere = true;
+        for batch in batch_grid(bmax) {
+            let eval = prefill::evaluate(spec, arch, gpus, batch, params)?;
+            if !eval.meets_slo(params.constraints.ttft_max_s) {
+                // TTFT grows with batch; larger batches at this GPU count
+                // will also fail.
+                break;
+            }
+            if best
+                .as_ref()
+                .map(|b| eval.tokens_per_s_per_sm > b.tokens_per_s_per_sm)
+                .unwrap_or(true)
+            {
+                best = Some(eval);
+            }
+        }
+    }
+    best.ok_or_else(|| {
+        if fits_anywhere {
+            RooflineError::NoFeasibleConfig {
+                model: arch.name.clone(),
+                gpu: spec.name.clone(),
+            }
+        } else {
+            RooflineError::DoesNotFit {
+                model: arch.name.clone(),
+                gpu: spec.name.clone(),
+                gpus: spec.max_gpus,
+            }
+        }
+    })
+}
+
+/// Best decode configuration for a GPU type on a model, by tokens/s/SM,
+/// subject to TBT ≤ `params.constraints.tbt_max_s`.
+pub fn best_decode(
+    spec: &GpuSpec,
+    arch: &ModelArch,
+    params: &EngineParams,
+) -> Result<decode::DecodeEval> {
+    params.validate()?;
+    let mut best: Option<decode::DecodeEval> = None;
+    let mut fits_anywhere = false;
+    for gpus in 1..=spec.max_gpus {
+        let bmax = capacity::max_batch(spec, arch, gpus, params.constraints.decode_context, params);
+        if bmax == 0 {
+            continue;
+        }
+        fits_anywhere = true;
+        for batch in batch_grid(bmax) {
+            let eval = decode::evaluate(spec, arch, gpus, batch, params)?;
+            if !eval.meets_slo(params.constraints.tbt_max_s) {
+                // TBT grows with batch; stop this GPU count.
+                break;
+            }
+            if best
+                .as_ref()
+                .map(|b| eval.tokens_per_s_per_sm > b.tokens_per_s_per_sm)
+                .unwrap_or(true)
+            {
+                best = Some(eval);
+            }
+        }
+    }
+    best.ok_or_else(|| {
+        if fits_anywhere {
+            RooflineError::NoFeasibleConfig {
+                model: arch.name.clone(),
+                gpu: spec.name.clone(),
+            }
+        } else {
+            RooflineError::DoesNotFit {
+                model: arch.name.clone(),
+                gpu: spec.name.clone(),
+                gpus: spec.max_gpus,
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use litegpu_specs::catalog;
+    use litegpu_workload::models;
+
+    #[test]
+    fn grid_is_sorted_unique_and_covers_range() {
+        for max in [1u32, 2, 7, 100, 5000] {
+            let g = batch_grid(max);
+            assert_eq!(g.first(), Some(&1));
+            assert_eq!(g.last(), Some(&max));
+            for w in g.windows(2) {
+                assert!(w[0] < w[1], "grid not strictly increasing at {w:?}");
+            }
+        }
+        assert!(batch_grid(0).is_empty());
+    }
+
+    #[test]
+    fn best_prefill_h100_llama70_meets_slo() {
+        let p = EngineParams::paper_defaults();
+        let best = best_prefill(&catalog::h100(), &models::llama3_70b(), &p).unwrap();
+        assert!(best.ttft_s <= 1.0);
+        assert!(best.tokens_per_s_per_sm > 0.0);
+    }
+
+    #[test]
+    fn best_decode_h100_llama70_meets_slo() {
+        let p = EngineParams::paper_defaults();
+        let best = best_decode(&catalog::h100(), &models::llama3_70b(), &p).unwrap();
+        assert!(best.tbt_s <= 0.050);
+        assert!(best.batch >= 1);
+    }
+
+    #[test]
+    fn lite_405b_requires_many_gpus() {
+        let p = EngineParams::paper_defaults();
+        let best = best_decode(&catalog::lite_base(), &models::llama3_405b(), &p).unwrap();
+        assert!(best.gpus >= 22, "gpus = {}", best.gpus);
+    }
+
+    #[test]
+    fn search_may_prefer_fewer_gpus_than_max() {
+        // The paper notes the search can return fewer GPUs than the
+        // cluster maximum; H100 decode of Llama3-70B is one such case.
+        let p = EngineParams::paper_defaults();
+        let best = best_decode(&catalog::h100(), &models::llama3_70b(), &p).unwrap();
+        assert!(best.gpus <= 8);
+    }
+
+    #[test]
+    fn infeasible_model_reports_does_not_fit() {
+        let p = EngineParams::paper_defaults();
+        let mut tiny = catalog::lite_base();
+        tiny.max_gpus = 4;
+        assert!(matches!(
+            best_decode(&tiny, &models::llama3_405b(), &p),
+            Err(RooflineError::DoesNotFit { .. })
+        ));
+    }
+}

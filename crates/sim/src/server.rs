@@ -1,0 +1,178 @@
+//! Model-instance timing: a tensor-parallel GPU group whose step costs
+//! come from the roofline engine.
+
+use crate::des::{secs, SimTime};
+use crate::Result;
+use litegpu_roofline::{capacity, decode, prefill, EngineParams};
+use litegpu_specs::GpuSpec;
+use litegpu_workload::{kv, ModelArch};
+use std::collections::HashMap;
+
+/// Timing oracle for one instance configuration (GPU type × group size ×
+/// model). Results are memoized per batch size — the simulator calls these
+/// on every step.
+#[derive(Debug, Clone)]
+pub struct InstanceModel {
+    /// GPU type.
+    pub spec: GpuSpec,
+    /// GPUs in the instance.
+    pub gpus: u32,
+    /// Model served.
+    pub arch: ModelArch,
+    /// Engine parameters (precision, SLOs, overlap).
+    pub params: EngineParams,
+    /// Maximum concurrent sequences (KV capacity at the steady-state
+    /// context).
+    pub max_batch: u32,
+    prefill_cache: HashMap<u32, SimTime>,
+    decode_cache: HashMap<u32, SimTime>,
+}
+
+impl InstanceModel {
+    /// Builds the oracle; fails when the model cannot fit on the group.
+    pub fn new(spec: GpuSpec, gpus: u32, arch: ModelArch, params: EngineParams) -> Result<Self> {
+        let max_batch = capacity::max_batch(
+            &spec,
+            &arch,
+            gpus,
+            params.constraints.decode_context,
+            &params,
+        );
+        if max_batch == 0 {
+            return Err(crate::SimError::Roofline(
+                litegpu_roofline::RooflineError::DoesNotFit {
+                    model: arch.name.clone(),
+                    gpu: spec.name.clone(),
+                    gpus,
+                },
+            ));
+        }
+        Ok(Self {
+            spec,
+            gpus,
+            arch,
+            params,
+            max_batch,
+            prefill_cache: HashMap::new(),
+            decode_cache: HashMap::new(),
+        })
+    }
+
+    /// Time to prefill a batch of prompts (at the workload prompt length).
+    pub fn prefill_time(&mut self, batch: u32) -> Result<SimTime> {
+        let batch = batch.clamp(1, self.max_batch);
+        if let Some(&t) = self.prefill_cache.get(&batch) {
+            return Ok(t);
+        }
+        let eval = prefill::evaluate(&self.spec, &self.arch, self.gpus, batch, &self.params)?;
+        let t = secs(eval.ttft_s).max(1);
+        self.prefill_cache.insert(batch, t);
+        Ok(t)
+    }
+
+    /// Time for one decode step over `batch` running sequences.
+    pub fn decode_step_time(&mut self, batch: u32) -> Result<SimTime> {
+        let batch = batch.clamp(1, self.max_batch);
+        if let Some(&t) = self.decode_cache.get(&batch) {
+            return Ok(t);
+        }
+        let eval = decode::evaluate(&self.spec, &self.arch, self.gpus, batch, &self.params)?;
+        let t = secs(eval.tbt_s).max(1);
+        self.decode_cache.insert(batch, t);
+        Ok(t)
+    }
+
+    /// Time to stream one request's KV cache to another instance
+    /// (Splitwise's prefill→decode hand-off): each of the `gpus` shards
+    /// moves in parallel over the per-GPU link.
+    pub fn kv_transfer_time(&self, prompt_len: u32) -> SimTime {
+        let bytes = kv::bytes_per_token(&self.arch, self.params.precision) * prompt_len as f64;
+        let per_gpu = bytes / self.gpus as f64;
+        secs(per_gpu / self.spec.net_bytes_per_s()).max(1)
+    }
+}
+
+/// A sequence being served.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ActiveSeq {
+    /// Originating request id.
+    pub id: u64,
+    /// Arrival time of the request.
+    pub arrival: SimTime,
+    /// Prompt length, tokens.
+    pub prompt_len: u32,
+    /// Output tokens still to generate.
+    pub remaining: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use litegpu_roofline::EngineParams;
+    use litegpu_specs::catalog;
+    use litegpu_workload::models;
+
+    fn model() -> InstanceModel {
+        InstanceModel::new(
+            catalog::h100(),
+            2,
+            models::llama3_70b(),
+            EngineParams::paper_defaults(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn too_small_group_rejected() {
+        let r = InstanceModel::new(
+            catalog::lite_base(),
+            2,
+            models::llama3_70b(),
+            EngineParams::paper_defaults(),
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn prefill_time_grows_with_batch() {
+        let mut m = model();
+        let t1 = m.prefill_time(1).unwrap();
+        let t8 = m.prefill_time(8).unwrap();
+        assert!(t8 > t1);
+        // Cache hit returns the same value.
+        assert_eq!(m.prefill_time(8).unwrap(), t8);
+    }
+
+    #[test]
+    fn decode_step_in_tens_of_ms() {
+        let mut m = model();
+        let t = m.decode_step_time(32).unwrap();
+        assert!(t > 1_000 && t < 100_000, "t = {t} µs");
+    }
+
+    #[test]
+    fn batch_clamped_to_capacity() {
+        let mut m = model();
+        let cap = m.max_batch;
+        assert_eq!(
+            m.decode_step_time(cap).unwrap(),
+            m.decode_step_time(cap + 1000).unwrap()
+        );
+    }
+
+    #[test]
+    fn kv_transfer_faster_on_bigger_groups() {
+        let m2 = model();
+        let m4 = InstanceModel::new(
+            catalog::h100(),
+            4,
+            models::llama3_70b(),
+            EngineParams::paper_defaults(),
+        )
+        .unwrap();
+        assert!(m4.kv_transfer_time(1500) < m2.kv_transfer_time(1500));
+        // Llama3-70B KV at 1500 tokens is ~0.25 GB; over 2x450 GB/s this
+        // is sub-millisecond.
+        assert!(m2.kv_transfer_time(1500) < 1_000);
+    }
+}

@@ -1,0 +1,135 @@
+//! Online statistics: percentiles, counters, SLO attainment.
+
+/// A sample collector with percentile queries.
+#[derive(Debug, Clone, Default)]
+pub struct Samples {
+    values: Vec<f64>,
+}
+
+impl Samples {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: f64) {
+        if v.is_finite() {
+            self.values.push(v);
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Mean of the samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.values.iter().sum::<f64>() / self.values.len() as f64
+        }
+    }
+
+    /// The `p`-th percentile (nearest-rank; `p` in `[0, 100]`; 0 when
+    /// empty).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use litegpu_sim::stats::Samples;
+    /// let mut s = Samples::new();
+    /// for v in [1.0, 2.0, 3.0, 4.0] { s.record(v); }
+    /// assert_eq!(s.percentile(50.0), 2.0);
+    /// assert_eq!(s.percentile(100.0), 4.0);
+    /// ```
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        let p = p.clamp(0.0, 100.0);
+        let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+        sorted[rank - 1]
+    }
+
+    /// Fraction of samples at or below `threshold` (SLO attainment).
+    pub fn attainment(&self, threshold: f64) -> f64 {
+        if self.values.is_empty() {
+            return 1.0;
+        }
+        self.values.iter().filter(|&&v| v <= threshold).count() as f64 / self.values.len() as f64
+    }
+
+    /// Maximum sample (0 when empty).
+    pub fn max(&self) -> f64 {
+        self.values.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_stats_are_zeroes() {
+        let s = Samples::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.percentile(50.0), 0.0);
+        assert_eq!(s.attainment(1.0), 1.0);
+        assert_eq!(s.max(), 0.0);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let mut s = Samples::new();
+        for v in 1..=100 {
+            s.record(v as f64);
+        }
+        assert_eq!(s.percentile(50.0), 50.0);
+        assert_eq!(s.percentile(99.0), 99.0);
+        assert_eq!(s.percentile(0.0), 1.0);
+        assert_eq!(s.percentile(100.0), 100.0);
+    }
+
+    #[test]
+    fn attainment_counts_threshold() {
+        let mut s = Samples::new();
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            s.record(v);
+        }
+        assert_eq!(s.attainment(2.0), 0.5);
+        assert_eq!(s.attainment(0.5), 0.0);
+        assert_eq!(s.attainment(10.0), 1.0);
+    }
+
+    #[test]
+    fn non_finite_samples_ignored() {
+        let mut s = Samples::new();
+        s.record(f64::NAN);
+        s.record(f64::INFINITY);
+        s.record(1.0);
+        assert_eq!(s.len(), 1);
+    }
+
+    proptest! {
+        #[test]
+        fn percentile_monotone(vals in proptest::collection::vec(0.0..1e6f64, 1..200),
+                               p1 in 0.0..100.0f64, p2 in 0.0..100.0f64) {
+            let mut s = Samples::new();
+            for v in vals { s.record(v); }
+            let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+            prop_assert!(s.percentile(lo) <= s.percentile(hi));
+        }
+    }
+}

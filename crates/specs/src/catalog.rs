@@ -1,0 +1,302 @@
+//! Concrete GPU catalogs: the H100 baseline, the paper's Table 1
+//! configurations, and the GPU-generation history behind Figure 1.
+
+use crate::gpu::GpuSpec;
+use litegpu_fab::wafer::DieGeometry;
+
+/// H100 die area, mm² (Hopper GH100).
+pub const H100_DIE_AREA_MM2: f64 = 814.0;
+
+/// H100 die aspect ratio (width/height) used for geometry modeling.
+pub const H100_DIE_ASPECT: f64 = 1.1;
+
+fn h100_die() -> DieGeometry {
+    DieGeometry::with_aspect(H100_DIE_AREA_MM2, H100_DIE_ASPECT)
+        .expect("H100 die constants are valid")
+}
+
+fn lite_die() -> DieGeometry {
+    h100_die()
+        .shrink(4)
+        .expect("shrink(4) of a valid die is valid")
+}
+
+/// NVIDIA H100 SXM, the paper's baseline GPU (Table 1 row 1).
+///
+/// 2000 TFLOPS is the FP8 dense figure the paper uses; 132 SMs; 80 GB HBM3
+/// at 3352 GB/s; 450 GB/s per-direction NVLink; clusters of up to 8.
+pub fn h100() -> GpuSpec {
+    GpuSpec {
+        name: "H100".to_string(),
+        tflops: 2000.0,
+        sms: 132,
+        mem_capacity_gb: 80.0,
+        mem_bw_gbps: 3352.0,
+        net_bw_gbps: 450.0,
+        max_gpus: 8,
+        tdp_w: 700.0,
+        idle_power_w: 75.0,
+        die: h100_die(),
+        dies_per_package: 1,
+    }
+}
+
+/// "Lite" (Table 1 row 2): H100 scaled to 1/4 in every capability.
+pub fn lite_base() -> GpuSpec {
+    GpuSpec {
+        name: "Lite".to_string(),
+        tflops: 500.0,
+        sms: 33,
+        mem_capacity_gb: 20.0,
+        mem_bw_gbps: 838.0,
+        net_bw_gbps: 112.5,
+        max_gpus: 32,
+        tdp_w: 175.0,
+        idle_power_w: 19.0,
+        die: lite_die(),
+        dies_per_package: 1,
+    }
+}
+
+/// "Lite+NetBW" (Table 1 row 3): network bandwidth doubled to 225 GB/s.
+pub fn lite_net_bw() -> GpuSpec {
+    let mut s = lite_base().renamed("Lite+NetBW");
+    s.net_bw_gbps = 225.0;
+    s
+}
+
+/// "Lite+NetBW+FLOPS" (Table 1 row 4): network doubled, sustained FLOPS
+/// raised 10% by overclocking (easier cooling), memory bandwidth halved to
+/// 419 GB/s — shoreline spent on network and compute instead of HBM.
+pub fn lite_net_bw_flops() -> GpuSpec {
+    let mut s = lite_base().renamed("Lite+NetBW+FLOPS");
+    s.tflops = 550.0;
+    s.net_bw_gbps = 225.0;
+    s.mem_bw_gbps = 419.0;
+    // Overclocking raises sustained power draw; cubic DVFS over the
+    // dynamic fraction (see crate::power) gives ~+25% at +10% clock.
+    s.tdp_w = 219.0;
+    s
+}
+
+/// "Lite+MemBW" (Table 1 row 5): memory bandwidth doubled to 1675 GB/s,
+/// spending the extra shoreline on HBM PHYs.
+pub fn lite_mem_bw() -> GpuSpec {
+    let mut s = lite_base().renamed("Lite+MemBW");
+    s.mem_bw_gbps = 1675.0;
+    s
+}
+
+/// "Lite+MemBW+NetBW" (Table 1 row 6): memory and network both doubled —
+/// the variant that uses the full 2× shoreline budget.
+pub fn lite_mem_bw_net_bw() -> GpuSpec {
+    let mut s = lite_base().renamed("Lite+MemBW+NetBW");
+    s.mem_bw_gbps = 1675.0;
+    s.net_bw_gbps = 225.0;
+    s
+}
+
+/// The complete Table 1, in the paper's row order.
+pub fn table1() -> Vec<GpuSpec> {
+    vec![
+        h100(),
+        lite_base(),
+        lite_net_bw(),
+        lite_net_bw_flops(),
+        lite_mem_bw(),
+        lite_mem_bw_net_bw(),
+    ]
+}
+
+/// The GPU types compared in Figure 3a (prefill).
+pub fn fig3a_gpu_types() -> Vec<GpuSpec> {
+    vec![h100(), lite_base(), lite_net_bw(), lite_net_bw_flops()]
+}
+
+/// The GPU types compared in Figure 3b (decode).
+pub fn fig3b_gpu_types() -> Vec<GpuSpec> {
+    vec![h100(), lite_base(), lite_mem_bw(), lite_mem_bw_net_bw()]
+}
+
+/// One point in the Figure 1 GPU-evolution timeline.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct GpuGeneration {
+    /// Product name.
+    pub name: &'static str,
+    /// Launch year.
+    pub year: u32,
+    /// Compute dies per package.
+    pub compute_dies: u32,
+    /// Total transistors, billions.
+    pub transistors_b: f64,
+    /// Total compute-silicon area per package, mm².
+    pub die_area_mm2: f64,
+    /// TDP, W.
+    pub tdp_w: f64,
+    /// HBM capacity, GB.
+    pub hbm_gb: f64,
+    /// HBM bandwidth, GB/s.
+    pub hbm_bw_gbps: f64,
+    /// Dense FP16-class TFLOPS (for cross-generation comparability).
+    pub fp16_tflops: f64,
+    /// Whether the package needs liquid cooling at reference density.
+    pub liquid_cooled: bool,
+}
+
+/// The GPU-evolution timeline behind Figure 1: ever larger, denser, hotter
+/// packages — followed by the Lite-GPU alternative point.
+pub fn generations() -> Vec<GpuGeneration> {
+    vec![
+        GpuGeneration {
+            name: "P100",
+            year: 2016,
+            compute_dies: 1,
+            transistors_b: 15.3,
+            die_area_mm2: 610.0,
+            tdp_w: 300.0,
+            hbm_gb: 16.0,
+            hbm_bw_gbps: 732.0,
+            fp16_tflops: 21.2,
+            liquid_cooled: false,
+        },
+        GpuGeneration {
+            name: "V100",
+            year: 2017,
+            compute_dies: 1,
+            transistors_b: 21.1,
+            die_area_mm2: 815.0,
+            tdp_w: 300.0,
+            hbm_gb: 32.0,
+            hbm_bw_gbps: 900.0,
+            fp16_tflops: 125.0,
+            liquid_cooled: false,
+        },
+        GpuGeneration {
+            name: "A100",
+            year: 2020,
+            compute_dies: 1,
+            transistors_b: 54.2,
+            die_area_mm2: 826.0,
+            tdp_w: 400.0,
+            hbm_gb: 80.0,
+            hbm_bw_gbps: 2039.0,
+            fp16_tflops: 312.0,
+            liquid_cooled: false,
+        },
+        GpuGeneration {
+            name: "H100",
+            year: 2022,
+            compute_dies: 1,
+            transistors_b: 80.0,
+            die_area_mm2: 814.0,
+            tdp_w: 700.0,
+            hbm_gb: 80.0,
+            hbm_bw_gbps: 3352.0,
+            fp16_tflops: 1000.0,
+            liquid_cooled: false,
+        },
+        GpuGeneration {
+            name: "B200",
+            year: 2024,
+            compute_dies: 2,
+            transistors_b: 208.0,
+            die_area_mm2: 1600.0,
+            tdp_w: 1000.0,
+            hbm_gb: 192.0,
+            hbm_bw_gbps: 8000.0,
+            fp16_tflops: 2250.0,
+            liquid_cooled: true,
+        },
+        GpuGeneration {
+            name: "Lite-H100 (proposed)",
+            year: 2027,
+            compute_dies: 1,
+            transistors_b: 20.0,
+            die_area_mm2: 203.5,
+            tdp_w: 175.0,
+            hbm_gb: 20.0,
+            hbm_bw_gbps: 838.0,
+            fp16_tflops: 250.0,
+            liquid_cooled: false,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper_exactly() {
+        let t = table1();
+        let expect: [(&str, f64, f64, f64, f64, u32); 6] = [
+            ("H100", 2000.0, 80.0, 3352.0, 450.0, 8),
+            ("Lite", 500.0, 20.0, 838.0, 112.5, 32),
+            ("Lite+NetBW", 500.0, 20.0, 838.0, 225.0, 32),
+            ("Lite+NetBW+FLOPS", 550.0, 20.0, 419.0, 225.0, 32),
+            ("Lite+MemBW", 500.0, 20.0, 1675.0, 112.5, 32),
+            ("Lite+MemBW+NetBW", 500.0, 20.0, 1675.0, 225.0, 32),
+        ];
+        assert_eq!(t.len(), expect.len());
+        for (spec, (name, tflops, cap, mem, net, maxg)) in t.iter().zip(expect) {
+            assert_eq!(spec.name, name);
+            assert_eq!(spec.tflops, tflops, "{name} TFLOPS");
+            assert_eq!(spec.mem_capacity_gb, cap, "{name} capacity");
+            assert_eq!(spec.mem_bw_gbps, mem, "{name} mem BW");
+            assert_eq!(spec.net_bw_gbps, net, "{name} net BW");
+            assert_eq!(spec.max_gpus, maxg, "{name} max GPUs");
+        }
+    }
+
+    #[test]
+    fn all_catalog_specs_validate() {
+        for s in table1() {
+            s.validate().unwrap_or_else(|e| panic!("{}: {e}", s.name));
+        }
+    }
+
+    #[test]
+    fn sm_budget_matches() {
+        // 32 Lite GPUs carry the same total SMs as 8 H100s (132*8 = 33*32).
+        let h = h100();
+        let l = lite_base();
+        assert_eq!(h.sms * h.max_gpus, l.sms * l.max_gpus);
+    }
+
+    #[test]
+    fn lite_variants_fit_shoreline() {
+        use crate::die::ShorelineBudget;
+        for s in table1().iter().skip(1) {
+            let b = ShorelineBudget::for_die(&s.die);
+            b.check_allocation(s.mem_bw_gbps, s.net_bw_gbps)
+                .unwrap_or_else(|e| panic!("{}: {e}", s.name));
+        }
+    }
+
+    #[test]
+    fn figure3_groups() {
+        let names: Vec<_> = fig3a_gpu_types().iter().map(|s| s.name.clone()).collect();
+        assert_eq!(names, ["H100", "Lite", "Lite+NetBW", "Lite+NetBW+FLOPS"]);
+        let names: Vec<_> = fig3b_gpu_types().iter().map(|s| s.name.clone()).collect();
+        assert_eq!(names, ["H100", "Lite", "Lite+MemBW", "Lite+MemBW+NetBW"]);
+    }
+
+    #[test]
+    fn generations_are_chronological_and_growing() {
+        let g = generations();
+        // Drop the final speculative Lite point for the growth check.
+        let real = &g[..g.len() - 1];
+        for w in real.windows(2) {
+            assert!(w[0].year <= w[1].year);
+            assert!(w[0].transistors_b < w[1].transistors_b);
+            assert!(w[0].tdp_w <= w[1].tdp_w);
+        }
+        // The story of Figure 1: the newest package is multi-die and liquid
+        // cooled; the Lite proposal is neither.
+        let b200 = &real[real.len() - 1];
+        assert!(b200.compute_dies > 1 && b200.liquid_cooled);
+        let lite = g.last().unwrap();
+        assert_eq!(lite.compute_dies, 1);
+        assert!(!lite.liquid_cooled);
+    }
+}

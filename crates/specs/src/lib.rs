@@ -1,0 +1,132 @@
+//! GPU hardware descriptions for the `litegpu` suite.
+//!
+//! This crate models the *hardware vocabulary* of the Lite-GPU paper
+//! (HotOS '25): GPU specifications ([`gpu::GpuSpec`]), die geometry and the
+//! shoreline (perimeter) bandwidth budget ([`die`]), the derivation of
+//! Lite-GPU variants from a parent GPU ([`lite`]), power/DVFS models
+//! ([`power`]), cooling feasibility ([`cooling`]) and the concrete catalogs
+//! used by the paper's evaluation ([`catalog`]): NVIDIA H100 as baseline,
+//! the six Table 1 configurations, and the GPU-generation history behind
+//! Figure 1.
+//!
+//! # Examples
+//!
+//! ```
+//! use litegpu_specs::catalog;
+//!
+//! let h100 = catalog::h100();
+//! let lite = catalog::lite_base();
+//! // A Lite-GPU is 1/4 of an H100 in compute, capacity and bandwidth.
+//! assert_eq!(h100.sms, 4 * lite.sms);
+//! assert!((h100.mem_bw_gbps / lite.mem_bw_gbps - 4.0).abs() < 0.01);
+//! ```
+
+pub mod catalog;
+pub mod cooling;
+pub mod die;
+pub mod gpu;
+pub mod lite;
+pub mod power;
+pub mod units;
+
+pub use die::ShorelineBudget;
+pub use gpu::GpuSpec;
+pub use lite::{LiteCustomization, LiteDerivation};
+
+/// Errors produced by spec construction and derivation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpecError {
+    /// A parameter was non-positive or non-finite.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A bandwidth allocation exceeds the die's shoreline budget.
+    ShorelineExceeded {
+        /// Requested total off-die bandwidth, GB/s.
+        requested_gbps: f64,
+        /// Available shoreline budget, GB/s.
+        budget_gbps: f64,
+    },
+    /// A requested sustained clock exceeds the cooling envelope.
+    CoolingExceeded {
+        /// Power the configuration would draw, W.
+        power_w: f64,
+        /// Maximum power removable by the cooling class, W.
+        limit_w: f64,
+    },
+    /// Underlying fab-model error.
+    Fab(litegpu_fab::FabError),
+}
+
+impl core::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SpecError::InvalidParameter { name, value } => {
+                write!(f, "invalid spec parameter {name} = {value}")
+            }
+            SpecError::ShorelineExceeded {
+                requested_gbps,
+                budget_gbps,
+            } => write!(
+                f,
+                "requested off-die bandwidth {requested_gbps} GB/s exceeds shoreline budget \
+                 {budget_gbps} GB/s"
+            ),
+            SpecError::CoolingExceeded { power_w, limit_w } => {
+                write!(f, "power {power_w} W exceeds cooling limit {limit_w} W")
+            }
+            SpecError::Fab(e) => write!(f, "fab error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl From<litegpu_fab::FabError> for SpecError {
+    fn from(e: litegpu_fab::FabError) -> Self {
+        SpecError::Fab(e)
+    }
+}
+
+/// Result alias for spec operations.
+pub type Result<T> = core::result::Result<T, SpecError>;
+
+pub(crate) fn check_positive(name: &'static str, value: f64) -> Result<f64> {
+    if value.is_finite() && value > 0.0 {
+        Ok(value)
+    } else {
+        Err(SpecError::InvalidParameter { name, value })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        let e = SpecError::ShorelineExceeded {
+            requested_gbps: 2000.0,
+            budget_gbps: 1900.0,
+        };
+        assert!(e.to_string().contains("shoreline"));
+        let e = SpecError::CoolingExceeded {
+            power_w: 800.0,
+            limit_w: 700.0,
+        };
+        assert!(e.to_string().contains("cooling"));
+    }
+
+    #[test]
+    fn fab_error_converts() {
+        let fab = litegpu_fab::FabError::InvalidParameter {
+            name: "x",
+            value: 0.0,
+        };
+        let spec: SpecError = fab.into();
+        assert!(matches!(spec, SpecError::Fab(_)));
+    }
+}

@@ -1,0 +1,94 @@
+//! Transformer/LLM workload models for the `litegpu` suite.
+//!
+//! The Lite-GPU paper's evaluation (§4) roofline-models LLM inference over
+//! three public models (Llama3-70B, GPT3-175B, Llama3-405B). This crate is
+//! the workload side of that model:
+//!
+//! - [`arch`]: transformer architecture descriptions and parameter counts.
+//! - [`models`]: the concrete architectures the paper evaluates.
+//! - [`precision`]: numeric formats (the paper's Table 1 implies FP8).
+//! - [`stage`]: per-stage FLOP and byte accounting for prefill and decode —
+//!   "the modeling measures compute stages individually, including
+//!   projection, MLP, and fused FlashAttention" (§4).
+//! - [`kv`]: KV-cache sizing.
+//! - [`parallel`]: tensor-parallel sharding of stage work, including the
+//!   KV-head replication that kicks in when the TP degree exceeds the
+//!   number of KV heads (the "increased memory access intensities" effect
+//!   in Figure 3b).
+//!
+//! # Examples
+//!
+//! ```
+//! use litegpu_workload::models;
+//!
+//! let llama70 = models::llama3_70b();
+//! let params = llama70.total_params();
+//! assert!((params / 1e9 - 70.0).abs() < 2.0, "got {} B params", params / 1e9);
+//! ```
+
+pub mod arch;
+pub mod kv;
+pub mod models;
+pub mod parallel;
+pub mod precision;
+pub mod stage;
+
+pub use arch::{MlpKind, ModelArch};
+pub use parallel::{GqaPolicy, ShardedPhase, ShardedStage, TensorParallel};
+pub use precision::Precision;
+pub use stage::{PhaseWork, StageKind, StageWork};
+
+/// Errors produced by workload construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadError {
+    /// A parameter was zero/negative where positive is required.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// Attention head bookkeeping is inconsistent (e.g. heads not divisible
+    /// by KV heads).
+    InconsistentHeads {
+        /// Query heads.
+        heads: u32,
+        /// KV heads.
+        kv_heads: u32,
+    },
+}
+
+impl core::fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            WorkloadError::InvalidParameter { name, value } => {
+                write!(f, "invalid workload parameter {name} = {value}")
+            }
+            WorkloadError::InconsistentHeads { heads, kv_heads } => {
+                write!(
+                    f,
+                    "query heads {heads} not divisible by KV heads {kv_heads}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}
+
+/// Result alias for workload operations.
+pub type Result<T> = core::result::Result<T, WorkloadError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        let e = WorkloadError::InconsistentHeads {
+            heads: 10,
+            kv_heads: 3,
+        };
+        assert!(e.to_string().contains("divisible"));
+    }
+}

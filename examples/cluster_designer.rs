@@ -1,0 +1,98 @@
+//! Design-space exploration: sweep split factors and shoreline
+//! customizations, report economics + performance for each candidate.
+//!
+//! Run with `cargo run --release --example cluster_designer`.
+
+use litegpu_repro::fab::yield_model::YieldModel;
+use litegpu_repro::plot::table::TextTable;
+use litegpu_repro::prelude::*;
+
+fn main() {
+    // Part 1: how does the split factor trade yield against network scale?
+    println!("== Split-factor sweep (plain 1/n Lite-GPUs) ==");
+    let mut t = TextTable::new(&[
+        "split",
+        "die mm²",
+        "yield",
+        "gain",
+        "fleet size",
+        "decode eff",
+        "prefill eff",
+    ]);
+    for split in [2u32, 4, 8] {
+        let designer = ClusterDesigner {
+            split,
+            ..ClusterDesigner::paper_default()
+        };
+        match designer.design() {
+            Ok(d) => {
+                let y = YieldModel::Poisson.yield_fraction(d.lite.die.area_mm2(), 0.1);
+                let gain = YieldModel::Poisson.split_yield_gain(814.0, 0.1, split);
+                t.row_owned(vec![
+                    split.to_string(),
+                    format!("{:.0}", d.lite.die.area_mm2()),
+                    format!("{y:.2}"),
+                    format!("{gain:.2}x"),
+                    d.lite.max_gpus.to_string(),
+                    format!("{:.2}", d.decode_efficiency_vs_parent),
+                    format!("{:.2}", d.prefill_efficiency_vs_parent),
+                ]);
+            }
+            Err(e) => {
+                t.row_owned(vec![split.to_string(), format!("error: {e}")]);
+            }
+        }
+    }
+    println!("{}", t.render());
+
+    // Part 2: customization sweep at the paper's 4-way split.
+    println!("== Customization sweep (4-way split) ==");
+    let mut t = TextTable::new(&[
+        "variant",
+        "mem GB/s",
+        "net GB/s",
+        "TFLOPS",
+        "TDP W",
+        "shoreline",
+        "decode eff",
+        "prefill eff",
+    ]);
+    let candidates = [
+        ("Lite", 1.0, 1.0, 1.0),
+        ("Lite+NetBW", 1.0, 2.0, 1.0),
+        ("Lite+MemBW", 2.0, 1.0, 1.0),
+        ("Lite+MemBW+NetBW", 2.0, 2.0, 1.0),
+        ("Lite+NetBW+FLOPS", 0.5, 2.0, 1.1),
+        ("Lite+OC1.2", 1.0, 1.0, 1.2),
+    ];
+    for (name, mem, net, clock) in candidates {
+        let designer = ClusterDesigner {
+            customization: LiteCustomization {
+                name: name.into(),
+                mem_bw_factor: mem,
+                net_bw_factor: net,
+                clock_factor: clock,
+            },
+            ..ClusterDesigner::paper_default()
+        };
+        match designer.design() {
+            Ok(d) => {
+                t.row_owned(vec![
+                    name.to_string(),
+                    format!("{:.0}", d.lite.mem_bw_gbps),
+                    format!("{:.1}", d.lite.net_bw_gbps),
+                    format!("{:.0}", d.lite.tflops),
+                    format!("{:.0}", d.lite.tdp_w),
+                    format!("{:.0}%", d.shoreline_utilization * 100.0),
+                    format!("{:.2}", d.decode_efficiency_vs_parent),
+                    format!("{:.2}", d.prefill_efficiency_vs_parent),
+                ]);
+            }
+            Err(e) => {
+                t.row_owned(vec![name.to_string(), format!("infeasible: {e}")]);
+            }
+        }
+    }
+    println!("{}", t.render());
+    println!("(efficiency = best tokens/s/SM on Llama3-70B, normalized to the H100 cluster)");
+}

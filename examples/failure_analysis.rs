@@ -1,0 +1,78 @@
+//! Blast-radius and hot-spare analysis: how many spares does each cluster
+//! type need, and what do they cost?
+//!
+//! Run with `cargo run --release --example failure_analysis`.
+
+use litegpu_repro::cluster::failure::{
+    monte_carlo_availability, spares_for_target, ClusterReliability, FailureModel,
+};
+use litegpu_repro::plot::table::TextTable;
+use litegpu_repro::specs::catalog;
+
+fn main() {
+    let fm = FailureModel::default_for(&catalog::h100());
+
+    println!("== Deterministic reliability (per 4-instance serving fleet) ==");
+    let mut t = TextTable::new(&["metric", "8x H100/inst", "32x Lite/inst"]);
+    let h = ClusterReliability::new(catalog::h100(), 32, fm).expect("valid");
+    let l = ClusterReliability::new(catalog::lite_base(), 128, fm).expect("valid");
+    t.row_owned(vec![
+        "blast radius".into(),
+        format!("{:.2}% of fleet", h.blast_radius_fraction() * 100.0),
+        format!("{:.2}% of fleet", l.blast_radius_fraction() * 100.0),
+    ]);
+    t.row_owned(vec![
+        "failures/year".into(),
+        format!("{:.2}", h.failures_per_year()),
+        format!("{:.2}", l.failures_per_year()),
+    ]);
+    t.row_owned(vec![
+        "avail. FLOPS".into(),
+        format!("{:.4}%", h.expected_available_flops_fraction() * 100.0),
+        format!("{:.4}%", l.expected_available_flops_fraction() * 100.0),
+    ]);
+    println!("{}", t.render());
+
+    println!("== Availability vs spare count (Monte Carlo, 200 sim-years) ==");
+    let mut t = TextTable::new(&[
+        "spares",
+        "H100 availability",
+        "Lite availability",
+        "H100 ovh",
+        "Lite ovh",
+    ]);
+    for spares in [0u32, 1, 2, 4] {
+        let mh = monte_carlo_availability(&catalog::h100(), &fm, 4, 8, spares, 200.0, 42)
+            .expect("valid");
+        let ml = monte_carlo_availability(&catalog::lite_base(), &fm, 4, 32, spares, 200.0, 42)
+            .expect("valid");
+        t.row_owned(vec![
+            spares.to_string(),
+            format!("{:.5}", mh.instance_availability),
+            format!("{:.5}", ml.instance_availability),
+            format!("{:.2}%", mh.spare_overhead * 100.0),
+            format!("{:.2}%", ml.spare_overhead * 100.0),
+        ]);
+    }
+    println!("{}", t.render());
+
+    println!("== Spares needed for 99.99% instance availability ==");
+    for (name, gpu, k) in [
+        ("H100", catalog::h100(), 8u32),
+        ("Lite", catalog::lite_base(), 32u32),
+    ] {
+        match spares_for_target(&gpu, &fm, 4, k, 0.9999, 200.0, 42) {
+            Ok((spares, achieved, overhead)) => println!(
+                "  {name}: {spares} spare unit(s) -> availability {achieved:.5}, \
+                 fleet overhead {:.2}% (unit = 1 {name} GPU)",
+                overhead * 100.0
+            ),
+            Err(e) => println!("  {name}: {e}"),
+        }
+    }
+    println!();
+    println!(
+        "A Lite spare unit is ~1/4 the silicon and a fraction of the cost of an H100 spare:\n\
+         equal unit counts protect equally but cost 4x less fleet capacity."
+    );
+}

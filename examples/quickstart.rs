@@ -1,0 +1,76 @@
+//! Quickstart: design a Lite-GPU, check the paper's headline numbers.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use litegpu_repro::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Derive a Lite-GPU: one H100 split four ways.
+    let designer = ClusterDesigner::paper_default();
+    let design = designer.design()?;
+
+    println!(
+        "Parent : {} ({} SMs, {:.0} W)",
+        design.parent.name, design.parent.sms, design.parent.tdp_w
+    );
+    println!(
+        "Lite   : {} ({} SMs, {:.0} W)",
+        design.lite.name, design.lite.sms, design.lite.tdp_w
+    );
+    println!();
+    println!(
+        "yield gain              : {:.2}x  (paper: ~1.8x)",
+        design.manufacturing.yield_gain
+    );
+    println!(
+        "compute-silicon saving  : {:.0}%   (paper: ~50%)",
+        design.manufacturing.silicon_saving * 100.0
+    );
+    println!("blast-radius improvement: {:.0}x", design.blast_radius_gain);
+    println!(
+        "cooling class           : {:?} (sustained clock up to {:.2}x)",
+        design.cooling.class, design.cooling.max_sustained_clock
+    );
+    println!(
+        "decode efficiency       : {:.2}x of H100 per SM",
+        design.decode_efficiency_vs_parent
+    );
+    println!(
+        "prefill efficiency      : {:.2}x of H100 per SM",
+        design.prefill_efficiency_vs_parent
+    );
+
+    // 2. The customized variant the paper recommends for decode.
+    let designer = ClusterDesigner {
+        customization: LiteCustomization {
+            name: "Lite+MemBW".into(),
+            mem_bw_factor: 2.0,
+            net_bw_factor: 1.0,
+            clock_factor: 1.0,
+        },
+        ..ClusterDesigner::paper_default()
+    };
+    let membw = designer.design()?;
+    println!();
+    println!(
+        "Lite+MemBW decode efficiency: {:.2}x of H100 per SM (spends the doubled shoreline on HBM)",
+        membw.decode_efficiency_vs_parent
+    );
+
+    // 3. One Figure-3 row straight from the roofline search.
+    let params = EngineParams::paper_defaults();
+    let best = litegpu_repro::roofline::search::best_decode(
+        &catalog::lite_mem_bw(),
+        &models::llama3_70b(),
+        &params,
+    )?;
+    println!();
+    println!(
+        "Best Llama3-70B decode on Lite+MemBW: {} GPUs, batch {}, TBT {:.1} ms, {:.0} tok/s",
+        best.gpus,
+        best.batch,
+        best.tbt_s * 1e3,
+        best.tokens_per_s
+    );
+    Ok(())
+}

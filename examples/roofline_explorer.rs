@@ -1,0 +1,81 @@
+//! Roofline explorer: sweep batch size for one model/GPU pair and watch
+//! the bottleneck migrate from memory to compute to network.
+//!
+//! Run with `cargo run --release --example roofline_explorer [model]`
+//! where `model` is one of `llama70`, `gpt3`, `llama405` (default
+//! `llama70`).
+
+use litegpu_repro::plot::line::LineChart;
+use litegpu_repro::plot::table::TextTable;
+use litegpu_repro::prelude::*;
+use litegpu_repro::roofline::{capacity, decode};
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "llama70".into());
+    let arch = match arg.as_str() {
+        "gpt3" => models::gpt3_175b(),
+        "llama405" => models::llama3_405b(),
+        _ => models::llama3_70b(),
+    };
+    let params = EngineParams::paper_defaults();
+    println!("== Decode batch sweep: {} ==", arch.name);
+
+    let mut xs = Vec::new();
+    let mut series: Vec<(String, Vec<f64>)> = Vec::new();
+    for spec in [
+        catalog::h100(),
+        catalog::lite_base(),
+        catalog::lite_mem_bw(),
+    ] {
+        let gpus = (1..=spec.max_gpus)
+            .find(|&g| capacity::max_batch(&spec, &arch, g, 2000, &params) >= 64)
+            .unwrap_or(spec.max_gpus);
+        let bmax = capacity::max_batch(&spec, &arch, gpus, 2000, &params);
+        let mut t = TextTable::new(&["batch", "TBT ms", "tok/s", "tok/s/SM", "bound"]);
+        let mut ys = Vec::new();
+        let mut batches = Vec::new();
+        let mut b = 1u32;
+        while b <= bmax {
+            if let Ok(e) = decode::evaluate(&spec, &arch, gpus, b, &params) {
+                t.row_owned(vec![
+                    b.to_string(),
+                    format!("{:.2}", e.tbt_s * 1e3),
+                    format!("{:.0}", e.tokens_per_s),
+                    format!("{:.2}", e.tokens_per_s_per_sm),
+                    format!("{:?}", e.time.bound),
+                ]);
+                batches.push(b as f64);
+                ys.push(e.tokens_per_s_per_sm);
+            }
+            b = (b * 2).max(b + 1);
+        }
+        println!(
+            "-- {} ({} GPUs, capacity {} seqs) --",
+            spec.name, gpus, bmax
+        );
+        println!("{}", t.render());
+        if xs.is_empty() || batches.len() > xs.len() {
+            xs = batches.clone();
+        }
+        ys.resize(xs.len().max(ys.len()), *ys.last().unwrap_or(&0.0));
+        series.push((spec.name.clone(), ys));
+    }
+
+    // Align series lengths for the chart (pad short ones with their last
+    // value so all share the x axis).
+    let n = xs.len();
+    for (_, ys) in &mut series {
+        let last = *ys.last().unwrap_or(&0.0);
+        ys.resize(n, last);
+    }
+    let mut chart = LineChart::new(
+        format!("{} decode efficiency vs batch", arch.name),
+        "batch (log steps)",
+        "tokens/s/SM",
+    );
+    chart.set_x((0..n).map(|i| i as f64).collect());
+    for (name, ys) in series {
+        chart.add_series(name, ys);
+    }
+    println!("{}", chart.render(60, 14));
+}

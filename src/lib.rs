@@ -1,0 +1,21 @@
+//! Workspace umbrella crate for the `litegpu` suite.
+//!
+//! This crate exists so that the repository root can host the workspace-wide
+//! `examples/` and `tests/` directories. It re-exports the public crates so
+//! examples can write `use litegpu_repro::prelude::*;` or address each crate
+//! directly.
+
+pub use litegpu;
+pub use litegpu_cluster as cluster;
+pub use litegpu_fab as fab;
+pub use litegpu_net as net;
+pub use litegpu_plot as plot;
+pub use litegpu_roofline as roofline;
+pub use litegpu_sim as sim;
+pub use litegpu_specs as specs;
+pub use litegpu_workload as workload;
+
+/// Convenience re-exports of the most commonly used types across the suite.
+pub mod prelude {
+    pub use litegpu::prelude::*;
+}

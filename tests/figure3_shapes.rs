@@ -1,0 +1,190 @@
+//! Integration tests pinning the qualitative shapes of the paper's
+//! Figure 3 — the reproduction's core contract.
+//!
+//! Absolute numbers depend on the authors' unpublished spreadsheet; these
+//! tests assert the *orderings and crossovers* the paper reports:
+//! who wins, roughly by how much, and in which direction each Table-1
+//! customization moves each phase.
+
+use litegpu_roofline::{figures, EngineParams};
+
+fn fig3a() -> figures::Figure3 {
+    figures::figure3a(&EngineParams::paper_defaults()).expect("figure 3a must generate")
+}
+
+fn fig3b() -> figures::Figure3 {
+    figures::figure3b(&EngineParams::paper_defaults()).expect("figure 3b must generate")
+}
+
+#[test]
+fn prefill_h100_is_the_normalization_baseline() {
+    let f = fig3a();
+    for m in &f.models {
+        let h = f.point(m, "H100").expect("H100 bar");
+        assert!((h.normalized - 1.0).abs() < 1e-9, "{m}");
+    }
+}
+
+#[test]
+fn prefill_lite_underperforms_and_degrades_with_model_size() {
+    // Paper: "As the model sizes grow, the 'Lite' cluster underperforms
+    // due to increased collectives causing network bottlenecks."
+    let f = fig3a();
+    let series: Vec<f64> = f
+        .models
+        .iter()
+        .map(|m| f.point(m, "Lite").unwrap().normalized)
+        .collect();
+    for (i, v) in series.iter().enumerate() {
+        assert!(*v < 1.0, "Lite prefill must trail H100 ({i}: {v})");
+    }
+    assert!(
+        series[0] > series[2],
+        "degradation grows with model size: {series:?}"
+    );
+}
+
+#[test]
+fn prefill_net_bw_compensates() {
+    // Paper: "Increasing the network bandwidth compensates the increased
+    // network demand."
+    let f = fig3a();
+    for m in &f.models {
+        let lite = f.point(m, "Lite").unwrap().normalized;
+        let netbw = f.point(m, "Lite+NetBW").unwrap().normalized;
+        assert!(netbw > lite, "{m}: +NetBW {netbw} must beat Lite {lite}");
+        assert!(
+            netbw > 0.85,
+            "{m}: +NetBW should roughly recover parity, got {netbw}"
+        );
+    }
+}
+
+#[test]
+fn prefill_overclocking_improves_further() {
+    // Paper: "overclocking improves performance further as prefill
+    // workloads are compute-bound."
+    let f = fig3a();
+    for m in &f.models {
+        let netbw = f.point(m, "Lite+NetBW").unwrap().normalized;
+        let flops = f.point(m, "Lite+NetBW+FLOPS").unwrap().normalized;
+        assert!(
+            flops > netbw,
+            "{m}: +FLOPS {flops} must beat +NetBW {netbw}"
+        );
+    }
+    // For the smallest model the overclocked variant beats the H100.
+    let best = f
+        .point("Llama3-70B", "Lite+NetBW+FLOPS")
+        .unwrap()
+        .normalized;
+    assert!(best > 1.0, "70B +FLOPS should exceed parity, got {best}");
+}
+
+#[test]
+fn decode_lite_underperforms_and_degrades_with_model_size() {
+    // Paper: "As model sizes and thus the number of required GPUs grow,
+    // the 'Lite' cluster underperforms."
+    let f = fig3b();
+    let series: Vec<f64> = f
+        .models
+        .iter()
+        .map(|m| f.point(m, "Lite").unwrap().normalized)
+        .collect();
+    for v in &series {
+        assert!(*v < 1.0, "Lite decode must trail H100: {series:?}");
+    }
+    assert!(
+        series[0] > series[2],
+        "biggest model degrades most: {series:?}"
+    );
+}
+
+#[test]
+fn decode_mem_bw_exceeds_h100_for_gqa_and_mha_midsize() {
+    // Paper: "As Lite-GPUs utilize their available shoreline for more
+    // memory bandwidth, performance improves and exceeds the current H100
+    // cluster." Our model reproduces the exceedance for Llama3-70B and
+    // GPT3-175B; Llama3-405B recovers but stays network-limited (see
+    // EXPERIMENTS.md for the documented deviation).
+    let f = fig3b();
+    for m in ["Llama3-70B", "GPT3-175B"] {
+        let lite = f.point(m, "Lite").unwrap().normalized;
+        let membw = f.point(m, "Lite+MemBW").unwrap().normalized;
+        assert!(membw > lite, "{m}: +MemBW must improve on Lite");
+        assert!(membw > 1.0, "{m}: +MemBW must exceed H100, got {membw}");
+    }
+    let v405 = f.point("Llama3-405B", "Lite+MemBW").unwrap().normalized;
+    let l405 = f.point("Llama3-405B", "Lite").unwrap().normalized;
+    assert!(v405 > l405, "405B: +MemBW still improves on Lite");
+}
+
+#[test]
+fn decode_adding_net_bw_helps_more() {
+    let f = fig3b();
+    for m in &f.models {
+        let membw = f.point(m, "Lite+MemBW").unwrap().normalized;
+        let both = f.point(m, "Lite+MemBW+NetBW").unwrap().normalized;
+        assert!(both >= membw, "{m}: +NetBW on top must not hurt");
+    }
+}
+
+#[test]
+fn decode_slos_respected_by_all_best_configs() {
+    let f = fig3b();
+    for p in &f.points {
+        assert!(
+            p.latency_s <= 0.050 + 1e-9,
+            "{} on {}: TBT {}",
+            p.model,
+            p.gpu,
+            p.latency_s
+        );
+    }
+}
+
+#[test]
+fn prefill_slos_respected_by_all_best_configs() {
+    let f = fig3a();
+    for p in &f.points {
+        assert!(
+            p.latency_s <= 1.0 + 1e-9,
+            "{} on {}: TTFT {}",
+            p.model,
+            p.gpu,
+            p.latency_s
+        );
+    }
+}
+
+#[test]
+fn lite_configs_use_more_gpus_than_h100() {
+    // The scale-of-distribution point of §3: the same model spreads over
+    // more (smaller) devices.
+    let f = fig3b();
+    for m in &f.models {
+        let h = f.point(m, "H100").unwrap().gpus;
+        let l = f.point(m, "Lite").unwrap().gpus;
+        assert!(
+            l > h,
+            "{m}: Lite best config must use more GPUs ({l} vs {h})"
+        );
+    }
+}
+
+#[test]
+fn search_sometimes_prefers_fewer_gpus_than_max() {
+    // Paper: "the search may return that running a model with less GPUs
+    // than the maximum yields better throughput per SM."
+    let f3a = fig3a();
+    let f3b = fig3b();
+    let any_below_max = f3a
+        .points
+        .iter()
+        .chain(f3b.points.iter())
+        .any(|p| p.gpu == "H100" && p.gpus < 8);
+    assert!(
+        any_below_max,
+        "expected at least one sub-maximal H100 config"
+    );
+}
