@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Full CI gate for the litegpu workspace. Mirrors .github/workflows/ci.yml.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q (workspace)"
+cargo test --workspace -q
+
+echo "CI gate passed."

@@ -1,0 +1,53 @@
+//! Criterion benchmarks for the sharded fleet engine's hot loop:
+//! simulated instance-ticks per second at 1 shard/thread vs. many, plus
+//! the step-cost table build that fronts every run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use litegpu_fleet::{run_sharded, FleetConfig};
+use litegpu_roofline::{EngineParams, StepCostTable};
+
+fn bench_cfg() -> FleetConfig {
+    let mut cfg = FleetConfig::lite_demo();
+    cfg.instances = 200;
+    cfg.cell_size = 10;
+    cfg.horizon_s = 600.0;
+    cfg.failure_acceleration = 20_000.0;
+    cfg
+}
+
+fn bench_fleet_hot_loop(c: &mut Criterion) {
+    let cfg = bench_cfg();
+    let ticks = cfg.num_ticks() as u64 * cfg.instances as u64;
+    let mut group = c.benchmark_group("fleet");
+    group.sample_size(10);
+    // 200 instances x 600 s = 120k instance-ticks per iteration.
+    group.bench_function(format!("sim_{ticks}_instance_ticks_1_shard"), |b| {
+        b.iter(|| run_sharded(&cfg, 42, 1, 1).unwrap())
+    });
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get() as u32)
+        .unwrap_or(1);
+    group.bench_function(
+        format!("sim_{ticks}_instance_ticks_{threads}_threads"),
+        |b| b.iter(|| run_sharded(&cfg, 42, cfg.num_cells(), threads).unwrap()),
+    );
+    group.finish();
+}
+
+fn bench_stepcost_build(c: &mut Criterion) {
+    let params = EngineParams::paper_defaults();
+    c.bench_function("stepcost_table_build_lite_tp8", |b| {
+        b.iter(|| {
+            StepCostTable::build(
+                &litegpu_specs::catalog::lite_base(),
+                &litegpu_workload::models::llama3_70b(),
+                8,
+                &params,
+            )
+            .unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench_fleet_hot_loop, bench_stepcost_build);
+criterion_main!(benches);

@@ -1,0 +1,150 @@
+//! Fleet-scale serving simulation: thousands of instances over days of
+//! simulated time, H100-class vs Lite-GPU fleets.
+//!
+//! Emits one deterministic `FleetReport` JSON per fleet to stdout and to
+//! `target/experiments/fleet_<name>.json`. The same seed produces
+//! byte-identical JSON at any `--shards`/`--threads` setting.
+//!
+//! ```text
+//! sim_fleet [--gpu h100|lite|both] [--instances N] [--hours H]
+//!           [--rate R] [--accel A] [--spares-per-cell N] [--cell-size N]
+//!           [--tick S] [--seed N] [--shards N] [--threads N] [--quiet-json]
+//! ```
+
+use litegpu_fleet::{run_sharded, FleetConfig};
+
+struct Args {
+    gpu: String,
+    instances: u32,
+    hours: f64,
+    rate: f64,
+    accel: f64,
+    spares_per_cell: u32,
+    cell_size: u32,
+    tick: f64,
+    seed: u64,
+    shards: u32,
+    threads: u32,
+    quiet_json: bool,
+}
+
+fn parse_args() -> Args {
+    let mut a = Args {
+        gpu: "both".into(),
+        instances: 1000,
+        hours: 24.0,
+        rate: 1.5,
+        accel: 200.0,
+        spares_per_cell: 1,
+        cell_size: 20,
+        tick: 1.0,
+        seed: 42,
+        shards: 0,
+        threads: 0,
+        quiet_json: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |i: &mut usize| -> String {
+        *i += 1;
+        argv.get(*i).cloned().unwrap_or_else(|| {
+            eprintln!("missing value for {}", argv[*i - 1]);
+            std::process::exit(2);
+        })
+    };
+    fn parsed<T: std::str::FromStr>(flag: &str, raw: String) -> T {
+        raw.parse().unwrap_or_else(|_| {
+            eprintln!("invalid value for {flag}: {raw}");
+            std::process::exit(2);
+        })
+    }
+    while i < argv.len() {
+        let flag = argv[i].clone();
+        match flag.as_str() {
+            "--gpu" => a.gpu = value(&mut i),
+            "--instances" => a.instances = parsed(&flag, value(&mut i)),
+            "--hours" => a.hours = parsed(&flag, value(&mut i)),
+            "--rate" => a.rate = parsed(&flag, value(&mut i)),
+            "--accel" => a.accel = parsed(&flag, value(&mut i)),
+            "--spares-per-cell" => a.spares_per_cell = parsed(&flag, value(&mut i)),
+            "--cell-size" => a.cell_size = parsed(&flag, value(&mut i)),
+            "--tick" => a.tick = parsed(&flag, value(&mut i)),
+            "--seed" => a.seed = parsed(&flag, value(&mut i)),
+            "--shards" => a.shards = parsed(&flag, value(&mut i)),
+            "--threads" => a.threads = parsed(&flag, value(&mut i)),
+            "--quiet-json" => a.quiet_json = true,
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    a
+}
+
+fn configure(base: FleetConfig, a: &Args) -> FleetConfig {
+    let mut cfg = base;
+    cfg.instances = a.instances;
+    cfg.horizon_s = a.hours * 3600.0;
+    cfg.traffic.rate_per_instance_s = a.rate;
+    cfg.failure_acceleration = a.accel;
+    cfg.spares_per_cell = a.spares_per_cell;
+    cfg.cell_size = a.cell_size;
+    cfg.tick_s = a.tick;
+    cfg
+}
+
+fn main() {
+    let a = parse_args();
+    let fleets: Vec<(&str, FleetConfig)> = match a.gpu.as_str() {
+        "h100" => vec![("h100", configure(FleetConfig::h100_demo(), &a))],
+        "lite" => vec![("lite", configure(FleetConfig::lite_demo(), &a))],
+        "both" => vec![
+            ("h100", configure(FleetConfig::h100_demo(), &a)),
+            ("lite", configure(FleetConfig::lite_demo(), &a)),
+        ],
+        other => {
+            eprintln!("unknown --gpu {other} (expected h100|lite|both)");
+            std::process::exit(2);
+        }
+    };
+    let threads = if a.threads > 0 {
+        a.threads
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get() as u32)
+            .unwrap_or(1)
+    };
+    for (name, cfg) in fleets {
+        let shards = if a.shards > 0 {
+            a.shards
+        } else {
+            cfg.num_cells()
+        };
+        let start = std::time::Instant::now();
+        let report = match run_sharded(&cfg, a.seed, shards, threads) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("fleet {name}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let wall = start.elapsed();
+        let json = report.to_json();
+        eprintln!(
+            "# {name}: {} ({} shards, {} threads, {:.2} s wall)",
+            report.summary(),
+            shards,
+            threads,
+            wall.as_secs_f64()
+        );
+        if !a.quiet_json {
+            println!("{json}");
+        }
+        let dir = litegpu_bench::experiments_dir();
+        if std::fs::create_dir_all(&dir).is_ok() {
+            let _ = std::fs::write(dir.join(format!("fleet_{name}.json")), &json);
+        }
+    }
+}

@@ -17,6 +17,18 @@ use rand::{Rng, SeedableRng};
 /// Hours per year (failure-rate bookkeeping).
 pub const HOURS_PER_YEAR: f64 = 8760.0;
 
+// # Unit convention (shared with `litegpu_sim::failover` and
+// `litegpu_fleet`)
+//
+// An AFR in this suite is an *annualized Poisson rate* — expected failure
+// events per GPU per year — not a probability. For the small per-hour
+// rates involved the two read identically (P[fail in a year] ≈ rate), but
+// rates compose: they add across GPUs and divide by [`HOURS_PER_YEAR`]
+// to give the per-hour rates that event-driven simulators consume.
+// Every conversion goes through [`FailureModel::failures_per_gpu_hour`] /
+// [`FailureModel::failures_per_instance_hour`] so the `×/÷ 8760` never
+// appears inline at call sites.
+
 /// A per-package failure model with an area-dependent component.
 ///
 /// `AFR = afr_per_mm2 × die_area + afr_fixed`: silicon faults scale with
@@ -49,6 +61,19 @@ impl FailureModel {
     /// Annualized failure rate for a GPU of the given spec.
     pub fn afr(&self, spec: &GpuSpec) -> f64 {
         self.afr_per_mm2 * spec.die.area_mm2() * spec.dies_per_package as f64 + self.afr_fixed
+    }
+
+    /// Poisson failure rate of one GPU, in failures per *hour* (the unit
+    /// event-driven simulators consume; see the module's unit convention).
+    pub fn failures_per_gpu_hour(&self, spec: &GpuSpec) -> f64 {
+        self.afr(spec) / HOURS_PER_YEAR
+    }
+
+    /// Poisson failure rate of one model instance of `gpus_per_instance`
+    /// GPUs, in failures per hour. Any GPU failing takes the whole
+    /// instance down (the §3 blast radius), so per-GPU rates add.
+    pub fn failures_per_instance_hour(&self, spec: &GpuSpec, gpus_per_instance: u32) -> f64 {
+        self.failures_per_gpu_hour(spec) * gpus_per_instance as f64
     }
 }
 
@@ -230,6 +255,18 @@ mod tests {
         // Area-dependent part quarters; fixed part stays.
         assert!(m.afr(&l) < 0.025);
         assert!(m.afr(&l) > 0.015);
+    }
+
+    #[test]
+    fn hourly_rates_follow_the_unit_convention() {
+        let h = catalog::h100();
+        let m = FailureModel::default_for(&h);
+        // 5% AFR / 8760 h per year.
+        assert!((m.failures_per_gpu_hour(&h) - 0.05 / 8760.0).abs() < 1e-15);
+        // Instance rate adds across GPUs.
+        assert!(
+            (m.failures_per_instance_hour(&h, 8) - 8.0 * m.failures_per_gpu_hour(&h)).abs() < 1e-15
+        );
     }
 
     #[test]

@@ -213,7 +213,7 @@ mod tests {
         // enabled == total means any SM hit kills: sellable = exp(-lambda).
         let p = BinningPolicy::new(100, 100, 0.25).unwrap();
         let lambda = 0.8;
-        assert!((p.sellable_probability(lambda) - (-lambda as f64).exp()).abs() < 1e-9);
+        assert!((p.sellable_probability(lambda) - (-lambda).exp()).abs() < 1e-9);
     }
 
     #[test]

@@ -1,0 +1,423 @@
+//! The sharded, thread-parallel fleet engine.
+//!
+//! The fleet is a set of *cells* (fixed groups of
+//! [`FleetConfig::cell_size`] instances, each with its own hot-spare
+//! pool — think rack or pod). Cells never interact, so any partition of
+//! cells into shards, stepped on any number of threads, produces the same
+//! merged totals: per-instance RNG streams are derived from
+//! `(seed, global instance index)`, all accumulators are integers, and
+//! shard merging is integer addition. That is the engine's core
+//! guarantee — **same seed ⇒ byte-identical [`FleetReport`] JSON at any
+//! shard and thread count** — and `tests/fleet_determinism.rs` enforces
+//! it.
+//!
+//! Within a shard, cells step cell-major (all ticks of one cell before
+//! the next), which keeps each cell's working set hot in cache; the hot
+//! loop is Poisson arithmetic plus [`StepCostTable`] lookups, with no
+//! roofline evaluation, no allocation beyond queue churn, and no locks.
+
+use crate::report::FleetReport;
+use crate::state::{CellState, FailureRates, InstanceState, ServeKnobs, ShardTotals};
+use crate::traffic::TrafficModel;
+use crate::{FleetError, Result};
+use litegpu_cluster::failure::FailureModel;
+use litegpu_roofline::{EngineParams, StepCostTable};
+use litegpu_specs::GpuSpec;
+use litegpu_workload::ModelArch;
+
+/// A complete fleet-simulation configuration.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// GPU type.
+    pub gpu: GpuSpec,
+    /// Model served.
+    pub arch: ModelArch,
+    /// Roofline parameters (timing + SLOs).
+    pub params: EngineParams,
+    /// Model instances in the fleet.
+    pub instances: u32,
+    /// GPUs per instance.
+    pub gpus_per_instance: u32,
+    /// Instances per repair cell (each cell has its own spare pool).
+    pub cell_size: u32,
+    /// GPU-sized hot spares per cell.
+    pub spares_per_cell: u32,
+    /// Request source (per-instance rate + diurnal/trace modulation).
+    pub traffic: TrafficModel,
+    /// Hardware failure model (annualized rates; see
+    /// `litegpu_cluster::failure`'s unit convention).
+    pub failure: FailureModel,
+    /// Failure-rate acceleration (1.0 = real AFR; larger compresses
+    /// years of failure behaviour into short horizons).
+    pub failure_acceleration: f64,
+    /// Largest prompt batch per prefill launch.
+    pub max_prefill_batch: u32,
+    /// Queue capacity per instance; beyond it requests are shed.
+    pub max_queue_per_instance: u32,
+    /// Simulated horizon, seconds.
+    pub horizon_s: f64,
+    /// Simulation tick, seconds.
+    pub tick_s: f64,
+}
+
+impl FleetConfig {
+    /// A 1000-instance H100 fleet (tensor-parallel pairs serving
+    /// Llama3-70B) under diurnal traffic with accelerated failures.
+    pub fn h100_demo() -> Self {
+        let gpu = litegpu_specs::catalog::h100();
+        let failure = FailureModel::default_for(&gpu);
+        Self {
+            gpu,
+            arch: litegpu_workload::models::llama3_70b(),
+            params: EngineParams::paper_defaults(),
+            instances: 1000,
+            gpus_per_instance: 2,
+            cell_size: 20,
+            spares_per_cell: 1,
+            traffic: TrafficModel::diurnal_demo(1.5),
+            failure,
+            failure_acceleration: 200.0,
+            max_prefill_batch: 4,
+            max_queue_per_instance: 10_000,
+            horizon_s: 24.0 * 3600.0,
+            tick_s: 1.0,
+        }
+    }
+
+    /// The Lite-GPU fleet with the same aggregate silicon: instances of
+    /// 8 Lite-GPUs (¼-H100 dies), same failure model calibration.
+    pub fn lite_demo() -> Self {
+        let gpu = litegpu_specs::catalog::lite_base();
+        let failure = FailureModel::default_for(&litegpu_specs::catalog::h100());
+        Self {
+            gpu,
+            gpus_per_instance: 8,
+            failure,
+            ..Self::h100_demo()
+        }
+    }
+
+    /// Cells in the fleet.
+    pub fn num_cells(&self) -> u32 {
+        self.instances.div_ceil(self.cell_size)
+    }
+
+    /// Ticks in the horizon.
+    pub fn num_ticks(&self) -> u32 {
+        (self.horizon_s / self.tick_s).ceil() as u32
+    }
+
+    /// Validates parameter ranges.
+    pub fn validate(&self) -> Result<()> {
+        let checks: [(&'static str, f64, bool); 8] = [
+            ("instances", self.instances as f64, self.instances > 0),
+            (
+                "gpus_per_instance",
+                self.gpus_per_instance as f64,
+                self.gpus_per_instance > 0,
+            ),
+            ("cell_size", self.cell_size as f64, self.cell_size > 0),
+            (
+                "max_prefill_batch",
+                self.max_prefill_batch as f64,
+                self.max_prefill_batch > 0,
+            ),
+            (
+                "max_queue_per_instance",
+                self.max_queue_per_instance as f64,
+                self.max_queue_per_instance > 0,
+            ),
+            (
+                "horizon_s",
+                self.horizon_s,
+                self.horizon_s.is_finite() && self.horizon_s > 0.0,
+            ),
+            (
+                "tick_s",
+                self.tick_s,
+                self.tick_s.is_finite() && self.tick_s > 0.0 && self.tick_s <= 60.0,
+            ),
+            (
+                "failure_acceleration",
+                self.failure_acceleration,
+                self.failure_acceleration.is_finite() && self.failure_acceleration >= 0.0,
+            ),
+        ];
+        for (name, value, ok) in checks {
+            if !ok {
+                return Err(FleetError::InvalidParameter { name, value });
+            }
+        }
+        if !(self.traffic.rate_per_instance_s.is_finite()
+            && self.traffic.rate_per_instance_s >= 0.0)
+        {
+            return Err(FleetError::InvalidParameter {
+                name: "rate_per_instance_s",
+                value: self.traffic.rate_per_instance_s,
+            });
+        }
+        Ok(())
+    }
+
+    fn knobs(&self) -> ServeKnobs {
+        ServeKnobs {
+            tick_us: (self.tick_s * 1e6).round() as u64,
+            max_prefill_batch: self.max_prefill_batch,
+            max_queue: self.max_queue_per_instance,
+            ttft_slo_us: (self.params.constraints.ttft_max_s * 1e6).round() as u64,
+            tbt_slo_us: (self.params.constraints.tbt_max_s * 1e6).round() as u64,
+            output_len_mean: self.traffic.output_len_mean,
+        }
+    }
+
+    fn failure_rates(&self) -> FailureRates {
+        let per_hour = self
+            .failure
+            .failures_per_instance_hour(&self.gpu, self.gpus_per_instance)
+            * self.failure_acceleration;
+        FailureRates {
+            mean_interval_us: if per_hour > 0.0 {
+                3600.0e6 / per_hour
+            } else {
+                0.0
+            },
+            swap_us: (self.failure.spare_swap_hours * 3600.0e6).round() as u64,
+            repair_us: (self.failure.mttr_hours * 3600.0e6).round() as u64,
+        }
+    }
+}
+
+/// Steps every cell in `[cell_lo, cell_hi)` through the whole horizon.
+fn simulate_cells(
+    cfg: &FleetConfig,
+    seed: u64,
+    lut: &StepCostTable,
+    knobs: &ServeKnobs,
+    rates: &FailureRates,
+    cell_lo: u32,
+    cell_hi: u32,
+) -> ShardTotals {
+    let mut acc = ShardTotals::new();
+    let ticks = cfg.num_ticks();
+    let tick_us = knobs.tick_us;
+    // Per-tick arrival means are identical for every instance; compute
+    // the modulation series once per shard.
+    let lambda_per_tick: Vec<f64> = (0..ticks)
+        .map(|t| cfg.traffic.rate_at((t as f64 + 0.5) * cfg.tick_s) * cfg.tick_s)
+        .collect();
+    for cell_idx in cell_lo..cell_hi {
+        let first = cell_idx * cfg.cell_size;
+        let last = (first + cfg.cell_size).min(cfg.instances);
+        let mut cell = CellState::new(cfg.spares_per_cell);
+        let mut insts: Vec<InstanceState> = (first..last)
+            .map(|g| InstanceState::new(seed, g as u64, rates))
+            .collect();
+        for tick in 0..ticks {
+            let t_start = tick as u64 * tick_us;
+            cell.reclaim_repaired(t_start);
+            let lambda = lambda_per_tick[tick as usize];
+            for inst in insts.iter_mut() {
+                inst.lifecycle(t_start, tick_us, rates, &mut cell, &mut acc);
+                inst.arrivals(tick, lambda, knobs, &mut acc);
+                inst.serve(tick, lut, knobs, &mut acc);
+            }
+        }
+        let horizon_us = ticks as u64 * tick_us;
+        for inst in &insts {
+            acc.downtime_us += inst.pending_downtime_us(horizon_us);
+        }
+    }
+    acc
+}
+
+/// Runs the fleet partitioned into `shards` shards on up to `threads`
+/// OS threads. The partition affects wall-clock only: the report is
+/// byte-identical for any `(shards, threads)`.
+pub fn run_sharded(cfg: &FleetConfig, seed: u64, shards: u32, threads: u32) -> Result<FleetReport> {
+    cfg.validate()?;
+    let lut = StepCostTable::build(&cfg.gpu, &cfg.arch, cfg.gpus_per_instance, &cfg.params)?;
+    let knobs = cfg.knobs();
+    let rates = cfg.failure_rates();
+    let cells = cfg.num_cells();
+    let shards = shards.clamp(1, cells);
+    let threads = threads.clamp(1, shards);
+    // Shard s owns cells [s·cells/shards, (s+1)·cells/shards).
+    let bounds = |s: u32| (s as u64 * cells as u64 / shards as u64) as u32;
+
+    let mut slots: Vec<Option<ShardTotals>> = (0..shards).map(|_| None).collect();
+    if threads == 1 {
+        for (s, slot) in slots.iter_mut().enumerate() {
+            let s = s as u32;
+            *slot = Some(simulate_cells(
+                cfg,
+                seed,
+                &lut,
+                &knobs,
+                &rates,
+                bounds(s),
+                bounds(s + 1),
+            ));
+        }
+    } else {
+        std::thread::scope(|scope| {
+            let lut = &lut;
+            let knobs = &knobs;
+            let rates = &rates;
+            let handles: Vec<_> = (0..threads)
+                .map(|w| {
+                    scope.spawn(move || {
+                        let mut out = Vec::new();
+                        let mut s = w;
+                        while s < shards {
+                            out.push((
+                                s,
+                                simulate_cells(
+                                    cfg,
+                                    seed,
+                                    lut,
+                                    knobs,
+                                    rates,
+                                    bounds(s),
+                                    bounds(s + 1),
+                                ),
+                            ));
+                            s += threads;
+                        }
+                        out
+                    })
+                })
+                .collect();
+            for h in handles {
+                for (s, acc) in h.join().expect("shard worker panicked") {
+                    slots[s as usize] = Some(acc);
+                }
+            }
+        });
+    }
+
+    let mut totals = ShardTotals::new();
+    for slot in &slots {
+        totals.merge(slot.as_ref().expect("every shard simulated"));
+    }
+    let horizon_s_eff = cfg.num_ticks() as f64 * cfg.tick_s;
+    Ok(FleetReport::finalize(
+        &totals,
+        cfg.gpu.name.clone(),
+        cfg.arch.name.clone(),
+        cfg.instances,
+        cfg.gpus_per_instance,
+        cells,
+        cells * cfg.spares_per_cell,
+        horizon_s_eff,
+        cfg.tick_s,
+    ))
+}
+
+/// Runs the fleet with maximum parallelism (one shard per cell, one
+/// thread per available core). Same result as any other sharding.
+pub fn run(cfg: &FleetConfig, seed: u64) -> Result<FleetReport> {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get() as u32)
+        .unwrap_or(1);
+    run_sharded(cfg, seed, cfg.num_cells(), threads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> FleetConfig {
+        let mut c = FleetConfig::h100_demo();
+        c.instances = 24;
+        c.cell_size = 4;
+        c.horizon_s = 900.0;
+        c.failure_acceleration = 100_000.0;
+        c
+    }
+
+    #[test]
+    fn small_fleet_serves_and_fails() {
+        let r = run_sharded(&small_cfg(), 7, 1, 1).unwrap();
+        assert!(r.arrived > 0);
+        assert!(r.completed > 0);
+        assert!(r.generated_tokens > r.completed);
+        assert!(r.failures > 0, "acceleration should inject failures");
+        assert!(r.availability < 1.0 && r.availability > 0.5);
+        assert!(r.ttft_p50_s > 0.0);
+    }
+
+    #[test]
+    fn shard_and_thread_counts_do_not_change_the_report() {
+        let cfg = small_cfg();
+        let base = run_sharded(&cfg, 42, 1, 1).unwrap();
+        for (shards, threads) in [(2, 1), (3, 2), (6, 4), (6, 8)] {
+            let r = run_sharded(&cfg, 42, shards, threads).unwrap();
+            assert_eq!(r, base, "shards={shards} threads={threads}");
+            assert_eq!(r.to_json(), base.to_json());
+        }
+        let auto = run(&cfg, 42).unwrap();
+        assert_eq!(auto, base);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let cfg = small_cfg();
+        let a = run_sharded(&cfg, 1, 2, 2).unwrap();
+        let b = run_sharded(&cfg, 2, 2, 2).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn spares_absorb_failures_and_raise_availability() {
+        let mut cfg = small_cfg();
+        cfg.spares_per_cell = 0;
+        let none = run_sharded(&cfg, 5, 2, 2).unwrap();
+        cfg.spares_per_cell = 2;
+        let some = run_sharded(&cfg, 5, 2, 2).unwrap();
+        assert_eq!(none.spare_hits, 0);
+        assert!(some.spare_hits > 0);
+        assert!(
+            some.availability > none.availability,
+            "with spares {} vs without {}",
+            some.availability,
+            none.availability
+        );
+    }
+
+    #[test]
+    fn lite_fleet_spare_overhead_is_quarter_of_h100() {
+        // Same spare-unit count per cell; Lite spare units are ¼-size
+        // dies, so the fleet-fraction cost is 4x smaller — §3's cheap
+        // hot spares.
+        let h = FleetConfig::h100_demo();
+        let l = FleetConfig::lite_demo();
+        let oh = h.spares_per_cell as f64 * h.num_cells() as f64
+            / (h.instances * h.gpus_per_instance) as f64;
+        let ol = l.spares_per_cell as f64 * l.num_cells() as f64
+            / (l.instances * l.gpus_per_instance) as f64;
+        assert!((oh / ol - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_failures_means_full_availability() {
+        let mut cfg = small_cfg();
+        cfg.failure_acceleration = 0.0;
+        let r = run_sharded(&cfg, 3, 2, 2).unwrap();
+        assert_eq!(r.failures, 0);
+        assert_eq!(r.availability, 1.0);
+        assert_eq!(r.retried, 0);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut c = small_cfg();
+        c.instances = 0;
+        assert!(run_sharded(&c, 1, 1, 1).is_err());
+        let mut c = small_cfg();
+        c.tick_s = 0.0;
+        assert!(run_sharded(&c, 1, 1, 1).is_err());
+        let mut c = small_cfg();
+        c.horizon_s = f64::NAN;
+        assert!(run_sharded(&c, 1, 1, 1).is_err());
+    }
+}

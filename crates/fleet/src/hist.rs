@@ -1,0 +1,220 @@
+//! Mergeable latency histograms over integer microseconds.
+//!
+//! Fleet runs record tens of millions of latency samples across many
+//! shards; keeping raw sample vectors (as [`litegpu_sim::stats::Samples`]
+//! does) would not scale, and merging sorted vectors across shards would
+//! be order-sensitive. This histogram is HDR-style: log₂ major buckets
+//! with [`LatencyHistogram::SUB_BITS`] linear sub-buckets each, bounding
+//! relative quantile error at ~12.5% while supporting O(buckets)
+//! order-independent merging with pure integer arithmetic — the property
+//! the engine's byte-identical-at-any-shard-count guarantee rests on.
+
+/// A fixed-shape latency histogram (values in microseconds).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    /// Exact weighted sum of recorded values, for exact means.
+    sum_us: u128,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Linear sub-buckets per octave: 2^3 = 8.
+    pub const SUB_BITS: u32 = 3;
+    const SUB: u64 = 1 << Self::SUB_BITS;
+    /// Bucket count: 64 octaves × 8 sub-buckets.
+    const BUCKETS: usize = 64 * Self::SUB as usize;
+
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self {
+            counts: vec![0; Self::BUCKETS],
+            total: 0,
+            sum_us: 0,
+        }
+    }
+
+    fn bucket_of(us: u64) -> usize {
+        if us < Self::SUB {
+            return us as usize; // Exact buckets below 8 µs.
+        }
+        let exp = 63 - us.leading_zeros() as u64;
+        let sub = (us >> (exp - Self::SUB_BITS as u64)) & (Self::SUB - 1);
+        (exp * Self::SUB + sub) as usize
+    }
+
+    /// Representative value (µs) for a bucket: its inclusive midpoint.
+    fn bucket_value(bucket: usize) -> u64 {
+        let b = bucket as u64;
+        if b < Self::SUB {
+            return b;
+        }
+        let exp = b / Self::SUB;
+        let sub = b % Self::SUB;
+        let lo = (1u64 << exp) + (sub << (exp - Self::SUB_BITS as u64));
+        let width = 1u64 << (exp - Self::SUB_BITS as u64);
+        lo + width / 2
+    }
+
+    /// Records `weight` samples of `us` microseconds.
+    pub fn record(&mut self, us: u64, weight: u64) {
+        if weight == 0 {
+            return;
+        }
+        self.counts[Self::bucket_of(us)] += weight;
+        self.total += weight;
+        self.sum_us += us as u128 * weight as u128;
+    }
+
+    /// Total recorded weight.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Exact mean of recorded values, seconds (0 when empty).
+    pub fn mean_s(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        (self.sum_us / self.total as u128) as f64 / 1e6
+            + ((self.sum_us % self.total as u128) as f64 / self.total as f64) / 1e6
+    }
+
+    /// The `p`-th percentile (nearest-rank over buckets), microseconds.
+    /// Returns 0 when empty.
+    pub fn percentile_us(&self, p: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let p = p.clamp(0.0, 100.0);
+        let rank = ((p / 100.0) * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_value(i);
+            }
+        }
+        Self::bucket_value(Self::BUCKETS - 1)
+    }
+
+    /// The `p`-th percentile, seconds.
+    pub fn percentile_s(&self, p: f64) -> f64 {
+        self.percentile_us(p) as f64 / 1e6
+    }
+
+    /// Adds all of `other`'s samples into `self` (order-independent).
+    pub fn merge(&mut self, other: &Self) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum_us += other.sum_us;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.percentile_us(50.0), 0);
+        assert_eq!(h.mean_s(), 0.0);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LatencyHistogram::new();
+        for v in 0..8u64 {
+            h.record(v, 1);
+        }
+        assert_eq!(h.percentile_us(100.0), 7);
+        assert_eq!(h.percentile_us(1.0), 0);
+    }
+
+    #[test]
+    fn percentiles_bound_relative_error() {
+        let mut h = LatencyHistogram::new();
+        // 1000 samples at exactly 50 ms.
+        h.record(50_000, 1000);
+        let p50 = h.percentile_us(50.0) as f64;
+        assert!((p50 / 50_000.0 - 1.0).abs() < 0.125, "p50 = {p50}");
+        // Order statistics: p99 over a two-mode distribution picks the
+        // upper mode.
+        h.record(500_000, 20);
+        let p99 = h.percentile_us(99.0) as f64;
+        assert!((p99 / 500_000.0 - 1.0).abs() < 0.125, "p99 = {p99}");
+    }
+
+    #[test]
+    fn percentile_monotone() {
+        let mut h = LatencyHistogram::new();
+        for i in 1..=1000u64 {
+            h.record(i * 37, 1);
+        }
+        let mut last = 0;
+        for p in [0.0, 10.0, 50.0, 90.0, 99.0, 100.0] {
+            let v = h.percentile_us(p);
+            assert!(v >= last, "p{p}: {v} < {last}");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn merge_equals_combined_recording() {
+        // The percentile-merging property the sharded engine relies on:
+        // merging shard histograms gives exactly the histogram of the
+        // union of samples, regardless of how samples were partitioned.
+        let samples: Vec<u64> = (1..=5000u64).map(|i| i * i % 900_000 + 1).collect();
+        let mut whole = LatencyHistogram::new();
+        for &s in &samples {
+            whole.record(s, 1);
+        }
+        for split in [1usize, 3, 8] {
+            let mut parts: Vec<LatencyHistogram> =
+                (0..split).map(|_| LatencyHistogram::new()).collect();
+            for (i, &s) in samples.iter().enumerate() {
+                parts[i % split].record(s, 1);
+            }
+            let mut merged = LatencyHistogram::new();
+            // Merge in reverse order to prove order-independence.
+            for p in parts.iter().rev() {
+                merged.merge(p);
+            }
+            assert_eq!(merged, whole, "split = {split}");
+        }
+    }
+
+    #[test]
+    fn weighted_recording_matches_repeated() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(12_345, 100);
+        for _ in 0..100 {
+            b.record(12_345, 1);
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mean_is_exact() {
+        let mut h = LatencyHistogram::new();
+        h.record(1_000_000, 1);
+        h.record(3_000_000, 1);
+        assert!((h.mean_s() - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,102 @@
+//! `litegpu-fleet` — a sharded, thread-parallel fleet-scale serving
+//! simulator.
+//!
+//! The paper's serving-system claims (§3) — smaller blast radius, cheaper
+//! hot spares, higher available FLOPS — are *fleet-scale, multi-day*
+//! dynamics. [`litegpu_sim`]'s per-event simulator resolves individual
+//! decode steps, which is the right tool for minutes of simulated time
+//! and a handful of instances, but a thousand instances over days would
+//! mean billions of events. This crate trades per-step events for a
+//! **tick-based fluid model** that stays faithful where it matters:
+//!
+//! - **Step costs are exact.** Every prefill/decode step is priced by a
+//!   precomputed [`litegpu_roofline::StepCostTable`] — the same roofline
+//!   numbers as the small simulator, quantized to integer microseconds,
+//!   with no roofline evaluation in the hot loop.
+//! - **Failures are event-accurate.** Each instance draws Poisson failure
+//!   times from [`litegpu_cluster::failure::FailureModel`]'s
+//!   area-dependent AFR (shared unit convention: annualized rates ÷ 8760
+//!   → per-hour), takes the whole instance down (the §3 blast radius),
+//!   and recovers via a per-cell hot-spare pool or a slow repair.
+//! - **Determinism is total.** Every instance owns its RNG stream, all
+//!   accumulators are integers, and shard results merge with associative
+//!   integer arithmetic — so the same seed produces a **byte-identical
+//!   [`report::FleetReport`] at any shard count and any thread count**.
+//!
+//! Sharding: instances are grouped into fixed-size *cells* (think rack or
+//! pod — each cell owns its hot-spare pool), and cells are partitioned
+//! across shards which step in parallel on `std::thread` scope threads.
+//! Because cells never interact, the partition is purely a parallelism
+//! choice, not a modeling one.
+//!
+//! ```
+//! use litegpu_fleet::engine::{run, FleetConfig};
+//!
+//! let mut cfg = FleetConfig::lite_demo();
+//! cfg.instances = 16;
+//! cfg.horizon_s = 600.0;
+//! let report = run(&cfg, 42).unwrap();
+//! assert!(report.completed > 0);
+//! assert!(report.availability > 0.0);
+//! ```
+
+pub mod engine;
+pub mod hist;
+pub mod report;
+pub mod state;
+pub mod traffic;
+
+pub use engine::{run, run_sharded, FleetConfig};
+pub use hist::LatencyHistogram;
+pub use report::FleetReport;
+pub use traffic::{TrafficModel, TrafficPattern};
+
+/// Errors produced by the fleet simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FleetError {
+    /// A parameter was invalid.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// Underlying roofline error (instance timing).
+    Roofline(litegpu_roofline::RooflineError),
+}
+
+impl core::fmt::Display for FleetError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            FleetError::InvalidParameter { name, value } => {
+                write!(f, "invalid fleet parameter {name} = {value}")
+            }
+            FleetError::Roofline(e) => write!(f, "roofline error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+impl From<litegpu_roofline::RooflineError> for FleetError {
+    fn from(e: litegpu_roofline::RooflineError) -> Self {
+        FleetError::Roofline(e)
+    }
+}
+
+/// Result alias for fleet operations.
+pub type Result<T> = core::result::Result<T, FleetError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        let e = FleetError::InvalidParameter {
+            name: "instances",
+            value: 0.0,
+        };
+        assert!(e.to_string().contains("instances"));
+    }
+}

@@ -1,0 +1,232 @@
+//! Fleet-run reporting: integer shard totals finalized into one
+//! `FleetReport`.
+//!
+//! Every derived metric is computed *once*, from the merged integer
+//! totals — never per shard and averaged — so the report is bit-identical
+//! for any shard/thread partition of the same simulation. JSON rendering
+//! goes through the workspace's deterministic serializer, making the
+//! serialized report byte-identical too.
+
+use crate::state::ShardTotals;
+
+/// Aggregated results of a fleet run.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct FleetReport {
+    /// GPU configuration name.
+    pub gpu: String,
+    /// Model name.
+    pub model: String,
+    /// Model instances simulated.
+    pub instances: u32,
+    /// GPUs per instance.
+    pub gpus_per_instance: u32,
+    /// Repair cells (each with its own hot-spare pool).
+    pub cells: u32,
+    /// GPU-sized hot spares across the fleet (a failure consumes one
+    /// spare unit — this is where Lite-GPU spares get cheap, §3).
+    pub spares: u32,
+    /// Fleet-cost overhead of the spare pool (spare GPUs / serving GPUs).
+    pub spare_overhead: f64,
+    /// Simulated horizon, hours.
+    pub simulated_hours: f64,
+    /// Simulation tick, seconds.
+    pub tick_s: f64,
+    /// Requests that arrived.
+    pub arrived: u64,
+    /// Requests shed at full queues.
+    pub rejected: u64,
+    /// Requests fully served.
+    pub completed: u64,
+    /// Requests requeued by instance failures (KV lost, prefill redone).
+    pub retried: u64,
+    /// Output tokens generated.
+    pub generated_tokens: u64,
+    /// Decode steps executed fleet-wide.
+    pub decode_steps: u64,
+    /// Output tokens per second over the horizon (the goodput the §3
+    /// available-FLOPS claim cashes out as).
+    pub goodput_tps: f64,
+    /// Fraction of instance-time up.
+    pub availability: f64,
+    /// Failures injected.
+    pub failures: u64,
+    /// Failures absorbed by a hot spare.
+    pub spare_hits: u64,
+    /// Failures that had to wait for a full repair.
+    pub spare_misses: u64,
+    /// Median time to first token, seconds.
+    pub ttft_p50_s: f64,
+    /// 99th-percentile TTFT, seconds.
+    pub ttft_p99_s: f64,
+    /// Fraction of first tokens meeting the TTFT SLO.
+    pub ttft_attainment: f64,
+    /// Median decode-step time, seconds.
+    pub tbt_p50_s: f64,
+    /// 99th-percentile decode-step time, seconds.
+    pub tbt_p99_s: f64,
+    /// Fraction of decode steps meeting the TBT SLO.
+    pub tbt_attainment: f64,
+    /// Median end-to-end request latency, seconds.
+    pub e2e_p50_s: f64,
+    /// 99th-percentile end-to-end latency, seconds.
+    pub e2e_p99_s: f64,
+}
+
+impl FleetReport {
+    /// Finalizes merged totals into the public report.
+    #[allow(clippy::too_many_arguments)] // One call site, engine-internal.
+    pub(crate) fn finalize(
+        totals: &ShardTotals,
+        gpu: String,
+        model: String,
+        instances: u32,
+        gpus_per_instance: u32,
+        cells: u32,
+        spares: u32,
+        horizon_s: f64,
+        tick_s: f64,
+    ) -> Self {
+        let instance_time_us = instances as u128 * (horizon_s * 1e6) as u128;
+        let availability = if instance_time_us == 0 {
+            1.0
+        } else {
+            1.0 - (totals.downtime_us as f64 / instance_time_us as f64).min(1.0)
+        };
+        let frac = |num: u64, den: u64| {
+            if den == 0 {
+                1.0
+            } else {
+                num as f64 / den as f64
+            }
+        };
+        Self {
+            gpu,
+            model,
+            instances,
+            gpus_per_instance,
+            cells,
+            spares,
+            spare_overhead: spares as f64 / (instances as f64 * gpus_per_instance as f64),
+            simulated_hours: horizon_s / 3600.0,
+            tick_s,
+            arrived: totals.arrived,
+            rejected: totals.rejected,
+            completed: totals.completed,
+            retried: totals.retried,
+            generated_tokens: totals.generated_tokens,
+            decode_steps: totals.decode_steps,
+            goodput_tps: totals.generated_tokens as f64 / horizon_s,
+            availability,
+            failures: totals.failures,
+            spare_hits: totals.spare_hits,
+            spare_misses: totals.spare_misses,
+            ttft_p50_s: totals.ttft.percentile_s(50.0),
+            ttft_p99_s: totals.ttft.percentile_s(99.0),
+            ttft_attainment: frac(totals.ttft_slo_ok, totals.ttft_recorded),
+            tbt_p50_s: totals.tbt.percentile_s(50.0),
+            tbt_p99_s: totals.tbt.percentile_s(99.0),
+            tbt_attainment: frac(totals.tbt_slo_ok_steps, totals.decode_steps),
+            e2e_p50_s: totals.e2e.percentile_s(50.0),
+            e2e_p99_s: totals.e2e.percentile_s(99.0),
+        }
+    }
+
+    /// Deterministic pretty-JSON rendering (byte-identical for identical
+    /// reports).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}"))
+    }
+
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} x{} ({} GPUs/inst): {:.1} h, {} arrived, {} completed, \
+             goodput {:.0} tok/s, availability {:.4}, TTFT p99 {:.3} s, \
+             {} failures ({} spare hits)",
+            self.gpu,
+            self.instances,
+            self.gpus_per_instance,
+            self.simulated_hours,
+            self.arrived,
+            self.completed,
+            self.goodput_tps,
+            self.availability,
+            self.ttft_p99_s,
+            self.failures,
+            self.spare_hits,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn totals() -> ShardTotals {
+        let mut t = ShardTotals::new();
+        t.arrived = 100;
+        t.completed = 90;
+        t.generated_tokens = 45_000;
+        t.decode_steps = 1000;
+        t.tbt_slo_ok_steps = 900;
+        t.ttft_recorded = 95;
+        t.ttft_slo_ok = 80;
+        t.failures = 3;
+        t.spare_hits = 2;
+        t.spare_misses = 1;
+        t.downtime_us = 3_600_000_000; // One instance-hour.
+        t.ttft.record(200_000, 95);
+        t.tbt.record(30_000, 1000);
+        t.e2e.record(5_000_000, 90);
+        t
+    }
+
+    #[test]
+    fn finalize_derives_metrics_from_integers() {
+        let r = FleetReport::finalize(
+            &totals(),
+            "H100".into(),
+            "llama3-70b".into(),
+            100,
+            2,
+            10,
+            10,
+            36_000.0,
+            1.0,
+        );
+        assert_eq!(r.arrived, 100);
+        assert!((r.goodput_tps - 1.25).abs() < 1e-12);
+        // 1 instance-hour down out of 1000 instance-hours.
+        assert!((r.availability - 0.999).abs() < 1e-9);
+        assert!((r.tbt_attainment - 0.9).abs() < 1e-12);
+        assert!((r.spare_overhead - 0.05).abs() < 1e-12);
+        assert!(r.ttft_p50_s > 0.1 && r.ttft_p50_s < 0.3);
+    }
+
+    #[test]
+    fn json_rendering_is_deterministic_and_complete() {
+        let r = FleetReport::finalize(
+            &totals(),
+            "Lite".into(),
+            "llama3-70b".into(),
+            64,
+            8,
+            4,
+            4,
+            7200.0,
+            1.0,
+        );
+        let a = r.to_json();
+        let b = r.to_json();
+        assert_eq!(a, b);
+        for key in [
+            "goodput_tps",
+            "availability",
+            "ttft_p99_s",
+            "spare_hits",
+            "generated_tokens",
+        ] {
+            assert!(a.contains(key), "missing {key}");
+        }
+    }
+}

@@ -1,0 +1,584 @@
+//! Per-instance fleet state: a tick-based fluid serving model with exact
+//! roofline step costs, plus the per-cell hot-spare pool.
+//!
+//! Each instance tracks its request queue as run-length-encoded arrival
+//! cohorts and its running batch as completion cohorts ordered by the
+//! decode step at which they finish. One simulation tick advances an
+//! instance by: failure lifecycle → arrivals → serving (prefill
+//! prioritized, then decode steps until the tick's time budget runs
+//! out). All state is integer microseconds / counts, and every random
+//! draw comes from the instance's own RNG stream — the two properties
+//! that make sharded results independent of shard and thread counts.
+
+use crate::hist::LatencyHistogram;
+use crate::traffic::{poisson, sample_output_len};
+use litegpu_roofline::StepCostTable;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// A run of requests that arrived in the same tick.
+#[derive(Debug, Clone, Copy)]
+struct QueueRun {
+    arrival_tick: u32,
+    count: u32,
+    /// Requeued after a failure: the first token was already delivered,
+    /// so TTFT is not recorded again.
+    retry: bool,
+}
+
+/// Serving knobs shared by every instance (derived from the fleet
+/// config once).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ServeKnobs {
+    pub tick_us: u64,
+    pub max_prefill_batch: u32,
+    pub max_queue: u32,
+    pub ttft_slo_us: u64,
+    pub tbt_slo_us: u64,
+    pub output_len_mean: u32,
+}
+
+/// Failure/repair timing shared by every instance.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct FailureRates {
+    /// Mean microseconds between failures of one instance (0 disables
+    /// failure injection).
+    pub mean_interval_us: f64,
+    pub swap_us: u64,
+    pub repair_us: u64,
+}
+
+impl FailureRates {
+    /// Exponential inter-failure draw; `u64::MAX` when disabled.
+    fn next_interval_us(&self, rng: &mut StdRng) -> u64 {
+        if self.mean_interval_us <= 0.0 {
+            return u64::MAX;
+        }
+        let u: f64 = rng.random::<f64>().max(1e-300);
+        let dt = -u.ln() * self.mean_interval_us;
+        if dt >= u64::MAX as f64 {
+            u64::MAX
+        } else {
+            (dt as u64).max(1)
+        }
+    }
+}
+
+/// Integer accumulators for one shard. Merging is plain addition, so the
+/// merge order cannot affect the result.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub(crate) struct ShardTotals {
+    pub arrived: u64,
+    pub rejected: u64,
+    pub completed: u64,
+    pub retried: u64,
+    pub generated_tokens: u64,
+    pub decode_steps: u64,
+    pub failures: u64,
+    pub spare_hits: u64,
+    pub spare_misses: u64,
+    pub downtime_us: u64,
+    pub ttft_recorded: u64,
+    pub ttft_slo_ok: u64,
+    pub tbt_slo_ok_steps: u64,
+    pub ttft: LatencyHistogram,
+    pub tbt: LatencyHistogram,
+    pub e2e: LatencyHistogram,
+}
+
+impl ShardTotals {
+    pub fn new() -> Self {
+        Self {
+            ttft: LatencyHistogram::new(),
+            tbt: LatencyHistogram::new(),
+            e2e: LatencyHistogram::new(),
+            ..Default::default()
+        }
+    }
+
+    /// Adds `other` into `self` (associative, commutative).
+    pub fn merge(&mut self, other: &Self) {
+        self.arrived += other.arrived;
+        self.rejected += other.rejected;
+        self.completed += other.completed;
+        self.retried += other.retried;
+        self.generated_tokens += other.generated_tokens;
+        self.decode_steps += other.decode_steps;
+        self.failures += other.failures;
+        self.spare_hits += other.spare_hits;
+        self.spare_misses += other.spare_misses;
+        self.downtime_us += other.downtime_us;
+        self.ttft_recorded += other.ttft_recorded;
+        self.ttft_slo_ok += other.ttft_slo_ok;
+        self.tbt_slo_ok_steps += other.tbt_slo_ok_steps;
+        self.ttft.merge(&other.ttft);
+        self.tbt.merge(&other.tbt);
+        self.e2e.merge(&other.e2e);
+    }
+}
+
+/// The hot-spare pool and repair queue of one cell (a fixed group of
+/// instances — think rack or pod). Spares are GPU-sized units, as in
+/// `litegpu_cluster::failure`: a failure consumes one spare (the spare
+/// replaces the failed GPU, bringing the instance back after the swap
+/// delay), and the failed unit rejoins the pool once repaired. This is
+/// what makes Lite-GPU spare pools proportionally cheaper (§3) —
+/// `FleetReport::spare_overhead` divides by total fleet GPUs.
+#[derive(Debug)]
+pub(crate) struct CellState {
+    pub spares_free: u32,
+    repairs: BinaryHeap<Reverse<u64>>,
+}
+
+impl CellState {
+    pub fn new(spares: u32) -> Self {
+        Self {
+            spares_free: spares,
+            repairs: BinaryHeap::new(),
+        }
+    }
+
+    /// Returns repaired units whose repair finished by `now_us` to the
+    /// pool.
+    pub fn reclaim_repaired(&mut self, now_us: u64) {
+        while let Some(&Reverse(done)) = self.repairs.peek() {
+            if done <= now_us {
+                self.repairs.pop();
+                self.spares_free += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Takes a spare for a failure at `now_us`; the failed unit returns
+    /// to the pool after `repair_us`. Returns whether a spare was free.
+    pub fn try_take_spare(&mut self, now_us: u64, repair_us: u64) -> bool {
+        if self.spares_free > 0 {
+            self.spares_free -= 1;
+            self.repairs.push(Reverse(now_us.saturating_add(repair_us)));
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// One model instance's simulation state.
+#[derive(Debug)]
+pub(crate) struct InstanceState {
+    rng: StdRng,
+    queue: VecDeque<QueueRun>,
+    /// Total requests across `queue`.
+    queued: u64,
+    /// Running cohorts keyed by the decode step at which they finish:
+    /// `(finish_at_step, arrival_tick, count)`.
+    cohorts: BinaryHeap<Reverse<(u64, u32, u32)>>,
+    /// Total sequences across `cohorts` (the decode batch).
+    active: u32,
+    /// Monotone decode-step counter.
+    steps_done: u64,
+    /// Unspent serving time carried into the next tick, µs.
+    carry_us: u64,
+    pub up: bool,
+    down_since_us: u64,
+    down_until_us: u64,
+    next_failure_us: u64,
+}
+
+impl InstanceState {
+    /// Builds an instance with its own RNG stream derived from
+    /// `(seed, global_index)` — the derivation must not depend on the
+    /// shard layout.
+    pub fn new(seed: u64, global_index: u64, rates: &FailureRates) -> Self {
+        let mut rng =
+            StdRng::seed_from_u64(seed ^ global_index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let next_failure_us = rates.next_interval_us(&mut rng);
+        Self {
+            rng,
+            queue: VecDeque::new(),
+            queued: 0,
+            cohorts: BinaryHeap::new(),
+            active: 0,
+            steps_done: 0,
+            carry_us: 0,
+            up: true,
+            down_since_us: 0,
+            down_until_us: 0,
+            next_failure_us,
+        }
+    }
+
+    /// Failure/repair lifecycle for the tick starting at `tick_start_us`.
+    pub fn lifecycle(
+        &mut self,
+        tick_start_us: u64,
+        tick_us: u64,
+        rates: &FailureRates,
+        cell: &mut CellState,
+        acc: &mut ShardTotals,
+    ) {
+        if !self.up {
+            if tick_start_us >= self.down_until_us {
+                // Recovered: account downtime, restart the failure clock.
+                acc.downtime_us += self.down_until_us - self.down_since_us;
+                self.up = true;
+                self.next_failure_us = self
+                    .down_until_us
+                    .saturating_add(rates.next_interval_us(&mut self.rng));
+            }
+            return;
+        }
+        let tick_end_us = tick_start_us + tick_us;
+        if self.next_failure_us >= tick_end_us {
+            return;
+        }
+        // The instance fails this tick. The whole instance goes down —
+        // the paper's instance-wide blast radius — and its KV caches die
+        // with it: running cohorts requeue for a fresh prefill.
+        let fail_at = self.next_failure_us.max(tick_start_us);
+        acc.failures += 1;
+        let spare = cell.try_take_spare(fail_at, rates.repair_us);
+        let delay = if spare {
+            acc.spare_hits += 1;
+            rates.swap_us
+        } else {
+            acc.spare_misses += 1;
+            rates.repair_us
+        };
+        self.up = false;
+        self.down_since_us = fail_at;
+        self.down_until_us = fail_at.saturating_add(delay.max(1));
+        self.carry_us = 0;
+        let mut flushed = 0u64;
+        // Keep the original arrival tick so end-to-end latency still
+        // measures from arrival; `retry` only suppresses re-recording
+        // TTFT (the first token was already delivered once).
+        for Reverse((_, arrival_tick, count)) in self.cohorts.drain() {
+            flushed += count as u64;
+            self.queue.push_back(QueueRun {
+                arrival_tick,
+                count,
+                retry: true,
+            });
+        }
+        self.queued += flushed;
+        acc.retried += flushed;
+        self.active = 0;
+    }
+
+    /// Poisson arrivals for one tick at mean `lambda` requests.
+    pub fn arrivals(&mut self, tick: u32, lambda: f64, knobs: &ServeKnobs, acc: &mut ShardTotals) {
+        let n = poisson(&mut self.rng, lambda);
+        if n == 0 {
+            return;
+        }
+        acc.arrived += n;
+        let room = (knobs.max_queue as u64).saturating_sub(self.queued);
+        let admitted = n.min(room);
+        acc.rejected += n - admitted;
+        if admitted > 0 {
+            self.queue.push_back(QueueRun {
+                arrival_tick: tick,
+                count: admitted as u32,
+                retry: false,
+            });
+            self.queued += admitted;
+        }
+    }
+
+    /// Serves one tick: prefill (prioritized) then decode steps, spending
+    /// `tick_us` plus any carried budget.
+    pub fn serve(
+        &mut self,
+        tick: u32,
+        lut: &StepCostTable,
+        knobs: &ServeKnobs,
+        acc: &mut ShardTotals,
+    ) {
+        if !self.up {
+            return;
+        }
+        if self.queued == 0 && self.active == 0 {
+            self.carry_us = 0;
+            return;
+        }
+        let mut budget = knobs.tick_us + self.carry_us;
+
+        // Prefill first, as the small simulator does: a batch of queued
+        // prompts up to the prefill batch cap and the KV capacity.
+        while self.queued > 0 && self.active < lut.max_batch {
+            // Admission is bounded by the table's prefill capacity too:
+            // charging a larger batch at a clamped (smaller-batch) price
+            // would undercount prefill time.
+            let b = (self.queued.min(knobs.max_prefill_batch as u64) as u32)
+                .min(lut.max_batch - self.active)
+                .min(lut.max_prefill_batch);
+            let cost = lut.prefill_us(b);
+            if budget < cost {
+                break;
+            }
+            budget -= cost;
+            let batch_arrival = self.pop_queue(b, tick, cost, knobs, acc);
+            let out_len = sample_output_len(&mut self.rng, knobs.output_len_mean) as u64;
+            self.cohorts
+                .push(Reverse((self.steps_done + out_len, batch_arrival, b)));
+            self.active += b;
+        }
+
+        // Decode: run whole steps until the budget or the batch runs out,
+        // popping cohorts as they finish so the batch (and so the step
+        // time) stays current.
+        while self.active > 0 {
+            let d = lut.decode_step_us(self.active);
+            let affordable = budget / d;
+            if affordable == 0 {
+                break;
+            }
+            let next_finish = self
+                .cohorts
+                .peek()
+                .map(|Reverse((f, _, _))| *f)
+                .expect("active > 0 implies cohorts");
+            let run = affordable.min(next_finish - self.steps_done).max(1);
+            self.steps_done += run;
+            budget -= run * d;
+            acc.generated_tokens += run * self.active as u64;
+            acc.decode_steps += run;
+            acc.tbt.record(d, run);
+            if d <= knobs.tbt_slo_us {
+                acc.tbt_slo_ok_steps += run;
+            }
+            while let Some(&Reverse((finish, arrival_tick, count))) = self.cohorts.peek() {
+                if finish > self.steps_done {
+                    break;
+                }
+                self.cohorts.pop();
+                self.active -= count;
+                acc.completed += count as u64;
+                let e2e_us = (tick as u64 + 1)
+                    .saturating_sub(arrival_tick as u64)
+                    .saturating_mul(knobs.tick_us);
+                acc.e2e.record(e2e_us, count as u64);
+            }
+        }
+        self.carry_us = if self.queued == 0 && self.active == 0 {
+            0
+        } else {
+            budget
+        };
+    }
+
+    /// Pops `b` requests from the queue, recording TTFT for non-retry
+    /// runs. Returns the arrival tick of the oldest popped run (for e2e).
+    fn pop_queue(
+        &mut self,
+        b: u32,
+        tick: u32,
+        prefill_cost_us: u64,
+        knobs: &ServeKnobs,
+        acc: &mut ShardTotals,
+    ) -> u32 {
+        let mut remaining = b;
+        let mut oldest = tick;
+        while remaining > 0 {
+            let front = self.queue.front_mut().expect("queued covers b");
+            let take = front.count.min(remaining);
+            oldest = oldest.min(front.arrival_tick);
+            if !front.retry {
+                let wait_us =
+                    (tick as u64 - front.arrival_tick as u64) * knobs.tick_us + prefill_cost_us;
+                acc.ttft.record(wait_us, take as u64);
+                acc.ttft_recorded += take as u64;
+                if wait_us <= knobs.ttft_slo_us {
+                    acc.ttft_slo_ok += take as u64;
+                }
+            }
+            front.count -= take;
+            remaining -= take;
+            self.queued -= take as u64;
+            if front.count == 0 {
+                self.queue.pop_front();
+            }
+        }
+        oldest
+    }
+
+    /// Downtime not yet accounted at the end of the run (instance still
+    /// down at `horizon_us`).
+    pub fn pending_downtime_us(&self, horizon_us: u64) -> u64 {
+        if self.up {
+            0
+        } else {
+            horizon_us.saturating_sub(self.down_since_us)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn knobs() -> ServeKnobs {
+        ServeKnobs {
+            tick_us: 1_000_000,
+            max_prefill_batch: 4,
+            max_queue: 10_000,
+            ttft_slo_us: 1_000_000,
+            tbt_slo_us: 50_000,
+            output_len_mean: 100,
+        }
+    }
+
+    fn lut() -> StepCostTable {
+        StepCostTable::build(
+            &litegpu_specs::catalog::h100(),
+            &litegpu_workload::models::llama3_70b(),
+            2,
+            &litegpu_roofline::EngineParams::paper_defaults(),
+        )
+        .unwrap()
+    }
+
+    fn no_failures() -> FailureRates {
+        FailureRates {
+            mean_interval_us: 0.0,
+            swap_us: 1,
+            repair_us: 1,
+        }
+    }
+
+    #[test]
+    fn requests_flow_to_completion() {
+        let lut = lut();
+        let knobs = knobs();
+        let mut acc = ShardTotals::new();
+        let mut inst = InstanceState::new(1, 0, &no_failures());
+        for tick in 0..120u32 {
+            inst.arrivals(tick, 2.0, &knobs, &mut acc);
+            inst.serve(tick, &lut, &knobs, &mut acc);
+        }
+        assert!(acc.arrived > 150, "arrived = {}", acc.arrived);
+        assert!(acc.completed > 0, "completed = {}", acc.completed);
+        assert!(acc.generated_tokens > acc.completed);
+        assert_eq!(acc.rejected, 0);
+        assert!(acc.ttft_recorded >= acc.completed);
+        assert!(!acc.ttft.is_empty() && !acc.tbt.is_empty());
+    }
+
+    #[test]
+    fn queue_cap_sheds_load() {
+        let lut = lut();
+        let mut knobs = knobs();
+        knobs.max_queue = 5;
+        let mut acc = ShardTotals::new();
+        let mut inst = InstanceState::new(2, 0, &no_failures());
+        // Down instance: arrivals accumulate, nothing serves.
+        inst.up = false;
+        inst.down_until_us = u64::MAX;
+        for tick in 0..50u32 {
+            inst.arrivals(tick, 5.0, &knobs, &mut acc);
+            inst.serve(tick, &lut, &knobs, &mut acc);
+        }
+        assert!(acc.rejected > 0);
+        assert!(inst.queued <= 5);
+    }
+
+    #[test]
+    fn spare_pool_accounting_hits_then_misses_then_reclaims() {
+        let mut cell = CellState::new(1);
+        // First failure takes the only spare.
+        assert!(cell.try_take_spare(1_000, 500_000));
+        assert_eq!(cell.spares_free, 0);
+        // Second failure while the unit repairs: miss.
+        assert!(!cell.try_take_spare(2_000, 500_000));
+        // Before the repair completes nothing returns.
+        cell.reclaim_repaired(400_000);
+        assert_eq!(cell.spares_free, 0);
+        // After repair the unit is a spare again.
+        cell.reclaim_repaired(501_000);
+        assert_eq!(cell.spares_free, 1);
+        assert!(cell.try_take_spare(600_000, 500_000));
+    }
+
+    #[test]
+    fn failure_uses_spare_and_requeues_running_work() {
+        let lut = lut();
+        let knobs = knobs();
+        let rates = FailureRates {
+            mean_interval_us: 1.0, // Fail essentially immediately.
+            swap_us: 1_500_000,    // 1.5 ticks.
+            repair_us: 3_600_000_000,
+        };
+        let mut acc = ShardTotals::new();
+        let mut cell = CellState::new(1);
+        let mut inst = InstanceState::new(3, 0, &rates);
+        // Get some work running before any failure fires.
+        inst.next_failure_us = u64::MAX;
+        inst.arrivals(0, 8.0, &knobs, &mut acc);
+        inst.serve(0, &lut, &knobs, &mut acc);
+        assert!(inst.active > 0);
+        let active_before = inst.active as u64;
+        // Force the failure into tick 1.
+        inst.next_failure_us = 1_200_000;
+        inst.lifecycle(1_000_000, 1_000_000, &rates, &mut cell, &mut acc);
+        assert_eq!(acc.failures, 1);
+        assert_eq!(acc.spare_hits, 1);
+        assert_eq!(acc.spare_misses, 0);
+        assert_eq!(cell.spares_free, 0);
+        assert!(!inst.up);
+        assert_eq!(inst.active, 0);
+        assert_eq!(acc.retried, active_before);
+        assert_eq!(inst.queued, active_before);
+        // Swap delay: down for 1.5 ticks, up again at tick 3.
+        inst.lifecycle(2_000_000, 1_000_000, &rates, &mut cell, &mut acc);
+        assert!(!inst.up);
+        inst.lifecycle(3_000_000, 1_000_000, &rates, &mut cell, &mut acc);
+        assert!(inst.up);
+        assert_eq!(acc.downtime_us, 1_500_000);
+    }
+
+    #[test]
+    fn without_spares_repair_time_dominates_downtime() {
+        let rates = FailureRates {
+            mean_interval_us: 1.0,
+            swap_us: 1_000_000,
+            repair_us: 10_000_000,
+        };
+        let mut acc = ShardTotals::new();
+        let mut cell = CellState::new(0);
+        let mut inst = InstanceState::new(4, 0, &rates);
+        inst.next_failure_us = 500_000;
+        inst.lifecycle(0, 1_000_000, &rates, &mut cell, &mut acc);
+        assert_eq!(acc.spare_misses, 1);
+        assert!(!inst.up);
+        // Still down until repair completes at 10.5 s.
+        inst.lifecycle(10_000_000, 1_000_000, &rates, &mut cell, &mut acc);
+        assert!(!inst.up);
+        assert_eq!(inst.pending_downtime_us(10_000_000), 9_500_000);
+        inst.lifecycle(11_000_000, 1_000_000, &rates, &mut cell, &mut acc);
+        assert!(inst.up);
+        assert_eq!(acc.downtime_us, 10_000_000);
+    }
+
+    #[test]
+    fn totals_merge_is_addition() {
+        let mut a = ShardTotals::new();
+        let mut b = ShardTotals::new();
+        a.arrived = 5;
+        a.ttft.record(1000, 5);
+        b.arrived = 7;
+        b.ttft.record(2000, 7);
+        let mut ab = ShardTotals::new();
+        ab.merge(&a);
+        ab.merge(&b);
+        let mut ba = ShardTotals::new();
+        ba.merge(&b);
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.arrived, 12);
+        assert_eq!(ab.ttft.total(), 12);
+    }
+}

@@ -1,0 +1,217 @@
+//! Fleet traffic: diurnal and trace-driven arrival-rate modulation with
+//! deterministic Poisson sampling.
+//!
+//! Production serving fleets see strong diurnal swings (the paper's §3
+//! power-management argument leans on them), so the fleet simulator
+//! modulates a base per-instance Poisson rate by a time-varying
+//! multiplier: a cosine diurnal curve, a replayable piecewise-linear
+//! trace, or a constant. All sampling draws from per-instance RNG
+//! streams, which is what keeps the sharded engine's results independent
+//! of shard and thread counts.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Shape of the rate modulation over time.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum TrafficPattern {
+    /// Flat load: multiplier 1 at all times.
+    Constant,
+    /// Cosine diurnal swing with a 24 h period:
+    /// `1 + amplitude·cos(2π·(t − peak_hour)/24h)`.
+    Diurnal {
+        /// Swing around the mean, in `[0, 1]` (0.6 → peak 1.6×, trough
+        /// 0.4×).
+        amplitude: f64,
+        /// Hour of day (0–24) at which load peaks.
+        peak_hour: f64,
+    },
+    /// Replayable trace: `(time_s, multiplier)` points, piecewise-linear,
+    /// clamped at both ends. Points must be sorted by time.
+    Trace(Vec<(f64, f64)>),
+}
+
+/// A per-instance request source.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TrafficModel {
+    /// Mean arrival rate per instance at multiplier 1, requests/second.
+    pub rate_per_instance_s: f64,
+    /// Time-varying modulation.
+    pub pattern: TrafficPattern,
+    /// Mean output length, tokens (geometric-tailed per cohort).
+    pub output_len_mean: u32,
+}
+
+impl TrafficModel {
+    /// The paper-flavoured default: diurnal swing peaking mid-afternoon,
+    /// ~500-token outputs.
+    pub fn diurnal_demo(rate_per_instance_s: f64) -> Self {
+        Self {
+            rate_per_instance_s,
+            pattern: TrafficPattern::Diurnal {
+                amplitude: 0.6,
+                peak_hour: 15.0,
+            },
+            output_len_mean: 500,
+        }
+    }
+
+    /// Flat traffic at the given per-instance rate.
+    pub fn constant(rate_per_instance_s: f64) -> Self {
+        Self {
+            rate_per_instance_s,
+            pattern: TrafficPattern::Constant,
+            output_len_mean: 500,
+        }
+    }
+
+    /// Rate multiplier at simulated time `t_s` (≥ 0, dimensionless).
+    pub fn multiplier_at(&self, t_s: f64) -> f64 {
+        match &self.pattern {
+            TrafficPattern::Constant => 1.0,
+            TrafficPattern::Diurnal {
+                amplitude,
+                peak_hour,
+            } => {
+                let t_h = t_s / 3600.0;
+                let phase = (t_h - peak_hour) / 24.0 * core::f64::consts::TAU;
+                (1.0 + amplitude * phase.cos()).max(0.0)
+            }
+            TrafficPattern::Trace(points) => {
+                if points.is_empty() {
+                    return 1.0;
+                }
+                let first = points[0];
+                let last = points[points.len() - 1];
+                if t_s <= first.0 {
+                    return first.1.max(0.0);
+                }
+                if t_s >= last.0 {
+                    return last.1.max(0.0);
+                }
+                let i = points.partition_point(|&(t, _)| t <= t_s);
+                let (t0, m0) = points[i - 1];
+                let (t1, m1) = points[i];
+                let f = if t1 > t0 { (t_s - t0) / (t1 - t0) } else { 0.0 };
+                (m0 + f * (m1 - m0)).max(0.0)
+            }
+        }
+    }
+
+    /// Arrival rate per instance at time `t_s`, requests/second.
+    pub fn rate_at(&self, t_s: f64) -> f64 {
+        self.rate_per_instance_s * self.multiplier_at(t_s)
+    }
+}
+
+/// Draws a Poisson-distributed count with mean `lambda`.
+///
+/// Knuth's product method for small means; larger means split into
+/// sub-draws (a sum of Poissons is Poisson), which keeps the sampler
+/// exact — no normal approximation — at any rate.
+pub fn poisson(rng: &mut StdRng, lambda: f64) -> u64 {
+    if lambda.is_nan() || lambda <= 0.0 {
+        return 0;
+    }
+    const CHUNK: f64 = 16.0;
+    let mut remaining = lambda;
+    let mut count = 0u64;
+    while remaining > CHUNK {
+        count += poisson_small(rng, CHUNK);
+        remaining -= CHUNK;
+    }
+    count + poisson_small(rng, remaining)
+}
+
+fn poisson_small(rng: &mut StdRng, lambda: f64) -> u64 {
+    let l = (-lambda).exp();
+    let mut k = 0u64;
+    let mut p = 1.0f64;
+    loop {
+        p *= rng.random::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+/// Draws a geometric-tailed output length around `mean` (≥ 1 token),
+/// mirroring `litegpu_sim`'s `LengthDist::GeometricMean`.
+pub fn sample_output_len(rng: &mut StdRng, mean: u32) -> u32 {
+    let mean = mean.max(1) as f64;
+    let u: f64 = rng.random::<f64>().max(1e-12);
+    ((-u.ln()) * mean).round().clamp(1.0, 16.0 * mean) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn constant_pattern_is_flat() {
+        let t = TrafficModel::constant(2.0);
+        assert_eq!(t.rate_at(0.0), 2.0);
+        assert_eq!(t.rate_at(1e6), 2.0);
+    }
+
+    #[test]
+    fn diurnal_peaks_at_peak_hour_and_means_one() {
+        let t = TrafficModel::diurnal_demo(1.0);
+        let peak = t.multiplier_at(15.0 * 3600.0);
+        let trough = t.multiplier_at(3.0 * 3600.0);
+        assert!((peak - 1.6).abs() < 1e-9, "peak = {peak}");
+        assert!((trough - 0.4).abs() < 1e-9, "trough = {trough}");
+        // Mean multiplier over a day is 1.
+        let n = 24 * 60;
+        let mean: f64 = (0..n)
+            .map(|i| t.multiplier_at(i as f64 * 60.0))
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 1.0).abs() < 1e-3, "mean = {mean}");
+    }
+
+    #[test]
+    fn trace_interpolates_and_clamps() {
+        let t = TrafficModel {
+            rate_per_instance_s: 1.0,
+            pattern: TrafficPattern::Trace(vec![(100.0, 1.0), (200.0, 3.0)]),
+            output_len_mean: 500,
+        };
+        assert_eq!(t.multiplier_at(0.0), 1.0);
+        assert_eq!(t.multiplier_at(300.0), 3.0);
+        assert!((t.multiplier_at(150.0) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn poisson_mean_tracks_lambda() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for lambda in [0.3, 2.0, 9.0, 40.0] {
+            let n = 20_000;
+            let sum: u64 = (0..n).map(|_| poisson(&mut rng, lambda)).sum();
+            let mean = sum as f64 / n as f64;
+            let tol = 4.0 * (lambda / n as f64).sqrt();
+            assert!((mean - lambda).abs() < tol, "lambda {lambda}: mean {mean}");
+        }
+    }
+
+    #[test]
+    fn poisson_zero_and_negative_lambda_yield_zero() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(poisson(&mut rng, 0.0), 0);
+        assert_eq!(poisson(&mut rng, -1.0), 0);
+    }
+
+    #[test]
+    fn output_lengths_center_on_mean() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 20_000;
+        let sum: f64 = (0..n)
+            .map(|_| sample_output_len(&mut rng, 500) as f64)
+            .sum();
+        let mean = sum / n as f64;
+        assert!((mean - 500.0).abs() < 25.0, "mean = {mean}");
+        assert!(sample_output_len(&mut rng, 0) >= 1);
+    }
+}

@@ -459,6 +459,50 @@ pub fn sim_serving() -> Experiment {
     }
 }
 
+/// Fleet-scale serving simulation: availability, goodput and spare cost
+/// of H100 vs Lite fleets under diurnal traffic with accelerated
+/// failures (a small instance of the `sim_fleet` binary's default run).
+pub fn sim_fleet() -> Experiment {
+    let mut t = TextTable::new(&[
+        "fleet",
+        "avail",
+        "goodput tok/s",
+        "TTFT p99",
+        "fail",
+        "spare hits",
+        "spare cost",
+    ]);
+    for (name, mut cfg) in [
+        ("H100 x120", litegpu_fleet::FleetConfig::h100_demo()),
+        ("Lite x120", litegpu_fleet::FleetConfig::lite_demo()),
+    ] {
+        cfg.instances = 120;
+        cfg.horizon_s = 2.0 * 3600.0;
+        cfg.failure_acceleration = 20_000.0;
+        match litegpu_fleet::run(&cfg, 42) {
+            Ok(r) => {
+                t.row_owned(vec![
+                    name.to_string(),
+                    format!("{:.4}", r.availability),
+                    format!("{:.0}", r.goodput_tps),
+                    litegpu_specs::units::format_seconds(r.ttft_p99_s),
+                    format!("{}", r.failures),
+                    format!("{}", r.spare_hits),
+                    format!("{:.2}%", r.spare_overhead * 100.0),
+                ]);
+            }
+            Err(e) => {
+                t.row_owned(vec![name.to_string(), format!("error: {e}")]);
+            }
+        }
+    }
+    Experiment {
+        id: "sim_fleet",
+        title: "Fleet simulation: availability and spare cost, H100 vs Lite",
+        output: t.render(),
+    }
+}
+
 /// Ablations over the reconstructed modeling choices: decode overlap, KV
 /// sharding policy, precision, collective constants, and the split factor
 /// itself (see DESIGN.md §4 and `litegpu_roofline::ablation`).
@@ -552,6 +596,7 @@ pub fn run_all() -> Vec<Experiment> {
         claim_power(),
         claim_cost_perf(&params),
         sim_serving(),
+        sim_fleet(),
         ablations(),
     ];
     if let Ok((_, e)) = fig3a(&params) {

@@ -35,6 +35,7 @@
 
 pub use litegpu_cluster as cluster;
 pub use litegpu_fab as fab;
+pub use litegpu_fleet as fleet;
 pub use litegpu_net as net;
 pub use litegpu_plot as plot;
 pub use litegpu_roofline as roofline;

@@ -97,9 +97,7 @@ pub fn custom_figure(
                 gpu: "H100".into(),
             }
         })?;
-        for ((gpu, tps_sm, gpus, batch, latency), (_, norm)) in
-            raw.into_iter().zip(normalized.into_iter())
-        {
+        for ((gpu, tps_sm, gpus, batch, latency), (_, norm)) in raw.into_iter().zip(normalized) {
             points.push(FigurePoint {
                 model: arch.name.clone(),
                 gpu,

@@ -18,6 +18,8 @@
 //!    (TTFT ≤ 1 s, TBT ≤ 50 ms) and reports the best *tokens/s/SM* — the
 //!    paper's normalized metric.
 //! 6. [`figures`] packages the Figure 3a/3b series.
+//! 7. [`stepcost`] flattens the model into precomputed, quantized
+//!    step-cost tables for simulator hot loops.
 //!
 //! # Examples
 //!
@@ -41,9 +43,11 @@ pub mod metrics;
 pub mod params;
 pub mod prefill;
 pub mod search;
+pub mod stepcost;
 
 pub use engine::{Bottleneck, PhaseTime, StageTime};
 pub use params::{EngineParams, OverlapMode, SloConstraints};
+pub use stepcost::StepCostTable;
 
 /// Errors produced by the roofline engine.
 #[derive(Debug, Clone, PartialEq)]

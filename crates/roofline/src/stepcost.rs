@@ -1,0 +1,238 @@
+//! Precomputed step-cost tables: the roofline model, flattened for hot
+//! loops.
+//!
+//! Serving simulators call "how long is one prefill/decode step at batch
+//! `b`?" millions of times. Evaluating the full roofline pipeline
+//! ([`crate::prefill::evaluate`] / [`crate::decode::evaluate`]) on every
+//! call would dominate the simulation, so a [`StepCostTable`] prices every
+//! feasible batch size once up front and quantizes the results to integer
+//! microseconds. Lookups are then a bounds-clamp plus an array index —
+//! no roofline evaluation, no allocation, no floating point.
+//!
+//! Batch grids are dense up to [`StepCostTable::MAX_DENSE`] entries;
+//! larger capacity ranges fall back to a geometric grid and round the
+//! queried batch *up* to the next grid point, which keeps the
+//! approximation conservative (step times grow with batch).
+
+use crate::params::EngineParams;
+use crate::{capacity, decode, prefill, Result, RooflineError};
+use litegpu_specs::GpuSpec;
+use litegpu_workload::ModelArch;
+
+/// Precomputed, quantized step costs for one instance configuration
+/// (GPU type × tensor-parallel group size × model).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepCostTable {
+    /// GPU configuration name.
+    pub gpu: String,
+    /// Model name.
+    pub model: String,
+    /// GPUs in the tensor-parallel group.
+    pub gpus: u32,
+    /// Largest decode batch that fits (KV at the steady-state context).
+    pub max_batch: u32,
+    /// Largest prefill batch that fits (KV at the prompt length).
+    pub max_prefill_batch: u32,
+    /// Sampled batch sizes, ascending; last entry is `max_batch`.
+    batches: Vec<u32>,
+    /// Prefill time per sampled batch, microseconds (clamped to the
+    /// prefill capacity).
+    prefill_us: Vec<u64>,
+    /// Decode-step time per sampled batch, microseconds.
+    decode_us: Vec<u64>,
+}
+
+impl StepCostTable {
+    /// Largest capacity for which the grid stays dense (one entry per
+    /// batch size).
+    pub const MAX_DENSE: u32 = 1024;
+
+    /// Prices every feasible batch once and builds the table.
+    ///
+    /// Fails with [`RooflineError::DoesNotFit`] when the model does not
+    /// fit on the group at batch 1.
+    pub fn build(
+        spec: &GpuSpec,
+        arch: &ModelArch,
+        gpus: u32,
+        params: &EngineParams,
+    ) -> Result<Self> {
+        params.validate()?;
+        let max_batch =
+            capacity::max_batch(spec, arch, gpus, params.constraints.decode_context, params);
+        if max_batch == 0 {
+            return Err(RooflineError::DoesNotFit {
+                model: arch.name.clone(),
+                gpu: spec.name.clone(),
+                gpus,
+            });
+        }
+        let max_prefill_batch =
+            capacity::max_batch(spec, arch, gpus, params.constraints.prompt_len, params).max(1);
+
+        let batches = Self::grid(max_batch);
+        let mut prefill_us = Vec::with_capacity(batches.len());
+        let mut decode_us = Vec::with_capacity(batches.len());
+        for &b in &batches {
+            let pb = b.min(max_prefill_batch);
+            let p = prefill::evaluate(spec, arch, gpus, pb, params)?;
+            prefill_us.push(quantize_us(p.ttft_s));
+            let d = decode::evaluate(spec, arch, gpus, b, params)?;
+            decode_us.push(quantize_us(d.tbt_s));
+        }
+        Ok(Self {
+            gpu: spec.name.clone(),
+            model: arch.name.clone(),
+            gpus,
+            max_batch,
+            max_prefill_batch,
+            batches,
+            prefill_us,
+            decode_us,
+        })
+    }
+
+    /// Dense grid up to [`Self::MAX_DENSE`]; geometric (ratio ~1.05)
+    /// above it, always ending exactly at `max_batch`.
+    fn grid(max_batch: u32) -> Vec<u32> {
+        if max_batch <= Self::MAX_DENSE {
+            return (1..=max_batch).collect();
+        }
+        let mut grid: Vec<u32> = (1..=Self::MAX_DENSE / 2).collect();
+        let mut b = (Self::MAX_DENSE / 2) as f64;
+        while (b as u32) < max_batch {
+            b *= 1.05;
+            grid.push((b as u32).min(max_batch));
+        }
+        grid.dedup();
+        grid
+    }
+
+    /// Index of the grid point used for `batch` (clamped, rounded up).
+    fn index(&self, batch: u32) -> usize {
+        let b = batch.clamp(1, self.max_batch);
+        if self.batches.len() as u32 == self.max_batch {
+            (b - 1) as usize // Dense grid: direct index.
+        } else {
+            self.batches.partition_point(|&g| g < b)
+        }
+    }
+
+    /// Time to prefill a batch of prompts, microseconds (≥ 1).
+    ///
+    /// The batch is clamped to `[1, max_prefill_batch]` — callers that
+    /// admit by decode capacity still get a valid prefill price.
+    pub fn prefill_us(&self, batch: u32) -> u64 {
+        self.prefill_us[self.index(batch.min(self.max_prefill_batch))].max(1)
+    }
+
+    /// Time for one decode step over `batch` running sequences,
+    /// microseconds (≥ 1).
+    pub fn decode_step_us(&self, batch: u32) -> u64 {
+        self.decode_us[self.index(batch)].max(1)
+    }
+
+    /// Generated tokens per second at `batch` (batch / step time).
+    pub fn decode_tokens_per_s(&self, batch: u32) -> f64 {
+        let b = batch.clamp(1, self.max_batch) as f64;
+        b * 1e6 / self.decode_step_us(batch) as f64
+    }
+
+    /// Number of sampled batch sizes.
+    pub fn grid_len(&self) -> usize {
+        self.batches.len()
+    }
+}
+
+/// Seconds → integer microseconds, rounding half up, floor 1 µs.
+fn quantize_us(s: f64) -> u64 {
+    (s.max(0.0) * 1e6).round().max(1.0) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use litegpu_specs::catalog;
+    use litegpu_workload::models;
+
+    fn table() -> StepCostTable {
+        StepCostTable::build(
+            &catalog::h100(),
+            &models::llama3_70b(),
+            2,
+            &EngineParams::paper_defaults(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn matches_direct_roofline_evaluation() {
+        let t = table();
+        let params = EngineParams::paper_defaults();
+        for b in [1u32, 2, 7, 32, t.max_batch] {
+            let d =
+                decode::evaluate(&catalog::h100(), &models::llama3_70b(), 2, b, &params).unwrap();
+            assert_eq!(
+                t.decode_step_us(b),
+                quantize_us(d.tbt_s).max(1),
+                "batch {b}"
+            );
+        }
+        let pb = 4.min(t.max_prefill_batch);
+        let p = prefill::evaluate(&catalog::h100(), &models::llama3_70b(), 2, pb, &params).unwrap();
+        assert_eq!(t.prefill_us(pb), quantize_us(p.ttft_s).max(1));
+    }
+
+    #[test]
+    fn step_times_monotone_in_batch() {
+        let t = table();
+        let mut last = 0;
+        for b in 1..=t.max_batch {
+            let us = t.decode_step_us(b);
+            assert!(us >= last, "batch {b}: {us} < {last}");
+            last = us;
+        }
+    }
+
+    #[test]
+    fn batches_clamp_to_capacity() {
+        let t = table();
+        assert_eq!(
+            t.decode_step_us(t.max_batch),
+            t.decode_step_us(t.max_batch + 999)
+        );
+        assert_eq!(t.prefill_us(0), t.prefill_us(1));
+        assert_eq!(
+            t.prefill_us(t.max_prefill_batch),
+            t.prefill_us(t.max_prefill_batch + 999)
+        );
+    }
+
+    #[test]
+    fn does_not_fit_is_reported() {
+        let r = StepCostTable::build(
+            &catalog::lite_base(),
+            &models::llama3_70b(),
+            2,
+            &EngineParams::paper_defaults(),
+        );
+        assert!(matches!(r, Err(RooflineError::DoesNotFit { .. })));
+    }
+
+    #[test]
+    fn sparse_grid_rounds_up_conservatively() {
+        let grid = StepCostTable::grid(5000);
+        assert!(grid.len() < 5000);
+        assert_eq!(*grid.last().unwrap(), 5000);
+        // Strictly ascending.
+        for w in grid.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn tokens_per_s_grows_with_batch() {
+        let t = table();
+        assert!(t.decode_tokens_per_s(32) > t.decode_tokens_per_s(1));
+    }
+}

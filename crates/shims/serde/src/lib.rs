@@ -1,0 +1,239 @@
+//! Vendored minimal stand-in for the `serde` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! ships a self-contained serialization core: a [`Serialize`] trait that
+//! lowers values into a JSON-shaped [`Value`] tree, a matching derive
+//! macro (`serde_derive`, hand-rolled, no `syn`/`quote`), and a
+//! [`Deserialize`] marker so `#[derive(serde::Deserialize)]` keeps
+//! compiling. Rendering to text lives in the `serde_json` shim.
+//!
+//! Enum representation follows real serde's externally-tagged default:
+//! unit variants become strings, newtype variants `{"Variant": value}`,
+//! tuple variants `{"Variant": [..]}`, struct variants
+//! `{"Variant": {..}}`. Struct fields serialize in declaration order.
+
+// Lets the derive macros' generated `::serde::...` paths resolve inside
+// this crate's own tests.
+extern crate self as serde;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-shaped value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Unsigned integer.
+    UInt(u128),
+    /// Signed integer.
+    Int(i128),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object with insertion-ordered keys.
+    Object(Vec<(String, Value)>),
+}
+
+/// Types that can lower themselves into a [`Value`].
+pub trait Serialize {
+    /// Produces the value tree for `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Marker trait so `#[derive(serde::Deserialize)]` type-checks.
+/// No consumer in this workspace actually deserializes.
+pub trait Deserialize<'de>: Sized {}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+macro_rules! impl_serialize_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u128)
+            }
+        }
+    )*};
+}
+impl_serialize_uint!(u8, u16, u32, u64, u128, usize);
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i128)
+            }
+        }
+    )*};
+}
+impl_serialize_int!(i8, i16, i32, i64, i128, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+macro_rules! impl_serialize_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.to_value()),+])
+            }
+        }
+    )*};
+}
+impl_serialize_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_lower_to_expected_variants() {
+        assert_eq!(3u32.to_value(), Value::UInt(3));
+        assert_eq!((-3i64).to_value(), Value::Int(-3));
+        assert_eq!(1.5f64.to_value(), Value::Float(1.5));
+        assert_eq!(true.to_value(), Value::Bool(true));
+        assert_eq!("x".to_string().to_value(), Value::Str("x".into()));
+        assert_eq!(Option::<u32>::None.to_value(), Value::Null);
+    }
+
+    #[test]
+    fn collections_lower_recursively() {
+        assert_eq!(
+            vec![1u8, 2].to_value(),
+            Value::Array(vec![Value::UInt(1), Value::UInt(2)])
+        );
+        assert_eq!(
+            ("a", 1u32).to_value(),
+            Value::Array(vec![Value::Str("a".into()), Value::UInt(1)])
+        );
+    }
+
+    #[test]
+    fn derive_struct_and_enum() {
+        #[derive(Serialize, Deserialize)]
+        struct S {
+            a: u32,
+            b: f64,
+        }
+        #[derive(Serialize, Deserialize)]
+        enum E {
+            Unit,
+            New(u32),
+            Pair(u32, u32),
+            Named { x: u32 },
+        }
+        let s = S { a: 1, b: 2.0 };
+        assert_eq!(
+            s.to_value(),
+            Value::Object(vec![
+                ("a".into(), Value::UInt(1)),
+                ("b".into(), Value::Float(2.0)),
+            ])
+        );
+        assert_eq!(E::Unit.to_value(), Value::Str("Unit".into()));
+        assert_eq!(
+            E::New(7).to_value(),
+            Value::Object(vec![("New".into(), Value::UInt(7))])
+        );
+        assert_eq!(
+            E::Pair(1, 2).to_value(),
+            Value::Object(vec![(
+                "Pair".into(),
+                Value::Array(vec![Value::UInt(1), Value::UInt(2)])
+            )])
+        );
+        assert_eq!(
+            E::Named { x: 9 }.to_value(),
+            Value::Object(vec![(
+                "Named".into(),
+                Value::Object(vec![("x".into(), Value::UInt(9))])
+            )])
+        );
+    }
+}

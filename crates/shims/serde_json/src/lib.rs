@@ -1,0 +1,160 @@
+//! Vendored minimal stand-in for `serde_json`: renders the serde shim's
+//! `Value` tree as JSON text.
+//!
+//! Output is fully deterministic — object keys keep declaration order,
+//! floats print via Rust's shortest round-trip formatting with a `.0`
+//! suffix for integral values (matching serde_json's style), and
+//! non-finite floats render as `null` (serde_json errors instead; the
+//! shim degrades gracefully because experiment emission is best-effort).
+
+use serde::{Serialize, Value};
+
+/// Error type for API compatibility (this shim never fails).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error;
+
+impl core::fmt::Display for Error {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "serde_json shim error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias mirroring `serde_json::Result`.
+pub type Result<T> = core::result::Result<T, Error>;
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn float_into(v: f64, out: &mut String) {
+    if !v.is_finite() {
+        out.push_str("null");
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        out.push_str(&format!("{:.1}", v));
+    } else {
+        out.push_str(&format!("{v}"));
+    }
+}
+
+fn write_value(v: &Value, out: &mut String, indent: usize, pretty: bool) {
+    let (nl, pad, pad_in) = if pretty {
+        ("\n", "  ".repeat(indent), "  ".repeat(indent + 1))
+    } else {
+        ("", String::new(), String::new())
+    };
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::UInt(n) => out.push_str(&n.to_string()),
+        Value::Int(n) => out.push_str(&n.to_string()),
+        Value::Float(f) => float_into(*f, out),
+        Value::Str(s) => escape_into(s, out),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(nl);
+                out.push_str(&pad_in);
+                write_value(item, out, indent + 1, pretty);
+            }
+            out.push_str(nl);
+            out.push_str(&pad);
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(nl);
+                out.push_str(&pad_in);
+                escape_into(k, out);
+                out.push(':');
+                if pretty {
+                    out.push(' ');
+                }
+                write_value(val, out, indent + 1, pretty);
+            }
+            out.push_str(nl);
+            out.push_str(&pad);
+            out.push('}');
+        }
+    }
+}
+
+/// Serializes `value` as compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out, 0, false);
+    Ok(out)
+}
+
+/// Serializes `value` as pretty JSON (2-space indent, serde_json style).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out, 0, true);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_and_pretty_render() {
+        let v = Value::Object(vec![
+            ("a".into(), Value::UInt(1)),
+            (
+                "b".into(),
+                Value::Array(vec![Value::Float(1.0), Value::Float(2.5)]),
+            ),
+            ("s".into(), Value::Str("hi\"x".into())),
+        ]);
+        assert_eq!(
+            to_string(&v).unwrap(),
+            r#"{"a":1,"b":[1.0,2.5],"s":"hi\"x"}"#
+        );
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains("\n  \"a\": 1"));
+        assert!(pretty.ends_with('}'));
+    }
+
+    #[test]
+    fn non_finite_floats_render_null() {
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+        assert_eq!(to_string(&f64::INFINITY).unwrap(), "null");
+    }
+
+    #[test]
+    fn empty_containers_stay_compact() {
+        assert_eq!(to_string_pretty(&Value::Array(vec![])).unwrap(), "[]");
+        assert_eq!(to_string_pretty(&Value::Object(vec![])).unwrap(), "{}");
+    }
+}

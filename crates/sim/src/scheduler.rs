@@ -519,7 +519,7 @@ pub fn simulate(cfg: &ServingConfig, seed: u64) -> Result<ServingReport> {
 
     let drained_at = insts
         .iter()
-        .flat_map(|s| s.down_since.map(|d| d))
+        .flat_map(|s| s.down_since)
         .chain(completion_t.iter().map(|&(_, t)| t))
         .max()
         .unwrap_or(0)

@@ -3,14 +3,14 @@
 
 use crate::des::{secs, SimTime};
 use crate::Result;
-use litegpu_roofline::{capacity, decode, prefill, EngineParams};
+use litegpu_roofline::{EngineParams, StepCostTable};
 use litegpu_specs::GpuSpec;
 use litegpu_workload::{kv, ModelArch};
-use std::collections::HashMap;
 
 /// Timing oracle for one instance configuration (GPU type × group size ×
-/// model). Results are memoized per batch size — the simulator calls these
-/// on every step.
+/// model). Step costs come from a precomputed
+/// [`litegpu_roofline::StepCostTable`], so the simulator's hot loop never
+/// re-evaluates the roofline model.
 #[derive(Debug, Clone)]
 pub struct InstanceModel {
     /// GPU type.
@@ -24,62 +24,31 @@ pub struct InstanceModel {
     /// Maximum concurrent sequences (KV capacity at the steady-state
     /// context).
     pub max_batch: u32,
-    prefill_cache: HashMap<u32, SimTime>,
-    decode_cache: HashMap<u32, SimTime>,
+    table: StepCostTable,
 }
 
 impl InstanceModel {
     /// Builds the oracle; fails when the model cannot fit on the group.
     pub fn new(spec: GpuSpec, gpus: u32, arch: ModelArch, params: EngineParams) -> Result<Self> {
-        let max_batch = capacity::max_batch(
-            &spec,
-            &arch,
-            gpus,
-            params.constraints.decode_context,
-            &params,
-        );
-        if max_batch == 0 {
-            return Err(crate::SimError::Roofline(
-                litegpu_roofline::RooflineError::DoesNotFit {
-                    model: arch.name.clone(),
-                    gpu: spec.name.clone(),
-                    gpus,
-                },
-            ));
-        }
+        let table = StepCostTable::build(&spec, &arch, gpus, &params)?;
         Ok(Self {
             spec,
             gpus,
             arch,
             params,
-            max_batch,
-            prefill_cache: HashMap::new(),
-            decode_cache: HashMap::new(),
+            max_batch: table.max_batch,
+            table,
         })
     }
 
     /// Time to prefill a batch of prompts (at the workload prompt length).
     pub fn prefill_time(&mut self, batch: u32) -> Result<SimTime> {
-        let batch = batch.clamp(1, self.max_batch);
-        if let Some(&t) = self.prefill_cache.get(&batch) {
-            return Ok(t);
-        }
-        let eval = prefill::evaluate(&self.spec, &self.arch, self.gpus, batch, &self.params)?;
-        let t = secs(eval.ttft_s).max(1);
-        self.prefill_cache.insert(batch, t);
-        Ok(t)
+        Ok(self.table.prefill_us(batch.clamp(1, self.max_batch)))
     }
 
     /// Time for one decode step over `batch` running sequences.
     pub fn decode_step_time(&mut self, batch: u32) -> Result<SimTime> {
-        let batch = batch.clamp(1, self.max_batch);
-        if let Some(&t) = self.decode_cache.get(&batch) {
-            return Ok(t);
-        }
-        let eval = decode::evaluate(&self.spec, &self.arch, self.gpus, batch, &self.params)?;
-        let t = secs(eval.tbt_s).max(1);
-        self.decode_cache.insert(batch, t);
-        Ok(t)
+        Ok(self.table.decode_step_us(batch))
     }
 
     /// Time to stream one request's KV cache to another instance

@@ -125,7 +125,6 @@ impl GpuSpec {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use crate::catalog;
 
     #[test]

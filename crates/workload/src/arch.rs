@@ -69,7 +69,7 @@ impl ModelArch {
                 });
             }
         }
-        if self.heads % self.kv_heads != 0 {
+        if !self.heads.is_multiple_of(self.kv_heads) {
             return Err(WorkloadError::InconsistentHeads {
                 heads: self.heads,
                 kv_heads: self.kv_heads,

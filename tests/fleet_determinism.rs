@@ -1,0 +1,57 @@
+//! Integration tests for the fleet simulator's determinism guarantee:
+//! same seed ⇒ byte-identical `FleetReport` JSON at any shard count and
+//! any thread count.
+
+use litegpu_repro::fleet::{run, run_sharded, FleetConfig};
+
+fn test_cfg() -> FleetConfig {
+    let mut cfg = FleetConfig::lite_demo();
+    cfg.instances = 64;
+    cfg.cell_size = 8;
+    cfg.horizon_s = 1800.0;
+    cfg.failure_acceleration = 50_000.0;
+    cfg
+}
+
+#[test]
+fn byte_identical_json_across_1_4_8_shards() {
+    let cfg = test_cfg();
+    let base = run_sharded(&cfg, 42, 1, 1).expect("1-shard run");
+    let base_json = base.to_json();
+    assert!(base.failures > 0, "test should exercise failure paths");
+    assert!(base.completed > 0);
+    for shards in [4u32, 8] {
+        let r = run_sharded(&cfg, 42, shards, 1).expect("sharded run");
+        assert_eq!(r.to_json(), base_json, "shards = {shards}");
+    }
+}
+
+#[test]
+fn byte_identical_json_across_thread_counts() {
+    let cfg = test_cfg();
+    let base = run_sharded(&cfg, 7, 8, 1).expect("single-threaded");
+    for threads in [2u32, 4, 8] {
+        let r = run_sharded(&cfg, 7, 8, threads).expect("multi-threaded");
+        assert_eq!(r.to_json(), base.to_json(), "threads = {threads}");
+    }
+    // And the auto-parallel entry point agrees too.
+    let auto = run(&cfg, 7).expect("auto run");
+    assert_eq!(auto.to_json(), base.to_json());
+}
+
+#[test]
+fn seeds_change_the_report() {
+    let cfg = test_cfg();
+    let a = run_sharded(&cfg, 1, 4, 2).unwrap();
+    let b = run_sharded(&cfg, 2, 4, 2).unwrap();
+    assert_ne!(a.to_json(), b.to_json());
+}
+
+#[test]
+fn repeated_runs_are_stable() {
+    let cfg = test_cfg();
+    let a = run(&cfg, 9).unwrap();
+    let b = run(&cfg, 9).unwrap();
+    assert_eq!(a, b);
+    assert_eq!(a.to_json(), b.to_json());
+}
