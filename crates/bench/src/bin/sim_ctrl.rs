@@ -1,0 +1,165 @@
+//! Fleet control-plane head-to-head: a controlled H100 fleet (DVFS-only
+//! parking) vs a controlled Lite fleet (per-unit power gating) under the
+//! same diurnal traffic — the §3 elasticity/energy argument, measured.
+//!
+//! Emits one deterministic `FleetReport` JSON per fleet to stdout and to
+//! `target/experiments/ctrl_<name>.json`, then a comparison block. With
+//! `--spares-target`, also sweeps `spares_per_cell` per fleet until the
+//! availability target is met (the fleet analogue of
+//! `cluster::failure::spares_for_target`).
+//!
+//! ```text
+//! sim_ctrl [--instances N] [--hours H] [--rate R] [--accel A]
+//!          [--cell-size N] [--tick S] [--seed N]
+//!          [--control-interval S] [--warm-pool N]
+//!          [--spares-target A] [--max-spares N] [--quiet-json]
+//! ```
+
+use litegpu_fleet::{run, spares_for_target, FleetConfig};
+
+struct Args {
+    instances: u32,
+    hours: f64,
+    rate: f64,
+    accel: f64,
+    cell_size: u32,
+    tick: f64,
+    seed: u64,
+    control_interval: f64,
+    warm_pool: u32,
+    spares_target: Option<f64>,
+    max_spares: u32,
+    quiet_json: bool,
+}
+
+fn parse_args() -> Args {
+    let mut a = Args {
+        instances: 500,
+        hours: 24.0,
+        rate: 1.5,
+        accel: 200.0,
+        cell_size: 20,
+        tick: 1.0,
+        seed: 42,
+        control_interval: 5.0,
+        warm_pool: 1,
+        spares_target: None,
+        max_spares: 4,
+        quiet_json: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |i: &mut usize| litegpu_bench::cli::value(&argv, i);
+    use litegpu_bench::cli::parsed;
+    while i < argv.len() {
+        let flag = argv[i].clone();
+        match flag.as_str() {
+            "--instances" => a.instances = parsed(&flag, value(&mut i)),
+            "--hours" => a.hours = parsed(&flag, value(&mut i)),
+            "--rate" => a.rate = parsed(&flag, value(&mut i)),
+            "--accel" => a.accel = parsed(&flag, value(&mut i)),
+            "--cell-size" => a.cell_size = parsed(&flag, value(&mut i)),
+            "--tick" => a.tick = parsed(&flag, value(&mut i)),
+            "--seed" => a.seed = parsed(&flag, value(&mut i)),
+            "--control-interval" => a.control_interval = parsed(&flag, value(&mut i)),
+            "--warm-pool" => a.warm_pool = parsed(&flag, value(&mut i)),
+            "--spares-target" => a.spares_target = Some(parsed(&flag, value(&mut i))),
+            "--max-spares" => a.max_spares = parsed(&flag, value(&mut i)),
+            "--quiet-json" => a.quiet_json = true,
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    a
+}
+
+fn configure(base: FleetConfig, a: &Args) -> FleetConfig {
+    let mut cfg = base;
+    cfg.instances = a.instances;
+    cfg.horizon_s = a.hours * 3600.0;
+    cfg.traffic.rate_per_instance_s = a.rate;
+    cfg.failure_acceleration = a.accel;
+    cfg.cell_size = a.cell_size;
+    cfg.tick_s = a.tick;
+    let ctrl = cfg.ctrl.as_mut().expect("ctrl demo configs have a ctrl");
+    ctrl.control_interval_s = a.control_interval;
+    if let Some(p) = ctrl.power.as_mut() {
+        p.warm_pool = a.warm_pool;
+    }
+    cfg
+}
+
+fn main() {
+    let a = parse_args();
+    let fleets = [
+        ("h100", configure(FleetConfig::h100_ctrl_demo(), &a)),
+        ("lite", configure(FleetConfig::lite_ctrl_demo(), &a)),
+    ];
+    let mut reports = Vec::new();
+    for (name, cfg) in &fleets {
+        let start = std::time::Instant::now();
+        let report = match run(cfg, a.seed) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("fleet {name}: {e}");
+                std::process::exit(1);
+            }
+        };
+        eprintln!(
+            "# {name}: {} ({:.2} s wall)",
+            report.summary(),
+            start.elapsed().as_secs_f64()
+        );
+        let json = report.to_json();
+        if !a.quiet_json {
+            println!("{json}");
+        }
+        let dir = litegpu_bench::experiments_dir();
+        if std::fs::create_dir_all(&dir).is_ok() {
+            let _ = std::fs::write(dir.join(format!("ctrl_{name}.json")), &json);
+        }
+        reports.push(report);
+    }
+
+    let (h, l) = (&reports[0], &reports[1]);
+    let ratio = |num: f64, den: f64| if den > 0.0 { num / den } else { f64::NAN };
+    eprintln!("# control-plane head-to-head (same diurnal demand, same cells):");
+    eprintln!(
+        "#   idle energy:      H100 {:.1} MJ vs Lite {:.1} MJ ({:.1}x — per-unit gating, §3)",
+        h.idle_energy_j as f64 / 1e6,
+        l.idle_energy_j as f64 / 1e6,
+        ratio(h.idle_energy_j as f64, l.idle_energy_j as f64),
+    );
+    eprintln!(
+        "#   energy per token: H100 {:.2} J vs Lite {:.2} J ({:.2}x)",
+        h.energy_per_token_j,
+        l.energy_per_token_j,
+        ratio(h.energy_per_token_j, l.energy_per_token_j),
+    );
+    eprintln!(
+        "#   mean live pool:   H100 {:.1} vs Lite {:.1} of {} instances",
+        h.avg_live_instances, l.avg_live_instances, a.instances
+    );
+    eprintln!(
+        "#   autoscaler:       H100 {}+{} vs Lite {}+{} (ups+parks); routed {} vs {}",
+        h.scale_ups, h.scale_downs, l.scale_ups, l.scale_downs, h.routed, l.routed
+    );
+
+    if let Some(target) = a.spares_target {
+        eprintln!("# spare-provisioning sweep to availability >= {target}:");
+        for (name, cfg) in &fleets {
+            match spares_for_target(cfg, target, a.max_spares, a.seed) {
+                Ok(found) => eprintln!(
+                    "#   {name}: {} spare(s)/cell -> availability {:.5}, overhead {:.2}% of fleet GPUs",
+                    found.spares_per_cell,
+                    found.report.availability,
+                    found.report.spare_overhead * 100.0
+                ),
+                Err(e) => eprintln!("#   {name}: {e}"),
+            }
+        }
+    }
+}

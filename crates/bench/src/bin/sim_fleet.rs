@@ -8,9 +8,17 @@
 //! ```text
 //! sim_fleet [--gpu h100|lite|both] [--instances N] [--hours H]
 //!           [--rate R] [--accel A] [--spares-per-cell N] [--cell-size N]
-//!           [--tick S] [--seed N] [--shards N] [--threads N] [--quiet-json]
+//!           [--tick S] [--seed N] [--shards N] [--threads N]
+//!           [--ctrl off|auto|dvfs|gate] [--control-interval S]
+//!           [--warm-pool N] [--quiet-json]
 //! ```
+//!
+//! `--ctrl` enables the litegpu-ctrl control plane (autoscaler + power
+//! gating + cell router): `auto` picks the §3-appropriate power policy
+//! per GPU type (H100 parks at the DVFS idle floor, Lite power-gates),
+//! while `dvfs`/`gate` force one policy on every fleet.
 
+use litegpu_fleet::ctrl::{CtrlConfig, Policy};
 use litegpu_fleet::{run_sharded, FleetConfig};
 
 struct Args {
@@ -25,6 +33,9 @@ struct Args {
     seed: u64,
     shards: u32,
     threads: u32,
+    ctrl: String,
+    control_interval: f64,
+    warm_pool: u32,
     quiet_json: bool,
 }
 
@@ -41,23 +52,15 @@ fn parse_args() -> Args {
         seed: 42,
         shards: 0,
         threads: 0,
+        ctrl: "off".into(),
+        control_interval: 5.0,
+        warm_pool: 1,
         quiet_json: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
-    let value = |i: &mut usize| -> String {
-        *i += 1;
-        argv.get(*i).cloned().unwrap_or_else(|| {
-            eprintln!("missing value for {}", argv[*i - 1]);
-            std::process::exit(2);
-        })
-    };
-    fn parsed<T: std::str::FromStr>(flag: &str, raw: String) -> T {
-        raw.parse().unwrap_or_else(|_| {
-            eprintln!("invalid value for {flag}: {raw}");
-            std::process::exit(2);
-        })
-    }
+    let value = |i: &mut usize| litegpu_bench::cli::value(&argv, i);
+    use litegpu_bench::cli::parsed;
     while i < argv.len() {
         let flag = argv[i].clone();
         match flag.as_str() {
@@ -72,6 +75,9 @@ fn parse_args() -> Args {
             "--seed" => a.seed = parsed(&flag, value(&mut i)),
             "--shards" => a.shards = parsed(&flag, value(&mut i)),
             "--threads" => a.threads = parsed(&flag, value(&mut i)),
+            "--ctrl" => a.ctrl = value(&mut i),
+            "--control-interval" => a.control_interval = parsed(&flag, value(&mut i)),
+            "--warm-pool" => a.warm_pool = parsed(&flag, value(&mut i)),
             "--quiet-json" => a.quiet_json = true,
             other => {
                 eprintln!("unknown argument: {other}");
@@ -83,7 +89,7 @@ fn parse_args() -> Args {
     a
 }
 
-fn configure(base: FleetConfig, a: &Args) -> FleetConfig {
+fn configure(base: FleetConfig, a: &Args, auto_policy: Policy) -> FleetConfig {
     let mut cfg = base;
     cfg.instances = a.instances;
     cfg.horizon_s = a.hours * 3600.0;
@@ -92,18 +98,35 @@ fn configure(base: FleetConfig, a: &Args) -> FleetConfig {
     cfg.spares_per_cell = a.spares_per_cell;
     cfg.cell_size = a.cell_size;
     cfg.tick_s = a.tick;
+    let policy = match a.ctrl.as_str() {
+        "off" => None,
+        "auto" => Some(auto_policy),
+        "dvfs" => Some(Policy::DvfsAll),
+        "gate" => Some(Policy::GateToEfficiency),
+        other => {
+            eprintln!("unknown --ctrl {other} (expected off|auto|dvfs|gate)");
+            std::process::exit(2);
+        }
+    };
+    cfg.ctrl = policy.map(|p| {
+        let mut c = CtrlConfig::demo(p);
+        c.control_interval_s = a.control_interval;
+        if let Some(pw) = c.power.as_mut() {
+            pw.warm_pool = a.warm_pool;
+        }
+        c
+    });
     cfg
 }
 
 fn main() {
     let a = parse_args();
+    let h100 = || configure(FleetConfig::h100_demo(), &a, Policy::DvfsAll);
+    let lite = || configure(FleetConfig::lite_demo(), &a, Policy::GateToEfficiency);
     let fleets: Vec<(&str, FleetConfig)> = match a.gpu.as_str() {
-        "h100" => vec![("h100", configure(FleetConfig::h100_demo(), &a))],
-        "lite" => vec![("lite", configure(FleetConfig::lite_demo(), &a))],
-        "both" => vec![
-            ("h100", configure(FleetConfig::h100_demo(), &a)),
-            ("lite", configure(FleetConfig::lite_demo(), &a)),
-        ],
+        "h100" => vec![("h100", h100())],
+        "lite" => vec![("lite", lite())],
+        "both" => vec![("h100", h100()), ("lite", lite())],
         other => {
             eprintln!("unknown --gpu {other} (expected h100|lite|both)");
             std::process::exit(2);

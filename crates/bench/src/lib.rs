@@ -36,6 +36,29 @@ pub fn to_json<T: serde::Serialize>(value: &T) -> String {
     serde_json::to_string_pretty(value).unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}"))
 }
 
+/// Minimal flag-parsing helpers shared by the experiment binaries
+/// (`sim_fleet`, `sim_ctrl`, ...). Both exit with status 2 on bad input,
+/// which is the binaries' established CLI contract.
+pub mod cli {
+    /// Returns the value following the flag at `argv[*i]`, advancing `i`
+    /// past it; exits when the flag is the last token.
+    pub fn value(argv: &[String], i: &mut usize) -> String {
+        *i += 1;
+        argv.get(*i).cloned().unwrap_or_else(|| {
+            eprintln!("missing value for {}", argv[*i - 1]);
+            std::process::exit(2);
+        })
+    }
+
+    /// Parses a flag's raw value, exiting with a diagnostic on failure.
+    pub fn parsed<T: std::str::FromStr>(flag: &str, raw: String) -> T {
+        raw.parse().unwrap_or_else(|_| {
+            eprintln!("invalid value for {flag}: {raw}");
+            std::process::exit(2);
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

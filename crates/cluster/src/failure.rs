@@ -47,12 +47,18 @@ pub struct FailureModel {
 }
 
 impl FailureModel {
-    /// Default calibration: an H100-class package lands at ~5% AFR (fleet
-    /// reports range 1–9%), three-quarters of it area-dependent.
-    pub fn default_for(_spec: &GpuSpec) -> Self {
+    /// Default calibration, derived from the spec's die area: an
+    /// H100-class package (814 mm²) lands at ~5% AFR (fleet reports range
+    /// 1–9%), three-quarters of it area-dependent. The per-mm² rate is
+    /// physical (spec-independent), while the fixed board/HBM part scales
+    /// with the package's silicon — a ¼-size die carries ~¼ the HBM
+    /// stacks and VRM phases — so `default_for(&lite).afr(&lite)` is a
+    /// quarter of the H100 default end to end, not merely 9/16 of it.
+    pub fn default_for(spec: &GpuSpec) -> Self {
+        let silicon_mm2 = spec.die.area_mm2() * spec.dies_per_package as f64;
         Self {
-            afr_per_mm2: 0.0375 / 814.0,
-            afr_fixed: 0.0125,
+            afr_per_mm2: 0.0375 / litegpu_specs::catalog::H100_DIE_AREA_MM2,
+            afr_fixed: 0.0125 * silicon_mm2 / litegpu_specs::catalog::H100_DIE_AREA_MM2,
             mttr_hours: 24.0,
             spare_swap_hours: 0.1,
         }
@@ -255,6 +261,22 @@ mod tests {
         // Area-dependent part quarters; fixed part stays.
         assert!(m.afr(&l) < 0.025);
         assert!(m.afr(&l) > 0.015);
+    }
+
+    #[test]
+    fn default_model_scales_with_die_area() {
+        // Regression for `default_for` ignoring its spec: the Lite
+        // default must actually differ from the H100 default.
+        let h = FailureModel::default_for(&catalog::h100());
+        let l = FailureModel::default_for(&catalog::lite_base());
+        assert_ne!(h, l);
+        // The per-mm² rate is physical and spec-independent...
+        assert!((h.afr_per_mm2 - l.afr_per_mm2).abs() < 1e-18);
+        // ...while the fixed board part scales with package silicon.
+        assert!((l.afr_fixed / h.afr_fixed - 0.25).abs() < 1e-9);
+        // End to end: quarter silicon ⇒ quarter AFR.
+        assert!((h.afr(&catalog::h100()) - 0.05).abs() < 1e-12);
+        assert!((l.afr(&catalog::lite_base()) - 0.0125).abs() < 1e-9);
     }
 
     #[test]

@@ -1,0 +1,252 @@
+//! Reactive per-cell autoscaling with scale-out latency and a warm pool.
+//!
+//! The autoscaler tracks the cell's observed arrival rate with an EWMA,
+//! adds a backlog-drain term, and converts the demand into a target live
+//! count against the per-instance capacity at a configured utilization
+//! ceiling. Scale-out is not free: activations pay the warm or cold boot
+//! latency (the data plane picks which from the slot's mode), which is
+//! exactly the elasticity cost the warm pool exists to hide.
+
+use crate::controller::{CellObs, Command, Controller, Mode};
+use rand::rngs::StdRng;
+
+/// Autoscaler policy parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AutoscalerConfig {
+    /// Utilization ceiling the live pool is sized against (demand /
+    /// capacity at this utilization), in `(0, 1]`.
+    pub target_util: f64,
+    /// EWMA smoothing factor per control tick, in `(0, 1]` (1 = no
+    /// smoothing).
+    pub ewma_alpha: f64,
+    /// Live instances the cell never scales below.
+    pub min_live: u32,
+    /// Most activations or parks issued per control tick.
+    pub max_step: u32,
+    /// Boot latency of a power-gated (cold) instance, seconds.
+    pub cold_start_s: f64,
+    /// Boot latency of a warm (powered, parked) instance, seconds.
+    pub warm_start_s: f64,
+}
+
+impl Default for AutoscalerConfig {
+    fn default() -> Self {
+        Self {
+            target_util: 0.7,
+            ewma_alpha: 0.4,
+            min_live: 1,
+            max_step: u32::MAX,
+            cold_start_s: 120.0,
+            warm_start_s: 5.0,
+        }
+    }
+}
+
+/// The reactive autoscaler (one per cell; holds the EWMA state).
+#[derive(Debug, Clone)]
+pub struct Autoscaler {
+    cfg: AutoscalerConfig,
+    ewma_rps: Option<f64>,
+}
+
+impl Autoscaler {
+    /// Builds an autoscaler with no demand history.
+    pub fn new(cfg: AutoscalerConfig) -> Self {
+        Self {
+            cfg,
+            ewma_rps: None,
+        }
+    }
+
+    /// Smoothed cell demand estimate, requests/s (for tests/diagnostics).
+    pub fn ewma_rps(&self) -> Option<f64> {
+        self.ewma_rps
+    }
+}
+
+impl Controller for Autoscaler {
+    fn name(&self) -> &'static str {
+        "autoscale"
+    }
+
+    fn control(&mut self, obs: &CellObs, _pending: &[Command], _rng: &mut StdRng) -> Vec<Command> {
+        let interval = obs.interval_s.max(1e-9);
+        let rate = obs.arrived_since_last as f64 / interval;
+        let ewma = match self.ewma_rps {
+            None => rate,
+            Some(prev) => self.cfg.ewma_alpha * rate + (1.0 - self.cfg.ewma_alpha) * prev,
+        };
+        self.ewma_rps = Some(ewma);
+
+        // Demand = smoothed arrivals plus draining the standing backlog
+        // within one control interval.
+        let demand_rps = ewma + obs.queued_total() as f64 / interval;
+        let cap = (obs.capacity_rps_per_instance * self.cfg.target_util).max(1e-9);
+        let healthy = obs.healthy();
+        let floor = self.cfg.min_live.min(healthy);
+        let desired = ((demand_rps / cap).ceil() as u32).clamp(floor, healthy);
+
+        let live = obs.live();
+        let planned = live + obs.booting();
+        let mut cmds = Vec::new();
+        if desired > planned {
+            // Scale out: warm slots first (fast boot), then cold, both in
+            // ascending slot order so the choice is deterministic.
+            let need = (desired - planned).min(self.cfg.max_step) as usize;
+            let parked = |want: Mode| {
+                obs.slots
+                    .iter()
+                    .enumerate()
+                    .filter(move |(_, s)| s.mode == want)
+                    .map(|(i, _)| i as u32)
+            };
+            for slot in parked(Mode::Warm).chain(parked(Mode::Cold)).take(need) {
+                cmds.push(Command::Activate { slot });
+            }
+        } else if desired < live {
+            // Scale in: park idle live slots, highest slot first, so the
+            // low-numbered slots act as the cell's stable primaries.
+            let excess = (live - desired).min(self.cfg.max_step) as usize;
+            let idle = obs
+                .slots
+                .iter()
+                .enumerate()
+                .rev()
+                .filter(|(_, s)| s.mode == Mode::Live && s.queued == 0 && s.active == 0)
+                .map(|(i, _)| i as u32);
+            for slot in idle.take(excess) {
+                cmds.push(Command::Park { slot });
+            }
+        }
+        cmds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::InstanceObs;
+    use rand::SeedableRng;
+
+    fn obs(slots: Vec<InstanceObs>, arrived: u64) -> CellObs {
+        CellObs {
+            tick: 10,
+            interval_s: 5.0,
+            arrived_since_last: arrived,
+            capacity_rps_per_instance: 2.0,
+            max_queue: 1000,
+            slots,
+        }
+    }
+
+    fn slot(mode: Mode, queued: u64, active: u32) -> InstanceObs {
+        InstanceObs {
+            mode,
+            queued,
+            active,
+        }
+    }
+
+    #[test]
+    fn parks_idle_slots_under_low_demand() {
+        let mut a = Autoscaler::new(AutoscalerConfig::default());
+        let mut rng = StdRng::seed_from_u64(1);
+        // 4 live, all idle, 5 arrivals in 5 s = 1 rps; capacity at 70%
+        // utilization is 1.4 rps/instance => 1 instance suffices.
+        let o = obs(vec![slot(Mode::Live, 0, 0); 4], 5);
+        let cmds = a.control(&o, &[], &mut rng);
+        assert_eq!(
+            cmds,
+            vec![
+                Command::Park { slot: 3 },
+                Command::Park { slot: 2 },
+                Command::Park { slot: 1 }
+            ]
+        );
+    }
+
+    #[test]
+    fn respects_min_live_and_busy_slots() {
+        let mut a = Autoscaler::new(AutoscalerConfig {
+            min_live: 2,
+            ..Default::default()
+        });
+        let mut rng = StdRng::seed_from_u64(1);
+        // Zero demand, but slot 2 is busy: only idle slots park, and not
+        // below min_live.
+        let o = obs(
+            vec![
+                slot(Mode::Live, 0, 0),
+                slot(Mode::Live, 0, 0),
+                slot(Mode::Live, 4, 2),
+                slot(Mode::Live, 0, 0),
+            ],
+            0,
+        );
+        let cmds = a.control(&o, &[], &mut rng);
+        assert_eq!(
+            cmds,
+            vec![Command::Park { slot: 3 }, Command::Park { slot: 1 }]
+        );
+    }
+
+    #[test]
+    fn activates_warm_before_cold_on_demand_spike() {
+        let mut a = Autoscaler::new(AutoscalerConfig::default());
+        let mut rng = StdRng::seed_from_u64(1);
+        // 70 arrivals in 5 s = 14 rps; at 1.4 rps/instance that needs all
+        // 4 healthy slots. One live, one booting => two activations.
+        let o = obs(
+            vec![
+                slot(Mode::Live, 0, 1),
+                slot(Mode::Cold, 0, 0),
+                slot(Mode::Warm, 0, 0),
+                slot(Mode::Booting, 0, 0),
+                slot(Mode::Down, 0, 0),
+            ],
+            70,
+        );
+        let cmds = a.control(&o, &[], &mut rng);
+        assert_eq!(
+            cmds,
+            vec![Command::Activate { slot: 2 }, Command::Activate { slot: 1 }]
+        );
+    }
+
+    #[test]
+    fn backlog_forces_scale_out_even_with_quiet_arrivals() {
+        let mut a = Autoscaler::new(AutoscalerConfig::default());
+        let mut rng = StdRng::seed_from_u64(1);
+        let o = obs(
+            vec![slot(Mode::Live, 200, 4), slot(Mode::Cold, 0, 0)],
+            0, // No fresh arrivals, but a deep backlog.
+        );
+        let cmds = a.control(&o, &[], &mut rng);
+        assert_eq!(cmds, vec![Command::Activate { slot: 1 }]);
+    }
+
+    #[test]
+    fn ewma_smooths_demand() {
+        let mut a = Autoscaler::new(AutoscalerConfig::default());
+        let mut rng = StdRng::seed_from_u64(1);
+        let o1 = obs(vec![slot(Mode::Live, 0, 0); 2], 100);
+        a.control(&o1, &[], &mut rng);
+        let after_spike = a.ewma_rps().unwrap();
+        let o2 = obs(vec![slot(Mode::Live, 0, 0); 2], 0);
+        a.control(&o2, &[], &mut rng);
+        let after_quiet = a.ewma_rps().unwrap();
+        assert!(after_quiet > 0.0, "EWMA should remember the spike");
+        assert!(after_quiet < after_spike);
+    }
+
+    #[test]
+    fn max_step_caps_actions() {
+        let mut a = Autoscaler::new(AutoscalerConfig {
+            max_step: 1,
+            ..Default::default()
+        });
+        let mut rng = StdRng::seed_from_u64(1);
+        let o = obs(vec![slot(Mode::Live, 0, 0); 6], 0);
+        assert_eq!(a.control(&o, &[], &mut rng).len(), 1);
+    }
+}

@@ -1,0 +1,180 @@
+//! The control-plane contract: per-cell observations, commands, and the
+//! [`Controller`] trait every policy module implements.
+//!
+//! The data plane (the fleet engine) builds a [`CellObs`] snapshot of one
+//! cell at each control tick, hands it to the cell's controllers, and
+//! applies the returned [`Command`]s. Everything a controller can see and
+//! do is strictly cell-local, which is what lets controlled fleets keep
+//! the engine's byte-identical-at-any-shard-count guarantee: per-cell
+//! controller state lives inside the shard partition and randomized
+//! policies draw from the cell's own RNG stream.
+
+use rand::rngs::StdRng;
+
+/// Administrative and health state of one instance slot, as observed by
+/// controllers at a control tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Powered and serving; eligible for routed arrivals.
+    Live,
+    /// Parked but powered (pays the idle floor); activates at the warm
+    /// latency. Under a DVFS-only policy every parked instance is warm —
+    /// a monolithic GPU can only down-clock, not power off (§3).
+    Warm,
+    /// Parked and power-gated (zero draw); activates at the cold latency.
+    Cold,
+    /// Activation in flight: powered but not yet serving.
+    Booting,
+    /// Down for a spare swap or repair; controllers cannot act on it.
+    Down,
+}
+
+/// One slot's observed state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InstanceObs {
+    /// Current mode.
+    pub mode: Mode,
+    /// Requests waiting in the slot's queue.
+    pub queued: u64,
+    /// Sequences currently decoding on the slot.
+    pub active: u32,
+}
+
+/// A cell's state at a control-tick boundary.
+///
+/// Built by the data plane from cell-local state only; controllers must
+/// not assume anything about other cells.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellObs {
+    /// Data tick at which this control tick runs.
+    pub tick: u32,
+    /// Seconds covered by the elapsed control interval.
+    pub interval_s: f64,
+    /// Requests that arrived at the cell during the elapsed interval.
+    pub arrived_since_last: u64,
+    /// Sustainable request throughput of one live instance, requests/s.
+    pub capacity_rps_per_instance: f64,
+    /// Queue capacity per instance.
+    pub max_queue: u32,
+    /// Per-slot observations, indexed by cell-local slot id.
+    pub slots: Vec<InstanceObs>,
+}
+
+impl CellObs {
+    /// Slots currently live (serving).
+    pub fn live(&self) -> u32 {
+        self.slots.iter().filter(|s| s.mode == Mode::Live).count() as u32
+    }
+
+    /// Slots with an activation in flight.
+    pub fn booting(&self) -> u32 {
+        self.slots
+            .iter()
+            .filter(|s| s.mode == Mode::Booting)
+            .count() as u32
+    }
+
+    /// Slots not down (actionable by controllers).
+    pub fn healthy(&self) -> u32 {
+        self.slots.iter().filter(|s| s.mode != Mode::Down).count() as u32
+    }
+
+    /// Total queued requests across the cell.
+    pub fn queued_total(&self) -> u64 {
+        self.slots.iter().map(|s| s.queued).sum()
+    }
+}
+
+/// An action a controller asks the data plane to apply.
+///
+/// Commands are applied in emission order; a command that does not match
+/// the slot's current mode (e.g. parking an already-parked slot) is
+/// ignored, so controllers may re-assert state idempotently.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Start activating a parked slot (warm or cold boot latency is
+    /// decided by the data plane from the slot's current mode).
+    Activate {
+        /// Cell-local slot id.
+        slot: u32,
+    },
+    /// Park an idle live slot (it stops receiving arrivals and serving).
+    Park {
+        /// Cell-local slot id.
+        slot: u32,
+    },
+    /// Keep a parked slot powered for fast activation.
+    SetWarm {
+        /// Cell-local slot id.
+        slot: u32,
+    },
+    /// Power-gate a parked slot (zero energy, slow activation).
+    SetCold {
+        /// Cell-local slot id.
+        slot: u32,
+    },
+    /// Replace the cell's routing weights (one entry per slot; arrivals
+    /// are apportioned over live slots proportionally to their weight).
+    SetWeights {
+        /// Per-slot weights, indexed by cell-local slot id.
+        weights: Vec<u64>,
+    },
+}
+
+/// A deterministic per-cell control policy.
+///
+/// `control` runs once per control tick. `pending` carries the commands
+/// emitted earlier in the same control tick by upstream policies (the
+/// power gater, for example, must see the autoscaler's parks to keep the
+/// warm pool consistent). `rng` is the cell's own control-plane stream —
+/// the only randomness a policy may use without breaking the engine's
+/// shard-count determinism.
+pub trait Controller {
+    /// Short policy name (for labels and reports).
+    fn name(&self) -> &'static str;
+
+    /// Computes this policy's commands for one control tick.
+    fn control(&mut self, obs: &CellObs, pending: &[Command], rng: &mut StdRng) -> Vec<Command>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn obs_aggregates_count_modes() {
+        let obs = CellObs {
+            tick: 0,
+            interval_s: 5.0,
+            arrived_since_last: 0,
+            capacity_rps_per_instance: 2.0,
+            max_queue: 100,
+            slots: vec![
+                InstanceObs {
+                    mode: Mode::Live,
+                    queued: 3,
+                    active: 1,
+                },
+                InstanceObs {
+                    mode: Mode::Booting,
+                    queued: 0,
+                    active: 0,
+                },
+                InstanceObs {
+                    mode: Mode::Cold,
+                    queued: 0,
+                    active: 0,
+                },
+                InstanceObs {
+                    mode: Mode::Down,
+                    queued: 7,
+                    active: 0,
+                },
+            ],
+        };
+        assert_eq!(obs.live(), 1);
+        assert_eq!(obs.booting(), 1);
+        assert_eq!(obs.healthy(), 3);
+        assert_eq!(obs.queued_total(), 10);
+    }
+}

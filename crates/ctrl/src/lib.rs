@@ -1,0 +1,258 @@
+//! `litegpu-ctrl` — a deterministic fleet control plane.
+//!
+//! The paper's §3 argument is that Lite-GPUs win at the *fleet* level:
+//! finer-grained resource management, per-unit power gating, and small
+//! blast radii. Those are control-plane properties, so this crate models
+//! the control plane explicitly: a **control tick** runs between the
+//! fleet engine's data ticks, observing each cell ([`CellObs`]) and
+//! issuing [`Command`]s through three policy modules wired into a common
+//! [`Controller`] trait:
+//!
+//! - [`autoscale::Autoscaler`] — reactive scaling of each cell's live
+//!   instance pool against observed traffic, with warm/cold scale-out
+//!   latency and a warm pool;
+//! - [`power::PowerGater`] — decides what parked capacity costs, reusing
+//!   [`litegpu_cluster::power_mgmt::Policy`]: DVFS-only fleets keep
+//!   parked instances at their idle floor, gating fleets power them off;
+//! - [`route::Router`] — rebalances each cell's arrivals across its live
+//!   instances, weighted by free capacity, so failures and parking don't
+//!   strand traffic.
+//!
+//! Everything is strictly cell-local and integer-exact where it touches
+//! the data plane (largest-remainder apportionment, integer energy
+//! accumulators), so a controlled fleet keeps `litegpu-fleet`'s
+//! byte-identical-report-at-any-shard-count guarantee.
+
+pub mod autoscale;
+pub mod controller;
+pub mod power;
+pub mod route;
+
+pub use autoscale::{Autoscaler, AutoscalerConfig};
+pub use controller::{CellObs, Command, Controller, InstanceObs, Mode};
+pub use litegpu_cluster::power_mgmt::Policy;
+pub use power::{PowerConfig, PowerGater};
+pub use route::{apportion, apportion_into, Router, RouterConfig};
+
+use rand::rngs::StdRng;
+
+/// Control-plane configuration: which policies run, and how often.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CtrlConfig {
+    /// Seconds between control ticks (rounded to whole data ticks by the
+    /// engine, minimum one).
+    pub control_interval_s: f64,
+    /// Autoscaler policy; requires `router` (parked instances' traffic
+    /// must be re-routed somewhere).
+    pub autoscaler: Option<AutoscalerConfig>,
+    /// Power-gating policy for parked instances.
+    pub power: Option<PowerConfig>,
+    /// Cell-level arrival routing.
+    pub router: Option<RouterConfig>,
+}
+
+impl CtrlConfig {
+    /// The demo control plane: 5 s control ticks, default autoscaler and
+    /// router, and the given power policy — [`Policy::DvfsAll`] for
+    /// monolithic-GPU fleets, [`Policy::GateToEfficiency`] for Lite.
+    pub fn demo(policy: Policy) -> Self {
+        Self {
+            control_interval_s: 5.0,
+            autoscaler: Some(AutoscalerConfig::default()),
+            power: Some(PowerConfig {
+                policy,
+                warm_pool: 1,
+            }),
+            router: Some(RouterConfig::default()),
+        }
+    }
+
+    /// Validates the configuration; returns a static description of the
+    /// first problem found.
+    pub fn validate(&self) -> Result<(), &'static str> {
+        if !(self.control_interval_s.is_finite() && self.control_interval_s > 0.0) {
+            return Err("control_interval_s must be finite and positive");
+        }
+        if self.autoscaler.is_some() && self.router.is_none() {
+            return Err("the autoscaler requires the router: parked instances' arrivals must be rebalanced to live ones");
+        }
+        if let Some(a) = &self.autoscaler {
+            if !(a.target_util > 0.0 && a.target_util <= 1.0) {
+                return Err("autoscaler target_util must be in (0, 1]");
+            }
+            if !(a.ewma_alpha > 0.0 && a.ewma_alpha <= 1.0) {
+                return Err("autoscaler ewma_alpha must be in (0, 1]");
+            }
+            if !(a.cold_start_s.is_finite() && a.cold_start_s >= 0.0) {
+                return Err("autoscaler cold_start_s must be finite and non-negative");
+            }
+            if !(a.warm_start_s.is_finite() && a.warm_start_s >= 0.0) {
+                return Err("autoscaler warm_start_s must be finite and non-negative");
+            }
+        }
+        Ok(())
+    }
+
+    /// Human-readable policy label for reports, e.g.
+    /// `autoscale+gate(GateToEfficiency)+route`.
+    pub fn label(&self) -> String {
+        let mut parts = Vec::new();
+        if self.autoscaler.is_some() {
+            parts.push("autoscale".to_string());
+        }
+        if let Some(p) = &self.power {
+            parts.push(format!("gate({:?})", p.policy));
+        }
+        if self.router.is_some() {
+            parts.push("route".to_string());
+        }
+        if parts.is_empty() {
+            "none".to_string()
+        } else {
+            parts.join("+")
+        }
+    }
+
+    /// Instantiates one cell's controller stack (fresh policy state).
+    pub fn build(&self) -> ControllerStack {
+        ControllerStack {
+            controllers: [
+                self.autoscaler
+                    .map(|c| Box::new(Autoscaler::new(c)) as Box<dyn Controller>),
+                self.power
+                    .map(|c| Box::new(PowerGater::new(c)) as Box<dyn Controller>),
+                self.router
+                    .map(|c| Box::new(Router::new(c)) as Box<dyn Controller>),
+            ]
+            .into_iter()
+            .flatten()
+            .collect(),
+        }
+    }
+}
+
+/// An ordered stack of policy modules driving one cell.
+///
+/// Policies run in a fixed order (autoscaler → power gater → router);
+/// each sees the commands emitted earlier in the same control tick, so
+/// e.g. the gater keeps the warm pool consistent with this tick's parks.
+pub struct ControllerStack {
+    controllers: Vec<Box<dyn Controller>>,
+}
+
+impl ControllerStack {
+    /// Runs every policy for one control tick and returns the combined
+    /// command list, in emission order.
+    pub fn control(&mut self, obs: &CellObs, rng: &mut StdRng) -> Vec<Command> {
+        let mut cmds = Vec::new();
+        for c in &mut self.controllers {
+            let more = c.control(obs, &cmds, rng);
+            cmds.extend(more);
+        }
+        cmds
+    }
+
+    /// Number of active policy modules.
+    pub fn len(&self) -> usize {
+        self.controllers.len()
+    }
+
+    /// Whether the stack has no policies (control ticks are no-ops).
+    pub fn is_empty(&self) -> bool {
+        self.controllers.is_empty()
+    }
+}
+
+impl core::fmt::Debug for ControllerStack {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let names: Vec<&str> = self.controllers.iter().map(|c| c.name()).collect();
+        write!(f, "ControllerStack({names:?})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn demo_config_validates_and_labels() {
+        let c = CtrlConfig::demo(Policy::GateToEfficiency);
+        c.validate().unwrap();
+        assert_eq!(c.label(), "autoscale+gate(GateToEfficiency)+route");
+        assert_eq!(c.build().len(), 3);
+        let d = CtrlConfig::demo(Policy::DvfsAll);
+        assert_eq!(d.label(), "autoscale+gate(DvfsAll)+route");
+    }
+
+    #[test]
+    fn autoscaler_without_router_rejected() {
+        let mut c = CtrlConfig::demo(Policy::GateToEfficiency);
+        c.router = None;
+        assert!(c.validate().is_err());
+        c.autoscaler = None;
+        c.validate().unwrap(); // Gating alone is fine.
+        assert_eq!(c.label(), "gate(GateToEfficiency)");
+    }
+
+    #[test]
+    fn bad_parameters_rejected() {
+        let mut c = CtrlConfig::demo(Policy::DvfsAll);
+        c.control_interval_s = 0.0;
+        assert!(c.validate().is_err());
+        let mut c = CtrlConfig::demo(Policy::DvfsAll);
+        c.autoscaler.as_mut().unwrap().target_util = 1.5;
+        assert!(c.validate().is_err());
+        let mut c = CtrlConfig::demo(Policy::DvfsAll);
+        c.autoscaler.as_mut().unwrap().ewma_alpha = 0.0;
+        assert!(c.validate().is_err());
+        let mut c = CtrlConfig::demo(Policy::DvfsAll);
+        c.autoscaler.as_mut().unwrap().cold_start_s = f64::NAN;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn stack_feeds_pending_commands_forward() {
+        // With all three policies on a quiet cell, the autoscaler parks,
+        // the gater warms the pool (seeing the pending parks), and the
+        // router zeroes the weights of non-live slots.
+        let cfg = CtrlConfig::demo(Policy::GateToEfficiency);
+        let mut stack = cfg.build();
+        let mut rng = StdRng::seed_from_u64(3);
+        let obs = CellObs {
+            tick: 12,
+            interval_s: 5.0,
+            arrived_since_last: 0,
+            capacity_rps_per_instance: 2.0,
+            max_queue: 50,
+            slots: vec![
+                InstanceObs {
+                    mode: Mode::Live,
+                    queued: 0,
+                    active: 0,
+                },
+                InstanceObs {
+                    mode: Mode::Live,
+                    queued: 0,
+                    active: 0,
+                },
+            ],
+        };
+        let cmds = stack.control(&obs, &mut rng);
+        assert!(cmds.contains(&Command::Park { slot: 1 }));
+        assert!(cmds.contains(&Command::SetWarm { slot: 1 }));
+        // Router ran on the *observed* modes (both live), so the weight
+        // snapshot still covers both; the data plane masks non-live slots
+        // per data tick.
+        assert!(cmds
+            .iter()
+            .any(|c| matches!(c, Command::SetWeights { weights } if weights.len() == 2)));
+        let empty = CtrlConfig {
+            control_interval_s: 5.0,
+            autoscaler: None,
+            power: None,
+            router: None,
+        };
+        assert!(empty.build().is_empty());
+    }
+}

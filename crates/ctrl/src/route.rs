@@ -1,0 +1,244 @@
+//! Deterministic cell-level routing: arrivals are rebalanced across a
+//! cell's live instances, weighted by free queue capacity.
+//!
+//! Without a router, each instance owns its arrival stream, so a failed
+//! or parked instance strands its traffic. The router turns the cell into
+//! a single arrival pool: at every control tick it snapshots per-slot
+//! weights (free queue capacity by default), and the data plane
+//! apportions each tick's cell-level Poisson draw across the currently
+//! live slots with the largest-remainder method — pure integer
+//! arithmetic, so the split is exactly reproducible at any shard or
+//! thread count. The snapshot refreshes only at control ticks, modeling a
+//! load balancer with periodically-updated backend stats.
+
+use crate::controller::{CellObs, Command, Controller, Mode};
+use rand::rngs::StdRng;
+
+/// Router policy parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouterConfig {
+    /// Weight live slots by free queue capacity (`true`, the default) or
+    /// uniformly (`false` — a round-robin-style baseline for quantifying
+    /// what capacity-aware routing buys).
+    pub weight_by_free_capacity: bool,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        Self {
+            weight_by_free_capacity: true,
+        }
+    }
+}
+
+/// The per-cell router.
+#[derive(Debug, Clone)]
+pub struct Router {
+    cfg: RouterConfig,
+}
+
+impl Router {
+    /// Builds the router.
+    pub fn new(cfg: RouterConfig) -> Self {
+        Self { cfg }
+    }
+}
+
+impl Controller for Router {
+    fn name(&self) -> &'static str {
+        "route"
+    }
+
+    fn control(&mut self, obs: &CellObs, _pending: &[Command], _rng: &mut StdRng) -> Vec<Command> {
+        let weights = obs
+            .slots
+            .iter()
+            .map(|s| match s.mode {
+                Mode::Live => {
+                    if self.cfg.weight_by_free_capacity {
+                        (obs.max_queue as u64).saturating_sub(s.queued)
+                    } else {
+                        1
+                    }
+                }
+                _ => 0,
+            })
+            .collect();
+        vec![Command::SetWeights { weights }]
+    }
+}
+
+/// Splits `n` items over integer `weights` proportionally, using the
+/// largest-remainder method: every entry gets `⌊n·wᵢ/W⌋`, and the
+/// leftover items go to the largest remainders (ties to the lowest slot).
+/// Returns all zeros when the weights sum to zero. Exact: the shares
+/// always sum to `n` (when any weight is positive), with no floating
+/// point anywhere.
+pub fn apportion(n: u64, weights: &[u64]) -> Vec<u64> {
+    let mut shares = Vec::new();
+    let mut scratch = Vec::new();
+    apportion_into(n, weights, &mut shares, &mut scratch);
+    shares
+}
+
+/// In-place variant of [`apportion`] for hot loops: writes the shares
+/// into `shares` and uses `scratch` for the remainder sort, so a caller
+/// that reuses both buffers (e.g. the fleet engine's per-tick routing)
+/// performs no allocation once they have grown to the slot count.
+pub fn apportion_into(
+    n: u64,
+    weights: &[u64],
+    shares: &mut Vec<u64>,
+    scratch: &mut Vec<(u128, u32)>,
+) {
+    shares.clear();
+    scratch.clear();
+    let total: u128 = weights.iter().map(|&w| w as u128).sum();
+    if total == 0 || n == 0 {
+        shares.resize(weights.len(), 0);
+        return;
+    }
+    let mut assigned: u64 = 0;
+    for (i, &w) in weights.iter().enumerate() {
+        let exact = n as u128 * w as u128;
+        let share = (exact / total) as u64;
+        shares.push(share);
+        assigned += share;
+        scratch.push((exact % total, i as u32));
+    }
+    // Largest remainder first; ties broken toward the lowest slot index,
+    // making the comparator total so the result is independent of the
+    // sort algorithm.
+    scratch.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    for &(_, i) in scratch.iter().take((n - assigned) as usize) {
+        shares[i as usize] += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::InstanceObs;
+    use rand::SeedableRng;
+
+    #[test]
+    fn weights_track_free_capacity_of_live_slots() {
+        let mut r = Router::new(RouterConfig::default());
+        let mut rng = StdRng::seed_from_u64(1);
+        let obs = CellObs {
+            tick: 0,
+            interval_s: 5.0,
+            arrived_since_last: 0,
+            capacity_rps_per_instance: 2.0,
+            max_queue: 10,
+            slots: vec![
+                InstanceObs {
+                    mode: Mode::Live,
+                    queued: 3,
+                    active: 0,
+                },
+                InstanceObs {
+                    mode: Mode::Down,
+                    queued: 0,
+                    active: 0,
+                },
+                InstanceObs {
+                    mode: Mode::Live,
+                    queued: 12, // Over capacity (stale): clamps to 0.
+                    active: 0,
+                },
+                InstanceObs {
+                    mode: Mode::Cold,
+                    queued: 0,
+                    active: 0,
+                },
+            ],
+        };
+        let cmds = r.control(&obs, &[], &mut rng);
+        assert_eq!(
+            cmds,
+            vec![Command::SetWeights {
+                weights: vec![7, 0, 0, 0]
+            }]
+        );
+    }
+
+    #[test]
+    fn uniform_mode_ignores_queue_depth() {
+        let mut r = Router::new(RouterConfig {
+            weight_by_free_capacity: false,
+        });
+        let mut rng = StdRng::seed_from_u64(1);
+        let obs = CellObs {
+            tick: 0,
+            interval_s: 5.0,
+            arrived_since_last: 0,
+            capacity_rps_per_instance: 2.0,
+            max_queue: 10,
+            slots: vec![
+                InstanceObs {
+                    mode: Mode::Live,
+                    queued: 9,
+                    active: 0,
+                },
+                InstanceObs {
+                    mode: Mode::Live,
+                    queued: 0,
+                    active: 0,
+                },
+            ],
+        };
+        let cmds = r.control(&obs, &[], &mut rng);
+        assert_eq!(
+            cmds,
+            vec![Command::SetWeights {
+                weights: vec![1, 1]
+            }]
+        );
+    }
+
+    #[test]
+    fn apportion_is_exact_and_proportional() {
+        // Exact shares are 2.5, 2.5, 5.0: one leftover item exists and
+        // the remainder tie breaks toward the lower slot.
+        let shares = apportion(10, &[1, 1, 2]);
+        assert_eq!(shares.iter().sum::<u64>(), 10);
+        assert_eq!(shares, vec![3, 2, 5]);
+        let shares = apportion(10, &[1, 1, 2, 0]);
+        assert_eq!(shares, vec![3, 2, 5, 0]);
+    }
+
+    #[test]
+    fn apportion_zero_weights_or_items() {
+        assert_eq!(apportion(5, &[0, 0]), vec![0, 0]);
+        assert_eq!(apportion(0, &[3, 4]), vec![0, 0]);
+        assert_eq!(apportion(5, &[]), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn apportion_into_reuses_buffers_and_matches() {
+        let mut shares = Vec::new();
+        let mut scratch = Vec::new();
+        for (n, weights) in [
+            (10u64, vec![1u64, 1, 2]),
+            (7, vec![0, 5, 3]),
+            (0, vec![2, 2]),
+        ] {
+            apportion_into(n, &weights, &mut shares, &mut scratch);
+            assert_eq!(shares, apportion(n, &weights), "n={n}");
+        }
+    }
+
+    #[test]
+    fn apportion_sums_exactly_over_many_shapes() {
+        for n in [1u64, 7, 100, 12345] {
+            for weights in [vec![5, 0, 3, 9, 1], vec![1; 13], vec![u32::MAX as u64; 4]] {
+                let shares = apportion(n, &weights);
+                assert_eq!(shares.iter().sum::<u64>(), n, "n={n} w={weights:?}");
+                for (s, &w) in shares.iter().zip(&weights) {
+                    assert!(w > 0 || *s == 0);
+                }
+            }
+        }
+    }
+}

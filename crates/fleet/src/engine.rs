@@ -11,19 +11,36 @@
 //! shard and thread count** — and `tests/fleet_determinism.rs` enforces
 //! it.
 //!
+//! When a control plane is configured ([`FleetConfig::ctrl`]), a
+//! **control tick** runs between data ticks: each cell's
+//! [`litegpu_ctrl::ControllerStack`] observes the cell and issues
+//! commands — autoscaler parks/activations (with warm/cold boot
+//! latency), power-gating of parked instances, and routing-weight
+//! refreshes. All controller state is per-cell, lives inside the shard
+//! partition, and draws from the cell's own RNG stream, so controlled
+//! runs keep the byte-identical guarantee. Arrivals are then drawn per
+//! *cell* (demand is exogenous — it does not shrink when instances park
+//! or fail) and apportioned over live instances with exact integer
+//! largest-remainder splitting.
+//!
 //! Within a shard, cells step cell-major (all ticks of one cell before
 //! the next), which keeps each cell's working set hot in cache; the hot
 //! loop is Poisson arithmetic plus [`StepCostTable`] lookups, with no
 //! roofline evaluation, no allocation beyond queue churn, and no locks.
 
-use crate::report::FleetReport;
+use crate::report::{FleetReport, RunMeta};
 use crate::state::{CellState, FailureRates, InstanceState, ServeKnobs, ShardTotals};
-use crate::traffic::TrafficModel;
+use crate::traffic::{poisson, TrafficModel};
 use crate::{FleetError, Result};
 use litegpu_cluster::failure::FailureModel;
+use litegpu_cluster::power_mgmt::Policy;
+use litegpu_ctrl::{apportion_into, CellObs, Command, CtrlConfig, InstanceObs, Mode};
 use litegpu_roofline::{EngineParams, StepCostTable};
+use litegpu_specs::power::PowerModel;
 use litegpu_specs::GpuSpec;
 use litegpu_workload::ModelArch;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 /// A complete fleet-simulation configuration.
 #[derive(Debug, Clone)]
@@ -54,6 +71,9 @@ pub struct FleetConfig {
     pub max_prefill_batch: u32,
     /// Queue capacity per instance; beyond it requests are shed.
     pub max_queue_per_instance: u32,
+    /// Control plane (autoscaling, power gating, routing); `None` runs
+    /// the fixed fleet with instance-local arrivals.
+    pub ctrl: Option<CtrlConfig>,
     /// Simulated horizon, seconds.
     pub horizon_s: f64,
     /// Simulation tick, seconds.
@@ -79,21 +99,44 @@ impl FleetConfig {
             failure_acceleration: 200.0,
             max_prefill_batch: 4,
             max_queue_per_instance: 10_000,
+            ctrl: None,
             horizon_s: 24.0 * 3600.0,
             tick_s: 1.0,
         }
     }
 
     /// The Lite-GPU fleet with the same aggregate silicon: instances of
-    /// 8 Lite-GPUs (¼-H100 dies), same failure model calibration.
+    /// 8 Lite-GPUs (¼-H100 dies). The failure model uses the same
+    /// physical calibration (AFR per mm² of silicon), which the
+    /// area-scaling default now applies to the Lite package.
     pub fn lite_demo() -> Self {
         let gpu = litegpu_specs::catalog::lite_base();
-        let failure = FailureModel::default_for(&litegpu_specs::catalog::h100());
+        let failure = FailureModel::default_for(&gpu);
         Self {
             gpu,
             gpus_per_instance: 8,
             failure,
             ..Self::h100_demo()
+        }
+    }
+
+    /// The controlled H100 fleet: autoscaler + router, with parked
+    /// instances only able to down-clock ([`Policy::DvfsAll`] — the
+    /// monolithic-GPU limitation of §3).
+    pub fn h100_ctrl_demo() -> Self {
+        Self {
+            ctrl: Some(CtrlConfig::demo(Policy::DvfsAll)),
+            ..Self::h100_demo()
+        }
+    }
+
+    /// The controlled Lite fleet: same autoscaler + router, but parked
+    /// instances power off ([`Policy::GateToEfficiency`] — the per-unit
+    /// gating Lite-GPU granularity enables).
+    pub fn lite_ctrl_demo() -> Self {
+        Self {
+            ctrl: Some(CtrlConfig::demo(Policy::GateToEfficiency)),
+            ..Self::lite_demo()
         }
     }
 
@@ -156,6 +199,9 @@ impl FleetConfig {
                 value: self.traffic.rate_per_instance_s,
             });
         }
+        if let Some(ctrl) = &self.ctrl {
+            ctrl.validate().map_err(FleetError::Ctrl)?;
+        }
         Ok(())
     }
 
@@ -185,18 +231,257 @@ impl FleetConfig {
             repair_us: (self.failure.mttr_hours * 3600.0e6).round() as u64,
         }
     }
+
+    /// Integer per-instance power rates (mW), for exact energy
+    /// accumulation: `energy_µJ = power_mW × time_µs / 1000`.
+    fn instance_power(&self) -> InstancePower {
+        let model = PowerModel::for_spec(&self.gpu);
+        let g = self.gpus_per_instance as f64;
+        InstancePower {
+            idle_mw: (model.idle_w * g * 1000.0).round() as u64,
+            dyn_mw: (model.dynamic_w * g * 1000.0).round() as u64,
+        }
+    }
+
+    /// Sustainable request throughput of one instance, requests/s — the
+    /// capacity estimate the autoscaler sizes cells against: per-request
+    /// cost is an amortized prefill launch plus `output_len_mean` decode
+    /// steps at the full batch.
+    fn capacity_rps(&self, lut: &StepCostTable) -> f64 {
+        let b = self
+            .max_prefill_batch
+            .min(lut.max_prefill_batch)
+            .min(lut.max_batch)
+            .max(1);
+        let per_req_us = lut.prefill_us(b) as f64 / b as f64
+            + self.traffic.output_len_mean.max(1) as f64 * lut.decode_step_us(lut.max_batch) as f64
+                / lut.max_batch as f64;
+        1e6 / per_req_us.max(1.0)
+    }
+}
+
+/// Per-instance power rates in integer milliwatts.
+#[derive(Debug, Clone, Copy)]
+struct InstancePower {
+    idle_mw: u64,
+    dyn_mw: u64,
+}
+
+/// Read-only per-run context shared by every shard.
+struct Shared<'a> {
+    cfg: &'a FleetConfig,
+    lut: &'a StepCostTable,
+    knobs: ServeKnobs,
+    rates: FailureRates,
+    power: InstancePower,
+    cap_rps: f64,
+}
+
+/// Administrative state of one instance slot (orthogonal to the failure
+/// lifecycle's up/down).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SlotMode {
+    Live,
+    Warm,
+    Cold,
+    Booting { until_us: u64 },
+}
+
+/// One cell's control-plane runtime: the policy stack, the cell's own
+/// RNG stream, and the administrative state the stack manages. Lives
+/// entirely inside the shard partition.
+struct CellCtl {
+    stack: litegpu_ctrl::ControllerStack,
+    rng: StdRng,
+    modes: Vec<SlotMode>,
+    weights: Vec<u64>,
+    arrived_since: u64,
+    interval_ticks: u32,
+    warm_up_us: u64,
+    cold_up_us: u64,
+    // Reusable routing buffers, so the per-tick hot loop keeps the
+    // engine's no-allocation property.
+    eff: Vec<u64>,
+    shares: Vec<u64>,
+    scratch: Vec<(u128, u32)>,
+}
+
+impl CellCtl {
+    /// Distinct stream constant so cell-control RNG streams never alias
+    /// the per-instance streams (which mix with a different odd constant).
+    const STREAM: u64 = 0x5EED_C311_0C7A_11E5;
+
+    fn new(ctrl: &CtrlConfig, seed: u64, cell_idx: u32, n_slots: usize, tick_s: f64) -> Self {
+        let rng = StdRng::seed_from_u64(
+            seed ^ Self::STREAM ^ (cell_idx as u64).wrapping_mul(0xD1B5_4A32_D192_ED03),
+        );
+        let (warm_s, cold_s) = ctrl
+            .autoscaler
+            .map(|a| (a.warm_start_s, a.cold_start_s))
+            .unwrap_or((0.0, 0.0));
+        Self {
+            stack: ctrl.build(),
+            rng,
+            modes: vec![SlotMode::Live; n_slots],
+            weights: vec![1; n_slots],
+            arrived_since: 0,
+            interval_ticks: ((ctrl.control_interval_s / tick_s).round() as u32).max(1),
+            warm_up_us: (warm_s * 1e6).round() as u64,
+            cold_up_us: (cold_s * 1e6).round() as u64,
+            eff: Vec::with_capacity(n_slots),
+            shares: Vec::with_capacity(n_slots),
+            scratch: Vec::with_capacity(n_slots),
+        }
+    }
+
+    /// Promotes slots whose activation completed by `now_us`.
+    fn finish_boots(&mut self, now_us: u64) {
+        for m in &mut self.modes {
+            if matches!(m, SlotMode::Booting { until_us } if *until_us <= now_us) {
+                *m = SlotMode::Live;
+            }
+        }
+    }
+
+    /// Runs one control tick: observe, consult the policy stack, apply.
+    fn control(
+        &mut self,
+        tick: u32,
+        t_start_us: u64,
+        insts: &[InstanceState],
+        shared: &Shared<'_>,
+        acc: &mut ShardTotals,
+    ) {
+        let obs = CellObs {
+            tick,
+            interval_s: self.interval_ticks as f64 * shared.cfg.tick_s,
+            arrived_since_last: core::mem::take(&mut self.arrived_since),
+            capacity_rps_per_instance: shared.cap_rps,
+            max_queue: shared.knobs.max_queue,
+            slots: self
+                .modes
+                .iter()
+                .zip(insts)
+                .map(|(m, inst)| InstanceObs {
+                    mode: if !inst.up {
+                        Mode::Down
+                    } else {
+                        match m {
+                            SlotMode::Live => Mode::Live,
+                            SlotMode::Warm => Mode::Warm,
+                            SlotMode::Cold => Mode::Cold,
+                            SlotMode::Booting { .. } => Mode::Booting,
+                        }
+                    },
+                    queued: inst.queued(),
+                    active: inst.active(),
+                })
+                .collect(),
+        };
+        for cmd in self.stack.control(&obs, &mut self.rng) {
+            match cmd {
+                Command::Activate { slot } => {
+                    let s = slot as usize;
+                    if s >= self.modes.len() {
+                        continue;
+                    }
+                    let boot_us = match self.modes[s] {
+                        SlotMode::Warm => self.warm_up_us,
+                        SlotMode::Cold => self.cold_up_us,
+                        _ => continue,
+                    };
+                    self.modes[s] = if boot_us == 0 {
+                        SlotMode::Live
+                    } else {
+                        SlotMode::Booting {
+                            until_us: t_start_us.saturating_add(boot_us),
+                        }
+                    };
+                    acc.scale_ups += 1;
+                }
+                Command::Park { slot } => {
+                    let s = slot as usize;
+                    if s < insts.len()
+                        && self.modes[s] == SlotMode::Live
+                        && insts[s].up
+                        && insts[s].is_idle()
+                    {
+                        // Parking alone keeps the instance powered at its
+                        // idle floor; only a power-gating policy's SetCold
+                        // (issued later in this same command batch) may
+                        // drop it to zero draw. Without a gater, parked
+                        // capacity correctly keeps paying the floor.
+                        self.modes[s] = SlotMode::Warm;
+                        acc.scale_downs += 1;
+                    }
+                }
+                Command::SetWarm { slot } => {
+                    if let Some(m @ SlotMode::Cold) = self.modes.get_mut(slot as usize) {
+                        *m = SlotMode::Warm;
+                    }
+                }
+                Command::SetCold { slot } => {
+                    if let Some(m @ SlotMode::Warm) = self.modes.get_mut(slot as usize) {
+                        *m = SlotMode::Cold;
+                    }
+                }
+                Command::SetWeights { weights } => {
+                    if weights.len() == self.modes.len() {
+                        self.weights = weights;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Draws the cell's exogenous arrivals for one tick and apportions
+    /// them over live instances by the (control-tick-stale) routing
+    /// weights, masked by current liveness.
+    fn route_arrivals(
+        &mut self,
+        tick: u32,
+        lambda_per_instance: f64,
+        insts: &mut [InstanceState],
+        knobs: &ServeKnobs,
+        acc: &mut ShardTotals,
+    ) {
+        let n = poisson(&mut self.rng, lambda_per_instance * insts.len() as f64);
+        if n == 0 {
+            return;
+        }
+        acc.arrived += n;
+        self.arrived_since += n;
+        self.eff.clear();
+        self.eff
+            .extend(self.modes.iter().zip(insts.iter()).zip(&self.weights).map(
+                |((m, inst), &w)| {
+                    if *m == SlotMode::Live && inst.up {
+                        w
+                    } else {
+                        0
+                    }
+                },
+            ));
+        if self.eff.iter().all(|&w| w == 0) {
+            acc.rejected += n;
+            acc.routing_shed += n;
+            return;
+        }
+        apportion_into(n, &self.eff, &mut self.shares, &mut self.scratch);
+        for (i, &share) in self.shares.iter().enumerate() {
+            if share > 0 {
+                acc.routed += insts[i].push_arrivals(tick, share, knobs, acc);
+            }
+        }
+    }
 }
 
 /// Steps every cell in `[cell_lo, cell_hi)` through the whole horizon.
-fn simulate_cells(
-    cfg: &FleetConfig,
-    seed: u64,
-    lut: &StepCostTable,
-    knobs: &ServeKnobs,
-    rates: &FailureRates,
-    cell_lo: u32,
-    cell_hi: u32,
-) -> ShardTotals {
+fn simulate_cells(shared: &Shared<'_>, seed: u64, cell_lo: u32, cell_hi: u32) -> ShardTotals {
+    let cfg = shared.cfg;
+    let knobs = &shared.knobs;
+    let rates = &shared.rates;
+    let power = &shared.power;
     let mut acc = ShardTotals::new();
     let ticks = cfg.num_ticks();
     let tick_us = knobs.tick_us;
@@ -212,14 +497,55 @@ fn simulate_cells(
         let mut insts: Vec<InstanceState> = (first..last)
             .map(|g| InstanceState::new(seed, g as u64, rates))
             .collect();
+        let mut ctl = cfg
+            .ctrl
+            .as_ref()
+            .map(|c| CellCtl::new(c, seed, cell_idx, insts.len(), cfg.tick_s));
         for tick in 0..ticks {
             let t_start = tick as u64 * tick_us;
             cell.reclaim_repaired(t_start);
             let lambda = lambda_per_tick[tick as usize];
             for inst in insts.iter_mut() {
                 inst.lifecycle(t_start, tick_us, rates, &mut cell, &mut acc);
-                inst.arrivals(tick, lambda, knobs, &mut acc);
-                inst.serve(tick, lut, knobs, &mut acc);
+            }
+            if let Some(c) = ctl.as_mut() {
+                c.finish_boots(t_start);
+                if tick > 0 && tick % c.interval_ticks == 0 {
+                    c.control(tick, t_start, &insts, shared, &mut acc);
+                }
+                c.route_arrivals(tick, lambda, &mut insts, knobs, &mut acc);
+            } else {
+                for inst in insts.iter_mut() {
+                    inst.arrivals(tick, lambda, knobs, &mut acc);
+                }
+            }
+            for (i, inst) in insts.iter_mut().enumerate() {
+                let mode = ctl.as_ref().map_or(SlotMode::Live, |c| c.modes[i]);
+                let spent = if mode == SlotMode::Live {
+                    inst.serve(tick, shared.lut, knobs, &mut acc)
+                } else {
+                    0
+                };
+                // Energy: powered states only. A down instance draws
+                // nothing (its unit is out for swap/repair); a gated
+                // (cold) instance draws nothing — that is the §3 win.
+                if inst.up {
+                    match mode {
+                        SlotMode::Live => {
+                            acc.energy_uj +=
+                                (power.idle_mw * tick_us + power.dyn_mw * spent) / 1000;
+                            acc.idle_energy_uj +=
+                                power.idle_mw * (tick_us - spent.min(tick_us)) / 1000;
+                            acc.live_ticks += 1;
+                        }
+                        SlotMode::Warm | SlotMode::Booting { .. } => {
+                            let e = power.idle_mw * tick_us / 1000;
+                            acc.energy_uj += e;
+                            acc.idle_energy_uj += e;
+                        }
+                        SlotMode::Cold => {}
+                    }
+                }
             }
         }
         let horizon_us = ticks as u64 * tick_us;
@@ -236,8 +562,14 @@ fn simulate_cells(
 pub fn run_sharded(cfg: &FleetConfig, seed: u64, shards: u32, threads: u32) -> Result<FleetReport> {
     cfg.validate()?;
     let lut = StepCostTable::build(&cfg.gpu, &cfg.arch, cfg.gpus_per_instance, &cfg.params)?;
-    let knobs = cfg.knobs();
-    let rates = cfg.failure_rates();
+    let shared = Shared {
+        cfg,
+        lut: &lut,
+        knobs: cfg.knobs(),
+        rates: cfg.failure_rates(),
+        power: cfg.instance_power(),
+        cap_rps: cfg.capacity_rps(&lut),
+    };
     let cells = cfg.num_cells();
     let shards = shards.clamp(1, cells);
     let threads = threads.clamp(1, shards);
@@ -248,39 +580,18 @@ pub fn run_sharded(cfg: &FleetConfig, seed: u64, shards: u32, threads: u32) -> R
     if threads == 1 {
         for (s, slot) in slots.iter_mut().enumerate() {
             let s = s as u32;
-            *slot = Some(simulate_cells(
-                cfg,
-                seed,
-                &lut,
-                &knobs,
-                &rates,
-                bounds(s),
-                bounds(s + 1),
-            ));
+            *slot = Some(simulate_cells(&shared, seed, bounds(s), bounds(s + 1)));
         }
     } else {
         std::thread::scope(|scope| {
-            let lut = &lut;
-            let knobs = &knobs;
-            let rates = &rates;
+            let shared = &shared;
             let handles: Vec<_> = (0..threads)
                 .map(|w| {
                     scope.spawn(move || {
                         let mut out = Vec::new();
                         let mut s = w;
                         while s < shards {
-                            out.push((
-                                s,
-                                simulate_cells(
-                                    cfg,
-                                    seed,
-                                    lut,
-                                    knobs,
-                                    rates,
-                                    bounds(s),
-                                    bounds(s + 1),
-                                ),
-                            ));
+                            out.push((s, simulate_cells(shared, seed, bounds(s), bounds(s + 1))));
                             s += threads;
                         }
                         out
@@ -302,14 +613,20 @@ pub fn run_sharded(cfg: &FleetConfig, seed: u64, shards: u32, threads: u32) -> R
     let horizon_s_eff = cfg.num_ticks() as f64 * cfg.tick_s;
     Ok(FleetReport::finalize(
         &totals,
-        cfg.gpu.name.clone(),
-        cfg.arch.name.clone(),
-        cfg.instances,
-        cfg.gpus_per_instance,
-        cells,
-        cells * cfg.spares_per_cell,
-        horizon_s_eff,
-        cfg.tick_s,
+        RunMeta {
+            gpu: cfg.gpu.name.clone(),
+            model: cfg.arch.name.clone(),
+            controller: cfg
+                .ctrl
+                .as_ref()
+                .map_or_else(|| "none".to_string(), |c| c.label()),
+            instances: cfg.instances,
+            gpus_per_instance: cfg.gpus_per_instance,
+            cells,
+            spares: cells * cfg.spares_per_cell,
+            horizon_s: horizon_s_eff,
+            tick_s: cfg.tick_s,
+        },
     ))
 }
 
@@ -335,6 +652,15 @@ mod tests {
         c
     }
 
+    fn small_ctrl_cfg() -> FleetConfig {
+        let mut c = FleetConfig::lite_ctrl_demo();
+        c.instances = 24;
+        c.cell_size = 4;
+        c.horizon_s = 900.0;
+        c.failure_acceleration = 100_000.0;
+        c
+    }
+
     #[test]
     fn small_fleet_serves_and_fails() {
         let r = run_sharded(&small_cfg(), 7, 1, 1).unwrap();
@@ -344,6 +670,13 @@ mod tests {
         assert!(r.failures > 0, "acceleration should inject failures");
         assert!(r.availability < 1.0 && r.availability > 0.5);
         assert!(r.ttft_p50_s > 0.0);
+        assert_eq!(r.controller, "none");
+        // Energy is first-class even without a controller.
+        assert!(r.energy_j > 0);
+        assert!(r.idle_energy_j > 0);
+        assert!(r.energy_per_token_j > 0.0);
+        assert!(r.avg_live_instances > 0.0 && r.avg_live_instances <= 24.0);
+        assert_eq!(r.scale_ups + r.scale_downs + r.routed, 0);
     }
 
     #[test]
@@ -357,6 +690,63 @@ mod tests {
         }
         let auto = run(&cfg, 42).unwrap();
         assert_eq!(auto, base);
+    }
+
+    #[test]
+    fn controlled_fleet_scales_routes_and_stays_deterministic() {
+        let cfg = small_ctrl_cfg();
+        let base = run_sharded(&cfg, 11, 1, 1).unwrap();
+        assert_eq!(base.controller, "autoscale+gate(GateToEfficiency)+route");
+        assert!(base.completed > 0);
+        assert!(base.routed > 0, "arrivals must flow through the router");
+        assert!(base.scale_downs > 0, "quiet midnight load must park");
+        assert!(base.energy_j > 0);
+        for (shards, threads) in [(3, 1), (6, 4)] {
+            let r = run_sharded(&cfg, 11, shards, threads).unwrap();
+            assert_eq!(r.to_json(), base.to_json(), "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn parking_reduces_idle_energy() {
+        // Gated autoscaling at low load must burn less idle energy than
+        // the same fleet pinned fully live.
+        let mut quiet = small_ctrl_cfg();
+        quiet.failure_acceleration = 0.0;
+        quiet.traffic.rate_per_instance_s = 0.1;
+        let controlled = run_sharded(&quiet, 3, 2, 2).unwrap();
+        let mut fixed = quiet.clone();
+        fixed.ctrl = None;
+        let uncontrolled = run_sharded(&fixed, 3, 2, 2).unwrap();
+        assert!(
+            controlled.idle_energy_j < uncontrolled.idle_energy_j / 2,
+            "controlled {} vs uncontrolled {}",
+            controlled.idle_energy_j,
+            uncontrolled.idle_energy_j
+        );
+        assert!(controlled.avg_live_instances < uncontrolled.avg_live_instances);
+    }
+
+    #[test]
+    fn parking_without_a_gater_keeps_paying_the_idle_floor() {
+        // An autoscaler with no power module must not grant zero-draw
+        // parking: parked slots stay warm (idle floor, warm boots), so
+        // idle energy sits well above the gated fleet's.
+        let mut quiet = small_ctrl_cfg();
+        quiet.failure_acceleration = 0.0;
+        quiet.traffic.rate_per_instance_s = 0.1;
+        let gated = run_sharded(&quiet, 3, 2, 2).unwrap();
+        let mut ungated = quiet.clone();
+        ungated.ctrl.as_mut().unwrap().power = None;
+        let warm_parked = run_sharded(&ungated, 3, 2, 2).unwrap();
+        assert_eq!(warm_parked.controller, "autoscale+route");
+        assert!(warm_parked.scale_downs > 0);
+        assert!(
+            warm_parked.idle_energy_j > 2 * gated.idle_energy_j,
+            "ungated parking {} J should pay the floor vs gated {} J",
+            warm_parked.idle_energy_j,
+            gated.idle_energy_j
+        );
     }
 
     #[test]
@@ -419,5 +809,10 @@ mod tests {
         let mut c = small_cfg();
         c.horizon_s = f64::NAN;
         assert!(run_sharded(&c, 1, 1, 1).is_err());
+        // Control-plane validation is wired through too.
+        let mut c = small_ctrl_cfg();
+        c.ctrl.as_mut().unwrap().router = None;
+        let err = run_sharded(&c, 1, 1, 1).unwrap_err();
+        assert!(matches!(err, FleetError::Ctrl(_)));
     }
 }

@@ -1,7 +1,7 @@
 //! Mergeable latency histograms over integer microseconds.
 //!
 //! Fleet runs record tens of millions of latency samples across many
-//! shards; keeping raw sample vectors (as [`litegpu_sim::stats::Samples`]
+//! shards; keeping raw sample vectors (as `litegpu_sim::stats::Samples`
 //! does) would not scale, and merging sorted vectors across shards would
 //! be order-sensitive. This histogram is HDR-style: log₂ major buckets
 //! with [`LatencyHistogram::SUB_BITS`] linear sub-buckets each, bounding

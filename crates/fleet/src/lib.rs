@@ -3,7 +3,7 @@
 //!
 //! The paper's serving-system claims (§3) — smaller blast radius, cheaper
 //! hot spares, higher available FLOPS — are *fleet-scale, multi-day*
-//! dynamics. [`litegpu_sim`]'s per-event simulator resolves individual
+//! dynamics. `litegpu_sim`'s per-event simulator resolves individual
 //! decode steps, which is the right tool for minutes of simulated time
 //! and a handful of instances, but a thousand instances over days would
 //! mean billions of events. This crate trades per-step events for a
@@ -42,12 +42,15 @@
 
 pub mod engine;
 pub mod hist;
+pub mod provision;
 pub mod report;
 pub mod state;
 pub mod traffic;
 
 pub use engine::{run, run_sharded, FleetConfig};
 pub use hist::LatencyHistogram;
+pub use litegpu_ctrl as ctrl;
+pub use provision::{spares_for_target, SpareSearch};
 pub use report::FleetReport;
 pub use traffic::{TrafficModel, TrafficPattern};
 
@@ -63,6 +66,16 @@ pub enum FleetError {
     },
     /// Underlying roofline error (instance timing).
     Roofline(litegpu_roofline::RooflineError),
+    /// The control-plane configuration was invalid.
+    Ctrl(&'static str),
+    /// A spare-provisioning search exhausted its sweep range without
+    /// reaching the availability target.
+    TargetUnreachable {
+        /// The requested availability target.
+        target: f64,
+        /// The best availability seen during the sweep.
+        best: f64,
+    },
 }
 
 impl core::fmt::Display for FleetError {
@@ -72,6 +85,11 @@ impl core::fmt::Display for FleetError {
                 write!(f, "invalid fleet parameter {name} = {value}")
             }
             FleetError::Roofline(e) => write!(f, "roofline error: {e}"),
+            FleetError::Ctrl(msg) => write!(f, "invalid control-plane config: {msg}"),
+            FleetError::TargetUnreachable { target, best } => write!(
+                f,
+                "availability target {target} unreachable (best seen: {best})"
+            ),
         }
     }
 }

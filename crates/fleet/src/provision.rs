@@ -1,0 +1,113 @@
+//! Fleet-level spare-provisioning search: the fleet analogue of
+//! [`litegpu_cluster::failure::spares_for_target`].
+//!
+//! The cluster-level search answers "how many shared spares does a small
+//! Monte-Carlo fleet need"; this one asks the full fleet simulator, so
+//! the answer reflects per-cell spare pools, repair queues, diurnal
+//! traffic, and (when configured) the control plane. Because every run
+//! is deterministic under its seed, the sweep itself is deterministic.
+
+use crate::engine::{run, FleetConfig};
+use crate::report::FleetReport;
+use crate::{FleetError, Result};
+
+/// Result of a spare-provisioning sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpareSearch {
+    /// Smallest per-cell spare pool meeting the target.
+    pub spares_per_cell: u32,
+    /// The full report of the winning configuration.
+    pub report: FleetReport,
+}
+
+/// Sweeps `spares_per_cell` upward from zero until instance availability
+/// reaches `target`, running the whole fleet simulation at each step.
+///
+/// Returns the smallest pool that meets the target, or
+/// [`FleetError::TargetUnreachable`] if even `max_spares_per_cell` per
+/// cell falls short (for example when repairs, not spare starvation,
+/// dominate downtime).
+pub fn spares_for_target(
+    cfg: &FleetConfig,
+    target: f64,
+    max_spares_per_cell: u32,
+    seed: u64,
+) -> Result<SpareSearch> {
+    if !(0.0..=1.0).contains(&target) || !target.is_finite() {
+        return Err(FleetError::InvalidParameter {
+            name: "target",
+            value: target,
+        });
+    }
+    let mut best = 0.0f64;
+    for spares_per_cell in 0..=max_spares_per_cell {
+        let mut c = cfg.clone();
+        c.spares_per_cell = spares_per_cell;
+        let report = run(&c, seed)?;
+        if report.availability >= target {
+            return Ok(SpareSearch {
+                spares_per_cell,
+                report,
+            });
+        }
+        best = best.max(report.availability);
+    }
+    Err(FleetError::TargetUnreachable { target, best })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> FleetConfig {
+        let mut c = FleetConfig::h100_demo();
+        c.instances = 24;
+        c.cell_size = 8;
+        c.horizon_s = 1800.0;
+        c.failure_acceleration = 30_000.0;
+        c
+    }
+
+    #[test]
+    fn finds_minimal_pool_meeting_target() {
+        let c = cfg();
+        // Pick a target between the 0-spare and max-spare availability so
+        // the search has real work to do.
+        let none = run(
+            &{
+                let mut c = c.clone();
+                c.spares_per_cell = 0;
+                c
+            },
+            9,
+        )
+        .unwrap();
+        let target = (none.availability + 1.0) / 2.0;
+        let found = spares_for_target(&c, target, 8, 9).unwrap();
+        assert!(found.report.availability >= target);
+        // Minimality: one fewer spare (if any) missed the target.
+        if found.spares_per_cell > 0 {
+            let mut below = c.clone();
+            below.spares_per_cell = found.spares_per_cell - 1;
+            assert!(run(&below, 9).unwrap().availability < target);
+        }
+    }
+
+    #[test]
+    fn unreachable_target_reports_best_seen() {
+        let c = cfg();
+        match spares_for_target(&c, 1.0, 1, 9) {
+            Err(FleetError::TargetUnreachable { target, best }) => {
+                assert_eq!(target, 1.0);
+                assert!(best > 0.0 && best < 1.0);
+            }
+            other => panic!("expected TargetUnreachable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_target_rejected() {
+        assert!(spares_for_target(&cfg(), 1.5, 2, 1).is_err());
+        assert!(spares_for_target(&cfg(), f64::NAN, 2, 1).is_err());
+    }
+}

@@ -9,6 +9,29 @@
 
 use crate::state::ShardTotals;
 
+/// Run-level metadata threaded from the config into the report.
+#[derive(Debug, Clone)]
+pub(crate) struct RunMeta {
+    /// GPU configuration name.
+    pub gpu: String,
+    /// Model name.
+    pub model: String,
+    /// Control-plane label (`"none"` when no controller ran).
+    pub controller: String,
+    /// Model instances simulated.
+    pub instances: u32,
+    /// GPUs per instance.
+    pub gpus_per_instance: u32,
+    /// Repair cells.
+    pub cells: u32,
+    /// GPU-sized hot spares across the fleet.
+    pub spares: u32,
+    /// Effective simulated horizon, seconds.
+    pub horizon_s: f64,
+    /// Simulation tick, seconds.
+    pub tick_s: f64,
+}
+
 /// Aggregated results of a fleet run.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct FleetReport {
@@ -16,6 +39,9 @@ pub struct FleetReport {
     pub gpu: String,
     /// Model name.
     pub model: String,
+    /// Control-plane policies that ran (e.g.
+    /// `autoscale+gate(GateToEfficiency)+route`), or `none`.
+    pub controller: String,
     /// Model instances simulated.
     pub instances: u32,
     /// GPUs per instance.
@@ -33,7 +59,7 @@ pub struct FleetReport {
     pub tick_s: f64,
     /// Requests that arrived.
     pub arrived: u64,
-    /// Requests shed at full queues.
+    /// Requests shed at full queues (includes router sheds).
     pub rejected: u64,
     /// Requests fully served.
     pub completed: u64,
@@ -54,6 +80,28 @@ pub struct FleetReport {
     pub spare_hits: u64,
     /// Failures that had to wait for a full repair.
     pub spare_misses: u64,
+    /// Total fleet energy over the horizon, joules (integer accumulators;
+    /// static floors plus utilization-proportional dynamic power; powered
+    /// states only — gated and failed instances draw nothing).
+    pub energy_j: u64,
+    /// Energy drawn while powered but not serving, joules: live
+    /// instances' static floor during unutilized time plus warm-parked
+    /// and booting instances. The §3 elasticity waste per-unit power
+    /// gating attacks.
+    pub idle_energy_j: u64,
+    /// Total energy per generated token, joules/token.
+    pub energy_per_token_j: f64,
+    /// Mean instances live (serving-eligible) over the run — under an
+    /// autoscaler this is the fleet's effective size.
+    pub avg_live_instances: f64,
+    /// Autoscaler activations applied (warm or cold).
+    pub scale_ups: u64,
+    /// Autoscaler parks applied.
+    pub scale_downs: u64,
+    /// Arrivals placed on an instance by the cell router.
+    pub routed: u64,
+    /// Arrivals the router shed because no live instance had queue room.
+    pub routing_shed: u64,
     /// Median time to first token, seconds.
     pub ttft_p50_s: f64,
     /// 99th-percentile TTFT, seconds.
@@ -74,19 +122,8 @@ pub struct FleetReport {
 
 impl FleetReport {
     /// Finalizes merged totals into the public report.
-    #[allow(clippy::too_many_arguments)] // One call site, engine-internal.
-    pub(crate) fn finalize(
-        totals: &ShardTotals,
-        gpu: String,
-        model: String,
-        instances: u32,
-        gpus_per_instance: u32,
-        cells: u32,
-        spares: u32,
-        horizon_s: f64,
-        tick_s: f64,
-    ) -> Self {
-        let instance_time_us = instances as u128 * (horizon_s * 1e6) as u128;
+    pub(crate) fn finalize(totals: &ShardTotals, meta: RunMeta) -> Self {
+        let instance_time_us = meta.instances as u128 * (meta.horizon_s * 1e6) as u128;
         let availability = if instance_time_us == 0 {
             1.0
         } else {
@@ -99,27 +136,42 @@ impl FleetReport {
                 num as f64 / den as f64
             }
         };
+        let ticks = (meta.horizon_s / meta.tick_s).round().max(1.0);
         Self {
-            gpu,
-            model,
-            instances,
-            gpus_per_instance,
-            cells,
-            spares,
-            spare_overhead: spares as f64 / (instances as f64 * gpus_per_instance as f64),
-            simulated_hours: horizon_s / 3600.0,
-            tick_s,
+            gpu: meta.gpu,
+            model: meta.model,
+            controller: meta.controller,
+            instances: meta.instances,
+            gpus_per_instance: meta.gpus_per_instance,
+            cells: meta.cells,
+            spares: meta.spares,
+            spare_overhead: meta.spares as f64
+                / (meta.instances as f64 * meta.gpus_per_instance as f64),
+            simulated_hours: meta.horizon_s / 3600.0,
+            tick_s: meta.tick_s,
             arrived: totals.arrived,
             rejected: totals.rejected,
             completed: totals.completed,
             retried: totals.retried,
             generated_tokens: totals.generated_tokens,
             decode_steps: totals.decode_steps,
-            goodput_tps: totals.generated_tokens as f64 / horizon_s,
+            goodput_tps: totals.generated_tokens as f64 / meta.horizon_s,
             availability,
             failures: totals.failures,
             spare_hits: totals.spare_hits,
             spare_misses: totals.spare_misses,
+            energy_j: totals.energy_uj / 1_000_000,
+            idle_energy_j: totals.idle_energy_uj / 1_000_000,
+            energy_per_token_j: if totals.generated_tokens == 0 {
+                0.0
+            } else {
+                (totals.energy_uj / 1_000_000) as f64 / totals.generated_tokens as f64
+            },
+            avg_live_instances: totals.live_ticks as f64 / ticks,
+            scale_ups: totals.scale_ups,
+            scale_downs: totals.scale_downs,
+            routed: totals.routed,
+            routing_shed: totals.routing_shed,
             ttft_p50_s: totals.ttft.percentile_s(50.0),
             ttft_p99_s: totals.ttft.percentile_s(99.0),
             ttft_attainment: frac(totals.ttft_slo_ok, totals.ttft_recorded),
@@ -140,12 +192,13 @@ impl FleetReport {
     /// One-line human summary.
     pub fn summary(&self) -> String {
         format!(
-            "{} x{} ({} GPUs/inst): {:.1} h, {} arrived, {} completed, \
+            "{} x{} ({} GPUs/inst, ctrl {}): {:.1} h, {} arrived, {} completed, \
              goodput {:.0} tok/s, availability {:.4}, TTFT p99 {:.3} s, \
-             {} failures ({} spare hits)",
+             {} failures ({} spare hits), {:.1} MJ ({:.0}% idle)",
             self.gpu,
             self.instances,
             self.gpus_per_instance,
+            self.controller,
             self.simulated_hours,
             self.arrived,
             self.completed,
@@ -154,6 +207,12 @@ impl FleetReport {
             self.ttft_p99_s,
             self.failures,
             self.spare_hits,
+            self.energy_j as f64 / 1e6,
+            if self.energy_j == 0 {
+                0.0
+            } else {
+                100.0 * self.idle_energy_j as f64 / self.energy_j as f64
+            },
         )
     }
 }
@@ -175,25 +234,36 @@ mod tests {
         t.spare_hits = 2;
         t.spare_misses = 1;
         t.downtime_us = 3_600_000_000; // One instance-hour.
+        t.energy_uj = 9_000_000_000; // 9 kJ.
+        t.idle_energy_uj = 3_000_000_000;
+        t.live_ticks = 18_000_000; // 500 instances mean over 36 000 ticks.
+        t.scale_ups = 12;
+        t.scale_downs = 15;
+        t.routed = 99;
+        t.routing_shed = 1;
         t.ttft.record(200_000, 95);
         t.tbt.record(30_000, 1000);
         t.e2e.record(5_000_000, 90);
         t
     }
 
+    fn meta() -> RunMeta {
+        RunMeta {
+            gpu: "H100".into(),
+            model: "llama3-70b".into(),
+            controller: "autoscale+gate(DvfsAll)+route".into(),
+            instances: 100,
+            gpus_per_instance: 2,
+            cells: 10,
+            spares: 10,
+            horizon_s: 36_000.0,
+            tick_s: 1.0,
+        }
+    }
+
     #[test]
     fn finalize_derives_metrics_from_integers() {
-        let r = FleetReport::finalize(
-            &totals(),
-            "H100".into(),
-            "llama3-70b".into(),
-            100,
-            2,
-            10,
-            10,
-            36_000.0,
-            1.0,
-        );
+        let r = FleetReport::finalize(&totals(), meta());
         assert_eq!(r.arrived, 100);
         assert!((r.goodput_tps - 1.25).abs() < 1e-12);
         // 1 instance-hour down out of 1000 instance-hours.
@@ -201,21 +271,18 @@ mod tests {
         assert!((r.tbt_attainment - 0.9).abs() < 1e-12);
         assert!((r.spare_overhead - 0.05).abs() < 1e-12);
         assert!(r.ttft_p50_s > 0.1 && r.ttft_p50_s < 0.3);
+        assert_eq!(r.energy_j, 9_000);
+        assert_eq!(r.idle_energy_j, 3_000);
+        assert!((r.energy_per_token_j - 0.2).abs() < 1e-12);
+        assert!((r.avg_live_instances - 500.0).abs() < 1e-9);
+        assert_eq!(r.scale_ups, 12);
+        assert_eq!(r.scale_downs, 15);
+        assert_eq!((r.routed, r.routing_shed), (99, 1));
     }
 
     #[test]
     fn json_rendering_is_deterministic_and_complete() {
-        let r = FleetReport::finalize(
-            &totals(),
-            "Lite".into(),
-            "llama3-70b".into(),
-            64,
-            8,
-            4,
-            4,
-            7200.0,
-            1.0,
-        );
+        let r = FleetReport::finalize(&totals(), meta());
         let a = r.to_json();
         let b = r.to_json();
         assert_eq!(a, b);
@@ -225,8 +292,24 @@ mod tests {
             "ttft_p99_s",
             "spare_hits",
             "generated_tokens",
+            "energy_j",
+            "idle_energy_j",
+            "energy_per_token_j",
+            "scale_ups",
+            "scale_downs",
+            "routed",
+            "controller",
+            "avg_live_instances",
         ] {
             assert!(a.contains(key), "missing {key}");
         }
+    }
+
+    #[test]
+    fn summary_mentions_controller_and_energy() {
+        let r = FleetReport::finalize(&totals(), meta());
+        let s = r.summary();
+        assert!(s.contains("autoscale"));
+        assert!(s.contains("MJ"));
     }
 }

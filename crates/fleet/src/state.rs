@@ -83,6 +83,22 @@ pub(crate) struct ShardTotals {
     pub ttft_recorded: u64,
     pub ttft_slo_ok: u64,
     pub tbt_slo_ok_steps: u64,
+    /// Total energy drawn by powered instances, microjoules.
+    pub energy_uj: u64,
+    /// Energy drawn while powered but not serving (static floors of live
+    /// instances' unutilized time, warm-parked and booting instances),
+    /// microjoules — the elasticity waste power gating attacks.
+    pub idle_energy_uj: u64,
+    /// Instance-ticks spent live and up (for mean live-pool size).
+    pub live_ticks: u64,
+    /// Autoscaler activations applied.
+    pub scale_ups: u64,
+    /// Autoscaler parks applied.
+    pub scale_downs: u64,
+    /// Arrivals placed on an instance by the cell router.
+    pub routed: u64,
+    /// Arrivals shed by the router because no live instance had capacity.
+    pub routing_shed: u64,
     pub ttft: LatencyHistogram,
     pub tbt: LatencyHistogram,
     pub e2e: LatencyHistogram,
@@ -113,6 +129,13 @@ impl ShardTotals {
         self.ttft_recorded += other.ttft_recorded;
         self.ttft_slo_ok += other.ttft_slo_ok;
         self.tbt_slo_ok_steps += other.tbt_slo_ok_steps;
+        self.energy_uj += other.energy_uj;
+        self.idle_energy_uj += other.idle_energy_uj;
+        self.live_ticks += other.live_ticks;
+        self.scale_ups += other.scale_ups;
+        self.scale_downs += other.scale_downs;
+        self.routed += other.routed;
+        self.routing_shed += other.routing_shed;
         self.ttft.merge(&other.ttft);
         self.tbt.merge(&other.tbt);
         self.e2e.merge(&other.e2e);
@@ -269,13 +292,27 @@ impl InstanceState {
         self.active = 0;
     }
 
-    /// Poisson arrivals for one tick at mean `lambda` requests.
+    /// Poisson arrivals for one tick at mean `lambda` requests (the
+    /// instance-local arrival process used when no router runs).
     pub fn arrivals(&mut self, tick: u32, lambda: f64, knobs: &ServeKnobs, acc: &mut ShardTotals) {
         let n = poisson(&mut self.rng, lambda);
         if n == 0 {
             return;
         }
         acc.arrived += n;
+        self.push_arrivals(tick, n, knobs, acc);
+    }
+
+    /// Admits up to `n` externally-routed requests against the queue cap,
+    /// shedding the rest. Returns the admitted count. Does **not** count
+    /// `arrived` — the caller (router or [`Self::arrivals`]) owns that.
+    pub fn push_arrivals(
+        &mut self,
+        tick: u32,
+        n: u64,
+        knobs: &ServeKnobs,
+        acc: &mut ShardTotals,
+    ) -> u64 {
         let room = (knobs.max_queue as u64).saturating_sub(self.queued);
         let admitted = n.min(room);
         acc.rejected += n - admitted;
@@ -287,25 +324,43 @@ impl InstanceState {
             });
             self.queued += admitted;
         }
+        admitted
+    }
+
+    /// Requests waiting in the queue.
+    pub fn queued(&self) -> u64 {
+        self.queued
+    }
+
+    /// Sequences currently decoding.
+    pub fn active(&self) -> u32 {
+        self.active
+    }
+
+    /// Whether the instance holds no work (parkable).
+    pub fn is_idle(&self) -> bool {
+        self.queued == 0 && self.active == 0
     }
 
     /// Serves one tick: prefill (prioritized) then decode steps, spending
-    /// `tick_us` plus any carried budget.
+    /// `tick_us` plus any carried budget. Returns the serving time spent
+    /// this tick, µs (what dynamic energy accounting bills).
     pub fn serve(
         &mut self,
         tick: u32,
         lut: &StepCostTable,
         knobs: &ServeKnobs,
         acc: &mut ShardTotals,
-    ) {
+    ) -> u64 {
         if !self.up {
-            return;
+            return 0;
         }
         if self.queued == 0 && self.active == 0 {
             self.carry_us = 0;
-            return;
+            return 0;
         }
-        let mut budget = knobs.tick_us + self.carry_us;
+        let budget0 = knobs.tick_us + self.carry_us;
+        let mut budget = budget0;
 
         // Prefill first, as the small simulator does: a batch of queued
         // prompts up to the prefill batch cap and the KV capacity.
@@ -369,6 +424,7 @@ impl InstanceState {
         } else {
             budget
         };
+        budget0 - budget
     }
 
     /// Pops `b` requests from the queue, recording TTFT for non-retry

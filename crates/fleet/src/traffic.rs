@@ -197,6 +197,52 @@ mod tests {
     }
 
     #[test]
+    fn poisson_deterministic_per_seed_across_both_branches() {
+        // Small means take the single Knuth draw; large means exercise
+        // the chunked sub-draw branch. Both must replay exactly under a
+        // seed and diverge across seeds.
+        for lambda in [0.05, 3.0, 16.0, 200.0] {
+            let draw = |seed: u64| {
+                let mut rng = StdRng::seed_from_u64(seed);
+                (0..200)
+                    .map(|_| poisson(&mut rng, lambda))
+                    .collect::<Vec<_>>()
+            };
+            assert_eq!(draw(7), draw(7), "lambda {lambda}");
+            assert_ne!(draw(7), draw(8), "lambda {lambda}");
+        }
+    }
+
+    #[test]
+    fn poisson_mean_preserved_at_small_and_large_lambda() {
+        let mut rng = StdRng::seed_from_u64(23);
+        // Small λ: also check P[0] ≈ e^{-λ} so the small-mean branch is
+        // genuinely Poisson, not just mean-matched.
+        let lambda = 0.05;
+        let n = 200_000u64;
+        let draws: Vec<u64> = (0..n).map(|_| poisson(&mut rng, lambda)).collect();
+        let mean = draws.iter().sum::<u64>() as f64 / n as f64;
+        assert!((mean - lambda).abs() < 4.0 * (lambda / n as f64).sqrt());
+        let zero_frac = draws.iter().filter(|&&k| k == 0).count() as f64 / n as f64;
+        assert!((zero_frac - (-lambda).exp()).abs() < 5e-3);
+        // Large λ (chunked branch): mean and variance both track λ.
+        let lambda = 200.0;
+        let n = 20_000u64;
+        let draws: Vec<u64> = (0..n).map(|_| poisson(&mut rng, lambda)).collect();
+        let mean = draws.iter().sum::<u64>() as f64 / n as f64;
+        assert!(
+            (mean - lambda).abs() < 4.0 * (lambda / n as f64).sqrt(),
+            "mean = {mean}"
+        );
+        let var = draws
+            .iter()
+            .map(|&k| (k as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n as f64;
+        assert!((var / lambda - 1.0).abs() < 0.1, "variance = {var}");
+    }
+
+    #[test]
     fn poisson_zero_and_negative_lambda_yield_zero() {
         let mut rng = StdRng::seed_from_u64(1);
         assert_eq!(poisson(&mut rng, 0.0), 0);
@@ -213,5 +259,29 @@ mod tests {
         let mean = sum / n as f64;
         assert!((mean - 500.0).abs() < 25.0, "mean = {mean}");
         assert!(sample_output_len(&mut rng, 0) >= 1);
+    }
+
+    #[test]
+    fn output_lengths_deterministic_and_bounded_at_extremes() {
+        let draw = |seed: u64, mean: u32| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..200)
+                .map(|_| sample_output_len(&mut rng, mean))
+                .collect::<Vec<_>>()
+        };
+        for mean in [1u32, 10, 2000] {
+            assert_eq!(draw(5, mean), draw(5, mean), "mean {mean}");
+            assert!(draw(5, mean).iter().all(|&l| l >= 1 && l <= 16 * mean));
+        }
+        assert_ne!(draw(5, 10), draw(6, 10));
+        // Mean preservation holds at a large mean too (the clamp at
+        // 16×mean trims a negligible e^-16 tail).
+        let mut rng = StdRng::seed_from_u64(17);
+        let n = 50_000;
+        let sum: f64 = (0..n)
+            .map(|_| sample_output_len(&mut rng, 2000) as f64)
+            .sum();
+        let mean = sum / n as f64;
+        assert!((mean / 2000.0 - 1.0).abs() < 0.05, "mean = {mean}");
     }
 }

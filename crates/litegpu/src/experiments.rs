@@ -503,6 +503,51 @@ pub fn sim_fleet() -> Experiment {
     }
 }
 
+/// Fleet control-plane comparison: controlled H100 (DVFS-only parking)
+/// vs controlled Lite (per-unit power gating) under the same diurnal
+/// demand — §3's elasticity/energy argument (a small instance of the
+/// `sim_ctrl` binary's default run).
+pub fn sim_ctrl() -> Experiment {
+    let mut t = TextTable::new(&[
+        "fleet",
+        "policy",
+        "mean live",
+        "ups/parks",
+        "energy MJ",
+        "idle MJ",
+        "J/token",
+    ]);
+    for (name, mut cfg) in [
+        ("H100 x120", litegpu_fleet::FleetConfig::h100_ctrl_demo()),
+        ("Lite x120", litegpu_fleet::FleetConfig::lite_ctrl_demo()),
+    ] {
+        cfg.instances = 120;
+        cfg.horizon_s = 2.0 * 3600.0;
+        cfg.failure_acceleration = 20_000.0;
+        match litegpu_fleet::run(&cfg, 42) {
+            Ok(r) => {
+                t.row_owned(vec![
+                    name.to_string(),
+                    r.controller.clone(),
+                    format!("{:.1}", r.avg_live_instances),
+                    format!("{}/{}", r.scale_ups, r.scale_downs),
+                    format!("{:.1}", r.energy_j as f64 / 1e6),
+                    format!("{:.1}", r.idle_energy_j as f64 / 1e6),
+                    format!("{:.2}", r.energy_per_token_j),
+                ]);
+            }
+            Err(e) => {
+                t.row_owned(vec![name.to_string(), format!("error: {e}")]);
+            }
+        }
+    }
+    Experiment {
+        id: "sim_ctrl",
+        title: "Fleet control plane: autoscaling + power gating energy, H100 vs Lite",
+        output: t.render(),
+    }
+}
+
 /// Ablations over the reconstructed modeling choices: decode overlap, KV
 /// sharding policy, precision, collective constants, and the split factor
 /// itself (see DESIGN.md §4 and `litegpu_roofline::ablation`).
@@ -597,6 +642,7 @@ pub fn run_all() -> Vec<Experiment> {
         claim_cost_perf(&params),
         sim_serving(),
         sim_fleet(),
+        sim_ctrl(),
         ablations(),
     ];
     if let Ok((_, e)) = fig3a(&params) {

@@ -1,14 +1,17 @@
 //! Fleet-scale head-to-head: an H100-class fleet vs. a Lite-GPU fleet
 //! with the same aggregate silicon, under diurnal traffic with
-//! accelerated failure injection.
+//! accelerated failure injection — both driven by the `litegpu-ctrl`
+//! control plane (autoscaler + cell router), with the power policy each
+//! architecture actually has: H100 parks at the DVFS idle floor,
+//! Lite-GPU instances power-gate off.
 //!
 //! Run with `cargo run --release --example fleet_comparison`.
 
 use litegpu_repro::fleet::{run, FleetConfig};
 
 fn main() {
-    let mut h100 = FleetConfig::h100_demo();
-    let mut lite = FleetConfig::lite_demo();
+    let mut h100 = FleetConfig::h100_ctrl_demo();
+    let mut lite = FleetConfig::lite_ctrl_demo();
     for cfg in [&mut h100, &mut lite] {
         cfg.instances = 200;
         cfg.horizon_s = 4.0 * 3600.0;
@@ -16,7 +19,7 @@ fn main() {
         cfg.spares_per_cell = 2;
     }
 
-    println!("Simulating 200-instance fleets for 4 simulated hours each...\n");
+    println!("Simulating 200-instance controlled fleets for 4 simulated hours each...\n");
     let mut reports = Vec::new();
     for (name, cfg) in [("H100", &h100), ("Lite", &lite)] {
         let start = std::time::Instant::now();
@@ -49,5 +52,25 @@ fn main() {
     println!(
         "  failures:       H100 {} ({} absorbed by spares) vs Lite {} ({} absorbed)",
         h.failures, h.spare_hits, l.failures, l.spare_hits
+    );
+    println!("\nElasticity and energy (the §3 management argument):");
+    println!(
+        "  mean live pool:   H100 {:.1} vs Lite {:.1} of {} instances",
+        h.avg_live_instances, l.avg_live_instances, h.instances
+    );
+    println!(
+        "  autoscaler:       H100 {} ups / {} parks vs Lite {} ups / {} parks",
+        h.scale_ups, h.scale_downs, l.scale_ups, l.scale_downs
+    );
+    println!(
+        "  energy per token: H100 {:.3} J vs Lite {:.3} J",
+        h.energy_per_token_j, l.energy_per_token_j
+    );
+    println!(
+        "  idle energy:      H100 {:.1} MJ vs Lite {:.1} MJ (x{:.1} — parked H100s can only \
+         down-clock; parked Lite-GPUs power off)",
+        h.idle_energy_j as f64 / 1e6,
+        l.idle_energy_j as f64 / 1e6,
+        h.idle_energy_j as f64 / (l.idle_energy_j as f64).max(1.0),
     );
 }

@@ -7,6 +7,7 @@
 
 pub use litegpu;
 pub use litegpu_cluster as cluster;
+pub use litegpu_ctrl as ctrl;
 pub use litegpu_fab as fab;
 pub use litegpu_fleet as fleet;
 pub use litegpu_net as net;

@@ -1,8 +1,9 @@
 //! Integration tests for the fleet simulator's determinism guarantee:
 //! same seed ⇒ byte-identical `FleetReport` JSON at any shard count and
-//! any thread count.
+//! any thread count — with and without the `litegpu-ctrl` control plane
+//! (autoscaler + power gating + cell router) enabled.
 
-use litegpu_repro::fleet::{run, run_sharded, FleetConfig};
+use litegpu_repro::fleet::{run, run_sharded, FleetConfig, TrafficPattern};
 
 fn test_cfg() -> FleetConfig {
     let mut cfg = FleetConfig::lite_demo();
@@ -10,6 +11,20 @@ fn test_cfg() -> FleetConfig {
     cfg.cell_size = 8;
     cfg.horizon_s = 1800.0;
     cfg.failure_acceleration = 50_000.0;
+    cfg
+}
+
+/// A fully-controlled fleet over a quiet→busy traffic ramp, so both
+/// autoscaler directions (parks at the quiet start, activations at the
+/// ramp) are exercised.
+fn ctrl_cfg() -> FleetConfig {
+    let mut cfg = FleetConfig::lite_ctrl_demo();
+    cfg.instances = 64;
+    cfg.cell_size = 8;
+    cfg.horizon_s = 1800.0;
+    cfg.failure_acceleration = 50_000.0;
+    cfg.traffic.pattern =
+        TrafficPattern::Trace(vec![(0.0, 0.2), (600.0, 0.2), (900.0, 1.6), (1800.0, 1.6)]);
     cfg
 }
 
@@ -40,18 +55,53 @@ fn byte_identical_json_across_thread_counts() {
 }
 
 #[test]
+fn controlled_fleet_byte_identical_across_1_4_8_shards() {
+    let cfg = ctrl_cfg();
+    let base = run_sharded(&cfg, 42, 1, 1).expect("1-shard controlled run");
+    let base_json = base.to_json();
+    // The run must actually exercise the control plane...
+    assert_eq!(base.controller, "autoscale+gate(GateToEfficiency)+route");
+    assert!(base.energy_j > 0, "energy must be accounted");
+    assert!(base.idle_energy_j > 0);
+    assert!(base.scale_downs > 0, "the quiet start must park instances");
+    assert!(base.scale_ups > 0, "the traffic ramp must re-activate them");
+    assert!(base.routed > 0, "arrivals must flow through the router");
+    assert!(base.failures > 0, "failure paths stay exercised");
+    assert!(base.completed > 0);
+    // ...and still be byte-identical at any shard count.
+    for shards in [4u32, 8] {
+        let r = run_sharded(&cfg, 42, shards, 1).expect("sharded controlled run");
+        assert_eq!(r.to_json(), base_json, "shards = {shards}");
+    }
+}
+
+#[test]
+fn controlled_fleet_byte_identical_across_thread_counts() {
+    let cfg = ctrl_cfg();
+    let base = run_sharded(&cfg, 7, 8, 1).expect("single-threaded controlled");
+    for threads in [2u32, 4, 8] {
+        let r = run_sharded(&cfg, 7, 8, threads).expect("multi-threaded controlled");
+        assert_eq!(r.to_json(), base.to_json(), "threads = {threads}");
+    }
+    let auto = run(&cfg, 7).expect("auto controlled run");
+    assert_eq!(auto.to_json(), base.to_json());
+}
+
+#[test]
 fn seeds_change_the_report() {
-    let cfg = test_cfg();
-    let a = run_sharded(&cfg, 1, 4, 2).unwrap();
-    let b = run_sharded(&cfg, 2, 4, 2).unwrap();
-    assert_ne!(a.to_json(), b.to_json());
+    for cfg in [test_cfg(), ctrl_cfg()] {
+        let a = run_sharded(&cfg, 1, 4, 2).unwrap();
+        let b = run_sharded(&cfg, 2, 4, 2).unwrap();
+        assert_ne!(a.to_json(), b.to_json());
+    }
 }
 
 #[test]
 fn repeated_runs_are_stable() {
-    let cfg = test_cfg();
-    let a = run(&cfg, 9).unwrap();
-    let b = run(&cfg, 9).unwrap();
-    assert_eq!(a, b);
-    assert_eq!(a.to_json(), b.to_json());
+    for cfg in [test_cfg(), ctrl_cfg()] {
+        let a = run(&cfg, 9).unwrap();
+        let b = run(&cfg, 9).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.to_json(), b.to_json());
+    }
 }
