@@ -21,4 +21,7 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 echo "==> cargo test -q (workspace)"
 cargo test --workspace -q
 
+echo "==> multi-tenant determinism: byte-identical FleetReport at 1/2/8 threads"
+./scripts/check_determinism.sh
+
 echo "CI gate passed."

@@ -10,16 +10,19 @@
 //!           [--rate R] [--accel A] [--spares-per-cell N] [--cell-size N]
 //!           [--tick S] [--seed N] [--shards N] [--threads N]
 //!           [--ctrl off|auto|dvfs|gate] [--control-interval S]
-//!           [--warm-pool N] [--quiet-json]
+//!           [--warm-pool N] [--workload single|multi] [--quiet-json]
 //! ```
 //!
 //! `--ctrl` enables the litegpu-ctrl control plane (autoscaler + power
-//! gating + cell router): `auto` picks the §3-appropriate power policy
-//! per GPU type (H100 parks at the DVFS idle floor, Lite power-gates),
-//! while `dvfs`/`gate` force one policy on every fleet.
+//! gating + cell router + admission control): `auto` picks the
+//! §3-appropriate power policy per GPU type (H100 parks at the DVFS idle
+//! floor, Lite power-gates), while `dvfs`/`gate` force one policy on
+//! every fleet. `--workload multi` swaps the single diurnal tenant for
+//! the three-tenant mixed-priority demo (interactive chat + batch +
+//! best-effort scavenger), reported per tenant.
 
 use litegpu_fleet::ctrl::{CtrlConfig, Policy};
-use litegpu_fleet::{run_sharded, FleetConfig};
+use litegpu_fleet::{run_sharded, FleetConfig, WorkloadSpec};
 
 struct Args {
     gpu: String,
@@ -36,6 +39,7 @@ struct Args {
     ctrl: String,
     control_interval: f64,
     warm_pool: u32,
+    workload: String,
     quiet_json: bool,
 }
 
@@ -55,6 +59,7 @@ fn parse_args() -> Args {
         ctrl: "off".into(),
         control_interval: 5.0,
         warm_pool: 1,
+        workload: "single".into(),
         quiet_json: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -78,6 +83,7 @@ fn parse_args() -> Args {
             "--ctrl" => a.ctrl = value(&mut i),
             "--control-interval" => a.control_interval = parsed(&flag, value(&mut i)),
             "--warm-pool" => a.warm_pool = parsed(&flag, value(&mut i)),
+            "--workload" => a.workload = value(&mut i),
             "--quiet-json" => a.quiet_json = true,
             other => {
                 eprintln!("unknown argument: {other}");
@@ -93,7 +99,14 @@ fn configure(base: FleetConfig, a: &Args, auto_policy: Policy) -> FleetConfig {
     let mut cfg = base;
     cfg.instances = a.instances;
     cfg.horizon_s = a.hours * 3600.0;
-    cfg.traffic.rate_per_instance_s = a.rate;
+    cfg.workload = match a.workload.as_str() {
+        "single" => WorkloadSpec::diurnal_demo(a.rate),
+        "multi" => WorkloadSpec::multi_tenant_demo(a.rate),
+        other => {
+            eprintln!("unknown --workload {other} (expected single|multi)");
+            std::process::exit(2);
+        }
+    };
     cfg.failure_acceleration = a.accel;
     cfg.spares_per_cell = a.spares_per_cell;
     cfg.cell_size = a.cell_size;
@@ -162,6 +175,9 @@ fn main() {
             threads,
             wall.as_secs_f64()
         );
+        for line in report.tenant_summary().lines() {
+            eprintln!("#   {line}");
+        }
         if !a.quiet_json {
             println!("{json}");
         }

@@ -1,13 +1,23 @@
-//! Reactive per-cell autoscaling with scale-out latency and a warm pool.
+//! Reactive per-cell autoscaling with scale-out latency, a warm pool,
+//! and priority-aware admission control.
 //!
-//! The autoscaler tracks the cell's observed arrival rate with an EWMA,
+//! The autoscaler tracks the cell's observed arrival rate with two EWMAs
+//! — one for the guaranteed classes ([`PriorityClass::Interactive`] +
+//! [`PriorityClass::Batch`]), one for [`PriorityClass::BestEffort`] —
 //! adds a backlog-drain term, and converts the demand into a target live
 //! count against the per-instance capacity at a configured utilization
 //! ceiling. Scale-out is not free: activations pay the warm or cold boot
 //! latency (the data plane picks which from the slot's mode), which is
 //! exactly the elasticity cost the warm pool exists to hide.
+//!
+//! Admission control is the priority-aware half: when even the fully
+//! scaled-out cell could not serve total demand at the target
+//! utilization, the autoscaler revokes best-effort admission
+//! ([`Command::SetAdmission`]) so scavenger load is shed *before* the
+//! guaranteed classes lose queue room or SLO headroom, and re-grants it
+//! once total demand fits again.
 
-use crate::controller::{CellObs, Command, Controller, Mode};
+use crate::controller::{CellObs, Command, Controller, Mode, PriorityClass};
 use rand::rngs::StdRng;
 
 /// Autoscaler policy parameters.
@@ -27,6 +37,11 @@ pub struct AutoscalerConfig {
     pub cold_start_s: f64,
     /// Boot latency of a warm (powered, parked) instance, seconds.
     pub warm_start_s: f64,
+    /// Whether to shed best-effort traffic when total demand exceeds the
+    /// fully-scaled-out cell's capacity (priority-aware admission
+    /// control). When `false` the autoscaler never issues
+    /// [`Command::SetAdmission`].
+    pub shed_best_effort: bool,
 }
 
 impl Default for AutoscalerConfig {
@@ -38,6 +53,7 @@ impl Default for AutoscalerConfig {
             max_step: u32::MAX,
             cold_start_s: 120.0,
             warm_start_s: 5.0,
+            shed_best_effort: true,
         }
     }
 }
@@ -46,7 +62,12 @@ impl Default for AutoscalerConfig {
 #[derive(Debug, Clone)]
 pub struct Autoscaler {
     cfg: AutoscalerConfig,
-    ewma_rps: Option<f64>,
+    /// Smoothed guaranteed-class (interactive + batch) arrival rate.
+    ewma_guaranteed_rps: Option<f64>,
+    /// Smoothed best-effort arrival rate.
+    ewma_best_effort_rps: Option<f64>,
+    /// Whether best-effort admission is currently granted.
+    allow_best_effort: bool,
 }
 
 impl Autoscaler {
@@ -54,13 +75,31 @@ impl Autoscaler {
     pub fn new(cfg: AutoscalerConfig) -> Self {
         Self {
             cfg,
-            ewma_rps: None,
+            ewma_guaranteed_rps: None,
+            ewma_best_effort_rps: None,
+            allow_best_effort: true,
         }
     }
 
-    /// Smoothed cell demand estimate, requests/s (for tests/diagnostics).
+    /// Smoothed total cell demand estimate, requests/s (for
+    /// tests/diagnostics).
     pub fn ewma_rps(&self) -> Option<f64> {
-        self.ewma_rps
+        match (self.ewma_guaranteed_rps, self.ewma_best_effort_rps) {
+            (None, None) => None,
+            (g, b) => Some(g.unwrap_or(0.0) + b.unwrap_or(0.0)),
+        }
+    }
+
+    /// Whether best-effort traffic is currently admitted.
+    pub fn allows_best_effort(&self) -> bool {
+        self.allow_best_effort
+    }
+
+    fn smooth(&self, prev: Option<f64>, rate: f64) -> f64 {
+        match prev {
+            None => rate,
+            Some(p) => self.cfg.ewma_alpha * rate + (1.0 - self.cfg.ewma_alpha) * p,
+        }
     }
 }
 
@@ -71,24 +110,50 @@ impl Controller for Autoscaler {
 
     fn control(&mut self, obs: &CellObs, _pending: &[Command], _rng: &mut StdRng) -> Vec<Command> {
         let interval = obs.interval_s.max(1e-9);
-        let rate = obs.arrived_since_last as f64 / interval;
-        let ewma = match self.ewma_rps {
-            None => rate,
-            Some(prev) => self.cfg.ewma_alpha * rate + (1.0 - self.cfg.ewma_alpha) * prev,
-        };
-        self.ewma_rps = Some(ewma);
+        let be = obs.arrived_by_class[PriorityClass::BestEffort.index()];
+        // Untagged arrivals (legacy single-class callers leave
+        // `arrived_by_class` zeroed) count as guaranteed.
+        let guaranteed = obs.arrived_since_last.saturating_sub(be);
+        let g_rate = guaranteed as f64 / interval;
+        let be_rate = be as f64 / interval;
+        let ewma_g = self.smooth(self.ewma_guaranteed_rps, g_rate);
+        let ewma_be = self.smooth(self.ewma_best_effort_rps, be_rate);
+        self.ewma_guaranteed_rps = Some(ewma_g);
+        self.ewma_best_effort_rps = Some(ewma_be);
 
         // Demand = smoothed arrivals plus draining the standing backlog
         // within one control interval.
-        let demand_rps = ewma + obs.queued_total() as f64 / interval;
+        let backlog_rps = obs.queued_total() as f64 / interval;
+        let demand_guaranteed = ewma_g + backlog_rps;
+        let demand_total = demand_guaranteed + ewma_be;
         let cap = (obs.capacity_rps_per_instance * self.cfg.target_util).max(1e-9);
         let healthy = obs.healthy();
         let floor = self.cfg.min_live.min(healthy);
+
+        // Admission: shed best effort only when even every healthy
+        // instance could not carry total demand at the target
+        // utilization — pressure by construction, not a tunable knob.
+        // With no best-effort demand at all, revoking admission would be
+        // a no-op that misrepresents the cell's state, so don't.
+        let fits = (demand_total / cap).ceil() as u32 <= healthy;
+        let allow = !self.cfg.shed_best_effort || fits || ewma_be <= 0.0;
+        let admission_changed = allow != self.allow_best_effort;
+        self.allow_best_effort = allow;
+        let demand_rps = if allow {
+            demand_total
+        } else {
+            demand_guaranteed
+        };
         let desired = ((demand_rps / cap).ceil() as u32).clamp(floor, healthy);
 
         let live = obs.live();
         let planned = live + obs.booting();
         let mut cmds = Vec::new();
+        if admission_changed {
+            cmds.push(Command::SetAdmission {
+                allow_best_effort: allow,
+            });
+        }
         if desired > planned {
             // Scale out: warm slots first (fast boot), then cold, both in
             // ascending slot order so the choice is deterministic.
@@ -133,6 +198,7 @@ mod tests {
             tick: 10,
             interval_s: 5.0,
             arrived_since_last: arrived,
+            arrived_by_class: [arrived, 0, 0],
             capacity_rps_per_instance: 2.0,
             max_queue: 1000,
             slots,
@@ -194,8 +260,8 @@ mod tests {
     fn activates_warm_before_cold_on_demand_spike() {
         let mut a = Autoscaler::new(AutoscalerConfig::default());
         let mut rng = StdRng::seed_from_u64(1);
-        // 70 arrivals in 5 s = 14 rps; at 1.4 rps/instance that needs all
-        // 4 healthy slots. One live, one booting => two activations.
+        // 28 arrivals in 5 s = 5.6 rps; at 1.4 rps/instance that needs
+        // all 4 healthy slots. One live, one booting => two activations.
         let o = obs(
             vec![
                 slot(Mode::Live, 0, 1),
@@ -204,7 +270,7 @@ mod tests {
                 slot(Mode::Booting, 0, 0),
                 slot(Mode::Down, 0, 0),
             ],
-            70,
+            28,
         );
         let cmds = a.control(&o, &[], &mut rng);
         assert_eq!(
@@ -218,8 +284,8 @@ mod tests {
         let mut a = Autoscaler::new(AutoscalerConfig::default());
         let mut rng = StdRng::seed_from_u64(1);
         let o = obs(
-            vec![slot(Mode::Live, 200, 4), slot(Mode::Cold, 0, 0)],
-            0, // No fresh arrivals, but a deep backlog.
+            vec![slot(Mode::Live, 10, 4), slot(Mode::Cold, 0, 0)],
+            0, // No fresh arrivals, but a standing backlog.
         );
         let cmds = a.control(&o, &[], &mut rng);
         assert_eq!(cmds, vec![Command::Activate { slot: 1 }]);
@@ -248,5 +314,73 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let o = obs(vec![slot(Mode::Live, 0, 0); 6], 0);
         assert_eq!(a.control(&o, &[], &mut rng).len(), 1);
+    }
+
+    #[test]
+    fn pressure_sheds_best_effort_before_guaranteed() {
+        let mut a = Autoscaler::new(AutoscalerConfig::default());
+        let mut rng = StdRng::seed_from_u64(1);
+        // 2 healthy slots carry 2 × 1.4 = 2.8 rps at target utilization.
+        // Guaranteed 10/5 s = 2 rps fits; +best-effort 10/5 s = 2 rps
+        // does not => revoke best-effort admission and size only against
+        // the guaranteed demand.
+        let mut o = obs(vec![slot(Mode::Live, 0, 1); 2], 20);
+        o.arrived_by_class = [5, 5, 10];
+        let cmds = a.control(&o, &[], &mut rng);
+        assert!(cmds.contains(&Command::SetAdmission {
+            allow_best_effort: false
+        }));
+        assert!(!a.allows_best_effort());
+        // Guaranteed demand alone (2 rps) fits the 2 live slots: no
+        // scale action is possible anyway (no parked slots), and no park
+        // happens either.
+        assert!(!cmds.iter().any(|c| matches!(c, Command::Park { .. })));
+
+        // Demand falls back within capacity: admission is re-granted
+        // exactly once (idempotent state, not re-asserted every tick).
+        let mut quiet = obs(vec![slot(Mode::Live, 0, 1); 2], 0);
+        quiet.arrived_by_class = [0; 3];
+        let cmds = a.control(&quiet, &[], &mut rng);
+        assert!(cmds.contains(&Command::SetAdmission {
+            allow_best_effort: true
+        }));
+        let cmds = a.control(&quiet, &[], &mut rng);
+        assert!(!cmds
+            .iter()
+            .any(|c| matches!(c, Command::SetAdmission { .. })));
+    }
+
+    #[test]
+    fn shedding_can_be_disabled() {
+        let mut a = Autoscaler::new(AutoscalerConfig {
+            shed_best_effort: false,
+            ..Default::default()
+        });
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut o = obs(vec![slot(Mode::Live, 0, 1); 2], 100);
+        o.arrived_by_class = [0, 0, 100];
+        let cmds = a.control(&o, &[], &mut rng);
+        assert!(!cmds
+            .iter()
+            .any(|c| matches!(c, Command::SetAdmission { .. })));
+        assert!(a.allows_best_effort());
+    }
+
+    #[test]
+    fn untagged_arrivals_count_as_guaranteed() {
+        let mut a = Autoscaler::new(AutoscalerConfig::default());
+        let mut rng = StdRng::seed_from_u64(1);
+        // Legacy callers leave arrived_by_class zeroed: all arrivals are
+        // treated as guaranteed, and admission control never triggers a
+        // best-effort shed that would be a no-op anyway — even though
+        // 20 rps massively overloads the 2-slot cell.
+        let mut o = obs(vec![slot(Mode::Live, 0, 1); 2], 100);
+        o.arrived_by_class = [0; 3];
+        let cmds = a.control(&o, &[], &mut rng);
+        assert!((a.ewma_rps().unwrap() - 20.0).abs() < 1e-9);
+        assert!(!cmds
+            .iter()
+            .any(|c| matches!(c, Command::SetAdmission { .. })));
+        assert!(a.allows_best_effort());
     }
 }

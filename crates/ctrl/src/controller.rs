@@ -11,6 +11,54 @@
 
 use rand::rngs::StdRng;
 
+/// Scheduling class of a traffic source, ordered from most to least
+/// protected.
+///
+/// The control plane treats classes asymmetrically: routing admits
+/// arrivals in class order (so queue room goes to `Interactive` first),
+/// and under pressure the autoscaler sheds `BestEffort` load entirely
+/// before any higher class feels the squeeze — the fleet-granularity
+/// consolidation the paper's §3 elasticity argument assumes.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
+pub enum PriorityClass {
+    /// Latency-sensitive user traffic; never shed by admission control.
+    Interactive,
+    /// Throughput-oriented jobs with relaxed SLOs; protected from
+    /// admission shedding but queued behind `Interactive`.
+    Batch,
+    /// Scavenger load: first to be shed when demand outruns capacity.
+    BestEffort,
+}
+
+impl PriorityClass {
+    /// Every class, in admission order (most protected first).
+    pub const ALL: [PriorityClass; 3] = [
+        PriorityClass::Interactive,
+        PriorityClass::Batch,
+        PriorityClass::BestEffort,
+    ];
+
+    /// Dense index for per-class arrays (`Interactive` = 0).
+    pub fn index(self) -> usize {
+        match self {
+            PriorityClass::Interactive => 0,
+            PriorityClass::Batch => 1,
+            PriorityClass::BestEffort => 2,
+        }
+    }
+
+    /// Stable lowercase label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            PriorityClass::Interactive => "interactive",
+            PriorityClass::Batch => "batch",
+            PriorityClass::BestEffort => "best-effort",
+        }
+    }
+}
+
 /// Administrative and health state of one instance slot, as observed by
 /// controllers at a control tick.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,6 +100,10 @@ pub struct CellObs {
     pub interval_s: f64,
     /// Requests that arrived at the cell during the elapsed interval.
     pub arrived_since_last: u64,
+    /// The same arrivals broken down by [`PriorityClass`], indexed by
+    /// [`PriorityClass::index`]. Sums to `arrived_since_last` when every
+    /// tenant is tagged (the multi-tenant engine always tags).
+    pub arrived_by_class: [u64; 3],
     /// Sustainable request throughput of one live instance, requests/s.
     pub capacity_rps_per_instance: f64,
     /// Queue capacity per instance.
@@ -119,6 +171,14 @@ pub enum Command {
         /// Per-slot weights, indexed by cell-local slot id.
         weights: Vec<u64>,
     },
+    /// Set the cell's admission policy for [`PriorityClass::BestEffort`]
+    /// traffic. While disallowed, the data plane sheds every best-effort
+    /// arrival at the cell boundary (counted per tenant), protecting the
+    /// higher classes' queue room and SLOs.
+    SetAdmission {
+        /// Whether best-effort arrivals are admitted.
+        allow_best_effort: bool,
+    },
 }
 
 /// A deterministic per-cell control policy.
@@ -142,11 +202,22 @@ mod tests {
     use super::*;
 
     #[test]
+    fn priority_classes_are_ordered_and_indexed() {
+        assert!(PriorityClass::Interactive < PriorityClass::Batch);
+        assert!(PriorityClass::Batch < PriorityClass::BestEffort);
+        for (i, c) in PriorityClass::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+        assert_eq!(PriorityClass::BestEffort.label(), "best-effort");
+    }
+
+    #[test]
     fn obs_aggregates_count_modes() {
         let obs = CellObs {
             tick: 0,
             interval_s: 5.0,
             arrived_since_last: 0,
+            arrived_by_class: [0; 3],
             capacity_rps_per_instance: 2.0,
             max_queue: 100,
             slots: vec![

@@ -10,7 +10,10 @@
 //!
 //! - [`autoscale::Autoscaler`] — reactive scaling of each cell's live
 //!   instance pool against observed traffic, with warm/cold scale-out
-//!   latency and a warm pool;
+//!   latency, a warm pool, and priority-aware admission control: when
+//!   total demand outruns even the fully scaled-out cell,
+//!   [`PriorityClass::BestEffort`] traffic is shed before the guaranteed
+//!   classes feel pressure;
 //! - [`power::PowerGater`] — decides what parked capacity costs, reusing
 //!   [`litegpu_cluster::power_mgmt::Policy`]: DVFS-only fleets keep
 //!   parked instances at their idle floor, gating fleets power them off;
@@ -29,7 +32,7 @@ pub mod power;
 pub mod route;
 
 pub use autoscale::{Autoscaler, AutoscalerConfig};
-pub use controller::{CellObs, Command, Controller, InstanceObs, Mode};
+pub use controller::{CellObs, Command, Controller, InstanceObs, Mode, PriorityClass};
 pub use litegpu_cluster::power_mgmt::Policy;
 pub use power::{PowerConfig, PowerGater};
 pub use route::{apportion, apportion_into, Router, RouterConfig};
@@ -223,6 +226,7 @@ mod tests {
             tick: 12,
             interval_s: 5.0,
             arrived_since_last: 0,
+            arrived_by_class: [0; 3],
             capacity_rps_per_instance: 2.0,
             max_queue: 50,
             slots: vec![

@@ -107,6 +107,7 @@ mod tests {
             tick: 0,
             interval_s: 5.0,
             arrived_since_last: 0,
+            arrived_by_class: [0; 3],
             capacity_rps_per_instance: 2.0,
             max_queue: 100,
             slots: modes

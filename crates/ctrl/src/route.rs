@@ -129,6 +129,7 @@ mod tests {
             tick: 0,
             interval_s: 5.0,
             arrived_since_last: 0,
+            arrived_by_class: [0; 3],
             capacity_rps_per_instance: 2.0,
             max_queue: 10,
             slots: vec![
@@ -173,6 +174,7 @@ mod tests {
             tick: 0,
             interval_s: 5.0,
             arrived_since_last: 0,
+            arrived_by_class: [0; 3],
             capacity_rps_per_instance: 2.0,
             max_queue: 10,
             slots: vec![

@@ -4,37 +4,50 @@
 //! [`FleetConfig::cell_size`] instances, each with its own hot-spare
 //! pool — think rack or pod). Cells never interact, so any partition of
 //! cells into shards, stepped on any number of threads, produces the same
-//! merged totals: per-instance RNG streams are derived from
-//! `(seed, global instance index)`, all accumulators are integers, and
-//! shard merging is integer addition. That is the engine's core
+//! merged totals: per-instance and per-(cell, tenant) RNG streams are
+//! derived from `(seed, global index)`, all accumulators are integers,
+//! and shard merging is integer addition. That is the engine's core
 //! guarantee — **same seed ⇒ byte-identical [`FleetReport`] JSON at any
 //! shard and thread count** — and `tests/fleet_determinism.rs` enforces
 //! it.
 //!
+//! Traffic is a multi-tenant [`WorkloadSpec`]: each tenant's arrivals are
+//! drawn per *cell* from the tenant's own dedicated RNG stream (demand is
+//! exogenous — it does not shrink when instances park or fail) and routed
+//! over the cell's instances with exact integer largest-remainder
+//! splitting, **in priority order**: `Interactive` tenants claim queue
+//! room first, then `Batch`, then `BestEffort`. When the control plane's
+//! admission control has revoked best-effort admission
+//! ([`litegpu_ctrl::Command::SetAdmission`]), best-effort arrivals are
+//! shed at the cell boundary and counted per tenant.
+//!
 //! When a control plane is configured ([`FleetConfig::ctrl`]), a
 //! **control tick** runs between data ticks: each cell's
-//! [`litegpu_ctrl::ControllerStack`] observes the cell and issues
-//! commands — autoscaler parks/activations (with warm/cold boot
-//! latency), power-gating of parked instances, and routing-weight
-//! refreshes. All controller state is per-cell, lives inside the shard
-//! partition, and draws from the cell's own RNG stream, so controlled
-//! runs keep the byte-identical guarantee. Arrivals are then drawn per
-//! *cell* (demand is exogenous — it does not shrink when instances park
-//! or fail) and apportioned over live instances with exact integer
-//! largest-remainder splitting.
+//! [`litegpu_ctrl::ControllerStack`] observes the cell (including
+//! per-priority-class arrival counts) and issues commands — autoscaler
+//! parks/activations (with warm/cold boot latency), power-gating of
+//! parked instances, routing-weight refreshes, and admission changes.
+//! All controller state is per-cell, lives inside the shard partition,
+//! and draws from the cell's own RNG stream, so controlled runs keep the
+//! byte-identical guarantee. Without a control plane every instance
+//! (live or down — no router means stranded traffic) weighs equally in
+//! the split.
 //!
 //! Within a shard, cells step cell-major (all ticks of one cell before
 //! the next), which keeps each cell's working set hot in cache; the hot
 //! loop is Poisson arithmetic plus [`StepCostTable`] lookups, with no
 //! roofline evaluation, no allocation beyond queue churn, and no locks.
 
-use crate::report::{FleetReport, RunMeta};
-use crate::state::{CellState, FailureRates, InstanceState, ServeKnobs, ShardTotals};
-use crate::traffic::{poisson, TrafficModel};
+use crate::report::{FleetReport, RunMeta, TenantMeta};
+use crate::state::{CellState, FailureRates, InstanceState, ServeKnobs, ShardTotals, TenantKnobs};
+use crate::traffic::poisson;
+use crate::workload::WorkloadSpec;
 use crate::{FleetError, Result};
 use litegpu_cluster::failure::FailureModel;
 use litegpu_cluster::power_mgmt::Policy;
-use litegpu_ctrl::{apportion_into, CellObs, Command, CtrlConfig, InstanceObs, Mode};
+use litegpu_ctrl::{
+    apportion_into, CellObs, Command, CtrlConfig, InstanceObs, Mode, PriorityClass,
+};
 use litegpu_roofline::{EngineParams, StepCostTable};
 use litegpu_specs::power::PowerModel;
 use litegpu_specs::GpuSpec;
@@ -49,7 +62,8 @@ pub struct FleetConfig {
     pub gpu: GpuSpec,
     /// Model served.
     pub arch: ModelArch,
-    /// Roofline parameters (timing + SLOs).
+    /// Roofline parameters (timing + default SLOs; tenants may override
+    /// their own SLO targets).
     pub params: EngineParams,
     /// Model instances in the fleet.
     pub instances: u32,
@@ -59,8 +73,10 @@ pub struct FleetConfig {
     pub cell_size: u32,
     /// GPU-sized hot spares per cell.
     pub spares_per_cell: u32,
-    /// Request source (per-instance rate + diurnal/trace modulation).
-    pub traffic: TrafficModel,
+    /// The multi-tenant workload (tenants, shares, patterns, priorities,
+    /// SLOs). Legacy single-source configs convert with
+    /// `TrafficModel::into()`.
+    pub workload: WorkloadSpec,
     /// Hardware failure model (annualized rates; see
     /// `litegpu_cluster::failure`'s unit convention).
     pub failure: FailureModel,
@@ -71,8 +87,8 @@ pub struct FleetConfig {
     pub max_prefill_batch: u32,
     /// Queue capacity per instance; beyond it requests are shed.
     pub max_queue_per_instance: u32,
-    /// Control plane (autoscaling, power gating, routing); `None` runs
-    /// the fixed fleet with instance-local arrivals.
+    /// Control plane (autoscaling, power gating, routing, admission);
+    /// `None` runs the fixed fleet with uniform cell-level splitting.
     pub ctrl: Option<CtrlConfig>,
     /// Simulated horizon, seconds.
     pub horizon_s: f64,
@@ -82,7 +98,8 @@ pub struct FleetConfig {
 
 impl FleetConfig {
     /// A 1000-instance H100 fleet (tensor-parallel pairs serving
-    /// Llama3-70B) under diurnal traffic with accelerated failures.
+    /// Llama3-70B) under single-tenant diurnal traffic with accelerated
+    /// failures.
     pub fn h100_demo() -> Self {
         let gpu = litegpu_specs::catalog::h100();
         let failure = FailureModel::default_for(&gpu);
@@ -94,7 +111,7 @@ impl FleetConfig {
             gpus_per_instance: 2,
             cell_size: 20,
             spares_per_cell: 1,
-            traffic: TrafficModel::diurnal_demo(1.5),
+            workload: WorkloadSpec::diurnal_demo(1.5),
             failure,
             failure_acceleration: 200.0,
             max_prefill_batch: 4,
@@ -191,14 +208,7 @@ impl FleetConfig {
                 return Err(FleetError::InvalidParameter { name, value });
             }
         }
-        if !(self.traffic.rate_per_instance_s.is_finite()
-            && self.traffic.rate_per_instance_s >= 0.0)
-        {
-            return Err(FleetError::InvalidParameter {
-                name: "rate_per_instance_s",
-                value: self.traffic.rate_per_instance_s,
-            });
-        }
+        self.workload.validate().map_err(FleetError::Workload)?;
         if let Some(ctrl) = &self.ctrl {
             ctrl.validate().map_err(FleetError::Ctrl)?;
         }
@@ -206,13 +216,29 @@ impl FleetConfig {
     }
 
     fn knobs(&self) -> ServeKnobs {
+        let default_ttft_us = (self.params.constraints.ttft_max_s * 1e6).round() as u64;
+        let default_tbt_us = (self.params.constraints.tbt_max_s * 1e6).round() as u64;
+        let default_prompt = self.params.constraints.prompt_len.max(1);
         ServeKnobs {
             tick_us: (self.tick_s * 1e6).round() as u64,
             max_prefill_batch: self.max_prefill_batch,
             max_queue: self.max_queue_per_instance,
-            ttft_slo_us: (self.params.constraints.ttft_max_s * 1e6).round() as u64,
-            tbt_slo_us: (self.params.constraints.tbt_max_s * 1e6).round() as u64,
-            output_len_mean: self.traffic.output_len_mean,
+            tenants: self
+                .workload
+                .tenants
+                .iter()
+                .map(|t| TenantKnobs {
+                    ttft_slo_us: t
+                        .ttft_slo_s
+                        .map_or(default_ttft_us, |s| (s * 1e6).round() as u64),
+                    tbt_slo_us: t
+                        .tbt_slo_s
+                        .map_or(default_tbt_us, |s| (s * 1e6).round() as u64),
+                    output_len: t.output_len,
+                    prefill_num: t.prompt_len_mean.unwrap_or(default_prompt).max(1),
+                    prefill_den: default_prompt,
+                })
+                .collect(),
         }
     }
 
@@ -245,18 +271,37 @@ impl FleetConfig {
 
     /// Sustainable request throughput of one instance, requests/s — the
     /// capacity estimate the autoscaler sizes cells against: per-request
-    /// cost is an amortized prefill launch plus `output_len_mean` decode
-    /// steps at the full batch.
+    /// cost is an amortized prefill launch (scaled by the workload's
+    /// share-weighted mean prompt length, matching what
+    /// `TenantKnobs::prefill_cost_us` actually charges) plus the
+    /// share-weighted mean output length in decode steps at full batch.
     fn capacity_rps(&self, lut: &StepCostTable) -> f64 {
         let b = self
             .max_prefill_batch
             .min(lut.max_prefill_batch)
             .min(lut.max_batch)
             .max(1);
-        let per_req_us = lut.prefill_us(b) as f64 / b as f64
-            + self.traffic.output_len_mean.max(1) as f64 * lut.decode_step_us(lut.max_batch) as f64
+        let prompt_scale = self
+            .workload
+            .mean_prompt_scale(self.params.constraints.prompt_len);
+        let per_req_us = lut.prefill_us(b) as f64 * prompt_scale / b as f64
+            + self.workload.mean_output_len() * lut.decode_step_us(lut.max_batch) as f64
                 / lut.max_batch as f64;
         1e6 / per_req_us.max(1.0)
+    }
+
+    fn tenant_meta(&self, knobs: &ServeKnobs) -> Vec<TenantMeta> {
+        self.workload
+            .tenants
+            .iter()
+            .zip(&knobs.tenants)
+            .map(|(t, k)| TenantMeta {
+                name: t.name.clone(),
+                priority: t.priority,
+                ttft_slo_s: k.ttft_slo_us as f64 / 1e6,
+                tbt_slo_s: k.tbt_slo_us as f64 / 1e6,
+            })
+            .collect()
     }
 }
 
@@ -275,6 +320,14 @@ struct Shared<'a> {
     rates: FailureRates,
     power: InstancePower,
     cap_rps: f64,
+    /// Tenant indices in admission order (priority class, then
+    /// declaration order).
+    priority_order: Vec<u16>,
+    /// Tenant priority classes, indexed by tenant id.
+    classes: Vec<PriorityClass>,
+    /// Per-tenant per-tick arrival mean per instance
+    /// (`lambda[tenant][tick]`), precomputed once per run.
+    lambda: Vec<Vec<f64>>,
 }
 
 /// Administrative state of one instance slot (orthogonal to the failure
@@ -287,6 +340,110 @@ enum SlotMode {
     Booting { until_us: u64 },
 }
 
+/// One cell's tenant-tagged arrival machinery: a dedicated RNG stream per
+/// tenant (inside the shard partition, so draws never depend on shard or
+/// thread layout) plus the reusable routing buffers that keep the
+/// per-tick hot loop allocation-free.
+struct CellTraffic {
+    rngs: Vec<StdRng>,
+    eff: Vec<u64>,
+    shares: Vec<u64>,
+    scratch: Vec<(u128, u32)>,
+}
+
+impl CellTraffic {
+    /// Distinct stream constant so per-(cell, tenant) arrival streams
+    /// never alias the per-instance or cell-control streams.
+    const STREAM: u64 = 0x7E4A_4D7A_11C0_FFEE;
+
+    fn new(seed: u64, cell_idx: u32, n_tenants: usize, n_slots: usize) -> Self {
+        Self {
+            rngs: (0..n_tenants)
+                .map(|t| {
+                    StdRng::seed_from_u64(
+                        seed ^ Self::STREAM
+                            ^ (cell_idx as u64).wrapping_mul(0xD1B5_4A32_D192_ED03)
+                            ^ (t as u64 + 1).wrapping_mul(0x94D0_49BB_1331_11EB),
+                    )
+                })
+                .collect(),
+            eff: Vec::with_capacity(n_slots),
+            shares: Vec::with_capacity(n_slots),
+            scratch: Vec::with_capacity(n_slots),
+        }
+    }
+
+    /// Draws every tenant's exogenous arrivals for one tick and routes
+    /// them over the cell in priority order with exact largest-remainder
+    /// splits. Controlled cells route over live instances by the
+    /// (control-tick-stale) weights and apply admission control;
+    /// uncontrolled cells split uniformly over **all** instances — no
+    /// router means a down instance's share queues behind it (stranded
+    /// traffic, exactly what the router exists to fix).
+    fn route_tick(
+        &mut self,
+        tick: u32,
+        shared: &Shared<'_>,
+        mut ctl: Option<&mut CellCtl>,
+        insts: &mut [InstanceState],
+        acc: &mut ShardTotals,
+    ) {
+        self.eff.clear();
+        match ctl {
+            Some(ref c) => {
+                self.eff
+                    .extend(c.modes.iter().zip(insts.iter()).zip(&c.weights).map(
+                        |((m, inst), &w)| {
+                            if *m == SlotMode::Live && inst.up {
+                                w
+                            } else {
+                                0
+                            }
+                        },
+                    ))
+            }
+            None => self.eff.extend(std::iter::repeat_n(1, insts.len())),
+        }
+        let allow_be = ctl.as_ref().is_none_or(|c| c.allow_best_effort);
+        let any_target = self.eff.iter().any(|&w| w > 0);
+        for &ti in &shared.priority_order {
+            let t = ti as usize;
+            let lambda = shared.lambda[t][tick as usize] * insts.len() as f64;
+            let n = poisson(&mut self.rngs[t], lambda);
+            if n == 0 {
+                continue;
+            }
+            acc.arrived += n;
+            acc.per_tenant[t].arrived += n;
+            let class = shared.classes[t];
+            if let Some(c) = ctl.as_deref_mut() {
+                c.arrived_since += n;
+                c.arrived_by_class[class.index()] += n;
+            }
+            if class == PriorityClass::BestEffort && !allow_be {
+                acc.rejected += n;
+                acc.admission_shed += n;
+                acc.per_tenant[t].shed += n;
+                continue;
+            }
+            if !any_target {
+                acc.rejected += n;
+                acc.routing_shed += n;
+                acc.per_tenant[t].shed += n;
+                continue;
+            }
+            apportion_into(n, &self.eff, &mut self.shares, &mut self.scratch);
+            for (i, &share) in self.shares.iter().enumerate() {
+                if share > 0 {
+                    let admitted = insts[i].push_arrivals(tick, share, ti, &shared.knobs, acc);
+                    acc.routed += admitted;
+                    acc.per_tenant[t].routed += admitted;
+                }
+            }
+        }
+    }
+}
+
 /// One cell's control-plane runtime: the policy stack, the cell's own
 /// RNG stream, and the administrative state the stack manages. Lives
 /// entirely inside the shard partition.
@@ -296,14 +453,11 @@ struct CellCtl {
     modes: Vec<SlotMode>,
     weights: Vec<u64>,
     arrived_since: u64,
+    arrived_by_class: [u64; 3],
+    allow_best_effort: bool,
     interval_ticks: u32,
     warm_up_us: u64,
     cold_up_us: u64,
-    // Reusable routing buffers, so the per-tick hot loop keeps the
-    // engine's no-allocation property.
-    eff: Vec<u64>,
-    shares: Vec<u64>,
-    scratch: Vec<(u128, u32)>,
 }
 
 impl CellCtl {
@@ -325,12 +479,11 @@ impl CellCtl {
             modes: vec![SlotMode::Live; n_slots],
             weights: vec![1; n_slots],
             arrived_since: 0,
+            arrived_by_class: [0; 3],
+            allow_best_effort: true,
             interval_ticks: ((ctrl.control_interval_s / tick_s).round() as u32).max(1),
             warm_up_us: (warm_s * 1e6).round() as u64,
             cold_up_us: (cold_s * 1e6).round() as u64,
-            eff: Vec::with_capacity(n_slots),
-            shares: Vec::with_capacity(n_slots),
-            scratch: Vec::with_capacity(n_slots),
         }
     }
 
@@ -356,6 +509,7 @@ impl CellCtl {
             tick,
             interval_s: self.interval_ticks as f64 * shared.cfg.tick_s,
             arrived_since_last: core::mem::take(&mut self.arrived_since),
+            arrived_by_class: core::mem::take(&mut self.arrived_by_class),
             capacity_rps_per_instance: shared.cap_rps,
             max_queue: shared.knobs.max_queue,
             slots: self
@@ -430,47 +584,9 @@ impl CellCtl {
                         self.weights = weights;
                     }
                 }
-            }
-        }
-    }
-
-    /// Draws the cell's exogenous arrivals for one tick and apportions
-    /// them over live instances by the (control-tick-stale) routing
-    /// weights, masked by current liveness.
-    fn route_arrivals(
-        &mut self,
-        tick: u32,
-        lambda_per_instance: f64,
-        insts: &mut [InstanceState],
-        knobs: &ServeKnobs,
-        acc: &mut ShardTotals,
-    ) {
-        let n = poisson(&mut self.rng, lambda_per_instance * insts.len() as f64);
-        if n == 0 {
-            return;
-        }
-        acc.arrived += n;
-        self.arrived_since += n;
-        self.eff.clear();
-        self.eff
-            .extend(self.modes.iter().zip(insts.iter()).zip(&self.weights).map(
-                |((m, inst), &w)| {
-                    if *m == SlotMode::Live && inst.up {
-                        w
-                    } else {
-                        0
-                    }
-                },
-            ));
-        if self.eff.iter().all(|&w| w == 0) {
-            acc.rejected += n;
-            acc.routing_shed += n;
-            return;
-        }
-        apportion_into(n, &self.eff, &mut self.shares, &mut self.scratch);
-        for (i, &share) in self.shares.iter().enumerate() {
-            if share > 0 {
-                acc.routed += insts[i].push_arrivals(tick, share, knobs, acc);
+                Command::SetAdmission { allow_best_effort } => {
+                    self.allow_best_effort = allow_best_effort;
+                }
             }
         }
     }
@@ -482,21 +598,18 @@ fn simulate_cells(shared: &Shared<'_>, seed: u64, cell_lo: u32, cell_hi: u32) ->
     let knobs = &shared.knobs;
     let rates = &shared.rates;
     let power = &shared.power;
-    let mut acc = ShardTotals::new();
+    let n_tenants = cfg.workload.tenants.len();
+    let mut acc = ShardTotals::new(n_tenants);
     let ticks = cfg.num_ticks();
     let tick_us = knobs.tick_us;
-    // Per-tick arrival means are identical for every instance; compute
-    // the modulation series once per shard.
-    let lambda_per_tick: Vec<f64> = (0..ticks)
-        .map(|t| cfg.traffic.rate_at((t as f64 + 0.5) * cfg.tick_s) * cfg.tick_s)
-        .collect();
     for cell_idx in cell_lo..cell_hi {
         let first = cell_idx * cfg.cell_size;
         let last = (first + cfg.cell_size).min(cfg.instances);
         let mut cell = CellState::new(cfg.spares_per_cell);
         let mut insts: Vec<InstanceState> = (first..last)
-            .map(|g| InstanceState::new(seed, g as u64, rates))
+            .map(|g| InstanceState::new(seed, g as u64, rates, n_tenants))
             .collect();
+        let mut traffic = CellTraffic::new(seed, cell_idx, n_tenants, insts.len());
         let mut ctl = cfg
             .ctrl
             .as_ref()
@@ -504,7 +617,6 @@ fn simulate_cells(shared: &Shared<'_>, seed: u64, cell_lo: u32, cell_hi: u32) ->
         for tick in 0..ticks {
             let t_start = tick as u64 * tick_us;
             cell.reclaim_repaired(t_start);
-            let lambda = lambda_per_tick[tick as usize];
             for inst in insts.iter_mut() {
                 inst.lifecycle(t_start, tick_us, rates, &mut cell, &mut acc);
             }
@@ -513,12 +625,8 @@ fn simulate_cells(shared: &Shared<'_>, seed: u64, cell_lo: u32, cell_hi: u32) ->
                 if tick > 0 && tick % c.interval_ticks == 0 {
                     c.control(tick, t_start, &insts, shared, &mut acc);
                 }
-                c.route_arrivals(tick, lambda, &mut insts, knobs, &mut acc);
-            } else {
-                for inst in insts.iter_mut() {
-                    inst.arrivals(tick, lambda, knobs, &mut acc);
-                }
             }
+            traffic.route_tick(tick, shared, ctl.as_mut(), &mut insts, &mut acc);
             for (i, inst) in insts.iter_mut().enumerate() {
                 let mode = ctl.as_ref().map_or(SlotMode::Live, |c| c.modes[i]);
                 let spent = if mode == SlotMode::Live {
@@ -562,13 +670,30 @@ fn simulate_cells(shared: &Shared<'_>, seed: u64, cell_lo: u32, cell_hi: u32) ->
 pub fn run_sharded(cfg: &FleetConfig, seed: u64, shards: u32, threads: u32) -> Result<FleetReport> {
     cfg.validate()?;
     let lut = StepCostTable::build(&cfg.gpu, &cfg.arch, cfg.gpus_per_instance, &cfg.params)?;
+    let ticks = cfg.num_ticks();
+    let knobs = cfg.knobs();
+    let tenants_meta = cfg.tenant_meta(&knobs);
     let shared = Shared {
         cfg,
         lut: &lut,
-        knobs: cfg.knobs(),
         rates: cfg.failure_rates(),
         power: cfg.instance_power(),
         cap_rps: cfg.capacity_rps(&lut),
+        priority_order: cfg.workload.priority_order(),
+        classes: cfg.workload.tenants.iter().map(|t| t.priority).collect(),
+        lambda: cfg
+            .workload
+            .share_fractions()
+            .iter()
+            .zip(&cfg.workload.tenants)
+            .map(|(share, t)| {
+                let base = cfg.workload.rate_per_instance_s * share * cfg.tick_s;
+                (0..ticks)
+                    .map(|k| base * t.pattern.multiplier_at((k as f64 + 0.5) * cfg.tick_s))
+                    .collect()
+            })
+            .collect(),
+        knobs,
     };
     let cells = cfg.num_cells();
     let shards = shards.clamp(1, cells);
@@ -606,7 +731,7 @@ pub fn run_sharded(cfg: &FleetConfig, seed: u64, shards: u32, threads: u32) -> R
         });
     }
 
-    let mut totals = ShardTotals::new();
+    let mut totals = ShardTotals::new(cfg.workload.tenants.len());
     for slot in &slots {
         totals.merge(slot.as_ref().expect("every shard simulated"));
     }
@@ -626,6 +751,7 @@ pub fn run_sharded(cfg: &FleetConfig, seed: u64, shards: u32, threads: u32) -> R
             spares: cells * cfg.spares_per_cell,
             horizon_s: horizon_s_eff,
             tick_s: cfg.tick_s,
+            tenants: tenants_meta,
         },
     ))
 }
@@ -642,6 +768,7 @@ pub fn run(cfg: &FleetConfig, seed: u64) -> Result<FleetReport> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::TrafficPattern;
 
     fn small_cfg() -> FleetConfig {
         let mut c = FleetConfig::h100_demo();
@@ -676,7 +803,19 @@ mod tests {
         assert!(r.idle_energy_j > 0);
         assert!(r.energy_per_token_j > 0.0);
         assert!(r.avg_live_instances > 0.0 && r.avg_live_instances <= 24.0);
-        assert_eq!(r.scale_ups + r.scale_downs + r.routed, 0);
+        // Arrivals route at the cell level even without a control plane;
+        // only scaling stays off.
+        assert_eq!(r.scale_ups + r.scale_downs, 0);
+        assert_eq!(r.routed + r.rejected, r.arrived);
+        // The single default tenant owns the whole fleet's numbers.
+        assert_eq!(r.per_tenant.len(), 1);
+        let t = &r.per_tenant[0];
+        assert_eq!(t.name, "default");
+        assert_eq!(t.priority, "interactive");
+        assert_eq!(t.arrived, r.arrived);
+        assert_eq!(t.completed, r.completed);
+        assert_eq!(t.generated_tokens, r.generated_tokens);
+        assert!((t.ttft_attainment - r.ttft_attainment).abs() < 1e-12);
     }
 
     #[test]
@@ -713,7 +852,7 @@ mod tests {
         // the same fleet pinned fully live.
         let mut quiet = small_ctrl_cfg();
         quiet.failure_acceleration = 0.0;
-        quiet.traffic.rate_per_instance_s = 0.1;
+        quiet.workload.rate_per_instance_s = 0.1;
         let controlled = run_sharded(&quiet, 3, 2, 2).unwrap();
         let mut fixed = quiet.clone();
         fixed.ctrl = None;
@@ -734,7 +873,7 @@ mod tests {
         // idle energy sits well above the gated fleet's.
         let mut quiet = small_ctrl_cfg();
         quiet.failure_acceleration = 0.0;
-        quiet.traffic.rate_per_instance_s = 0.1;
+        quiet.workload.rate_per_instance_s = 0.1;
         let gated = run_sharded(&quiet, 3, 2, 2).unwrap();
         let mut ungated = quiet.clone();
         ungated.ctrl.as_mut().unwrap().power = None;
@@ -755,6 +894,41 @@ mod tests {
         let a = run_sharded(&cfg, 1, 2, 2).unwrap();
         let b = run_sharded(&cfg, 2, 2, 2).unwrap();
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn overload_sheds_best_effort_and_shields_interactive() {
+        // A controlled multi-tenant fleet driven well past its capacity:
+        // admission control must shed best-effort arrivals (and only
+        // those), leaving the interactive tenant a far larger served
+        // fraction than the scavenger.
+        let mut cfg = small_ctrl_cfg();
+        cfg.failure_acceleration = 0.0;
+        cfg.workload = WorkloadSpec::multi_tenant_demo(12.0);
+        let r = run_sharded(&cfg, 5, 2, 2).unwrap();
+        assert_eq!(r.per_tenant.len(), 3);
+        assert!(r.admission_shed > 0, "overload must trigger admission shed");
+        let by_name = |n: &str| r.per_tenant.iter().find(|t| t.name == n).unwrap();
+        let (chat, scavenge) = (by_name("chat"), by_name("scavenge"));
+        assert_eq!(chat.priority, "interactive");
+        assert_eq!(scavenge.priority, "best-effort");
+        // Admission control never touches the guaranteed classes.
+        assert_eq!(chat.shed, 0);
+        assert!(scavenge.shed > 0);
+        let served = |t: &crate::report::TenantReport| t.completed as f64 / t.arrived as f64;
+        assert!(
+            served(chat) > 4.0 * served(scavenge),
+            "chat {} vs scavenge {}",
+            served(chat),
+            served(scavenge)
+        );
+        // Conservation: every arrival is routed or rejected, and the
+        // rejects decompose into the two shed kinds plus queue overflow.
+        assert_eq!(r.routed + r.rejected, r.arrived);
+        assert!(r.rejected >= r.routing_shed + r.admission_shed);
+        for t in &r.per_tenant {
+            assert_eq!(t.routed + t.rejected + t.shed, t.arrived, "{}", t.name);
+        }
     }
 
     #[test]
@@ -809,6 +983,17 @@ mod tests {
         let mut c = small_cfg();
         c.horizon_s = f64::NAN;
         assert!(run_sharded(&c, 1, 1, 1).is_err());
+        // Workload validation is wired through.
+        let mut c = small_cfg();
+        c.workload.rate_per_instance_s = f64::NAN;
+        let err = run_sharded(&c, 1, 1, 1).unwrap_err();
+        assert!(matches!(err, FleetError::Workload(_)));
+        let mut c = small_cfg();
+        c.workload.tenants[0].pattern = TrafficPattern::Trace(vec![(9.0, 1.0), (1.0, 1.0)]);
+        assert!(matches!(
+            run_sharded(&c, 1, 1, 1).unwrap_err(),
+            FleetError::Workload(_)
+        ));
         // Control-plane validation is wired through too.
         let mut c = small_ctrl_cfg();
         c.ctrl.as_mut().unwrap().router = None;

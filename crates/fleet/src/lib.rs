@@ -18,10 +18,17 @@
 //!   area-dependent AFR (shared unit convention: annualized rates ÷ 8760
 //!   → per-hour), takes the whole instance down (the §3 blast radius),
 //!   and recovers via a per-cell hot-spare pool or a slow repair.
-//! - **Determinism is total.** Every instance owns its RNG stream, all
-//!   accumulators are integers, and shard results merge with associative
-//!   integer arithmetic — so the same seed produces a **byte-identical
-//!   [`report::FleetReport`] at any shard count and any thread count**.
+//! - **Workloads are multi-tenant.** A [`workload::WorkloadSpec`] lists
+//!   tenants with their own traffic patterns, rate shares, prompt/output
+//!   shapes, priority classes and TTFT/TBT SLO targets; arrivals are
+//!   tenant-tagged end to end and the report carries a per-tenant SLO
+//!   section ([`report::FleetReport::per_tenant`]). Legacy single-source
+//!   configs migrate with `TrafficModel::into()`.
+//! - **Determinism is total.** Every instance and every (cell, tenant)
+//!   arrival stream owns its RNG stream, all accumulators are integers,
+//!   and shard results merge with associative integer arithmetic — so the
+//!   same seed produces a **byte-identical [`report::FleetReport`] at any
+//!   shard count and any thread count**.
 //!
 //! Sharding: instances are grouped into fixed-size *cells* (think rack or
 //! pod — each cell owns its hot-spare pool), and cells are partitioned
@@ -46,13 +53,15 @@ pub mod provision;
 pub mod report;
 pub mod state;
 pub mod traffic;
+pub mod workload;
 
 pub use engine::{run, run_sharded, FleetConfig};
 pub use hist::LatencyHistogram;
 pub use litegpu_ctrl as ctrl;
 pub use provision::{spares_for_target, SpareSearch};
-pub use report::FleetReport;
-pub use traffic::{TrafficModel, TrafficPattern};
+pub use report::{FleetReport, TenantReport};
+pub use traffic::{LengthDist, TrafficModel, TrafficPattern};
+pub use workload::{PriorityClass, Tenant, WorkloadSpec};
 
 /// Errors produced by the fleet simulator.
 #[derive(Debug, Clone, PartialEq)]
@@ -68,6 +77,8 @@ pub enum FleetError {
     Roofline(litegpu_roofline::RooflineError),
     /// The control-plane configuration was invalid.
     Ctrl(&'static str),
+    /// The workload specification was invalid.
+    Workload(&'static str),
     /// A spare-provisioning search exhausted its sweep range without
     /// reaching the availability target.
     TargetUnreachable {
@@ -86,6 +97,7 @@ impl core::fmt::Display for FleetError {
             }
             FleetError::Roofline(e) => write!(f, "roofline error: {e}"),
             FleetError::Ctrl(msg) => write!(f, "invalid control-plane config: {msg}"),
+            FleetError::Workload(msg) => write!(f, "invalid workload spec: {msg}"),
             FleetError::TargetUnreachable { target, best } => write!(
                 f,
                 "availability target {target} unreachable (best seen: {best})"

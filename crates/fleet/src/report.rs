@@ -1,5 +1,5 @@
 //! Fleet-run reporting: integer shard totals finalized into one
-//! `FleetReport`.
+//! `FleetReport`, including a per-tenant SLO section.
 //!
 //! Every derived metric is computed *once*, from the merged integer
 //! totals — never per shard and averaged — so the report is bit-identical
@@ -7,7 +7,22 @@
 //! goes through the workspace's deterministic serializer, making the
 //! serialized report byte-identical too.
 
-use crate::state::ShardTotals;
+use crate::state::{ShardTotals, TenantTotals};
+use litegpu_ctrl::PriorityClass;
+
+/// Per-tenant metadata threaded from the config into the report.
+#[derive(Debug, Clone)]
+pub(crate) struct TenantMeta {
+    /// Tenant name.
+    pub name: String,
+    /// Scheduling class.
+    pub priority: PriorityClass,
+    /// Effective TTFT SLO target, seconds (after engine-default
+    /// fallback).
+    pub ttft_slo_s: f64,
+    /// Effective TBT SLO target, seconds.
+    pub tbt_slo_s: f64,
+}
 
 /// Run-level metadata threaded from the config into the report.
 #[derive(Debug, Clone)]
@@ -30,6 +45,81 @@ pub(crate) struct RunMeta {
     pub horizon_s: f64,
     /// Simulation tick, seconds.
     pub tick_s: f64,
+    /// One entry per workload tenant, in tenant-id order.
+    pub tenants: Vec<TenantMeta>,
+}
+
+/// One tenant's slice of a fleet run: volumes, shed counts, latency
+/// percentiles and SLO attainment against the tenant's *own* targets.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TenantReport {
+    /// Tenant name.
+    pub name: String,
+    /// Scheduling class label (`interactive` / `batch` / `best-effort`).
+    pub priority: String,
+    /// Effective TTFT SLO target, seconds.
+    pub ttft_slo_s: f64,
+    /// Effective TBT SLO target, seconds.
+    pub tbt_slo_s: f64,
+    /// Requests that arrived for this tenant.
+    pub arrived: u64,
+    /// Arrivals placed on an instance queue.
+    pub routed: u64,
+    /// Arrivals dropped at a full instance queue.
+    pub rejected: u64,
+    /// Arrivals shed at the cell boundary (admission control or no live
+    /// routing target).
+    pub shed: u64,
+    /// Requests fully served.
+    pub completed: u64,
+    /// Output tokens generated.
+    pub generated_tokens: u64,
+    /// Median time to first token, seconds.
+    pub ttft_p50_s: f64,
+    /// 99th-percentile TTFT, seconds.
+    pub ttft_p99_s: f64,
+    /// Fraction of first tokens meeting this tenant's TTFT SLO.
+    pub ttft_attainment: f64,
+    /// Fraction of this tenant's tokens produced by decode steps meeting
+    /// its TBT SLO.
+    pub tbt_attainment: f64,
+    /// Median end-to-end request latency, seconds.
+    pub e2e_p50_s: f64,
+    /// 99th-percentile end-to-end latency, seconds.
+    pub e2e_p99_s: f64,
+}
+
+impl TenantReport {
+    fn finalize(totals: &TenantTotals, meta: &TenantMeta) -> Self {
+        Self {
+            name: meta.name.clone(),
+            priority: meta.priority.label().to_string(),
+            ttft_slo_s: meta.ttft_slo_s,
+            tbt_slo_s: meta.tbt_slo_s,
+            arrived: totals.arrived,
+            routed: totals.routed,
+            rejected: totals.rejected,
+            shed: totals.shed,
+            completed: totals.completed,
+            generated_tokens: totals.generated_tokens,
+            ttft_p50_s: totals.ttft.percentile_s(50.0),
+            ttft_p99_s: totals.ttft.percentile_s(99.0),
+            ttft_attainment: frac(totals.ttft_slo_ok, totals.ttft_recorded),
+            tbt_attainment: frac(totals.tbt_slo_ok_tokens, totals.generated_tokens),
+            e2e_p50_s: totals.e2e.percentile_s(50.0),
+            e2e_p99_s: totals.e2e.percentile_s(99.0),
+        }
+    }
+}
+
+/// `num / den`, defined as 1 when the denominator is empty (no demand ⇒
+/// vacuous attainment).
+fn frac(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        1.0
+    } else {
+        num as f64 / den as f64
+    }
 }
 
 /// Aggregated results of a fleet run.
@@ -59,7 +149,8 @@ pub struct FleetReport {
     pub tick_s: f64,
     /// Requests that arrived.
     pub arrived: u64,
-    /// Requests shed at full queues (includes router sheds).
+    /// Requests not admitted to any queue: full-queue drops plus both
+    /// shed kinds (`routing_shed`, `admission_shed`).
     pub rejected: u64,
     /// Requests fully served.
     pub completed: u64,
@@ -98,26 +189,33 @@ pub struct FleetReport {
     pub scale_ups: u64,
     /// Autoscaler parks applied.
     pub scale_downs: u64,
-    /// Arrivals placed on an instance by the cell router.
+    /// Arrivals placed on an instance by the cell-level split.
     pub routed: u64,
-    /// Arrivals the router shed because no live instance had queue room.
+    /// Arrivals shed because no live instance was routable.
     pub routing_shed: u64,
+    /// Best-effort arrivals shed by priority-aware admission control.
+    pub admission_shed: u64,
     /// Median time to first token, seconds.
     pub ttft_p50_s: f64,
     /// 99th-percentile TTFT, seconds.
     pub ttft_p99_s: f64,
-    /// Fraction of first tokens meeting the TTFT SLO.
+    /// Fraction of first tokens meeting each tenant's own TTFT SLO
+    /// (tenant-weighted aggregate of the per-tenant attainments).
     pub ttft_attainment: f64,
     /// Median decode-step time, seconds.
     pub tbt_p50_s: f64,
     /// 99th-percentile decode-step time, seconds.
     pub tbt_p99_s: f64,
-    /// Fraction of decode steps meeting the TBT SLO.
+    /// Fraction of generated tokens produced by decode steps meeting
+    /// their tenant's TBT SLO (token-weighted across tenants).
     pub tbt_attainment: f64,
     /// Median end-to-end request latency, seconds.
     pub e2e_p50_s: f64,
     /// 99th-percentile end-to-end latency, seconds.
     pub e2e_p99_s: f64,
+    /// Per-tenant volumes, latency and SLO attainment, in tenant-id
+    /// order.
+    pub per_tenant: Vec<TenantReport>,
 }
 
 impl FleetReport {
@@ -129,14 +227,16 @@ impl FleetReport {
         } else {
             1.0 - (totals.downtime_us as f64 / instance_time_us as f64).min(1.0)
         };
-        let frac = |num: u64, den: u64| {
-            if den == 0 {
-                1.0
-            } else {
-                num as f64 / den as f64
-            }
-        };
         let ticks = (meta.horizon_s / meta.tick_s).round().max(1.0);
+        let per_tenant: Vec<TenantReport> = totals
+            .per_tenant
+            .iter()
+            .zip(&meta.tenants)
+            .map(|(t, m)| TenantReport::finalize(t, m))
+            .collect();
+        // Fleet-level attainments aggregate the per-tenant books (each
+        // against its own SLO target).
+        let sum = |f: fn(&TenantTotals) -> u64| totals.per_tenant.iter().map(f).sum::<u64>();
         Self {
             gpu: meta.gpu,
             model: meta.model,
@@ -172,14 +272,16 @@ impl FleetReport {
             scale_downs: totals.scale_downs,
             routed: totals.routed,
             routing_shed: totals.routing_shed,
+            admission_shed: totals.admission_shed,
             ttft_p50_s: totals.ttft.percentile_s(50.0),
             ttft_p99_s: totals.ttft.percentile_s(99.0),
-            ttft_attainment: frac(totals.ttft_slo_ok, totals.ttft_recorded),
+            ttft_attainment: frac(sum(|t| t.ttft_slo_ok), sum(|t| t.ttft_recorded)),
             tbt_p50_s: totals.tbt.percentile_s(50.0),
             tbt_p99_s: totals.tbt.percentile_s(99.0),
-            tbt_attainment: frac(totals.tbt_slo_ok_steps, totals.decode_steps),
+            tbt_attainment: frac(sum(|t| t.tbt_slo_ok_tokens), sum(|t| t.generated_tokens)),
             e2e_p50_s: totals.e2e.percentile_s(50.0),
             e2e_p99_s: totals.e2e.percentile_s(99.0),
+            per_tenant,
         }
     }
 
@@ -192,7 +294,7 @@ impl FleetReport {
     /// One-line human summary.
     pub fn summary(&self) -> String {
         format!(
-            "{} x{} ({} GPUs/inst, ctrl {}): {:.1} h, {} arrived, {} completed, \
+            "{} x{} ({} GPUs/inst, ctrl {}): {:.1} h, {} tenants, {} arrived, {} completed, \
              goodput {:.0} tok/s, availability {:.4}, TTFT p99 {:.3} s, \
              {} failures ({} spare hits), {:.1} MJ ({:.0}% idle)",
             self.gpu,
@@ -200,6 +302,7 @@ impl FleetReport {
             self.gpus_per_instance,
             self.controller,
             self.simulated_hours,
+            self.per_tenant.len(),
             self.arrived,
             self.completed,
             self.goodput_tps,
@@ -215,6 +318,27 @@ impl FleetReport {
             },
         )
     }
+
+    /// Multi-line per-tenant SLO table (name, class, volumes, shed and
+    /// attainment), for binaries and examples.
+    pub fn tenant_summary(&self) -> String {
+        let mut out = String::from(
+            "tenant          class        arrived   completed   shed      TTFT-SLO  TBT-SLO\n",
+        );
+        for t in &self.per_tenant {
+            out.push_str(&format!(
+                "{:<15} {:<12} {:<9} {:<11} {:<9} {:<9.4} {:.4}\n",
+                t.name,
+                t.priority,
+                t.arrived,
+                t.completed,
+                t.shed,
+                t.ttft_attainment,
+                t.tbt_attainment,
+            ));
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -222,14 +346,11 @@ mod tests {
     use super::*;
 
     fn totals() -> ShardTotals {
-        let mut t = ShardTotals::new();
+        let mut t = ShardTotals::new(2);
         t.arrived = 100;
         t.completed = 90;
         t.generated_tokens = 45_000;
         t.decode_steps = 1000;
-        t.tbt_slo_ok_steps = 900;
-        t.ttft_recorded = 95;
-        t.ttft_slo_ok = 80;
         t.failures = 3;
         t.spare_hits = 2;
         t.spare_misses = 1;
@@ -239,11 +360,36 @@ mod tests {
         t.live_ticks = 18_000_000; // 500 instances mean over 36 000 ticks.
         t.scale_ups = 12;
         t.scale_downs = 15;
-        t.routed = 99;
+        t.routed = 95;
         t.routing_shed = 1;
+        t.admission_shed = 4;
+        t.rejected = 5;
         t.ttft.record(200_000, 95);
         t.tbt.record(30_000, 1000);
         t.e2e.record(5_000_000, 90);
+        // Tenant 0: interactive, meets SLOs on 80/95 firsts and 90% of
+        // tokens; tenant 1: best effort, sheds.
+        let a = &mut t.per_tenant[0];
+        a.arrived = 70;
+        a.routed = 70;
+        a.completed = 65;
+        a.generated_tokens = 30_000;
+        a.tbt_slo_ok_tokens = 27_000;
+        a.ttft_recorded = 70;
+        a.ttft_slo_ok = 60;
+        a.ttft.record(150_000, 70);
+        a.e2e.record(4_000_000, 65);
+        let b = &mut t.per_tenant[1];
+        b.arrived = 30;
+        b.routed = 25;
+        b.shed = 5;
+        b.completed = 25;
+        b.generated_tokens = 15_000;
+        b.tbt_slo_ok_tokens = 13_500;
+        b.ttft_recorded = 25;
+        b.ttft_slo_ok = 20;
+        b.ttft.record(400_000, 25);
+        b.e2e.record(8_000_000, 25);
         t
     }
 
@@ -258,6 +404,20 @@ mod tests {
             spares: 10,
             horizon_s: 36_000.0,
             tick_s: 1.0,
+            tenants: vec![
+                TenantMeta {
+                    name: "chat".into(),
+                    priority: PriorityClass::Interactive,
+                    ttft_slo_s: 2.0,
+                    tbt_slo_s: 0.05,
+                },
+                TenantMeta {
+                    name: "scavenge".into(),
+                    priority: PriorityClass::BestEffort,
+                    ttft_slo_s: 60.0,
+                    tbt_slo_s: 0.2,
+                },
+            ],
         }
     }
 
@@ -268,7 +428,6 @@ mod tests {
         assert!((r.goodput_tps - 1.25).abs() < 1e-12);
         // 1 instance-hour down out of 1000 instance-hours.
         assert!((r.availability - 0.999).abs() < 1e-9);
-        assert!((r.tbt_attainment - 0.9).abs() < 1e-12);
         assert!((r.spare_overhead - 0.05).abs() < 1e-12);
         assert!(r.ttft_p50_s > 0.1 && r.ttft_p50_s < 0.3);
         assert_eq!(r.energy_j, 9_000);
@@ -277,7 +436,29 @@ mod tests {
         assert!((r.avg_live_instances - 500.0).abs() < 1e-9);
         assert_eq!(r.scale_ups, 12);
         assert_eq!(r.scale_downs, 15);
-        assert_eq!((r.routed, r.routing_shed), (99, 1));
+        assert_eq!((r.routed, r.routing_shed, r.admission_shed), (95, 1, 4));
+        // Fleet attainments aggregate the per-tenant books: TTFT
+        // (60+20)/(70+25), TBT (27000+13500)/45000.
+        assert!((r.ttft_attainment - 80.0 / 95.0).abs() < 1e-12);
+        assert!((r.tbt_attainment - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_tenant_section_reports_each_tenants_own_slo() {
+        let r = FleetReport::finalize(&totals(), meta());
+        assert_eq!(r.per_tenant.len(), 2);
+        let a = &r.per_tenant[0];
+        assert_eq!(a.name, "chat");
+        assert_eq!(a.priority, "interactive");
+        assert_eq!(a.ttft_slo_s, 2.0);
+        assert_eq!((a.arrived, a.completed, a.shed), (70, 65, 0));
+        assert!((a.ttft_attainment - 60.0 / 70.0).abs() < 1e-12);
+        assert!((a.tbt_attainment - 0.9).abs() < 1e-12);
+        assert!(a.ttft_p50_s > 0.1 && a.ttft_p50_s < 0.2);
+        let b = &r.per_tenant[1];
+        assert_eq!(b.priority, "best-effort");
+        assert_eq!(b.shed, 5);
+        assert!(b.e2e_p99_s > a.e2e_p99_s);
     }
 
     #[test]
@@ -298,18 +479,28 @@ mod tests {
             "scale_ups",
             "scale_downs",
             "routed",
+            "admission_shed",
             "controller",
             "avg_live_instances",
+            "per_tenant",
+            "ttft_attainment",
+            "best-effort",
+            "scavenge",
         ] {
             assert!(a.contains(key), "missing {key}");
         }
     }
 
     #[test]
-    fn summary_mentions_controller_and_energy() {
+    fn summary_mentions_controller_energy_and_tenants() {
         let r = FleetReport::finalize(&totals(), meta());
         let s = r.summary();
         assert!(s.contains("autoscale"));
         assert!(s.contains("MJ"));
+        assert!(s.contains("2 tenants"));
+        let t = r.tenant_summary();
+        assert!(t.contains("chat"));
+        assert!(t.contains("best-effort"));
+        assert!(t.contains("scavenge"));
     }
 }

@@ -1,43 +1,78 @@
 //! Per-instance fleet state: a tick-based fluid serving model with exact
 //! roofline step costs, plus the per-cell hot-spare pool.
 //!
-//! Each instance tracks its request queue as run-length-encoded arrival
-//! cohorts and its running batch as completion cohorts ordered by the
-//! decode step at which they finish. One simulation tick advances an
-//! instance by: failure lifecycle → arrivals → serving (prefill
-//! prioritized, then decode steps until the tick's time budget runs
-//! out). All state is integer microseconds / counts, and every random
-//! draw comes from the instance's own RNG stream — the two properties
-//! that make sharded results independent of shard and thread counts.
+//! Each instance tracks its request queue as run-length-encoded,
+//! tenant-tagged arrival cohorts and its running batch as completion
+//! cohorts ordered by the decode step at which they finish. One
+//! simulation tick advances an instance by: failure lifecycle → arrivals
+//! (routed in by the cell) → serving (prefill prioritized, then decode
+//! steps until the tick's time budget runs out). All state is integer
+//! microseconds / counts, and every random draw comes from the instance's
+//! own RNG stream — the two properties that make sharded results
+//! independent of shard and thread counts.
+//!
+//! Tenancy is first-class: every queued run and running cohort carries
+//! its tenant index, prefill cost scales with the tenant's prompt length,
+//! output lengths come from the tenant's own [`LengthDist`], and all
+//! SLO accounting (TTFT, TBT, e2e) lands in per-tenant accumulators
+//! alongside the fleet totals.
 
 use crate::hist::LatencyHistogram;
-use crate::traffic::{poisson, sample_output_len};
+use crate::traffic::LengthDist;
 use litegpu_roofline::StepCostTable;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
-/// A run of requests that arrived in the same tick.
+/// A run of same-tenant requests that arrived in the same tick.
 #[derive(Debug, Clone, Copy)]
 struct QueueRun {
     arrival_tick: u32,
     count: u32,
+    /// Owning tenant (index into the workload's tenant list).
+    tenant: u16,
     /// Requeued after a failure: the first token was already delivered,
     /// so TTFT is not recorded again.
     retry: bool,
 }
 
+/// Per-tenant serving knobs (derived from the workload + engine params
+/// once).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct TenantKnobs {
+    pub ttft_slo_us: u64,
+    pub tbt_slo_us: u64,
+    /// Output-length distribution, sampled per prefill cohort.
+    pub output_len: LengthDist,
+    /// Prefill-cost scaling as an exact rational: the step-cost table is
+    /// priced at the engine's default prompt length, and prefill time is
+    /// ~linear in prompt tokens, so a tenant with a different mean prompt
+    /// pays `cost × prefill_num / prefill_den` (integer arithmetic, ≥ 1).
+    pub prefill_num: u32,
+    pub prefill_den: u32,
+}
+
+impl TenantKnobs {
+    /// Scales a table prefill cost to this tenant's prompt length.
+    pub fn prefill_cost_us(&self, table_us: u64) -> u64 {
+        if self.prefill_num == self.prefill_den {
+            return table_us.max(1);
+        }
+        (table_us as u128 * self.prefill_num as u128 / self.prefill_den.max(1) as u128).max(1)
+            as u64
+    }
+}
+
 /// Serving knobs shared by every instance (derived from the fleet
 /// config once).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub(crate) struct ServeKnobs {
     pub tick_us: u64,
     pub max_prefill_batch: u32,
     pub max_queue: u32,
-    pub ttft_slo_us: u64,
-    pub tbt_slo_us: u64,
-    pub output_len_mean: u32,
+    /// One entry per workload tenant, indexed by tenant id.
+    pub tenants: Vec<TenantKnobs>,
 }
 
 /// Failure/repair timing shared by every instance.
@@ -66,11 +101,66 @@ impl FailureRates {
     }
 }
 
+/// One tenant's integer accumulators within a shard. Merging is plain
+/// addition, so the merge order cannot affect the result.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub(crate) struct TenantTotals {
+    /// Requests that arrived for this tenant.
+    pub arrived: u64,
+    /// Arrivals placed on an instance queue.
+    pub routed: u64,
+    /// Arrivals dropped at a full instance queue.
+    pub rejected: u64,
+    /// Arrivals shed at the cell boundary: admission control (best-effort
+    /// revoked) or no live instance to route to.
+    pub shed: u64,
+    /// Requests fully served.
+    pub completed: u64,
+    /// Output tokens generated for this tenant.
+    pub generated_tokens: u64,
+    /// Of those, tokens produced by decode steps meeting the tenant's
+    /// TBT SLO.
+    pub tbt_slo_ok_tokens: u64,
+    /// First tokens with a recorded TTFT.
+    pub ttft_recorded: u64,
+    /// Of those, within the tenant's TTFT SLO.
+    pub ttft_slo_ok: u64,
+    pub ttft: LatencyHistogram,
+    pub e2e: LatencyHistogram,
+}
+
+impl TenantTotals {
+    pub fn new() -> Self {
+        Self {
+            ttft: LatencyHistogram::new(),
+            e2e: LatencyHistogram::new(),
+            ..Default::default()
+        }
+    }
+
+    /// Adds `other` into `self` (associative, commutative).
+    pub fn merge(&mut self, other: &Self) {
+        self.arrived += other.arrived;
+        self.routed += other.routed;
+        self.rejected += other.rejected;
+        self.shed += other.shed;
+        self.completed += other.completed;
+        self.generated_tokens += other.generated_tokens;
+        self.tbt_slo_ok_tokens += other.tbt_slo_ok_tokens;
+        self.ttft_recorded += other.ttft_recorded;
+        self.ttft_slo_ok += other.ttft_slo_ok;
+        self.ttft.merge(&other.ttft);
+        self.e2e.merge(&other.e2e);
+    }
+}
+
 /// Integer accumulators for one shard. Merging is plain addition, so the
 /// merge order cannot affect the result.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub(crate) struct ShardTotals {
     pub arrived: u64,
+    /// Arrivals not admitted to any queue: queue-full rejections plus
+    /// both shed kinds (`routing_shed`, `admission_shed`).
     pub rejected: u64,
     pub completed: u64,
     pub retried: u64,
@@ -80,9 +170,6 @@ pub(crate) struct ShardTotals {
     pub spare_hits: u64,
     pub spare_misses: u64,
     pub downtime_us: u64,
-    pub ttft_recorded: u64,
-    pub ttft_slo_ok: u64,
-    pub tbt_slo_ok_steps: u64,
     /// Total energy drawn by powered instances, microjoules.
     pub energy_uj: u64,
     /// Energy drawn while powered but not serving (static floors of live
@@ -97,19 +184,24 @@ pub(crate) struct ShardTotals {
     pub scale_downs: u64,
     /// Arrivals placed on an instance by the cell router.
     pub routed: u64,
-    /// Arrivals shed by the router because no live instance had capacity.
+    /// Arrivals shed by the router because no live instance existed.
     pub routing_shed: u64,
+    /// Best-effort arrivals shed by admission control under pressure.
+    pub admission_shed: u64,
     pub ttft: LatencyHistogram,
     pub tbt: LatencyHistogram,
     pub e2e: LatencyHistogram,
+    /// One slot per workload tenant, indexed by tenant id.
+    pub per_tenant: Vec<TenantTotals>,
 }
 
 impl ShardTotals {
-    pub fn new() -> Self {
+    pub fn new(n_tenants: usize) -> Self {
         Self {
             ttft: LatencyHistogram::new(),
             tbt: LatencyHistogram::new(),
             e2e: LatencyHistogram::new(),
+            per_tenant: (0..n_tenants).map(|_| TenantTotals::new()).collect(),
             ..Default::default()
         }
     }
@@ -126,9 +218,6 @@ impl ShardTotals {
         self.spare_hits += other.spare_hits;
         self.spare_misses += other.spare_misses;
         self.downtime_us += other.downtime_us;
-        self.ttft_recorded += other.ttft_recorded;
-        self.ttft_slo_ok += other.ttft_slo_ok;
-        self.tbt_slo_ok_steps += other.tbt_slo_ok_steps;
         self.energy_uj += other.energy_uj;
         self.idle_energy_uj += other.idle_energy_uj;
         self.live_ticks += other.live_ticks;
@@ -136,9 +225,14 @@ impl ShardTotals {
         self.scale_downs += other.scale_downs;
         self.routed += other.routed;
         self.routing_shed += other.routing_shed;
+        self.admission_shed += other.admission_shed;
         self.ttft.merge(&other.ttft);
         self.tbt.merge(&other.tbt);
         self.e2e.merge(&other.e2e);
+        debug_assert_eq!(self.per_tenant.len(), other.per_tenant.len());
+        for (a, b) in self.per_tenant.iter_mut().zip(&other.per_tenant) {
+            a.merge(b);
+        }
     }
 }
 
@@ -197,10 +291,12 @@ pub(crate) struct InstanceState {
     /// Total requests across `queue`.
     queued: u64,
     /// Running cohorts keyed by the decode step at which they finish:
-    /// `(finish_at_step, arrival_tick, count)`.
-    cohorts: BinaryHeap<Reverse<(u64, u32, u32)>>,
+    /// `(finish_at_step, arrival_tick, tenant, count)`.
+    cohorts: BinaryHeap<Reverse<(u64, u32, u16, u32)>>,
     /// Total sequences across `cohorts` (the decode batch).
     active: u32,
+    /// Decoding sequences per tenant (for per-tenant token attribution).
+    active_by_tenant: Vec<u32>,
     /// Monotone decode-step counter.
     steps_done: u64,
     /// Unspent serving time carried into the next tick, µs.
@@ -215,7 +311,7 @@ impl InstanceState {
     /// Builds an instance with its own RNG stream derived from
     /// `(seed, global_index)` — the derivation must not depend on the
     /// shard layout.
-    pub fn new(seed: u64, global_index: u64, rates: &FailureRates) -> Self {
+    pub fn new(seed: u64, global_index: u64, rates: &FailureRates, n_tenants: usize) -> Self {
         let mut rng =
             StdRng::seed_from_u64(seed ^ global_index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let next_failure_us = rates.next_interval_us(&mut rng);
@@ -225,6 +321,7 @@ impl InstanceState {
             queued: 0,
             cohorts: BinaryHeap::new(),
             active: 0,
+            active_by_tenant: vec![0; n_tenants],
             steps_done: 0,
             carry_us: 0,
             up: true,
@@ -276,50 +373,44 @@ impl InstanceState {
         self.down_until_us = fail_at.saturating_add(delay.max(1));
         self.carry_us = 0;
         let mut flushed = 0u64;
-        // Keep the original arrival tick so end-to-end latency still
-        // measures from arrival; `retry` only suppresses re-recording
-        // TTFT (the first token was already delivered once).
-        for Reverse((_, arrival_tick, count)) in self.cohorts.drain() {
+        // Keep the original arrival tick (and tenant) so end-to-end
+        // latency still measures from arrival; `retry` only suppresses
+        // re-recording TTFT (the first token was already delivered once).
+        for Reverse((_, arrival_tick, tenant, count)) in self.cohorts.drain() {
             flushed += count as u64;
             self.queue.push_back(QueueRun {
                 arrival_tick,
                 count,
+                tenant,
                 retry: true,
             });
         }
         self.queued += flushed;
         acc.retried += flushed;
         self.active = 0;
+        self.active_by_tenant.fill(0);
     }
 
-    /// Poisson arrivals for one tick at mean `lambda` requests (the
-    /// instance-local arrival process used when no router runs).
-    pub fn arrivals(&mut self, tick: u32, lambda: f64, knobs: &ServeKnobs, acc: &mut ShardTotals) {
-        let n = poisson(&mut self.rng, lambda);
-        if n == 0 {
-            return;
-        }
-        acc.arrived += n;
-        self.push_arrivals(tick, n, knobs, acc);
-    }
-
-    /// Admits up to `n` externally-routed requests against the queue cap,
-    /// shedding the rest. Returns the admitted count. Does **not** count
-    /// `arrived` — the caller (router or [`Self::arrivals`]) owns that.
+    /// Admits up to `n` routed requests of `tenant` against the queue
+    /// cap, shedding the rest. Returns the admitted count. Does **not**
+    /// count `arrived` — the cell-level router owns that.
     pub fn push_arrivals(
         &mut self,
         tick: u32,
         n: u64,
+        tenant: u16,
         knobs: &ServeKnobs,
         acc: &mut ShardTotals,
     ) -> u64 {
         let room = (knobs.max_queue as u64).saturating_sub(self.queued);
         let admitted = n.min(room);
         acc.rejected += n - admitted;
+        acc.per_tenant[tenant as usize].rejected += n - admitted;
         if admitted > 0 {
             self.queue.push_back(QueueRun {
                 arrival_tick: tick,
                 count: admitted as u32,
+                tenant,
                 retry: false,
             });
             self.queued += admitted;
@@ -362,30 +453,71 @@ impl InstanceState {
         let budget0 = knobs.tick_us + self.carry_us;
         let mut budget = budget0;
 
-        // Prefill first, as the small simulator does: a batch of queued
-        // prompts up to the prefill batch cap and the KV capacity.
+        // Prefill first, as the small simulator does. One launch serves
+        // one tenant (so it prices that tenant's prompts and samples its
+        // output-length distribution) but batches across *adjacent*
+        // same-tenant queue runs — without that, low-rate traffic whose
+        // per-tick runs are 1-2 requests would never amortize a prefill
+        // launch the way the engine's capacity estimate assumes.
         while self.queued > 0 && self.active < lut.max_batch {
+            let tenant = self.queue.front().expect("queued > 0 implies a run").tenant;
+            let tk = knobs.tenants[tenant as usize];
             // Admission is bounded by the table's prefill capacity too:
             // charging a larger batch at a clamped (smaller-batch) price
             // would undercount prefill time.
-            let b = (self.queued.min(knobs.max_prefill_batch as u64) as u32)
+            let cap = knobs
+                .max_prefill_batch
                 .min(lut.max_batch - self.active)
                 .min(lut.max_prefill_batch);
-            let cost = lut.prefill_us(b);
+            let mut b = 0u32;
+            for run in &self.queue {
+                if run.tenant != tenant || b >= cap {
+                    break;
+                }
+                b += run.count.min(cap - b);
+            }
+            let cost = tk.prefill_cost_us(lut.prefill_us(b));
             if budget < cost {
                 break;
             }
             budget -= cost;
-            let batch_arrival = self.pop_queue(b, tick, cost, knobs, acc);
-            let out_len = sample_output_len(&mut self.rng, knobs.output_len_mean) as u64;
+            // Pop b across the runs, recording TTFT per non-retry run
+            // (each run keeps its own queueing delay); the cohort's e2e
+            // clock starts at the oldest popped run's arrival.
+            let mut oldest = tick;
+            let mut remaining = b;
+            while remaining > 0 {
+                let front = self.queue.front_mut().expect("b covers queued");
+                let take = front.count.min(remaining);
+                oldest = oldest.min(front.arrival_tick);
+                if !front.retry {
+                    let wait_us = (tick as u64 - front.arrival_tick as u64) * knobs.tick_us + cost;
+                    acc.ttft.record(wait_us, take as u64);
+                    let tt = &mut acc.per_tenant[tenant as usize];
+                    tt.ttft.record(wait_us, take as u64);
+                    tt.ttft_recorded += take as u64;
+                    if wait_us <= tk.ttft_slo_us {
+                        tt.ttft_slo_ok += take as u64;
+                    }
+                }
+                front.count -= take;
+                remaining -= take;
+                self.queued -= take as u64;
+                if front.count == 0 {
+                    self.queue.pop_front();
+                }
+            }
+            let out_len = tk.output_len.sample(&mut self.rng) as u64;
             self.cohorts
-                .push(Reverse((self.steps_done + out_len, batch_arrival, b)));
+                .push(Reverse((self.steps_done + out_len, oldest, tenant, b)));
             self.active += b;
+            self.active_by_tenant[tenant as usize] += b;
         }
 
         // Decode: run whole steps until the budget or the batch runs out,
         // popping cohorts as they finish so the batch (and so the step
-        // time) stays current.
+        // time) stays current. Step time is shared by the whole batch;
+        // token attribution and TBT-SLO accounting are per tenant.
         while self.active > 0 {
             let d = lut.decode_step_us(self.active);
             let affordable = budget / d;
@@ -395,7 +527,7 @@ impl InstanceState {
             let next_finish = self
                 .cohorts
                 .peek()
-                .map(|Reverse((f, _, _))| *f)
+                .map(|Reverse((f, _, _, _))| *f)
                 .expect("active > 0 implies cohorts");
             let run = affordable.min(next_finish - self.steps_done).max(1);
             self.steps_done += run;
@@ -403,20 +535,32 @@ impl InstanceState {
             acc.generated_tokens += run * self.active as u64;
             acc.decode_steps += run;
             acc.tbt.record(d, run);
-            if d <= knobs.tbt_slo_us {
-                acc.tbt_slo_ok_steps += run;
+            for (t, &a) in self.active_by_tenant.iter().enumerate() {
+                if a == 0 {
+                    continue;
+                }
+                let tokens = run * a as u64;
+                let tt = &mut acc.per_tenant[t];
+                tt.generated_tokens += tokens;
+                if d <= knobs.tenants[t].tbt_slo_us {
+                    tt.tbt_slo_ok_tokens += tokens;
+                }
             }
-            while let Some(&Reverse((finish, arrival_tick, count))) = self.cohorts.peek() {
+            while let Some(&Reverse((finish, arrival_tick, tenant, count))) = self.cohorts.peek() {
                 if finish > self.steps_done {
                     break;
                 }
                 self.cohorts.pop();
                 self.active -= count;
+                self.active_by_tenant[tenant as usize] -= count;
                 acc.completed += count as u64;
                 let e2e_us = (tick as u64 + 1)
                     .saturating_sub(arrival_tick as u64)
                     .saturating_mul(knobs.tick_us);
                 acc.e2e.record(e2e_us, count as u64);
+                let tt = &mut acc.per_tenant[tenant as usize];
+                tt.completed += count as u64;
+                tt.e2e.record(e2e_us, count as u64);
             }
         }
         self.carry_us = if self.queued == 0 && self.active == 0 {
@@ -425,41 +569,6 @@ impl InstanceState {
             budget
         };
         budget0 - budget
-    }
-
-    /// Pops `b` requests from the queue, recording TTFT for non-retry
-    /// runs. Returns the arrival tick of the oldest popped run (for e2e).
-    fn pop_queue(
-        &mut self,
-        b: u32,
-        tick: u32,
-        prefill_cost_us: u64,
-        knobs: &ServeKnobs,
-        acc: &mut ShardTotals,
-    ) -> u32 {
-        let mut remaining = b;
-        let mut oldest = tick;
-        while remaining > 0 {
-            let front = self.queue.front_mut().expect("queued covers b");
-            let take = front.count.min(remaining);
-            oldest = oldest.min(front.arrival_tick);
-            if !front.retry {
-                let wait_us =
-                    (tick as u64 - front.arrival_tick as u64) * knobs.tick_us + prefill_cost_us;
-                acc.ttft.record(wait_us, take as u64);
-                acc.ttft_recorded += take as u64;
-                if wait_us <= knobs.ttft_slo_us {
-                    acc.ttft_slo_ok += take as u64;
-                }
-            }
-            front.count -= take;
-            remaining -= take;
-            self.queued -= take as u64;
-            if front.count == 0 {
-                self.queue.pop_front();
-            }
-        }
-        oldest
     }
 
     /// Downtime not yet accounted at the end of the run (instance still
@@ -476,15 +585,20 @@ impl InstanceState {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::traffic::poisson;
 
     fn knobs() -> ServeKnobs {
         ServeKnobs {
             tick_us: 1_000_000,
             max_prefill_batch: 4,
             max_queue: 10_000,
-            ttft_slo_us: 1_000_000,
-            tbt_slo_us: 50_000,
-            output_len_mean: 100,
+            tenants: vec![TenantKnobs {
+                ttft_slo_us: 1_000_000,
+                tbt_slo_us: 50_000,
+                output_len: LengthDist::geometric(100),
+                prefill_num: 1,
+                prefill_den: 1,
+            }],
         }
     }
 
@@ -506,22 +620,45 @@ mod tests {
         }
     }
 
+    /// Draws Poisson arrivals from the instance's own RNG and pushes
+    /// them, the way pre-router tests drove instances directly.
+    fn poisson_arrivals(
+        inst: &mut InstanceState,
+        tick: u32,
+        lambda: f64,
+        knobs: &ServeKnobs,
+        acc: &mut ShardTotals,
+    ) {
+        let n = poisson(&mut inst.rng, lambda);
+        if n == 0 {
+            return;
+        }
+        acc.arrived += n;
+        acc.per_tenant[0].arrived += n;
+        inst.push_arrivals(tick, n, 0, knobs, acc);
+    }
+
     #[test]
     fn requests_flow_to_completion() {
         let lut = lut();
         let knobs = knobs();
-        let mut acc = ShardTotals::new();
-        let mut inst = InstanceState::new(1, 0, &no_failures());
+        let mut acc = ShardTotals::new(1);
+        let mut inst = InstanceState::new(1, 0, &no_failures(), 1);
         for tick in 0..120u32 {
-            inst.arrivals(tick, 2.0, &knobs, &mut acc);
+            poisson_arrivals(&mut inst, tick, 2.0, &knobs, &mut acc);
             inst.serve(tick, &lut, &knobs, &mut acc);
         }
         assert!(acc.arrived > 150, "arrived = {}", acc.arrived);
         assert!(acc.completed > 0, "completed = {}", acc.completed);
         assert!(acc.generated_tokens > acc.completed);
         assert_eq!(acc.rejected, 0);
-        assert!(acc.ttft_recorded >= acc.completed);
         assert!(!acc.ttft.is_empty() && !acc.tbt.is_empty());
+        // The single tenant owns everything the fleet served.
+        let t = &acc.per_tenant[0];
+        assert_eq!(t.completed, acc.completed);
+        assert_eq!(t.generated_tokens, acc.generated_tokens);
+        assert!(t.ttft_recorded >= t.completed);
+        assert_eq!(t.ttft.total(), acc.ttft.total());
     }
 
     #[test]
@@ -529,17 +666,133 @@ mod tests {
         let lut = lut();
         let mut knobs = knobs();
         knobs.max_queue = 5;
-        let mut acc = ShardTotals::new();
-        let mut inst = InstanceState::new(2, 0, &no_failures());
+        let mut acc = ShardTotals::new(1);
+        let mut inst = InstanceState::new(2, 0, &no_failures(), 1);
         // Down instance: arrivals accumulate, nothing serves.
         inst.up = false;
         inst.down_until_us = u64::MAX;
         for tick in 0..50u32 {
-            inst.arrivals(tick, 5.0, &knobs, &mut acc);
+            poisson_arrivals(&mut inst, tick, 5.0, &knobs, &mut acc);
             inst.serve(tick, &lut, &knobs, &mut acc);
         }
         assert!(acc.rejected > 0);
+        assert_eq!(acc.per_tenant[0].rejected, acc.rejected);
         assert!(inst.queued <= 5);
+    }
+
+    #[test]
+    fn tenants_keep_separate_books() {
+        // Two tenants with different SLOs and output means sharing one
+        // instance: arrivals, tokens and SLO accounting stay separated,
+        // and fleet totals equal the tenant sums.
+        let lut = lut();
+        let knobs = ServeKnobs {
+            tick_us: 1_000_000,
+            max_prefill_batch: 4,
+            max_queue: 10_000,
+            tenants: vec![
+                TenantKnobs {
+                    ttft_slo_us: 1_000_000,
+                    tbt_slo_us: 50_000,
+                    output_len: LengthDist::geometric(50),
+                    prefill_num: 1,
+                    prefill_den: 1,
+                },
+                TenantKnobs {
+                    ttft_slo_us: 30_000_000,
+                    tbt_slo_us: 200_000,
+                    output_len: LengthDist::geometric(400),
+                    prefill_num: 2,
+                    prefill_den: 1,
+                },
+            ],
+        };
+        let mut acc = ShardTotals::new(2);
+        let mut inst = InstanceState::new(3, 0, &no_failures(), 2);
+        for tick in 0..200u32 {
+            for tenant in 0..2u16 {
+                acc.arrived += 1;
+                acc.per_tenant[tenant as usize].arrived += 1;
+                inst.push_arrivals(tick, 1, tenant, &knobs, &mut acc);
+            }
+            inst.serve(tick, &lut, &knobs, &mut acc);
+        }
+        let (a, b) = (&acc.per_tenant[0], &acc.per_tenant[1]);
+        assert!(a.completed > 0 && b.completed > 0);
+        assert_eq!(a.completed + b.completed, acc.completed);
+        assert_eq!(
+            a.generated_tokens + b.generated_tokens,
+            acc.generated_tokens
+        );
+        // Tenant 1's outputs are ~8x longer on the same completion rate.
+        assert!(b.generated_tokens > 2 * a.generated_tokens);
+        // SLO books are per tenant.
+        assert!(a.ttft_recorded > 0 && b.ttft_recorded > 0);
+        assert!(a.ttft_slo_ok <= a.ttft_recorded);
+        assert!(b.tbt_slo_ok_tokens <= b.generated_tokens);
+    }
+
+    #[test]
+    fn prefill_batches_across_adjacent_same_tenant_runs() {
+        // Two 1-request runs of the same tenant (e.g. arrivals from two
+        // ticks) must share one prefill launch: with a budget of exactly
+        // prefill_us(2), both prefill this tick. Unmerged launches would
+        // cost 2·prefill_us(1) > prefill_us(2) (per-launch overhead) and
+        // strand the second request.
+        let lut = lut();
+        let mut knobs = knobs();
+        assert!(
+            2 * lut.prefill_us(1) > lut.prefill_us(2),
+            "precondition: launches carry overhead"
+        );
+        knobs.tenants[0].output_len = LengthDist::geometric(5000);
+        knobs.tick_us = lut.prefill_us(2);
+        let mut acc = ShardTotals::new(1);
+        let mut inst = InstanceState::new(8, 0, &no_failures(), 1);
+        inst.push_arrivals(0, 1, 0, &knobs, &mut acc);
+        inst.push_arrivals(0, 1, 0, &knobs, &mut acc);
+        inst.serve(0, &lut, &knobs, &mut acc);
+        assert_eq!(inst.active(), 2, "both runs must prefill in one launch");
+        assert_eq!(acc.per_tenant[0].ttft_recorded, 2);
+
+        // A different-tenant run in between is a batching boundary: the
+        // same budget only covers the first tenant's launch.
+        let knobs2 = ServeKnobs {
+            tenants: vec![knobs.tenants[0]; 2],
+            ..knobs.clone()
+        };
+        let mut acc = ShardTotals::new(2);
+        let mut inst = InstanceState::new(8, 0, &no_failures(), 2);
+        inst.push_arrivals(0, 1, 0, &knobs2, &mut acc);
+        inst.push_arrivals(0, 1, 1, &knobs2, &mut acc);
+        inst.serve(0, &lut, &knobs2, &mut acc);
+        assert_eq!(inst.active(), 1, "tenant boundary splits the launch");
+        assert_eq!(inst.queued(), 1);
+    }
+
+    #[test]
+    fn prefill_cost_scales_with_tenant_prompt_length() {
+        let tk = TenantKnobs {
+            ttft_slo_us: 1,
+            tbt_slo_us: 1,
+            output_len: LengthDist::geometric(10),
+            prefill_num: 3,
+            prefill_den: 2,
+        };
+        assert_eq!(tk.prefill_cost_us(1000), 1500);
+        let same = TenantKnobs {
+            prefill_num: 7,
+            prefill_den: 7,
+            ..tk
+        };
+        assert_eq!(same.prefill_cost_us(1000), 1000);
+        // Floors at 1 µs.
+        let tiny = TenantKnobs {
+            prefill_num: 1,
+            prefill_den: 1000,
+            ..tk
+        };
+        assert_eq!(tiny.prefill_cost_us(10), 1);
     }
 
     #[test]
@@ -568,12 +821,18 @@ mod tests {
             swap_us: 1_500_000,    // 1.5 ticks.
             repair_us: 3_600_000_000,
         };
-        let mut acc = ShardTotals::new();
+        let mut acc = ShardTotals::new(1);
         let mut cell = CellState::new(1);
-        let mut inst = InstanceState::new(3, 0, &rates);
+        let mut inst = InstanceState::new(3, 0, &rates, 1);
+        // Long outputs so the cohorts are still decoding when the
+        // failure fires.
+        let mut knobs = knobs;
+        knobs.tenants[0].output_len = LengthDist::geometric(5000);
         // Get some work running before any failure fires.
         inst.next_failure_us = u64::MAX;
-        inst.arrivals(0, 8.0, &knobs, &mut acc);
+        acc.arrived += 8;
+        acc.per_tenant[0].arrived += 8;
+        inst.push_arrivals(0, 8, 0, &knobs, &mut acc);
         inst.serve(0, &lut, &knobs, &mut acc);
         assert!(inst.active > 0);
         let active_before = inst.active as u64;
@@ -586,6 +845,7 @@ mod tests {
         assert_eq!(cell.spares_free, 0);
         assert!(!inst.up);
         assert_eq!(inst.active, 0);
+        assert_eq!(inst.active_by_tenant[0], 0);
         assert_eq!(acc.retried, active_before);
         assert_eq!(inst.queued, active_before);
         // Swap delay: down for 1.5 ticks, up again at tick 3.
@@ -603,9 +863,9 @@ mod tests {
             swap_us: 1_000_000,
             repair_us: 10_000_000,
         };
-        let mut acc = ShardTotals::new();
+        let mut acc = ShardTotals::new(1);
         let mut cell = CellState::new(0);
-        let mut inst = InstanceState::new(4, 0, &rates);
+        let mut inst = InstanceState::new(4, 0, &rates, 1);
         inst.next_failure_us = 500_000;
         inst.lifecycle(0, 1_000_000, &rates, &mut cell, &mut acc);
         assert_eq!(acc.spare_misses, 1);
@@ -621,20 +881,26 @@ mod tests {
 
     #[test]
     fn totals_merge_is_addition() {
-        let mut a = ShardTotals::new();
-        let mut b = ShardTotals::new();
+        let mut a = ShardTotals::new(2);
+        let mut b = ShardTotals::new(2);
         a.arrived = 5;
         a.ttft.record(1000, 5);
+        a.per_tenant[0].arrived = 3;
+        a.per_tenant[1].ttft.record(500, 2);
         b.arrived = 7;
         b.ttft.record(2000, 7);
-        let mut ab = ShardTotals::new();
+        b.per_tenant[0].arrived = 4;
+        b.per_tenant[1].ttft.record(900, 1);
+        let mut ab = ShardTotals::new(2);
         ab.merge(&a);
         ab.merge(&b);
-        let mut ba = ShardTotals::new();
+        let mut ba = ShardTotals::new(2);
         ba.merge(&b);
         ba.merge(&a);
         assert_eq!(ab, ba);
         assert_eq!(ab.arrived, 12);
         assert_eq!(ab.ttft.total(), 12);
+        assert_eq!(ab.per_tenant[0].arrived, 7);
+        assert_eq!(ab.per_tenant[1].ttft.total(), 3);
     }
 }

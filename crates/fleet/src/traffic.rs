@@ -20,15 +20,113 @@ pub enum TrafficPattern {
     /// Cosine diurnal swing with a 24 h period:
     /// `1 + amplitude·cos(2π·(t − peak_hour)/24h)`.
     Diurnal {
-        /// Swing around the mean, in `[0, 1]` (0.6 → peak 1.6×, trough
-        /// 0.4×).
+        /// Swing around the mean, typically in `[0, 1]` (0.6 → peak
+        /// 1.6×, trough 0.4×). Larger amplitudes are allowed; the
+        /// multiplier clamps at 0, flattening the trough.
         amplitude: f64,
         /// Hour of day (0–24) at which load peaks.
         peak_hour: f64,
     },
     /// Replayable trace: `(time_s, multiplier)` points, piecewise-linear,
-    /// clamped at both ends. Points must be sorted by time.
+    /// clamped at both ends. Points must be sorted by non-decreasing time
+    /// (a duplicate time is a step change) with finite, non-negative
+    /// multipliers — build through [`TrafficPattern::trace`] to have that
+    /// checked, or call [`TrafficPattern::validate`] before running (the
+    /// fleet engine validates every pattern it is given).
     Trace(Vec<(f64, f64)>),
+}
+
+impl TrafficPattern {
+    /// Builds a validated [`TrafficPattern::Trace`]: points must be
+    /// non-empty, sorted by non-decreasing finite time, with finite
+    /// non-negative multipliers.
+    ///
+    /// ```
+    /// use litegpu_fleet::TrafficPattern;
+    ///
+    /// let ramp = TrafficPattern::trace(vec![(0.0, 0.2), (600.0, 1.6)]).unwrap();
+    /// assert!(ramp.validate().is_ok());
+    /// assert!(TrafficPattern::trace(vec![(600.0, 1.0), (0.0, 2.0)]).is_err());
+    /// ```
+    pub fn trace(points: Vec<(f64, f64)>) -> Result<Self, &'static str> {
+        let p = TrafficPattern::Trace(points);
+        p.validate()?;
+        Ok(p)
+    }
+
+    /// Checks the pattern's structural contract (see each variant's
+    /// documentation). `Constant` always passes; `Diurnal` requires a
+    /// finite non-negative amplitude and a finite peak hour; `Trace`
+    /// requires the [`TrafficPattern::trace`] invariants.
+    pub fn validate(&self) -> Result<(), &'static str> {
+        match self {
+            TrafficPattern::Constant => Ok(()),
+            TrafficPattern::Diurnal {
+                amplitude,
+                peak_hour,
+            } => {
+                if !(amplitude.is_finite() && *amplitude >= 0.0) {
+                    return Err("diurnal amplitude must be finite and non-negative");
+                }
+                if !peak_hour.is_finite() {
+                    return Err("diurnal peak_hour must be finite");
+                }
+                Ok(())
+            }
+            TrafficPattern::Trace(points) => {
+                if points.is_empty() {
+                    return Err("trace must have at least one point");
+                }
+                for w in points.windows(2) {
+                    if w[1].0 < w[0].0 {
+                        return Err("trace times must be sorted (non-decreasing)");
+                    }
+                }
+                for &(t, m) in points {
+                    if !t.is_finite() {
+                        return Err("trace times must be finite");
+                    }
+                    if !(m.is_finite() && m >= 0.0) {
+                        return Err("trace multipliers must be finite and non-negative");
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Rate multiplier at simulated time `t_s` (≥ 0, dimensionless).
+    pub fn multiplier_at(&self, t_s: f64) -> f64 {
+        match self {
+            TrafficPattern::Constant => 1.0,
+            TrafficPattern::Diurnal {
+                amplitude,
+                peak_hour,
+            } => {
+                let t_h = t_s / 3600.0;
+                let phase = (t_h - peak_hour) / 24.0 * core::f64::consts::TAU;
+                (1.0 + amplitude * phase.cos()).max(0.0)
+            }
+            TrafficPattern::Trace(points) => {
+                if points.is_empty() {
+                    return 1.0;
+                }
+                let first = points[0];
+                let last = points[points.len() - 1];
+                if t_s <= first.0 {
+                    return first.1.max(0.0);
+                }
+                if t_s >= last.0 {
+                    return last.1.max(0.0);
+                }
+                let i = points.partition_point(|&(t, _)| t <= t_s);
+                let (t0, m0) = points[i - 1];
+                let (t1, m1) = points[i];
+                let f = if t1 > t0 { (t_s - t0) / (t1 - t0) } else { 0.0 };
+                (m0 + f * (m1 - m0)).max(0.0)
+            }
+        }
+    }
 }
 
 /// A per-instance request source.
@@ -67,35 +165,7 @@ impl TrafficModel {
 
     /// Rate multiplier at simulated time `t_s` (≥ 0, dimensionless).
     pub fn multiplier_at(&self, t_s: f64) -> f64 {
-        match &self.pattern {
-            TrafficPattern::Constant => 1.0,
-            TrafficPattern::Diurnal {
-                amplitude,
-                peak_hour,
-            } => {
-                let t_h = t_s / 3600.0;
-                let phase = (t_h - peak_hour) / 24.0 * core::f64::consts::TAU;
-                (1.0 + amplitude * phase.cos()).max(0.0)
-            }
-            TrafficPattern::Trace(points) => {
-                if points.is_empty() {
-                    return 1.0;
-                }
-                let first = points[0];
-                let last = points[points.len() - 1];
-                if t_s <= first.0 {
-                    return first.1.max(0.0);
-                }
-                if t_s >= last.0 {
-                    return last.1.max(0.0);
-                }
-                let i = points.partition_point(|&(t, _)| t <= t_s);
-                let (t0, m0) = points[i - 1];
-                let (t1, m1) = points[i];
-                let f = if t1 > t0 { (t_s - t0) / (t1 - t0) } else { 0.0 };
-                (m0 + f * (m1 - m0)).max(0.0)
-            }
-        }
+        self.pattern.multiplier_at(t_s)
     }
 
     /// Arrival rate per instance at time `t_s`, requests/second.
@@ -136,12 +206,45 @@ fn poisson_small(rng: &mut StdRng, lambda: f64) -> u64 {
     }
 }
 
-/// Draws a geometric-tailed output length around `mean` (≥ 1 token),
-/// mirroring `litegpu_sim`'s `LengthDist::GeometricMean`.
+/// A seedable per-tenant output-length distribution.
+///
+/// Today this is the geometric-tailed sampler the fleet always used
+/// (mirroring `litegpu_sim`'s `LengthDist::GeometricMean`), packaged so
+/// each [`crate::workload::Tenant`] carries its own distribution and
+/// every draw comes from an explicit RNG stream. The mean is preserved
+/// exactly by construction, so the single-tenant
+/// `TrafficModel → WorkloadSpec` conversion samples the same lengths the
+/// legacy sampler would.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct LengthDist {
+    /// Mean length, tokens (clamped to ≥ 1 at sampling time).
+    mean: u32,
+}
+
+impl LengthDist {
+    /// A geometric-tailed distribution around `mean` tokens.
+    pub fn geometric(mean: u32) -> Self {
+        Self { mean }
+    }
+
+    /// The configured mean, tokens.
+    pub fn mean(&self) -> u32 {
+        self.mean
+    }
+
+    /// Draws one length (≥ 1 token, clamped at 16× the mean) from `rng`.
+    pub fn sample(&self, rng: &mut StdRng) -> u32 {
+        let mean = self.mean.max(1) as f64;
+        let u: f64 = rng.random::<f64>().max(1e-12);
+        ((-u.ln()) * mean).round().clamp(1.0, 16.0 * mean) as u32
+    }
+}
+
+/// Draws a geometric-tailed output length around `mean` (≥ 1 token).
+/// Thin wrapper over [`LengthDist::geometric`] kept for call sites that
+/// don't hold a distribution.
 pub fn sample_output_len(rng: &mut StdRng, mean: u32) -> u32 {
-    let mean = mean.max(1) as f64;
-    let u: f64 = rng.random::<f64>().max(1e-12);
-    ((-u.ln()) * mean).round().clamp(1.0, 16.0 * mean) as u32
+    LengthDist::geometric(mean).sample(rng)
 }
 
 #[cfg(test)]
@@ -176,12 +279,88 @@ mod tests {
     fn trace_interpolates_and_clamps() {
         let t = TrafficModel {
             rate_per_instance_s: 1.0,
-            pattern: TrafficPattern::Trace(vec![(100.0, 1.0), (200.0, 3.0)]),
+            pattern: TrafficPattern::trace(vec![(100.0, 1.0), (200.0, 3.0)]).unwrap(),
             output_len_mean: 500,
         };
         assert_eq!(t.multiplier_at(0.0), 1.0);
         assert_eq!(t.multiplier_at(300.0), 3.0);
         assert!((t.multiplier_at(150.0) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trace_constructor_rejects_malformed_traces() {
+        // Empty.
+        assert!(TrafficPattern::trace(vec![]).is_err());
+        // Unsorted times.
+        assert!(TrafficPattern::trace(vec![(10.0, 1.0), (5.0, 1.0)]).is_err());
+        // Non-finite time or multiplier.
+        assert!(TrafficPattern::trace(vec![(f64::NAN, 1.0)]).is_err());
+        assert!(TrafficPattern::trace(vec![(0.0, 1.0), (f64::INFINITY, 1.0)]).is_err());
+        assert!(TrafficPattern::trace(vec![(0.0, f64::NAN)]).is_err());
+        assert!(TrafficPattern::trace(vec![(0.0, f64::INFINITY)]).is_err());
+        // Negative multiplier.
+        assert!(TrafficPattern::trace(vec![(0.0, -0.5)]).is_err());
+        // A well-formed trace passes: single point, ramp, and a
+        // duplicate time (a step change — `multiplier_at` handles the
+        // zero-width segment explicitly, so it stays legal).
+        assert!(TrafficPattern::trace(vec![(0.0, 0.0)]).is_ok());
+        assert!(TrafficPattern::trace(vec![(0.0, 0.2), (60.0, 1.6)]).is_ok());
+        assert!(TrafficPattern::trace(vec![(10.0, 1.0), (10.0, 2.0)]).is_ok());
+    }
+
+    #[test]
+    fn validate_covers_every_pattern_variant() {
+        assert!(TrafficPattern::Constant.validate().is_ok());
+        assert!(TrafficPattern::Diurnal {
+            amplitude: 0.6,
+            peak_hour: 15.0
+        }
+        .validate()
+        .is_ok());
+        // Amplitude beyond 1 stays legal (the multiplier clamps at 0);
+        // negative or non-finite values do not.
+        assert!(TrafficPattern::Diurnal {
+            amplitude: 1.5,
+            peak_hour: 15.0
+        }
+        .validate()
+        .is_ok());
+        assert!(TrafficPattern::Diurnal {
+            amplitude: -0.1,
+            peak_hour: 15.0
+        }
+        .validate()
+        .is_err());
+        assert!(TrafficPattern::Diurnal {
+            amplitude: f64::NAN,
+            peak_hour: 15.0
+        }
+        .validate()
+        .is_err());
+        assert!(TrafficPattern::Diurnal {
+            amplitude: 0.5,
+            peak_hour: f64::NAN
+        }
+        .validate()
+        .is_err());
+        // A hand-built (constructor-bypassing) bad trace is still caught.
+        assert!(TrafficPattern::Trace(vec![(1.0, 1.0), (0.0, 1.0)])
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn length_dist_matches_legacy_sampler_under_the_same_seed() {
+        // The satellite contract: packaging the sampler as a seedable
+        // per-tenant distribution must not move the draws — same seed,
+        // same mean, byte-identical sequence.
+        let dist = LengthDist::geometric(500);
+        assert_eq!(dist.mean(), 500);
+        let mut a = StdRng::seed_from_u64(77);
+        let mut b = StdRng::seed_from_u64(77);
+        for _ in 0..500 {
+            assert_eq!(dist.sample(&mut a), sample_output_len(&mut b, 500));
+        }
     }
 
     #[test]

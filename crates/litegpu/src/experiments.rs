@@ -504,9 +504,10 @@ pub fn sim_fleet() -> Experiment {
 }
 
 /// Fleet control-plane comparison: controlled H100 (DVFS-only parking)
-/// vs controlled Lite (per-unit power gating) under the same diurnal
-/// demand — §3's elasticity/energy argument (a small instance of the
-/// `sim_ctrl` binary's default run).
+/// vs controlled Lite (per-unit power gating) under the same
+/// multi-tenant diurnal demand — §3's elasticity/energy argument plus
+/// per-tenant SLO attainment (a small instance of the `sim_ctrl`
+/// binary's default run).
 pub fn sim_ctrl() -> Experiment {
     let mut t = TextTable::new(&[
         "fleet",
@@ -517,6 +518,9 @@ pub fn sim_ctrl() -> Experiment {
         "idle MJ",
         "J/token",
     ]);
+    let mut tenants = TextTable::new(&[
+        "fleet", "tenant", "class", "arrived", "done", "shed", "TTFT SLO", "TBT SLO",
+    ]);
     for (name, mut cfg) in [
         ("H100 x120", litegpu_fleet::FleetConfig::h100_ctrl_demo()),
         ("Lite x120", litegpu_fleet::FleetConfig::lite_ctrl_demo()),
@@ -524,6 +528,7 @@ pub fn sim_ctrl() -> Experiment {
         cfg.instances = 120;
         cfg.horizon_s = 2.0 * 3600.0;
         cfg.failure_acceleration = 20_000.0;
+        cfg.workload = litegpu_fleet::WorkloadSpec::multi_tenant_demo(1.5);
         match litegpu_fleet::run(&cfg, 42) {
             Ok(r) => {
                 t.row_owned(vec![
@@ -535,6 +540,18 @@ pub fn sim_ctrl() -> Experiment {
                     format!("{:.1}", r.idle_energy_j as f64 / 1e6),
                     format!("{:.2}", r.energy_per_token_j),
                 ]);
+                for ten in &r.per_tenant {
+                    tenants.row_owned(vec![
+                        name.to_string(),
+                        ten.name.clone(),
+                        ten.priority.clone(),
+                        format!("{}", ten.arrived),
+                        format!("{}", ten.completed),
+                        format!("{}", ten.shed),
+                        format!("{:.4}", ten.ttft_attainment),
+                        format!("{:.4}", ten.tbt_attainment),
+                    ]);
+                }
             }
             Err(e) => {
                 t.row_owned(vec![name.to_string(), format!("error: {e}")]);
@@ -544,7 +561,11 @@ pub fn sim_ctrl() -> Experiment {
     Experiment {
         id: "sim_ctrl",
         title: "Fleet control plane: autoscaling + power gating energy, H100 vs Lite",
-        output: t.render(),
+        output: format!(
+            "{}\nper-tenant SLO attainment:\n{}",
+            t.render(),
+            tenants.render()
+        ),
     }
 }
 

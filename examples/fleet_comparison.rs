@@ -1,13 +1,13 @@
 //! Fleet-scale head-to-head: an H100-class fleet vs. a Lite-GPU fleet
-//! with the same aggregate silicon, under diurnal traffic with
-//! accelerated failure injection — both driven by the `litegpu-ctrl`
-//! control plane (autoscaler + cell router), with the power policy each
-//! architecture actually has: H100 parks at the DVFS idle floor,
-//! Lite-GPU instances power-gate off.
+//! with the same aggregate silicon, under the three-tenant mixed-priority
+//! diurnal workload with accelerated failure injection — both driven by
+//! the `litegpu-ctrl` control plane (autoscaler + cell router + admission
+//! control), with the power policy each architecture actually has: H100
+//! parks at the DVFS idle floor, Lite-GPU instances power-gate off.
 //!
 //! Run with `cargo run --release --example fleet_comparison`.
 
-use litegpu_repro::fleet::{run, FleetConfig};
+use litegpu_repro::fleet::{run, FleetConfig, WorkloadSpec};
 
 fn main() {
     let mut h100 = FleetConfig::h100_ctrl_demo();
@@ -17,6 +17,7 @@ fn main() {
         cfg.horizon_s = 4.0 * 3600.0;
         cfg.failure_acceleration = 3_000.0;
         cfg.spares_per_cell = 2;
+        cfg.workload = WorkloadSpec::multi_tenant_demo(1.5);
     }
 
     println!("Simulating 200-instance controlled fleets for 4 simulated hours each...\n");
@@ -73,4 +74,12 @@ fn main() {
         l.idle_energy_j as f64 / 1e6,
         h.idle_energy_j as f64 / (l.idle_energy_j as f64).max(1.0),
     );
+
+    println!("\nPer-tenant SLO attainment (each against its own targets):");
+    for (name, r) in &reports {
+        println!("  {name}:");
+        for line in r.tenant_summary().lines() {
+            println!("    {line}");
+        }
+    }
 }

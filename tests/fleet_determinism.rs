@@ -1,9 +1,14 @@
 //! Integration tests for the fleet simulator's determinism guarantee:
 //! same seed ⇒ byte-identical `FleetReport` JSON at any shard count and
 //! any thread count — with and without the `litegpu-ctrl` control plane
-//! (autoscaler + power gating + cell router) enabled.
+//! (autoscaler + power gating + cell router + admission control), for
+//! single-tenant and mixed-priority multi-tenant workloads — plus
+//! conservation laws for the priority-aware largest-remainder routing.
 
-use litegpu_repro::fleet::{run, run_sharded, FleetConfig, TrafficPattern};
+use litegpu_repro::ctrl::PriorityClass;
+use litegpu_repro::fleet::{
+    run, run_sharded, FleetConfig, LengthDist, Tenant, TrafficPattern, WorkloadSpec,
+};
 
 fn test_cfg() -> FleetConfig {
     let mut cfg = FleetConfig::lite_demo();
@@ -14,17 +19,38 @@ fn test_cfg() -> FleetConfig {
     cfg
 }
 
-/// A fully-controlled fleet over a quiet→busy traffic ramp, so both
-/// autoscaler directions (parks at the quiet start, activations at the
-/// ramp) are exercised.
+/// A 3-tenant mixed-priority spec over distinct patterns: an interactive
+/// tenant riding a quiet→busy ramp, a flat batch tenant with long
+/// outputs, and a best-effort scavenger that admission control may shed
+/// at the ramp.
+fn mixed_workload(rate: f64) -> WorkloadSpec {
+    let ramp = TrafficPattern::trace(vec![(0.0, 0.2), (600.0, 0.2), (900.0, 1.6), (1800.0, 1.6)])
+        .expect("valid trace");
+    let mut chat = Tenant::new("chat", ramp.clone(), 5.0, PriorityClass::Interactive);
+    chat.output_len = LengthDist::geometric(300);
+    let mut batch = Tenant::new("batch", TrafficPattern::Constant, 3.0, PriorityClass::Batch);
+    batch.output_len = LengthDist::geometric(900);
+    batch.ttft_slo_s = Some(30.0);
+    let mut scavenge = Tenant::new("scavenge", ramp, 2.0, PriorityClass::BestEffort);
+    scavenge.output_len = LengthDist::geometric(200);
+    scavenge.ttft_slo_s = Some(60.0);
+    WorkloadSpec {
+        rate_per_instance_s: rate,
+        tenants: vec![chat, batch, scavenge],
+    }
+}
+
+/// A fully-controlled fleet serving the 3-tenant mixed-priority spec
+/// over a quiet→busy traffic ramp, so both autoscaler directions (parks
+/// at the quiet start, activations at the ramp) and the priority-aware
+/// routing are exercised.
 fn ctrl_cfg() -> FleetConfig {
     let mut cfg = FleetConfig::lite_ctrl_demo();
     cfg.instances = 64;
     cfg.cell_size = 8;
     cfg.horizon_s = 1800.0;
     cfg.failure_acceleration = 50_000.0;
-    cfg.traffic.pattern =
-        TrafficPattern::Trace(vec![(0.0, 0.2), (600.0, 0.2), (900.0, 1.6), (1800.0, 1.6)]);
+    cfg.workload = mixed_workload(1.5);
     cfg
 }
 
@@ -68,6 +94,12 @@ fn controlled_fleet_byte_identical_across_1_4_8_shards() {
     assert!(base.routed > 0, "arrivals must flow through the router");
     assert!(base.failures > 0, "failure paths stay exercised");
     assert!(base.completed > 0);
+    // ...with all three tenants actually served...
+    assert_eq!(base.per_tenant.len(), 3);
+    for t in &base.per_tenant {
+        assert!(t.arrived > 0, "{}: no arrivals", t.name);
+        assert!(t.completed > 0, "{}: nothing served", t.name);
+    }
     // ...and still be byte-identical at any shard count.
     for shards in [4u32, 8] {
         let r = run_sharded(&cfg, 42, shards, 1).expect("sharded controlled run");
@@ -104,4 +136,64 @@ fn repeated_runs_are_stable() {
         assert_eq!(a, b);
         assert_eq!(a.to_json(), b.to_json());
     }
+}
+
+/// Conservation for priority-aware largest-remainder routing: every
+/// arrival is either routed onto a queue or rejected (queue overflow,
+/// routing shed, or admission shed) — exactly, per tenant and fleet-wide
+/// — and the per-tenant books sum back to the fleet totals.
+#[test]
+fn routing_conserves_arrivals_per_tenant_and_fleet_wide() {
+    // Overdrive the controlled fleet so all three loss paths (queue
+    // overflow via a tiny queue cap, admission shed at the ramp, routing
+    // while parked/failed) are plausible, then check exact identities.
+    let mut cfg = ctrl_cfg();
+    cfg.workload.rate_per_instance_s = 8.0;
+    cfg.max_queue_per_instance = 50;
+    for (label, cfg) in [
+        ("uncontrolled", test_cfg()),
+        ("controlled", ctrl_cfg()),
+        ("overloaded", cfg),
+    ] {
+        let r = run(&cfg, 13).unwrap();
+        assert_eq!(r.routed + r.rejected, r.arrived, "{label}: fleet");
+        assert!(
+            r.rejected >= r.routing_shed + r.admission_shed,
+            "{label}: shed kinds exceed rejects"
+        );
+        let mut arrived = 0;
+        let mut routed = 0;
+        let mut shed = 0;
+        for t in &r.per_tenant {
+            assert_eq!(
+                t.routed + t.rejected + t.shed,
+                t.arrived,
+                "{label}: tenant {}",
+                t.name
+            );
+            assert!(t.completed <= t.routed, "{label}: tenant {}", t.name);
+            arrived += t.arrived;
+            routed += t.routed;
+            shed += t.shed;
+        }
+        assert_eq!(arrived, r.arrived, "{label}: tenant sum arrived");
+        assert_eq!(routed, r.routed, "{label}: tenant sum routed");
+        assert_eq!(shed, r.routing_shed + r.admission_shed, "{label}: sheds");
+    }
+}
+
+/// Under the overloaded ramp, admission control sheds the best-effort
+/// tenant only — the guaranteed classes are never admission-shed.
+#[test]
+fn overload_sheds_only_best_effort() {
+    let mut cfg = ctrl_cfg();
+    cfg.failure_acceleration = 0.0;
+    cfg.workload.rate_per_instance_s = 10.0;
+    let r = run(&cfg, 21).unwrap();
+    assert!(r.admission_shed > 0, "ramp must trigger admission control");
+    let by_name = |n: &str| r.per_tenant.iter().find(|t| t.name == n).unwrap();
+    assert_eq!(by_name("chat").shed, 0);
+    assert_eq!(by_name("batch").shed, 0);
+    assert!(by_name("scavenge").shed > 0);
+    assert_eq!(by_name("scavenge").priority, "best-effort");
 }
