@@ -1,27 +1,66 @@
 #!/usr/bin/env bash
-# Full CI gate for the litegpu workspace. Mirrors .github/workflows/ci.yml.
+# CI gate for the litegpu workspace. The GitHub workflow
+# (.github/workflows/ci.yml) invokes this same script — `lint` and
+# `build-test` run as parallel jobs there — so the local gate and CI
+# cannot drift.
+#
+# Usage: ci.sh [lint|build-test|all]   (default: all)
 set -euo pipefail
 cd "$(dirname "$0")"
 
-echo "==> cargo fmt --check"
-cargo fmt --check
+lint() {
+  echo "==> cargo fmt --check"
+  cargo fmt --check
 
-echo "==> cargo clippy --workspace --all-targets -- -D warnings"
-cargo clippy --workspace --all-targets -- -D warnings
+  echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+  cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> cargo build --release"
-cargo build --release
+  echo "==> cargo doc --workspace --no-deps (deny warnings)"
+  RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+}
 
-echo "==> cargo build --release --examples (workspace)"
-cargo build --workspace --release --examples
+build_test() {
+  echo "==> cargo build --release"
+  cargo build --release
 
-echo "==> cargo doc --workspace --no-deps (deny warnings)"
-RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+  echo "==> cargo build --release --examples (workspace)"
+  cargo build --workspace --release --examples
 
-echo "==> cargo test -q (workspace)"
-cargo test --workspace -q
+  echo "==> cargo test -q (workspace)"
+  cargo test --workspace -q
 
-echo "==> multi-tenant determinism: byte-identical FleetReport at 1/2/8 threads"
-./scripts/check_determinism.sh
+  echo "==> fleet determinism + scale smoke (sim_fleet)"
+  cargo run --release -q -p litegpu-bench --bin sim_fleet -- \
+    --gpu lite --instances 200 --hours 2 --quiet-json
 
-echo "CI gate passed."
+  echo "==> phase-split smoke: split-vs-mono headline + KV accounting (sim_fleet --serving split)"
+  cargo run --release -q -p litegpu-bench --bin sim_fleet -- \
+    --gpu both --instances 64 --cell-size 8 --hours 1 --rate 3 \
+    --serving split --quiet-json
+
+  echo "==> control-plane smoke: autoscale + gating + routing + admission (sim_ctrl)"
+  cargo run --release -q -p litegpu-bench --bin sim_ctrl -- \
+    --instances 100 --hours 4 --quiet-json
+
+  echo "==> determinism: byte-identical FleetReport at 1/2/8 threads, both serving modes"
+  ./scripts/check_determinism.sh
+
+  echo "==> perf smoke: BENCH_fleet.json vs checked-in baseline"
+  ./scripts/perf_smoke.sh
+}
+
+mode="${1:-all}"
+case "$mode" in
+  lint) lint ;;
+  build-test) build_test ;;
+  all)
+    lint
+    build_test
+    ;;
+  *)
+    echo "usage: ci.sh [lint|build-test|all]" >&2
+    exit 2
+    ;;
+esac
+
+echo "CI gate ($mode) passed."

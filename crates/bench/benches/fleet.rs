@@ -34,6 +34,19 @@ fn bench_fleet_hot_loop(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_fleet_phase_split(c: &mut Criterion) {
+    // The phase-split hot loop adds KV-link pricing and pool delivery on
+    // top of the monolithic path; this tracks what that costs.
+    let cfg = bench_cfg().with_phase_split();
+    let ticks = cfg.num_ticks() as u64 * cfg.instances as u64;
+    let mut group = c.benchmark_group("fleet_split");
+    group.sample_size(10);
+    group.bench_function(format!("sim_{ticks}_instance_ticks_split_1_shard"), |b| {
+        b.iter(|| run_sharded(&cfg, 42, 1, 1).unwrap())
+    });
+    group.finish();
+}
+
 fn bench_stepcost_build(c: &mut Criterion) {
     let params = EngineParams::paper_defaults();
     c.bench_function("stepcost_table_build_lite_tp8", |b| {
@@ -49,5 +62,10 @@ fn bench_stepcost_build(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_fleet_hot_loop, bench_stepcost_build);
+criterion_group!(
+    benches,
+    bench_fleet_hot_loop,
+    bench_fleet_phase_split,
+    bench_stepcost_build
+);
 criterion_main!(benches);

@@ -21,14 +21,17 @@
 //! sim_ctrl [--instances N] [--hours H] [--rate R] [--accel A]
 //!          [--cell-size N] [--tick S] [--seed N]
 //!          [--control-interval S] [--warm-pool N]
-//!          [--workload multi|single]
+//!          [--workload multi|single] [--serving mono|split]
 //!          [--spares-target A] [--max-spares N] [--quiet-json]
 //! ```
 
-use litegpu_fleet::{run, spares_for_target, FleetConfig, PriorityClass, WorkloadSpec};
+use litegpu_fleet::{
+    run, spares_for_target, FleetConfig, PriorityClass, ServingMode, WorkloadSpec,
+};
 
 struct Args {
     instances: u32,
+    serving: String,
     hours: f64,
     rate: f64,
     accel: f64,
@@ -46,6 +49,7 @@ struct Args {
 fn parse_args() -> Args {
     let mut a = Args {
         instances: 500,
+        serving: "mono".into(),
         hours: 24.0,
         rate: 5.0,
         accel: 200.0,
@@ -67,6 +71,7 @@ fn parse_args() -> Args {
         let flag = argv[i].clone();
         match flag.as_str() {
             "--instances" => a.instances = parsed(&flag, value(&mut i)),
+            "--serving" => a.serving = value(&mut i),
             "--hours" => a.hours = parsed(&flag, value(&mut i)),
             "--rate" => a.rate = parsed(&flag, value(&mut i)),
             "--accel" => a.accel = parsed(&flag, value(&mut i)),
@@ -104,6 +109,16 @@ fn configure(base: FleetConfig, a: &Args) -> FleetConfig {
     cfg.failure_acceleration = a.accel;
     cfg.cell_size = a.cell_size;
     cfg.tick_s = a.tick;
+    match a.serving.as_str() {
+        "mono" => {}
+        "split" => {
+            cfg.serving = ServingMode::split_demo(&cfg.gpu, cfg.gpus_per_instance);
+        }
+        other => {
+            eprintln!("unknown --serving {other} (expected mono|split)");
+            std::process::exit(2);
+        }
+    }
     let ctrl = cfg.ctrl.as_mut().expect("ctrl demo configs have a ctrl");
     ctrl.control_interval_s = a.control_interval;
     if let Some(p) = ctrl.power.as_mut() {
@@ -135,6 +150,9 @@ fn main() {
         );
         for line in report.tenant_summary().lines() {
             eprintln!("#   {line}");
+        }
+        if report.kv_transfer.is_some() {
+            eprintln!("#   {}", report.kv_summary());
         }
         let json = report.to_json();
         if !a.quiet_json {

@@ -10,7 +10,10 @@
 //!           [--rate R] [--accel A] [--spares-per-cell N] [--cell-size N]
 //!           [--tick S] [--seed N] [--shards N] [--threads N]
 //!           [--ctrl off|auto|dvfs|gate] [--control-interval S]
-//!           [--warm-pool N] [--workload single|multi] [--quiet-json]
+//!           [--warm-pool N] [--workload single|multi]
+//!           [--serving mono|split] [--prefill-fraction F]
+//!           [--kv-gbps G] [--kv-backlog S] [--no-baseline]
+//!           [--perf-json PATH] [--quiet-json]
 //! ```
 //!
 //! `--ctrl` enables the litegpu-ctrl control plane (autoscaler + power
@@ -20,9 +23,20 @@
 //! every fleet. `--workload multi` swaps the single diurnal tenant for
 //! the three-tenant mixed-priority demo (interactive chat + batch +
 //! best-effort scavenger), reported per tenant.
+//!
+//! `--serving split` serves Splitwise-style: each cell partitions into
+//! prefill and decode pools, prefill completions stream KV caches over a
+//! per-cell link (default budget derived from the GPU's own network
+//! bandwidth; override with `--kv-gbps`), and the binary also runs a
+//! monolithic twin of every fleet (skip with `--no-baseline`) to print
+//! the split-vs-mono headline:
+//! p99 TBT isolation bought at a TTFT transfer premium, plus the
+//! H100-vs-Lite KV-bandwidth trade. `--perf-json PATH` writes a small
+//! `{instance_ticks, wall_s, ticks_per_sec}` artifact for the primary
+//! run (CI perf smoke).
 
 use litegpu_fleet::ctrl::{CtrlConfig, Policy};
-use litegpu_fleet::{run_sharded, FleetConfig, WorkloadSpec};
+use litegpu_fleet::{run_sharded, FleetConfig, FleetReport, KvLink, ServingMode, WorkloadSpec};
 
 struct Args {
     gpu: String,
@@ -40,6 +54,12 @@ struct Args {
     control_interval: f64,
     warm_pool: u32,
     workload: String,
+    serving: String,
+    prefill_fraction: f64,
+    kv_gbps: Option<f64>,
+    kv_backlog: f64,
+    no_baseline: bool,
+    perf_json: Option<String>,
     quiet_json: bool,
 }
 
@@ -60,6 +80,12 @@ fn parse_args() -> Args {
         control_interval: 5.0,
         warm_pool: 1,
         workload: "single".into(),
+        serving: "mono".into(),
+        prefill_fraction: 0.25,
+        kv_gbps: None,
+        kv_backlog: KvLink::DEFAULT_MAX_BACKLOG_S,
+        no_baseline: false,
+        perf_json: None,
         quiet_json: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -84,6 +110,12 @@ fn parse_args() -> Args {
             "--control-interval" => a.control_interval = parsed(&flag, value(&mut i)),
             "--warm-pool" => a.warm_pool = parsed(&flag, value(&mut i)),
             "--workload" => a.workload = value(&mut i),
+            "--serving" => a.serving = value(&mut i),
+            "--prefill-fraction" => a.prefill_fraction = parsed(&flag, value(&mut i)),
+            "--kv-gbps" => a.kv_gbps = Some(parsed(&flag, value(&mut i))),
+            "--kv-backlog" => a.kv_backlog = parsed(&flag, value(&mut i)),
+            "--no-baseline" => a.no_baseline = true,
+            "--perf-json" => a.perf_json = Some(value(&mut i)),
             "--quiet-json" => a.quiet_json = true,
             other => {
                 eprintln!("unknown argument: {other}");
@@ -91,6 +123,10 @@ fn parse_args() -> Args {
             }
         }
         i += 1;
+    }
+    if a.serving != "mono" && a.serving != "split" {
+        eprintln!("unknown --serving {} (expected mono|split)", a.serving);
+        std::process::exit(2);
     }
     a
 }
@@ -129,7 +165,41 @@ fn configure(base: FleetConfig, a: &Args, auto_policy: Policy) -> FleetConfig {
         }
         c
     });
+    if a.serving == "split" {
+        let mut link = KvLink::for_instance(&cfg.gpu, cfg.gpus_per_instance);
+        if let Some(gbps) = a.kv_gbps {
+            link.bandwidth_gbps = gbps;
+        }
+        link.max_backlog_s = a.kv_backlog;
+        cfg.serving = ServingMode::PhaseSplit {
+            prefill_fraction: a.prefill_fraction,
+            kv_link: link,
+        };
+    }
     cfg
+}
+
+fn run_one(name: &str, cfg: &FleetConfig, a: &Args) -> (FleetReport, f64) {
+    let threads = if a.threads > 0 {
+        a.threads
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get() as u32)
+            .unwrap_or(1)
+    };
+    let shards = if a.shards > 0 {
+        a.shards
+    } else {
+        cfg.num_cells()
+    };
+    let start = std::time::Instant::now();
+    match run_sharded(cfg, a.seed, shards, threads) {
+        Ok(r) => (r, start.elapsed().as_secs_f64()),
+        Err(e) => {
+            eprintln!("fleet {name}: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 fn main() {
@@ -145,38 +215,55 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let threads = if a.threads > 0 {
-        a.threads
-    } else {
-        std::thread::available_parallelism()
-            .map(|n| n.get() as u32)
-            .unwrap_or(1)
-    };
+    let mut split_reports: Vec<(String, FleetReport)> = Vec::new();
+    let mut perf_written = false;
     for (name, cfg) in fleets {
-        let shards = if a.shards > 0 {
-            a.shards
-        } else {
-            cfg.num_cells()
-        };
-        let start = std::time::Instant::now();
-        let report = match run_sharded(&cfg, a.seed, shards, threads) {
-            Ok(r) => r,
-            Err(e) => {
-                eprintln!("fleet {name}: {e}");
-                std::process::exit(1);
-            }
-        };
-        let wall = start.elapsed();
+        let (report, wall) = run_one(name, &cfg, &a);
         let json = report.to_json();
-        eprintln!(
-            "# {name}: {} ({} shards, {} threads, {:.2} s wall)",
-            report.summary(),
-            shards,
-            threads,
-            wall.as_secs_f64()
-        );
+        eprintln!("# {name}: {} ({:.2} s wall)", report.summary(), wall);
         for line in report.tenant_summary().lines() {
             eprintln!("#   {line}");
+        }
+        // The perf artifact records the first fleet only — with
+        // `--gpu both` a per-iteration write would silently overwrite
+        // the h100 numbers with lite's.
+        if let (Some(path), false) = (&a.perf_json, perf_written) {
+            let instance_ticks = cfg.num_ticks() as u64 * cfg.instances as u64;
+            let perf = format!(
+                "{{\n  \"fleet\": \"{name}\",\n  \"instance_ticks\": {instance_ticks},\n  \
+                 \"wall_s\": {wall:.4},\n  \"ticks_per_sec\": {:.0}\n}}\n",
+                instance_ticks as f64 / wall.max(1e-9)
+            );
+            if let Err(e) = std::fs::write(path, perf) {
+                eprintln!("perf-json {path}: {e}");
+            }
+            perf_written = true;
+        }
+        if report.kv_transfer.is_some() {
+            eprintln!("#   {}", report.kv_summary());
+            // The split-vs-mono headline: same fleet, same seed, same
+            // instance count, monolithic continuous batching.
+            // `--no-baseline` skips the twin (CI determinism/perf legs
+            // only need the primary run's bytes).
+            if !a.no_baseline {
+                let mut mono_cfg = cfg.clone();
+                mono_cfg.serving = ServingMode::Monolithic;
+                let (mono, _) = run_one(name, &mono_cfg, &a);
+                eprintln!(
+                    "#   split vs mono ({} instances): p99 TBT {:.4} s vs {:.4} s \
+                     ({:.1}x tighter), p99 TTFT {:.3} s vs {:.3} s (transfer premium), \
+                     completed {} vs {}",
+                    cfg.instances,
+                    report.tbt_p99_s,
+                    mono.tbt_p99_s,
+                    mono.tbt_p99_s / report.tbt_p99_s.max(1e-12),
+                    report.ttft_p99_s,
+                    mono.ttft_p99_s,
+                    report.completed,
+                    mono.completed,
+                );
+            }
+            split_reports.push((name.to_string(), report.clone()));
         }
         if !a.quiet_json {
             println!("{json}");
@@ -185,5 +272,30 @@ fn main() {
         if std::fs::create_dir_all(&dir).is_ok() {
             let _ = std::fs::write(dir.join(format!("fleet_{name}.json")), &json);
         }
+    }
+    // The headline KV-bandwidth trade, when both fleets ran phase-split:
+    // the per-request KV footprint is fixed by the model, so the question
+    // is whether the smaller GPUs' links keep up. Table 1 scales network
+    // bandwidth with count (8 × 112.5 = 2 × 450 GB/s per instance), so
+    // the Lite fleet absorbs the same KV stream at the same utilization —
+    // the §2 condition, met; starve `--kv-gbps` to watch it fail.
+    if split_reports.len() == 2 {
+        let (h, l) = (&split_reports[0].1, &split_reports[1].1);
+        let (hk, lk) = (
+            h.kv_transfer.as_ref().expect("split report"),
+            l.kv_transfer.as_ref().expect("split report"),
+        );
+        eprintln!(
+            "# KV-bandwidth trade (phase-split, equal aggregate silicon): H100 moved {:.0} GB \
+             at {:.2}% cell-link utilization (delay p99 {:.1} ms) vs Lite {:.0} GB at {:.2}% \
+             (delay p99 {:.1} ms) — Lite-GPU phase-split holds iff per-GPU net bandwidth \
+             scales with count (Table 1: 8x112.5 = 2x450 GB/s per instance)",
+            hk.gb_moved,
+            100.0 * hk.link_utilization,
+            1e3 * hk.delay_p99_s,
+            lk.gb_moved,
+            100.0 * lk.link_utilization,
+            1e3 * lk.delay_p99_s,
+        );
     }
 }

@@ -16,8 +16,16 @@
 //! ([`Command::SetAdmission`]) so scavenger load is shed *before* the
 //! guaranteed classes lose queue room or SLO headroom, and re-grants it
 //! once total demand fits again.
+//!
+//! On phase-split cells ([`CellObs::phase_split`] is set) the autoscaler
+//! is phase-aware: demand is priced against *per-pool* capacities (every
+//! admitted request needs one prefill and one decode residency), the
+//! live target is the sum of both pool targets, and the prefill/decode
+//! partition is re-asserted each control tick with
+//! [`Command::SetPhase`] — so a prompt-heavy shift grows the prefill
+//! pool at the decode pool's expense without changing fleet size.
 
-use crate::controller::{CellObs, Command, Controller, Mode, PriorityClass};
+use crate::controller::{CellObs, Command, Controller, Mode, Phase, PriorityClass};
 use rand::rngs::StdRng;
 
 /// Autoscaler policy parameters.
@@ -144,7 +152,30 @@ impl Controller for Autoscaler {
         } else {
             demand_guaranteed
         };
-        let desired = ((demand_rps / cap).ceil() as u32).clamp(floor, healthy);
+        // Phase-split cells size each pool against its own per-phase
+        // capacity (every admitted request needs one prefill *and* one
+        // decode residency, so both pools see the full demand stream) and
+        // re-assert the prefill/decode partition below; monolithic cells
+        // size the single pool as before.
+        let (desired, prefill_target) = match &obs.phase_split {
+            Some(ps) => {
+                let cap_p = (ps.prefill_capacity_rps * self.cfg.target_util).max(1e-9);
+                let cap_d = (ps.decode_capacity_rps * self.cfg.target_util).max(1e-9);
+                let need_p = ((demand_rps / cap_p).ceil() as u32).max(1);
+                let need_d = ((demand_rps / cap_d).ceil() as u32).max(1);
+                // A split cell needs at least one slot per pool.
+                let split_floor = floor.max(2.min(healthy));
+                let desired = (need_p + need_d).clamp(split_floor, healthy);
+                (
+                    desired,
+                    Some(need_p.clamp(1, desired.saturating_sub(1).max(1))),
+                )
+            }
+            None => (
+                ((demand_rps / cap).ceil() as u32).clamp(floor, healthy),
+                None,
+            ),
+        };
 
         let live = obs.live();
         let planned = live + obs.booting();
@@ -183,6 +214,36 @@ impl Controller for Autoscaler {
                 cmds.push(Command::Park { slot });
             }
         }
+        if let Some(np) = prefill_target {
+            // Re-assert the phase partition over the slots that actually
+            // serve — Live or Booting, in index order: the first `np`
+            // form the prefill pool, the rest decode. Painting parked
+            // slots instead would deadlock a scaled-down cell: the live
+            // set could end up all-decode (shedding every arrival with
+            // empty queues, so demand never forces a scale-up) while the
+            // "prefill" slots sleep. Freshly activated slots keep a stale
+            // phase for at most one control interval. The data plane
+            // applies a SetPhase only once the slot is idle, so busy
+            // mismatched slots converge as they drain.
+            let mut assigned = 0u32;
+            for (i, s) in obs.slots.iter().enumerate() {
+                if !matches!(s.mode, Mode::Live | Mode::Booting) {
+                    continue;
+                }
+                let want = if assigned < np {
+                    Phase::Prefill
+                } else {
+                    Phase::Decode
+                };
+                assigned += 1;
+                if s.phase != want {
+                    cmds.push(Command::SetPhase {
+                        slot: i as u32,
+                        phase: want,
+                    });
+                }
+            }
+        }
         cmds
     }
 }
@@ -201,6 +262,7 @@ mod tests {
             arrived_by_class: [arrived, 0, 0],
             capacity_rps_per_instance: 2.0,
             max_queue: 1000,
+            phase_split: None,
             slots,
         }
     }
@@ -208,6 +270,7 @@ mod tests {
     fn slot(mode: Mode, queued: u64, active: u32) -> InstanceObs {
         InstanceObs {
             mode,
+            phase: Phase::Mixed,
             queued,
             active,
         }
@@ -348,6 +411,86 @@ mod tests {
         assert!(!cmds
             .iter()
             .any(|c| matches!(c, Command::SetAdmission { .. })));
+    }
+
+    #[test]
+    fn phase_split_sizes_pools_and_reasserts_partition() {
+        use crate::controller::PhaseObs;
+        let mut a = Autoscaler::new(AutoscalerConfig::default());
+        let mut rng = StdRng::seed_from_u64(1);
+        // 28 arrivals / 5 s = 5.6 rps. Prefill capacity 8 rps/inst at
+        // 70% util = 5.6 ⇒ 1 prefill slot; decode capacity 2 rps at 70%
+        // = 1.4 ⇒ 4 decode slots ⇒ desired live = 5 of 6 healthy.
+        let mut o = obs(
+            vec![
+                slot(Mode::Live, 0, 1),
+                slot(Mode::Live, 0, 1),
+                slot(Mode::Live, 0, 2),
+                slot(Mode::Live, 0, 2),
+                slot(Mode::Live, 0, 2),
+                slot(Mode::Warm, 0, 0),
+            ],
+            28,
+        );
+        // Start with phases scrambled: slot 2 prefill, the rest decode.
+        for (i, s) in o.slots.iter_mut().enumerate() {
+            s.phase = if i == 2 {
+                Phase::Prefill
+            } else {
+                Phase::Decode
+            };
+        }
+        o.phase_split = Some(PhaseObs {
+            prefill_capacity_rps: 8.0,
+            decode_capacity_rps: 2.0,
+            kv_backlog_us: 0,
+        });
+        let cmds = a.control(&o, &[], &mut rng);
+        // The partition converges to: slot 0 prefill, slots 1..6 decode.
+        assert!(cmds.contains(&Command::SetPhase {
+            slot: 0,
+            phase: Phase::Prefill
+        }));
+        assert!(cmds.contains(&Command::SetPhase {
+            slot: 2,
+            phase: Phase::Decode
+        }));
+        // Slots already in the right phase are left alone.
+        assert!(!cmds
+            .iter()
+            .any(|c| matches!(c, Command::SetPhase { slot: 1, .. })));
+        // No scale action: 5 live slots already match the desired count.
+        assert!(!cmds
+            .iter()
+            .any(|c| matches!(c, Command::Activate { .. } | Command::Park { .. })));
+    }
+
+    #[test]
+    fn phase_split_keeps_one_slot_per_pool_even_when_quiet() {
+        use crate::controller::PhaseObs;
+        let mut a = Autoscaler::new(AutoscalerConfig::default());
+        let mut rng = StdRng::seed_from_u64(1);
+        // Zero demand on a 4-slot split cell: the cell still keeps two
+        // live slots (one per pool) and the partition stays 1 + rest.
+        let mut o = obs(vec![slot(Mode::Live, 0, 0); 4], 0);
+        for s in o.slots.iter_mut() {
+            s.phase = Phase::Decode;
+        }
+        o.phase_split = Some(PhaseObs {
+            prefill_capacity_rps: 4.0,
+            decode_capacity_rps: 4.0,
+            kv_backlog_us: 0,
+        });
+        let cmds = a.control(&o, &[], &mut rng);
+        let parks = cmds
+            .iter()
+            .filter(|c| matches!(c, Command::Park { .. }))
+            .count();
+        assert_eq!(parks, 2, "quiet split cell parks down to 2, not 1");
+        assert!(cmds.contains(&Command::SetPhase {
+            slot: 0,
+            phase: Phase::Prefill
+        }));
     }
 
     #[test]

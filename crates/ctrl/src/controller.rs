@@ -59,6 +59,37 @@ impl PriorityClass {
     }
 }
 
+/// Inference-phase role of one instance slot under Splitwise-style
+/// phase-split serving.
+///
+/// A monolithic fleet runs every slot as [`Phase::Mixed`]. A phase-split
+/// fleet partitions each cell into a prefill pool ([`Phase::Prefill`] —
+/// receives routed arrivals, runs prompt prefills, streams the resulting
+/// KV caches over the cell's KV link) and a decode pool
+/// ([`Phase::Decode`] — receives transferred KV caches and runs pure
+/// decode steps, isolated from prefill interference). The phase-aware
+/// autoscaler rebalances the partition with [`Command::SetPhase`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Interleaves prefill and decode (monolithic serving).
+    Mixed,
+    /// Dedicated prefill instance: owns arrival queue room, never decodes.
+    Prefill,
+    /// Dedicated decode instance: receives KV transfers, never prefills.
+    Decode,
+}
+
+impl Phase {
+    /// Stable lowercase label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::Mixed => "mixed",
+            Phase::Prefill => "prefill",
+            Phase::Decode => "decode",
+        }
+    }
+}
+
 /// Administrative and health state of one instance slot, as observed by
 /// controllers at a control tick.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -82,10 +113,27 @@ pub enum Mode {
 pub struct InstanceObs {
     /// Current mode.
     pub mode: Mode,
+    /// Inference-phase role ([`Phase::Mixed`] on monolithic fleets).
+    pub phase: Phase,
     /// Requests waiting in the slot's queue.
     pub queued: u64,
     /// Sequences currently decoding on the slot.
     pub active: u32,
+}
+
+/// Phase-split context of a cell at a control tick, present only when the
+/// data plane serves in phase-split mode.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseObs {
+    /// Sustainable request throughput of one dedicated prefill instance,
+    /// requests/s.
+    pub prefill_capacity_rps: f64,
+    /// Sustainable request throughput of one dedicated decode instance,
+    /// requests/s.
+    pub decode_capacity_rps: f64,
+    /// Outstanding KV-transfer backlog on the cell's link, microseconds
+    /// of link time (the quantity back-pressure is keyed on).
+    pub kv_backlog_us: u64,
 }
 
 /// A cell's state at a control-tick boundary.
@@ -108,6 +156,8 @@ pub struct CellObs {
     pub capacity_rps_per_instance: f64,
     /// Queue capacity per instance.
     pub max_queue: u32,
+    /// Phase-split context (`None` on monolithic fleets).
+    pub phase_split: Option<PhaseObs>,
     /// Per-slot observations, indexed by cell-local slot id.
     pub slots: Vec<InstanceObs>,
 }
@@ -129,6 +179,14 @@ impl CellObs {
     /// Slots not down (actionable by controllers).
     pub fn healthy(&self) -> u32 {
         self.slots.iter().filter(|s| s.mode != Mode::Down).count() as u32
+    }
+
+    /// Live slots currently in the given phase.
+    pub fn live_in_phase(&self, phase: Phase) -> u32 {
+        self.slots
+            .iter()
+            .filter(|s| s.mode == Mode::Live && s.phase == phase)
+            .count() as u32
     }
 
     /// Total queued requests across the cell.
@@ -179,6 +237,17 @@ pub enum Command {
         /// Whether best-effort arrivals are admitted.
         allow_best_effort: bool,
     },
+    /// Move a slot between the prefill and decode pools (phase-split
+    /// serving only). The data plane applies the change only when the
+    /// slot is idle — migrating live KV caches or queued prompts between
+    /// phases is not modeled — so controllers should re-assert the
+    /// desired partition idempotently.
+    SetPhase {
+        /// Cell-local slot id.
+        slot: u32,
+        /// The pool the slot should join.
+        phase: Phase,
+    },
 }
 
 /// A deterministic per-cell control policy.
@@ -220,24 +289,29 @@ mod tests {
             arrived_by_class: [0; 3],
             capacity_rps_per_instance: 2.0,
             max_queue: 100,
+            phase_split: None,
             slots: vec![
                 InstanceObs {
                     mode: Mode::Live,
+                    phase: Phase::Prefill,
                     queued: 3,
                     active: 1,
                 },
                 InstanceObs {
                     mode: Mode::Booting,
+                    phase: Phase::Decode,
                     queued: 0,
                     active: 0,
                 },
                 InstanceObs {
                     mode: Mode::Cold,
+                    phase: Phase::Decode,
                     queued: 0,
                     active: 0,
                 },
                 InstanceObs {
                     mode: Mode::Down,
+                    phase: Phase::Mixed,
                     queued: 7,
                     active: 0,
                 },
@@ -247,5 +321,14 @@ mod tests {
         assert_eq!(obs.booting(), 1);
         assert_eq!(obs.healthy(), 3);
         assert_eq!(obs.queued_total(), 10);
+        assert_eq!(obs.live_in_phase(Phase::Prefill), 1);
+        assert_eq!(obs.live_in_phase(Phase::Decode), 0);
+    }
+
+    #[test]
+    fn phase_labels_are_stable() {
+        assert_eq!(Phase::Mixed.label(), "mixed");
+        assert_eq!(Phase::Prefill.label(), "prefill");
+        assert_eq!(Phase::Decode.label(), "decode");
     }
 }

@@ -21,6 +21,14 @@
 //!   instances, weighted by free capacity, so failures and parking don't
 //!   strand traffic.
 //!
+//! All three are **phase-aware**: on a Splitwise-style phase-split fleet
+//! (the data plane sets [`CellObs::phase_split`] and tags each slot with
+//! a [`Phase`]), the autoscaler sizes the prefill and decode pools
+//! independently and rebalances the partition with
+//! [`Command::SetPhase`], and the router grants queue room to the
+//! prefill pool only — decode instances receive their work over the
+//! cell's KV link, never the front door.
+//!
 //! Everything is strictly cell-local and integer-exact where it touches
 //! the data plane (largest-remainder apportionment, integer energy
 //! accumulators), so a controlled fleet keeps `litegpu-fleet`'s
@@ -32,7 +40,9 @@ pub mod power;
 pub mod route;
 
 pub use autoscale::{Autoscaler, AutoscalerConfig};
-pub use controller::{CellObs, Command, Controller, InstanceObs, Mode, PriorityClass};
+pub use controller::{
+    CellObs, Command, Controller, InstanceObs, Mode, Phase, PhaseObs, PriorityClass,
+};
 pub use litegpu_cluster::power_mgmt::Policy;
 pub use power::{PowerConfig, PowerGater};
 pub use route::{apportion, apportion_into, Router, RouterConfig};
@@ -229,14 +239,17 @@ mod tests {
             arrived_by_class: [0; 3],
             capacity_rps_per_instance: 2.0,
             max_queue: 50,
+            phase_split: None,
             slots: vec![
                 InstanceObs {
                     mode: Mode::Live,
+                    phase: Phase::Mixed,
                     queued: 0,
                     active: 0,
                 },
                 InstanceObs {
                     mode: Mode::Live,
+                    phase: Phase::Mixed,
                     queued: 0,
                     active: 0,
                 },

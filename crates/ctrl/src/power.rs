@@ -110,10 +110,12 @@ mod tests {
             arrived_by_class: [0; 3],
             capacity_rps_per_instance: 2.0,
             max_queue: 100,
+            phase_split: None,
             slots: modes
                 .iter()
                 .map(|&mode| InstanceObs {
                     mode,
+                    phase: crate::controller::Phase::Mixed,
                     queued: 0,
                     active: 0,
                 })

@@ -11,7 +11,7 @@
 //! thread count. The snapshot refreshes only at control ticks, modeling a
 //! load balancer with periodically-updated backend stats.
 
-use crate::controller::{CellObs, Command, Controller, Mode};
+use crate::controller::{CellObs, Command, Controller, Mode, Phase};
 use rand::rngs::StdRng;
 
 /// Router policy parameters.
@@ -54,7 +54,11 @@ impl Controller for Router {
             .slots
             .iter()
             .map(|s| match s.mode {
-                Mode::Live => {
+                // Queue room is granted per pool: on a phase-split cell
+                // only the prefill pool receives routed arrivals — the
+                // decode pool's work arrives over the KV link, never the
+                // front door.
+                Mode::Live if s.phase != Phase::Decode => {
                     if self.cfg.weight_by_free_capacity {
                         (obs.max_queue as u64).saturating_sub(s.queued)
                     } else {
@@ -132,24 +136,29 @@ mod tests {
             arrived_by_class: [0; 3],
             capacity_rps_per_instance: 2.0,
             max_queue: 10,
+            phase_split: None,
             slots: vec![
                 InstanceObs {
                     mode: Mode::Live,
+                    phase: Phase::Mixed,
                     queued: 3,
                     active: 0,
                 },
                 InstanceObs {
                     mode: Mode::Down,
+                    phase: Phase::Mixed,
                     queued: 0,
                     active: 0,
                 },
                 InstanceObs {
                     mode: Mode::Live,
+                    phase: Phase::Mixed,
                     queued: 12, // Over capacity (stale): clamps to 0.
                     active: 0,
                 },
                 InstanceObs {
                     mode: Mode::Cold,
+                    phase: Phase::Mixed,
                     queued: 0,
                     active: 0,
                 },
@@ -160,6 +169,42 @@ mod tests {
             cmds,
             vec![Command::SetWeights {
                 weights: vec![7, 0, 0, 0]
+            }]
+        );
+    }
+
+    #[test]
+    fn decode_pool_slots_get_no_queue_room() {
+        let mut r = Router::new(RouterConfig::default());
+        let mut rng = StdRng::seed_from_u64(1);
+        let obs = CellObs {
+            tick: 0,
+            interval_s: 5.0,
+            arrived_since_last: 0,
+            arrived_by_class: [0; 3],
+            capacity_rps_per_instance: 2.0,
+            max_queue: 10,
+            phase_split: None,
+            slots: vec![
+                InstanceObs {
+                    mode: Mode::Live,
+                    phase: Phase::Prefill,
+                    queued: 2,
+                    active: 0,
+                },
+                InstanceObs {
+                    mode: Mode::Live,
+                    phase: Phase::Decode,
+                    queued: 0,
+                    active: 30,
+                },
+            ],
+        };
+        let cmds = r.control(&obs, &[], &mut rng);
+        assert_eq!(
+            cmds,
+            vec![Command::SetWeights {
+                weights: vec![8, 0]
             }]
         );
     }
@@ -177,14 +222,17 @@ mod tests {
             arrived_by_class: [0; 3],
             capacity_rps_per_instance: 2.0,
             max_queue: 10,
+            phase_split: None,
             slots: vec![
                 InstanceObs {
                     mode: Mode::Live,
+                    phase: Phase::Mixed,
                     queued: 9,
                     active: 0,
                 },
                 InstanceObs {
                     mode: Mode::Live,
+                    phase: Phase::Mixed,
                     queued: 0,
                     active: 0,
                 },

@@ -39,21 +39,130 @@
 //! roofline evaluation, no allocation beyond queue churn, and no locks.
 
 use crate::report::{FleetReport, RunMeta, TenantMeta};
-use crate::state::{CellState, FailureRates, InstanceState, ServeKnobs, ShardTotals, TenantKnobs};
+use crate::state::{
+    CellState, FailureRates, InstanceState, KvLinkState, ServeKnobs, ShardTotals, TenantKnobs,
+};
 use crate::traffic::poisson;
 use crate::workload::WorkloadSpec;
 use crate::{FleetError, Result};
 use litegpu_cluster::failure::FailureModel;
 use litegpu_cluster::power_mgmt::Policy;
 use litegpu_ctrl::{
-    apportion_into, CellObs, Command, CtrlConfig, InstanceObs, Mode, PriorityClass,
+    apportion_into, CellObs, Command, CtrlConfig, InstanceObs, Mode, Phase, PhaseObs, PriorityClass,
 };
 use litegpu_roofline::{EngineParams, StepCostTable};
 use litegpu_specs::power::PowerModel;
 use litegpu_specs::GpuSpec;
-use litegpu_workload::ModelArch;
+use litegpu_workload::{kv, ModelArch};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Per-cell prefill→decode KV bandwidth budget for phase-split serving.
+///
+/// The budget models the slice of the cell's scale-out fabric that KV
+/// streaming may claim: prefill instances inject their completed caches
+/// onto one serialized link per cell, and transfers queue FIFO behind
+/// each other. Defaults derive from the GPU's own network bandwidth via
+/// [`KvLink::for_instance`], which is what makes the H100-vs-Lite trade
+/// measurable: the paper's Table 1 scales per-GPU links down 4× while
+/// instances carry 4× the GPUs, so the per-instance injection bandwidth
+/// (and hence the default budget) only holds if network bandwidth scales
+/// with GPU count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KvLink {
+    /// Cell KV bandwidth, GB/s (decimal GB).
+    pub bandwidth_gbps: f64,
+    /// Outstanding-transfer backlog, in seconds of link time, beyond
+    /// which the prefill pool stalls (back-pressure).
+    pub max_backlog_s: f64,
+}
+
+impl KvLink {
+    /// Fraction of one instance's aggregate injection bandwidth the KV
+    /// stream may claim by default (the rest stays with tensor-parallel
+    /// collectives).
+    pub const DEFAULT_INJECTION_SHARE: f64 = 0.1;
+
+    /// Default backlog threshold, seconds of link time.
+    pub const DEFAULT_MAX_BACKLOG_S: f64 = 0.25;
+
+    /// Derives the cell budget from the spec: one instance's aggregate
+    /// injection bandwidth (`gpus × net_bw`) × the KV share. Both demo
+    /// fleets land on the same number (2×450 = 8×112.5 GB/s) — the §2
+    /// condition that network bandwidth scale with GPU count, met by
+    /// Table 1's Lite design.
+    pub fn for_instance(gpu: &GpuSpec, gpus_per_instance: u32) -> Self {
+        Self {
+            bandwidth_gbps: gpu.net_bw_gbps
+                * gpus_per_instance as f64
+                * Self::DEFAULT_INJECTION_SHARE,
+            max_backlog_s: Self::DEFAULT_MAX_BACKLOG_S,
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        if !(self.bandwidth_gbps.is_finite() && self.bandwidth_gbps > 0.0) {
+            return Err(FleetError::InvalidParameter {
+                name: "kv_link.bandwidth_gbps",
+                value: self.bandwidth_gbps,
+            });
+        }
+        if !(self.max_backlog_s.is_finite() && self.max_backlog_s > 0.0) {
+            return Err(FleetError::InvalidParameter {
+                name: "kv_link.max_backlog_s",
+                value: self.max_backlog_s,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// How the fleet divides the two inference phases — the fleet-scale
+/// analogue of `litegpu_sim::SchedulerKind`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ServingMode {
+    /// Every instance interleaves prefill and decode (continuous
+    /// batching), so prefill launches stretch decode token gaps.
+    Monolithic,
+    /// Splitwise/DistServe-style: each cell partitions its instances
+    /// into a prefill pool and a decode pool; completed prefills stream
+    /// their KV caches over the cell's [`KvLink`], whose queueing delay
+    /// lands in TTFT and whose saturation back-pressures the prefill
+    /// pool. Decode TBT books stay isolated from prefill interference.
+    PhaseSplit {
+        /// Fraction of each cell's instances reserved for prefill, in
+        /// `(0, 1)` (at least one slot per pool is always kept). The
+        /// phase-aware autoscaler rebalances from this starting split.
+        prefill_fraction: f64,
+        /// The cell's KV bandwidth budget.
+        kv_link: KvLink,
+    },
+}
+
+impl ServingMode {
+    /// Phase-split with demo defaults: a 25% prefill pool and the
+    /// spec-derived KV link.
+    pub fn split_demo(gpu: &GpuSpec, gpus_per_instance: u32) -> Self {
+        ServingMode::PhaseSplit {
+            prefill_fraction: 0.25,
+            kv_link: KvLink::for_instance(gpu, gpus_per_instance),
+        }
+    }
+
+    /// Stable label for reports.
+    pub fn label(&self) -> String {
+        match self {
+            ServingMode::Monolithic => "monolithic".to_string(),
+            ServingMode::PhaseSplit {
+                prefill_fraction,
+                kv_link,
+            } => format!(
+                "phase-split(prefill={prefill_fraction:.2},kv={:.0}GB/s)",
+                kv_link.bandwidth_gbps
+            ),
+        }
+    }
+}
 
 /// A complete fleet-simulation configuration.
 #[derive(Debug, Clone)]
@@ -90,6 +199,10 @@ pub struct FleetConfig {
     /// Control plane (autoscaling, power gating, routing, admission);
     /// `None` runs the fixed fleet with uniform cell-level splitting.
     pub ctrl: Option<CtrlConfig>,
+    /// How instances divide the two inference phases: monolithic
+    /// continuous batching, or Splitwise-style prefill/decode pools with
+    /// a per-cell KV-transfer budget.
+    pub serving: ServingMode,
     /// Simulated horizon, seconds.
     pub horizon_s: f64,
     /// Simulation tick, seconds.
@@ -117,6 +230,7 @@ impl FleetConfig {
             max_prefill_batch: 4,
             max_queue_per_instance: 10_000,
             ctrl: None,
+            serving: ServingMode::Monolithic,
             horizon_s: 24.0 * 3600.0,
             tick_s: 1.0,
         }
@@ -155,6 +269,13 @@ impl FleetConfig {
             ctrl: Some(CtrlConfig::demo(Policy::GateToEfficiency)),
             ..Self::lite_demo()
         }
+    }
+
+    /// Switches this configuration to phase-split serving with demo
+    /// defaults (25% prefill pool, spec-derived KV link).
+    pub fn with_phase_split(mut self) -> Self {
+        self.serving = ServingMode::split_demo(&self.gpu, self.gpus_per_instance);
+        self
     }
 
     /// Cells in the fleet.
@@ -212,6 +333,28 @@ impl FleetConfig {
         if let Some(ctrl) = &self.ctrl {
             ctrl.validate().map_err(FleetError::Ctrl)?;
         }
+        if let ServingMode::PhaseSplit {
+            prefill_fraction,
+            kv_link,
+        } = &self.serving
+        {
+            if !(prefill_fraction.is_finite() && *prefill_fraction > 0.0 && *prefill_fraction < 1.0)
+            {
+                return Err(FleetError::InvalidParameter {
+                    name: "prefill_fraction",
+                    value: *prefill_fraction,
+                });
+            }
+            kv_link.validate()?;
+            // Every cell needs at least one slot per pool: cells of one
+            // instance cannot split.
+            if self.cell_size < 2 || self.instances % self.cell_size == 1 {
+                return Err(FleetError::InvalidParameter {
+                    name: "cell_size (phase-split needs ≥ 2 instances per cell)",
+                    value: self.cell_size as f64,
+                });
+            }
+        }
         Ok(())
     }
 
@@ -219,6 +362,7 @@ impl FleetConfig {
         let default_ttft_us = (self.params.constraints.ttft_max_s * 1e6).round() as u64;
         let default_tbt_us = (self.params.constraints.tbt_max_s * 1e6).round() as u64;
         let default_prompt = self.params.constraints.prompt_len.max(1);
+        let kv_bytes_per_token = kv::bytes_per_token(&self.arch, self.params.precision);
         ServeKnobs {
             tick_us: (self.tick_s * 1e6).round() as u64,
             max_prefill_batch: self.max_prefill_batch,
@@ -227,16 +371,20 @@ impl FleetConfig {
                 .workload
                 .tenants
                 .iter()
-                .map(|t| TenantKnobs {
-                    ttft_slo_us: t
-                        .ttft_slo_s
-                        .map_or(default_ttft_us, |s| (s * 1e6).round() as u64),
-                    tbt_slo_us: t
-                        .tbt_slo_s
-                        .map_or(default_tbt_us, |s| (s * 1e6).round() as u64),
-                    output_len: t.output_len,
-                    prefill_num: t.prompt_len_mean.unwrap_or(default_prompt).max(1),
-                    prefill_den: default_prompt,
+                .map(|t| {
+                    let prompt = t.prompt_len_mean.unwrap_or(default_prompt).max(1);
+                    TenantKnobs {
+                        ttft_slo_us: t
+                            .ttft_slo_s
+                            .map_or(default_ttft_us, |s| (s * 1e6).round() as u64),
+                        tbt_slo_us: t
+                            .tbt_slo_s
+                            .map_or(default_tbt_us, |s| (s * 1e6).round() as u64),
+                        output_len: t.output_len,
+                        prefill_num: prompt,
+                        prefill_den: default_prompt,
+                        kv_bytes_per_req: (prompt as f64 * kv_bytes_per_token).round() as u64,
+                    }
                 })
                 .collect(),
         }
@@ -290,6 +438,24 @@ impl FleetConfig {
         1e6 / per_req_us.max(1.0)
     }
 
+    /// Sustainable request throughput of one *dedicated prefill*
+    /// instance, requests/s — the prefill half of [`Self::capacity_rps`].
+    fn prefill_capacity_rps(&self, lut: &StepCostTable) -> f64 {
+        let b = self.max_prefill_batch.min(lut.max_prefill_batch).max(1);
+        let prompt_scale = self
+            .workload
+            .mean_prompt_scale(self.params.constraints.prompt_len);
+        1e6 / (lut.prefill_us(b) as f64 * prompt_scale / b as f64).max(1.0)
+    }
+
+    /// Sustainable request throughput of one *dedicated decode* instance,
+    /// requests/s — the decode half of [`Self::capacity_rps`].
+    fn decode_capacity_rps(&self, lut: &StepCostTable) -> f64 {
+        let per_req_us = self.workload.mean_output_len() * lut.decode_step_us(lut.max_batch) as f64
+            / lut.max_batch as f64;
+        1e6 / per_req_us.max(1.0)
+    }
+
     fn tenant_meta(&self, knobs: &ServeKnobs) -> Vec<TenantMeta> {
         self.workload
             .tenants
@@ -312,6 +478,26 @@ struct InstancePower {
     dyn_mw: u64,
 }
 
+/// Phase-split context derived once per run (integer link parameters +
+/// per-phase capacities for the phase-aware autoscaler).
+#[derive(Debug, Clone, Copy)]
+struct SplitShared {
+    prefill_fraction: f64,
+    /// Cell link bandwidth, integer bytes/second.
+    kv_bytes_per_s: u64,
+    /// Back-pressure threshold, µs of link time.
+    kv_max_backlog_us: u64,
+    prefill_capacity_rps: f64,
+    decode_capacity_rps: f64,
+}
+
+impl SplitShared {
+    /// The static per-cell pool split: at least one slot per pool.
+    fn prefill_slots(&self, cell_slots: usize) -> usize {
+        ((cell_slots as f64 * self.prefill_fraction).round() as usize).clamp(1, cell_slots - 1)
+    }
+}
+
 /// Read-only per-run context shared by every shard.
 struct Shared<'a> {
     cfg: &'a FleetConfig,
@@ -320,6 +506,8 @@ struct Shared<'a> {
     rates: FailureRates,
     power: InstancePower,
     cap_rps: f64,
+    /// Phase-split parameters (`None` for monolithic serving).
+    split: Option<SplitShared>,
     /// Tenant indices in admission order (priority class, then
     /// declaration order).
     priority_order: Vec<u16>,
@@ -379,30 +567,38 @@ impl CellTraffic {
     /// (control-tick-stale) weights and apply admission control;
     /// uncontrolled cells split uniformly over **all** instances — no
     /// router means a down instance's share queues behind it (stranded
-    /// traffic, exactly what the router exists to fix).
+    /// traffic, exactly what the router exists to fix). Under phase-split
+    /// serving, queue room is granted to the prefill pool only: decode
+    /// instances receive their work over the KV link, never the front
+    /// door.
     fn route_tick(
         &mut self,
         tick: u32,
         shared: &Shared<'_>,
         mut ctl: Option<&mut CellCtl>,
+        phases: &[Phase],
         insts: &mut [InstanceState],
         acc: &mut ShardTotals,
     ) {
         self.eff.clear();
         match ctl {
-            Some(ref c) => {
-                self.eff
-                    .extend(c.modes.iter().zip(insts.iter()).zip(&c.weights).map(
-                        |((m, inst), &w)| {
-                            if *m == SlotMode::Live && inst.up {
-                                w
-                            } else {
-                                0
-                            }
-                        },
-                    ))
-            }
-            None => self.eff.extend(std::iter::repeat_n(1, insts.len())),
+            Some(ref c) => self.eff.extend(
+                c.modes
+                    .iter()
+                    .zip(insts.iter())
+                    .zip(&c.weights)
+                    .zip(phases)
+                    .map(|(((m, inst), &w), &p)| {
+                        if *m == SlotMode::Live && inst.up && p != Phase::Decode {
+                            w
+                        } else {
+                            0
+                        }
+                    }),
+            ),
+            None => self
+                .eff
+                .extend(phases.iter().map(|&p| u64::from(p != Phase::Decode))),
         }
         let allow_be = ctl.as_ref().is_none_or(|c| c.allow_best_effort);
         let any_target = self.eff.iter().any(|&w| w > 0);
@@ -497,11 +693,14 @@ impl CellCtl {
     }
 
     /// Runs one control tick: observe, consult the policy stack, apply.
+    #[allow(clippy::too_many_arguments)]
     fn control(
         &mut self,
         tick: u32,
         t_start_us: u64,
         insts: &[InstanceState],
+        phases: &mut [Phase],
+        kv: Option<&KvLinkState>,
         shared: &Shared<'_>,
         acc: &mut ShardTotals,
     ) {
@@ -512,11 +711,17 @@ impl CellCtl {
             arrived_by_class: core::mem::take(&mut self.arrived_by_class),
             capacity_rps_per_instance: shared.cap_rps,
             max_queue: shared.knobs.max_queue,
+            phase_split: shared.split.as_ref().map(|s| PhaseObs {
+                prefill_capacity_rps: s.prefill_capacity_rps,
+                decode_capacity_rps: s.decode_capacity_rps,
+                kv_backlog_us: kv.map_or(0, |k| k.backlog_us(t_start_us)),
+            }),
             slots: self
                 .modes
                 .iter()
                 .zip(insts)
-                .map(|(m, inst)| InstanceObs {
+                .zip(phases.iter())
+                .map(|((m, inst), &phase)| InstanceObs {
                     mode: if !inst.up {
                         Mode::Down
                     } else {
@@ -527,6 +732,7 @@ impl CellCtl {
                             SlotMode::Booting { .. } => Mode::Booting,
                         }
                     },
+                    phase,
                     queued: inst.queued(),
                     active: inst.active(),
                 })
@@ -587,9 +793,99 @@ impl CellCtl {
                 Command::SetAdmission { allow_best_effort } => {
                     self.allow_best_effort = allow_best_effort;
                 }
+                Command::SetPhase { slot, phase } => {
+                    // Phase moves apply only to idle slots: migrating a
+                    // live KV batch or queued prompts between pools is
+                    // not modeled, so busy slots converge as they drain.
+                    let s = slot as usize;
+                    if s < insts.len()
+                        && shared.split.is_some()
+                        && phases[s] != phase
+                        && phase != Phase::Mixed
+                        && insts[s].is_idle()
+                    {
+                        phases[s] = phase;
+                        acc.phase_rebalances += 1;
+                    }
+                }
             }
         }
     }
+}
+
+/// Delivers landed KV transfers into the decode pool, FIFO. A transfer
+/// waits (head-of-line) until some live decode instance has batch room;
+/// the target is the least-loaded live decode slot, ties to the lowest
+/// index — a deterministic choice from cell-local state only. TTFT is
+/// recorded here, so the wait for decode batch room lands in it.
+#[allow(clippy::too_many_arguments)]
+fn deliver_transfers(
+    kv: &mut KvLinkState,
+    now_us: u64,
+    insts: &mut [InstanceState],
+    phases: &[Phase],
+    ctl: Option<&CellCtl>,
+    max_batch: u32,
+    knobs: &ServeKnobs,
+    acc: &mut ShardTotals,
+) {
+    while let Some(job) = kv.peek_landed(now_us) {
+        let serving = |i: usize| ctl.is_none_or(|c| c.modes[i] == SlotMode::Live);
+        let target = insts
+            .iter()
+            .enumerate()
+            .filter(|(i, s)| {
+                phases[*i] == Phase::Decode
+                    && s.up
+                    && serving(*i)
+                    && s.active() + job.count <= max_batch
+            })
+            .min_by_key(|(i, s)| (s.active(), *i))
+            .map(|(i, _)| i);
+        match target {
+            Some(i) => {
+                let job = kv.pop().expect("peeked");
+                KvLinkState::record_delivery(
+                    &job,
+                    now_us,
+                    &knobs.tenants[job.tenant as usize],
+                    acc,
+                );
+                insts[i].admit_decode_cohort(&job);
+            }
+            None => break,
+        }
+    }
+}
+
+/// Re-routes a failed decode instance's requeued work to the prefill
+/// pool (its KV caches died with it, so it must re-prefill — and decode
+/// instances never prefill). Target: the least-queued prefill slot that
+/// is up and actually serving, ties to the lowest index; parking the
+/// work behind a down or parked "prefill" slot would strand it for the
+/// whole repair. If the cell transiently has no serving prefill slot
+/// (rebalance in flight, pool down), the runs stay parked on the source
+/// instance and re-route on a later tick — admitted work is never
+/// dropped. The runs were admitted once already, so the queue cap does
+/// not re-apply and no routing counters move.
+fn reroute_decode_retries(
+    insts: &mut [InstanceState],
+    phases: &[Phase],
+    ctl: Option<&CellCtl>,
+    from: usize,
+) {
+    let runs = insts[from].take_queued_runs();
+    if runs.is_empty() {
+        return;
+    }
+    let serving = |i: usize| ctl.is_none_or(|c| c.modes[i] == SlotMode::Live);
+    let target = insts
+        .iter()
+        .enumerate()
+        .filter(|(i, s)| phases[*i] == Phase::Prefill && s.up && serving(*i))
+        .min_by_key(|(i, s)| (s.queued(), *i))
+        .map_or(from, |(i, _)| i);
+    insts[target].accept_requeued_runs(runs);
 }
 
 /// Steps every cell in `[cell_lo, cell_hi)` through the whole horizon.
@@ -609,6 +905,28 @@ fn simulate_cells(shared: &Shared<'_>, seed: u64, cell_lo: u32, cell_hi: u32) ->
         let mut insts: Vec<InstanceState> = (first..last)
             .map(|g| InstanceState::new(seed, g as u64, rates, n_tenants))
             .collect();
+        // Phase roles: monolithic cells are all-Mixed; split cells start
+        // at the configured fraction (prefill pool on the low-indexed
+        // stable primaries) and the phase-aware autoscaler rebalances.
+        let mut phases: Vec<Phase> = match &shared.split {
+            None => vec![Phase::Mixed; insts.len()],
+            Some(s) => {
+                let np = s.prefill_slots(insts.len());
+                (0..insts.len())
+                    .map(|i| {
+                        if i < np {
+                            Phase::Prefill
+                        } else {
+                            Phase::Decode
+                        }
+                    })
+                    .collect()
+            }
+        };
+        let mut kv: Option<KvLinkState> = shared
+            .split
+            .as_ref()
+            .map(|s| KvLinkState::new(s.kv_bytes_per_s, s.kv_max_backlog_us));
         let mut traffic = CellTraffic::new(seed, cell_idx, n_tenants, insts.len());
         let mut ctl = cfg
             .ctrl
@@ -620,17 +938,47 @@ fn simulate_cells(shared: &Shared<'_>, seed: u64, cell_lo: u32, cell_hi: u32) ->
             for inst in insts.iter_mut() {
                 inst.lifecycle(t_start, tick_us, rates, &mut cell, &mut acc);
             }
+            // A failed decode instance's requeued work (KV lost) must go
+            // back through the prefill pool — decode slots never prefill,
+            // so anything the lifecycle parked on their queue re-routes.
+            if shared.split.is_some() {
+                for i in 0..insts.len() {
+                    if phases[i] == Phase::Decode && insts[i].queued() > 0 {
+                        reroute_decode_retries(&mut insts, &phases, ctl.as_ref(), i);
+                    }
+                }
+            }
             if let Some(c) = ctl.as_mut() {
                 c.finish_boots(t_start);
                 if tick > 0 && tick % c.interval_ticks == 0 {
-                    c.control(tick, t_start, &insts, shared, &mut acc);
+                    c.control(
+                        tick,
+                        t_start,
+                        &insts,
+                        &mut phases,
+                        kv.as_ref(),
+                        shared,
+                        &mut acc,
+                    );
                 }
             }
-            traffic.route_tick(tick, shared, ctl.as_mut(), &mut insts, &mut acc);
+            if let Some(link) = kv.as_mut() {
+                deliver_transfers(
+                    link,
+                    t_start,
+                    &mut insts,
+                    &phases,
+                    ctl.as_ref(),
+                    shared.lut.max_batch,
+                    knobs,
+                    &mut acc,
+                );
+            }
+            traffic.route_tick(tick, shared, ctl.as_mut(), &phases, &mut insts, &mut acc);
             for (i, inst) in insts.iter_mut().enumerate() {
                 let mode = ctl.as_ref().map_or(SlotMode::Live, |c| c.modes[i]);
                 let spent = if mode == SlotMode::Live {
-                    inst.serve(tick, shared.lut, knobs, &mut acc)
+                    inst.serve(tick, shared.lut, knobs, phases[i], kv.as_mut(), &mut acc)
                 } else {
                     0
                 };
@@ -645,6 +993,11 @@ fn simulate_cells(shared: &Shared<'_>, seed: u64, cell_lo: u32, cell_hi: u32) ->
                             acc.idle_energy_uj +=
                                 power.idle_mw * (tick_us - spent.min(tick_us)) / 1000;
                             acc.live_ticks += 1;
+                            match phases[i] {
+                                Phase::Prefill => acc.prefill_live_ticks += 1,
+                                Phase::Decode => acc.decode_live_ticks += 1,
+                                Phase::Mixed => {}
+                            }
                         }
                         SlotMode::Warm | SlotMode::Booting { .. } => {
                             let e = power.idle_mw * tick_us / 1000;
@@ -659,6 +1012,9 @@ fn simulate_cells(shared: &Shared<'_>, seed: u64, cell_lo: u32, cell_hi: u32) ->
         let horizon_us = ticks as u64 * tick_us;
         for inst in &insts {
             acc.downtime_us += inst.pending_downtime_us(horizon_us);
+        }
+        if let Some(link) = &kv {
+            acc.kv_bytes_inflight_end += link.inflight_bytes();
         }
     }
     acc
@@ -679,6 +1035,19 @@ pub fn run_sharded(cfg: &FleetConfig, seed: u64, shards: u32, threads: u32) -> R
         rates: cfg.failure_rates(),
         power: cfg.instance_power(),
         cap_rps: cfg.capacity_rps(&lut),
+        split: match &cfg.serving {
+            ServingMode::Monolithic => None,
+            ServingMode::PhaseSplit {
+                prefill_fraction,
+                kv_link,
+            } => Some(SplitShared {
+                prefill_fraction: *prefill_fraction,
+                kv_bytes_per_s: (kv_link.bandwidth_gbps * 1e9).round() as u64,
+                kv_max_backlog_us: (kv_link.max_backlog_s * 1e6).round() as u64,
+                prefill_capacity_rps: cfg.prefill_capacity_rps(&lut),
+                decode_capacity_rps: cfg.decode_capacity_rps(&lut),
+            }),
+        },
         priority_order: cfg.workload.priority_order(),
         classes: cfg.workload.tenants.iter().map(|t| t.priority).collect(),
         lambda: cfg
@@ -745,6 +1114,8 @@ pub fn run_sharded(cfg: &FleetConfig, seed: u64, shards: u32, threads: u32) -> R
                 .ctrl
                 .as_ref()
                 .map_or_else(|| "none".to_string(), |c| c.label()),
+            serving: cfg.serving.label(),
+            phase_split: !matches!(cfg.serving, ServingMode::Monolithic),
             instances: cfg.instances,
             gpus_per_instance: cfg.gpus_per_instance,
             cells,
@@ -929,6 +1300,190 @@ mod tests {
         for t in &r.per_tenant {
             assert_eq!(t.routed + t.rejected + t.shed, t.arrived, "{}", t.name);
         }
+    }
+
+    fn small_split_cfg() -> FleetConfig {
+        let mut c = FleetConfig::h100_demo().with_phase_split();
+        c.instances = 24;
+        c.cell_size = 8;
+        c.horizon_s = 900.0;
+        c.failure_acceleration = 0.0;
+        c.workload.rate_per_instance_s = 3.0;
+        c
+    }
+
+    #[test]
+    fn phase_split_serves_and_accounts_kv() {
+        let split = run_sharded(&small_split_cfg(), 7, 1, 1).unwrap();
+        assert!(split.serving.starts_with("phase-split"));
+        assert!(split.completed > 0);
+        let kv = split
+            .kv_transfer
+            .as_ref()
+            .expect("split run has kv section");
+        assert!(kv.transfers > 0);
+        assert_eq!(
+            kv.bytes_queued,
+            kv.bytes_delivered + kv.bytes_inflight_at_end,
+            "KV byte conservation"
+        );
+        assert!(kv.link_utilization > 0.0 && kv.link_utilization < 1.0);
+        assert!(kv.delay_p99_s > 0.0, "transfer delay must be visible");
+        assert_eq!(kv.backpressure_stalls, 0, "default link must not saturate");
+        // 8-slot cells at the 25% demo fraction: 2 prefill + 6 decode.
+        assert!((kv.prefill_pool_mean - 6.0).abs() < 1e-9);
+        assert!((kv.decode_pool_mean - 18.0).abs() < 1e-9);
+        // Transfer delay lands in TTFT: the split fleet pays more than
+        // the monolithic twin on first-token latency...
+        let mut mono_cfg = small_split_cfg();
+        mono_cfg.serving = ServingMode::Monolithic;
+        let mono = run_sharded(&mono_cfg, 7, 1, 1).unwrap();
+        assert!(mono.kv_transfer.is_none());
+        assert!(split.ttft_p50_s > mono.ttft_p50_s);
+        // ...but decode books are isolated from prefill interference:
+        // the monolithic twin's p99 token gap carries whole prefills.
+        assert!(
+            split.tbt_p99_s < mono.tbt_p99_s * 0.5,
+            "split p99 TBT {} vs mono {}",
+            split.tbt_p99_s,
+            mono.tbt_p99_s
+        );
+        // Phase splitting reshuffles work, not volume.
+        assert!(split.completed as f64 > 0.99 * mono.completed as f64);
+    }
+
+    #[test]
+    fn phase_split_report_is_sharding_invariant() {
+        let cfg = small_split_cfg();
+        let base = run_sharded(&cfg, 42, 1, 1).unwrap();
+        for (shards, threads) in [(2, 1), (3, 2), (3, 8)] {
+            let r = run_sharded(&cfg, 42, shards, threads).unwrap();
+            assert_eq!(
+                r.to_json(),
+                base.to_json(),
+                "shards={shards} threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn saturated_kv_link_backpressures_ttft_not_tbt() {
+        let generous = run_sharded(&small_split_cfg(), 9, 3, 2).unwrap();
+        let mut starved_cfg = small_split_cfg();
+        starved_cfg.serving = ServingMode::PhaseSplit {
+            prefill_fraction: 0.25,
+            kv_link: KvLink {
+                bandwidth_gbps: 2.0,
+                max_backlog_s: 0.25,
+            },
+        };
+        let starved = run_sharded(&starved_cfg, 9, 3, 2).unwrap();
+        let kv = starved.kv_transfer.as_ref().unwrap();
+        assert!(
+            kv.backpressure_stalls > 0,
+            "starved link must stall prefill"
+        );
+        assert!(kv.link_utilization > generous.kv_transfer.as_ref().unwrap().link_utilization);
+        // The stall queues prompts, so TTFT explodes...
+        assert!(
+            starved.ttft_p99_s > 10.0 * generous.ttft_p99_s,
+            "starved {} vs generous {}",
+            starved.ttft_p99_s,
+            generous.ttft_p99_s
+        );
+        // ...while the decode pool's token gaps stay tight (isolation).
+        assert!(starved.tbt_p99_s < generous.tbt_p99_s * 1.5);
+    }
+
+    #[test]
+    fn oversized_prefill_batch_configs_still_deliver() {
+        // A prefill launch cap beyond the decode batch limit must not
+        // produce undeliverable cohorts that would wedge the KV FIFO:
+        // the prefill-phase cap clamps to lut.max_batch.
+        let mut cfg = small_split_cfg();
+        cfg.max_prefill_batch = 10_000;
+        let r = run_sharded(&cfg, 3, 2, 2).unwrap();
+        let kv = r.kv_transfer.as_ref().unwrap();
+        assert!(r.completed > 0);
+        assert!(kv.transfers > 0);
+        assert!(
+            kv.bytes_delivered > kv.bytes_queued / 2,
+            "cohorts must keep fitting decode batches: {} delivered of {}",
+            kv.bytes_delivered,
+            kv.bytes_queued
+        );
+    }
+
+    #[test]
+    fn phase_split_survives_failures_and_conserves_arrivals() {
+        let mut cfg = small_split_cfg();
+        cfg.failure_acceleration = 100_000.0;
+        let r = run_sharded(&cfg, 5, 3, 2).unwrap();
+        assert!(r.failures > 0);
+        assert!(r.completed > 0);
+        assert!(r.retried > 0, "decode failures must requeue work");
+        assert_eq!(r.routed + r.rejected, r.arrived);
+        for t in &r.per_tenant {
+            assert_eq!(t.routed + t.rejected + t.shed, t.arrived, "{}", t.name);
+        }
+        let kv = r.kv_transfer.as_ref().unwrap();
+        assert_eq!(
+            kv.bytes_queued,
+            kv.bytes_delivered + kv.bytes_inflight_at_end
+        );
+    }
+
+    #[test]
+    fn controlled_phase_split_is_phase_aware_and_deterministic() {
+        let mut cfg = FleetConfig::lite_ctrl_demo().with_phase_split();
+        cfg.instances = 24;
+        cfg.cell_size = 8;
+        cfg.horizon_s = 900.0;
+        cfg.failure_acceleration = 50_000.0;
+        cfg.workload.rate_per_instance_s = 3.0;
+        let base = run_sharded(&cfg, 11, 1, 1).unwrap();
+        assert_eq!(base.controller, "autoscale+gate(GateToEfficiency)+route");
+        assert!(base.serving.starts_with("phase-split"));
+        assert!(base.completed > 0);
+        assert!(base.routed > 0);
+        let kv = base.kv_transfer.as_ref().unwrap();
+        assert!(kv.transfers > 0);
+        assert!(kv.prefill_pool_mean > 0.0 && kv.decode_pool_mean > 0.0);
+        for (shards, threads) in [(3, 1), (3, 4)] {
+            let r = run_sharded(&cfg, 11, shards, threads).unwrap();
+            assert_eq!(r.to_json(), base.to_json(), "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn invalid_phase_split_configs_rejected() {
+        let bad_fraction = |f: f64| {
+            let mut c = small_split_cfg();
+            c.serving = ServingMode::PhaseSplit {
+                prefill_fraction: f,
+                kv_link: KvLink::for_instance(&c.gpu, c.gpus_per_instance),
+            };
+            run_sharded(&c, 1, 1, 1)
+        };
+        assert!(bad_fraction(0.0).is_err());
+        assert!(bad_fraction(1.0).is_err());
+        assert!(bad_fraction(f64::NAN).is_err());
+        let mut c = small_split_cfg();
+        c.serving = ServingMode::PhaseSplit {
+            prefill_fraction: 0.25,
+            kv_link: KvLink {
+                bandwidth_gbps: 0.0,
+                max_backlog_s: 0.25,
+            },
+        };
+        assert!(run_sharded(&c, 1, 1, 1).is_err());
+        // A one-instance cell cannot hold both pools.
+        let mut c = small_split_cfg();
+        c.instances = 25; // 3 cells of 8 + 1 cell of 1
+        assert!(run_sharded(&c, 1, 1, 1).is_err());
+        let mut c = small_split_cfg();
+        c.cell_size = 1;
+        assert!(run_sharded(&c, 1, 1, 1).is_err());
     }
 
     #[test]

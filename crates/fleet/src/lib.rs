@@ -24,6 +24,15 @@
 //!   tenant-tagged end to end and the report carries a per-tenant SLO
 //!   section ([`report::FleetReport::per_tenant`]). Legacy single-source
 //!   configs migrate with `TrafficModel::into()`.
+//! - **Serving can phase-split.** [`engine::ServingMode::PhaseSplit`]
+//!   partitions each cell into Splitwise-style prefill and decode pools:
+//!   completed prefills stream their KV caches (prompt length ×
+//!   bytes-per-token, via `litegpu_workload::kv`) over a per-cell
+//!   [`engine::KvLink`] budget whose queueing delay lands in TTFT and
+//!   whose saturation back-pressures the prefill pool, while decode TBT
+//!   books stay isolated from prefill interference. The control plane is
+//!   phase-aware (per-pool autoscaling, prefill-only routing), and the
+//!   report grows a [`report::KvTransferReport`] section.
 //! - **Determinism is total.** Every instance and every (cell, tenant)
 //!   arrival stream owns its RNG stream, all accumulators are integers,
 //!   and shard results merge with associative integer arithmetic — so the
@@ -55,11 +64,12 @@ pub mod state;
 pub mod traffic;
 pub mod workload;
 
-pub use engine::{run, run_sharded, FleetConfig};
+pub use engine::{run, run_sharded, FleetConfig, KvLink, ServingMode};
 pub use hist::LatencyHistogram;
 pub use litegpu_ctrl as ctrl;
+pub use litegpu_ctrl::Phase;
 pub use provision::{spares_for_target, SpareSearch};
-pub use report::{FleetReport, TenantReport};
+pub use report::{FleetReport, KvTransferReport, TenantReport};
 pub use traffic::{LengthDist, TrafficModel, TrafficPattern};
 pub use workload::{PriorityClass, Tenant, WorkloadSpec};
 

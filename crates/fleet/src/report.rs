@@ -33,6 +33,11 @@ pub(crate) struct RunMeta {
     pub model: String,
     /// Control-plane label (`"none"` when no controller ran).
     pub controller: String,
+    /// Serving-mode label (`monolithic` or `phase-split(...)`).
+    pub serving: String,
+    /// Whether the run served phase-split (gates the `kv_transfer`
+    /// report section).
+    pub phase_split: bool,
     /// Model instances simulated.
     pub instances: u32,
     /// GPUs per instance.
@@ -122,6 +127,40 @@ fn frac(num: u64, den: u64) -> f64 {
     }
 }
 
+/// The KV-transfer section of a phase-split fleet run: what the
+/// prefill→decode hand-off cost on the cell links, and how the two pools
+/// were occupied. Present only under
+/// [`crate::engine::ServingMode::PhaseSplit`].
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct KvTransferReport {
+    /// KV hand-off cohorts enqueued on cell links.
+    pub transfers: u64,
+    /// KV bytes enqueued (prompt length × bytes-per-token, exact).
+    pub bytes_queued: u64,
+    /// KV bytes delivered into the decode pool.
+    pub bytes_delivered: u64,
+    /// KV bytes still in flight (or awaiting decode capacity) at the end
+    /// of the horizon. Conservation: `queued = delivered + inflight`.
+    pub bytes_inflight_at_end: u64,
+    /// Decimal gigabytes moved over the horizon.
+    pub gb_moved: f64,
+    /// Fraction of total cell-link time spent serializing transfers.
+    pub link_utilization: f64,
+    /// Median transfer delay (queueing + serialization), seconds.
+    pub delay_p50_s: f64,
+    /// 99th-percentile transfer delay, seconds.
+    pub delay_p99_s: f64,
+    /// Prefill launches deferred because the link was backlogged
+    /// (back-pressure events).
+    pub backpressure_stalls: u64,
+    /// `SetPhase` pool rebalances the data plane applied.
+    pub phase_rebalances: u64,
+    /// Mean instances live in the prefill pool over the run.
+    pub prefill_pool_mean: f64,
+    /// Mean instances live in the decode pool over the run.
+    pub decode_pool_mean: f64,
+}
+
 /// Aggregated results of a fleet run.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct FleetReport {
@@ -132,6 +171,9 @@ pub struct FleetReport {
     /// Control-plane policies that ran (e.g.
     /// `autoscale+gate(GateToEfficiency)+route`), or `none`.
     pub controller: String,
+    /// Serving mode (`monolithic`, or `phase-split(...)` with the
+    /// prefill fraction and cell KV-link budget).
+    pub serving: String,
     /// Model instances simulated.
     pub instances: u32,
     /// GPUs per instance.
@@ -216,6 +258,9 @@ pub struct FleetReport {
     /// Per-tenant volumes, latency and SLO attainment, in tenant-id
     /// order.
     pub per_tenant: Vec<TenantReport>,
+    /// KV-transfer accounting (phase-split runs only; `null` under
+    /// monolithic serving).
+    pub kv_transfer: Option<KvTransferReport>,
 }
 
 impl FleetReport {
@@ -237,10 +282,32 @@ impl FleetReport {
         // Fleet-level attainments aggregate the per-tenant books (each
         // against its own SLO target).
         let sum = |f: fn(&TenantTotals) -> u64| totals.per_tenant.iter().map(f).sum::<u64>();
+        let kv_transfer = meta.phase_split.then(|| {
+            let link_time_us = meta.cells as u128 * (meta.horizon_s * 1e6) as u128;
+            KvTransferReport {
+                transfers: totals.kv_transfers,
+                bytes_queued: totals.kv_bytes_queued,
+                bytes_delivered: totals.kv_bytes_delivered,
+                bytes_inflight_at_end: totals.kv_bytes_inflight_end,
+                gb_moved: totals.kv_bytes_queued as f64 / 1e9,
+                link_utilization: if link_time_us == 0 {
+                    0.0
+                } else {
+                    totals.kv_link_busy_us as f64 / link_time_us as f64
+                },
+                delay_p50_s: totals.kv_delay.percentile_s(50.0),
+                delay_p99_s: totals.kv_delay.percentile_s(99.0),
+                backpressure_stalls: totals.kv_backpressure_stalls,
+                phase_rebalances: totals.phase_rebalances,
+                prefill_pool_mean: totals.prefill_live_ticks as f64 / ticks,
+                decode_pool_mean: totals.decode_live_ticks as f64 / ticks,
+            }
+        });
         Self {
             gpu: meta.gpu,
             model: meta.model,
             controller: meta.controller,
+            serving: meta.serving,
             instances: meta.instances,
             gpus_per_instance: meta.gpus_per_instance,
             cells: meta.cells,
@@ -282,6 +349,7 @@ impl FleetReport {
             e2e_p50_s: totals.e2e.percentile_s(50.0),
             e2e_p99_s: totals.e2e.percentile_s(99.0),
             per_tenant,
+            kv_transfer,
         }
     }
 
@@ -294,13 +362,14 @@ impl FleetReport {
     /// One-line human summary.
     pub fn summary(&self) -> String {
         format!(
-            "{} x{} ({} GPUs/inst, ctrl {}): {:.1} h, {} tenants, {} arrived, {} completed, \
+            "{} x{} ({} GPUs/inst, ctrl {}, {}): {:.1} h, {} tenants, {} arrived, {} completed, \
              goodput {:.0} tok/s, availability {:.4}, TTFT p99 {:.3} s, \
              {} failures ({} spare hits), {:.1} MJ ({:.0}% idle)",
             self.gpu,
             self.instances,
             self.gpus_per_instance,
             self.controller,
+            self.serving,
             self.simulated_hours,
             self.per_tenant.len(),
             self.arrived,
@@ -317,6 +386,26 @@ impl FleetReport {
                 100.0 * self.idle_energy_j as f64 / self.energy_j as f64
             },
         )
+    }
+
+    /// One-line KV-transfer summary (phase-split runs), or a note that
+    /// the run was monolithic.
+    pub fn kv_summary(&self) -> String {
+        match &self.kv_transfer {
+            None => "kv: n/a (monolithic serving)".to_string(),
+            Some(kv) => format!(
+                "kv: {} transfers, {:.1} GB moved, link util {:.2}%, delay p50/p99 \
+                 {:.1}/{:.1} ms, {} back-pressure stalls, pools {:.1} prefill / {:.1} decode",
+                kv.transfers,
+                kv.gb_moved,
+                100.0 * kv.link_utilization,
+                kv.delay_p50_s * 1e3,
+                kv.delay_p99_s * 1e3,
+                kv.backpressure_stalls,
+                kv.prefill_pool_mean,
+                kv.decode_pool_mean,
+            ),
+        }
     }
 
     /// Multi-line per-tenant SLO table (name, class, volumes, shed and
@@ -398,6 +487,8 @@ mod tests {
             gpu: "H100".into(),
             model: "llama3-70b".into(),
             controller: "autoscale+gate(DvfsAll)+route".into(),
+            serving: "monolithic".into(),
+            phase_split: false,
             instances: 100,
             gpus_per_instance: 2,
             cells: 10,
@@ -459,6 +550,57 @@ mod tests {
         assert_eq!(b.priority, "best-effort");
         assert_eq!(b.shed, 5);
         assert!(b.e2e_p99_s > a.e2e_p99_s);
+    }
+
+    #[test]
+    fn monolithic_runs_have_no_kv_section() {
+        let r = FleetReport::finalize(&totals(), meta());
+        assert_eq!(r.serving, "monolithic");
+        assert!(r.kv_transfer.is_none());
+        assert!(r.to_json().contains("\"kv_transfer\": null"));
+    }
+
+    #[test]
+    fn kv_section_derives_from_integer_totals() {
+        let mut t = totals();
+        t.kv_transfers = 50;
+        t.kv_bytes_queued = 10_000_000_000;
+        t.kv_bytes_delivered = 9_000_000_000;
+        t.kv_bytes_inflight_end = 1_000_000_000;
+        // 10% of 10 cells × 36 000 s of link time.
+        t.kv_link_busy_us = 36_000_000_000;
+        t.kv_backpressure_stalls = 7;
+        t.phase_rebalances = 3;
+        t.prefill_live_ticks = 9_000_000; // 250 mean over 36 000 ticks.
+        t.decode_live_ticks = 18_000_000;
+        t.kv_delay.record(5_000, 50);
+        let mut m = meta();
+        m.serving = "phase-split(prefill=0.25,kv=90GB/s)".into();
+        m.phase_split = true;
+        let r = FleetReport::finalize(&t, m);
+        let kv = r.kv_transfer.as_ref().expect("phase-split has kv section");
+        assert_eq!(kv.transfers, 50);
+        assert_eq!(
+            kv.bytes_queued,
+            kv.bytes_delivered + kv.bytes_inflight_at_end
+        );
+        assert!((kv.gb_moved - 10.0).abs() < 1e-9);
+        assert!((kv.link_utilization - 0.1).abs() < 1e-9);
+        assert!(kv.delay_p50_s > 0.004 && kv.delay_p50_s < 0.006);
+        assert_eq!(kv.backpressure_stalls, 7);
+        assert_eq!(kv.phase_rebalances, 3);
+        assert!((kv.prefill_pool_mean - 250.0).abs() < 1e-9);
+        assert!((kv.decode_pool_mean - 500.0).abs() < 1e-9);
+        let json = r.to_json();
+        for key in [
+            "kv_transfer",
+            "link_utilization",
+            "delay_p99_s",
+            "phase-split",
+        ] {
+            assert!(json.contains(key), "missing {key}");
+        }
+        assert!(r.kv_summary().contains("GB moved"));
     }
 
     #[test]

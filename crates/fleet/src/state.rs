@@ -19,6 +19,7 @@
 
 use crate::hist::LatencyHistogram;
 use crate::traffic::LengthDist;
+use litegpu_ctrl::Phase;
 use litegpu_roofline::StepCostTable;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -27,7 +28,7 @@ use std::collections::{BinaryHeap, VecDeque};
 
 /// A run of same-tenant requests that arrived in the same tick.
 #[derive(Debug, Clone, Copy)]
-struct QueueRun {
+pub(crate) struct QueueRun {
     arrival_tick: u32,
     count: u32,
     /// Owning tenant (index into the workload's tenant list).
@@ -51,6 +52,11 @@ pub(crate) struct TenantKnobs {
     /// pays `cost × prefill_num / prefill_den` (integer arithmetic, ≥ 1).
     pub prefill_num: u32,
     pub prefill_den: u32,
+    /// KV-cache bytes one of this tenant's requests hands from prefill to
+    /// decode under phase-split serving: mean prompt length ×
+    /// bytes-per-token at the engine precision (integer, so link
+    /// accounting stays exact).
+    pub kv_bytes_per_req: u64,
 }
 
 impl TenantKnobs {
@@ -154,6 +160,145 @@ impl TenantTotals {
     }
 }
 
+/// One prefill→decode KV-cache hand-off in flight on a cell's KV link
+/// (phase-split serving): a whole prefill cohort, priced at prompt-length
+/// × bytes-per-token, waiting out its serialization + queueing delay
+/// before the decode pool may pick it up.
+#[derive(Debug, Clone)]
+pub(crate) struct KvTransfer {
+    /// Link time at which the transfer lands, µs.
+    pub complete_us: u64,
+    /// Time the hand-off entered the link, µs (TTFT measures from here
+    /// until actual delivery into the decode pool).
+    pub ready_us: u64,
+    /// Owning tenant.
+    pub tenant: u16,
+    /// Requests in the cohort.
+    pub count: u32,
+    /// Output length sampled at prefill (decode steps to run).
+    pub out_len: u64,
+    /// Oldest member's arrival tick (starts the e2e clock).
+    pub oldest_arrival_tick: u32,
+    /// KV bytes moved.
+    pub bytes: u64,
+    /// One `(queue+prefill wait µs, weight)` entry per non-retry queue
+    /// run in the cohort; TTFT is recorded from these at delivery.
+    pub ttfts: Vec<(u64, u64)>,
+}
+
+/// One cell's prefill→decode KV link: a serialized bandwidth budget with
+/// FIFO queueing in exact integer microseconds. Transfer delay (queueing
+/// plus serialization) lands in TTFT — the first decode token cannot
+/// exist before the KV cache arrives — and a backlog past the configured
+/// threshold back-pressures the cell's prefill pool.
+#[derive(Debug)]
+pub(crate) struct KvLinkState {
+    /// Link bandwidth, bytes/second.
+    bytes_per_s: u64,
+    /// Backlog threshold (µs of link time) beyond which prefill launches
+    /// stall.
+    max_backlog_us: u64,
+    /// Time at which the link next frees, µs.
+    free_us: u64,
+    /// Transfers in flight or awaiting decode capacity, completion-ordered
+    /// (a single serialized link keeps FIFO = completion order).
+    queue: VecDeque<KvTransfer>,
+}
+
+impl KvLinkState {
+    pub fn new(bytes_per_s: u64, max_backlog_us: u64) -> Self {
+        Self {
+            bytes_per_s: bytes_per_s.max(1),
+            max_backlog_us,
+            free_us: 0,
+            queue: VecDeque::new(),
+        }
+    }
+
+    /// Outstanding link backlog at `now_us`, µs of link time.
+    pub fn backlog_us(&self, now_us: u64) -> u64 {
+        self.free_us.saturating_sub(now_us)
+    }
+
+    /// Whether the prefill pool must stall (backlog past the threshold).
+    pub fn backlogged(&self, now_us: u64) -> bool {
+        self.backlog_us(now_us) > self.max_backlog_us
+    }
+
+    /// Prices and enqueues one cohort's KV hand-off, recording the link
+    /// accounting (bytes, busy time, queueing + serialization delay).
+    /// TTFT is *not* recorded here: it waits for
+    /// [`KvLinkState::record_delivery`], so time spent head-of-line for
+    /// decode batch room lands in it too. `ttfts` carries one
+    /// `(wait_us, weight)` entry per non-retry queue run in the cohort.
+    #[allow(clippy::too_many_arguments)]
+    pub fn enqueue(
+        &mut self,
+        ready_us: u64,
+        tenant: u16,
+        count: u32,
+        out_len: u64,
+        oldest_arrival_tick: u32,
+        bytes: u64,
+        ttfts: &[(u64, u64)],
+        acc: &mut ShardTotals,
+    ) {
+        let service =
+            ((bytes as u128 * 1_000_000).div_ceil(self.bytes_per_s as u128) as u64).max(1);
+        let complete = self.free_us.max(ready_us) + service;
+        self.free_us = complete;
+        acc.kv_transfers += 1;
+        acc.kv_bytes_queued += bytes;
+        acc.kv_link_busy_us += service;
+        acc.kv_delay.record(complete - ready_us, count as u64);
+        self.queue.push_back(KvTransfer {
+            complete_us: complete,
+            ready_us,
+            tenant,
+            count,
+            out_len,
+            oldest_arrival_tick,
+            bytes,
+            ttfts: ttfts.to_vec(),
+        });
+    }
+
+    /// Records a landed transfer's delivery into the decode pool at
+    /// `now_us`: delivered bytes, and the cohort's TTFTs — queue wait +
+    /// prefill cost + the full hand-off delay (link queueing,
+    /// serialization, and any ticks spent head-of-line waiting for
+    /// decode batch room) — against the tenant's SLO.
+    pub fn record_delivery(job: &KvTransfer, now_us: u64, tk: &TenantKnobs, acc: &mut ShardTotals) {
+        acc.kv_bytes_delivered += job.bytes;
+        let delay = now_us.saturating_sub(job.ready_us);
+        for &(wait_us, w) in &job.ttfts {
+            let ttft = wait_us + delay;
+            acc.ttft.record(ttft, w);
+            let tt = &mut acc.per_tenant[job.tenant as usize];
+            tt.ttft.record(ttft, w);
+            tt.ttft_recorded += w;
+            if ttft <= tk.ttft_slo_us {
+                tt.ttft_slo_ok += w;
+            }
+        }
+    }
+
+    /// The next transfer already landed by `now_us`, if any (FIFO head).
+    pub fn peek_landed(&self, now_us: u64) -> Option<&KvTransfer> {
+        self.queue.front().filter(|t| t.complete_us <= now_us)
+    }
+
+    /// Removes the FIFO head (after a successful delivery).
+    pub fn pop(&mut self) -> Option<KvTransfer> {
+        self.queue.pop_front()
+    }
+
+    /// Bytes queued or awaiting decode capacity (conservation checks).
+    pub fn inflight_bytes(&self) -> u64 {
+        self.queue.iter().map(|t| t.bytes).sum()
+    }
+}
+
 /// Integer accumulators for one shard. Merging is plain addition, so the
 /// merge order cannot affect the result.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -188,9 +333,30 @@ pub(crate) struct ShardTotals {
     pub routing_shed: u64,
     /// Best-effort arrivals shed by admission control under pressure.
     pub admission_shed: u64,
+    /// KV hand-off cohorts enqueued on cell links (phase-split serving).
+    pub kv_transfers: u64,
+    /// KV bytes enqueued on cell links.
+    pub kv_bytes_queued: u64,
+    /// KV bytes delivered into the decode pool.
+    pub kv_bytes_delivered: u64,
+    /// KV bytes still in flight (or awaiting decode capacity) at the end
+    /// of the horizon. Conservation: `queued = delivered + inflight_end`.
+    pub kv_bytes_inflight_end: u64,
+    /// Total link time spent serializing transfers, µs (utilization).
+    pub kv_link_busy_us: u64,
+    /// Prefill launches deferred because the KV link was backlogged.
+    pub kv_backpressure_stalls: u64,
+    /// `SetPhase` rebalances the data plane actually applied.
+    pub phase_rebalances: u64,
+    /// Instance-ticks spent live in the prefill pool.
+    pub prefill_live_ticks: u64,
+    /// Instance-ticks spent live in the decode pool.
+    pub decode_live_ticks: u64,
     pub ttft: LatencyHistogram,
     pub tbt: LatencyHistogram,
     pub e2e: LatencyHistogram,
+    /// KV transfer delay (queueing + serialization) per request.
+    pub kv_delay: LatencyHistogram,
     /// One slot per workload tenant, indexed by tenant id.
     pub per_tenant: Vec<TenantTotals>,
 }
@@ -201,6 +367,7 @@ impl ShardTotals {
             ttft: LatencyHistogram::new(),
             tbt: LatencyHistogram::new(),
             e2e: LatencyHistogram::new(),
+            kv_delay: LatencyHistogram::new(),
             per_tenant: (0..n_tenants).map(|_| TenantTotals::new()).collect(),
             ..Default::default()
         }
@@ -226,9 +393,19 @@ impl ShardTotals {
         self.routed += other.routed;
         self.routing_shed += other.routing_shed;
         self.admission_shed += other.admission_shed;
+        self.kv_transfers += other.kv_transfers;
+        self.kv_bytes_queued += other.kv_bytes_queued;
+        self.kv_bytes_delivered += other.kv_bytes_delivered;
+        self.kv_bytes_inflight_end += other.kv_bytes_inflight_end;
+        self.kv_link_busy_us += other.kv_link_busy_us;
+        self.kv_backpressure_stalls += other.kv_backpressure_stalls;
+        self.phase_rebalances += other.phase_rebalances;
+        self.prefill_live_ticks += other.prefill_live_ticks;
+        self.decode_live_ticks += other.decode_live_ticks;
         self.ttft.merge(&other.ttft);
         self.tbt.merge(&other.tbt);
         self.e2e.merge(&other.e2e);
+        self.kv_delay.merge(&other.kv_delay);
         debug_assert_eq!(self.per_tenant.len(), other.per_tenant.len());
         for (a, b) in self.per_tenant.iter_mut().zip(&other.per_tenant) {
             a.merge(b);
@@ -433,14 +610,27 @@ impl InstanceState {
         self.queued == 0 && self.active == 0
     }
 
-    /// Serves one tick: prefill (prioritized) then decode steps, spending
+    /// Serves one tick according to the instance's phase role, spending
     /// `tick_us` plus any carried budget. Returns the serving time spent
     /// this tick, µs (what dynamic energy accounting bills).
+    ///
+    /// - [`Phase::Mixed`] interleaves prefill (prioritized) and decode,
+    ///   as a conventional continuous-batching server does; the tick's
+    ///   prefill time stretches the first following decode step's token
+    ///   gap (prefill interference — the Splitwise p99-TBT motivation).
+    /// - [`Phase::Prefill`] runs prefill only and hands each completed
+    ///   cohort to the cell's KV link (`kv` must be `Some`); a backlogged
+    ///   link back-pressures the launch loop.
+    /// - [`Phase::Decode`] runs pure decode steps over cohorts delivered
+    ///   via [`InstanceState::admit_decode_cohort`], with no prefill
+    ///   interference ever.
     pub fn serve(
         &mut self,
         tick: u32,
         lut: &StepCostTable,
         knobs: &ServeKnobs,
+        phase: Phase,
+        mut kv: Option<&mut KvLinkState>,
         acc: &mut ShardTotals,
     ) -> u64 {
         if !self.up {
@@ -452,6 +642,8 @@ impl InstanceState {
         }
         let budget0 = knobs.tick_us + self.carry_us;
         let mut budget = budget0;
+        let t_start_us = tick as u64 * knobs.tick_us;
+        let mut kv_stalled = false;
 
         // Prefill first, as the small simulator does. One launch serves
         // one tenant (so it prices that tenant's prompts and samples its
@@ -459,16 +651,43 @@ impl InstanceState {
         // same-tenant queue runs — without that, low-rate traffic whose
         // per-tick runs are 1-2 requests would never amortize a prefill
         // launch the way the engine's capacity estimate assumes.
-        while self.queued > 0 && self.active < lut.max_batch {
+        let mut prefill_spent = 0u64;
+        let mut ttft_scratch: Vec<(u64, u64)> = Vec::new();
+        while phase != Phase::Decode
+            && self.queued > 0
+            && (phase == Phase::Prefill || self.active < lut.max_batch)
+        {
+            // A saturated KV link back-pressures the prefill pool: the
+            // prompts stay queued, their wait grows, and the eventual
+            // TTFT absorbs it. Stalled time is wasted, not banked.
+            if let Some(link) = kv.as_deref_mut() {
+                if link.backlogged(t_start_us) {
+                    acc.kv_backpressure_stalls += 1;
+                    kv_stalled = true;
+                    break;
+                }
+            }
             let tenant = self.queue.front().expect("queued > 0 implies a run").tenant;
             let tk = knobs.tenants[tenant as usize];
             // Admission is bounded by the table's prefill capacity too:
             // charging a larger batch at a clamped (smaller-batch) price
-            // would undercount prefill time.
-            let cap = knobs
-                .max_prefill_batch
-                .min(lut.max_batch - self.active)
-                .min(lut.max_prefill_batch);
+            // would undercount prefill time. A dedicated prefill instance
+            // holds no decode batch, so only the launch caps apply.
+            let cap = if phase == Phase::Mixed {
+                knobs
+                    .max_prefill_batch
+                    .min(lut.max_batch - self.active)
+                    .min(lut.max_prefill_batch)
+            } else {
+                // A dedicated prefill instance holds no decode batch, but
+                // its cohorts must still fit a decode instance's batch
+                // limit — a larger cohort could never be delivered and
+                // would wedge the cell's KV FIFO behind it forever.
+                knobs
+                    .max_prefill_batch
+                    .min(lut.max_prefill_batch)
+                    .min(lut.max_batch)
+            };
             let mut b = 0u32;
             for run in &self.queue {
                 if run.tenant != tenant || b >= cap {
@@ -481,9 +700,13 @@ impl InstanceState {
                 break;
             }
             budget -= cost;
+            prefill_spent += cost;
             // Pop b across the runs, recording TTFT per non-retry run
             // (each run keeps its own queueing delay); the cohort's e2e
-            // clock starts at the oldest popped run's arrival.
+            // clock starts at the oldest popped run's arrival. Under
+            // phase-split, TTFT is deferred to the KV-link hand-off so
+            // the transfer delay lands in it.
+            ttft_scratch.clear();
             let mut oldest = tick;
             let mut remaining = b;
             while remaining > 0 {
@@ -492,12 +715,16 @@ impl InstanceState {
                 oldest = oldest.min(front.arrival_tick);
                 if !front.retry {
                     let wait_us = (tick as u64 - front.arrival_tick as u64) * knobs.tick_us + cost;
-                    acc.ttft.record(wait_us, take as u64);
-                    let tt = &mut acc.per_tenant[tenant as usize];
-                    tt.ttft.record(wait_us, take as u64);
-                    tt.ttft_recorded += take as u64;
-                    if wait_us <= tk.ttft_slo_us {
-                        tt.ttft_slo_ok += take as u64;
+                    if phase == Phase::Mixed {
+                        acc.ttft.record(wait_us, take as u64);
+                        let tt = &mut acc.per_tenant[tenant as usize];
+                        tt.ttft.record(wait_us, take as u64);
+                        tt.ttft_recorded += take as u64;
+                        if wait_us <= tk.ttft_slo_us {
+                            tt.ttft_slo_ok += take as u64;
+                        }
+                    } else {
+                        ttft_scratch.push((wait_us, take as u64));
                     }
                 }
                 front.count -= take;
@@ -508,17 +735,42 @@ impl InstanceState {
                 }
             }
             let out_len = tk.output_len.sample(&mut self.rng) as u64;
-            self.cohorts
-                .push(Reverse((self.steps_done + out_len, oldest, tenant, b)));
-            self.active += b;
-            self.active_by_tenant[tenant as usize] += b;
+            if phase == Phase::Mixed {
+                self.cohorts
+                    .push(Reverse((self.steps_done + out_len, oldest, tenant, b)));
+                self.active += b;
+                self.active_by_tenant[tenant as usize] += b;
+            } else {
+                let link = kv
+                    .as_deref_mut()
+                    .expect("prefill-phase instances always have a cell KV link");
+                // Hand-offs enter the link at tick-start resolution: the
+                // link's backlog then measures genuine transfer queueing
+                // only, never the instance's own within-tick serving
+                // progression (which would spuriously trip back-pressure
+                // on an idle link).
+                link.enqueue(
+                    t_start_us,
+                    tenant,
+                    b,
+                    out_len,
+                    oldest,
+                    tk.kv_bytes_per_req * b as u64,
+                    &ttft_scratch,
+                    acc,
+                );
+            }
         }
 
         // Decode: run whole steps until the budget or the batch runs out,
         // popping cohorts as they finish so the batch (and so the step
         // time) stays current. Step time is shared by the whole batch;
-        // token attribution and TBT-SLO accounting are per tenant.
-        while self.active > 0 {
+        // token attribution and TBT-SLO accounting are per tenant. On a
+        // Mixed instance the tick's prefill launches sat between decode
+        // steps, so the first step's token gap stretches by the prefill
+        // time; dedicated decode instances never pay that.
+        let mut stall_us = prefill_spent;
+        while phase != Phase::Prefill && self.active > 0 {
             let d = lut.decode_step_us(self.active);
             let affordable = budget / d;
             if affordable == 0 {
@@ -534,7 +786,14 @@ impl InstanceState {
             budget -= run * d;
             acc.generated_tokens += run * self.active as u64;
             acc.decode_steps += run;
-            acc.tbt.record(d, run);
+            if stall_us > 0 {
+                acc.tbt.record(d + stall_us, 1);
+                if run > 1 {
+                    acc.tbt.record(d, run - 1);
+                }
+            } else {
+                acc.tbt.record(d, run);
+            }
             for (t, &a) in self.active_by_tenant.iter().enumerate() {
                 if a == 0 {
                     continue;
@@ -542,10 +801,17 @@ impl InstanceState {
                 let tokens = run * a as u64;
                 let tt = &mut acc.per_tenant[t];
                 tt.generated_tokens += tokens;
-                if d <= knobs.tenants[t].tbt_slo_us {
-                    tt.tbt_slo_ok_tokens += tokens;
+                let slo = knobs.tenants[t].tbt_slo_us;
+                // The first step of the tick carries the prefill stall.
+                let stalled_tokens = if stall_us > 0 { a as u64 } else { 0 };
+                if d + stall_us <= slo {
+                    tt.tbt_slo_ok_tokens += stalled_tokens;
+                }
+                if d <= slo {
+                    tt.tbt_slo_ok_tokens += tokens - stalled_tokens;
                 }
             }
+            stall_us = 0;
             while let Some(&Reverse((finish, arrival_tick, tenant, count))) = self.cohorts.peek() {
                 if finish > self.steps_done {
                     break;
@@ -563,12 +829,42 @@ impl InstanceState {
                 tt.e2e.record(e2e_us, count as u64);
             }
         }
-        self.carry_us = if self.queued == 0 && self.active == 0 {
+        self.carry_us = if (self.queued == 0 && self.active == 0) || kv_stalled {
             0
         } else {
             budget
         };
         budget0 - budget
+    }
+
+    /// Admits a transferred cohort into this (decode-phase) instance's
+    /// running batch. The caller checked batch capacity.
+    pub fn admit_decode_cohort(&mut self, t: &KvTransfer) {
+        self.cohorts.push(Reverse((
+            self.steps_done + t.out_len,
+            t.oldest_arrival_tick,
+            t.tenant,
+            t.count,
+        )));
+        self.active += t.count;
+        self.active_by_tenant[t.tenant as usize] += t.count;
+    }
+
+    /// Removes and returns every queued run. The phase-split engine uses
+    /// this to re-route a failed decode instance's requeued work to the
+    /// prefill pool, where it can actually re-prefill.
+    pub fn take_queued_runs(&mut self) -> VecDeque<QueueRun> {
+        self.queued = 0;
+        core::mem::take(&mut self.queue)
+    }
+
+    /// Appends runs directly (failure re-route path: these requests were
+    /// already admitted once, so the queue cap does not re-apply).
+    pub fn accept_requeued_runs(&mut self, runs: impl IntoIterator<Item = QueueRun>) {
+        for r in runs {
+            self.queued += r.count as u64;
+            self.queue.push_back(r);
+        }
     }
 
     /// Downtime not yet accounted at the end of the run (instance still
@@ -598,6 +894,7 @@ mod tests {
                 output_len: LengthDist::geometric(100),
                 prefill_num: 1,
                 prefill_den: 1,
+                kv_bytes_per_req: 1_000_000,
             }],
         }
     }
@@ -646,7 +943,7 @@ mod tests {
         let mut inst = InstanceState::new(1, 0, &no_failures(), 1);
         for tick in 0..120u32 {
             poisson_arrivals(&mut inst, tick, 2.0, &knobs, &mut acc);
-            inst.serve(tick, &lut, &knobs, &mut acc);
+            inst.serve(tick, &lut, &knobs, Phase::Mixed, None, &mut acc);
         }
         assert!(acc.arrived > 150, "arrived = {}", acc.arrived);
         assert!(acc.completed > 0, "completed = {}", acc.completed);
@@ -673,7 +970,7 @@ mod tests {
         inst.down_until_us = u64::MAX;
         for tick in 0..50u32 {
             poisson_arrivals(&mut inst, tick, 5.0, &knobs, &mut acc);
-            inst.serve(tick, &lut, &knobs, &mut acc);
+            inst.serve(tick, &lut, &knobs, Phase::Mixed, None, &mut acc);
         }
         assert!(acc.rejected > 0);
         assert_eq!(acc.per_tenant[0].rejected, acc.rejected);
@@ -697,6 +994,7 @@ mod tests {
                     output_len: LengthDist::geometric(50),
                     prefill_num: 1,
                     prefill_den: 1,
+                    kv_bytes_per_req: 1_000_000,
                 },
                 TenantKnobs {
                     ttft_slo_us: 30_000_000,
@@ -704,6 +1002,7 @@ mod tests {
                     output_len: LengthDist::geometric(400),
                     prefill_num: 2,
                     prefill_den: 1,
+                    kv_bytes_per_req: 2_000_000,
                 },
             ],
         };
@@ -715,7 +1014,7 @@ mod tests {
                 acc.per_tenant[tenant as usize].arrived += 1;
                 inst.push_arrivals(tick, 1, tenant, &knobs, &mut acc);
             }
-            inst.serve(tick, &lut, &knobs, &mut acc);
+            inst.serve(tick, &lut, &knobs, Phase::Mixed, None, &mut acc);
         }
         let (a, b) = (&acc.per_tenant[0], &acc.per_tenant[1]);
         assert!(a.completed > 0 && b.completed > 0);
@@ -751,7 +1050,7 @@ mod tests {
         let mut inst = InstanceState::new(8, 0, &no_failures(), 1);
         inst.push_arrivals(0, 1, 0, &knobs, &mut acc);
         inst.push_arrivals(0, 1, 0, &knobs, &mut acc);
-        inst.serve(0, &lut, &knobs, &mut acc);
+        inst.serve(0, &lut, &knobs, Phase::Mixed, None, &mut acc);
         assert_eq!(inst.active(), 2, "both runs must prefill in one launch");
         assert_eq!(acc.per_tenant[0].ttft_recorded, 2);
 
@@ -765,7 +1064,7 @@ mod tests {
         let mut inst = InstanceState::new(8, 0, &no_failures(), 2);
         inst.push_arrivals(0, 1, 0, &knobs2, &mut acc);
         inst.push_arrivals(0, 1, 1, &knobs2, &mut acc);
-        inst.serve(0, &lut, &knobs2, &mut acc);
+        inst.serve(0, &lut, &knobs2, Phase::Mixed, None, &mut acc);
         assert_eq!(inst.active(), 1, "tenant boundary splits the launch");
         assert_eq!(inst.queued(), 1);
     }
@@ -778,6 +1077,7 @@ mod tests {
             output_len: LengthDist::geometric(10),
             prefill_num: 3,
             prefill_den: 2,
+            kv_bytes_per_req: 1_000_000,
         };
         assert_eq!(tk.prefill_cost_us(1000), 1500);
         let same = TenantKnobs {
@@ -833,7 +1133,7 @@ mod tests {
         acc.arrived += 8;
         acc.per_tenant[0].arrived += 8;
         inst.push_arrivals(0, 8, 0, &knobs, &mut acc);
-        inst.serve(0, &lut, &knobs, &mut acc);
+        inst.serve(0, &lut, &knobs, Phase::Mixed, None, &mut acc);
         assert!(inst.active > 0);
         let active_before = inst.active as u64;
         // Force the failure into tick 1.
@@ -877,6 +1177,145 @@ mod tests {
         inst.lifecycle(11_000_000, 1_000_000, &rates, &mut cell, &mut acc);
         assert!(inst.up);
         assert_eq!(acc.downtime_us, 10_000_000);
+    }
+
+    #[test]
+    fn kv_link_prices_queues_and_backpressures() {
+        // 1 MB/s link: a 1 MB transfer takes exactly 1 s of link time.
+        let mut link = KvLinkState::new(1_000_000, 1_500_000);
+        let mut acc = ShardTotals::new(1);
+        let tk = knobs().tenants[0];
+        link.enqueue(0, 0, 1, 100, 0, 1_000_000, &[(200_000, 1)], &mut acc);
+        assert_eq!(acc.kv_transfers, 1);
+        assert_eq!(acc.kv_bytes_queued, 1_000_000);
+        assert_eq!(acc.kv_link_busy_us, 1_000_000);
+        // TTFT is deferred to delivery (so decode-pool head-of-line
+        // waits land in it too).
+        assert_eq!(acc.per_tenant[0].ttft_recorded, 0);
+        // Second transfer queues behind the first: delay 2 s.
+        link.enqueue(0, 0, 1, 100, 0, 1_000_000, &[], &mut acc);
+        assert_eq!(link.backlog_us(0), 2_000_000);
+        assert!(link.backlogged(0), "2 s backlog > 1.5 s threshold");
+        assert!(!link.backlogged(1_000_000));
+        // Nothing lands before its completion time; FIFO after.
+        assert!(link.peek_landed(999_999).is_none());
+        assert!(link.peek_landed(1_000_000).is_some());
+        assert_eq!(link.inflight_bytes(), 2_000_000);
+        let first = link.pop().unwrap();
+        assert_eq!(first.complete_us, 1_000_000);
+        assert_eq!(link.inflight_bytes(), 1_000_000);
+        // Delivery one tick after landing: TTFT = queue+prefill wait
+        // (0.2 s) + hand-off delay (2 s incl. the decode-room wait).
+        KvLinkState::record_delivery(&first, 2_000_000, &tk, &mut acc);
+        assert_eq!(acc.kv_bytes_delivered, 1_000_000);
+        assert_eq!(acc.per_tenant[0].ttft_recorded, 1);
+        assert_eq!(acc.per_tenant[0].ttft_slo_ok, 0, "2.2 s misses the 1 s SLO");
+    }
+
+    #[test]
+    fn prefill_phase_hands_off_instead_of_decoding() {
+        let lut = lut();
+        let knobs = knobs();
+        let mut acc = ShardTotals::new(1);
+        let mut link = KvLinkState::new(1_000_000_000_000, 1_000_000);
+        let mut inst = InstanceState::new(5, 0, &no_failures(), 1);
+        acc.arrived += 4;
+        acc.per_tenant[0].arrived += 4;
+        inst.push_arrivals(0, 4, 0, &knobs, &mut acc);
+        let spent = inst.serve(0, &lut, &knobs, Phase::Prefill, Some(&mut link), &mut acc);
+        assert!(spent > 0);
+        // The cohort left for the link: nothing decodes locally...
+        assert_eq!(inst.active(), 0);
+        assert_eq!(acc.kv_transfers, 1);
+        assert_eq!(acc.kv_bytes_queued, 4_000_000, "4 requests × 1 MB");
+        // ...TTFT is deferred to delivery (transfer + decode-room
+        // waits must land in it)...
+        assert_eq!(acc.per_tenant[0].ttft_recorded, 0);
+        assert_eq!(link.pop().unwrap().ttfts.len(), 1, "one non-retry run");
+        // ...and no tokens were generated by the prefill instance.
+        assert_eq!(acc.generated_tokens, 0);
+    }
+
+    #[test]
+    fn decode_phase_admits_cohorts_and_never_prefills() {
+        let lut = lut();
+        let knobs = knobs();
+        let mut acc = ShardTotals::new(1);
+        let mut inst = InstanceState::new(6, 0, &no_failures(), 1);
+        // Queued prompts on a decode instance must not prefill.
+        inst.push_arrivals(0, 2, 0, &knobs, &mut acc);
+        inst.serve(0, &lut, &knobs, Phase::Decode, None, &mut acc);
+        assert_eq!(inst.active(), 0);
+        assert_eq!(inst.queued(), 2);
+        // Delivered cohorts decode to completion.
+        inst.admit_decode_cohort(&KvTransfer {
+            complete_us: 0,
+            ready_us: 0,
+            tenant: 0,
+            count: 3,
+            out_len: 10,
+            oldest_arrival_tick: 0,
+            bytes: 3_000_000,
+            ttfts: Vec::new(),
+        });
+        assert_eq!(inst.active(), 3);
+        inst.serve(1, &lut, &knobs, Phase::Decode, None, &mut acc);
+        assert_eq!(acc.completed, 3);
+        assert_eq!(acc.generated_tokens, 30);
+        assert_eq!(acc.per_tenant[0].completed, 3);
+    }
+
+    #[test]
+    fn requeued_runs_move_between_instances_without_recounting() {
+        let lut = lut();
+        let knobs = knobs();
+        let mut acc = ShardTotals::new(1);
+        let mut decode = InstanceState::new(7, 0, &no_failures(), 1);
+        let mut prefill = InstanceState::new(7, 1, &no_failures(), 1);
+        // Failure-requeued runs sit on the decode instance's queue.
+        acc.arrived += 5;
+        acc.per_tenant[0].arrived += 5;
+        decode.push_arrivals(3, 5, 0, &knobs, &mut acc);
+        let routed_before = acc.routed;
+        let runs = decode.take_queued_runs();
+        assert_eq!(decode.queued(), 0);
+        prefill.accept_requeued_runs(runs);
+        assert_eq!(prefill.queued(), 5);
+        // The move is pure plumbing: no routing counters change.
+        assert_eq!(acc.routed, routed_before);
+        // And the work still serves (e2e clock kept the arrival tick).
+        prefill.serve(4, &lut, &knobs, Phase::Mixed, None, &mut acc);
+        assert!(prefill.active() > 0);
+    }
+
+    #[test]
+    fn monolithic_prefill_stretches_first_decode_gap() {
+        // A Mixed instance that prefills and decodes in one tick must
+        // record one stretched token gap (prefill interference); a
+        // Decode instance running the same batch must not.
+        let lut = lut();
+        let mut knobs = knobs();
+        knobs.tick_us = 2_000_000;
+        let mut acc = ShardTotals::new(1);
+        let mut inst = InstanceState::new(8, 0, &no_failures(), 1);
+        // Seed a running batch, then add fresh prompts.
+        inst.admit_decode_cohort(&KvTransfer {
+            complete_us: 0,
+            ready_us: 0,
+            tenant: 0,
+            count: 8,
+            out_len: 1_000,
+            oldest_arrival_tick: 0,
+            bytes: 0,
+            ttfts: Vec::new(),
+        });
+        inst.push_arrivals(0, 4, 0, &knobs, &mut acc);
+        inst.serve(0, &lut, &knobs, Phase::Mixed, None, &mut acc);
+        let prefill_cost = lut.prefill_us(4);
+        let d = lut.decode_step_us(12);
+        // The TBT histogram saw at least one sample ≥ prefill + step.
+        assert!(acc.tbt.percentile_us(100.0) >= prefill_cost + d - d / 8);
+        assert!(acc.decode_steps > 0);
     }
 
     #[test]

@@ -1,20 +1,25 @@
 #!/usr/bin/env bash
-# Multi-tenant determinism gate: run the controlled 3-tenant fleet at
-# several thread counts and diff the serialized FleetReport bytes — the
-# engine's core guarantee, checked end to end through the sim_fleet
-# binary. Shared by ci.sh and .github/workflows/ci.yml.
+# Determinism gate: run the controlled 3-tenant fleet at several thread
+# counts — in both serving modes (monolithic and phase-split) — and diff
+# the serialized FleetReport bytes. Byte-identical reports at any
+# shard/thread count are the engine's core guarantee, checked end to end
+# through the sim_fleet binary. Shared by ci.sh and
+# .github/workflows/ci.yml.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 det_dir="target/ci-determinism"
 mkdir -p "$det_dir"
-for threads in 1 2 8; do
-  cargo run --release -q -p litegpu-bench --bin sim_fleet -- \
-    --gpu lite --instances 64 --cell-size 8 --hours 0.5 --accel 50000 \
-    --ctrl auto --workload multi --shards 8 --threads "$threads" \
-    --quiet-json 2>/dev/null
-  cp target/experiments/fleet_lite.json "$det_dir/fleet_lite_t$threads.json"
+for serving in mono split; do
+  for threads in 1 2 8; do
+    cargo run --release -q -p litegpu-bench --bin sim_fleet -- \
+      --gpu lite --instances 64 --cell-size 8 --hours 0.5 --accel 50000 \
+      --ctrl auto --workload multi --serving "$serving" --no-baseline \
+      --shards 8 --threads "$threads" \
+      --quiet-json 2>/dev/null
+    cp target/experiments/fleet_lite.json "$det_dir/fleet_lite_${serving}_t$threads.json"
+  done
+  cmp "$det_dir/fleet_lite_${serving}_t1.json" "$det_dir/fleet_lite_${serving}_t2.json"
+  cmp "$det_dir/fleet_lite_${serving}_t1.json" "$det_dir/fleet_lite_${serving}_t8.json"
+  echo "    $serving: byte-identical across 1/2/8 threads."
 done
-cmp "$det_dir/fleet_lite_t1.json" "$det_dir/fleet_lite_t2.json"
-cmp "$det_dir/fleet_lite_t1.json" "$det_dir/fleet_lite_t8.json"
-echo "    byte-identical across 1/2/8 threads."

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Perf smoke: run the fleet engine on a fixed phase-split config, emit
+# BENCH_fleet.json (instance-ticks/sec + wall seconds) as a CI artifact,
+# and fail on a >2x throughput regression against the checked-in
+# baseline (scripts/perf_baseline.json). Shared by ci.sh and
+# .github/workflows/ci.yml.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out_dir="target/ci-perf"
+mkdir -p "$out_dir"
+bench="$out_dir/BENCH_fleet.json"
+
+cargo run --release -q -p litegpu-bench --bin sim_fleet -- \
+  --gpu lite --instances 256 --cell-size 16 --hours 2 --accel 20000 \
+  --ctrl auto --workload multi --serving split --no-baseline \
+  --shards 16 --threads 4 \
+  --seed 42 --quiet-json --perf-json "$bench" 2>/dev/null
+
+# Both JSON files are produced by this repo with stable formatting, so a
+# grep-based field read stays dependency-free.
+read_field() { grep -o "\"$2\": *[0-9]*" "$1" | grep -o '[0-9]*'; }
+measured=$(read_field "$bench" ticks_per_sec)
+baseline=$(read_field scripts/perf_baseline.json ticks_per_sec)
+threshold=$((baseline / 2))
+
+echo "    fleet perf: ${measured} instance-ticks/s (baseline ${baseline}, fail under ${threshold})"
+cat "$bench"
+if [ "$measured" -lt "$threshold" ]; then
+  echo "PERF REGRESSION: ${measured} ticks/s is less than half the baseline ${baseline}" >&2
+  exit 1
+fi
+echo "    perf smoke passed."
