@@ -38,14 +38,14 @@ build_test() {
     --gpu both --instances 64 --cell-size 8 --hours 1 --rate 3 \
     --serving split --quiet-json
 
-  echo "==> control-plane smoke: autoscale + gating + routing + admission (sim_ctrl)"
+  echo "==> control-plane smoke: autoscale + gating + routing + admission + DVFS headline (sim_ctrl --dvfs)"
   cargo run --release -q -p litegpu-bench --bin sim_ctrl -- \
-    --instances 100 --hours 4 --quiet-json
+    --instances 100 --hours 4 --dvfs --quiet-json
 
-  echo "==> determinism: byte-identical FleetReport at 1/2/8 threads, both serving modes"
+  echo "==> determinism: byte-identical FleetReport at 1/2/8 threads, all three serving/control combos"
   ./scripts/check_determinism.sh
 
-  echo "==> perf smoke: BENCH_fleet.json vs checked-in baseline"
+  echo "==> perf smoke: BENCH_fleet.json (base + dvfs entries) vs checked-in baseline"
   ./scripts/perf_smoke.sh
 }
 

@@ -9,7 +9,7 @@
 //! sim_fleet [--gpu h100|lite|both] [--instances N] [--hours H]
 //!           [--rate R] [--accel A] [--spares-per-cell N] [--cell-size N]
 //!           [--tick S] [--seed N] [--shards N] [--threads N]
-//!           [--ctrl off|auto|dvfs|gate] [--control-interval S]
+//!           [--ctrl off|auto|dvfs|gate] [--dvfs] [--control-interval S]
 //!           [--warm-pool N] [--workload single|multi]
 //!           [--serving mono|split] [--prefill-fraction F]
 //!           [--kv-gbps G] [--kv-backlog S] [--no-baseline]
@@ -20,7 +20,10 @@
 //! gating + cell router + admission control): `auto` picks the
 //! §3-appropriate power policy per GPU type (H100 parks at the DVFS idle
 //! floor, Lite power-gates), while `dvfs`/`gate` force one policy on
-//! every fleet. `--workload multi` swaps the single diurnal tenant for
+//! every fleet. `--dvfs` additionally runs the serving-time DVFS policy:
+//! the engine prices the full `SLO_MIN_CLOCK..=1.0` operating-point grid
+//! into step costs and the control plane retunes live instances per
+//! cell (and per phase pool), reported in the `dvfs` section. `--workload multi` swaps the single diurnal tenant for
 //! the three-tenant mixed-priority demo (interactive chat + batch +
 //! best-effort scavenger), reported per tenant.
 //!
@@ -51,6 +54,7 @@ struct Args {
     shards: u32,
     threads: u32,
     ctrl: String,
+    dvfs: bool,
     control_interval: f64,
     warm_pool: u32,
     workload: String,
@@ -77,6 +81,7 @@ fn parse_args() -> Args {
         shards: 0,
         threads: 0,
         ctrl: "off".into(),
+        dvfs: false,
         control_interval: 5.0,
         warm_pool: 1,
         workload: "single".into(),
@@ -107,6 +112,7 @@ fn parse_args() -> Args {
             "--shards" => a.shards = parsed(&flag, value(&mut i)),
             "--threads" => a.threads = parsed(&flag, value(&mut i)),
             "--ctrl" => a.ctrl = value(&mut i),
+            "--dvfs" => a.dvfs = true,
             "--control-interval" => a.control_interval = parsed(&flag, value(&mut i)),
             "--warm-pool" => a.warm_pool = parsed(&flag, value(&mut i)),
             "--workload" => a.workload = value(&mut i),
@@ -126,6 +132,10 @@ fn parse_args() -> Args {
     }
     if a.serving != "mono" && a.serving != "split" {
         eprintln!("unknown --serving {} (expected mono|split)", a.serving);
+        std::process::exit(2);
+    }
+    if a.dvfs && a.ctrl == "off" {
+        eprintln!("--dvfs needs a control plane: pass --ctrl auto|dvfs|gate");
         std::process::exit(2);
     }
     a
@@ -159,6 +169,9 @@ fn configure(base: FleetConfig, a: &Args, auto_policy: Policy) -> FleetConfig {
     };
     cfg.ctrl = policy.map(|p| {
         let mut c = CtrlConfig::demo(p);
+        if a.dvfs {
+            c = c.with_dvfs();
+        }
         c.control_interval_s = a.control_interval;
         if let Some(pw) = c.power.as_mut() {
             pw.warm_pool = a.warm_pool;
@@ -238,6 +251,9 @@ fn main() {
                 eprintln!("perf-json {path}: {e}");
             }
             perf_written = true;
+        }
+        if report.dvfs.is_some() {
+            eprintln!("#   {}", report.dvfs_summary());
         }
         if report.kv_transfer.is_some() {
             eprintln!("#   {}", report.kv_summary());

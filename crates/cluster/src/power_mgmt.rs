@@ -45,6 +45,35 @@ pub const SLO_MIN_CLOCK: f64 = 0.75;
 /// draw well above their idle floor).
 pub const ACTIVE_IDLE_FRAC: f64 = 0.3;
 
+/// Clamps a per-unit load fraction to the SLO-feasible clock range: a
+/// serving unit never clocks below [`SLO_MIN_CLOCK`] (latency SLOs break)
+/// nor above nominal. Shared by every policy branch that converts load
+/// into a clock — the single home of the efficiency-clock rule.
+pub fn slo_clock(load_per_unit: f64) -> f64 {
+    load_per_unit.clamp(SLO_MIN_CLOCK, 1.0)
+}
+
+/// The fewest units that cover load `rho` of an `n`-unit cluster's
+/// nominal throughput when every active unit runs at the efficiency
+/// clock ([`SLO_MIN_CLOCK`]): capacity per unit at that clock is
+/// `SLO_MIN_CLOCK` of nominal, so `⌈rho·n / SLO_MIN_CLOCK⌉` units are
+/// needed (capped at `n`). This is the gate-to-efficiency capacity
+/// formula, hoisted so the policy branches and any capacity math share
+/// one definition instead of a repeated magic `0.75`.
+pub fn efficiency_units(rho: f64, n: f64) -> f64 {
+    ((rho * n) / SLO_MIN_CLOCK).ceil().min(n)
+}
+
+/// The serving-time DVFS operating-point grid: clock factors from
+/// [`SLO_MIN_CLOCK`] to nominal in 0.05 steps (exactly representable as
+/// `k/20`), ascending, last entry exactly `1.0`. This is the grid
+/// `litegpu_roofline::StepCostTable` prices step costs on and the
+/// fleet's DVFS controller selects from.
+pub fn operating_points() -> Vec<f64> {
+    let first = (SLO_MIN_CLOCK * 20.0).round() as u32;
+    (first..=20).map(|k| k as f64 / 20.0).collect()
+}
+
 /// Power of one GPU at `clock` delivering `util` of its clocked
 /// throughput, including active-idle waste.
 fn gpu_power(model: &PowerModel, clock: f64, util: f64) -> f64 {
@@ -71,7 +100,7 @@ pub fn power_at_load(cluster: &ClusterSpec, policy: Policy, rho: f64) -> Result<
             if rho == 0.0 {
                 n * model.power_w(0.0, 0.0) // Idle floor on every GPU.
             } else {
-                let clock = rho.max(SLO_MIN_CLOCK);
+                let clock = slo_clock(rho);
                 let util = rho / clock;
                 n * gpu_power(&model, clock, util)
             }
@@ -86,14 +115,14 @@ pub fn power_at_load(cluster: &ClusterSpec, policy: Policy, rho: f64) -> Result<
             }
         }
         Policy::GateToEfficiency => {
-            // Capacity per GPU at the efficiency clock is SLO_MIN_CLOCK of
-            // nominal; activate just enough units, clock them as low as
-            // the load allows.
-            let active = ((rho * n / SLO_MIN_CLOCK).ceil()).min(n);
+            // Activate just enough units to cover the load at the
+            // efficiency clock, then clock them as low as the load
+            // allows — both steps through the shared helpers.
+            let active = efficiency_units(rho, n);
             if active == 0.0 {
                 0.0
             } else {
-                let clock = (rho * n / active).max(SLO_MIN_CLOCK);
+                let clock = slo_clock(rho * n / active);
                 let util = rho * n / active / clock;
                 active * gpu_power(&model, clock, util)
             }
@@ -190,6 +219,55 @@ mod tests {
         // And gating saves real energy versus fleet-wide DVFS.
         let sl = gating_saving(&l, &diurnal_trace()).unwrap();
         assert!(sl > 0.05, "gating should save real energy, got {sl}");
+    }
+
+    #[test]
+    fn operating_points_span_slo_min_clock_to_nominal() {
+        let pts = operating_points();
+        assert_eq!(pts.first(), Some(&SLO_MIN_CLOCK));
+        assert_eq!(pts.last(), Some(&1.0));
+        assert!(pts.len() >= 3, "grid must be a real ladder: {pts:?}");
+        for w in pts.windows(2) {
+            assert!(w[0] < w[1], "ascending: {pts:?}");
+            assert!((w[1] - w[0] - 0.05).abs() < 1e-12, "0.05 steps: {pts:?}");
+        }
+    }
+
+    #[test]
+    fn efficiency_helpers_match_the_policy_branches() {
+        // slo_clock clamps to [SLO_MIN_CLOCK, 1].
+        assert_eq!(slo_clock(0.1), SLO_MIN_CLOCK);
+        assert_eq!(slo_clock(0.9), 0.9);
+        assert_eq!(slo_clock(1.7), 1.0);
+        // efficiency_units: fewest units covering the load at the
+        // efficiency clock, capped at the cluster size.
+        assert_eq!(efficiency_units(0.0, 32.0), 0.0);
+        assert_eq!(
+            efficiency_units(0.3, 32.0),
+            (0.3 * 32.0 / SLO_MIN_CLOCK).ceil()
+        );
+        assert_eq!(efficiency_units(1.0, 32.0), 32.0);
+    }
+
+    #[test]
+    fn power_at_load_pinned_at_grid_endpoints() {
+        // Regression pins at the DVFS grid endpoints:
+        // - rho = SLO_MIN_CLOCK: every GPU at clock 0.75, full
+        //   utilization => idle + dynamic × 0.75³ per GPU + overhead.
+        //   Lite: 32 × (19 + 156 × 0.421875) + 800 = 3514.00 W.
+        //   H100:  8 × (75 + 625 × 0.421875) + 800 = 3509.375 W.
+        // - rho = 1.0: peak power, 6400 W for both.
+        for (c, lo_expected) in [
+            (ClusterSpec::lite_node(), 3514.0),
+            (ClusterSpec::h100_node(), 3509.375),
+        ] {
+            for policy in [Policy::DvfsAll, Policy::GateToEfficiency] {
+                let lo = power_at_load(&c, policy, SLO_MIN_CLOCK).unwrap();
+                assert!((lo - lo_expected).abs() < 1e-9, "{policy:?} lo = {lo}");
+                let hi = power_at_load(&c, policy, 1.0).unwrap();
+                assert!((hi - 6400.0).abs() < 1e-9, "{policy:?} hi = {hi}");
+            }
+        }
     }
 
     #[test]

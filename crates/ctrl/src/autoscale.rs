@@ -166,9 +166,20 @@ impl Controller for Autoscaler {
                 // A split cell needs at least one slot per pool.
                 let split_floor = floor.max(2.min(healthy));
                 let desired = (need_p + need_d).clamp(split_floor, healthy);
+                // When both pools fit, prefill takes exactly its need;
+                // when demand outruns the cell, keep the partition
+                // *proportional* to the per-pool needs — handing prefill
+                // everything up to `desired − 1` would starve the decode
+                // pool, wedge the KV hand-off, and deadlock the cell
+                // behind an ever-growing backlog.
+                let prefill = if need_p + need_d <= desired {
+                    need_p
+                } else {
+                    ((desired as u64 * need_p as u64) / (need_p as u64 + need_d as u64)) as u32
+                };
                 (
                     desired,
-                    Some(need_p.clamp(1, desired.saturating_sub(1).max(1))),
+                    Some(prefill.clamp(1, desired.saturating_sub(1).max(1))),
                 )
             }
             None => (
@@ -263,6 +274,7 @@ mod tests {
             capacity_rps_per_instance: 2.0,
             max_queue: 1000,
             phase_split: None,
+            clock_points: Vec::new(),
             slots,
         }
     }
@@ -271,6 +283,7 @@ mod tests {
         InstanceObs {
             mode,
             phase: Phase::Mixed,
+            clock: 0,
             queued,
             active,
         }

@@ -115,10 +115,61 @@ pub struct InstanceObs {
     pub mode: Mode,
     /// Inference-phase role ([`Phase::Mixed`] on monolithic fleets).
     pub phase: Phase,
+    /// Current DVFS operating point, as an index into
+    /// [`CellObs::clock_points`] (the nominal index on fleets without a
+    /// clock grid).
+    pub clock: u8,
     /// Requests waiting in the slot's queue.
     pub queued: u64,
     /// Sequences currently decoding on the slot.
     pub active: u32,
+}
+
+/// One DVFS operating point of a cell's instances, as observed by
+/// controllers: the clock factor, how much sustained throughput survives
+/// at that clock per serving role (`1.0` at nominal; the roofline
+/// compute/bandwidth split decides how much a down-clock really costs),
+/// and whether step times at that clock still leave the tightest
+/// per-tenant TTFT/TBT SLO targets reachable. The data plane derives all
+/// of it from the same `StepCostTable` that prices serving, so policy
+/// decisions and step costs can never disagree.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClockPoint {
+    /// Clock factor (nominal = 1.0).
+    pub clock: f64,
+    /// Throughput retained by a mixed (monolithic) instance at this
+    /// clock, relative to nominal.
+    pub mixed_scale: f64,
+    /// Throughput retained by a dedicated prefill instance.
+    pub prefill_scale: f64,
+    /// Throughput retained by a dedicated decode instance.
+    pub decode_scale: f64,
+    /// Whether prefill at this clock keeps every tenant's TTFT target
+    /// reachable.
+    pub prefill_slo_ok: bool,
+    /// Whether decode steps at this clock meet every tenant's TBT target.
+    pub decode_slo_ok: bool,
+}
+
+impl ClockPoint {
+    /// Throughput retained at this point by an instance serving `phase`.
+    pub fn scale(&self, phase: Phase) -> f64 {
+        match phase {
+            Phase::Mixed => self.mixed_scale,
+            Phase::Prefill => self.prefill_scale,
+            Phase::Decode => self.decode_scale,
+        }
+    }
+
+    /// Whether this point is SLO-feasible for an instance serving
+    /// `phase` (a mixed instance needs both phases to hold).
+    pub fn slo_ok(&self, phase: Phase) -> bool {
+        match phase {
+            Phase::Mixed => self.prefill_slo_ok && self.decode_slo_ok,
+            Phase::Prefill => self.prefill_slo_ok,
+            Phase::Decode => self.decode_slo_ok,
+        }
+    }
 }
 
 /// Phase-split context of a cell at a control tick, present only when the
@@ -158,6 +209,10 @@ pub struct CellObs {
     pub max_queue: u32,
     /// Phase-split context (`None` on monolithic fleets).
     pub phase_split: Option<PhaseObs>,
+    /// The DVFS operating-point grid the cell's instances may serve at,
+    /// ascending, last entry nominal. Empty when the data plane prices a
+    /// single (nominal) clock — DVFS policies must then stand down.
+    pub clock_points: Vec<ClockPoint>,
     /// Per-slot observations, indexed by cell-local slot id.
     pub slots: Vec<InstanceObs>,
 }
@@ -248,6 +303,17 @@ pub enum Command {
         /// The pool the slot should join.
         phase: Phase,
     },
+    /// Retune a slot's DVFS operating point. The data plane re-prices the
+    /// slot's step costs (and its dynamic power draw) from the indexed
+    /// [`ClockPoint`] starting at the next data tick; commands with an
+    /// out-of-grid index are ignored. Applies to serving slots only —
+    /// parked capacity is the power gater's business, not the clock's.
+    SetClock {
+        /// Cell-local slot id.
+        slot: u32,
+        /// Index into [`CellObs::clock_points`].
+        clock: u8,
+    },
 }
 
 /// A deterministic per-cell control policy.
@@ -290,28 +356,33 @@ mod tests {
             capacity_rps_per_instance: 2.0,
             max_queue: 100,
             phase_split: None,
+            clock_points: Vec::new(),
             slots: vec![
                 InstanceObs {
                     mode: Mode::Live,
                     phase: Phase::Prefill,
+                    clock: 0,
                     queued: 3,
                     active: 1,
                 },
                 InstanceObs {
                     mode: Mode::Booting,
                     phase: Phase::Decode,
+                    clock: 0,
                     queued: 0,
                     active: 0,
                 },
                 InstanceObs {
                     mode: Mode::Cold,
                     phase: Phase::Decode,
+                    clock: 0,
                     queued: 0,
                     active: 0,
                 },
                 InstanceObs {
                     mode: Mode::Down,
                     phase: Phase::Mixed,
+                    clock: 0,
                     queued: 7,
                     active: 0,
                 },
@@ -330,5 +401,24 @@ mod tests {
         assert_eq!(Phase::Mixed.label(), "mixed");
         assert_eq!(Phase::Prefill.label(), "prefill");
         assert_eq!(Phase::Decode.label(), "decode");
+    }
+
+    #[test]
+    fn clock_point_scale_and_slo_are_phase_selected() {
+        let p = ClockPoint {
+            clock: 0.8,
+            mixed_scale: 0.85,
+            prefill_scale: 0.8,
+            decode_scale: 0.97,
+            prefill_slo_ok: false,
+            decode_slo_ok: true,
+        };
+        assert_eq!(p.scale(Phase::Mixed), 0.85);
+        assert_eq!(p.scale(Phase::Prefill), 0.8);
+        assert_eq!(p.scale(Phase::Decode), 0.97);
+        assert!(p.slo_ok(Phase::Decode));
+        assert!(!p.slo_ok(Phase::Prefill));
+        // A mixed instance needs both phases SLO-feasible.
+        assert!(!p.slo_ok(Phase::Mixed));
     }
 }

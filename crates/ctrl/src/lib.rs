@@ -36,13 +36,15 @@
 
 pub mod autoscale;
 pub mod controller;
+pub mod dvfs;
 pub mod power;
 pub mod route;
 
 pub use autoscale::{Autoscaler, AutoscalerConfig};
 pub use controller::{
-    CellObs, Command, Controller, InstanceObs, Mode, Phase, PhaseObs, PriorityClass,
+    CellObs, ClockPoint, Command, Controller, InstanceObs, Mode, Phase, PhaseObs, PriorityClass,
 };
+pub use dvfs::{DvfsConfig, DvfsController};
 pub use litegpu_cluster::power_mgmt::Policy;
 pub use power::{PowerConfig, PowerGater};
 pub use route::{apportion, apportion_into, Router, RouterConfig};
@@ -58,6 +60,10 @@ pub struct CtrlConfig {
     /// Autoscaler policy; requires `router` (parked instances' traffic
     /// must be re-routed somewhere).
     pub autoscaler: Option<AutoscalerConfig>,
+    /// Serving-time DVFS: per-pool operating-point selection for live
+    /// instances. Takes effect only on a data plane that priced a clock
+    /// grid (`FleetConfig` enables that whenever this is set).
+    pub dvfs: Option<DvfsConfig>,
     /// Power-gating policy for parked instances.
     pub power: Option<PowerConfig>,
     /// Cell-level arrival routing.
@@ -72,12 +78,19 @@ impl CtrlConfig {
         Self {
             control_interval_s: 5.0,
             autoscaler: Some(AutoscalerConfig::default()),
+            dvfs: None,
             power: Some(PowerConfig {
                 policy,
                 warm_pool: 1,
             }),
             router: Some(RouterConfig::default()),
         }
+    }
+
+    /// Adds the default serving-time DVFS policy to this configuration.
+    pub fn with_dvfs(mut self) -> Self {
+        self.dvfs = Some(DvfsConfig::default());
+        self
     }
 
     /// Validates the configuration; returns a static description of the
@@ -103,6 +116,14 @@ impl CtrlConfig {
                 return Err("autoscaler warm_start_s must be finite and non-negative");
             }
         }
+        if let Some(d) = &self.dvfs {
+            if !(d.target_util > 0.0 && d.target_util <= 1.0) {
+                return Err("dvfs target_util must be in (0, 1]");
+            }
+            if !(d.ewma_alpha > 0.0 && d.ewma_alpha <= 1.0) {
+                return Err("dvfs ewma_alpha must be in (0, 1]");
+            }
+        }
         Ok(())
     }
 
@@ -112,6 +133,9 @@ impl CtrlConfig {
         let mut parts = Vec::new();
         if self.autoscaler.is_some() {
             parts.push("autoscale".to_string());
+        }
+        if self.dvfs.is_some() {
+            parts.push("dvfs".to_string());
         }
         if let Some(p) = &self.power {
             parts.push(format!("gate({:?})", p.policy));
@@ -132,6 +156,8 @@ impl CtrlConfig {
             controllers: [
                 self.autoscaler
                     .map(|c| Box::new(Autoscaler::new(c)) as Box<dyn Controller>),
+                self.dvfs
+                    .map(|c| Box::new(DvfsController::new(c)) as Box<dyn Controller>),
                 self.power
                     .map(|c| Box::new(PowerGater::new(c)) as Box<dyn Controller>),
                 self.router
@@ -146,9 +172,11 @@ impl CtrlConfig {
 
 /// An ordered stack of policy modules driving one cell.
 ///
-/// Policies run in a fixed order (autoscaler → power gater → router);
-/// each sees the commands emitted earlier in the same control tick, so
-/// e.g. the gater keeps the warm pool consistent with this tick's parks.
+/// Policies run in a fixed order (autoscaler → DVFS → power gater →
+/// router); each sees the commands emitted earlier in the same control
+/// tick, so e.g. the DVFS policy tunes the pool partition the autoscaler
+/// just decided, and the gater keeps the warm pool consistent with this
+/// tick's parks.
 pub struct ControllerStack {
     controllers: Vec<Box<dyn Controller>>,
 }
@@ -240,16 +268,19 @@ mod tests {
             capacity_rps_per_instance: 2.0,
             max_queue: 50,
             phase_split: None,
+            clock_points: Vec::new(),
             slots: vec![
                 InstanceObs {
                     mode: Mode::Live,
                     phase: Phase::Mixed,
+                    clock: 0,
                     queued: 0,
                     active: 0,
                 },
                 InstanceObs {
                     mode: Mode::Live,
                     phase: Phase::Mixed,
+                    clock: 0,
                     queued: 0,
                     active: 0,
                 },
@@ -267,9 +298,24 @@ mod tests {
         let empty = CtrlConfig {
             control_interval_s: 5.0,
             autoscaler: None,
+            dvfs: None,
             power: None,
             router: None,
         };
         assert!(empty.build().is_empty());
+    }
+
+    #[test]
+    fn dvfs_labels_builds_and_validates() {
+        let c = CtrlConfig::demo(Policy::GateToEfficiency).with_dvfs();
+        c.validate().unwrap();
+        assert_eq!(c.label(), "autoscale+dvfs+gate(GateToEfficiency)+route");
+        assert_eq!(c.build().len(), 4);
+        let mut bad = c.clone();
+        bad.dvfs.as_mut().unwrap().target_util = 0.0;
+        assert!(bad.validate().is_err());
+        let mut bad = c;
+        bad.dvfs.as_mut().unwrap().ewma_alpha = 1.5;
+        assert!(bad.validate().is_err());
     }
 }

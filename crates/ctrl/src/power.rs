@@ -111,11 +111,13 @@ mod tests {
             capacity_rps_per_instance: 2.0,
             max_queue: 100,
             phase_split: None,
+            clock_points: Vec::new(),
             slots: modes
                 .iter()
                 .map(|&mode| InstanceObs {
                     mode,
                     phase: crate::controller::Phase::Mixed,
+                    clock: 0,
                     queued: 0,
                     active: 0,
                 })

@@ -137,28 +137,33 @@ mod tests {
             capacity_rps_per_instance: 2.0,
             max_queue: 10,
             phase_split: None,
+            clock_points: Vec::new(),
             slots: vec![
                 InstanceObs {
                     mode: Mode::Live,
                     phase: Phase::Mixed,
+                    clock: 0,
                     queued: 3,
                     active: 0,
                 },
                 InstanceObs {
                     mode: Mode::Down,
                     phase: Phase::Mixed,
+                    clock: 0,
                     queued: 0,
                     active: 0,
                 },
                 InstanceObs {
                     mode: Mode::Live,
                     phase: Phase::Mixed,
+                    clock: 0,
                     queued: 12, // Over capacity (stale): clamps to 0.
                     active: 0,
                 },
                 InstanceObs {
                     mode: Mode::Cold,
                     phase: Phase::Mixed,
+                    clock: 0,
                     queued: 0,
                     active: 0,
                 },
@@ -185,16 +190,19 @@ mod tests {
             capacity_rps_per_instance: 2.0,
             max_queue: 10,
             phase_split: None,
+            clock_points: Vec::new(),
             slots: vec![
                 InstanceObs {
                     mode: Mode::Live,
                     phase: Phase::Prefill,
+                    clock: 0,
                     queued: 2,
                     active: 0,
                 },
                 InstanceObs {
                     mode: Mode::Live,
                     phase: Phase::Decode,
+                    clock: 0,
                     queued: 0,
                     active: 30,
                 },
@@ -223,16 +231,19 @@ mod tests {
             capacity_rps_per_instance: 2.0,
             max_queue: 10,
             phase_split: None,
+            clock_points: Vec::new(),
             slots: vec![
                 InstanceObs {
                     mode: Mode::Live,
                     phase: Phase::Mixed,
+                    clock: 0,
                     queued: 9,
                     active: 0,
                 },
                 InstanceObs {
                     mode: Mode::Live,
                     phase: Phase::Mixed,
+                    clock: 0,
                     queued: 0,
                     active: 0,
                 },

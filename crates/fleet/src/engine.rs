@@ -46,12 +46,13 @@ use crate::traffic::poisson;
 use crate::workload::WorkloadSpec;
 use crate::{FleetError, Result};
 use litegpu_cluster::failure::FailureModel;
-use litegpu_cluster::power_mgmt::Policy;
+use litegpu_cluster::power_mgmt::{self, Policy};
 use litegpu_ctrl::{
-    apportion_into, CellObs, Command, CtrlConfig, InstanceObs, Mode, Phase, PhaseObs, PriorityClass,
+    apportion_into, CellObs, ClockPoint, Command, CtrlConfig, InstanceObs, Mode, Phase, PhaseObs,
+    PriorityClass,
 };
 use litegpu_roofline::{EngineParams, StepCostTable};
-use litegpu_specs::power::PowerModel;
+use litegpu_specs::power::{PowerModel, DVFS_EXPONENT};
 use litegpu_specs::GpuSpec;
 use litegpu_workload::{kv, ModelArch};
 use rand::rngs::StdRng;
@@ -406,24 +407,37 @@ impl FleetConfig {
         }
     }
 
+    /// Whether the control plane runs the serving-time DVFS policy (which
+    /// is what makes the engine price a full clock grid).
+    pub fn dvfs_enabled(&self) -> bool {
+        self.ctrl.as_ref().is_some_and(|c| c.dvfs.is_some())
+    }
+
     /// Integer per-instance power rates (mW), for exact energy
-    /// accumulation: `energy_µJ = power_mW × time_µs / 1000`.
-    fn instance_power(&self) -> InstancePower {
+    /// accumulation: `energy_µJ = power_mW × time_µs / 1000`. Dynamic
+    /// power is priced per operating point on the same cubic
+    /// `P_dyn ∝ clock³` curve `power_mgmt::power_at_load` draws from
+    /// ([`PowerModel::power_w`]); the idle floor is clock-independent.
+    fn instance_power(&self, clock_points: &[f64]) -> InstancePower {
         let model = PowerModel::for_spec(&self.gpu);
         let g = self.gpus_per_instance as f64;
         InstancePower {
             idle_mw: (model.idle_w * g * 1000.0).round() as u64,
-            dyn_mw: (model.dynamic_w * g * 1000.0).round() as u64,
+            dyn_mw: clock_points
+                .iter()
+                .map(|&c| (model.dynamic_w * g * 1000.0 * c.powf(DVFS_EXPONENT)).round() as u64)
+                .collect(),
         }
     }
 
-    /// Sustainable request throughput of one instance, requests/s — the
-    /// capacity estimate the autoscaler sizes cells against: per-request
+    /// Sustainable request throughput of one instance at clock point
+    /// `ci`, requests/s — the capacity estimate the autoscaler sizes
+    /// cells against (at nominal) and DVFS scales per point: per-request
     /// cost is an amortized prefill launch (scaled by the workload's
     /// share-weighted mean prompt length, matching what
     /// `TenantKnobs::prefill_cost_us` actually charges) plus the
     /// share-weighted mean output length in decode steps at full batch.
-    fn capacity_rps(&self, lut: &StepCostTable) -> f64 {
+    fn capacity_rps_at(&self, lut: &StepCostTable, ci: usize) -> f64 {
         let b = self
             .max_prefill_batch
             .min(lut.max_prefill_batch)
@@ -432,28 +446,77 @@ impl FleetConfig {
         let prompt_scale = self
             .workload
             .mean_prompt_scale(self.params.constraints.prompt_len);
-        let per_req_us = lut.prefill_us(b) as f64 * prompt_scale / b as f64
-            + self.workload.mean_output_len() * lut.decode_step_us(lut.max_batch) as f64
+        let per_req_us = lut.prefill_us_at(ci, b) as f64 * prompt_scale / b as f64
+            + self.workload.mean_output_len() * lut.decode_step_us_at(ci, lut.max_batch) as f64
                 / lut.max_batch as f64;
         1e6 / per_req_us.max(1.0)
     }
 
-    /// Sustainable request throughput of one *dedicated prefill*
-    /// instance, requests/s — the prefill half of [`Self::capacity_rps`].
-    fn prefill_capacity_rps(&self, lut: &StepCostTable) -> f64 {
+    /// [`Self::capacity_rps_at`] at the nominal clock.
+    fn capacity_rps(&self, lut: &StepCostTable) -> f64 {
+        self.capacity_rps_at(lut, lut.nominal_clock_idx())
+    }
+
+    /// Sustainable request throughput of one *dedicated prefill* instance
+    /// at clock point `ci`, requests/s — the prefill half of
+    /// [`Self::capacity_rps_at`].
+    fn prefill_capacity_rps_at(&self, lut: &StepCostTable, ci: usize) -> f64 {
         let b = self.max_prefill_batch.min(lut.max_prefill_batch).max(1);
         let prompt_scale = self
             .workload
             .mean_prompt_scale(self.params.constraints.prompt_len);
-        1e6 / (lut.prefill_us(b) as f64 * prompt_scale / b as f64).max(1.0)
+        1e6 / (lut.prefill_us_at(ci, b) as f64 * prompt_scale / b as f64).max(1.0)
     }
 
-    /// Sustainable request throughput of one *dedicated decode* instance,
-    /// requests/s — the decode half of [`Self::capacity_rps`].
-    fn decode_capacity_rps(&self, lut: &StepCostTable) -> f64 {
-        let per_req_us = self.workload.mean_output_len() * lut.decode_step_us(lut.max_batch) as f64
+    /// Sustainable request throughput of one *dedicated decode* instance
+    /// at clock point `ci`, requests/s — the decode half of
+    /// [`Self::capacity_rps_at`].
+    fn decode_capacity_rps_at(&self, lut: &StepCostTable, ci: usize) -> f64 {
+        let per_req_us = self.workload.mean_output_len()
+            * lut.decode_step_us_at(ci, lut.max_batch) as f64
             / lut.max_batch as f64;
         1e6 / per_req_us.max(1.0)
+    }
+
+    /// The DVFS operating points as controllers observe them: per-point
+    /// throughput scales per serving role (exactly the capacity model
+    /// above, so policy and pricing cannot disagree) and SLO-feasibility
+    /// guards against the tightest per-tenant targets. A decode point is
+    /// feasible while a full-batch step still meets every tenant's TBT
+    /// SLO; a prefill point while every tenant's prompt-scaled launch
+    /// fits half its TTFT budget (the other half stays reserved for
+    /// queueing). Empty on nominal-only tables.
+    fn clock_obs(&self, lut: &StepCostTable, knobs: &ServeKnobs) -> Vec<ClockPoint> {
+        if lut.num_clocks() < 2 {
+            return Vec::new();
+        }
+        let nom = lut.nominal_clock_idx();
+        let pb = self
+            .max_prefill_batch
+            .min(lut.max_prefill_batch)
+            .min(lut.max_batch)
+            .max(1);
+        let mixed_nom = self.capacity_rps_at(lut, nom);
+        let prefill_nom = self.prefill_capacity_rps_at(lut, nom);
+        let decode_nom = self.decode_capacity_rps_at(lut, nom);
+        lut.clock_points()
+            .iter()
+            .enumerate()
+            .map(|(ci, &clock)| ClockPoint {
+                clock,
+                mixed_scale: self.capacity_rps_at(lut, ci) / mixed_nom,
+                prefill_scale: self.prefill_capacity_rps_at(lut, ci) / prefill_nom,
+                decode_scale: self.decode_capacity_rps_at(lut, ci) / decode_nom,
+                prefill_slo_ok: knobs
+                    .tenants
+                    .iter()
+                    .all(|t| t.prefill_cost_us(lut.prefill_us_at(ci, pb)) <= t.ttft_slo_us / 2),
+                decode_slo_ok: knobs
+                    .tenants
+                    .iter()
+                    .all(|t| lut.decode_step_us_at(ci, lut.max_batch) <= t.tbt_slo_us),
+            })
+            .collect()
     }
 
     fn tenant_meta(&self, knobs: &ServeKnobs) -> Vec<TenantMeta> {
@@ -471,11 +534,12 @@ impl FleetConfig {
     }
 }
 
-/// Per-instance power rates in integer milliwatts.
-#[derive(Debug, Clone, Copy)]
+/// Per-instance power rates in integer milliwatts. Dynamic power is one
+/// rate per DVFS operating point (cubic in clock); nominal is the last.
+#[derive(Debug, Clone)]
 struct InstancePower {
     idle_mw: u64,
-    dyn_mw: u64,
+    dyn_mw: Vec<u64>,
 }
 
 /// Phase-split context derived once per run (integer link parameters +
@@ -506,6 +570,11 @@ struct Shared<'a> {
     rates: FailureRates,
     power: InstancePower,
     cap_rps: f64,
+    /// DVFS operating points as controllers observe them (empty on
+    /// nominal-only runs).
+    clock_points: Vec<ClockPoint>,
+    /// Index of the nominal clock point in the step-cost table.
+    nominal_ci: u8,
     /// Phase-split parameters (`None` for monolithic serving).
     split: Option<SplitShared>,
     /// Tenant indices in admission order (priority class, then
@@ -648,6 +717,9 @@ struct CellCtl {
     rng: StdRng,
     modes: Vec<SlotMode>,
     weights: Vec<u64>,
+    /// Per-slot DVFS operating point (index into the table's clock grid;
+    /// all-nominal without a DVFS policy).
+    clocks: Vec<u8>,
     arrived_since: u64,
     arrived_by_class: [u64; 3],
     allow_best_effort: bool,
@@ -661,7 +733,14 @@ impl CellCtl {
     /// the per-instance streams (which mix with a different odd constant).
     const STREAM: u64 = 0x5EED_C311_0C7A_11E5;
 
-    fn new(ctrl: &CtrlConfig, seed: u64, cell_idx: u32, n_slots: usize, tick_s: f64) -> Self {
+    fn new(
+        ctrl: &CtrlConfig,
+        seed: u64,
+        cell_idx: u32,
+        n_slots: usize,
+        tick_s: f64,
+        nominal_ci: u8,
+    ) -> Self {
         let rng = StdRng::seed_from_u64(
             seed ^ Self::STREAM ^ (cell_idx as u64).wrapping_mul(0xD1B5_4A32_D192_ED03),
         );
@@ -674,6 +753,7 @@ impl CellCtl {
             rng,
             modes: vec![SlotMode::Live; n_slots],
             weights: vec![1; n_slots],
+            clocks: vec![nominal_ci; n_slots],
             arrived_since: 0,
             arrived_by_class: [0; 3],
             allow_best_effort: true,
@@ -716,12 +796,14 @@ impl CellCtl {
                 decode_capacity_rps: s.decode_capacity_rps,
                 kv_backlog_us: kv.map_or(0, |k| k.backlog_us(t_start_us)),
             }),
+            clock_points: shared.clock_points.clone(),
             slots: self
                 .modes
                 .iter()
                 .zip(insts)
                 .zip(phases.iter())
-                .map(|((m, inst), &phase)| InstanceObs {
+                .zip(&self.clocks)
+                .map(|(((m, inst), &phase), &clock)| InstanceObs {
                     mode: if !inst.up {
                         Mode::Down
                     } else {
@@ -733,6 +815,7 @@ impl CellCtl {
                         }
                     },
                     phase,
+                    clock,
                     queued: inst.queued(),
                     active: inst.active(),
                 })
@@ -806,6 +889,18 @@ impl CellCtl {
                     {
                         phases[s] = phase;
                         acc.phase_rebalances += 1;
+                    }
+                }
+                Command::SetClock { slot, clock } => {
+                    // Retunes take effect at the next data tick; an
+                    // out-of-grid index is a controller bug and ignored.
+                    let s = slot as usize;
+                    if s < insts.len()
+                        && (clock as usize) < shared.lut.num_clocks()
+                        && self.clocks[s] != clock
+                    {
+                        self.clocks[s] = clock;
+                        acc.clock_retunes += 1;
                     }
                 }
             }
@@ -895,7 +990,7 @@ fn simulate_cells(shared: &Shared<'_>, seed: u64, cell_lo: u32, cell_hi: u32) ->
     let rates = &shared.rates;
     let power = &shared.power;
     let n_tenants = cfg.workload.tenants.len();
-    let mut acc = ShardTotals::new(n_tenants);
+    let mut acc = ShardTotals::new(n_tenants, shared.lut.num_clocks());
     let ticks = cfg.num_ticks();
     let tick_us = knobs.tick_us;
     for cell_idx in cell_lo..cell_hi {
@@ -928,10 +1023,16 @@ fn simulate_cells(shared: &Shared<'_>, seed: u64, cell_lo: u32, cell_hi: u32) ->
             .as_ref()
             .map(|s| KvLinkState::new(s.kv_bytes_per_s, s.kv_max_backlog_us));
         let mut traffic = CellTraffic::new(seed, cell_idx, n_tenants, insts.len());
-        let mut ctl = cfg
-            .ctrl
-            .as_ref()
-            .map(|c| CellCtl::new(c, seed, cell_idx, insts.len(), cfg.tick_s));
+        let mut ctl = cfg.ctrl.as_ref().map(|c| {
+            CellCtl::new(
+                c,
+                seed,
+                cell_idx,
+                insts.len(),
+                cfg.tick_s,
+                shared.nominal_ci,
+            )
+        });
         for tick in 0..ticks {
             let t_start = tick as u64 * tick_us;
             cell.reclaim_repaired(t_start);
@@ -977,22 +1078,39 @@ fn simulate_cells(shared: &Shared<'_>, seed: u64, cell_lo: u32, cell_hi: u32) ->
             traffic.route_tick(tick, shared, ctl.as_mut(), &phases, &mut insts, &mut acc);
             for (i, inst) in insts.iter_mut().enumerate() {
                 let mode = ctl.as_ref().map_or(SlotMode::Live, |c| c.modes[i]);
-                let spent = if mode == SlotMode::Live {
-                    inst.serve(tick, shared.lut, knobs, phases[i], kv.as_mut(), &mut acc)
+                let ci = ctl.as_ref().map_or(shared.nominal_ci, |c| c.clocks[i]) as usize;
+                let (spent, nominal_spent) = if mode == SlotMode::Live {
+                    inst.serve(
+                        tick,
+                        shared.lut,
+                        knobs,
+                        phases[i],
+                        ci as u8,
+                        kv.as_mut(),
+                        &mut acc,
+                    )
                 } else {
-                    0
+                    (0, 0)
                 };
                 // Energy: powered states only. A down instance draws
                 // nothing (its unit is out for swap/repair); a gated
                 // (cold) instance draws nothing — that is the §3 win.
+                // Dynamic power bills at the slot's operating point; the
+                // nominal-clock counterfactual of the same served work
+                // accumulates beside it, so the report can state exactly
+                // what serving-time DVFS saved.
                 if inst.up {
                     match mode {
                         SlotMode::Live => {
-                            acc.energy_uj +=
-                                (power.idle_mw * tick_us + power.dyn_mw * spent) / 1000;
+                            let dyn_uj = power.dyn_mw[ci] * spent / 1000;
+                            acc.energy_uj += (power.idle_mw * tick_us) / 1000 + dyn_uj;
                             acc.idle_energy_uj +=
                                 power.idle_mw * (tick_us - spent.min(tick_us)) / 1000;
                             acc.live_ticks += 1;
+                            acc.clock_ticks[ci] += 1;
+                            acc.dvfs_dyn_uj += dyn_uj;
+                            acc.dvfs_nominal_dyn_uj +=
+                                power.dyn_mw[shared.nominal_ci as usize] * nominal_spent / 1000;
                             match phases[i] {
                                 Phase::Prefill => acc.prefill_live_ticks += 1,
                                 Phase::Decode => acc.decode_live_ticks += 1,
@@ -1025,7 +1143,21 @@ fn simulate_cells(shared: &Shared<'_>, seed: u64, cell_lo: u32, cell_hi: u32) ->
 /// byte-identical for any `(shards, threads)`.
 pub fn run_sharded(cfg: &FleetConfig, seed: u64, shards: u32, threads: u32) -> Result<FleetReport> {
     cfg.validate()?;
-    let lut = StepCostTable::build(&cfg.gpu, &cfg.arch, cfg.gpus_per_instance, &cfg.params)?;
+    // A DVFS-controlled fleet prices the full SLO_MIN_CLOCK..=1.0
+    // operating-point grid; everything else prices nominal only (same
+    // table, one clock row).
+    let clocks: Vec<f64> = if cfg.dvfs_enabled() {
+        power_mgmt::operating_points()
+    } else {
+        vec![1.0]
+    };
+    let lut = StepCostTable::build_with_clocks(
+        &cfg.gpu,
+        &cfg.arch,
+        cfg.gpus_per_instance,
+        &cfg.params,
+        &clocks,
+    )?;
     let ticks = cfg.num_ticks();
     let knobs = cfg.knobs();
     let tenants_meta = cfg.tenant_meta(&knobs);
@@ -1033,8 +1165,10 @@ pub fn run_sharded(cfg: &FleetConfig, seed: u64, shards: u32, threads: u32) -> R
         cfg,
         lut: &lut,
         rates: cfg.failure_rates(),
-        power: cfg.instance_power(),
+        power: cfg.instance_power(lut.clock_points()),
         cap_rps: cfg.capacity_rps(&lut),
+        clock_points: cfg.clock_obs(&lut, &knobs),
+        nominal_ci: lut.nominal_clock_idx() as u8,
         split: match &cfg.serving {
             ServingMode::Monolithic => None,
             ServingMode::PhaseSplit {
@@ -1044,8 +1178,8 @@ pub fn run_sharded(cfg: &FleetConfig, seed: u64, shards: u32, threads: u32) -> R
                 prefill_fraction: *prefill_fraction,
                 kv_bytes_per_s: (kv_link.bandwidth_gbps * 1e9).round() as u64,
                 kv_max_backlog_us: (kv_link.max_backlog_s * 1e6).round() as u64,
-                prefill_capacity_rps: cfg.prefill_capacity_rps(&lut),
-                decode_capacity_rps: cfg.decode_capacity_rps(&lut),
+                prefill_capacity_rps: cfg.prefill_capacity_rps_at(&lut, lut.nominal_clock_idx()),
+                decode_capacity_rps: cfg.decode_capacity_rps_at(&lut, lut.nominal_clock_idx()),
             }),
         },
         priority_order: cfg.workload.priority_order(),
@@ -1100,7 +1234,7 @@ pub fn run_sharded(cfg: &FleetConfig, seed: u64, shards: u32, threads: u32) -> R
         });
     }
 
-    let mut totals = ShardTotals::new(cfg.workload.tenants.len());
+    let mut totals = ShardTotals::new(cfg.workload.tenants.len(), lut.num_clocks());
     for slot in &slots {
         totals.merge(slot.as_ref().expect("every shard simulated"));
     }
@@ -1116,6 +1250,11 @@ pub fn run_sharded(cfg: &FleetConfig, seed: u64, shards: u32, threads: u32) -> R
                 .map_or_else(|| "none".to_string(), |c| c.label()),
             serving: cfg.serving.label(),
             phase_split: !matches!(cfg.serving, ServingMode::Monolithic),
+            clock_points: if cfg.dvfs_enabled() {
+                lut.clock_points().to_vec()
+            } else {
+                Vec::new()
+            },
             instances: cfg.instances,
             gpus_per_instance: cfg.gpus_per_instance,
             cells,
@@ -1484,6 +1623,97 @@ mod tests {
         let mut c = small_split_cfg();
         c.cell_size = 1;
         assert!(run_sharded(&c, 1, 1, 1).is_err());
+    }
+
+    fn small_dvfs_cfg() -> FleetConfig {
+        let mut c = small_ctrl_cfg();
+        c.ctrl = c.ctrl.map(|ctrl| ctrl.with_dvfs());
+        c
+    }
+
+    #[test]
+    fn dvfs_fleet_saves_energy_and_reports_its_clocks() {
+        let nominal = run_sharded(&small_ctrl_cfg(), 9, 2, 2).unwrap();
+        assert!(nominal.dvfs.is_none(), "no dvfs policy, no dvfs section");
+        let dvfs = run_sharded(&small_dvfs_cfg(), 9, 2, 2).unwrap();
+        assert_eq!(
+            dvfs.controller,
+            "autoscale+dvfs+gate(GateToEfficiency)+route"
+        );
+        let d = dvfs.dvfs.as_ref().expect("dvfs run has a dvfs section");
+        // The grid spans SLO_MIN_CLOCK..=1.0 and the quiet demo fleet
+        // spends real time below nominal.
+        assert_eq!(d.clock_points.last(), Some(&1.0));
+        assert!(d.clock_points.len() >= 3);
+        assert!((d.clock_tick_share.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(d.downclocked_share > 0.5, "share {}", d.downclocked_share);
+        assert!(d.mean_clock < 1.0 && d.mean_clock >= d.clock_points[0]);
+        assert!(d.retunes > 0);
+        // Down-clocking buys real energy at near-equal served volume...
+        assert!(d.energy_saved_j > 0);
+        assert_eq!(d.nominal_dyn_energy_j, d.dyn_energy_j + d.energy_saved_j);
+        assert!(
+            dvfs.energy_per_token_j < 0.9 * nominal.energy_per_token_j,
+            "dvfs {} vs nominal {}",
+            dvfs.energy_per_token_j,
+            nominal.energy_per_token_j
+        );
+        assert!(dvfs.completed as f64 > 0.99 * nominal.completed as f64);
+        // ...without giving up interactive SLO attainment.
+        assert!(dvfs.ttft_attainment > nominal.ttft_attainment - 0.005);
+    }
+
+    #[test]
+    fn dvfs_report_is_sharding_invariant() {
+        let cfg = small_dvfs_cfg();
+        let base = run_sharded(&cfg, 17, 1, 1).unwrap();
+        for (shards, threads) in [(2, 1), (3, 2), (6, 8)] {
+            let r = run_sharded(&cfg, 17, shards, threads).unwrap();
+            assert_eq!(
+                r.to_json(),
+                base.to_json(),
+                "shards={shards} threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn dvfs_composes_with_phase_split_pools() {
+        let mut cfg = small_dvfs_cfg();
+        cfg.instances = 24;
+        cfg.cell_size = 8;
+        cfg.failure_acceleration = 0.0;
+        cfg.workload.rate_per_instance_s = 3.0;
+        cfg = cfg.with_phase_split();
+        let r = run_sharded(&cfg, 13, 3, 2).unwrap();
+        assert!(r.serving.starts_with("phase-split"));
+        let d = r.dvfs.as_ref().expect("dvfs section");
+        assert!(d.downclocked_share > 0.0);
+        assert!(r.kv_transfer.is_some());
+        assert!(r.completed > 0);
+        let base = run_sharded(&cfg, 13, 1, 1).unwrap();
+        assert_eq!(r.to_json(), base.to_json());
+    }
+
+    #[test]
+    fn dvfs_demand_pressure_raises_clocks() {
+        // The same fleet under crushing demand must serve closer to
+        // nominal than the quiet fleet: the EWMA + backlog guard refuses
+        // operating points whose throughput cannot cover demand.
+        let mut quiet = small_dvfs_cfg();
+        quiet.failure_acceleration = 0.0;
+        quiet.workload.rate_per_instance_s = 0.5;
+        let mut busy = quiet.clone();
+        busy.workload.rate_per_instance_s = 20.0;
+        let q = run_sharded(&quiet, 7, 2, 2).unwrap();
+        let b = run_sharded(&busy, 7, 2, 2).unwrap();
+        let (qd, bd) = (q.dvfs.unwrap(), b.dvfs.unwrap());
+        assert!(
+            bd.mean_clock > qd.mean_clock + 0.05,
+            "busy {} vs quiet {}",
+            bd.mean_clock,
+            qd.mean_clock
+        );
     }
 
     #[test]

@@ -69,7 +69,7 @@ pub use hist::LatencyHistogram;
 pub use litegpu_ctrl as ctrl;
 pub use litegpu_ctrl::Phase;
 pub use provision::{spares_for_target, SpareSearch};
-pub use report::{FleetReport, KvTransferReport, TenantReport};
+pub use report::{DvfsReport, FleetReport, KvTransferReport, TenantReport};
 pub use traffic::{LengthDist, TrafficModel, TrafficPattern};
 pub use workload::{PriorityClass, Tenant, WorkloadSpec};
 

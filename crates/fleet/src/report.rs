@@ -38,6 +38,9 @@ pub(crate) struct RunMeta {
     /// Whether the run served phase-split (gates the `kv_transfer`
     /// report section).
     pub phase_split: bool,
+    /// The DVFS operating-point grid the run priced (empty on
+    /// nominal-only runs; gates the `dvfs` report section).
+    pub clock_points: Vec<f64>,
     /// Model instances simulated.
     pub instances: u32,
     /// GPUs per instance.
@@ -161,6 +164,38 @@ pub struct KvTransferReport {
     pub decode_pool_mean: f64,
 }
 
+/// The DVFS section of a clock-aware fleet run: where the live pool
+/// actually served on the operating-point grid, and what that bought
+/// against the nominal-clock counterfactual of the same served work.
+/// Present only when the control plane ran the DVFS policy.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DvfsReport {
+    /// The priced operating points (clock factors), ascending, last
+    /// nominal.
+    pub clock_points: Vec<f64>,
+    /// Fraction of live instance-ticks served at each point (the clock
+    /// histogram; sums to 1 over a run with any live time).
+    pub clock_tick_share: Vec<f64>,
+    /// Live-tick-weighted mean clock factor.
+    pub mean_clock: f64,
+    /// Fraction of live instance-ticks spent below the nominal clock.
+    pub downclocked_share: f64,
+    /// `SetClock` retunes applied by the data plane.
+    pub retunes: u64,
+    /// Dynamic serving energy actually drawn, joules.
+    pub dyn_energy_j: u64,
+    /// Dynamic energy the same served work would have drawn at the
+    /// nominal clock, joules.
+    pub nominal_dyn_energy_j: u64,
+    /// Energy saved versus the nominal-clock counterfactual, joules
+    /// (the idle floor is identical in both worlds, so this is exactly
+    /// `nominal_dyn − dyn`).
+    pub energy_saved_j: u64,
+    /// Saved fraction of the counterfactual total
+    /// (`saved / (energy + saved)`).
+    pub energy_saved_frac: f64,
+}
+
 /// Aggregated results of a fleet run.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct FleetReport {
@@ -261,6 +296,9 @@ pub struct FleetReport {
     /// KV-transfer accounting (phase-split runs only; `null` under
     /// monolithic serving).
     pub kv_transfer: Option<KvTransferReport>,
+    /// DVFS accounting (clock histogram + energy saved vs nominal;
+    /// `null` unless the control plane ran the DVFS policy).
+    pub dvfs: Option<DvfsReport>,
 }
 
 impl FleetReport {
@@ -282,6 +320,44 @@ impl FleetReport {
         // Fleet-level attainments aggregate the per-tenant books (each
         // against its own SLO target).
         let sum = |f: fn(&TenantTotals) -> u64| totals.per_tenant.iter().map(f).sum::<u64>();
+        let dvfs = (!meta.clock_points.is_empty()).then(|| {
+            let live = totals.live_ticks.max(1) as f64;
+            let nominal_idx = meta.clock_points.len() - 1;
+            // Round to joules first so `saved = nominal − dyn` holds
+            // exactly on the reported integers.
+            let dyn_j = totals.dvfs_dyn_uj / 1_000_000;
+            let nominal_dyn_j = totals.dvfs_nominal_dyn_uj / 1_000_000;
+            let saved_j = nominal_dyn_j.saturating_sub(dyn_j);
+            let counterfactual_j = totals.energy_uj / 1_000_000 + saved_j;
+            DvfsReport {
+                clock_points: meta.clock_points.clone(),
+                clock_tick_share: totals
+                    .clock_ticks
+                    .iter()
+                    .map(|&t| t as f64 / live)
+                    .collect(),
+                mean_clock: meta
+                    .clock_points
+                    .iter()
+                    .zip(&totals.clock_ticks)
+                    .map(|(c, &t)| c * t as f64)
+                    .sum::<f64>()
+                    / live,
+                downclocked_share: totals.clock_ticks[..nominal_idx]
+                    .iter()
+                    .map(|&t| t as f64 / live)
+                    .sum(),
+                retunes: totals.clock_retunes,
+                dyn_energy_j: dyn_j,
+                nominal_dyn_energy_j: nominal_dyn_j,
+                energy_saved_j: saved_j,
+                energy_saved_frac: if counterfactual_j == 0 {
+                    0.0
+                } else {
+                    saved_j as f64 / counterfactual_j as f64
+                },
+            }
+        });
         let kv_transfer = meta.phase_split.then(|| {
             let link_time_us = meta.cells as u128 * (meta.horizon_s * 1e6) as u128;
             KvTransferReport {
@@ -350,6 +426,7 @@ impl FleetReport {
             e2e_p99_s: totals.e2e.percentile_s(99.0),
             per_tenant,
             kv_transfer,
+            dvfs,
         }
     }
 
@@ -408,6 +485,34 @@ impl FleetReport {
         }
     }
 
+    /// `(TTFT, TBT)` attainment of the first [`PriorityClass::Interactive`]
+    /// tenant — the pair the DVFS energy-vs-latency headlines compare at —
+    /// or `None` when the workload has no interactive tenant (callers must
+    /// not fabricate a vacuous 1.0).
+    pub fn interactive_attainment(&self) -> Option<(f64, f64)> {
+        self.per_tenant
+            .iter()
+            .find(|t| t.priority == PriorityClass::Interactive.label())
+            .map(|t| (t.ttft_attainment, t.tbt_attainment))
+    }
+
+    /// One-line DVFS summary (clock-aware runs), or a note that the run
+    /// served at the nominal clock only.
+    pub fn dvfs_summary(&self) -> String {
+        match &self.dvfs {
+            None => "dvfs: n/a (nominal clock)".to_string(),
+            Some(d) => format!(
+                "dvfs: mean clock {:.3}, {:.1}% of live ticks down-clocked, {} retunes, \
+                 saved {:.2} MJ vs nominal ({:.1}%)",
+                d.mean_clock,
+                100.0 * d.downclocked_share,
+                d.retunes,
+                d.energy_saved_j as f64 / 1e6,
+                100.0 * d.energy_saved_frac,
+            ),
+        }
+    }
+
     /// Multi-line per-tenant SLO table (name, class, volumes, shed and
     /// attainment), for binaries and examples.
     pub fn tenant_summary(&self) -> String {
@@ -435,7 +540,7 @@ mod tests {
     use super::*;
 
     fn totals() -> ShardTotals {
-        let mut t = ShardTotals::new(2);
+        let mut t = ShardTotals::new(2, 1);
         t.arrived = 100;
         t.completed = 90;
         t.generated_tokens = 45_000;
@@ -489,6 +594,7 @@ mod tests {
             controller: "autoscale+gate(DvfsAll)+route".into(),
             serving: "monolithic".into(),
             phase_split: false,
+            clock_points: Vec::new(),
             instances: 100,
             gpus_per_instance: 2,
             cells: 10,
@@ -550,6 +656,15 @@ mod tests {
         assert_eq!(b.priority, "best-effort");
         assert_eq!(b.shed, 5);
         assert!(b.e2e_p99_s > a.e2e_p99_s);
+        // The headline helper resolves the interactive tenant's pair —
+        // and refuses to fabricate one when no interactive tenant exists.
+        assert_eq!(
+            r.interactive_attainment(),
+            Some((a.ttft_attainment, a.tbt_attainment))
+        );
+        let mut no_interactive = r.clone();
+        no_interactive.per_tenant.remove(0);
+        assert_eq!(no_interactive.interactive_attainment(), None);
     }
 
     #[test]
@@ -601,6 +716,43 @@ mod tests {
             assert!(json.contains(key), "missing {key}");
         }
         assert!(r.kv_summary().contains("GB moved"));
+    }
+
+    #[test]
+    fn nominal_runs_have_no_dvfs_section() {
+        let r = FleetReport::finalize(&totals(), meta());
+        assert!(r.dvfs.is_none());
+        assert!(r.to_json().contains("\"dvfs\": null"));
+        assert_eq!(r.dvfs_summary(), "dvfs: n/a (nominal clock)");
+    }
+
+    #[test]
+    fn dvfs_section_derives_from_integer_totals() {
+        let mut t = totals();
+        t.clock_ticks = vec![9_000_000, 3_000_000, 6_000_000];
+        t.live_ticks = 18_000_000;
+        t.clock_retunes = 40;
+        t.dvfs_dyn_uj = 4_000_000_000; // 4 kJ drawn...
+        t.dvfs_nominal_dyn_uj = 7_000_000_000; // ...vs 7 kJ at nominal.
+        let mut m = meta();
+        m.clock_points = vec![0.75, 0.9, 1.0];
+        let r = FleetReport::finalize(&t, m);
+        let d = r.dvfs.as_ref().expect("clock-aware run has dvfs section");
+        assert_eq!(d.clock_points, vec![0.75, 0.9, 1.0]);
+        assert_eq!(d.clock_tick_share, vec![0.5, 1.0 / 6.0, 1.0 / 3.0]);
+        // 0.5×0.75 + (1/6)×0.9 + (1/3)×1.0.
+        assert!((d.mean_clock - (0.375 + 0.15 + 1.0 / 3.0)).abs() < 1e-12);
+        assert!((d.downclocked_share - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(d.retunes, 40);
+        assert_eq!(d.dyn_energy_j, 4_000);
+        assert_eq!(d.nominal_dyn_energy_j, 7_000);
+        assert_eq!(d.energy_saved_j, 3_000);
+        // Counterfactual total = 9 kJ actual + 3 kJ saved.
+        assert!((d.energy_saved_frac - 0.25).abs() < 1e-12);
+        assert!(r.dvfs_summary().contains("saved"));
+        for key in ["clock_tick_share", "mean_clock", "energy_saved_frac"] {
+            assert!(r.to_json().contains(key), "missing {key}");
+        }
     }
 
     #[test]

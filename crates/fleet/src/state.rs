@@ -352,6 +352,20 @@ pub(crate) struct ShardTotals {
     pub prefill_live_ticks: u64,
     /// Instance-ticks spent live in the decode pool.
     pub decode_live_ticks: u64,
+    /// Live instance-ticks spent at each DVFS operating point, indexed by
+    /// clock-grid index (one slot per priced point; a single-slot vector
+    /// on nominal-only runs). Sums to `live_ticks`.
+    pub clock_ticks: Vec<u64>,
+    /// `SetClock` retunes the data plane actually applied (commands that
+    /// changed a slot's operating point).
+    pub clock_retunes: u64,
+    /// Dynamic serving energy actually drawn, microjoules (at each
+    /// slot's operating point).
+    pub dvfs_dyn_uj: u64,
+    /// Counterfactual dynamic energy had the same served work run at the
+    /// nominal clock, microjoules. `nominal − actual` is the energy DVFS
+    /// saved; the idle floor is identical in both worlds.
+    pub dvfs_nominal_dyn_uj: u64,
     pub ttft: LatencyHistogram,
     pub tbt: LatencyHistogram,
     pub e2e: LatencyHistogram,
@@ -362,12 +376,13 @@ pub(crate) struct ShardTotals {
 }
 
 impl ShardTotals {
-    pub fn new(n_tenants: usize) -> Self {
+    pub fn new(n_tenants: usize, n_clocks: usize) -> Self {
         Self {
             ttft: LatencyHistogram::new(),
             tbt: LatencyHistogram::new(),
             e2e: LatencyHistogram::new(),
             kv_delay: LatencyHistogram::new(),
+            clock_ticks: vec![0; n_clocks.max(1)],
             per_tenant: (0..n_tenants).map(|_| TenantTotals::new()).collect(),
             ..Default::default()
         }
@@ -402,6 +417,13 @@ impl ShardTotals {
         self.phase_rebalances += other.phase_rebalances;
         self.prefill_live_ticks += other.prefill_live_ticks;
         self.decode_live_ticks += other.decode_live_ticks;
+        debug_assert_eq!(self.clock_ticks.len(), other.clock_ticks.len());
+        for (a, b) in self.clock_ticks.iter_mut().zip(&other.clock_ticks) {
+            *a += b;
+        }
+        self.clock_retunes += other.clock_retunes;
+        self.dvfs_dyn_uj += other.dvfs_dyn_uj;
+        self.dvfs_nominal_dyn_uj += other.dvfs_nominal_dyn_uj;
         self.ttft.merge(&other.ttft);
         self.tbt.merge(&other.tbt);
         self.e2e.merge(&other.e2e);
@@ -611,8 +633,15 @@ impl InstanceState {
     }
 
     /// Serves one tick according to the instance's phase role, spending
-    /// `tick_us` plus any carried budget. Returns the serving time spent
-    /// this tick, µs (what dynamic energy accounting bills).
+    /// `tick_us` plus any carried budget — with every step priced at the
+    /// instance's current DVFS operating point `clock` (an index into the
+    /// table's clock grid; down-clocked steps take longer, which is
+    /// exactly how the energy-vs-latency trade reaches TTFT/TBT).
+    /// Returns `(spent, nominal_spent)`, µs: the serving time actually
+    /// spent this tick (what dynamic energy accounting bills at the
+    /// operating point's power) and the time the same served work would
+    /// have taken at the nominal clock (the counterfactual the
+    /// energy-saved accounting is measured against).
     ///
     /// - [`Phase::Mixed`] interleaves prefill (prioritized) and decode,
     ///   as a conventional continuous-batching server does; the tick's
@@ -624,24 +653,29 @@ impl InstanceState {
     /// - [`Phase::Decode`] runs pure decode steps over cohorts delivered
     ///   via [`InstanceState::admit_decode_cohort`], with no prefill
     ///   interference ever.
+    #[allow(clippy::too_many_arguments)]
     pub fn serve(
         &mut self,
         tick: u32,
         lut: &StepCostTable,
         knobs: &ServeKnobs,
         phase: Phase,
+        clock: u8,
         mut kv: Option<&mut KvLinkState>,
         acc: &mut ShardTotals,
-    ) -> u64 {
+    ) -> (u64, u64) {
         if !self.up {
-            return 0;
+            return (0, 0);
         }
         if self.queued == 0 && self.active == 0 {
             self.carry_us = 0;
-            return 0;
+            return (0, 0);
         }
+        let ci = clock as usize;
+        let nom = lut.nominal_clock_idx();
         let budget0 = knobs.tick_us + self.carry_us;
         let mut budget = budget0;
+        let mut nominal_spent = 0u64;
         let t_start_us = tick as u64 * knobs.tick_us;
         let mut kv_stalled = false;
 
@@ -695,12 +729,17 @@ impl InstanceState {
                 }
                 b += run.count.min(cap - b);
             }
-            let cost = tk.prefill_cost_us(lut.prefill_us(b));
+            let cost = tk.prefill_cost_us(lut.prefill_us_at(ci, b));
             if budget < cost {
                 break;
             }
             budget -= cost;
             prefill_spent += cost;
+            nominal_spent += if ci == nom {
+                cost
+            } else {
+                tk.prefill_cost_us(lut.prefill_us(b))
+            };
             // Pop b across the runs, recording TTFT per non-retry run
             // (each run keeps its own queueing delay); the cohort's e2e
             // clock starts at the oldest popped run's arrival. Under
@@ -771,7 +810,7 @@ impl InstanceState {
         // time; dedicated decode instances never pay that.
         let mut stall_us = prefill_spent;
         while phase != Phase::Prefill && self.active > 0 {
-            let d = lut.decode_step_us(self.active);
+            let d = lut.decode_step_us_at(ci, self.active);
             let affordable = budget / d;
             if affordable == 0 {
                 break;
@@ -784,6 +823,12 @@ impl InstanceState {
             let run = affordable.min(next_finish - self.steps_done).max(1);
             self.steps_done += run;
             budget -= run * d;
+            nominal_spent += run
+                * if ci == nom {
+                    d
+                } else {
+                    lut.decode_step_us(self.active)
+                };
             acc.generated_tokens += run * self.active as u64;
             acc.decode_steps += run;
             if stall_us > 0 {
@@ -834,7 +879,7 @@ impl InstanceState {
         } else {
             budget
         };
-        budget0 - budget
+        (budget0 - budget, nominal_spent)
     }
 
     /// Admits a transferred cohort into this (decode-phase) instance's
@@ -939,11 +984,11 @@ mod tests {
     fn requests_flow_to_completion() {
         let lut = lut();
         let knobs = knobs();
-        let mut acc = ShardTotals::new(1);
+        let mut acc = ShardTotals::new(1, 1);
         let mut inst = InstanceState::new(1, 0, &no_failures(), 1);
         for tick in 0..120u32 {
             poisson_arrivals(&mut inst, tick, 2.0, &knobs, &mut acc);
-            inst.serve(tick, &lut, &knobs, Phase::Mixed, None, &mut acc);
+            inst.serve(tick, &lut, &knobs, Phase::Mixed, 0, None, &mut acc);
         }
         assert!(acc.arrived > 150, "arrived = {}", acc.arrived);
         assert!(acc.completed > 0, "completed = {}", acc.completed);
@@ -963,14 +1008,14 @@ mod tests {
         let lut = lut();
         let mut knobs = knobs();
         knobs.max_queue = 5;
-        let mut acc = ShardTotals::new(1);
+        let mut acc = ShardTotals::new(1, 1);
         let mut inst = InstanceState::new(2, 0, &no_failures(), 1);
         // Down instance: arrivals accumulate, nothing serves.
         inst.up = false;
         inst.down_until_us = u64::MAX;
         for tick in 0..50u32 {
             poisson_arrivals(&mut inst, tick, 5.0, &knobs, &mut acc);
-            inst.serve(tick, &lut, &knobs, Phase::Mixed, None, &mut acc);
+            inst.serve(tick, &lut, &knobs, Phase::Mixed, 0, None, &mut acc);
         }
         assert!(acc.rejected > 0);
         assert_eq!(acc.per_tenant[0].rejected, acc.rejected);
@@ -1006,7 +1051,7 @@ mod tests {
                 },
             ],
         };
-        let mut acc = ShardTotals::new(2);
+        let mut acc = ShardTotals::new(2, 1);
         let mut inst = InstanceState::new(3, 0, &no_failures(), 2);
         for tick in 0..200u32 {
             for tenant in 0..2u16 {
@@ -1014,7 +1059,7 @@ mod tests {
                 acc.per_tenant[tenant as usize].arrived += 1;
                 inst.push_arrivals(tick, 1, tenant, &knobs, &mut acc);
             }
-            inst.serve(tick, &lut, &knobs, Phase::Mixed, None, &mut acc);
+            inst.serve(tick, &lut, &knobs, Phase::Mixed, 0, None, &mut acc);
         }
         let (a, b) = (&acc.per_tenant[0], &acc.per_tenant[1]);
         assert!(a.completed > 0 && b.completed > 0);
@@ -1046,11 +1091,11 @@ mod tests {
         );
         knobs.tenants[0].output_len = LengthDist::geometric(5000);
         knobs.tick_us = lut.prefill_us(2);
-        let mut acc = ShardTotals::new(1);
+        let mut acc = ShardTotals::new(1, 1);
         let mut inst = InstanceState::new(8, 0, &no_failures(), 1);
         inst.push_arrivals(0, 1, 0, &knobs, &mut acc);
         inst.push_arrivals(0, 1, 0, &knobs, &mut acc);
-        inst.serve(0, &lut, &knobs, Phase::Mixed, None, &mut acc);
+        inst.serve(0, &lut, &knobs, Phase::Mixed, 0, None, &mut acc);
         assert_eq!(inst.active(), 2, "both runs must prefill in one launch");
         assert_eq!(acc.per_tenant[0].ttft_recorded, 2);
 
@@ -1060,11 +1105,11 @@ mod tests {
             tenants: vec![knobs.tenants[0]; 2],
             ..knobs.clone()
         };
-        let mut acc = ShardTotals::new(2);
+        let mut acc = ShardTotals::new(2, 1);
         let mut inst = InstanceState::new(8, 0, &no_failures(), 2);
         inst.push_arrivals(0, 1, 0, &knobs2, &mut acc);
         inst.push_arrivals(0, 1, 1, &knobs2, &mut acc);
-        inst.serve(0, &lut, &knobs2, Phase::Mixed, None, &mut acc);
+        inst.serve(0, &lut, &knobs2, Phase::Mixed, 0, None, &mut acc);
         assert_eq!(inst.active(), 1, "tenant boundary splits the launch");
         assert_eq!(inst.queued(), 1);
     }
@@ -1121,7 +1166,7 @@ mod tests {
             swap_us: 1_500_000,    // 1.5 ticks.
             repair_us: 3_600_000_000,
         };
-        let mut acc = ShardTotals::new(1);
+        let mut acc = ShardTotals::new(1, 1);
         let mut cell = CellState::new(1);
         let mut inst = InstanceState::new(3, 0, &rates, 1);
         // Long outputs so the cohorts are still decoding when the
@@ -1133,7 +1178,7 @@ mod tests {
         acc.arrived += 8;
         acc.per_tenant[0].arrived += 8;
         inst.push_arrivals(0, 8, 0, &knobs, &mut acc);
-        inst.serve(0, &lut, &knobs, Phase::Mixed, None, &mut acc);
+        inst.serve(0, &lut, &knobs, Phase::Mixed, 0, None, &mut acc);
         assert!(inst.active > 0);
         let active_before = inst.active as u64;
         // Force the failure into tick 1.
@@ -1163,7 +1208,7 @@ mod tests {
             swap_us: 1_000_000,
             repair_us: 10_000_000,
         };
-        let mut acc = ShardTotals::new(1);
+        let mut acc = ShardTotals::new(1, 1);
         let mut cell = CellState::new(0);
         let mut inst = InstanceState::new(4, 0, &rates, 1);
         inst.next_failure_us = 500_000;
@@ -1183,7 +1228,7 @@ mod tests {
     fn kv_link_prices_queues_and_backpressures() {
         // 1 MB/s link: a 1 MB transfer takes exactly 1 s of link time.
         let mut link = KvLinkState::new(1_000_000, 1_500_000);
-        let mut acc = ShardTotals::new(1);
+        let mut acc = ShardTotals::new(1, 1);
         let tk = knobs().tenants[0];
         link.enqueue(0, 0, 1, 100, 0, 1_000_000, &[(200_000, 1)], &mut acc);
         assert_eq!(acc.kv_transfers, 1);
@@ -1216,14 +1261,24 @@ mod tests {
     fn prefill_phase_hands_off_instead_of_decoding() {
         let lut = lut();
         let knobs = knobs();
-        let mut acc = ShardTotals::new(1);
+        let mut acc = ShardTotals::new(1, 1);
         let mut link = KvLinkState::new(1_000_000_000_000, 1_000_000);
         let mut inst = InstanceState::new(5, 0, &no_failures(), 1);
         acc.arrived += 4;
         acc.per_tenant[0].arrived += 4;
         inst.push_arrivals(0, 4, 0, &knobs, &mut acc);
-        let spent = inst.serve(0, &lut, &knobs, Phase::Prefill, Some(&mut link), &mut acc);
+        let (spent, nominal_spent) = inst.serve(
+            0,
+            &lut,
+            &knobs,
+            Phase::Prefill,
+            0,
+            Some(&mut link),
+            &mut acc,
+        );
         assert!(spent > 0);
+        // A nominal-only table prices both worlds identically.
+        assert_eq!(spent, nominal_spent);
         // The cohort left for the link: nothing decodes locally...
         assert_eq!(inst.active(), 0);
         assert_eq!(acc.kv_transfers, 1);
@@ -1240,11 +1295,11 @@ mod tests {
     fn decode_phase_admits_cohorts_and_never_prefills() {
         let lut = lut();
         let knobs = knobs();
-        let mut acc = ShardTotals::new(1);
+        let mut acc = ShardTotals::new(1, 1);
         let mut inst = InstanceState::new(6, 0, &no_failures(), 1);
         // Queued prompts on a decode instance must not prefill.
         inst.push_arrivals(0, 2, 0, &knobs, &mut acc);
-        inst.serve(0, &lut, &knobs, Phase::Decode, None, &mut acc);
+        inst.serve(0, &lut, &knobs, Phase::Decode, 0, None, &mut acc);
         assert_eq!(inst.active(), 0);
         assert_eq!(inst.queued(), 2);
         // Delivered cohorts decode to completion.
@@ -1259,7 +1314,7 @@ mod tests {
             ttfts: Vec::new(),
         });
         assert_eq!(inst.active(), 3);
-        inst.serve(1, &lut, &knobs, Phase::Decode, None, &mut acc);
+        inst.serve(1, &lut, &knobs, Phase::Decode, 0, None, &mut acc);
         assert_eq!(acc.completed, 3);
         assert_eq!(acc.generated_tokens, 30);
         assert_eq!(acc.per_tenant[0].completed, 3);
@@ -1269,7 +1324,7 @@ mod tests {
     fn requeued_runs_move_between_instances_without_recounting() {
         let lut = lut();
         let knobs = knobs();
-        let mut acc = ShardTotals::new(1);
+        let mut acc = ShardTotals::new(1, 1);
         let mut decode = InstanceState::new(7, 0, &no_failures(), 1);
         let mut prefill = InstanceState::new(7, 1, &no_failures(), 1);
         // Failure-requeued runs sit on the decode instance's queue.
@@ -1284,7 +1339,7 @@ mod tests {
         // The move is pure plumbing: no routing counters change.
         assert_eq!(acc.routed, routed_before);
         // And the work still serves (e2e clock kept the arrival tick).
-        prefill.serve(4, &lut, &knobs, Phase::Mixed, None, &mut acc);
+        prefill.serve(4, &lut, &knobs, Phase::Mixed, 0, None, &mut acc);
         assert!(prefill.active() > 0);
     }
 
@@ -1296,7 +1351,7 @@ mod tests {
         let lut = lut();
         let mut knobs = knobs();
         knobs.tick_us = 2_000_000;
-        let mut acc = ShardTotals::new(1);
+        let mut acc = ShardTotals::new(1, 1);
         let mut inst = InstanceState::new(8, 0, &no_failures(), 1);
         // Seed a running batch, then add fresh prompts.
         inst.admit_decode_cohort(&KvTransfer {
@@ -1310,7 +1365,7 @@ mod tests {
             ttfts: Vec::new(),
         });
         inst.push_arrivals(0, 4, 0, &knobs, &mut acc);
-        inst.serve(0, &lut, &knobs, Phase::Mixed, None, &mut acc);
+        inst.serve(0, &lut, &knobs, Phase::Mixed, 0, None, &mut acc);
         let prefill_cost = lut.prefill_us(4);
         let d = lut.decode_step_us(12);
         // The TBT histogram saw at least one sample ≥ prefill + step.
@@ -1320,8 +1375,8 @@ mod tests {
 
     #[test]
     fn totals_merge_is_addition() {
-        let mut a = ShardTotals::new(2);
-        let mut b = ShardTotals::new(2);
+        let mut a = ShardTotals::new(2, 1);
+        let mut b = ShardTotals::new(2, 1);
         a.arrived = 5;
         a.ttft.record(1000, 5);
         a.per_tenant[0].arrived = 3;
@@ -1330,10 +1385,10 @@ mod tests {
         b.ttft.record(2000, 7);
         b.per_tenant[0].arrived = 4;
         b.per_tenant[1].ttft.record(900, 1);
-        let mut ab = ShardTotals::new(2);
+        let mut ab = ShardTotals::new(2, 1);
         ab.merge(&a);
         ab.merge(&b);
-        let mut ba = ShardTotals::new(2);
+        let mut ba = ShardTotals::new(2, 1);
         ba.merge(&b);
         ba.merge(&a);
         assert_eq!(ab, ba);

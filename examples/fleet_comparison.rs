@@ -83,6 +83,49 @@ fn main() {
         }
     }
 
+    // Clock-aware serving under DVFS: the same fleets with step costs
+    // priced on the SLO_MIN_CLOCK..=1.0 operating-point grid and the
+    // control plane retuning live instances per cell. Decode is
+    // memory-bound, so down-clocked steps barely stretch while dynamic
+    // power falls cubically — energy per token drops at essentially
+    // unchanged interactive SLO attainment.
+    println!("\nClock-aware serving (serving-time DVFS vs nominal clocks):");
+    for (name, cfg) in [("H100", &h100), ("Lite", &lite)] {
+        let mut dcfg = cfg.clone();
+        dcfg.ctrl = dcfg.ctrl.map(|c| c.with_dvfs());
+        let dvfs = run(&dcfg, 42).expect("dvfs simulation");
+        let nominal = reports
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, r)| r)
+            .expect("nominal twin");
+        let d = dvfs.dvfs.as_ref().expect("dvfs report");
+        let interactive = |r: &litegpu_repro::fleet::FleetReport| {
+            r.interactive_attainment()
+                .map(|(ttft, _)| ttft)
+                .unwrap_or(f64::NAN)
+        };
+        println!(
+            "  {name}: energy/token {:.3} -> {:.3} J ({:+.1}%), interactive TTFT attainment \
+             {:.4} -> {:.4}",
+            nominal.energy_per_token_j,
+            dvfs.energy_per_token_j,
+            100.0 * (dvfs.energy_per_token_j / nominal.energy_per_token_j - 1.0),
+            interactive(nominal),
+            interactive(&dvfs),
+        );
+        println!("    {}", dvfs.dvfs_summary());
+        println!(
+            "    clock histogram: {}",
+            d.clock_points
+                .iter()
+                .zip(&d.clock_tick_share)
+                .map(|(c, s)| format!("{c:.2}:{:.0}%", 100.0 * s))
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
+    }
+
     // Phase-split serving (Splitwise at fleet scale): same fleets, each
     // cell partitioned into prefill and decode pools with KV hand-offs
     // priced against a per-cell link budget.

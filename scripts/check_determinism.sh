@@ -1,25 +1,32 @@
 #!/usr/bin/env bash
 # Determinism gate: run the controlled 3-tenant fleet at several thread
-# counts — in both serving modes (monolithic and phase-split) — and diff
+# counts — across all three serving/control combos (monolithic,
+# phase-split, and DVFS-enabled phase-split clock scaling) — and diff
 # the serialized FleetReport bytes. Byte-identical reports at any
 # shard/thread count are the engine's core guarantee, checked end to end
 # through the sim_fleet binary. Shared by ci.sh and
-# .github/workflows/ci.yml.
+# .github/workflows/ci.yml (ci.sh invokes this script, so the workflow
+# cannot skip it).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 det_dir="target/ci-determinism"
 mkdir -p "$det_dir"
-for serving in mono split; do
+for combo in mono split dvfs; do
+  case "$combo" in
+    mono)  combo_flags=(--serving mono) ;;
+    split) combo_flags=(--serving split) ;;
+    dvfs)  combo_flags=(--serving split --dvfs) ;;
+  esac
   for threads in 1 2 8; do
     cargo run --release -q -p litegpu-bench --bin sim_fleet -- \
       --gpu lite --instances 64 --cell-size 8 --hours 0.5 --accel 50000 \
-      --ctrl auto --workload multi --serving "$serving" --no-baseline \
+      --ctrl auto --workload multi "${combo_flags[@]}" --no-baseline \
       --shards 8 --threads "$threads" \
       --quiet-json 2>/dev/null
-    cp target/experiments/fleet_lite.json "$det_dir/fleet_lite_${serving}_t$threads.json"
+    cp target/experiments/fleet_lite.json "$det_dir/fleet_lite_${combo}_t$threads.json"
   done
-  cmp "$det_dir/fleet_lite_${serving}_t1.json" "$det_dir/fleet_lite_${serving}_t2.json"
-  cmp "$det_dir/fleet_lite_${serving}_t1.json" "$det_dir/fleet_lite_${serving}_t8.json"
-  echo "    $serving: byte-identical across 1/2/8 threads."
+  cmp "$det_dir/fleet_lite_${combo}_t1.json" "$det_dir/fleet_lite_${combo}_t2.json"
+  cmp "$det_dir/fleet_lite_${combo}_t1.json" "$det_dir/fleet_lite_${combo}_t8.json"
+  echo "    $combo: byte-identical across 1/2/8 threads."
 done

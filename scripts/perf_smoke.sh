@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
-# Perf smoke: run the fleet engine on a fixed phase-split config, emit
-# BENCH_fleet.json (instance-ticks/sec + wall seconds) as a CI artifact,
-# and fail on a >2x throughput regression against the checked-in
-# baseline (scripts/perf_baseline.json). Shared by ci.sh and
+# Perf smoke: run the fleet engine on a fixed phase-split config in both
+# control modes — nominal clocks ("base") and DVFS-enabled clock scaling
+# ("dvfs") — emit one combined BENCH_fleet.json artifact, and fail on a
+# >2x throughput regression of either mode against the checked-in
+# baseline (scripts/perf_baseline.json). The job also fails outright if
+# the artifact is missing either mode's entry, so the DVFS leg can never
+# silently drop out of the gate. Shared by ci.sh and
 # .github/workflows/ci.yml.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -11,23 +14,56 @@ out_dir="target/ci-perf"
 mkdir -p "$out_dir"
 bench="$out_dir/BENCH_fleet.json"
 
-cargo run --release -q -p litegpu-bench --bin sim_fleet -- \
-  --gpu lite --instances 256 --cell-size 16 --hours 2 --accel 20000 \
-  --ctrl auto --workload multi --serving split --no-baseline \
-  --shards 16 --threads 4 \
-  --seed 42 --quiet-json --perf-json "$bench" 2>/dev/null
+run_mode() { # $1 = artifact path, extra args follow
+  local out="$1"; shift
+  cargo run --release -q -p litegpu-bench --bin sim_fleet -- \
+    --gpu lite --instances 256 --cell-size 16 --hours 2 --accel 20000 \
+    --ctrl auto --workload multi --serving split --no-baseline \
+    --shards 16 --threads 4 \
+    --seed 42 --quiet-json --perf-json "$out" "$@" 2>/dev/null
+}
+
+run_mode "$out_dir/BENCH_fleet_base.json"
+run_mode "$out_dir/BENCH_fleet_dvfs.json" --dvfs
+
+# One artifact tracking both modes, keyed by mode name.
+{
+  echo '{'
+  echo '  "base":'
+  sed 's/^/  /' "$out_dir/BENCH_fleet_base.json" | sed '$ s/$/,/'
+  echo '  "dvfs":'
+  sed 's/^/  /' "$out_dir/BENCH_fleet_dvfs.json"
+  echo '}'
+} > "$bench"
 
 # Both JSON files are produced by this repo with stable formatting, so a
 # grep-based field read stays dependency-free.
-read_field() { grep -o "\"$2\": *[0-9]*" "$1" | grep -o '[0-9]*'; }
-measured=$(read_field "$bench" ticks_per_sec)
-baseline=$(read_field scripts/perf_baseline.json ticks_per_sec)
-threshold=$((baseline / 2))
-
-echo "    fleet perf: ${measured} instance-ticks/s (baseline ${baseline}, fail under ${threshold})"
-cat "$bench"
-if [ "$measured" -lt "$threshold" ]; then
-  echo "PERF REGRESSION: ${measured} ticks/s is less than half the baseline ${baseline}" >&2
+entries=$(grep -c '"ticks_per_sec"' "$bench" || true)
+if [ "$entries" -ne 2 ]; then
+  echo "PERF ARTIFACT INCOMPLETE: BENCH_fleet.json must carry both the base and dvfs entries (found $entries)" >&2
   exit 1
 fi
+
+read_field() { grep -o "\"$2\": *[0-9]*" "$1" | head -1 | grep -o '[0-9]*$'; }
+measured_base=$(read_field "$out_dir/BENCH_fleet_base.json" ticks_per_sec)
+measured_dvfs=$(read_field "$out_dir/BENCH_fleet_dvfs.json" ticks_per_sec)
+baseline_base=$(read_field scripts/perf_baseline.json ticks_per_sec)
+baseline_dvfs=$(read_field scripts/perf_baseline.json ticks_per_sec_dvfs)
+if [ -z "$baseline_base" ] || [ -z "$baseline_dvfs" ]; then
+  echo "PERF BASELINE INCOMPLETE: scripts/perf_baseline.json must carry ticks_per_sec and ticks_per_sec_dvfs" >&2
+  exit 1
+fi
+
+cat "$bench"
+fail=0
+for mode in base dvfs; do
+  if [ "$mode" = base ]; then measured=$measured_base; baseline=$baseline_base; else measured=$measured_dvfs; baseline=$baseline_dvfs; fi
+  threshold=$((baseline / 2))
+  echo "    fleet perf ($mode): ${measured} instance-ticks/s (baseline ${baseline}, fail under ${threshold})"
+  if [ "$measured" -lt "$threshold" ]; then
+    echo "PERF REGRESSION ($mode): ${measured} ticks/s is less than half the baseline ${baseline}" >&2
+    fail=1
+  fi
+done
+[ "$fail" -eq 0 ] || exit 1
 echo "    perf smoke passed."

@@ -75,6 +75,7 @@ fn router_recovers_traffic_stranded_by_failures() {
     routed.ctrl = Some(litegpu_repro::ctrl::CtrlConfig {
         control_interval_s: 5.0,
         autoscaler: None,
+        dvfs: None,
         power: None,
         router: Some(litegpu_repro::ctrl::RouterConfig::default()),
     });
