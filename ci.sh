@@ -42,7 +42,11 @@ build_test() {
   cargo run --release -q -p litegpu-bench --bin sim_ctrl -- \
     --instances 100 --hours 4 --dvfs --quiet-json
 
-  echo "==> determinism: byte-identical FleetReport at 1/2/8 threads, all three serving/control combos"
+  echo "==> chaos smoke: campaign sweep, H100-vs-Lite availability under correlated failures (sim_chaos --smoke)"
+  cargo run --release -q -p litegpu-bench --bin sim_chaos -- \
+    --smoke --quiet-json
+
+  echo "==> determinism: byte-identical FleetReport at 1/2/8 threads, serving/control combos with and without chaos"
   ./scripts/check_determinism.sh
 
   echo "==> perf smoke: BENCH_fleet.json (base + dvfs entries) vs checked-in baseline"

@@ -1,0 +1,270 @@
+//! Chaos-campaign sweeps over the fleet simulator: correlated failures,
+//! repair crews, and lifecycle events, H100-class vs Lite-GPU fleets.
+//!
+//! Sweeps every campaign kind (rack outages, power-domain outages,
+//! network partitions, thermal excursions, rolling drain — pick one with
+//! `--campaign`) over a pair of silicon-equal fleets built from
+//! single-GPU Llama3-8B instances: N H100 instances in 8-wide cells vs
+//! 4N Lite instances in 32-wide cells, sharing the same 10 kW racks and
+//! the same spare *silicon* (1 H100 spare per cell ≙ 4 Lite spares).
+//! Both fleets therefore occupy the same number of racks, and the seeded
+//! campaign samples the *same* rack indices for both — the only
+//! difference is how much capacity each loss strands.
+//!
+//! Per campaign the binary prints an H100-vs-Lite table (availability,
+//! fleet-wide and per-tenant SLO attainment, energy, spares consumed,
+//! MTTR) to stderr and emits one deterministic `ChaosReport` JSON to
+//! stdout and `target/experiments/chaos_<kind>.json`. The same seed
+//! produces byte-identical JSON at any `--shards`/`--threads` setting.
+//!
+//! ```text
+//! sim_chaos [--campaign rack|power|partition|thermal|drain|all]
+//!           [--instances N] [--hours H] [--rate R] [--accel A]
+//!           [--events N] [--duration S] [--intensity F]
+//!           [--rack-kw K] [--racks-per-domain N]
+//!           [--seed N] [--shards N] [--threads N]
+//!           [--smoke] [--quiet-json]
+//! ```
+//!
+//! `--instances` sizes the H100 fleet (the Lite fleet gets 4x). `--rate`
+//! is the H100 per-instance request rate (Lite instances carry a quarter
+//! each, so total demand matches). `--smoke` shrinks everything for CI.
+
+use litegpu_chaos::{outcome, run_campaign, Campaign, CampaignKind, ChaosReport, DomainPlan};
+use litegpu_fleet::{FleetConfig, FleetReport, WorkloadSpec};
+
+struct Args {
+    campaign: String,
+    instances: u32,
+    hours: f64,
+    rate: f64,
+    accel: f64,
+    events: u32,
+    duration: f64,
+    intensity: f64,
+    rack_kw: f64,
+    racks_per_domain: u32,
+    seed: u64,
+    shards: u32,
+    threads: u32,
+    quiet_json: bool,
+}
+
+fn parse_args() -> Args {
+    let mut a = Args {
+        campaign: "all".into(),
+        instances: 96,
+        hours: 4.0,
+        rate: 2.0,
+        accel: 2_000.0,
+        events: 4,
+        duration: 600.0,
+        intensity: 0.5,
+        rack_kw: 10.0,
+        racks_per_domain: 4,
+        seed: 42,
+        shards: 0,
+        threads: 0,
+        quiet_json: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |i: &mut usize| litegpu_bench::cli::value(&argv, i);
+    use litegpu_bench::cli::parsed;
+    while i < argv.len() {
+        let flag = argv[i].clone();
+        match flag.as_str() {
+            "--campaign" => a.campaign = value(&mut i),
+            "--instances" => a.instances = parsed(&flag, value(&mut i)),
+            "--hours" => a.hours = parsed(&flag, value(&mut i)),
+            "--rate" => a.rate = parsed(&flag, value(&mut i)),
+            "--accel" => a.accel = parsed(&flag, value(&mut i)),
+            "--events" => a.events = parsed(&flag, value(&mut i)),
+            "--duration" => a.duration = parsed(&flag, value(&mut i)),
+            "--intensity" => a.intensity = parsed(&flag, value(&mut i)),
+            "--rack-kw" => a.rack_kw = parsed(&flag, value(&mut i)),
+            "--racks-per-domain" => a.racks_per_domain = parsed(&flag, value(&mut i)),
+            "--seed" => a.seed = parsed(&flag, value(&mut i)),
+            "--shards" => a.shards = parsed(&flag, value(&mut i)),
+            "--threads" => a.threads = parsed(&flag, value(&mut i)),
+            "--smoke" => {
+                a.instances = 24;
+                a.hours = 0.5;
+                a.accel = 10_000.0;
+                a.events = 2;
+                a.duration = 300.0;
+            }
+            "--quiet-json" => a.quiet_json = true,
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    a
+}
+
+/// A fleet of single-GPU Llama3-8B instances of the given type: the
+/// smallest catalog model fits one GPU of either kind, so the
+/// failure-domain packing is set purely by each GPU's power draw.
+fn single_gpu_fleet(gpu: litegpu_specs::GpuSpec, a: &Args) -> FleetConfig {
+    let failure = litegpu_cluster::FailureModel::default_for(&gpu);
+    let mut cfg = FleetConfig::h100_demo();
+    cfg.gpu = gpu;
+    cfg.failure = failure;
+    cfg.arch = litegpu_workload::models::llama3_8b();
+    cfg.gpus_per_instance = 1;
+    cfg.horizon_s = a.hours * 3600.0;
+    cfg.failure_acceleration = a.accel;
+    cfg
+}
+
+fn h100_fleet(a: &Args) -> FleetConfig {
+    let mut cfg = single_gpu_fleet(litegpu_specs::catalog::h100(), a);
+    cfg.instances = a.instances;
+    cfg.cell_size = 8;
+    cfg.spares_per_cell = 1;
+    cfg.workload = WorkloadSpec::multi_tenant_demo(a.rate);
+    cfg
+}
+
+fn lite_fleet(a: &Args) -> FleetConfig {
+    // Silicon-equal twin: 4x the instances at 1/4 the compute, power and
+    // per-instance rate; 4 Lite spares per 32-wide cell match the H100's
+    // one fat spare per 8-wide cell.
+    let mut cfg = single_gpu_fleet(litegpu_specs::catalog::lite_base(), a);
+    cfg.instances = a.instances * 4;
+    cfg.cell_size = 32;
+    cfg.spares_per_cell = 4;
+    cfg.workload = WorkloadSpec::multi_tenant_demo(a.rate / 4.0);
+    cfg
+}
+
+fn run_one(
+    name: &str,
+    cfg: &FleetConfig,
+    camp: &Campaign,
+    plan: &DomainPlan,
+    a: &Args,
+) -> FleetReport {
+    let threads = if a.threads > 0 {
+        a.threads
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get() as u32)
+            .unwrap_or(1)
+    };
+    let shards = if a.shards > 0 {
+        a.shards
+    } else {
+        cfg.num_cells()
+    };
+    match run_campaign(cfg, plan, camp, a.seed, shards, threads) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("campaign {} / fleet {name}: {e}", camp.kind.label());
+            std::process::exit(1);
+        }
+    }
+}
+
+fn print_table(camp: &Campaign, rows: &[(&str, &FleetReport)]) {
+    eprintln!(
+        "# campaign '{}': {} events x {:.0} s (intensity {:.2})",
+        camp.kind.label(),
+        camp.events,
+        camp.duration_s,
+        camp.intensity
+    );
+    eprintln!(
+        "#   {:<5} {:>9} {:>9} {:>9} {:>11} {:>7} {:>16} {:>9} {:>9}",
+        "fleet",
+        "avail",
+        "TTFT-SLO",
+        "TBT-SLO",
+        "energy(MJ)",
+        "spares",
+        "fail(ind/rk/pw)",
+        "MTTR(s)",
+        "shed"
+    );
+    for (name, r) in rows {
+        let b = &r.failure_breakdown;
+        let (mttr, shed) = r
+            .chaos
+            .as_ref()
+            .map_or((0.0, 0), |c| (c.mttr_s, c.partition_shed));
+        eprintln!(
+            "#   {:<5} {:>9.4} {:>9.4} {:>9.4} {:>11.2} {:>7} {:>16} {:>9.1} {:>9}",
+            name,
+            r.availability,
+            r.ttft_attainment,
+            r.tbt_attainment,
+            r.energy_j as f64 / 1e6,
+            r.spare_hits,
+            format!("{}/{}/{}", b.independent, b.rack, b.power),
+            mttr,
+            shed,
+        );
+        for t in &r.per_tenant {
+            eprintln!(
+                "#         {:<10} ({:<11}) TTFT-SLO {:.4}  TBT-SLO {:.4}",
+                t.name, t.priority, t.ttft_attainment, t.tbt_attainment
+            );
+        }
+    }
+}
+
+fn main() {
+    let a = parse_args();
+    let kinds: Vec<CampaignKind> = if a.campaign == "all" {
+        CampaignKind::ALL.to_vec()
+    } else {
+        match CampaignKind::from_slug(&a.campaign) {
+            Some(k) => vec![k],
+            None => {
+                eprintln!(
+                    "unknown --campaign {} (expected rack|power|partition|thermal|drain|all)",
+                    a.campaign
+                );
+                std::process::exit(2);
+            }
+        }
+    };
+    let plan = DomainPlan {
+        rack_kw: a.rack_kw,
+        racks_per_power_domain: a.racks_per_domain,
+    };
+    let h100 = h100_fleet(&a);
+    let lite = lite_fleet(&a);
+    for kind in kinds {
+        let camp = Campaign {
+            kind,
+            events: a.events,
+            duration_s: a.duration,
+            intensity: a.intensity,
+        };
+        let rh = run_one("h100", &h100, &camp, &plan, &a);
+        let rl = run_one("lite", &lite, &camp, &plan, &a);
+        print_table(&camp, &[("h100", &rh), ("lite", &rl)]);
+        eprintln!(
+            "#   headline: lite availability {:+.4} vs h100 under '{}'",
+            rl.availability - rh.availability,
+            kind.label()
+        );
+        let report = ChaosReport::new(
+            &camp,
+            a.seed,
+            vec![outcome("h100", &rh), outcome("lite", &rl)],
+        );
+        let json = report.to_json();
+        if !a.quiet_json {
+            println!("{json}");
+        }
+        let dir = litegpu_bench::experiments_dir();
+        if std::fs::create_dir_all(&dir).is_ok() {
+            let _ = std::fs::write(dir.join(format!("chaos_{}.json", kind.slug())), &json);
+        }
+    }
+}

@@ -13,6 +13,7 @@
 //!           [--warm-pool N] [--workload single|multi]
 //!           [--serving mono|split] [--prefill-fraction F]
 //!           [--kv-gbps G] [--kv-backlog S] [--no-baseline]
+//!           [--chaos rack|power|partition|thermal|drain]
 //!           [--perf-json PATH] [--quiet-json]
 //! ```
 //!
@@ -37,7 +38,14 @@
 //! H100-vs-Lite KV-bandwidth trade. `--perf-json PATH` writes a small
 //! `{instance_ticks, wall_s, ticks_per_sec}` artifact for the primary
 //! run (CI perf smoke).
+//!
+//! `--chaos KIND` compiles a small demo campaign of that kind (via
+//! `litegpu-chaos`, seeded from `--seed`) into every fleet, so the CI
+//! determinism gate can check the byte-identical guarantee under
+//! correlated failures, repair crews, partitions, thermal clamps and
+//! rolling drains too.
 
+use litegpu_chaos::{Campaign, CampaignKind, DomainPlan};
 use litegpu_fleet::ctrl::{CtrlConfig, Policy};
 use litegpu_fleet::{run_sharded, FleetConfig, FleetReport, KvLink, ServingMode, WorkloadSpec};
 
@@ -63,6 +71,7 @@ struct Args {
     kv_gbps: Option<f64>,
     kv_backlog: f64,
     no_baseline: bool,
+    chaos: Option<String>,
     perf_json: Option<String>,
     quiet_json: bool,
 }
@@ -90,6 +99,7 @@ fn parse_args() -> Args {
         kv_gbps: None,
         kv_backlog: KvLink::DEFAULT_MAX_BACKLOG_S,
         no_baseline: false,
+        chaos: None,
         perf_json: None,
         quiet_json: false,
     };
@@ -121,6 +131,7 @@ fn parse_args() -> Args {
             "--kv-gbps" => a.kv_gbps = Some(parsed(&flag, value(&mut i))),
             "--kv-backlog" => a.kv_backlog = parsed(&flag, value(&mut i)),
             "--no-baseline" => a.no_baseline = true,
+            "--chaos" => a.chaos = Some(value(&mut i)),
             "--perf-json" => a.perf_json = Some(value(&mut i)),
             "--quiet-json" => a.quiet_json = true,
             other => {
@@ -188,6 +199,27 @@ fn configure(base: FleetConfig, a: &Args, auto_policy: Policy) -> FleetConfig {
             prefill_fraction: a.prefill_fraction,
             kv_link: link,
         };
+    }
+    if let Some(slug) = a.chaos.as_deref() {
+        let Some(kind) = CampaignKind::from_slug(slug) else {
+            eprintln!("unknown --chaos {slug} (expected rack|power|partition|thermal|drain)");
+            std::process::exit(2);
+        };
+        let campaign = Campaign {
+            kind,
+            events: 3,
+            duration_s: 300.0,
+            intensity: 0.5,
+        };
+        // Compiled after the rest of the config is settled: the schedule
+        // depends on the instance count, tick grid and horizon.
+        match litegpu_chaos::compile(&cfg, &DomainPlan::default(), &campaign, a.seed) {
+            Ok(spec) => cfg.chaos = spec,
+            Err(e) => {
+                eprintln!("--chaos {slug}: {e}");
+                std::process::exit(2);
+            }
+        }
     }
     cfg
 }

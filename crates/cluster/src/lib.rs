@@ -12,6 +12,8 @@
 //!   per-Lite-GPU gating — evaluated over diurnal load traces.
 //! - [`failure`]: Monte-Carlo failure injection with area-dependent
 //!   failure rates, blast-radius accounting and hot-spare provisioning.
+//! - [`domain`]: correlated failure domains (instance → rack → power
+//!   domain) with straddle-collateral blast-radius accounting.
 //! - [`datacenter`]: rack-level power/cooling composition (the "no liquid
 //!   cooling" argument).
 //!
@@ -29,12 +31,14 @@
 
 pub mod alloc;
 pub mod datacenter;
+pub mod domain;
 pub mod failure;
 pub mod memory_pool;
 pub mod node;
 pub mod power_mgmt;
 
 pub use alloc::{AllocOutcome, Allocator, GpuRequest};
+pub use domain::{DomainKind, DomainTopology};
 pub use failure::{ClusterReliability, FailureModel, MonteCarloAvailability};
 pub use node::ClusterSpec;
 

@@ -136,7 +136,11 @@ impl Controller for Autoscaler {
         let demand_total = demand_guaranteed + ewma_be;
         let cap = (obs.capacity_rps_per_instance * self.cfg.target_util).max(1e-9);
         let healthy = obs.healthy();
-        let floor = self.cfg.min_live.min(healthy);
+        // Announced chaos losses raise the floor: the cell holds that
+        // many extra slots live as replacement capacity instead of
+        // parking them into the blast radius. Campaign-free cells see
+        // `chaos_down == 0` and behave exactly as before.
+        let floor = (self.cfg.min_live + obs.chaos_down).min(healthy);
 
         // Admission: shed best effort only when even every healthy
         // instance could not carry total demand at the target
@@ -273,6 +277,7 @@ mod tests {
             arrived_by_class: [arrived, 0, 0],
             capacity_rps_per_instance: 2.0,
             max_queue: 1000,
+            chaos_down: 0,
             phase_split: None,
             clock_points: Vec::new(),
             slots,
@@ -330,6 +335,23 @@ mod tests {
             cmds,
             vec![Command::Park { slot: 3 }, Command::Park { slot: 1 }]
         );
+    }
+
+    #[test]
+    fn chaos_losses_raise_the_scale_down_floor() {
+        let mut a = Autoscaler::new(AutoscalerConfig::default());
+        let mut rng = StdRng::seed_from_u64(1);
+        // Zero demand over 4 idle live slots would normally park down to
+        // min_live = 1; with 2 slots inside an announced chaos window the
+        // floor rises to 3 so the cell keeps replacement capacity live.
+        let mut o = obs(vec![slot(Mode::Live, 0, 0); 4], 0);
+        o.chaos_down = 2;
+        let cmds = a.control(&o, &[], &mut rng);
+        assert_eq!(cmds, vec![Command::Park { slot: 3 }]);
+        // The same cell without the campaign parks all the way down.
+        let mut b = Autoscaler::new(AutoscalerConfig::default());
+        let o = obs(vec![slot(Mode::Live, 0, 0); 4], 0);
+        assert_eq!(b.control(&o, &[], &mut rng).len(), 3);
     }
 
     #[test]

@@ -207,6 +207,11 @@ pub struct CellObs {
     pub capacity_rps_per_instance: f64,
     /// Queue capacity per instance.
     pub max_queue: u32,
+    /// Slots currently inside an announced chaos window (active
+    /// correlated-outage or drain) — domain-loss state the data plane
+    /// knows about, as opposed to silently failed slots. Zero on
+    /// campaign-free fleets.
+    pub chaos_down: u32,
     /// Phase-split context (`None` on monolithic fleets).
     pub phase_split: Option<PhaseObs>,
     /// The DVFS operating-point grid the cell's instances may serve at,
@@ -355,6 +360,7 @@ mod tests {
             arrived_by_class: [0; 3],
             capacity_rps_per_instance: 2.0,
             max_queue: 100,
+            chaos_down: 0,
             phase_split: None,
             clock_points: Vec::new(),
             slots: vec![

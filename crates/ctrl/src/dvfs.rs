@@ -233,6 +233,7 @@ mod tests {
             arrived_by_class: [arrived, 0, 0],
             capacity_rps_per_instance: 2.0,
             max_queue: 1000,
+            chaos_down: 0,
             phase_split: None,
             clock_points: points(),
             slots,

@@ -267,6 +267,7 @@ mod tests {
             arrived_by_class: [0; 3],
             capacity_rps_per_instance: 2.0,
             max_queue: 50,
+            chaos_down: 0,
             phase_split: None,
             clock_points: Vec::new(),
             slots: vec![

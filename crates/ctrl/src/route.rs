@@ -136,6 +136,7 @@ mod tests {
             arrived_by_class: [0; 3],
             capacity_rps_per_instance: 2.0,
             max_queue: 10,
+            chaos_down: 0,
             phase_split: None,
             clock_points: Vec::new(),
             slots: vec![
@@ -189,6 +190,7 @@ mod tests {
             arrived_by_class: [0; 3],
             capacity_rps_per_instance: 2.0,
             max_queue: 10,
+            chaos_down: 0,
             phase_split: None,
             clock_points: Vec::new(),
             slots: vec![
@@ -230,6 +232,7 @@ mod tests {
             arrived_by_class: [0; 3],
             capacity_rps_per_instance: 2.0,
             max_queue: 10,
+            chaos_down: 0,
             phase_split: None,
             clock_points: Vec::new(),
             slots: vec![

@@ -118,6 +118,82 @@ impl KvLink {
     }
 }
 
+/// The kind of a scheduled correlated-failure (chaos) event, mirroring
+/// `litegpu_cluster::domain::DomainKind`'s correlated kinds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DomainEventKind {
+    /// A whole rack goes dark: every affected instance is forced down
+    /// for the event window and queues for a repair crew at window end.
+    RackLoss,
+    /// A power-domain (breaker group) trip — same mechanics as
+    /// [`DomainEventKind::RackLoss`] over a larger instance set.
+    PowerDomainLoss,
+    /// The affected instances' cells are cut off from the front door:
+    /// arrivals to those cells are shed for the window (instances keep
+    /// serving already-queued work).
+    NetworkPartition,
+    /// A cooling excursion clamps the affected instances' clocks to at
+    /// most `clamp` (as a fraction of nominal) for the window, priced
+    /// through the DVFS operating-point grid.
+    ThermalExcursion {
+        /// Maximum sustainable clock factor during the excursion.
+        clamp: f64,
+    },
+    /// A planned rolling upgrade: affected instances are drained (no new
+    /// routing or KV deliveries; queued work keeps serving) for the
+    /// window, then restored.
+    RollingDrain,
+}
+
+impl DomainEventKind {
+    /// Index into the `by_kind` failure-breakdown array (shared with
+    /// `litegpu_cluster::domain::DomainKind::index`).
+    fn breakdown_index(&self) -> usize {
+        match self {
+            DomainEventKind::RackLoss => 1,
+            DomainEventKind::PowerDomainLoss => 2,
+            DomainEventKind::NetworkPartition => 3,
+            DomainEventKind::ThermalExcursion { .. } => 4,
+            DomainEventKind::RollingDrain => 1, // Unused: drains are not failures.
+        }
+    }
+}
+
+/// One scheduled chaos event over the window `[start_us, end_us)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DomainEvent {
+    /// What happens.
+    pub kind: DomainEventKind,
+    /// Window start, µs of simulated time.
+    pub start_us: u64,
+    /// Window end, µs (exclusive).
+    pub end_us: u64,
+    /// Global instance indices affected. For
+    /// [`DomainEventKind::NetworkPartition`] the *cells* containing these
+    /// instances are partitioned whole.
+    pub instances: Vec<u32>,
+}
+
+/// A compiled chaos campaign: the full, deterministic event schedule.
+/// Compiled once from `(config, campaign, seed)` before sharding — every
+/// shard sees the same schedule, so the byte-identical-report guarantee
+/// holds under chaos too. `litegpu-chaos` is the campaign compiler; an
+/// empty spec (the default) runs the fleet without correlated events.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ChaosSpec {
+    /// Scheduled events, in any order.
+    pub events: Vec<DomainEvent>,
+}
+
+impl ChaosSpec {
+    /// Whether any event clamps clocks (forces pricing the DVFS grid).
+    pub fn has_thermal(&self) -> bool {
+        self.events
+            .iter()
+            .any(|e| matches!(e.kind, DomainEventKind::ThermalExcursion { .. }))
+    }
+}
+
 /// How the fleet divides the two inference phases — the fleet-scale
 /// analogue of `litegpu_sim::SchedulerKind`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -183,6 +259,14 @@ pub struct FleetConfig {
     pub cell_size: u32,
     /// GPU-sized hot spares per cell.
     pub spares_per_cell: u32,
+    /// Repair crews per cell: finite workers serving the integer-µs
+    /// repair queue (spare replenishment and in-place recoveries). Jobs
+    /// beyond the crew count wait, so repair backlog and spare
+    /// starvation interact.
+    pub repair_crews_per_cell: u32,
+    /// Scheduled correlated-failure events (chaos campaign). Empty by
+    /// default; compile campaigns with the `litegpu-chaos` crate.
+    pub chaos: ChaosSpec,
     /// The multi-tenant workload (tenants, shares, patterns, priorities,
     /// SLOs). Legacy single-source configs convert with
     /// `TrafficModel::into()`.
@@ -225,6 +309,8 @@ impl FleetConfig {
             gpus_per_instance: 2,
             cell_size: 20,
             spares_per_cell: 1,
+            repair_crews_per_cell: 2,
+            chaos: ChaosSpec::default(),
             workload: WorkloadSpec::diurnal_demo(1.5),
             failure,
             failure_acceleration: 200.0,
@@ -291,8 +377,13 @@ impl FleetConfig {
 
     /// Validates parameter ranges.
     pub fn validate(&self) -> Result<()> {
-        let checks: [(&'static str, f64, bool); 8] = [
+        let checks: [(&'static str, f64, bool); 9] = [
             ("instances", self.instances as f64, self.instances > 0),
+            (
+                "repair_crews_per_cell",
+                self.repair_crews_per_cell as f64,
+                self.repair_crews_per_cell > 0,
+            ),
             (
                 "gpus_per_instance",
                 self.gpus_per_instance as f64,
@@ -328,6 +419,28 @@ impl FleetConfig {
         for (name, value, ok) in checks {
             if !ok {
                 return Err(FleetError::InvalidParameter { name, value });
+            }
+        }
+        for event in &self.chaos.events {
+            if event.end_us <= event.start_us {
+                return Err(FleetError::InvalidParameter {
+                    name: "chaos event window (end_us must exceed start_us)",
+                    value: event.end_us as f64,
+                });
+            }
+            if let Some(&g) = event.instances.iter().find(|&&g| g >= self.instances) {
+                return Err(FleetError::InvalidParameter {
+                    name: "chaos event instance index",
+                    value: g as f64,
+                });
+            }
+            if let DomainEventKind::ThermalExcursion { clamp } = event.kind {
+                if !(clamp.is_finite() && clamp > 0.0 && clamp <= 1.0) {
+                    return Err(FleetError::InvalidParameter {
+                        name: "thermal clamp (must be in (0, 1])",
+                        value: clamp,
+                    });
+                }
             }
         }
         self.workload.validate().map_err(FleetError::Workload)?;
@@ -585,6 +698,87 @@ struct Shared<'a> {
     /// Per-tenant per-tick arrival mean per instance
     /// (`lambda[tenant][tick]`), precomputed once per run.
     lambda: Vec<Vec<f64>>,
+    /// Per-cell slices of the compiled chaos schedule (empty when the
+    /// config has no chaos events).
+    chaos: Vec<CellChaos>,
+}
+
+/// One cell's slice of the compiled chaos schedule. Computed from the
+/// global [`ChaosSpec`] before sharding, so domain membership never
+/// depends on the shard/thread layout; instance indices are cell-local.
+#[derive(Debug, Clone, Default)]
+struct CellChaos {
+    /// Outage events: (breakdown kind index, start_us, end_us, locals).
+    outages: Vec<(usize, u64, u64, Vec<u32>)>,
+    /// Partition windows covering this cell (partitions cut whole cells).
+    partitions: Vec<(u64, u64)>,
+    /// Thermal events: (start_us, end_us, clamp clock index, locals).
+    thermals: Vec<(u64, u64, u8, Vec<u32>)>,
+    /// Drain windows: (start_us, end_us, locals).
+    drains: Vec<(u64, u64, Vec<u32>)>,
+}
+
+impl CellChaos {
+    fn is_empty(&self) -> bool {
+        self.outages.is_empty()
+            && self.partitions.is_empty()
+            && self.thermals.is_empty()
+            && self.drains.is_empty()
+    }
+}
+
+/// Splits the global chaos schedule into per-cell slices.
+fn compile_cell_chaos(cfg: &FleetConfig, clock_points: &[f64]) -> Vec<CellChaos> {
+    if cfg.chaos.events.is_empty() {
+        return Vec::new();
+    }
+    let cells = cfg.num_cells() as usize;
+    let mut out = vec![CellChaos::default(); cells];
+    for event in &cfg.chaos.events {
+        let mut by_cell: Vec<Vec<u32>> = vec![Vec::new(); cells];
+        for &g in &event.instances {
+            let c = (g / cfg.cell_size) as usize;
+            by_cell[c].push(g - c as u32 * cfg.cell_size);
+        }
+        for (c, locals) in by_cell.into_iter().enumerate() {
+            if locals.is_empty() {
+                continue;
+            }
+            let (s, e) = (event.start_us, event.end_us);
+            match event.kind {
+                DomainEventKind::RackLoss | DomainEventKind::PowerDomainLoss => {
+                    out[c]
+                        .outages
+                        .push((event.kind.breakdown_index(), s, e, locals));
+                }
+                DomainEventKind::NetworkPartition => out[c].partitions.push((s, e)),
+                DomainEventKind::ThermalExcursion { clamp } => {
+                    out[c]
+                        .thermals
+                        .push((s, e, clamp_clock_idx(clock_points, clamp), locals));
+                }
+                DomainEventKind::RollingDrain => out[c].drains.push((s, e, locals)),
+            }
+        }
+    }
+    out
+}
+
+/// The clock-grid index a thermal clamp pins affected slots to: the
+/// highest operating point not above the clamp, or the grid's lowest
+/// point when the clamp undercuts the whole grid.
+fn clamp_clock_idx(clock_points: &[f64], clamp: f64) -> u8 {
+    let mut lowest = 0;
+    let mut best: Option<usize> = None;
+    for (i, &c) in clock_points.iter().enumerate() {
+        if c < clock_points[lowest] {
+            lowest = i;
+        }
+        if c <= clamp + 1e-9 && best.is_none_or(|b: usize| c > clock_points[b]) {
+            best = Some(i);
+        }
+    }
+    best.unwrap_or(lowest) as u8
 }
 
 /// Administrative state of one instance slot (orthogonal to the failure
@@ -639,7 +833,11 @@ impl CellTraffic {
     /// traffic, exactly what the router exists to fix). Under phase-split
     /// serving, queue room is granted to the prefill pool only: decode
     /// instances receive their work over the KV link, never the front
-    /// door.
+    /// door. Chaos hooks: a partitioned cell sheds every arrival at the
+    /// front door (attributed to `partition_shed`), and drained slots
+    /// take no new routing regardless of controller presence — a drain
+    /// is a planned, announced exclusion, unlike a silent failure.
+    #[allow(clippy::too_many_arguments)]
     fn route_tick(
         &mut self,
         tick: u32,
@@ -647,6 +845,8 @@ impl CellTraffic {
         mut ctl: Option<&mut CellCtl>,
         phases: &[Phase],
         insts: &mut [InstanceState],
+        partitioned: bool,
+        drained: &[bool],
         acc: &mut ShardTotals,
     ) {
         self.eff.clear();
@@ -657,20 +857,24 @@ impl CellTraffic {
                     .zip(insts.iter())
                     .zip(&c.weights)
                     .zip(phases)
-                    .map(|(((m, inst), &w), &p)| {
-                        if *m == SlotMode::Live && inst.up && p != Phase::Decode {
+                    .zip(drained)
+                    .map(|((((m, inst), &w), &p), &d)| {
+                        if *m == SlotMode::Live && inst.up && p != Phase::Decode && !d {
                             w
                         } else {
                             0
                         }
                     }),
             ),
-            None => self
-                .eff
-                .extend(phases.iter().map(|&p| u64::from(p != Phase::Decode))),
+            None => self.eff.extend(
+                phases
+                    .iter()
+                    .zip(drained)
+                    .map(|(&p, &d)| u64::from(p != Phase::Decode && !d)),
+            ),
         }
         let allow_be = ctl.as_ref().is_none_or(|c| c.allow_best_effort);
-        let any_target = self.eff.iter().any(|&w| w > 0);
+        let any_target = !partitioned && self.eff.iter().any(|&w| w > 0);
         for &ti in &shared.priority_order {
             let t = ti as usize;
             let lambda = shared.lambda[t][tick as usize] * insts.len() as f64;
@@ -694,6 +898,9 @@ impl CellTraffic {
             if !any_target {
                 acc.rejected += n;
                 acc.routing_shed += n;
+                if partitioned {
+                    acc.partition_shed += n;
+                }
                 acc.per_tenant[t].shed += n;
                 continue;
             }
@@ -782,6 +989,7 @@ impl CellCtl {
         phases: &mut [Phase],
         kv: Option<&KvLinkState>,
         shared: &Shared<'_>,
+        chaos_down: u32,
         acc: &mut ShardTotals,
     ) {
         let obs = CellObs {
@@ -791,6 +999,7 @@ impl CellCtl {
             arrived_by_class: core::mem::take(&mut self.arrived_by_class),
             capacity_rps_per_instance: shared.cap_rps,
             max_queue: shared.knobs.max_queue,
+            chaos_down,
             phase_split: shared.split.as_ref().map(|s| PhaseObs {
                 prefill_capacity_rps: s.prefill_capacity_rps,
                 decode_capacity_rps: s.decode_capacity_rps,
@@ -920,6 +1129,7 @@ fn deliver_transfers(
     insts: &mut [InstanceState],
     phases: &[Phase],
     ctl: Option<&CellCtl>,
+    drained: &[bool],
     max_batch: u32,
     knobs: &ServeKnobs,
     acc: &mut ShardTotals,
@@ -933,6 +1143,7 @@ fn deliver_transfers(
                 phases[*i] == Phase::Decode
                     && s.up
                     && serving(*i)
+                    && !drained[*i]
                     && s.active() + job.count <= max_batch
             })
             .min_by_key(|(i, s)| (s.active(), *i))
@@ -996,7 +1207,7 @@ fn simulate_cells(shared: &Shared<'_>, seed: u64, cell_lo: u32, cell_hi: u32) ->
     for cell_idx in cell_lo..cell_hi {
         let first = cell_idx * cfg.cell_size;
         let last = (first + cfg.cell_size).min(cfg.instances);
-        let mut cell = CellState::new(cfg.spares_per_cell);
+        let mut cell = CellState::new(cfg.spares_per_cell, cfg.repair_crews_per_cell);
         let mut insts: Vec<InstanceState> = (first..last)
             .map(|g| InstanceState::new(seed, g as u64, rates, n_tenants))
             .collect();
@@ -1033,11 +1244,109 @@ fn simulate_cells(shared: &Shared<'_>, seed: u64, cell_lo: u32, cell_hi: u32) ->
                 shared.nominal_ci,
             )
         });
+        let chaos = shared
+            .chaos
+            .get(cell_idx as usize)
+            .filter(|c| !c.is_empty());
+        let mut outage_fired = vec![false; chaos.map_or(0, |c| c.outages.len())];
+        let mut partition_fired = vec![false; chaos.map_or(0, |c| c.partitions.len())];
+        let mut thermal_fired = vec![false; chaos.map_or(0, |c| c.thermals.len())];
+        let mut drain_fired = vec![false; chaos.map_or(0, |c| c.drains.len())];
+        let mut drain_restored = vec![false; chaos.map_or(0, |c| c.drains.len())];
+        let mut drained = vec![false; insts.len()];
+        let mut clamp = vec![u8::MAX; insts.len()];
+        let mut chaos_outed = vec![false; insts.len()];
         for tick in 0..ticks {
             let t_start = tick as u64 * tick_us;
+            let t_end = t_start + tick_us;
             cell.reclaim_repaired(t_start);
-            for inst in insts.iter_mut() {
-                inst.lifecycle(t_start, tick_us, rates, &mut cell, &mut acc);
+            for job in cell.dispatch_repairs(t_start, rates.repair_us) {
+                acc.repairs_dispatched += 1;
+                acc.repair_wait_us += job.wait_us;
+                if !job.replenish {
+                    insts[job.local_idx as usize].schedule_recovery(job.done_us);
+                }
+            }
+            let mut partitioned = false;
+            if let Some(ch) = chaos {
+                // Correlated outages fire once, at the tick containing
+                // their window start: every affected up instance goes down
+                // for the window. Spares apply, but the swap can only run
+                // once the domain is back, so spare recovery lands at
+                // window end + swap; either way the repair crew is
+                // requested for window end.
+                for (e, (kind, start, end, locals)) in ch.outages.iter().enumerate() {
+                    if outage_fired[e] || *start >= t_end {
+                        continue;
+                    }
+                    outage_fired[e] = true;
+                    let at = (*start).max(t_start);
+                    for &li in locals {
+                        let inst = &mut insts[li as usize];
+                        if !inst.up {
+                            continue;
+                        }
+                        acc.failures += 1;
+                        acc.by_kind[*kind] += 1;
+                        if cell.try_take_spare() {
+                            acc.spare_hits += 1;
+                            inst.force_down(at, end.saturating_add(rates.swap_us.max(1)), &mut acc);
+                            cell.enqueue_repair(*end, li, true);
+                        } else {
+                            acc.spare_misses += 1;
+                            inst.force_down(at, u64::MAX, &mut acc);
+                            cell.enqueue_repair(*end, li, false);
+                        }
+                    }
+                }
+                let active = |s: u64, e: u64| s <= t_start && t_start < e;
+                for (e, &(start, end)) in ch.partitions.iter().enumerate() {
+                    if active(start, end) {
+                        partitioned = true;
+                        if !partition_fired[e] {
+                            partition_fired[e] = true;
+                            acc.by_kind[3] += 1; // DomainKind::Partition.
+                        }
+                    }
+                }
+                drained.fill(false);
+                for (e, (start, end, locals)) in ch.drains.iter().enumerate() {
+                    if active(*start, *end) {
+                        if !drain_fired[e] {
+                            drain_fired[e] = true;
+                            acc.drains += locals.len() as u64;
+                        }
+                        for &li in locals {
+                            drained[li as usize] = true;
+                        }
+                    } else if drain_fired[e] && !drain_restored[e] && t_start >= *end {
+                        drain_restored[e] = true;
+                        acc.drain_restores += locals.len() as u64;
+                    }
+                }
+                clamp.fill(u8::MAX);
+                for (e, (start, end, cci, locals)) in ch.thermals.iter().enumerate() {
+                    if active(*start, *end) {
+                        if !thermal_fired[e] {
+                            thermal_fired[e] = true;
+                            acc.by_kind[4] += 1; // DomainKind::Thermal.
+                        }
+                        for &li in locals {
+                            clamp[li as usize] = clamp[li as usize].min(*cci);
+                        }
+                    }
+                }
+                chaos_outed.fill(false);
+                for (_, start, end, locals) in &ch.outages {
+                    if active(*start, *end) {
+                        for &li in locals {
+                            chaos_outed[li as usize] = true;
+                        }
+                    }
+                }
+            }
+            for (i, inst) in insts.iter_mut().enumerate() {
+                inst.lifecycle(i as u32, t_start, tick_us, rates, &mut cell, &mut acc);
             }
             // A failed decode instance's requeued work (KV lost) must go
             // back through the prefill pool — decode slots never prefill,
@@ -1052,6 +1361,15 @@ fn simulate_cells(shared: &Shared<'_>, seed: u64, cell_lo: u32, cell_hi: u32) ->
             if let Some(c) = ctl.as_mut() {
                 c.finish_boots(t_start);
                 if tick > 0 && tick % c.interval_ticks == 0 {
+                    // The control plane observes announced chaos state
+                    // (active outage windows + drains) so the autoscaler
+                    // can hold replacement capacity live instead of
+                    // parking it into the blast radius.
+                    let chaos_down = drained
+                        .iter()
+                        .zip(&chaos_outed)
+                        .filter(|(&d, &o)| d || o)
+                        .count() as u32;
                     c.control(
                         tick,
                         t_start,
@@ -1059,6 +1377,7 @@ fn simulate_cells(shared: &Shared<'_>, seed: u64, cell_lo: u32, cell_hi: u32) ->
                         &mut phases,
                         kv.as_ref(),
                         shared,
+                        chaos_down,
                         &mut acc,
                     );
                 }
@@ -1070,15 +1389,31 @@ fn simulate_cells(shared: &Shared<'_>, seed: u64, cell_lo: u32, cell_hi: u32) ->
                     &mut insts,
                     &phases,
                     ctl.as_ref(),
+                    &drained,
                     shared.lut.max_batch,
                     knobs,
                     &mut acc,
                 );
             }
-            traffic.route_tick(tick, shared, ctl.as_mut(), &phases, &mut insts, &mut acc);
+            traffic.route_tick(
+                tick,
+                shared,
+                ctl.as_mut(),
+                &phases,
+                &mut insts,
+                partitioned,
+                &drained,
+                &mut acc,
+            );
             for (i, inst) in insts.iter_mut().enumerate() {
                 let mode = ctl.as_ref().map_or(SlotMode::Live, |c| c.modes[i]);
-                let ci = ctl.as_ref().map_or(shared.nominal_ci, |c| c.clocks[i]) as usize;
+                // A thermal excursion caps the slot's operating point
+                // below whatever DVFS (or nominal) asked for; the grid is
+                // priced whenever any thermal event exists.
+                let ci = ctl
+                    .as_ref()
+                    .map_or(shared.nominal_ci, |c| c.clocks[i])
+                    .min(clamp[i]) as usize;
                 let (spent, nominal_spent) = if mode == SlotMode::Live {
                     inst.serve(
                         tick,
@@ -1144,9 +1479,10 @@ fn simulate_cells(shared: &Shared<'_>, seed: u64, cell_lo: u32, cell_hi: u32) ->
 pub fn run_sharded(cfg: &FleetConfig, seed: u64, shards: u32, threads: u32) -> Result<FleetReport> {
     cfg.validate()?;
     // A DVFS-controlled fleet prices the full SLO_MIN_CLOCK..=1.0
-    // operating-point grid; everything else prices nominal only (same
-    // table, one clock row).
-    let clocks: Vec<f64> = if cfg.dvfs_enabled() {
+    // operating-point grid; so does any run with thermal-excursion chaos
+    // (the clamp needs sub-nominal rows to land on). Everything else
+    // prices nominal only (same table, one clock row).
+    let clocks: Vec<f64> = if cfg.dvfs_enabled() || cfg.chaos.has_thermal() {
         power_mgmt::operating_points()
     } else {
         vec![1.0]
@@ -1196,6 +1532,7 @@ pub fn run_sharded(cfg: &FleetConfig, seed: u64, shards: u32, threads: u32) -> R
                     .collect()
             })
             .collect(),
+        chaos: compile_cell_chaos(cfg, lut.clock_points()),
         knobs,
     };
     let cells = cfg.num_cells();
@@ -1259,6 +1596,8 @@ pub fn run_sharded(cfg: &FleetConfig, seed: u64, shards: u32, threads: u32) -> R
             gpus_per_instance: cfg.gpus_per_instance,
             cells,
             spares: cells * cfg.spares_per_cell,
+            crews_per_cell: cfg.repair_crews_per_cell,
+            chaos: !cfg.chaos.events.is_empty(),
             horizon_s: horizon_s_eff,
             tick_s: cfg.tick_s,
             tenants: tenants_meta,

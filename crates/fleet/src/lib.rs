@@ -33,6 +33,13 @@
 //!   books stay isolated from prefill interference. The control plane is
 //!   phase-aware (per-pool autoscaling, prefill-only routing), and the
 //!   report grows a [`report::KvTransferReport`] section.
+//! - **Failures can correlate.** An [`engine::ChaosSpec`] schedules
+//!   rack/power-domain outages, network partitions, thermal clock clamps
+//!   and rolling drains over the horizon (compiled from campaigns by the
+//!   `litegpu-chaos` crate); finite per-cell repair crews work an
+//!   integer-µs repair queue, and the report attributes instance downs by
+//!   domain kind ([`report::FailureBreakdown`]) and grows a
+//!   [`report::ChaosSection`] on campaign runs.
 //! - **Determinism is total.** Every instance and every (cell, tenant)
 //!   arrival stream owns its RNG stream, all accumulators are integers,
 //!   and shard results merge with associative integer arithmetic — so the
@@ -64,12 +71,16 @@ pub mod state;
 pub mod traffic;
 pub mod workload;
 
-pub use engine::{run, run_sharded, FleetConfig, KvLink, ServingMode};
+pub use engine::{
+    run, run_sharded, ChaosSpec, DomainEvent, DomainEventKind, FleetConfig, KvLink, ServingMode,
+};
 pub use hist::LatencyHistogram;
 pub use litegpu_ctrl as ctrl;
 pub use litegpu_ctrl::Phase;
 pub use provision::{spares_for_target, SpareSearch};
-pub use report::{DvfsReport, FleetReport, KvTransferReport, TenantReport};
+pub use report::{
+    ChaosSection, DvfsReport, FailureBreakdown, FleetReport, KvTransferReport, TenantReport,
+};
 pub use traffic::{LengthDist, TrafficModel, TrafficPattern};
 pub use workload::{PriorityClass, Tenant, WorkloadSpec};
 

@@ -3,9 +3,13 @@
 //!
 //! The cluster-level search answers "how many shared spares does a small
 //! Monte-Carlo fleet need"; this one asks the full fleet simulator, so
-//! the answer reflects per-cell spare pools, repair queues, diurnal
-//! traffic, and (when configured) the control plane. Because every run
-//! is deterministic under its seed, the sweep itself is deterministic.
+//! the answer reflects per-cell spare pools, the finite repair-crew
+//! queues (`FleetConfig::repair_crews_per_cell` crews work an integer-µs
+//! queue per cell, so spare replenishment waits behind the repair
+//! backlog), diurnal traffic, correlated chaos events when the config
+//! carries a campaign, and (when configured) the control plane. Because
+//! every run is deterministic under its seed, the sweep itself is
+//! deterministic.
 
 use crate::engine::{run, FleetConfig};
 use crate::report::FleetReport;

@@ -49,6 +49,11 @@ pub(crate) struct RunMeta {
     pub cells: u32,
     /// GPU-sized hot spares across the fleet.
     pub spares: u32,
+    /// Repair crews per cell.
+    pub crews_per_cell: u32,
+    /// Whether the run carried a chaos campaign (gates the `chaos`
+    /// report section).
+    pub chaos: bool,
     /// Effective simulated horizon, seconds.
     pub horizon_s: f64,
     /// Simulation tick, seconds.
@@ -196,6 +201,51 @@ pub struct DvfsReport {
     pub energy_saved_frac: f64,
 }
 
+/// Instance-down attribution by failure-domain kind, in
+/// `litegpu_cluster::domain::DomainKind` order. Always present, so
+/// availability claims are attributable even on chaos-free runs (where
+/// everything lands in `independent`).
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct FailureBreakdown {
+    /// I.i.d. per-instance AFR failures.
+    pub independent: u64,
+    /// Instances downed by rack-loss events (incl. straddle collateral).
+    pub rack: u64,
+    /// Instances downed by power-domain trips.
+    pub power: u64,
+    /// Network-partition windows observed (per affected cell).
+    pub partition_events: u64,
+    /// Thermal-excursion windows observed (per affected cell).
+    pub thermal_events: u64,
+}
+
+/// The chaos section of a fleet run under a correlated-failure campaign:
+/// lifecycle events, front-door shed attribution, and the repair-crew
+/// queue's behaviour. Present only when the config carried a
+/// [`crate::engine::ChaosSpec`] with events.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ChaosSection {
+    /// Instances drained by rolling-drain waves.
+    pub drains: u64,
+    /// Drained instances restored within the horizon.
+    pub drain_restores: u64,
+    /// Arrivals shed at the front door of partitioned cells (a subset of
+    /// `routing_shed`).
+    pub partition_shed: u64,
+    /// Repair jobs a crew started within the horizon.
+    pub repairs_dispatched: u64,
+    /// Mean wait for a free crew across dispatched jobs, seconds — the
+    /// repair backlog the finite-crew model makes visible.
+    pub repair_wait_mean_s: f64,
+    /// Down instances restored to service within the horizon.
+    pub restores: u64,
+    /// Mean time to restore across those restores, seconds (spare swaps
+    /// and crew repairs alike).
+    pub mttr_s: f64,
+    /// Repair crews per cell.
+    pub crews_per_cell: u32,
+}
+
 /// Aggregated results of a fleet run.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct FleetReport {
@@ -242,8 +292,10 @@ pub struct FleetReport {
     pub goodput_tps: f64,
     /// Fraction of instance-time up.
     pub availability: f64,
-    /// Failures injected.
+    /// Failures injected (independent + correlated instance-downs).
     pub failures: u64,
+    /// Instance-down attribution by failure-domain kind.
+    pub failure_breakdown: FailureBreakdown,
     /// Failures absorbed by a hot spare.
     pub spare_hits: u64,
     /// Failures that had to wait for a full repair.
@@ -299,6 +351,9 @@ pub struct FleetReport {
     /// DVFS accounting (clock histogram + energy saved vs nominal;
     /// `null` unless the control plane ran the DVFS policy).
     pub dvfs: Option<DvfsReport>,
+    /// Chaos-campaign accounting (drains, partition shed, repair-crew
+    /// queue, MTTR; `null` on campaign-free runs).
+    pub chaos: Option<ChaosSection>,
 }
 
 impl FleetReport {
@@ -358,6 +413,24 @@ impl FleetReport {
                 },
             }
         });
+        let chaos = meta.chaos.then(|| ChaosSection {
+            drains: totals.drains,
+            drain_restores: totals.drain_restores,
+            partition_shed: totals.partition_shed,
+            repairs_dispatched: totals.repairs_dispatched,
+            repair_wait_mean_s: if totals.repairs_dispatched == 0 {
+                0.0
+            } else {
+                totals.repair_wait_us as f64 / totals.repairs_dispatched as f64 / 1e6
+            },
+            restores: totals.restores,
+            mttr_s: if totals.restores == 0 {
+                0.0
+            } else {
+                totals.restore_us as f64 / totals.restores as f64 / 1e6
+            },
+            crews_per_cell: meta.crews_per_cell,
+        });
         let kv_transfer = meta.phase_split.then(|| {
             let link_time_us = meta.cells as u128 * (meta.horizon_s * 1e6) as u128;
             KvTransferReport {
@@ -401,6 +474,13 @@ impl FleetReport {
             goodput_tps: totals.generated_tokens as f64 / meta.horizon_s,
             availability,
             failures: totals.failures,
+            failure_breakdown: FailureBreakdown {
+                independent: totals.by_kind[0],
+                rack: totals.by_kind[1],
+                power: totals.by_kind[2],
+                partition_events: totals.by_kind[3],
+                thermal_events: totals.by_kind[4],
+            },
             spare_hits: totals.spare_hits,
             spare_misses: totals.spare_misses,
             energy_j: totals.energy_uj / 1_000_000,
@@ -427,6 +507,7 @@ impl FleetReport {
             per_tenant,
             kv_transfer,
             dvfs,
+            chaos,
         }
     }
 
@@ -513,6 +594,36 @@ impl FleetReport {
         }
     }
 
+    /// One-line chaos summary (campaign runs), or a note that the run
+    /// carried no campaign.
+    pub fn chaos_summary(&self) -> String {
+        match &self.chaos {
+            None => "chaos: n/a (no campaign)".to_string(),
+            Some(c) => {
+                let b = &self.failure_breakdown;
+                format!(
+                    "chaos: downs {} independent / {} rack / {} power, {} partition + {} \
+                     thermal windows, {} drained ({} restored), {} partition-shed, {} repairs \
+                     dispatched (mean crew wait {:.1} s, {} crews/cell), MTTR {:.1} s over {} \
+                     restores",
+                    b.independent,
+                    b.rack,
+                    b.power,
+                    b.partition_events,
+                    b.thermal_events,
+                    c.drains,
+                    c.drain_restores,
+                    c.partition_shed,
+                    c.repairs_dispatched,
+                    c.repair_wait_mean_s,
+                    c.crews_per_cell,
+                    c.mttr_s,
+                    c.restores,
+                )
+            }
+        }
+    }
+
     /// Multi-line per-tenant SLO table (name, class, volumes, shed and
     /// attainment), for binaries and examples.
     pub fn tenant_summary(&self) -> String {
@@ -546,6 +657,7 @@ mod tests {
         t.generated_tokens = 45_000;
         t.decode_steps = 1000;
         t.failures = 3;
+        t.by_kind = [3, 0, 0, 0, 0];
         t.spare_hits = 2;
         t.spare_misses = 1;
         t.downtime_us = 3_600_000_000; // One instance-hour.
@@ -599,6 +711,8 @@ mod tests {
             gpus_per_instance: 2,
             cells: 10,
             spares: 10,
+            crews_per_cell: 2,
+            chaos: false,
             horizon_s: 36_000.0,
             tick_s: 1.0,
             tenants: vec![
@@ -724,6 +838,58 @@ mod tests {
         assert!(r.dvfs.is_none());
         assert!(r.to_json().contains("\"dvfs\": null"));
         assert_eq!(r.dvfs_summary(), "dvfs: n/a (nominal clock)");
+    }
+
+    #[test]
+    fn campaign_free_runs_have_breakdown_but_no_chaos_section() {
+        let r = FleetReport::finalize(&totals(), meta());
+        // The breakdown is always present and conserves the failure
+        // count on chaos-free runs (everything independent).
+        assert_eq!(r.failure_breakdown.independent, 3);
+        assert_eq!(
+            r.failure_breakdown.independent + r.failure_breakdown.rack + r.failure_breakdown.power,
+            r.failures
+        );
+        assert!(r.chaos.is_none());
+        let json = r.to_json();
+        assert!(json.contains("\"chaos\": null"));
+        assert!(json.contains("failure_breakdown"));
+        assert_eq!(r.chaos_summary(), "chaos: n/a (no campaign)");
+    }
+
+    #[test]
+    fn chaos_section_derives_from_integer_totals() {
+        let mut t = totals();
+        t.failures = 9;
+        t.by_kind = [3, 4, 2, 5, 1];
+        t.drains = 12;
+        t.drain_restores = 10;
+        t.partition_shed = 7;
+        t.repairs_dispatched = 4;
+        t.repair_wait_us = 8_000_000; // 2 s mean over 4 jobs.
+        t.restores = 5;
+        t.restore_us = 30_000_000; // 6 s mean.
+        let mut m = meta();
+        m.chaos = true;
+        let r = FleetReport::finalize(&t, m);
+        assert_eq!(r.failure_breakdown.rack, 4);
+        assert_eq!(r.failure_breakdown.power, 2);
+        assert_eq!(r.failure_breakdown.partition_events, 5);
+        assert_eq!(r.failure_breakdown.thermal_events, 1);
+        let c = r.chaos.as_ref().expect("campaign run has chaos section");
+        assert_eq!((c.drains, c.drain_restores), (12, 10));
+        assert_eq!(c.partition_shed, 7);
+        assert_eq!(c.repairs_dispatched, 4);
+        assert!((c.repair_wait_mean_s - 2.0).abs() < 1e-12);
+        assert_eq!(c.restores, 5);
+        assert!((c.mttr_s - 6.0).abs() < 1e-12);
+        assert_eq!(c.crews_per_cell, 2);
+        let s = r.chaos_summary();
+        assert!(s.contains("4 rack"));
+        assert!(s.contains("MTTR 6.0 s"));
+        for key in ["partition_shed", "repair_wait_mean_s", "mttr_s"] {
+            assert!(r.to_json().contains(key), "missing {key}");
+        }
     }
 
     #[test]

@@ -333,6 +333,26 @@ pub(crate) struct ShardTotals {
     pub routing_shed: u64,
     /// Best-effort arrivals shed by admission control under pressure.
     pub admission_shed: u64,
+    /// Failure breakdown by `litegpu_cluster::domain::DomainKind` index:
+    /// independent / rack / power slots count instance-downs (they sum to
+    /// `failures`); the partition and thermal slots count chaos events
+    /// observed (those degrade service without downing instances).
+    pub by_kind: [u64; 5],
+    /// Of `routing_shed`, arrivals shed because the cell was partitioned.
+    pub partition_shed: u64,
+    /// Instances entering a rolling-drain wave.
+    pub drains: u64,
+    /// Drained instances restored to rotation.
+    pub drain_restores: u64,
+    /// Repair jobs handed to a cell repair crew.
+    pub repairs_dispatched: u64,
+    /// Total µs repair jobs waited for a free crew past their ready time.
+    pub repair_wait_us: u64,
+    /// Completed down→up restorations.
+    pub restores: u64,
+    /// Total µs of completed restorations (mean-time-to-restore
+    /// numerator; unlike `downtime_us` it excludes still-down tail time).
+    pub restore_us: u64,
     /// KV hand-off cohorts enqueued on cell links (phase-split serving).
     pub kv_transfers: u64,
     /// KV bytes enqueued on cell links.
@@ -408,6 +428,16 @@ impl ShardTotals {
         self.routed += other.routed;
         self.routing_shed += other.routing_shed;
         self.admission_shed += other.admission_shed;
+        for (a, b) in self.by_kind.iter_mut().zip(&other.by_kind) {
+            *a += b;
+        }
+        self.partition_shed += other.partition_shed;
+        self.drains += other.drains;
+        self.drain_restores += other.drain_restores;
+        self.repairs_dispatched += other.repairs_dispatched;
+        self.repair_wait_us += other.repair_wait_us;
+        self.restores += other.restores;
+        self.restore_us += other.restore_us;
         self.kv_transfers += other.kv_transfers;
         self.kv_bytes_queued += other.kv_bytes_queued;
         self.kv_bytes_delivered += other.kv_bytes_delivered;
@@ -435,24 +465,52 @@ impl ShardTotals {
     }
 }
 
-/// The hot-spare pool and repair queue of one cell (a fixed group of
-/// instances — think rack or pod). Spares are GPU-sized units, as in
+/// A repair job finished by [`CellState::dispatch_repairs`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct RepairDispatch {
+    /// Cell-local instance index the job belongs to.
+    pub local_idx: u32,
+    /// Time the assigned crew finishes the repair, µs.
+    pub done_us: u64,
+    /// Whether the repaired unit returns to the spare pool (a spare
+    /// already replaced it) rather than restoring the instance itself.
+    pub replenish: bool,
+    /// Time the job waited for a free crew past its ready time, µs.
+    pub wait_us: u64,
+}
+
+/// The hot-spare pool and repair-crew queue of one cell (a fixed group
+/// of instances — think rack or pod). Spares are GPU-sized units, as in
 /// `litegpu_cluster::failure`: a failure consumes one spare (the spare
 /// replaces the failed GPU, bringing the instance back after the swap
-/// delay), and the failed unit rejoins the pool once repaired. This is
-/// what makes Lite-GPU spare pools proportionally cheaper (§3) —
+/// delay), and the failed unit rejoins the pool once a *finite* repair
+/// crew works through it. With no spare free the instance itself waits
+/// on a crew, so spare starvation and repair backlog compound — the
+/// interaction chaos campaigns are built to expose. This is what makes
+/// Lite-GPU spare pools proportionally cheaper (§3) —
 /// `FleetReport::spare_overhead` divides by total fleet GPUs.
 #[derive(Debug)]
 pub(crate) struct CellState {
     pub spares_free: u32,
+    /// Finished-repair completion times (units en route to the pool).
     repairs: BinaryHeap<Reverse<u64>>,
+    /// Each crew's next-free time; always exactly `crews` entries.
+    crews: BinaryHeap<Reverse<u64>>,
+    /// Repair jobs awaiting a crew: `(ready_us, seq, local_idx,
+    /// replenish)`, dispatched FIFO by ready time (`seq` breaks ties
+    /// deterministically in enqueue order).
+    pending: BinaryHeap<Reverse<(u64, u32, u32, bool)>>,
+    seq: u32,
 }
 
 impl CellState {
-    pub fn new(spares: u32) -> Self {
+    pub fn new(spares: u32, crews: u32) -> Self {
         Self {
             spares_free: spares,
             repairs: BinaryHeap::new(),
+            crews: (0..crews.max(1)).map(|_| Reverse(0)).collect(),
+            pending: BinaryHeap::new(),
+            seq: 0,
         }
     }
 
@@ -469,16 +527,54 @@ impl CellState {
         }
     }
 
-    /// Takes a spare for a failure at `now_us`; the failed unit returns
-    /// to the pool after `repair_us`. Returns whether a spare was free.
-    pub fn try_take_spare(&mut self, now_us: u64, repair_us: u64) -> bool {
+    /// Takes a spare if one is free. The failed unit's repair must be
+    /// queued separately via [`CellState::enqueue_repair`] — crews, not
+    /// the swap itself, bring units back.
+    pub fn try_take_spare(&mut self) -> bool {
         if self.spares_free > 0 {
             self.spares_free -= 1;
-            self.repairs.push(Reverse(now_us.saturating_add(repair_us)));
             true
         } else {
             false
         }
+    }
+
+    /// Queues a repair job that becomes workable at `ready_us` (for an
+    /// outage, the event's end — crews cannot enter a dark rack).
+    pub fn enqueue_repair(&mut self, ready_us: u64, local_idx: u32, replenish: bool) {
+        self.pending
+            .push(Reverse((ready_us, self.seq, local_idx, replenish)));
+        self.seq += 1;
+    }
+
+    /// Assigns every pending job that is ready by `now_us` to the
+    /// earliest-available crew, FIFO by ready time. Each job starts at
+    /// `max(ready, crew free)` — so a busy-crew backlog shows up as wait
+    /// time — and finishes `repair_us` later. Replenish jobs feed the
+    /// spare pool via [`CellState::reclaim_repaired`]; for the rest the
+    /// caller must schedule the instance's own recovery at `done_us`.
+    pub fn dispatch_repairs(&mut self, now_us: u64, repair_us: u64) -> Vec<RepairDispatch> {
+        let mut out = Vec::new();
+        while let Some(&Reverse((ready_us, _, local_idx, replenish))) = self.pending.peek() {
+            if ready_us > now_us {
+                break;
+            }
+            self.pending.pop();
+            let Reverse(crew_free) = self.crews.pop().expect("crew set is never empty");
+            let start_us = ready_us.max(crew_free);
+            let done_us = start_us.saturating_add(repair_us);
+            self.crews.push(Reverse(done_us));
+            if replenish {
+                self.repairs.push(Reverse(done_us));
+            }
+            out.push(RepairDispatch {
+                local_idx,
+                done_us,
+                replenish,
+                wait_us: start_us - ready_us,
+            });
+        }
+        out
     }
 }
 
@@ -531,8 +627,11 @@ impl InstanceState {
     }
 
     /// Failure/repair lifecycle for the tick starting at `tick_start_us`.
+    /// `local_idx` is the instance's cell-local index (the handle crew
+    /// dispatches use to schedule its recovery).
     pub fn lifecycle(
         &mut self,
+        local_idx: u32,
         tick_start_us: u64,
         tick_us: u64,
         rates: &FailureRates,
@@ -543,6 +642,8 @@ impl InstanceState {
             if tick_start_us >= self.down_until_us {
                 // Recovered: account downtime, restart the failure clock.
                 acc.downtime_us += self.down_until_us - self.down_since_us;
+                acc.restores += 1;
+                acc.restore_us += self.down_until_us - self.down_since_us;
                 self.up = true;
                 self.next_failure_us = self
                     .down_until_us
@@ -556,20 +657,32 @@ impl InstanceState {
         }
         // The instance fails this tick. The whole instance goes down —
         // the paper's instance-wide blast radius — and its KV caches die
-        // with it: running cohorts requeue for a fresh prefill.
+        // with it: running cohorts requeue for a fresh prefill. With a
+        // spare free the instance returns after the swap delay and the
+        // failed unit joins the crew queue as pool replenishment; with
+        // none, the instance itself waits for a repair crew (recovery
+        // time is set when a crew picks the job up).
         let fail_at = self.next_failure_us.max(tick_start_us);
         acc.failures += 1;
-        let spare = cell.try_take_spare(fail_at, rates.repair_us);
-        let delay = if spare {
+        acc.by_kind[0] += 1; // DomainKind::Independent.
+        if cell.try_take_spare() {
             acc.spare_hits += 1;
-            rates.swap_us
+            self.force_down(fail_at, fail_at.saturating_add(rates.swap_us.max(1)), acc);
+            cell.enqueue_repair(fail_at, local_idx, true);
         } else {
             acc.spare_misses += 1;
-            rates.repair_us
-        };
+            self.force_down(fail_at, u64::MAX, acc);
+            cell.enqueue_repair(fail_at, local_idx, false);
+        }
+    }
+
+    /// Takes the instance down at `fail_at` until `down_until_us`
+    /// (`u64::MAX` = until a crew dispatch schedules recovery), flushing
+    /// running cohorts back to the queue as retries.
+    pub fn force_down(&mut self, fail_at: u64, down_until_us: u64, acc: &mut ShardTotals) {
         self.up = false;
         self.down_since_us = fail_at;
-        self.down_until_us = fail_at.saturating_add(delay.max(1));
+        self.down_until_us = down_until_us;
         self.carry_us = 0;
         let mut flushed = 0u64;
         // Keep the original arrival tick (and tenant) so end-to-end
@@ -588,6 +701,12 @@ impl InstanceState {
         acc.retried += flushed;
         self.active = 0;
         self.active_by_tenant.fill(0);
+    }
+
+    /// Sets the recovery time of a downed instance whose repair a crew
+    /// just picked up (the spare-miss path leaves it at `u64::MAX`).
+    pub fn schedule_recovery(&mut self, done_us: u64) {
+        self.down_until_us = done_us;
     }
 
     /// Admits up to `n` routed requests of `tenant` against the queue
@@ -1142,19 +1261,55 @@ mod tests {
 
     #[test]
     fn spare_pool_accounting_hits_then_misses_then_reclaims() {
-        let mut cell = CellState::new(1);
-        // First failure takes the only spare.
-        assert!(cell.try_take_spare(1_000, 500_000));
+        let mut cell = CellState::new(1, 1);
+        // First failure takes the only spare; the dead unit joins the
+        // crew queue as pool replenishment.
+        assert!(cell.try_take_spare());
+        cell.enqueue_repair(1_000, 0, true);
         assert_eq!(cell.spares_free, 0);
         // Second failure while the unit repairs: miss.
-        assert!(!cell.try_take_spare(2_000, 500_000));
+        assert!(!cell.try_take_spare());
+        // A crew picks the job up at the next dispatch.
+        let jobs = cell.dispatch_repairs(2_000, 500_000);
+        assert_eq!(jobs.len(), 1);
+        assert!(jobs[0].replenish);
+        assert_eq!(jobs[0].done_us, 501_000);
         // Before the repair completes nothing returns.
         cell.reclaim_repaired(400_000);
         assert_eq!(cell.spares_free, 0);
         // After repair the unit is a spare again.
         cell.reclaim_repaired(501_000);
         assert_eq!(cell.spares_free, 1);
-        assert!(cell.try_take_spare(600_000, 500_000));
+        assert!(cell.try_take_spare());
+    }
+
+    #[test]
+    fn finite_crews_serialize_repairs_fifo_by_ready_time() {
+        // One crew, two jobs: the later-ready job (even if enqueued
+        // first) waits for the crew to finish the earlier-ready one.
+        let mut cell = CellState::new(0, 1);
+        cell.enqueue_repair(5_000, 1, false);
+        cell.enqueue_repair(1_000, 0, false);
+        let jobs = cell.dispatch_repairs(10_000, 100_000);
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(jobs[0].local_idx, 0);
+        assert_eq!(jobs[0].done_us, 101_000);
+        assert_eq!(jobs[0].wait_us, 0);
+        // Job 1 was ready at 5 000 but the crew frees at 101 000.
+        assert_eq!(jobs[1].local_idx, 1);
+        assert_eq!(jobs[1].wait_us, 96_000);
+        assert_eq!(jobs[1].done_us, 201_000);
+        // Jobs not yet ready stay queued.
+        cell.enqueue_repair(999_000, 2, false);
+        assert!(cell.dispatch_repairs(500_000, 100_000).is_empty());
+        // With two crews the same two jobs run in parallel.
+        let mut wide = CellState::new(0, 2);
+        wide.enqueue_repair(5_000, 1, false);
+        wide.enqueue_repair(1_000, 0, false);
+        let jobs = wide.dispatch_repairs(10_000, 100_000);
+        assert_eq!(jobs[0].done_us, 101_000);
+        assert_eq!(jobs[1].done_us, 105_000);
+        assert_eq!(jobs[1].wait_us, 0);
     }
 
     #[test]
@@ -1167,7 +1322,7 @@ mod tests {
             repair_us: 3_600_000_000,
         };
         let mut acc = ShardTotals::new(1, 1);
-        let mut cell = CellState::new(1);
+        let mut cell = CellState::new(1, 1);
         let mut inst = InstanceState::new(3, 0, &rates, 1);
         // Long outputs so the cohorts are still decoding when the
         // failure fires.
@@ -1183,8 +1338,9 @@ mod tests {
         let active_before = inst.active as u64;
         // Force the failure into tick 1.
         inst.next_failure_us = 1_200_000;
-        inst.lifecycle(1_000_000, 1_000_000, &rates, &mut cell, &mut acc);
+        inst.lifecycle(0, 1_000_000, 1_000_000, &rates, &mut cell, &mut acc);
         assert_eq!(acc.failures, 1);
+        assert_eq!(acc.by_kind[0], 1, "an independent (AFR) failure");
         assert_eq!(acc.spare_hits, 1);
         assert_eq!(acc.spare_misses, 0);
         assert_eq!(cell.spares_free, 0);
@@ -1194,32 +1350,40 @@ mod tests {
         assert_eq!(acc.retried, active_before);
         assert_eq!(inst.queued, active_before);
         // Swap delay: down for 1.5 ticks, up again at tick 3.
-        inst.lifecycle(2_000_000, 1_000_000, &rates, &mut cell, &mut acc);
+        inst.lifecycle(0, 2_000_000, 1_000_000, &rates, &mut cell, &mut acc);
         assert!(!inst.up);
-        inst.lifecycle(3_000_000, 1_000_000, &rates, &mut cell, &mut acc);
+        inst.lifecycle(0, 3_000_000, 1_000_000, &rates, &mut cell, &mut acc);
         assert!(inst.up);
         assert_eq!(acc.downtime_us, 1_500_000);
+        assert_eq!(acc.restores, 1);
+        assert_eq!(acc.restore_us, 1_500_000);
     }
 
     #[test]
-    fn without_spares_repair_time_dominates_downtime() {
+    fn without_spares_a_crew_repair_dominates_downtime() {
         let rates = FailureRates {
             mean_interval_us: 1.0,
             swap_us: 1_000_000,
             repair_us: 10_000_000,
         };
         let mut acc = ShardTotals::new(1, 1);
-        let mut cell = CellState::new(0);
+        let mut cell = CellState::new(0, 1);
         let mut inst = InstanceState::new(4, 0, &rates, 1);
         inst.next_failure_us = 500_000;
-        inst.lifecycle(0, 1_000_000, &rates, &mut cell, &mut acc);
+        inst.lifecycle(0, 0, 1_000_000, &rates, &mut cell, &mut acc);
         assert_eq!(acc.spare_misses, 1);
         assert!(!inst.up);
-        // Still down until repair completes at 10.5 s.
-        inst.lifecycle(10_000_000, 1_000_000, &rates, &mut cell, &mut acc);
-        assert!(!inst.up);
+        // No recovery time exists until a crew picks the job up.
         assert_eq!(inst.pending_downtime_us(10_000_000), 9_500_000);
-        inst.lifecycle(11_000_000, 1_000_000, &rates, &mut cell, &mut acc);
+        let jobs = cell.dispatch_repairs(1_000_000, rates.repair_us);
+        assert_eq!(jobs.len(), 1);
+        assert!(!jobs[0].replenish);
+        assert_eq!(jobs[0].done_us, 10_500_000, "repair ran from fail time");
+        inst.schedule_recovery(jobs[0].done_us);
+        // Still down until the crew finishes at 10.5 s.
+        inst.lifecycle(0, 10_000_000, 1_000_000, &rates, &mut cell, &mut acc);
+        assert!(!inst.up);
+        inst.lifecycle(0, 11_000_000, 1_000_000, &rates, &mut cell, &mut acc);
         assert!(inst.up);
         assert_eq!(acc.downtime_us, 10_000_000);
     }

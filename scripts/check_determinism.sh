@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # Determinism gate: run the controlled 3-tenant fleet at several thread
 # counts — across all three serving/control combos (monolithic,
-# phase-split, and DVFS-enabled phase-split clock scaling) — and diff
-# the serialized FleetReport bytes. Byte-identical reports at any
-# shard/thread count are the engine's core guarantee, checked end to end
-# through the sim_fleet binary. Shared by ci.sh and
+# phase-split, and DVFS-enabled phase-split clock scaling), each also
+# under a compiled chaos campaign (rack outages + repair crews for mono,
+# cell partitions for split, thermal clock clamps for the DVFS combo) —
+# and diff the serialized FleetReport bytes. Byte-identical reports at
+# any shard/thread count are the engine's core guarantee, checked end to
+# end through the sim_fleet binary. Shared by ci.sh and
 # .github/workflows/ci.yml (ci.sh invokes this script, so the workflow
 # cannot skip it).
 set -euo pipefail
@@ -12,11 +14,14 @@ cd "$(dirname "$0")/.."
 
 det_dir="target/ci-determinism"
 mkdir -p "$det_dir"
-for combo in mono split dvfs; do
+for combo in mono split dvfs mono_chaos split_chaos dvfs_chaos; do
   case "$combo" in
-    mono)  combo_flags=(--serving mono) ;;
-    split) combo_flags=(--serving split) ;;
-    dvfs)  combo_flags=(--serving split --dvfs) ;;
+    mono)        combo_flags=(--serving mono) ;;
+    split)       combo_flags=(--serving split) ;;
+    dvfs)        combo_flags=(--serving split --dvfs) ;;
+    mono_chaos)  combo_flags=(--serving mono --chaos rack) ;;
+    split_chaos) combo_flags=(--serving split --chaos partition) ;;
+    dvfs_chaos)  combo_flags=(--serving split --dvfs --chaos thermal) ;;
   esac
   for threads in 1 2 8; do
     cargo run --release -q -p litegpu-bench --bin sim_fleet -- \

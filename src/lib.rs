@@ -6,6 +6,7 @@
 //! directly.
 
 pub use litegpu;
+pub use litegpu_chaos as chaos;
 pub use litegpu_cluster as cluster;
 pub use litegpu_ctrl as ctrl;
 pub use litegpu_fab as fab;

@@ -182,6 +182,22 @@ fn routing_conserves_arrivals_per_tenant_and_fleet_wide() {
     }
 }
 
+/// The failure breakdown attributes every instance-down to a domain
+/// kind: on campaign-free runs everything is i.i.d. (`independent`),
+/// the event counters stay zero, and no chaos section is emitted.
+#[test]
+fn failure_breakdown_conserves_on_campaign_free_runs() {
+    for cfg in [test_cfg(), ctrl_cfg()] {
+        let r = run(&cfg, 42).unwrap();
+        let b = &r.failure_breakdown;
+        assert!(r.failures > 0, "test should exercise failure paths");
+        assert_eq!(b.independent + b.rack + b.power, r.failures);
+        assert_eq!(b.rack + b.power, 0, "no campaign: all failures i.i.d.");
+        assert_eq!(b.partition_events + b.thermal_events, 0);
+        assert!(r.chaos.is_none(), "chaos section only on campaign runs");
+    }
+}
+
 /// Under the overloaded ramp, admission control sheds the best-effort
 /// tenant only — the guaranteed classes are never admission-shed.
 #[test]
