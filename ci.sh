@@ -42,9 +42,22 @@ build_test() {
   cargo run --release -q -p litegpu-bench --bin sim_ctrl -- \
     --instances 100 --hours 4 --dvfs --quiet-json
 
-  echo "==> chaos smoke: campaign sweep, H100-vs-Lite availability under correlated failures (sim_chaos --smoke)"
+  echo "==> chaos smoke: campaign sweep, H100-vs-Lite availability under correlated failures (sim_chaos --smoke --series)"
   cargo run --release -q -p litegpu-bench --bin sim_chaos -- \
-    --smoke --quiet-json
+    --smoke --series --quiet-json
+
+  echo "==> telemetry smoke: deterministic series + Perfetto trace + engine profile (sim_fleet --series --trace --profile)"
+  mkdir -p target/ci-telemetry
+  cargo run --release -q -p litegpu-bench --bin sim_fleet -- \
+    --gpu lite --instances 64 --cell-size 8 --hours 1 --accel 50000 \
+    --ctrl auto --workload multi --serving split --chaos rack --no-baseline \
+    --series target/ci-telemetry/series.jsonl --series-dt 60 \
+    --trace target/ci-telemetry/trace.json --trace-every 16 \
+    --profile --quiet-json
+  for artifact in series.jsonl trace.json; do
+    test -s "target/ci-telemetry/$artifact" || {
+      echo "TELEMETRY SMOKE: target/ci-telemetry/$artifact missing or empty" >&2; exit 1; }
+  done
 
   echo "==> determinism: byte-identical FleetReport at 1/2/8 threads, serving/control combos with and without chaos"
   ./scripts/check_determinism.sh

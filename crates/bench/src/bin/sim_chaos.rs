@@ -23,15 +23,23 @@
 //!           [--events N] [--duration S] [--intensity F]
 //!           [--rack-kw K] [--racks-per-domain N]
 //!           [--seed N] [--shards N] [--threads N]
+//!           [--series] [--series-dt S]
 //!           [--smoke] [--quiet-json]
 //! ```
 //!
 //! `--instances` sizes the H100 fleet (the Lite fleet gets 4x). `--rate`
 //! is the H100 per-instance request rate (Lite instances carry a quarter
 //! each, so total demand matches). `--smoke` shrinks everything for CI.
+//!
+//! `--series` records the recovery timeline the end-of-run table drops:
+//! a deterministic availability/queue/repair time series per campaign
+//! and fleet, sampled every `--series-dt` simulated seconds (default 60)
+//! and written to `target/experiments/chaos_<kind>_<fleet>_series.jsonl`.
+//! Availability dips sit exactly inside the campaign's outage windows —
+//! `tests/chaos_campaigns.rs` asserts as much.
 
-use litegpu_chaos::{outcome, run_campaign, Campaign, CampaignKind, ChaosReport, DomainPlan};
-use litegpu_fleet::{FleetConfig, FleetReport, WorkloadSpec};
+use litegpu_chaos::{outcome, run_campaign_full, Campaign, CampaignKind, ChaosReport, DomainPlan};
+use litegpu_fleet::{FleetConfig, FleetReport, FleetRun, TelemetryConfig, WorkloadSpec};
 
 struct Args {
     campaign: String,
@@ -47,6 +55,8 @@ struct Args {
     seed: u64,
     shards: u32,
     threads: u32,
+    series: bool,
+    series_dt: f64,
     quiet_json: bool,
 }
 
@@ -65,6 +75,8 @@ fn parse_args() -> Args {
         seed: 42,
         shards: 0,
         threads: 0,
+        series: false,
+        series_dt: 60.0,
         quiet_json: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -87,6 +99,8 @@ fn parse_args() -> Args {
             "--seed" => a.seed = parsed(&flag, value(&mut i)),
             "--shards" => a.shards = parsed(&flag, value(&mut i)),
             "--threads" => a.threads = parsed(&flag, value(&mut i)),
+            "--series" => a.series = true,
+            "--series-dt" => a.series_dt = parsed(&flag, value(&mut i)),
             "--smoke" => {
                 a.instances = 24;
                 a.hours = 0.5;
@@ -147,7 +161,7 @@ fn run_one(
     camp: &Campaign,
     plan: &DomainPlan,
     a: &Args,
-) -> FleetReport {
+) -> FleetRun {
     let threads = if a.threads > 0 {
         a.threads
     } else {
@@ -160,7 +174,14 @@ fn run_one(
     } else {
         cfg.num_cells()
     };
-    match run_campaign(cfg, plan, camp, a.seed, shards, threads) {
+    let mut cfg = cfg.clone();
+    if a.series {
+        cfg.telemetry = TelemetryConfig {
+            series_dt_s: a.series_dt,
+            ..TelemetryConfig::default()
+        };
+    }
+    match run_campaign_full(&cfg, plan, camp, a.seed, shards, threads) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("campaign {} / fleet {name}: {e}", camp.kind.label());
@@ -245,9 +266,27 @@ fn main() {
             duration_s: a.duration,
             intensity: a.intensity,
         };
-        let rh = run_one("h100", &h100, &camp, &plan, &a);
-        let rl = run_one("lite", &lite, &camp, &plan, &a);
-        print_table(&camp, &[("h100", &rh), ("lite", &rl)]);
+        let run_h = run_one("h100", &h100, &camp, &plan, &a);
+        let run_l = run_one("lite", &lite, &camp, &plan, &a);
+        let (rh, rl) = (&run_h.report, &run_l.report);
+        print_table(&camp, &[("h100", rh), ("lite", rl)]);
+        // The recovery timeline: one availability series per fleet so
+        // the dip/refill around each outage window is inspectable, not
+        // just its end-of-run average.
+        if a.series {
+            let dir = litegpu_bench::experiments_dir();
+            if std::fs::create_dir_all(&dir).is_ok() {
+                for (name, fr) in [("h100", &run_h), ("lite", &run_l)] {
+                    if let Some(s) = fr.series.as_ref() {
+                        let path = dir.join(format!("chaos_{}_{name}_series.jsonl", kind.slug()));
+                        match std::fs::write(&path, s.to_jsonl()) {
+                            Ok(()) => eprintln!("#   series: wrote {}", path.display()),
+                            Err(e) => eprintln!("#   series {}: {e}", path.display()),
+                        }
+                    }
+                }
+            }
+        }
         eprintln!(
             "#   headline: lite availability {:+.4} vs h100 under '{}'",
             rl.availability - rh.availability,
@@ -256,7 +295,7 @@ fn main() {
         let report = ChaosReport::new(
             &camp,
             a.seed,
-            vec![outcome("h100", &rh), outcome("lite", &rl)],
+            vec![outcome("h100", rh), outcome("lite", rl)],
         );
         let json = report.to_json();
         if !a.quiet_json {

@@ -30,10 +30,20 @@
 //!          [--control-interval S] [--warm-pool N] [--dvfs]
 //!          [--workload multi|single] [--serving mono|split]
 //!          [--spares-target A] [--max-spares N] [--quiet-json]
+//!          [--series PATH] [--series-dt S]
 //! ```
+//!
+//! `--series PATH` records the deterministic telemetry time series for
+//! each primary fleet (autoscaler pool sizes, queue depth, sheds, clock
+//! distribution, energy rate, ...) every `--series-dt` simulated seconds
+//! (default 60) and writes one JSONL file per fleet with the fleet name
+//! before the extension (`out.jsonl` → `out_h100.jsonl`, `out_lite.jsonl`)
+//! — the when-did-the-autoscaler-lag view the end-of-run report can't
+//! show.
 
 use litegpu_fleet::{
-    run, spares_for_target, FleetConfig, PriorityClass, ServingMode, WorkloadSpec,
+    run, run_sharded_full, spares_for_target, FleetConfig, PriorityClass, ServingMode,
+    TelemetryConfig, WorkloadSpec,
 };
 
 struct Args {
@@ -52,6 +62,8 @@ struct Args {
     spares_target: Option<f64>,
     max_spares: u32,
     quiet_json: bool,
+    series: Option<String>,
+    series_dt: f64,
 }
 
 fn parse_args() -> Args {
@@ -71,6 +83,8 @@ fn parse_args() -> Args {
         spares_target: None,
         max_spares: 4,
         quiet_json: false,
+        series: None,
+        series_dt: 60.0,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -94,6 +108,8 @@ fn parse_args() -> Args {
             "--spares-target" => a.spares_target = Some(parsed(&flag, value(&mut i))),
             "--max-spares" => a.max_spares = parsed(&flag, value(&mut i)),
             "--quiet-json" => a.quiet_json = true,
+            "--series" => a.series = Some(value(&mut i)),
+            "--series-dt" => a.series_dt = parsed(&flag, value(&mut i)),
             other => {
                 eprintln!("unknown argument: {other}");
                 std::process::exit(2);
@@ -134,7 +150,21 @@ fn configure(base: FleetConfig, a: &Args) -> FleetConfig {
     if let Some(p) = ctrl.power.as_mut() {
         p.warm_pool = a.warm_pool;
     }
+    if a.series.is_some() {
+        cfg.telemetry = TelemetryConfig {
+            series_dt_s: a.series_dt,
+            ..TelemetryConfig::default()
+        };
+    }
     cfg
+}
+
+/// `out.jsonl` → `out_h100.jsonl`: one series file per fleet.
+fn series_path(path: &str, name: &str) -> String {
+    match path.rsplit_once('.') {
+        Some((stem, ext)) => format!("{stem}_{name}.{ext}"),
+        None => format!("{path}_{name}"),
+    }
 }
 
 fn main() {
@@ -146,13 +176,27 @@ fn main() {
     let mut reports = Vec::new();
     for (name, cfg) in &fleets {
         let start = std::time::Instant::now();
-        let report = match run(cfg, a.seed) {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get() as u32)
+            .unwrap_or(1);
+        let fleet_run = match run_sharded_full(cfg, a.seed, cfg.num_cells(), threads) {
             Ok(r) => r,
             Err(e) => {
                 eprintln!("fleet {name}: {e}");
                 std::process::exit(1);
             }
         };
+        if let (Some(path), Some(s)) = (&a.series, fleet_run.series.as_ref()) {
+            let path = series_path(path, name);
+            match std::fs::write(&path, s.to_jsonl()) {
+                Ok(()) => eprintln!("# series: wrote {path}"),
+                Err(e) => {
+                    eprintln!("series {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        let report = fleet_run.report;
         eprintln!(
             "# {name}: {} ({:.2} s wall)",
             report.summary(),

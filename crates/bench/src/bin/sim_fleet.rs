@@ -15,6 +15,8 @@
 //!           [--kv-gbps G] [--kv-backlog S] [--no-baseline]
 //!           [--chaos rack|power|partition|thermal|drain]
 //!           [--perf-json PATH] [--quiet-json]
+//!           [--series PATH] [--series-dt S] [--series-per-cell]
+//!           [--trace PATH] [--trace-every N] [--profile]
 //! ```
 //!
 //! `--ctrl` enables the litegpu-ctrl control plane (autoscaler + power
@@ -44,10 +46,25 @@
 //! determinism gate can check the byte-identical guarantee under
 //! correlated failures, repair crews, partitions, thermal clamps and
 //! rolling drains too.
+//!
+//! Observability (all off by default, none of it changes report bytes):
+//! `--series PATH` samples the deterministic time-series layer every
+//! `--series-dt` simulated seconds (default 60) and writes JSONL (or CSV
+//! when PATH ends in `.csv`); `--series-per-cell` adds per-cell series.
+//! `--trace PATH` writes a Chrome trace-event JSON (open in Perfetto)
+//! with every 1-in-`--trace-every` request span (default 64) plus all
+//! control-plane commands and chaos events. `--profile` times the engine
+//! phases and lands the breakdown in `--perf-json` and on stderr.
+//! Artifacts describe the first fleet (like `--perf-json`); series and
+//! trace bytes are shard/thread-invariant.
 
 use litegpu_chaos::{Campaign, CampaignKind, DomainPlan};
 use litegpu_fleet::ctrl::{CtrlConfig, Policy};
-use litegpu_fleet::{run_sharded, FleetConfig, FleetReport, KvLink, ServingMode, WorkloadSpec};
+use litegpu_fleet::{
+    run_sharded_full, FleetConfig, FleetReport, FleetRun, KvLink, ServingMode, TelemetryConfig,
+    WorkloadSpec,
+};
+use litegpu_telemetry::render_chrome_trace;
 
 struct Args {
     gpu: String,
@@ -74,6 +91,12 @@ struct Args {
     chaos: Option<String>,
     perf_json: Option<String>,
     quiet_json: bool,
+    series: Option<String>,
+    series_dt: f64,
+    series_per_cell: bool,
+    trace: Option<String>,
+    trace_every: u32,
+    profile: bool,
 }
 
 fn parse_args() -> Args {
@@ -102,6 +125,12 @@ fn parse_args() -> Args {
         chaos: None,
         perf_json: None,
         quiet_json: false,
+        series: None,
+        series_dt: 60.0,
+        series_per_cell: false,
+        trace: None,
+        trace_every: 64,
+        profile: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -134,6 +163,12 @@ fn parse_args() -> Args {
             "--chaos" => a.chaos = Some(value(&mut i)),
             "--perf-json" => a.perf_json = Some(value(&mut i)),
             "--quiet-json" => a.quiet_json = true,
+            "--series" => a.series = Some(value(&mut i)),
+            "--series-dt" => a.series_dt = parsed(&flag, value(&mut i)),
+            "--series-per-cell" => a.series_per_cell = true,
+            "--trace" => a.trace = Some(value(&mut i)),
+            "--trace-every" => a.trace_every = parsed(&flag, value(&mut i)),
+            "--profile" => a.profile = true,
             other => {
                 eprintln!("unknown argument: {other}");
                 std::process::exit(2);
@@ -147,6 +182,14 @@ fn parse_args() -> Args {
     }
     if a.dvfs && a.ctrl == "off" {
         eprintln!("--dvfs needs a control plane: pass --ctrl auto|dvfs|gate");
+        std::process::exit(2);
+    }
+    if a.series.is_some() && !(a.series_dt.is_finite() && a.series_dt > 0.0) {
+        eprintln!("--series-dt must be a positive number of seconds");
+        std::process::exit(2);
+    }
+    if a.trace.is_some() && a.trace_every == 0 {
+        eprintln!("--trace-every must be >= 1");
         std::process::exit(2);
     }
     a
@@ -221,10 +264,16 @@ fn configure(base: FleetConfig, a: &Args, auto_policy: Policy) -> FleetConfig {
             }
         }
     }
+    cfg.telemetry = TelemetryConfig {
+        series_dt_s: if a.series.is_some() { a.series_dt } else { 0.0 },
+        per_cell_series: a.series_per_cell,
+        trace_every: if a.trace.is_some() { a.trace_every } else { 0 },
+        profile: a.profile,
+    };
     cfg
 }
 
-fn run_one(name: &str, cfg: &FleetConfig, a: &Args) -> (FleetReport, f64) {
+fn run_one(name: &str, cfg: &FleetConfig, a: &Args) -> (FleetRun, f64) {
     let threads = if a.threads > 0 {
         a.threads
     } else {
@@ -238,10 +287,20 @@ fn run_one(name: &str, cfg: &FleetConfig, a: &Args) -> (FleetReport, f64) {
         cfg.num_cells()
     };
     let start = std::time::Instant::now();
-    match run_sharded(cfg, a.seed, shards, threads) {
+    match run_sharded_full(cfg, a.seed, shards, threads) {
         Ok(r) => (r, start.elapsed().as_secs_f64()),
         Err(e) => {
             eprintln!("fleet {name}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn write_artifact(what: &str, path: &str, bytes: &str) {
+    match std::fs::write(path, bytes) {
+        Ok(()) => eprintln!("# {what}: wrote {path}"),
+        Err(e) => {
+            eprintln!("{what} {path}: {e}");
             std::process::exit(1);
         }
     }
@@ -262,20 +321,44 @@ fn main() {
     };
     let mut split_reports: Vec<(String, FleetReport)> = Vec::new();
     let mut perf_written = false;
-    for (name, cfg) in fleets {
-        let (report, wall) = run_one(name, &cfg, &a);
+    for (idx, (name, cfg)) in fleets.into_iter().enumerate() {
+        let (mut fleet_run, wall) = run_one(name, &cfg, &a);
+        let report = &fleet_run.report;
         let json = report.to_json();
         eprintln!("# {name}: {} ({:.2} s wall)", report.summary(), wall);
         for line in report.tenant_summary().lines() {
             eprintln!("#   {line}");
+        }
+        if let Some(p) = fleet_run.profile.as_ref() {
+            eprintln!("#   {}", p.summary());
+        }
+        // Like `--perf-json`, series/trace artifacts describe the first
+        // fleet only — with `--gpu both` a per-iteration write would
+        // silently overwrite the h100 artifacts with lite's.
+        if idx == 0 {
+            if let (Some(path), Some(s)) = (&a.series, fleet_run.series.as_ref()) {
+                let bytes = if path.ends_with(".csv") {
+                    s.to_csv()
+                } else {
+                    s.to_jsonl()
+                };
+                write_artifact("series", path, &bytes);
+            }
+            if let (Some(path), Some(t)) = (&a.trace, fleet_run.trace.as_mut()) {
+                write_artifact("trace", path, &render_chrome_trace(t));
+            }
         }
         // The perf artifact records the first fleet only — with
         // `--gpu both` a per-iteration write would silently overwrite
         // the h100 numbers with lite's.
         if let (Some(path), false) = (&a.perf_json, perf_written) {
             let instance_ticks = cfg.num_ticks() as u64 * cfg.instances as u64;
+            let profile_field = fleet_run.profile.as_ref().map_or(String::new(), |p| {
+                format!("  \"profile\": {},\n", p.to_json())
+            });
             let perf = format!(
-                "{{\n  \"fleet\": \"{name}\",\n  \"instance_ticks\": {instance_ticks},\n  \
+                "{{\n  \"fleet\": \"{name}\",\n  \"instance_ticks\": {instance_ticks},\n\
+                 {profile_field}  \
                  \"wall_s\": {wall:.4},\n  \"ticks_per_sec\": {:.0}\n}}\n",
                 instance_ticks as f64 / wall.max(1e-9)
             );
@@ -296,7 +379,11 @@ fn main() {
             if !a.no_baseline {
                 let mut mono_cfg = cfg.clone();
                 mono_cfg.serving = ServingMode::Monolithic;
-                let (mono, _) = run_one(name, &mono_cfg, &a);
+                // The twin exists for its report; don't pay for (or
+                // overwrite) telemetry on it.
+                mono_cfg.telemetry = TelemetryConfig::default();
+                let (mono_run, _) = run_one(name, &mono_cfg, &a);
+                let mono = mono_run.report;
                 eprintln!(
                     "#   split vs mono ({} instances): p99 TBT {:.4} s vs {:.4} s \
                      ({:.1}x tighter), p99 TTFT {:.3} s vs {:.3} s (transfer premium), \

@@ -33,7 +33,7 @@
 use litegpu_cluster::DomainTopology;
 use litegpu_fleet::engine::{ChaosSpec, DomainEvent, DomainEventKind, FleetConfig};
 use litegpu_fleet::report::{FailureBreakdown, FleetReport};
-use litegpu_fleet::run_sharded;
+use litegpu_fleet::{run_sharded, run_sharded_full, FleetRun};
 use litegpu_specs::cooling::CoolingClass;
 use litegpu_specs::power::PowerModel;
 use litegpu_specs::GpuSpec;
@@ -395,6 +395,24 @@ pub fn run_campaign(
     let mut c = cfg.clone();
     c.chaos = spec;
     Ok(run_sharded(&c, seed, shards, threads)?)
+}
+
+/// [`run_campaign`] plus whatever telemetry `cfg.telemetry` asked for
+/// (availability series, trace of the campaign's outages/repairs,
+/// engine profile) — the recovery-timeline view the per-campaign table
+/// cannot show.
+pub fn run_campaign_full(
+    cfg: &FleetConfig,
+    plan: &DomainPlan,
+    campaign: &Campaign,
+    seed: u64,
+    shards: u32,
+    threads: u32,
+) -> Result<FleetRun> {
+    let spec = compile(cfg, plan, campaign, seed)?;
+    let mut c = cfg.clone();
+    c.chaos = spec;
+    Ok(run_sharded_full(&c, seed, shards, threads)?)
 }
 
 /// Per-tenant SLO attainment inside a [`CampaignOutcome`].

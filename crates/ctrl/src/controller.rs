@@ -321,6 +321,37 @@ pub enum Command {
     },
 }
 
+impl Command {
+    /// Stable snake_case command name (trace-event labels, logs).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Command::Activate { .. } => "activate",
+            Command::Park { .. } => "park",
+            Command::SetWarm { .. } => "set_warm",
+            Command::SetCold { .. } => "set_cold",
+            Command::SetWeights { .. } => "set_weights",
+            Command::SetAdmission { .. } => "set_admission",
+            Command::SetPhase { .. } => "set_phase",
+            Command::SetClock { .. } => "set_clock",
+        }
+    }
+
+    /// The cell-local slot the command targets, when it targets one
+    /// (cell-wide commands like `SetWeights`/`SetAdmission` return
+    /// `None`).
+    pub fn slot(&self) -> Option<u32> {
+        match *self {
+            Command::Activate { slot }
+            | Command::Park { slot }
+            | Command::SetWarm { slot }
+            | Command::SetCold { slot }
+            | Command::SetPhase { slot, .. }
+            | Command::SetClock { slot, .. } => Some(slot),
+            Command::SetWeights { .. } | Command::SetAdmission { .. } => None,
+        }
+    }
+}
+
 /// A deterministic per-cell control policy.
 ///
 /// `control` runs once per control tick. `pending` carries the commands
@@ -340,6 +371,45 @@ pub trait Controller {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn command_kind_and_slot_cover_every_variant() {
+        let cmds = [
+            (Command::Activate { slot: 3 }, "activate", Some(3)),
+            (Command::Park { slot: 1 }, "park", Some(1)),
+            (Command::SetWarm { slot: 0 }, "set_warm", Some(0)),
+            (Command::SetCold { slot: 9 }, "set_cold", Some(9)),
+            (
+                Command::SetWeights { weights: vec![1] },
+                "set_weights",
+                None,
+            ),
+            (
+                Command::SetAdmission {
+                    allow_best_effort: false,
+                },
+                "set_admission",
+                None,
+            ),
+            (
+                Command::SetPhase {
+                    slot: 2,
+                    phase: Phase::Prefill,
+                },
+                "set_phase",
+                Some(2),
+            ),
+            (
+                Command::SetClock { slot: 4, clock: 1 },
+                "set_clock",
+                Some(4),
+            ),
+        ];
+        for (cmd, kind, slot) in cmds {
+            assert_eq!(cmd.kind(), kind);
+            assert_eq!(cmd.slot(), slot);
+        }
+    }
 
     #[test]
     fn priority_classes_are_ordered_and_indexed() {

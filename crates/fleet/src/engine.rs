@@ -41,6 +41,7 @@
 use crate::report::{FleetReport, RunMeta, TenantMeta};
 use crate::state::{
     CellState, FailureRates, InstanceState, KvLinkState, ServeKnobs, ShardTotals, TenantKnobs,
+    TraceSink,
 };
 use crate::traffic::poisson;
 use crate::workload::WorkloadSpec;
@@ -54,9 +55,17 @@ use litegpu_ctrl::{
 use litegpu_roofline::{EngineParams, StepCostTable};
 use litegpu_specs::power::{PowerModel, DVFS_EXPONENT};
 use litegpu_specs::GpuSpec;
+use litegpu_telemetry::profile::{
+    PHASE_CHAOS, PHASE_CONTROL, PHASE_KV, PHASE_LIFECYCLE, PHASE_MERGE, PHASE_ROUTE, PHASE_SAMPLE,
+    PHASE_SERVE,
+};
+use litegpu_telemetry::{
+    MetricId, MetricKind, PhaseProfile, SeriesRecorder, SpanSampler, TraceEvent,
+};
 use litegpu_workload::{kv, ModelArch};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::time::Instant;
 
 /// Per-cell prefill→decode KV bandwidth budget for phase-split serving.
 ///
@@ -241,6 +250,46 @@ impl ServingMode {
     }
 }
 
+/// Observability knobs. All layers default off and none of them may
+/// change a single report byte: series and traces are integer records of
+/// simulation state merged deterministically ([`run_sharded_full`]
+/// returns them beside the report), while the profile measures host
+/// wall-clock and is exported only through non-determinism-diffed
+/// artifacts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TelemetryConfig {
+    /// Time-series sample window, seconds of simulated time (0 disables
+    /// the series layer). Rounded to a whole number of ticks, minimum
+    /// one tick.
+    pub series_dt_s: f64,
+    /// Also record per-cell copies of the key series metrics
+    /// (`cell{i}/...` — fleet-wide metrics are always recorded).
+    pub per_cell_series: bool,
+    /// Trace 1 in `trace_every` request spans (0 disables request spans
+    /// and, together with the control/chaos events, the trace layer).
+    pub trace_every: u32,
+    /// Record per-phase engine wall-clock into a [`PhaseProfile`].
+    pub profile: bool,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        Self {
+            series_dt_s: 0.0,
+            per_cell_series: false,
+            trace_every: 0,
+            profile: false,
+        }
+    }
+}
+
+impl TelemetryConfig {
+    /// Whether any deterministic layer (series or trace) is on.
+    pub fn observes(&self) -> bool {
+        self.series_dt_s > 0.0 || self.trace_every > 0
+    }
+}
+
 /// A complete fleet-simulation configuration.
 #[derive(Debug, Clone)]
 pub struct FleetConfig {
@@ -292,6 +341,9 @@ pub struct FleetConfig {
     pub horizon_s: f64,
     /// Simulation tick, seconds.
     pub tick_s: f64,
+    /// Observability: time series, trace export, self-profiling (all off
+    /// by default; none may change the report bytes).
+    pub telemetry: TelemetryConfig,
 }
 
 impl FleetConfig {
@@ -320,6 +372,7 @@ impl FleetConfig {
             serving: ServingMode::Monolithic,
             horizon_s: 24.0 * 3600.0,
             tick_s: 1.0,
+            telemetry: TelemetryConfig::default(),
         }
     }
 
@@ -377,7 +430,7 @@ impl FleetConfig {
 
     /// Validates parameter ranges.
     pub fn validate(&self) -> Result<()> {
-        let checks: [(&'static str, f64, bool); 9] = [
+        let checks: [(&'static str, f64, bool); 10] = [
             ("instances", self.instances as f64, self.instances > 0),
             (
                 "repair_crews_per_cell",
@@ -414,6 +467,11 @@ impl FleetConfig {
                 "failure_acceleration",
                 self.failure_acceleration,
                 self.failure_acceleration.is_finite() && self.failure_acceleration >= 0.0,
+            ),
+            (
+                "telemetry.series_dt_s",
+                self.telemetry.series_dt_s,
+                self.telemetry.series_dt_s.is_finite() && self.telemetry.series_dt_s >= 0.0,
             ),
         ];
         for (name, value, ok) in checks {
@@ -922,6 +980,8 @@ impl CellTraffic {
 struct CellCtl {
     stack: litegpu_ctrl::ControllerStack,
     rng: StdRng,
+    /// Owning cell index (trace `pid`).
+    cell: u32,
     modes: Vec<SlotMode>,
     weights: Vec<u64>,
     /// Per-slot DVFS operating point (index into the table's clock grid;
@@ -958,6 +1018,7 @@ impl CellCtl {
         Self {
             stack: ctrl.build(),
             rng,
+            cell: cell_idx,
             modes: vec![SlotMode::Live; n_slots],
             weights: vec![1; n_slots],
             clocks: vec![nominal_ci; n_slots],
@@ -990,6 +1051,7 @@ impl CellCtl {
         kv: Option<&KvLinkState>,
         shared: &Shared<'_>,
         chaos_down: u32,
+        mut trace: Option<&mut TraceSink<'_>>,
         acc: &mut ShardTotals,
     ) {
         let obs = CellObs {
@@ -1030,6 +1092,22 @@ impl CellCtl {
                 })
                 .collect(),
         };
+        // Every state-*changing* command becomes one control-plane trace
+        // instant, emitted by the arm that applies it (so tracing costs
+        // nothing on the no-op path). Policies re-assert idempotent
+        // state each tick (the gater paints every parked slot cold, the
+        // router re-sends unchanged weights); tracing only transitions
+        // keeps every state change in the timeline without drowning it
+        // — or the hot loop — in no-op re-assertions. Effectiveness is
+        // pure cell-local sim state, so the filter stays shard-invariant.
+        let (cell, tick_arg) = (self.cell, tick as u64);
+        let trace_cmd = |ts: &mut Option<&mut TraceSink<'_>>, kind: &'static str, slot: u32| {
+            if let Some(ts) = ts.as_deref_mut() {
+                ts.buf.push(TraceEvent::instant(
+                    "ctrl", kind, t_start_us, cell, slot, tick_arg,
+                ));
+            }
+        };
         for cmd in self.stack.control(&obs, &mut self.rng) {
             match cmd {
                 Command::Activate { slot } => {
@@ -1050,6 +1128,7 @@ impl CellCtl {
                         }
                     };
                     acc.scale_ups += 1;
+                    trace_cmd(&mut trace, "activate", slot);
                 }
                 Command::Park { slot } => {
                     let s = slot as usize;
@@ -1065,24 +1144,33 @@ impl CellCtl {
                         // capacity correctly keeps paying the floor.
                         self.modes[s] = SlotMode::Warm;
                         acc.scale_downs += 1;
+                        trace_cmd(&mut trace, "park", slot);
                     }
                 }
                 Command::SetWarm { slot } => {
                     if let Some(m @ SlotMode::Cold) = self.modes.get_mut(slot as usize) {
                         *m = SlotMode::Warm;
+                        trace_cmd(&mut trace, "set_warm", slot);
                     }
                 }
                 Command::SetCold { slot } => {
                     if let Some(m @ SlotMode::Warm) = self.modes.get_mut(slot as usize) {
                         *m = SlotMode::Cold;
+                        trace_cmd(&mut trace, "set_cold", slot);
                     }
                 }
                 Command::SetWeights { weights } => {
                     if weights.len() == self.modes.len() {
+                        if trace.is_some() && weights != self.weights {
+                            trace_cmd(&mut trace, "set_weights", u32::MAX);
+                        }
                         self.weights = weights;
                     }
                 }
                 Command::SetAdmission { allow_best_effort } => {
+                    if trace.is_some() && allow_best_effort != self.allow_best_effort {
+                        trace_cmd(&mut trace, "set_admission", u32::MAX);
+                    }
                     self.allow_best_effort = allow_best_effort;
                 }
                 Command::SetPhase { slot, phase } => {
@@ -1098,6 +1186,7 @@ impl CellCtl {
                     {
                         phases[s] = phase;
                         acc.phase_rebalances += 1;
+                        trace_cmd(&mut trace, "set_phase", slot);
                     }
                 }
                 Command::SetClock { slot, clock } => {
@@ -1110,6 +1199,7 @@ impl CellCtl {
                     {
                         self.clocks[s] = clock;
                         acc.clock_retunes += 1;
+                        trace_cmd(&mut trace, "set_clock", slot);
                     }
                 }
             }
@@ -1132,6 +1222,7 @@ fn deliver_transfers(
     drained: &[bool],
     max_batch: u32,
     knobs: &ServeKnobs,
+    mut trace: Option<&mut TraceSink<'_>>,
     acc: &mut ShardTotals,
 ) {
     while let Some(job) = kv.peek_landed(now_us) {
@@ -1157,6 +1248,29 @@ fn deliver_transfers(
                     &knobs.tenants[job.tenant as usize],
                     acc,
                 );
+                if let Some(ts) = trace.as_deref_mut() {
+                    if ts.sampler.sampled(job.span) {
+                        let tid = insts[i].global_index();
+                        ts.buf.push(TraceEvent::async_end(
+                            "req",
+                            "kv_transfer",
+                            now_us,
+                            ts.cell,
+                            tid,
+                            job.span,
+                            job.bytes,
+                        ));
+                        ts.buf.push(TraceEvent::async_begin(
+                            "req",
+                            "decode",
+                            now_us,
+                            ts.cell,
+                            tid,
+                            job.span,
+                            job.count as u64,
+                        ));
+                    }
+                }
                 insts[i].admit_decode_cohort(&job);
             }
             None => break,
@@ -1194,8 +1308,328 @@ fn reroute_decode_retries(
     insts[target].accept_requeued_runs(runs);
 }
 
+/// The telemetry one shard produced beside its totals: deterministic
+/// series/trace layers plus the (wall-clock, non-deterministic) profile.
+struct ShardTelemetry {
+    series: Option<SeriesRecorder>,
+    trace: Vec<TraceEvent>,
+    profile: Option<PhaseProfile>,
+}
+
+/// Wall-clock phase timer; each `mark` attributes the time since the
+/// previous mark (or `reset`) to a phase. A disabled timer never reads
+/// the clock, so profiling-off runs pay nothing.
+struct ProfTimer {
+    p: Option<PhaseProfile>,
+    last: Instant,
+}
+
+impl ProfTimer {
+    fn new(enabled: bool) -> Self {
+        Self {
+            p: enabled.then(PhaseProfile::new),
+            last: Instant::now(),
+        }
+    }
+
+    /// Restarts the interval without attributing the elapsed time.
+    fn reset(&mut self) {
+        if self.p.is_some() {
+            self.last = Instant::now();
+        }
+    }
+
+    fn mark(&mut self, phase: usize) {
+        if let Some(p) = self.p.as_mut() {
+            let now = Instant::now();
+            p.record(phase, now.duration_since(self.last).as_nanos() as u64);
+            self.last = now;
+        }
+    }
+}
+
+/// Snapshot of the monotone [`ShardTotals`] counters the series layer
+/// differences per window. Cell-major stepping makes per-cell deltas
+/// exact: between two snapshots only the current cell touches `acc`.
+#[derive(Default)]
+struct CounterSnap {
+    arrived: u64,
+    completed: u64,
+    rejected: u64,
+    admission_shed: u64,
+    routing_shed: u64,
+    tokens: u64,
+    energy_uj: u64,
+    failures: u64,
+    restores: u64,
+    repairs: u64,
+    kv_stalls: u64,
+    ttft_count: u64,
+    ttft_sum_us: u128,
+    /// Per tenant: (arrived, completed, shed).
+    per_tenant: Vec<(u64, u64, u64)>,
+}
+
+impl CounterSnap {
+    fn take(acc: &ShardTotals) -> Self {
+        Self {
+            arrived: acc.arrived,
+            completed: acc.completed,
+            rejected: acc.rejected,
+            admission_shed: acc.admission_shed,
+            routing_shed: acc.routing_shed,
+            tokens: acc.generated_tokens,
+            energy_uj: acc.energy_uj,
+            failures: acc.failures,
+            restores: acc.restores,
+            repairs: acc.repairs_dispatched,
+            kv_stalls: acc.kv_backpressure_stalls,
+            ttft_count: acc.ttft.total(),
+            ttft_sum_us: acc.ttft.sum_us(),
+            per_tenant: acc
+                .per_tenant
+                .iter()
+                .map(|t| (t.arrived, t.completed, t.shed))
+                .collect(),
+        }
+    }
+}
+
+/// Pre-resolved metric ids for one cell's sampling: every name is
+/// formatted and resolved once per cell, so each sample instant is pure
+/// array accumulation (no string formatting or map lookups in the tick
+/// loop). Registration happens at cell setup, which also gives the
+/// export a stable schema — e.g. every DVFS grid rung appears even in
+/// windows (or runs) that never touch it.
+struct SeriesIds {
+    arrived: MetricId,
+    completed: MetricId,
+    rejected: MetricId,
+    admission_shed: MetricId,
+    routing_shed: MetricId,
+    tokens: MetricId,
+    energy_uj: MetricId,
+    failures: MetricId,
+    restores: MetricId,
+    repairs: MetricId,
+    kv_stalls: MetricId,
+    ttft_count: MetricId,
+    ttft_sum_us: MetricId,
+    /// Per tenant: arrived, completed, shed (counters) and queued gauge.
+    tenants: Vec<[MetricId; 4]>,
+    queued: MetricId,
+    active: MetricId,
+    up: MetricId,
+    draining: MetricId,
+    repair_pending: MetricId,
+    spares_free: MetricId,
+    /// KV-link backlog µs and in-flight bytes (phase-split cells).
+    kv: Option<(MetricId, MetricId)>,
+    /// Prefill / decode pool sizes (phase-split cells).
+    pools: Option<(MetricId, MetricId)>,
+    ctl: Option<CtlSeriesIds>,
+    /// Per-cell queued, up gauges and arrived, completed counters.
+    per_cell: Option<[MetricId; 4]>,
+}
+
+/// Control-plane slot-mode gauges plus one gauge per DVFS grid rung.
+struct CtlSeriesIds {
+    live: MetricId,
+    warm: MetricId,
+    cold: MetricId,
+    booting: MetricId,
+    clock_live: Vec<MetricId>,
+}
+
+impl SeriesIds {
+    fn new(
+        s: &mut SeriesRecorder,
+        n_tenants: usize,
+        clocks: Option<usize>,
+        has_split: bool,
+        per_cell: Option<u32>,
+    ) -> Self {
+        use MetricKind::{Counter, Gauge};
+        Self {
+            arrived: s.id("arrived", Counter),
+            completed: s.id("completed", Counter),
+            rejected: s.id("rejected", Counter),
+            admission_shed: s.id("admission_shed", Counter),
+            routing_shed: s.id("routing_shed", Counter),
+            tokens: s.id("tokens", Counter),
+            energy_uj: s.id("energy_uj", Counter),
+            failures: s.id("failures", Counter),
+            restores: s.id("restores", Counter),
+            repairs: s.id("repairs", Counter),
+            kv_stalls: s.id("kv_stalls", Counter),
+            ttft_count: s.id("ttft_count", Counter),
+            ttft_sum_us: s.id("ttft_sum_us", Counter),
+            tenants: (0..n_tenants)
+                .map(|t| {
+                    [
+                        s.id(&format!("tenant{t}/arrived"), Counter),
+                        s.id(&format!("tenant{t}/completed"), Counter),
+                        s.id(&format!("tenant{t}/shed"), Counter),
+                        s.id(&format!("tenant{t}/queued"), Gauge),
+                    ]
+                })
+                .collect(),
+            queued: s.id("queued", Gauge),
+            active: s.id("active", Gauge),
+            up: s.id("up", Gauge),
+            draining: s.id("draining", Gauge),
+            repair_pending: s.id("repair_pending", Gauge),
+            spares_free: s.id("spares_free", Gauge),
+            kv: has_split.then(|| {
+                (
+                    s.id("kv_backlog_us", Gauge),
+                    s.id("kv_inflight_bytes", Gauge),
+                )
+            }),
+            pools: has_split.then(|| (s.id("pool_prefill", Gauge), s.id("pool_decode", Gauge))),
+            ctl: clocks.map(|n| CtlSeriesIds {
+                live: s.id("live", Gauge),
+                warm: s.id("warm", Gauge),
+                cold: s.id("cold", Gauge),
+                booting: s.id("booting", Gauge),
+                clock_live: (0..n)
+                    .map(|ci| s.id(&format!("clock{ci}/live"), Gauge))
+                    .collect(),
+            }),
+            per_cell: per_cell.map(|c| {
+                [
+                    s.id(&format!("cell{c}/queued"), Gauge),
+                    s.id(&format!("cell{c}/up"), Gauge),
+                    s.id(&format!("cell{c}/arrived"), Counter),
+                    s.id(&format!("cell{c}/completed"), Counter),
+                ]
+            }),
+        }
+    }
+}
+
+/// Samples one window of series metrics for one cell: counter deltas
+/// since `snap` plus gauges of current state. Returns the fresh snapshot
+/// the caller carries to the next window.
+#[allow(clippy::too_many_arguments)]
+fn sample_series(
+    series: &mut SeriesRecorder,
+    ids: &SeriesIds,
+    w: usize,
+    now_us: u64,
+    snap: &CounterSnap,
+    acc: &ShardTotals,
+    insts: &[InstanceState],
+    ctl: Option<&CellCtl>,
+    phases: &[Phase],
+    kv: Option<&KvLinkState>,
+    cell: &CellState,
+    drained: &[bool],
+    tenant_scratch: &mut [u64],
+) -> CounterSnap {
+    let c = CounterSnap::take(acc);
+    series.add_at(ids.arrived, w, c.arrived - snap.arrived);
+    series.add_at(ids.completed, w, c.completed - snap.completed);
+    series.add_at(ids.rejected, w, c.rejected - snap.rejected);
+    series.add_at(
+        ids.admission_shed,
+        w,
+        c.admission_shed - snap.admission_shed,
+    );
+    series.add_at(ids.routing_shed, w, c.routing_shed - snap.routing_shed);
+    series.add_at(ids.tokens, w, c.tokens - snap.tokens);
+    series.add_at(ids.energy_uj, w, c.energy_uj - snap.energy_uj);
+    series.add_at(ids.failures, w, c.failures - snap.failures);
+    series.add_at(ids.restores, w, c.restores - snap.restores);
+    series.add_at(ids.repairs, w, c.repairs - snap.repairs);
+    series.add_at(ids.kv_stalls, w, c.kv_stalls - snap.kv_stalls);
+    series.add_at(ids.ttft_count, w, c.ttft_count - snap.ttft_count);
+    series.add_at(
+        ids.ttft_sum_us,
+        w,
+        (c.ttft_sum_us - snap.ttft_sum_us) as u64,
+    );
+    for (t, (&(a1, c1, s1), &(a0, c0, s0))) in c.per_tenant.iter().zip(&snap.per_tenant).enumerate()
+    {
+        let [ta, tc, tshed, _] = ids.tenants[t];
+        series.add_at(ta, w, a1 - a0);
+        series.add_at(tc, w, c1 - c0);
+        series.add_at(tshed, w, s1 - s0);
+    }
+    // Gauges: this cell's state at the window's end instant (summing the
+    // per-cell contributions gives the fleet-wide value).
+    let mut queued = 0u64;
+    let mut active = 0u64;
+    let mut up = 0u64;
+    tenant_scratch.fill(0);
+    for inst in insts {
+        queued += inst.queued();
+        active += inst.active() as u64;
+        up += u64::from(inst.up);
+        inst.queued_by_tenant(tenant_scratch);
+    }
+    series.add_at(ids.queued, w, queued);
+    series.add_at(ids.active, w, active);
+    series.add_at(ids.up, w, up);
+    for (t, &q) in tenant_scratch.iter().enumerate() {
+        series.add_at(ids.tenants[t][3], w, q);
+    }
+    series.add_at(ids.draining, w, drained.iter().map(|&d| u64::from(d)).sum());
+    series.add_at(ids.repair_pending, w, cell.pending_len());
+    series.add_at(ids.spares_free, w, cell.spares_free as u64);
+    if let (Some(link), Some((backlog, inflight))) = (kv, ids.kv) {
+        series.add_at(backlog, w, link.backlog_us(now_us));
+        series.add_at(inflight, w, link.inflight_bytes());
+    }
+    if let Some((pp, pd)) = ids.pools {
+        let (mut prefill, mut decode) = (0u64, 0u64);
+        for &p in phases {
+            match p {
+                Phase::Prefill => prefill += 1,
+                Phase::Decode => decode += 1,
+                Phase::Mixed => {}
+            }
+        }
+        series.add_at(pp, w, prefill);
+        series.add_at(pd, w, decode);
+    }
+    if let (Some(c), Some(ci_ids)) = (ctl, &ids.ctl) {
+        let (mut live, mut warm, mut cold, mut booting) = (0u64, 0u64, 0u64, 0u64);
+        for m in &c.modes {
+            match m {
+                SlotMode::Live => live += 1,
+                SlotMode::Warm => warm += 1,
+                SlotMode::Cold => cold += 1,
+                SlotMode::Booting { .. } => booting += 1,
+            }
+        }
+        series.add_at(ci_ids.live, w, live);
+        series.add_at(ci_ids.warm, w, warm);
+        series.add_at(ci_ids.cold, w, cold);
+        series.add_at(ci_ids.booting, w, booting);
+        // DVFS operating-point distribution over live, up slots.
+        for (i, &ci) in c.clocks.iter().enumerate() {
+            if c.modes[i] == SlotMode::Live && insts[i].up {
+                series.add_at(ci_ids.clock_live[ci as usize], w, 1);
+            }
+        }
+    }
+    if let Some([cq, cu, ca, cc]) = ids.per_cell {
+        series.add_at(cq, w, queued);
+        series.add_at(cu, w, up);
+        series.add_at(ca, w, c.arrived - snap.arrived);
+        series.add_at(cc, w, c.completed - snap.completed);
+    }
+    c
+}
+
 /// Steps every cell in `[cell_lo, cell_hi)` through the whole horizon.
-fn simulate_cells(shared: &Shared<'_>, seed: u64, cell_lo: u32, cell_hi: u32) -> ShardTotals {
+fn simulate_cells(
+    shared: &Shared<'_>,
+    seed: u64,
+    cell_lo: u32,
+    cell_hi: u32,
+) -> (ShardTotals, ShardTelemetry) {
     let cfg = shared.cfg;
     let knobs = &shared.knobs;
     let rates = &shared.rates;
@@ -1204,6 +1638,23 @@ fn simulate_cells(shared: &Shared<'_>, seed: u64, cell_lo: u32, cell_hi: u32) ->
     let mut acc = ShardTotals::new(n_tenants, shared.lut.num_clocks());
     let ticks = cfg.num_ticks();
     let tick_us = knobs.tick_us;
+    let tel = &cfg.telemetry;
+    // The series grid: whole ticks per window, trailing partial window
+    // dropped. Integer-derived once, so every shard agrees on the grid.
+    let series_every = if tel.series_dt_s > 0.0 {
+        ((tel.series_dt_s / cfg.tick_s).round() as u32).max(1)
+    } else {
+        0
+    };
+    let mut series = (series_every > 0).then(|| {
+        SeriesRecorder::new(
+            series_every as u64 * tick_us,
+            (ticks / series_every.max(1)) as usize,
+        )
+    });
+    let mut trace_buf: Vec<TraceEvent> = Vec::new();
+    let mut prof = ProfTimer::new(tel.profile);
+    let mut tenant_scratch = vec![0u64; n_tenants];
     for cell_idx in cell_lo..cell_hi {
         let first = cell_idx * cfg.cell_size;
         let last = (first + cfg.cell_size).min(cfg.instances);
@@ -1256,15 +1707,44 @@ fn simulate_cells(shared: &Shared<'_>, seed: u64, cell_lo: u32, cell_hi: u32) ->
         let mut drained = vec![false; insts.len()];
         let mut clamp = vec![u8::MAX; insts.len()];
         let mut chaos_outed = vec![false; insts.len()];
+        let mut sink = (tel.trace_every > 0).then_some(TraceSink {
+            buf: &mut trace_buf,
+            sampler: SpanSampler::new(tel.trace_every),
+            cell: cell_idx,
+        });
+        // Resolve this cell's metric ids once: re-resolution across
+        // cells is idempotent, and the tick loop then samples by index.
+        let series_ids = series.as_mut().map(|s| {
+            SeriesIds::new(
+                s,
+                n_tenants,
+                ctl.is_some().then(|| shared.lut.num_clocks()),
+                shared.split.is_some(),
+                tel.per_cell_series.then_some(cell_idx),
+            )
+        });
+        let mut snap = CounterSnap::take(&acc);
         for tick in 0..ticks {
             let t_start = tick as u64 * tick_us;
             let t_end = t_start + tick_us;
+            prof.reset();
             cell.reclaim_repaired(t_start);
             for job in cell.dispatch_repairs(t_start, rates.repair_us) {
                 acc.repairs_dispatched += 1;
                 acc.repair_wait_us += job.wait_us;
                 if !job.replenish {
                     insts[job.local_idx as usize].schedule_recovery(job.done_us);
+                }
+                if let Some(ts) = sink.as_mut() {
+                    ts.buf.push(TraceEvent::complete(
+                        "chaos",
+                        "repair",
+                        t_start,
+                        job.done_us.saturating_sub(t_start),
+                        cell_idx,
+                        job.local_idx,
+                        job.wait_us,
+                    ));
                 }
             }
             let mut partitioned = false;
@@ -1281,6 +1761,21 @@ fn simulate_cells(shared: &Shared<'_>, seed: u64, cell_lo: u32, cell_hi: u32) ->
                     }
                     outage_fired[e] = true;
                     let at = (*start).max(t_start);
+                    if let Some(ts) = sink.as_mut() {
+                        ts.buf.push(TraceEvent::complete(
+                            "chaos",
+                            if *kind == 2 {
+                                "power_outage"
+                            } else {
+                                "rack_outage"
+                            },
+                            *start,
+                            end - start,
+                            cell_idx,
+                            locals.first().copied().unwrap_or(0),
+                            locals.len() as u64,
+                        ));
+                    }
                     for &li in locals {
                         let inst = &mut insts[li as usize];
                         if !inst.up {
@@ -1306,6 +1801,17 @@ fn simulate_cells(shared: &Shared<'_>, seed: u64, cell_lo: u32, cell_hi: u32) ->
                         if !partition_fired[e] {
                             partition_fired[e] = true;
                             acc.by_kind[3] += 1; // DomainKind::Partition.
+                            if let Some(ts) = sink.as_mut() {
+                                ts.buf.push(TraceEvent::complete(
+                                    "chaos",
+                                    "partition",
+                                    start,
+                                    end - start,
+                                    cell_idx,
+                                    0,
+                                    insts.len() as u64,
+                                ));
+                            }
                         }
                     }
                 }
@@ -1315,6 +1821,17 @@ fn simulate_cells(shared: &Shared<'_>, seed: u64, cell_lo: u32, cell_hi: u32) ->
                         if !drain_fired[e] {
                             drain_fired[e] = true;
                             acc.drains += locals.len() as u64;
+                            if let Some(ts) = sink.as_mut() {
+                                ts.buf.push(TraceEvent::complete(
+                                    "chaos",
+                                    "drain",
+                                    *start,
+                                    end - start,
+                                    cell_idx,
+                                    locals.first().copied().unwrap_or(0),
+                                    locals.len() as u64,
+                                ));
+                            }
                         }
                         for &li in locals {
                             drained[li as usize] = true;
@@ -1322,6 +1839,16 @@ fn simulate_cells(shared: &Shared<'_>, seed: u64, cell_lo: u32, cell_hi: u32) ->
                     } else if drain_fired[e] && !drain_restored[e] && t_start >= *end {
                         drain_restored[e] = true;
                         acc.drain_restores += locals.len() as u64;
+                        if let Some(ts) = sink.as_mut() {
+                            ts.buf.push(TraceEvent::instant(
+                                "chaos",
+                                "drain_restore",
+                                *end,
+                                cell_idx,
+                                locals.first().copied().unwrap_or(0),
+                                locals.len() as u64,
+                            ));
+                        }
                     }
                 }
                 clamp.fill(u8::MAX);
@@ -1330,6 +1857,17 @@ fn simulate_cells(shared: &Shared<'_>, seed: u64, cell_lo: u32, cell_hi: u32) ->
                         if !thermal_fired[e] {
                             thermal_fired[e] = true;
                             acc.by_kind[4] += 1; // DomainKind::Thermal.
+                            if let Some(ts) = sink.as_mut() {
+                                ts.buf.push(TraceEvent::complete(
+                                    "chaos",
+                                    "thermal",
+                                    *start,
+                                    end - start,
+                                    cell_idx,
+                                    locals.first().copied().unwrap_or(0),
+                                    locals.len() as u64,
+                                ));
+                            }
                         }
                         for &li in locals {
                             clamp[li as usize] = clamp[li as usize].min(*cci);
@@ -1345,6 +1883,7 @@ fn simulate_cells(shared: &Shared<'_>, seed: u64, cell_lo: u32, cell_hi: u32) ->
                     }
                 }
             }
+            prof.mark(PHASE_CHAOS);
             for (i, inst) in insts.iter_mut().enumerate() {
                 inst.lifecycle(i as u32, t_start, tick_us, rates, &mut cell, &mut acc);
             }
@@ -1358,6 +1897,7 @@ fn simulate_cells(shared: &Shared<'_>, seed: u64, cell_lo: u32, cell_hi: u32) ->
                     }
                 }
             }
+            prof.mark(PHASE_LIFECYCLE);
             if let Some(c) = ctl.as_mut() {
                 c.finish_boots(t_start);
                 if tick > 0 && tick % c.interval_ticks == 0 {
@@ -1378,10 +1918,12 @@ fn simulate_cells(shared: &Shared<'_>, seed: u64, cell_lo: u32, cell_hi: u32) ->
                         kv.as_ref(),
                         shared,
                         chaos_down,
+                        sink.as_mut(),
                         &mut acc,
                     );
                 }
             }
+            prof.mark(PHASE_CONTROL);
             if let Some(link) = kv.as_mut() {
                 deliver_transfers(
                     link,
@@ -1392,9 +1934,11 @@ fn simulate_cells(shared: &Shared<'_>, seed: u64, cell_lo: u32, cell_hi: u32) ->
                     &drained,
                     shared.lut.max_batch,
                     knobs,
+                    sink.as_mut(),
                     &mut acc,
                 );
             }
+            prof.mark(PHASE_KV);
             traffic.route_tick(
                 tick,
                 shared,
@@ -1405,6 +1949,7 @@ fn simulate_cells(shared: &Shared<'_>, seed: u64, cell_lo: u32, cell_hi: u32) ->
                 &drained,
                 &mut acc,
             );
+            prof.mark(PHASE_ROUTE);
             for (i, inst) in insts.iter_mut().enumerate() {
                 let mode = ctl.as_ref().map_or(SlotMode::Live, |c| c.modes[i]);
                 // A thermal excursion caps the slot's operating point
@@ -1422,6 +1967,7 @@ fn simulate_cells(shared: &Shared<'_>, seed: u64, cell_lo: u32, cell_hi: u32) ->
                         phases[i],
                         ci as u8,
                         kv.as_mut(),
+                        sink.as_mut(),
                         &mut acc,
                     )
                 } else {
@@ -1461,6 +2007,29 @@ fn simulate_cells(shared: &Shared<'_>, seed: u64, cell_lo: u32, cell_hi: u32) ->
                     }
                 }
             }
+            prof.mark(PHASE_SERVE);
+            if let Some(s) = series.as_mut() {
+                if (tick + 1) % series_every == 0 {
+                    let w = ((tick + 1) / series_every - 1) as usize;
+                    let t_end = (tick as u64 + 1) * tick_us;
+                    snap = sample_series(
+                        s,
+                        series_ids.as_ref().expect("ids resolved with the recorder"),
+                        w,
+                        t_end,
+                        &snap,
+                        &acc,
+                        &insts,
+                        ctl.as_ref(),
+                        &phases,
+                        kv.as_ref(),
+                        &cell,
+                        &drained,
+                        &mut tenant_scratch,
+                    );
+                }
+            }
+            prof.mark(PHASE_SAMPLE);
         }
         let horizon_us = ticks as u64 * tick_us;
         for inst in &insts {
@@ -1470,13 +2039,55 @@ fn simulate_cells(shared: &Shared<'_>, seed: u64, cell_lo: u32, cell_hi: u32) ->
             acc.kv_bytes_inflight_end += link.inflight_bytes();
         }
     }
-    acc
+    // Pre-sort this shard's events on the worker thread: the main-thread
+    // merge then sees one sorted run per shard, which the stable sort
+    // there merges in O(n log shards) instead of a full re-sort.
+    trace_buf.sort_unstable();
+    (
+        acc,
+        ShardTelemetry {
+            series,
+            trace: trace_buf,
+            profile: prof.p,
+        },
+    )
+}
+
+/// A fleet run together with whatever telemetry the config asked for.
+///
+/// The `report` is byte-identical for any `(shards, threads)` and for
+/// any [`TelemetryConfig`]; `series` and `trace` are themselves
+/// shard/thread-invariant (deterministic merges over deterministic
+/// shard-local recordings). Only `profile` is wall-clock and varies
+/// between runs — it must never feed back into simulation state.
+#[derive(Debug)]
+pub struct FleetRun {
+    /// The deterministic fleet report.
+    pub report: FleetReport,
+    /// Merged time-series recorder (present when `series_dt_s > 0`).
+    pub series: Option<SeriesRecorder>,
+    /// Merged, totally-ordered trace events (present when `trace_every > 0`).
+    pub trace: Option<Vec<TraceEvent>>,
+    /// Engine self-profile (present when `profile` was requested).
+    pub profile: Option<PhaseProfile>,
 }
 
 /// Runs the fleet partitioned into `shards` shards on up to `threads`
 /// OS threads. The partition affects wall-clock only: the report is
 /// byte-identical for any `(shards, threads)`.
 pub fn run_sharded(cfg: &FleetConfig, seed: u64, shards: u32, threads: u32) -> Result<FleetReport> {
+    Ok(run_sharded_full(cfg, seed, shards, threads)?.report)
+}
+
+/// [`run_sharded`] plus the telemetry artefacts requested by
+/// `cfg.telemetry`: merged series, merged trace, and the engine
+/// self-profile.
+pub fn run_sharded_full(
+    cfg: &FleetConfig,
+    seed: u64,
+    shards: u32,
+    threads: u32,
+) -> Result<FleetRun> {
     cfg.validate()?;
     // A DVFS-controlled fleet prices the full SLO_MIN_CLOCK..=1.0
     // operating-point grid; so does any run with thermal-excursion chaos
@@ -1541,7 +2152,7 @@ pub fn run_sharded(cfg: &FleetConfig, seed: u64, shards: u32, threads: u32) -> R
     // Shard s owns cells [s·cells/shards, (s+1)·cells/shards).
     let bounds = |s: u32| (s as u64 * cells as u64 / shards as u64) as u32;
 
-    let mut slots: Vec<Option<ShardTotals>> = (0..shards).map(|_| None).collect();
+    let mut slots: Vec<Option<(ShardTotals, ShardTelemetry)>> = (0..shards).map(|_| None).collect();
     if threads == 1 {
         for (s, slot) in slots.iter_mut().enumerate() {
             let s = s as u32;
@@ -1571,12 +2182,44 @@ pub fn run_sharded(cfg: &FleetConfig, seed: u64, shards: u32, threads: u32) -> R
         });
     }
 
+    // Merge in fixed shard order so series/trace bytes are invariant
+    // to the thread schedule. Series merging is elementwise addition
+    // (commutative), and the trace gets a total-order sort afterwards,
+    // but fixed order keeps the invariant self-evident.
+    let merge_start = Instant::now();
+    let tel = &cfg.telemetry;
     let mut totals = ShardTotals::new(cfg.workload.tenants.len(), lut.num_clocks());
-    for slot in &slots {
-        totals.merge(slot.as_ref().expect("every shard simulated"));
+    let mut series: Option<SeriesRecorder> = None;
+    let mut trace: Option<Vec<TraceEvent>> = (tel.trace_every > 0).then(Vec::new);
+    let mut profile: Option<PhaseProfile> = tel.profile.then(PhaseProfile::new);
+    for slot in &mut slots {
+        let (acc, shard_tel) = slot.take().expect("every shard simulated");
+        totals.merge(&acc);
+        if let Some(s) = shard_tel.series {
+            match series.as_mut() {
+                Some(m) => m.merge(&s),
+                None => series = Some(s),
+            }
+        }
+        if let Some(t) = trace.as_mut() {
+            t.extend(shard_tel.trace);
+        }
+        if let (Some(p), Some(sp)) = (profile.as_mut(), shard_tel.profile.as_ref()) {
+            p.merge(sp);
+        }
+    }
+    // Sort into the schema's total order (field order is the sort key),
+    // making the byte stream independent of shard boundaries. Each shard
+    // arrives pre-sorted, so the stable (run-merging) sort only pays the
+    // k-way merge of the per-shard runs.
+    if let Some(t) = trace.as_mut() {
+        t.sort();
+    }
+    if let Some(p) = profile.as_mut() {
+        p.record(PHASE_MERGE, merge_start.elapsed().as_nanos() as u64);
     }
     let horizon_s_eff = cfg.num_ticks() as f64 * cfg.tick_s;
-    Ok(FleetReport::finalize(
+    let report = FleetReport::finalize(
         &totals,
         RunMeta {
             gpu: cfg.gpu.name.clone(),
@@ -1602,7 +2245,13 @@ pub fn run_sharded(cfg: &FleetConfig, seed: u64, shards: u32, threads: u32) -> R
             tick_s: cfg.tick_s,
             tenants: tenants_meta,
         },
-    ))
+    );
+    Ok(FleetRun {
+        report,
+        series,
+        trace,
+        profile,
+    })
 }
 
 /// Runs the fleet with maximum parallelism (one shard per cell, one

@@ -82,6 +82,14 @@ impl LatencyHistogram {
         self.total == 0
     }
 
+    /// Exact weighted sum of recorded values, microseconds. Together
+    /// with [`LatencyHistogram::total`] this is what telemetry series
+    /// snapshots difference per window (count and sum deltas are
+    /// additive across shards; percentiles are not).
+    pub fn sum_us(&self) -> u128 {
+        self.sum_us
+    }
+
     /// Exact mean of recorded values, seconds (0 when empty).
     pub fn mean_s(&self) -> f64 {
         if self.total == 0 {
@@ -98,7 +106,11 @@ impl LatencyHistogram {
             return 0;
         }
         let p = p.clamp(0.0, 100.0);
-        let rank = ((p / 100.0) * self.total as f64).ceil().max(1.0) as u64;
+        // Clamp the rank into [1, total]: at p = 100 with large totals the
+        // f64 product can round *above* `total`, which would walk past
+        // every occupied bucket and fall through to the ~2^63 µs top
+        // bucket instead of the true maximum.
+        let rank = (((p / 100.0) * self.total as f64).ceil().max(1.0) as u64).min(self.total);
         let mut seen = 0u64;
         for (i, &c) in self.counts.iter().enumerate() {
             seen += c;
@@ -216,5 +228,50 @@ mod tests {
         h.record(1_000_000, 1);
         h.record(3_000_000, 1);
         assert!((h.mean_s() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_percentile_edges() {
+        let h = LatencyHistogram::new();
+        for p in [0.0, 50.0, 100.0, -3.0, 400.0] {
+            assert_eq!(h.percentile_us(p), 0, "p = {p}");
+        }
+        assert_eq!(h.sum_us(), 0);
+    }
+
+    #[test]
+    fn p0_and_p100_hit_min_and_max_buckets() {
+        let mut h = LatencyHistogram::new();
+        h.record(100, 10);
+        h.record(1_000_000, 1);
+        let p0 = h.percentile_us(0.0);
+        let p100 = h.percentile_us(100.0);
+        assert!((p0 as f64 / 100.0 - 1.0).abs() < 0.125, "p0 = {p0}");
+        assert!((p100 as f64 / 1e6 - 1.0).abs() < 0.125, "p100 = {p100}");
+        // Out-of-range p clamps to the same edges.
+        assert_eq!(h.percentile_us(-5.0), p0);
+        assert_eq!(h.percentile_us(250.0), p100);
+    }
+
+    #[test]
+    fn p100_rank_rounding_cannot_overflow_total() {
+        // (2^53 + 3) is not f64-representable; the nearest double is
+        // 2^53 + 4 > total, so the unclamped nearest-rank walked past
+        // every occupied bucket and returned the ~2^63 µs top bucket.
+        let mut h = LatencyHistogram::new();
+        h.record(1_000, (1u64 << 53) + 3);
+        let p100 = h.percentile_us(100.0);
+        assert!((p100 as f64 / 1_000.0 - 1.0).abs() < 0.125, "p100 = {p100}");
+    }
+
+    #[test]
+    fn single_bucket_histogram_is_flat_across_percentiles() {
+        let mut h = LatencyHistogram::new();
+        h.record(42_000, 7);
+        let v = h.percentile_us(50.0);
+        for p in [0.0, 1.0, 25.0, 99.0, 100.0] {
+            assert_eq!(h.percentile_us(p), v, "p = {p}");
+        }
+        assert_eq!(h.sum_us(), 42_000u128 * 7);
     }
 }

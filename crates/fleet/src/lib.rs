@@ -72,7 +72,8 @@ pub mod traffic;
 pub mod workload;
 
 pub use engine::{
-    run, run_sharded, ChaosSpec, DomainEvent, DomainEventKind, FleetConfig, KvLink, ServingMode,
+    run, run_sharded, run_sharded_full, ChaosSpec, DomainEvent, DomainEventKind, FleetConfig,
+    FleetRun, KvLink, ServingMode, TelemetryConfig,
 };
 pub use hist::LatencyHistogram;
 pub use litegpu_ctrl as ctrl;

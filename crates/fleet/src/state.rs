@@ -21,10 +21,24 @@ use crate::hist::LatencyHistogram;
 use crate::traffic::LengthDist;
 use litegpu_ctrl::Phase;
 use litegpu_roofline::StepCostTable;
+use litegpu_telemetry::{SpanSampler, TraceEvent};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
+
+/// Where a serving tick appends its sampled trace events. Span ids are
+/// computed unconditionally (they are part of simulation state), but
+/// events are emitted only for spans in the 1-in-`every` sample — so a
+/// trace never perturbs the simulation, only observes it.
+pub(crate) struct TraceSink<'a> {
+    pub buf: &'a mut Vec<TraceEvent>,
+    /// Division-free 1-in-`every` request-span sampler (0 disables
+    /// request spans).
+    pub sampler: SpanSampler,
+    /// Owning cell (rendered as the trace `pid`).
+    pub cell: u32,
+}
 
 /// A run of same-tenant requests that arrived in the same tick.
 #[derive(Debug, Clone, Copy)]
@@ -181,6 +195,9 @@ pub(crate) struct KvTransfer {
     pub oldest_arrival_tick: u32,
     /// KV bytes moved.
     pub bytes: u64,
+    /// Trace span id of the cohort (`(prefill instance global index
+    /// << 32) | launch counter`; RNG-free, shard-invariant).
+    pub span: u64,
     /// One `(queue+prefill wait µs, weight)` entry per non-retry queue
     /// run in the cohort; TTFT is recorded from these at delivery.
     pub ttfts: Vec<(u64, u64)>,
@@ -240,6 +257,7 @@ impl KvLinkState {
         out_len: u64,
         oldest_arrival_tick: u32,
         bytes: u64,
+        span: u64,
         ttfts: &[(u64, u64)],
         acc: &mut ShardTotals,
     ) {
@@ -259,6 +277,7 @@ impl KvLinkState {
             out_len,
             oldest_arrival_tick,
             bytes,
+            span,
             ttfts: ttfts.to_vec(),
         });
     }
@@ -576,9 +595,18 @@ impl CellState {
         }
         out
     }
+
+    /// Repair jobs still waiting for a crew (telemetry gauge).
+    pub fn pending_len(&self) -> u64 {
+        self.pending.len() as u64
+    }
 }
 
 /// One model instance's simulation state.
+/// `(finish_at_step, arrival_tick, tenant, count, span)` — the min-heap
+/// key for running cohorts.
+type CohortKey = (u64, u32, u16, u32, u64);
+
 #[derive(Debug)]
 pub(crate) struct InstanceState {
     rng: StdRng,
@@ -586,8 +614,10 @@ pub(crate) struct InstanceState {
     /// Total requests across `queue`.
     queued: u64,
     /// Running cohorts keyed by the decode step at which they finish:
-    /// `(finish_at_step, arrival_tick, tenant, count)`.
-    cohorts: BinaryHeap<Reverse<(u64, u32, u16, u32)>>,
+    /// `(finish_at_step, arrival_tick, tenant, count, span)`. The span
+    /// id rides last: it only orders cohorts whose observable fields are
+    /// already equal, so adding it cannot change any report byte.
+    cohorts: BinaryHeap<Reverse<CohortKey>>,
     /// Total sequences across `cohorts` (the decode batch).
     active: u32,
     /// Decoding sequences per tenant (for per-tenant token attribution).
@@ -600,6 +630,12 @@ pub(crate) struct InstanceState {
     down_since_us: u64,
     down_until_us: u64,
     next_failure_us: u64,
+    /// Global instance index (trace `tid`, high half of span ids).
+    g: u32,
+    /// Prefill launches so far: the low half of span ids. Incremented on
+    /// every launch whether or not tracing is on, so span identity is a
+    /// function of simulation state alone.
+    launches: u32,
 }
 
 impl InstanceState {
@@ -623,6 +659,22 @@ impl InstanceState {
             down_since_us: 0,
             down_until_us: 0,
             next_failure_us,
+            g: global_index as u32,
+            launches: 0,
+        }
+    }
+
+    /// Global instance index (the trace `tid`).
+    pub fn global_index(&self) -> u32 {
+        self.g
+    }
+
+    /// Adds this instance's queued request counts into `out` (one slot
+    /// per tenant). The telemetry series samples per-tenant queue depth
+    /// through this — the queue itself stays module-private.
+    pub fn queued_by_tenant(&self, out: &mut [u64]) {
+        for run in &self.queue {
+            out[run.tenant as usize] += run.count as u64;
         }
     }
 
@@ -688,7 +740,7 @@ impl InstanceState {
         // Keep the original arrival tick (and tenant) so end-to-end
         // latency still measures from arrival; `retry` only suppresses
         // re-recording TTFT (the first token was already delivered once).
-        for Reverse((_, arrival_tick, tenant, count)) in self.cohorts.drain() {
+        for Reverse((_, arrival_tick, tenant, count, _span)) in self.cohorts.drain() {
             flushed += count as u64;
             self.queue.push_back(QueueRun {
                 arrival_tick,
@@ -781,6 +833,7 @@ impl InstanceState {
         phase: Phase,
         clock: u8,
         mut kv: Option<&mut KvLinkState>,
+        mut trace: Option<&mut TraceSink<'_>>,
         acc: &mut ShardTotals,
     ) -> (u64, u64) {
         if !self.up {
@@ -893,9 +946,58 @@ impl InstanceState {
                 }
             }
             let out_len = tk.output_len.sample(&mut self.rng) as u64;
+            // Span identity is pure simulation state: every launch gets
+            // `(global index << 32) | launch counter` whether or not a
+            // trace sink is attached (so traced and untraced runs step
+            // through identical states).
+            let span = ((self.g as u64) << 32) | self.launches as u64;
+            self.launches = self.launches.wrapping_add(1);
+            if let Some(ts) = trace.as_deref_mut() {
+                if ts.sampler.sampled(span) {
+                    let queued_since_us = oldest as u64 * knobs.tick_us;
+                    ts.buf.push(TraceEvent::complete(
+                        "req",
+                        "queue",
+                        queued_since_us,
+                        t_start_us - queued_since_us,
+                        ts.cell,
+                        self.g,
+                        tenant as u64,
+                    ));
+                    ts.buf.push(TraceEvent::complete(
+                        "req", "prefill", t_start_us, cost, ts.cell, self.g, b as u64,
+                    ));
+                    if phase == Phase::Mixed {
+                        ts.buf.push(TraceEvent::async_begin(
+                            "req",
+                            "decode",
+                            t_start_us + cost,
+                            ts.cell,
+                            self.g,
+                            span,
+                            b as u64,
+                        ));
+                    } else {
+                        ts.buf.push(TraceEvent::async_begin(
+                            "req",
+                            "kv_transfer",
+                            t_start_us,
+                            ts.cell,
+                            self.g,
+                            span,
+                            tk.kv_bytes_per_req * b as u64,
+                        ));
+                    }
+                }
+            }
             if phase == Phase::Mixed {
-                self.cohorts
-                    .push(Reverse((self.steps_done + out_len, oldest, tenant, b)));
+                self.cohorts.push(Reverse((
+                    self.steps_done + out_len,
+                    oldest,
+                    tenant,
+                    b,
+                    span,
+                )));
                 self.active += b;
                 self.active_by_tenant[tenant as usize] += b;
             } else {
@@ -914,6 +1016,7 @@ impl InstanceState {
                     out_len,
                     oldest,
                     tk.kv_bytes_per_req * b as u64,
+                    span,
                     &ttft_scratch,
                     acc,
                 );
@@ -937,7 +1040,7 @@ impl InstanceState {
             let next_finish = self
                 .cohorts
                 .peek()
-                .map(|Reverse((f, _, _, _))| *f)
+                .map(|Reverse((f, _, _, _, _))| *f)
                 .expect("active > 0 implies cohorts");
             let run = affordable.min(next_finish - self.steps_done).max(1);
             self.steps_done += run;
@@ -976,7 +1079,9 @@ impl InstanceState {
                 }
             }
             stall_us = 0;
-            while let Some(&Reverse((finish, arrival_tick, tenant, count))) = self.cohorts.peek() {
+            while let Some(&Reverse((finish, arrival_tick, tenant, count, span))) =
+                self.cohorts.peek()
+            {
                 if finish > self.steps_done {
                     break;
                 }
@@ -991,6 +1096,19 @@ impl InstanceState {
                 let tt = &mut acc.per_tenant[tenant as usize];
                 tt.completed += count as u64;
                 tt.e2e.record(e2e_us, count as u64);
+                if let Some(ts) = trace.as_deref_mut() {
+                    if ts.sampler.sampled(span) {
+                        ts.buf.push(TraceEvent::async_end(
+                            "req",
+                            "decode",
+                            (tick as u64 + 1) * knobs.tick_us,
+                            ts.cell,
+                            self.g,
+                            span,
+                            count as u64,
+                        ));
+                    }
+                }
             }
         }
         self.carry_us = if (self.queued == 0 && self.active == 0) || kv_stalled {
@@ -1009,6 +1127,7 @@ impl InstanceState {
             t.oldest_arrival_tick,
             t.tenant,
             t.count,
+            t.span,
         )));
         self.active += t.count;
         self.active_by_tenant[t.tenant as usize] += t.count;
@@ -1107,7 +1226,7 @@ mod tests {
         let mut inst = InstanceState::new(1, 0, &no_failures(), 1);
         for tick in 0..120u32 {
             poisson_arrivals(&mut inst, tick, 2.0, &knobs, &mut acc);
-            inst.serve(tick, &lut, &knobs, Phase::Mixed, 0, None, &mut acc);
+            inst.serve(tick, &lut, &knobs, Phase::Mixed, 0, None, None, &mut acc);
         }
         assert!(acc.arrived > 150, "arrived = {}", acc.arrived);
         assert!(acc.completed > 0, "completed = {}", acc.completed);
@@ -1134,7 +1253,7 @@ mod tests {
         inst.down_until_us = u64::MAX;
         for tick in 0..50u32 {
             poisson_arrivals(&mut inst, tick, 5.0, &knobs, &mut acc);
-            inst.serve(tick, &lut, &knobs, Phase::Mixed, 0, None, &mut acc);
+            inst.serve(tick, &lut, &knobs, Phase::Mixed, 0, None, None, &mut acc);
         }
         assert!(acc.rejected > 0);
         assert_eq!(acc.per_tenant[0].rejected, acc.rejected);
@@ -1178,7 +1297,7 @@ mod tests {
                 acc.per_tenant[tenant as usize].arrived += 1;
                 inst.push_arrivals(tick, 1, tenant, &knobs, &mut acc);
             }
-            inst.serve(tick, &lut, &knobs, Phase::Mixed, 0, None, &mut acc);
+            inst.serve(tick, &lut, &knobs, Phase::Mixed, 0, None, None, &mut acc);
         }
         let (a, b) = (&acc.per_tenant[0], &acc.per_tenant[1]);
         assert!(a.completed > 0 && b.completed > 0);
@@ -1214,7 +1333,7 @@ mod tests {
         let mut inst = InstanceState::new(8, 0, &no_failures(), 1);
         inst.push_arrivals(0, 1, 0, &knobs, &mut acc);
         inst.push_arrivals(0, 1, 0, &knobs, &mut acc);
-        inst.serve(0, &lut, &knobs, Phase::Mixed, 0, None, &mut acc);
+        inst.serve(0, &lut, &knobs, Phase::Mixed, 0, None, None, &mut acc);
         assert_eq!(inst.active(), 2, "both runs must prefill in one launch");
         assert_eq!(acc.per_tenant[0].ttft_recorded, 2);
 
@@ -1228,7 +1347,7 @@ mod tests {
         let mut inst = InstanceState::new(8, 0, &no_failures(), 2);
         inst.push_arrivals(0, 1, 0, &knobs2, &mut acc);
         inst.push_arrivals(0, 1, 1, &knobs2, &mut acc);
-        inst.serve(0, &lut, &knobs2, Phase::Mixed, 0, None, &mut acc);
+        inst.serve(0, &lut, &knobs2, Phase::Mixed, 0, None, None, &mut acc);
         assert_eq!(inst.active(), 1, "tenant boundary splits the launch");
         assert_eq!(inst.queued(), 1);
     }
@@ -1333,7 +1452,7 @@ mod tests {
         acc.arrived += 8;
         acc.per_tenant[0].arrived += 8;
         inst.push_arrivals(0, 8, 0, &knobs, &mut acc);
-        inst.serve(0, &lut, &knobs, Phase::Mixed, 0, None, &mut acc);
+        inst.serve(0, &lut, &knobs, Phase::Mixed, 0, None, None, &mut acc);
         assert!(inst.active > 0);
         let active_before = inst.active as u64;
         // Force the failure into tick 1.
@@ -1394,7 +1513,7 @@ mod tests {
         let mut link = KvLinkState::new(1_000_000, 1_500_000);
         let mut acc = ShardTotals::new(1, 1);
         let tk = knobs().tenants[0];
-        link.enqueue(0, 0, 1, 100, 0, 1_000_000, &[(200_000, 1)], &mut acc);
+        link.enqueue(0, 0, 1, 100, 0, 1_000_000, 0, &[(200_000, 1)], &mut acc);
         assert_eq!(acc.kv_transfers, 1);
         assert_eq!(acc.kv_bytes_queued, 1_000_000);
         assert_eq!(acc.kv_link_busy_us, 1_000_000);
@@ -1402,7 +1521,7 @@ mod tests {
         // waits land in it too).
         assert_eq!(acc.per_tenant[0].ttft_recorded, 0);
         // Second transfer queues behind the first: delay 2 s.
-        link.enqueue(0, 0, 1, 100, 0, 1_000_000, &[], &mut acc);
+        link.enqueue(0, 0, 1, 100, 0, 1_000_000, 0, &[], &mut acc);
         assert_eq!(link.backlog_us(0), 2_000_000);
         assert!(link.backlogged(0), "2 s backlog > 1.5 s threshold");
         assert!(!link.backlogged(1_000_000));
@@ -1438,6 +1557,7 @@ mod tests {
             Phase::Prefill,
             0,
             Some(&mut link),
+            None,
             &mut acc,
         );
         assert!(spent > 0);
@@ -1463,7 +1583,7 @@ mod tests {
         let mut inst = InstanceState::new(6, 0, &no_failures(), 1);
         // Queued prompts on a decode instance must not prefill.
         inst.push_arrivals(0, 2, 0, &knobs, &mut acc);
-        inst.serve(0, &lut, &knobs, Phase::Decode, 0, None, &mut acc);
+        inst.serve(0, &lut, &knobs, Phase::Decode, 0, None, None, &mut acc);
         assert_eq!(inst.active(), 0);
         assert_eq!(inst.queued(), 2);
         // Delivered cohorts decode to completion.
@@ -1475,10 +1595,11 @@ mod tests {
             out_len: 10,
             oldest_arrival_tick: 0,
             bytes: 3_000_000,
+            span: 0,
             ttfts: Vec::new(),
         });
         assert_eq!(inst.active(), 3);
-        inst.serve(1, &lut, &knobs, Phase::Decode, 0, None, &mut acc);
+        inst.serve(1, &lut, &knobs, Phase::Decode, 0, None, None, &mut acc);
         assert_eq!(acc.completed, 3);
         assert_eq!(acc.generated_tokens, 30);
         assert_eq!(acc.per_tenant[0].completed, 3);
@@ -1503,7 +1624,7 @@ mod tests {
         // The move is pure plumbing: no routing counters change.
         assert_eq!(acc.routed, routed_before);
         // And the work still serves (e2e clock kept the arrival tick).
-        prefill.serve(4, &lut, &knobs, Phase::Mixed, 0, None, &mut acc);
+        prefill.serve(4, &lut, &knobs, Phase::Mixed, 0, None, None, &mut acc);
         assert!(prefill.active() > 0);
     }
 
@@ -1526,10 +1647,11 @@ mod tests {
             out_len: 1_000,
             oldest_arrival_tick: 0,
             bytes: 0,
+            span: 0,
             ttfts: Vec::new(),
         });
         inst.push_arrivals(0, 4, 0, &knobs, &mut acc);
-        inst.serve(0, &lut, &knobs, Phase::Mixed, 0, None, &mut acc);
+        inst.serve(0, &lut, &knobs, Phase::Mixed, 0, None, None, &mut acc);
         let prefill_cost = lut.prefill_us(4);
         let d = lut.decode_step_us(12);
         // The TBT histogram saw at least one sample ≥ prefill + step.

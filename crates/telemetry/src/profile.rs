@@ -1,0 +1,134 @@
+//! Engine self-profiling: per-phase wall-clock time.
+//!
+//! A [`PhaseProfile`] accumulates nanoseconds and call counts per engine
+//! phase (the indices below). It measures the *host*, not the
+//! simulation, so it is explicitly non-deterministic and must never feed
+//! a determinism-diffed artifact — the engine routes it to the
+//! `--perf-json` / `BENCH_fleet.json` path only. This is the baseline
+//! evidence the ROADMAP's event-driven-core refactor is measured
+//! against: it answers "where does tick time actually go".
+
+/// Phase names, indexed by the `PHASE_*` constants.
+pub const PHASES: [&str; 8] = [
+    "chaos",
+    "lifecycle",
+    "control",
+    "kv",
+    "route",
+    "serve",
+    "sample",
+    "merge",
+];
+
+/// Chaos-schedule application + repair-crew dispatch.
+pub const PHASE_CHAOS: usize = 0;
+/// Per-instance failure/recovery lifecycle (and decode-retry reroutes).
+pub const PHASE_LIFECYCLE: usize = 1;
+/// Control ticks: observation build, policy stack, command apply.
+pub const PHASE_CONTROL: usize = 2;
+/// KV-link delivery into the decode pool.
+pub const PHASE_KV: usize = 3;
+/// Arrival generation and cell routing.
+pub const PHASE_ROUTE: usize = 4;
+/// The serve loop (prefill/decode stepping) + energy accounting.
+pub const PHASE_SERVE: usize = 5;
+/// Telemetry sampling (series snapshots).
+pub const PHASE_SAMPLE: usize = 6;
+/// Cross-shard report/series/trace merging.
+pub const PHASE_MERGE: usize = 7;
+
+/// Accumulated wall-clock nanoseconds and call counts per engine phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseProfile {
+    /// Nanoseconds per phase, indexed by the `PHASE_*` constants.
+    pub ns: [u64; PHASES.len()],
+    /// Times each phase was timed.
+    pub calls: [u64; PHASES.len()],
+}
+
+impl PhaseProfile {
+    /// An all-zero profile.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one timed interval to `phase`.
+    pub fn record(&mut self, phase: usize, ns: u64) {
+        self.ns[phase] += ns;
+        self.calls[phase] += 1;
+    }
+
+    /// Adds `other` into `self` (merging shard profiles).
+    pub fn merge(&mut self, other: &Self) {
+        for (a, b) in self.ns.iter_mut().zip(&other.ns) {
+            *a += b;
+        }
+        for (a, b) in self.calls.iter_mut().zip(&other.calls) {
+            *a += b;
+        }
+    }
+
+    /// Total nanoseconds across phases.
+    pub fn total_ns(&self) -> u64 {
+        self.ns.iter().sum()
+    }
+
+    /// Renders the profile as one JSON object:
+    /// `{"total_ns":N,"phases":{"serve":{"ns":...,"calls":...},...}}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"total_ns\":");
+        out.push_str(&self.total_ns().to_string());
+        out.push_str(",\"phases\":{");
+        for (i, name) in PHASES.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            out.push_str(name);
+            out.push_str("\":{\"ns\":");
+            out.push_str(&self.ns[i].to_string());
+            out.push_str(",\"calls\":");
+            out.push_str(&self.calls[i].to_string());
+            out.push('}');
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// One human-readable line: phases by share of total time.
+    pub fn summary(&self) -> String {
+        let total = self.total_ns().max(1);
+        let mut parts: Vec<(usize, u64)> = self.ns.iter().copied().enumerate().collect();
+        parts.sort_by_key(|&(i, ns)| (std::cmp::Reverse(ns), i));
+        let body: Vec<String> = parts
+            .iter()
+            .filter(|&&(_, ns)| ns > 0)
+            .map(|&(i, ns)| format!("{} {:.1}%", PHASES[i], ns as f64 * 100.0 / total as f64))
+            .collect();
+        format!("profile: {}", body.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_merge_and_render() {
+        let mut a = PhaseProfile::new();
+        a.record(PHASE_SERVE, 600);
+        a.record(PHASE_SERVE, 400);
+        a.record(PHASE_ROUTE, 1_000);
+        let mut b = PhaseProfile::new();
+        b.record(PHASE_MERGE, 2_000);
+        a.merge(&b);
+        assert_eq!(a.total_ns(), 4_000);
+        assert_eq!(a.ns[PHASE_SERVE], 1_000);
+        assert_eq!(a.calls[PHASE_SERVE], 2);
+        let json = a.to_json();
+        assert!(json.contains("\"total_ns\":4000"));
+        assert!(json.contains("\"serve\":{\"ns\":1000,\"calls\":2}"));
+        let line = a.summary();
+        assert!(line.starts_with("profile: merge 50.0%"), "{line}");
+    }
+}

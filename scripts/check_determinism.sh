@@ -6,9 +6,11 @@
 # cell partitions for split, thermal clock clamps for the DVFS combo) —
 # and diff the serialized FleetReport bytes. Byte-identical reports at
 # any shard/thread count are the engine's core guarantee, checked end to
-# end through the sim_fleet binary. Shared by ci.sh and
-# .github/workflows/ci.yml (ci.sh invokes this script, so the workflow
-# cannot skip it).
+# end through the sim_fleet binary. The telemetry layers ride along:
+# every run also exports the time-series JSONL and the Chrome trace
+# JSON, and those artifact bytes must be identical across thread counts
+# too. Shared by ci.sh and .github/workflows/ci.yml (ci.sh invokes this
+# script, so the workflow cannot skip it).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -28,10 +30,19 @@ for combo in mono split dvfs mono_chaos split_chaos dvfs_chaos; do
       --gpu lite --instances 64 --cell-size 8 --hours 0.5 --accel 50000 \
       --ctrl auto --workload multi "${combo_flags[@]}" --no-baseline \
       --shards 8 --threads "$threads" \
+      --series "$det_dir/series_${combo}_t$threads.jsonl" --series-dt 60 \
+      --trace "$det_dir/trace_${combo}_t$threads.json" --trace-every 16 \
       --quiet-json 2>/dev/null
     cp target/experiments/fleet_lite.json "$det_dir/fleet_lite_${combo}_t$threads.json"
   done
-  cmp "$det_dir/fleet_lite_${combo}_t1.json" "$det_dir/fleet_lite_${combo}_t2.json"
-  cmp "$det_dir/fleet_lite_${combo}_t1.json" "$det_dir/fleet_lite_${combo}_t8.json"
-  echo "    $combo: byte-identical across 1/2/8 threads."
+  for artifact in fleet_lite series trace; do
+    case "$artifact" in
+      fleet_lite) a="$det_dir/fleet_lite_${combo}" ext=json ;;
+      series)     a="$det_dir/series_${combo}"     ext=jsonl ;;
+      trace)      a="$det_dir/trace_${combo}"      ext=json ;;
+    esac
+    cmp "${a}_t1.$ext" "${a}_t2.$ext"
+    cmp "${a}_t1.$ext" "${a}_t8.$ext"
+  done
+  echo "    $combo: report, series and trace byte-identical across 1/2/8 threads."
 done

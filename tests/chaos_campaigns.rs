@@ -6,9 +6,10 @@
 //! availability under the very same rack-outage campaign.
 
 use litegpu_repro::chaos::{
-    compile, outcome, run_campaign, Campaign, CampaignKind, ChaosReport, DomainPlan,
+    compile, outcome, run_campaign, run_campaign_full, Campaign, CampaignKind, ChaosReport,
+    DomainPlan,
 };
-use litegpu_repro::fleet::{run, run_sharded, FleetConfig, WorkloadSpec};
+use litegpu_repro::fleet::{run, run_sharded, FleetConfig, TelemetryConfig, WorkloadSpec};
 
 /// A small fleet of single-GPU Llama3-8B instances — the smallest model
 /// in the catalog, so one instance maps to one GPU and the failure-domain
@@ -173,6 +174,54 @@ fn thermal_campaign_clamps_without_downs() {
         r.failure_breakdown.independent, r.failures,
         "thermal clamps are not failures"
     );
+}
+
+/// The recovery timeline the end-of-run table drops: with natural
+/// failures off, the telemetry `up` series equals the full fleet at
+/// every sample before the first outage window, and strictly dips at
+/// every sample inside any outage window. An outage fires in the tick
+/// containing its start, so a sample at time `t` reads "down" exactly
+/// when `start_us < t <= end_us`.
+#[test]
+fn availability_series_dips_exactly_inside_outage_windows() {
+    let plan = DomainPlan::default();
+    let camp = campaign(CampaignKind::RackOutages);
+    let mut cfg = h100_fleet();
+    cfg.failure_acceleration = 0.0; // isolate the correlated losses
+    cfg.telemetry = TelemetryConfig {
+        series_dt_s: 60.0,
+        ..TelemetryConfig::default()
+    };
+    let spec = compile(&cfg, &plan, &camp, 23).expect("compiled campaign");
+    assert!(!spec.events.is_empty());
+    let first_start = spec.events.iter().map(|e| e.start_us).min().unwrap();
+    let fr = run_campaign_full(&cfg, &plan, &camp, 23, 4, 2).expect("campaign run");
+    let series = fr.series.expect("series requested");
+    let up = &series
+        .get("up")
+        .expect("series records the up gauge")
+        .values;
+    assert!(!up.is_empty());
+    let fleet = u64::from(cfg.instances);
+    let mut saw_pre_window_sample = false;
+    let mut saw_in_window_sample = false;
+    for (w, &v) in up.iter().enumerate() {
+        let t = (w as u64 + 1) * series.dt_us();
+        let inside = spec
+            .events
+            .iter()
+            .any(|e| e.start_us < t && t <= e.end_us && !e.instances.is_empty());
+        if t <= first_start {
+            saw_pre_window_sample = true;
+            assert_eq!(v, fleet, "window {w}: dip before any outage");
+        }
+        if inside {
+            saw_in_window_sample = true;
+            assert!(v < fleet, "window {w}: no dip inside an outage window");
+        }
+    }
+    assert!(saw_pre_window_sample, "campaign must not start immediately");
+    assert!(saw_in_window_sample, "samples must land inside the windows");
 }
 
 /// §3 blast radius, measured end to end: under the *same* rack-outage

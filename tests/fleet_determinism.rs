@@ -5,10 +5,13 @@
 //! single-tenant and mixed-priority multi-tenant workloads — plus
 //! conservation laws for the priority-aware largest-remainder routing.
 
+use litegpu_repro::chaos::{compile, Campaign, CampaignKind, DomainPlan};
 use litegpu_repro::ctrl::PriorityClass;
 use litegpu_repro::fleet::{
-    run, run_sharded, FleetConfig, LengthDist, Tenant, TrafficPattern, WorkloadSpec,
+    run, run_sharded, run_sharded_full, FleetConfig, LengthDist, ServingMode, TelemetryConfig,
+    Tenant, TrafficPattern, WorkloadSpec,
 };
+use litegpu_repro::telemetry::render_chrome_trace;
 
 fn test_cfg() -> FleetConfig {
     let mut cfg = FleetConfig::lite_demo();
@@ -195,6 +198,93 @@ fn failure_breakdown_conserves_on_campaign_free_runs() {
         assert_eq!(b.rack + b.power, 0, "no campaign: all failures i.i.d.");
         assert_eq!(b.partition_events + b.thermal_events, 0);
         assert!(r.chaos.is_none(), "chaos section only on campaign runs");
+    }
+}
+
+/// The four config shapes the telemetry determinism gate sweeps:
+/// monolithic, phase-split, DVFS-controlled, and a chaos campaign.
+fn telemetry_variants() -> Vec<(&'static str, FleetConfig)> {
+    let mono = test_cfg();
+    let mut split = test_cfg();
+    split.serving = ServingMode::split_demo(&split.gpu, split.gpus_per_instance);
+    let mut dvfs = ctrl_cfg();
+    dvfs.ctrl = dvfs.ctrl.map(|c| c.with_dvfs());
+    let mut chaos = test_cfg();
+    let camp = Campaign {
+        kind: CampaignKind::RackOutages,
+        events: 3,
+        duration_s: 300.0,
+        intensity: 0.5,
+    };
+    chaos.chaos = compile(&chaos, &DomainPlan::default(), &camp, 17).expect("compiled campaign");
+    vec![
+        ("mono", mono),
+        ("split", split),
+        ("dvfs", dvfs),
+        ("chaos", chaos),
+    ]
+}
+
+fn with_telemetry(cfg: &FleetConfig) -> FleetConfig {
+    let mut c = cfg.clone();
+    c.telemetry = TelemetryConfig {
+        series_dt_s: 60.0,
+        per_cell_series: true,
+        trace_every: 4,
+        profile: false,
+    };
+    c
+}
+
+/// Renders the deterministic telemetry artifacts of one run: the series
+/// JSONL and the Chrome trace-event JSON.
+fn telemetry_bytes(cfg: &FleetConfig, seed: u64, shards: u32, threads: u32) -> (String, String) {
+    let mut fr = run_sharded_full(cfg, seed, shards, threads).expect("telemetry run");
+    let series = fr.series.expect("series requested").to_jsonl();
+    let trace = render_chrome_trace(fr.trace.as_mut().expect("trace requested"));
+    (series, trace)
+}
+
+/// The tentpole guarantee for the deterministic telemetry layers: series
+/// and trace bytes are identical at 1/2/8 threads and across shard
+/// counts, for monolithic, phase-split, DVFS and chaos configs alike.
+#[test]
+fn telemetry_series_and_trace_byte_identical_across_shards_and_threads() {
+    for (label, cfg) in telemetry_variants() {
+        let cfg = with_telemetry(&cfg);
+        let (series, trace) = telemetry_bytes(&cfg, 11, 1, 1);
+        assert!(
+            series.lines().count() > 1,
+            "{label}: series must hold sampled windows"
+        );
+        assert!(
+            trace.contains("\"traceEvents\""),
+            "{label}: trace must render events"
+        );
+        for (shards, threads) in [(4u32, 2u32), (8, 8)] {
+            let (s, t) = telemetry_bytes(&cfg, 11, shards, threads);
+            assert_eq!(s, series, "{label}: series bytes at {shards}x{threads}");
+            assert_eq!(t, trace, "{label}: trace bytes at {shards}x{threads}");
+        }
+    }
+}
+
+/// Observability must be free of Heisenberg effects: turning every
+/// telemetry layer on (including profiling) leaves the report bytes
+/// exactly as a bare run produces them.
+#[test]
+fn telemetry_does_not_change_report_bytes() {
+    for (label, cfg) in telemetry_variants() {
+        let bare = run_sharded(&cfg, 42, 4, 2).expect("bare run");
+        let mut on = with_telemetry(&cfg);
+        on.telemetry.profile = true;
+        let observed = run_sharded_full(&on, 42, 4, 2).expect("observed run");
+        assert_eq!(
+            observed.report.to_json(),
+            bare.to_json(),
+            "{label}: telemetry changed the report"
+        );
+        assert!(observed.profile.is_some(), "{label}: profile requested");
     }
 }
 
