@@ -59,6 +59,10 @@ build_test() {
       echo "TELEMETRY SMOKE: target/ci-telemetry/$artifact missing or empty" >&2; exit 1; }
   done
 
+  echo "==> TCO smoke: design-space sweep, Pareto frontier + H100-vs-Lite \$/Mtoken headline (sim_tco --smoke)"
+  cargo run --release -q -p litegpu-bench --bin sim_tco -- \
+    --smoke --quiet-json
+
   echo "==> determinism: byte-identical FleetReport at 1/2/8 threads, serving/control combos with and without chaos"
   ./scripts/check_determinism.sh
 

@@ -39,7 +39,7 @@
 //! `tests/chaos_campaigns.rs` asserts as much.
 
 use litegpu_chaos::{outcome, run_campaign_full, Campaign, CampaignKind, ChaosReport, DomainPlan};
-use litegpu_fleet::{FleetConfig, FleetReport, FleetRun, TelemetryConfig, WorkloadSpec};
+use litegpu_fleet::{FleetConfig, FleetReport, FleetRun, TelemetryConfig};
 
 struct Args {
     campaign: String,
@@ -119,40 +119,18 @@ fn parse_args() -> Args {
     a
 }
 
-/// A fleet of single-GPU Llama3-8B instances of the given type: the
-/// smallest catalog model fits one GPU of either kind, so the
-/// failure-domain packing is set purely by each GPU's power draw.
-fn single_gpu_fleet(gpu: litegpu_specs::GpuSpec, a: &Args) -> FleetConfig {
-    let failure = litegpu_cluster::FailureModel::default_for(&gpu);
-    let mut cfg = FleetConfig::h100_demo();
-    cfg.gpu = gpu;
-    cfg.failure = failure;
-    cfg.arch = litegpu_workload::models::llama3_8b();
-    cfg.gpus_per_instance = 1;
-    cfg.horizon_s = a.hours * 3600.0;
-    cfg.failure_acceleration = a.accel;
-    cfg
-}
-
-fn h100_fleet(a: &Args) -> FleetConfig {
-    let mut cfg = single_gpu_fleet(litegpu_specs::catalog::h100(), a);
-    cfg.instances = a.instances;
-    cfg.cell_size = 8;
-    cfg.spares_per_cell = 1;
-    cfg.workload = WorkloadSpec::multi_tenant_demo(a.rate);
-    cfg
-}
-
-fn lite_fleet(a: &Args) -> FleetConfig {
-    // Silicon-equal twin: 4x the instances at 1/4 the compute, power and
-    // per-instance rate; 4 Lite spares per 32-wide cell match the H100's
-    // one fat spare per 8-wide cell.
-    let mut cfg = single_gpu_fleet(litegpu_specs::catalog::lite_base(), a);
-    cfg.instances = a.instances * 4;
-    cfg.cell_size = 32;
-    cfg.spares_per_cell = 4;
-    cfg.workload = WorkloadSpec::multi_tenant_demo(a.rate / 4.0);
-    cfg
+/// The silicon-equal single-GPU pair (H100 vs 4x Lite on the same
+/// silicon, demand and rack shape), built by the shared
+/// `litegpu_bench::fleet_pair` helper with the control plane stripped —
+/// the chaos sweep studies the fixed fleet.
+fn fleet_pair(a: &Args) -> [(&'static str, FleetConfig); 2] {
+    let base = litegpu_bench::fleet_pair::SweepBase {
+        equiv_instances: a.instances,
+        rate_per_equiv: a.rate,
+        hours: a.hours,
+        accel: a.accel,
+    };
+    litegpu_bench::fleet_pair::pair_configs(&base, false)
 }
 
 fn run_one(
@@ -162,18 +140,8 @@ fn run_one(
     plan: &DomainPlan,
     a: &Args,
 ) -> FleetRun {
-    let threads = if a.threads > 0 {
-        a.threads
-    } else {
-        std::thread::available_parallelism()
-            .map(|n| n.get() as u32)
-            .unwrap_or(1)
-    };
-    let shards = if a.shards > 0 {
-        a.shards
-    } else {
-        cfg.num_cells()
-    };
+    let threads = litegpu_bench::fleet_pair::threads_or_auto(a.threads);
+    let shards = litegpu_bench::fleet_pair::shards_or_cells(a.shards, cfg);
     let mut cfg = cfg.clone();
     if a.series {
         cfg.telemetry = TelemetryConfig {
@@ -257,8 +225,7 @@ fn main() {
         rack_kw: a.rack_kw,
         racks_per_power_domain: a.racks_per_domain,
     };
-    let h100 = h100_fleet(&a);
-    let lite = lite_fleet(&a);
+    let [(_, h100), (_, lite)] = fleet_pair(&a);
     for kind in kinds {
         let camp = Campaign {
             kind,
@@ -275,15 +242,18 @@ fn main() {
         // just its end-of-run average.
         if a.series {
             let dir = litegpu_bench::experiments_dir();
-            if std::fs::create_dir_all(&dir).is_ok() {
-                for (name, fr) in [("h100", &run_h), ("lite", &run_l)] {
-                    if let Some(s) = fr.series.as_ref() {
-                        let path = dir.join(format!("chaos_{}_{name}_series.jsonl", kind.slug()));
-                        match std::fs::write(&path, s.to_jsonl()) {
-                            Ok(()) => eprintln!("#   series: wrote {}", path.display()),
-                            Err(e) => eprintln!("#   series {}: {e}", path.display()),
-                        }
-                    }
+            if let Err(e) = std::fs::create_dir_all(&dir) {
+                eprintln!("series {}: {e}", dir.display());
+                std::process::exit(1);
+            }
+            for (name, fr) in [("h100", &run_h), ("lite", &run_l)] {
+                if let Some(s) = fr.series.as_ref() {
+                    let path = dir.join(format!("chaos_{}_{name}_series.jsonl", kind.slug()));
+                    litegpu_bench::write_artifact(
+                        "series",
+                        path.to_str().unwrap_or_default(),
+                        &s.to_jsonl(),
+                    );
                 }
             }
         }

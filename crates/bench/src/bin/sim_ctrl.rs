@@ -169,16 +169,12 @@ fn series_path(path: &str, name: &str) -> String {
 
 fn main() {
     let a = parse_args();
-    let fleets = [
-        ("h100", configure(FleetConfig::h100_ctrl_demo(), &a)),
-        ("lite", configure(FleetConfig::lite_ctrl_demo(), &a)),
-    ];
+    let fleets =
+        litegpu_bench::fleet_pair::ctrl_demo_pair().map(|(name, base)| (name, configure(base, &a)));
     let mut reports = Vec::new();
     for (name, cfg) in &fleets {
         let start = std::time::Instant::now();
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get() as u32)
-            .unwrap_or(1);
+        let threads = litegpu_bench::fleet_pair::threads_or_auto(0);
         let fleet_run = match run_sharded_full(cfg, a.seed, cfg.num_cells(), threads) {
             Ok(r) => r,
             Err(e) => {
@@ -187,14 +183,7 @@ fn main() {
             }
         };
         if let (Some(path), Some(s)) = (&a.series, fleet_run.series.as_ref()) {
-            let path = series_path(path, name);
-            match std::fs::write(&path, s.to_jsonl()) {
-                Ok(()) => eprintln!("# series: wrote {path}"),
-                Err(e) => {
-                    eprintln!("series {path}: {e}");
-                    std::process::exit(1);
-                }
-            }
+            litegpu_bench::write_artifact("series", &series_path(path, name), &s.to_jsonl());
         }
         let report = fleet_run.report;
         eprintln!(

@@ -274,18 +274,8 @@ fn configure(base: FleetConfig, a: &Args, auto_policy: Policy) -> FleetConfig {
 }
 
 fn run_one(name: &str, cfg: &FleetConfig, a: &Args) -> (FleetRun, f64) {
-    let threads = if a.threads > 0 {
-        a.threads
-    } else {
-        std::thread::available_parallelism()
-            .map(|n| n.get() as u32)
-            .unwrap_or(1)
-    };
-    let shards = if a.shards > 0 {
-        a.shards
-    } else {
-        cfg.num_cells()
-    };
+    let threads = litegpu_bench::fleet_pair::threads_or_auto(a.threads);
+    let shards = litegpu_bench::fleet_pair::shards_or_cells(a.shards, cfg);
     let start = std::time::Instant::now();
     match run_sharded_full(cfg, a.seed, shards, threads) {
         Ok(r) => (r, start.elapsed().as_secs_f64()),
@@ -296,29 +286,19 @@ fn run_one(name: &str, cfg: &FleetConfig, a: &Args) -> (FleetRun, f64) {
     }
 }
 
-fn write_artifact(what: &str, path: &str, bytes: &str) {
-    match std::fs::write(path, bytes) {
-        Ok(()) => eprintln!("# {what}: wrote {path}"),
-        Err(e) => {
-            eprintln!("{what} {path}: {e}");
-            std::process::exit(1);
-        }
-    }
-}
+use litegpu_bench::write_artifact;
 
 fn main() {
     let a = parse_args();
-    let h100 = || configure(FleetConfig::h100_demo(), &a, Policy::DvfsAll);
-    let lite = || configure(FleetConfig::lite_demo(), &a, Policy::GateToEfficiency);
-    let fleets: Vec<(&str, FleetConfig)> = match a.gpu.as_str() {
-        "h100" => vec![("h100", h100())],
-        "lite" => vec![("lite", lite())],
-        "both" => vec![("h100", h100()), ("lite", lite())],
-        other => {
-            eprintln!("unknown --gpu {other} (expected h100|lite|both)");
-            std::process::exit(2);
-        }
-    };
+    let fleets: Vec<(&str, FleetConfig)> = litegpu_bench::fleet_pair::demo_pair()
+        .into_iter()
+        .filter(|(name, _, _)| a.gpu == "both" || a.gpu == *name)
+        .map(|(name, base, policy)| (name, configure(base, &a, policy)))
+        .collect();
+    if fleets.is_empty() {
+        eprintln!("unknown --gpu {} (expected h100|lite|both)", a.gpu);
+        std::process::exit(2);
+    }
     let mut split_reports: Vec<(String, FleetReport)> = Vec::new();
     let mut perf_written = false;
     for (idx, (name, cfg)) in fleets.into_iter().enumerate() {
@@ -362,9 +342,7 @@ fn main() {
                  \"wall_s\": {wall:.4},\n  \"ticks_per_sec\": {:.0}\n}}\n",
                 instance_ticks as f64 / wall.max(1e-9)
             );
-            if let Err(e) = std::fs::write(path, perf) {
-                eprintln!("perf-json {path}: {e}");
-            }
+            write_artifact("perf-json", path, &perf);
             perf_written = true;
         }
         if report.dvfs.is_some() {

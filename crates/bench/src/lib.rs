@@ -36,6 +36,121 @@ pub fn to_json<T: serde::Serialize>(value: &T) -> String {
     serde_json::to_string_pretty(value).unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}"))
 }
 
+/// Writes a user-requested artifact (`--series`, `--trace`,
+/// `--perf-json`, ...), exiting non-zero with a clean diagnostic when
+/// the path is unwritable — a requested artifact that silently fails to
+/// appear breaks the CI contract downstream.
+pub fn write_artifact(what: &str, path: &str, bytes: &str) {
+    match std::fs::write(path, bytes) {
+        Ok(()) => eprintln!("# {what}: wrote {path}"),
+        Err(e) => {
+            eprintln!("{what} {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// The silicon-equal H100-vs-Lite fleet pairs the experiment binaries
+/// compare, built in one place instead of copy-pasted per binary.
+///
+/// Two constructions exist:
+/// - the *demo* pairs ([`demo_pair`], [`ctrl_demo_pair`]): the fleet
+///   engine's tensor-parallel Llama3-70B demo fleets with the
+///   §3-appropriate power policy per GPU type;
+/// - the *single-GPU* pair ([`pair_designs`], [`pair_configs`]): N
+///   single-GPU Llama3-8B H100 instances in 8-wide cells with one spare
+///   vs 4N Lite instances in 32-wide cells with four spares at a quarter
+///   of the per-instance rate — the same silicon, demand and rack shape,
+///   expressed as `litegpu_tco` design points so the chaos binary and
+///   the TCO sweep study literally the same candidates.
+///
+/// [`demo_pair`]: fleet_pair::demo_pair
+/// [`ctrl_demo_pair`]: fleet_pair::ctrl_demo_pair
+/// [`pair_designs`]: fleet_pair::pair_designs
+/// [`pair_configs`]: fleet_pair::pair_configs
+pub mod fleet_pair {
+    use litegpu_cluster::power_mgmt::Policy;
+    use litegpu_fleet::FleetConfig;
+    pub use litegpu_tco::{DesignPoint, SweepBase};
+
+    /// The demo fleets with their §3 auto policies: H100 parks at the
+    /// DVFS idle floor, Lite power-gates per unit.
+    pub fn demo_pair() -> [(&'static str, FleetConfig, Policy); 2] {
+        [
+            ("h100", FleetConfig::h100_demo(), Policy::DvfsAll),
+            ("lite", FleetConfig::lite_demo(), Policy::GateToEfficiency),
+        ]
+    }
+
+    /// The controlled demo fleets (autoscaler + router + power policy
+    /// already attached).
+    pub fn ctrl_demo_pair() -> [(&'static str, FleetConfig); 2] {
+        [
+            ("h100", FleetConfig::h100_ctrl_demo()),
+            ("lite", FleetConfig::lite_ctrl_demo()),
+        ]
+    }
+
+    /// The canonical silicon-equal pair as TCO design points: die
+    /// divisor 1 vs 4, 8-equivalent cells, one spare equivalent,
+    /// monolithic serving, no DVFS.
+    pub fn pair_designs() -> [(&'static str, DesignPoint); 2] {
+        let base = DesignPoint {
+            die_divisor: 1,
+            cell_units: 8,
+            spare_units: 1,
+            split: false,
+            dvfs: false,
+        };
+        [
+            ("h100", base),
+            (
+                "lite",
+                DesignPoint {
+                    die_divisor: 4,
+                    ..base
+                },
+            ),
+        ]
+    }
+
+    /// The canonical pair as runnable fleet configurations over a sweep
+    /// base. `controlled` keeps the divisor-appropriate control plane;
+    /// the chaos binary strips it to study the fixed fleet.
+    pub fn pair_configs(base: &SweepBase, controlled: bool) -> [(&'static str, FleetConfig); 2] {
+        pair_designs().map(|(name, design)| {
+            let mut cfg = design
+                .fleet_config(base)
+                .expect("the canonical pair is a valid design");
+            if !controlled {
+                cfg.ctrl = None;
+            }
+            (name, cfg)
+        })
+    }
+
+    /// Resolves a `--threads` argument: `0` means every available core.
+    pub fn threads_or_auto(requested: u32) -> u32 {
+        if requested > 0 {
+            requested
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get() as u32)
+                .unwrap_or(1)
+        }
+    }
+
+    /// Resolves a `--shards` argument: `0` means one shard per repair
+    /// cell (the engine's natural partition).
+    pub fn shards_or_cells(requested: u32, cfg: &FleetConfig) -> u32 {
+        if requested > 0 {
+            requested
+        } else {
+            cfg.num_cells()
+        }
+    }
+}
+
 /// Minimal flag-parsing helpers shared by the experiment binaries
 /// (`sim_fleet`, `sim_ctrl`, ...). Both exit with status 2 on bad input,
 /// which is the binaries' established CLI contract.
@@ -72,5 +187,46 @@ mod tests {
     fn json_serializes() {
         let s = to_json(&vec![1, 2, 3]);
         assert!(s.contains('1'));
+    }
+
+    #[test]
+    fn pair_configs_are_silicon_equal() {
+        let base = fleet_pair::SweepBase {
+            equiv_instances: 24,
+            rate_per_equiv: 2.0,
+            hours: 0.5,
+            accel: 10_000.0,
+        };
+        let [(hn, h), (ln, l)] = fleet_pair::pair_configs(&base, false);
+        assert_eq!((hn, ln), ("h100", "lite"));
+        assert_eq!((h.gpu.name.as_str(), l.gpu.name.as_str()), ("H100", "Lite"));
+        // 4x the instances at 1/4 the capability, same cells and spare
+        // silicon, same total demand, no control plane.
+        assert_eq!((h.instances, l.instances), (24, 96));
+        assert_eq!((h.cell_size, l.cell_size), (8, 32));
+        assert_eq!((h.spares_per_cell, l.spares_per_cell), (1, 4));
+        assert_eq!(h.num_cells(), l.num_cells());
+        assert_eq!(h.gpus_per_instance, 1);
+        assert!(h.ctrl.is_none() && l.ctrl.is_none());
+        assert!(
+            (h.workload.rate_per_instance_s - 4.0 * l.workload.rate_per_instance_s).abs() < 1e-12
+        );
+        // The controlled variant keeps the divisor-appropriate policies.
+        let [(_, hc), (_, lc)] = fleet_pair::pair_configs(&base, true);
+        use litegpu_cluster::power_mgmt::Policy;
+        assert_eq!(hc.ctrl.unwrap().power.unwrap().policy, Policy::DvfsAll);
+        assert_eq!(
+            lc.ctrl.unwrap().power.unwrap().policy,
+            Policy::GateToEfficiency
+        );
+    }
+
+    #[test]
+    fn parallelism_defaults_resolve() {
+        assert_eq!(fleet_pair::threads_or_auto(3), 3);
+        assert!(fleet_pair::threads_or_auto(0) >= 1);
+        let cfg = litegpu_fleet::FleetConfig::h100_demo();
+        assert_eq!(fleet_pair::shards_or_cells(5, &cfg), 5);
+        assert_eq!(fleet_pair::shards_or_cells(0, &cfg), cfg.num_cells());
     }
 }

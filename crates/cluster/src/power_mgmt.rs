@@ -158,6 +158,37 @@ pub fn gating_saving(cluster: &ClusterSpec, loads: &[f64]) -> Result<f64> {
     Ok(1.0 - gate / dvfs)
 }
 
+/// Default datacenter power-usage effectiveness: total facility power per
+/// watt of IT load (cooling, distribution losses). 1.2 is a modern
+/// hyperscale figure.
+pub const DEFAULT_PUE: f64 = 1.2;
+
+/// Default capital cost of provisioning one kW of facility power capacity
+/// (substation, UPS, distribution, cooling plant), USD/kW.
+pub const DEFAULT_USD_PER_PROVISIONED_KW: f64 = 3_000.0;
+
+/// Capital cost of provisioning power delivery and cooling for `it_kw`
+/// kilowatts of IT load at the given PUE, USD.
+///
+/// Lite-GPU fleets change this line two ways: more GPUs of smaller TDP
+/// leave the provisioned total roughly constant, but gate-to-efficiency
+/// serving lets operators provision closer to the served-load peak than
+/// to the nameplate sum.
+pub fn provisioning_capex_usd(it_kw: f64, pue: f64, usd_per_kw: f64) -> Result<f64> {
+    for (name, value) in [("it_kw", it_kw), ("pue", pue), ("usd_per_kw", usd_per_kw)] {
+        if !value.is_finite() || value < 0.0 {
+            return Err(crate::ClusterError::InvalidParameter { name, value });
+        }
+    }
+    if pue < 1.0 {
+        return Err(crate::ClusterError::InvalidParameter {
+            name: "pue",
+            value: pue,
+        });
+    }
+    Ok(it_kw * pue * usd_per_kw)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -268,6 +299,18 @@ mod tests {
                 assert!((hi - 6400.0).abs() < 1e-9, "{policy:?} hi = {hi}");
             }
         }
+    }
+
+    #[test]
+    fn provisioning_capex_prices_facility_watts() {
+        // A 6.4 kW node at PUE 1.2 and $3000/kW: 6.4 × 1.2 × 3000.
+        let c = provisioning_capex_usd(6.4, DEFAULT_PUE, DEFAULT_USD_PER_PROVISIONED_KW).unwrap();
+        assert!((c - 23_040.0).abs() < 1e-9, "got {c}");
+        assert_eq!(provisioning_capex_usd(0.0, 1.0, 3000.0).unwrap(), 0.0);
+        // PUE below 1 is unphysical; negatives and NaN are rejected.
+        assert!(provisioning_capex_usd(6.4, 0.9, 3000.0).is_err());
+        assert!(provisioning_capex_usd(-1.0, 1.2, 3000.0).is_err());
+        assert!(provisioning_capex_usd(6.4, 1.2, f64::NAN).is_err());
     }
 
     #[test]

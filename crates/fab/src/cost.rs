@@ -283,29 +283,50 @@ pub fn h100_vs_lite_comparison() -> Result<ManufacturingComparison> {
 /// The default H100 and Lite-H100 package cost models used by the paper
 /// reproduction (public-estimate parameters).
 pub fn h100_and_lite_package_models() -> Result<(PackageCostModel, PackageCostModel)> {
+    Ok((package_model_for_divisor(1)?, package_model_for_divisor(4)?))
+}
+
+/// The package cost model for an H100-class die shrunk by `divisor`.
+///
+/// `divisor == 1` is the H100 package itself (CoWoS-class interposer,
+/// five HBM stacks, liquid-adjacent assembly). Larger divisors follow the
+/// Lite-GPU recipe — flip-chip packaging, two down-sized HBM stacks, and
+/// assembly cost/risk shrinking with the die — on a continuous family
+/// that reproduces the paper's Lite-H100 parameters exactly at
+/// `divisor == 4`. This is the capex-side knob the TCO design sweep
+/// turns: one function prices every die size on the same assumptions.
+pub fn package_model_for_divisor(divisor: u32) -> Result<PackageCostModel> {
+    if divisor == 0 {
+        return Err(crate::FabError::InvalidParameter {
+            name: "divisor",
+            value: 0.0,
+        });
+    }
     let h100_die = DieGeometry::with_aspect(814.0, 1.1)?;
-    let lite_die = h100_die.shrink(4)?;
-    let big = PackageCostModel::new(
-        DieCostModel::new(h100_die, ProcessNode::N4, YieldModel::Poisson),
-        1,
-        PackageClass::SiliconInterposer {
-            interposer_area_mm2: 2500.0,
-        },
-        5,
-        120.0,
-        150.0,
-        0.95,
-    )?;
-    let lite = PackageCostModel::new(
-        DieCostModel::new(lite_die, ProcessNode::N4, YieldModel::Poisson),
+    if divisor == 1 {
+        return PackageCostModel::new(
+            DieCostModel::new(h100_die, ProcessNode::N4, YieldModel::Poisson),
+            1,
+            PackageClass::SiliconInterposer {
+                interposer_area_mm2: 2500.0,
+            },
+            5,
+            120.0,
+            150.0,
+            0.95,
+        );
+    }
+    let d = divisor as f64;
+    let die = h100_die.shrink(divisor)?;
+    PackageCostModel::new(
+        DieCostModel::new(die, ProcessNode::N4, YieldModel::Poisson),
         1,
         PackageClass::FlipChip,
-        2, // Two half-height stacks to keep capacity at 1/4 with shoreline to spare.
-        30.0,
-        45.0,
-        0.99,
-    )?;
-    Ok((big, lite))
+        2, // Two down-sized stacks keep capacity at 1/divisor with shoreline to spare.
+        120.0 / d,
+        180.0 / d,
+        1.0 - 0.04 / d,
+    )
 }
 
 #[cfg(test)]
@@ -393,6 +414,42 @@ mod tests {
         let m = h100_die_model();
         assert!(PackageCostModel::new(m, 1, PackageClass::FlipChip, 0, 0.0, 0.0, 0.0).is_err());
         assert!(PackageCostModel::new(m, 1, PackageClass::FlipChip, 0, 0.0, 0.0, 1.5).is_err());
+    }
+
+    #[test]
+    fn divisor_family_reproduces_the_paper_endpoints() {
+        // The generalized family must hit the pinned H100 and Lite-H100
+        // models exactly, so the TCO sweep prices the same packages as
+        // the §2 manufacturing comparison.
+        let (big, lite) = h100_and_lite_package_models().unwrap();
+        assert_eq!(big, package_model_for_divisor(1).unwrap());
+        assert_eq!(lite, package_model_for_divisor(4).unwrap());
+        assert_eq!(lite.hbm_stack_cost_usd, 30.0);
+        assert_eq!(lite.assembly_cost_usd, 45.0);
+        assert_eq!(lite.assembly_yield, 0.99);
+        assert!(package_model_for_divisor(0).is_err());
+    }
+
+    #[test]
+    fn divisor_family_cheapens_packages_monotonically() {
+        // Per-package cost must fall as the die shrinks: yield gain plus
+        // smaller HBM/assembly shares. (Total fleet silicon cost is a
+        // different question — that's what the TCO optimizer weighs.)
+        let costs: Vec<f64> = [1u32, 2, 4, 8]
+            .iter()
+            .map(|&d| {
+                package_model_for_divisor(d)
+                    .unwrap()
+                    .cost_per_shipped_package()
+                    .unwrap()
+            })
+            .collect();
+        for w in costs.windows(2) {
+            assert!(
+                w[0] > w[1],
+                "package cost must shrink with the die: {costs:?}"
+            );
+        }
     }
 
     #[test]

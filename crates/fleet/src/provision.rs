@@ -114,4 +114,73 @@ mod tests {
         assert!(spares_for_target(&cfg(), 1.5, 2, 1).is_err());
         assert!(spares_for_target(&cfg(), f64::NAN, 2, 1).is_err());
     }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+        use std::sync::OnceLock;
+
+        const MAX_SPARES: u32 = 3;
+
+        fn prop_cfg() -> FleetConfig {
+            let mut c = cfg();
+            c.instances = 16;
+            c.horizon_s = 900.0;
+            c
+        }
+
+        /// Availability at each pool size, simulated once (every run is
+        /// deterministic under the seed) and shared by all cases.
+        fn availability_ladder() -> &'static [f64] {
+            static LADDER: OnceLock<Vec<f64>> = OnceLock::new();
+            LADDER.get_or_init(|| {
+                (0..=MAX_SPARES)
+                    .map(|s| {
+                        let mut c = prop_cfg();
+                        c.spares_per_cell = s;
+                        run(&c, 9).expect("run").availability
+                    })
+                    .collect()
+            })
+        }
+
+        /// Spares needed for a target, totalized: an unreachable target
+        /// costs more than any reachable pool.
+        fn spares_needed(target: f64) -> u32 {
+            match spares_for_target(&prop_cfg(), target, MAX_SPARES, 9) {
+                Ok(found) => found.spares_per_cell,
+                Err(FleetError::TargetUnreachable { .. }) => MAX_SPARES + 1,
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+
+        proptest! {
+            #[test]
+            fn pool_size_monotone_in_availability_target(
+                t1 in 0.85..0.9995f64,
+                dt in 0.0..0.12f64,
+            ) {
+                let ladder = availability_ladder();
+                // Independent oracle: the first pool size whose simulated
+                // availability meets the target. First-index-meeting is
+                // monotone in the threshold for *any* ladder shape.
+                let oracle = |t: f64| -> u32 {
+                    ladder
+                        .iter()
+                        .position(|&a| a >= t)
+                        .map_or(MAX_SPARES + 1, |i| i as u32)
+                };
+                let (lo, hi) = (t1, (t1 + dt).min(0.9995));
+                prop_assert!(
+                    oracle(lo) <= oracle(hi),
+                    "target {lo} needs {} spares but stricter {hi} needs {}",
+                    oracle(lo),
+                    oracle(hi)
+                );
+                // The search agrees with the oracle, so tightening the
+                // target can never shrink the pool it returns.
+                prop_assert_eq!(spares_needed(hi), oracle(hi));
+            }
+        }
+    }
 }

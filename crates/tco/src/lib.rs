@@ -1,0 +1,144 @@
+//! The end-to-end answer to the paper's title question: dollars per
+//! delivered SLO-compliant token, across the Lite-GPU design space.
+//!
+//! Every other crate in the suite prices one slice of the trade —
+//! `litegpu_fab` the yield-adjusted silicon, `litegpu_net` the fabric,
+//! `litegpu_cluster` the power books, `litegpu_fleet` the serving
+//! behaviour under failures and SLOs. This crate is the objective that
+//! combines them: a deterministic design-space optimizer that sweeps die
+//! size, cell shape, spare policy, serving mode and DVFS policy, prices
+//! each candidate's **capex** (yield-adjusted packages, interconnect,
+//! power provisioning + host amortization, spare silicon) and **opex**
+//! (the simulator's integer-joule energy books at a $/kWh tariff),
+//! simulates the candidate fleet under the standard multi-tenant
+//! workload, and divides by the tokens that actually met their tenants'
+//! SLOs.
+//!
+//! The sweep is embarrassingly parallel and deterministically merged:
+//! candidates are evaluated by a work-stealing thread pool but results
+//! are reassembled in design order, and each candidate's simulation runs
+//! at a fixed shard/thread shape — so the resulting [`TcoReport`] JSON
+//! is byte-identical at any `--threads` setting, the same discipline the
+//! fleet engine applies to its shard merge.
+//!
+//! # Example
+//!
+//! ```
+//! use litegpu_tco::{evaluate_sweep, pareto, smoke_grid, SweepBase, TcoModel};
+//!
+//! let base = SweepBase { equiv_instances: 4, rate_per_equiv: 2.0, hours: 0.1, accel: 2_000.0 };
+//! let designs = smoke_grid();
+//! let points = evaluate_sweep(&designs[..2], &base, &TcoModel::paper_default(), 42, 2).unwrap();
+//! assert_eq!(points.len(), 2);
+//! assert!(!pareto(&points).is_empty());
+//! ```
+
+pub mod design;
+pub mod frontier;
+pub mod model;
+
+pub use design::{
+    design_space, gpu_for_divisor, smoke_grid, standard_grid, DesignPoint, SweepBase,
+};
+pub use frontier::{evaluate_sweep, pareto, FrontierPoint, Headline, TcoReport};
+pub use model::{slo_tokens, CostBreakdown, TcoModel};
+
+/// Errors produced by TCO model construction and sweep evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TcoError {
+    /// A silicon-cost model rejected its parameters.
+    Fab(litegpu_fab::FabError),
+    /// A network-cost model rejected its parameters.
+    Net(litegpu_net::NetError),
+    /// A power model rejected its parameters.
+    Cluster(litegpu_cluster::ClusterError),
+    /// A derived GPU spec failed validation.
+    Spec(litegpu_specs::SpecError),
+    /// A candidate fleet failed to configure or simulate.
+    Fleet(litegpu_fleet::FleetError),
+    /// A TCO parameter was out of range.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+}
+
+impl core::fmt::Display for TcoError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            TcoError::Fab(e) => write!(f, "fab: {e}"),
+            TcoError::Net(e) => write!(f, "net: {e}"),
+            TcoError::Cluster(e) => write!(f, "cluster: {e}"),
+            TcoError::Spec(e) => write!(f, "spec: {e}"),
+            TcoError::Fleet(e) => write!(f, "fleet: {e}"),
+            TcoError::InvalidParameter { name, value } => {
+                write!(f, "invalid TCO parameter {name} = {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TcoError {}
+
+impl From<litegpu_fab::FabError> for TcoError {
+    fn from(e: litegpu_fab::FabError) -> Self {
+        TcoError::Fab(e)
+    }
+}
+
+impl From<litegpu_net::NetError> for TcoError {
+    fn from(e: litegpu_net::NetError) -> Self {
+        TcoError::Net(e)
+    }
+}
+
+impl From<litegpu_cluster::ClusterError> for TcoError {
+    fn from(e: litegpu_cluster::ClusterError) -> Self {
+        TcoError::Cluster(e)
+    }
+}
+
+impl From<litegpu_specs::SpecError> for TcoError {
+    fn from(e: litegpu_specs::SpecError) -> Self {
+        TcoError::Spec(e)
+    }
+}
+
+impl From<litegpu_fleet::FleetError> for TcoError {
+    fn from(e: litegpu_fleet::FleetError) -> Self {
+        TcoError::Fleet(e)
+    }
+}
+
+/// Result alias for TCO operations.
+pub type Result<T> = core::result::Result<T, TcoError>;
+
+pub(crate) fn check(name: &'static str, value: f64, ok: bool) -> Result<()> {
+    if ok {
+        Ok(())
+    } else {
+        Err(TcoError::InvalidParameter { name, value })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_routes_sources() {
+        let e = TcoError::InvalidParameter {
+            name: "usd_per_kwh",
+            value: -1.0,
+        };
+        assert!(e.to_string().contains("usd_per_kwh"));
+        let e: TcoError = litegpu_net::NetError::InvalidParameter {
+            name: "usd_per_gb_s",
+            value: f64::NAN,
+        }
+        .into();
+        assert!(e.to_string().starts_with("net: "));
+    }
+}

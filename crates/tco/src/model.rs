@@ -1,0 +1,274 @@
+//! The pricing model: a candidate fleet's capex and opex over the
+//! simulated horizon, and the SLO-compliant tokens that divide them.
+//!
+//! Capex lines come from the crates that model each physical layer:
+//! yield-adjusted package cost (`litegpu_fab`, per die divisor),
+//! fabric attach cost (`litegpu_net`, per endpoint and per GB/s), and
+//! facility power provisioning plus host amortization
+//! (`litegpu_cluster`, per provisioned IT kW). Capex is amortized
+//! linearly over [`TcoModel::amortization_years`] and charged for the
+//! simulated horizon's share; energy opex is the fleet engine's
+//! integer-joule books priced at [`TcoModel::usd_per_kwh`] behind the
+//! facility PUE. Every line lands in a [`CostBreakdown`] whose parts sum
+//! exactly to its total — `tests/tco_frontier.rs` pins that
+//! conservation.
+
+use crate::{check, Result};
+use litegpu_cluster::power_mgmt::{
+    provisioning_capex_usd, DEFAULT_PUE, DEFAULT_USD_PER_PROVISIONED_KW,
+};
+use litegpu_fab::cost::package_model_for_divisor;
+use litegpu_fleet::{FleetConfig, FleetReport};
+use litegpu_net::FabricCostModel;
+
+/// Seconds in an amortization year (365.25 days).
+const YEAR_S: f64 = 365.25 * 24.0 * 3600.0;
+
+/// The economic model a sweep prices candidates under.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TcoModel {
+    /// Electricity tariff, USD per kWh (applied behind the PUE).
+    pub usd_per_kwh: f64,
+    /// Facility power-usage effectiveness (≥ 1).
+    pub pue: f64,
+    /// Straight-line capex amortization horizon, years.
+    pub amortization_years: f64,
+    /// Facility power-provisioning capex, USD per provisioned kW.
+    pub usd_per_provisioned_kw: f64,
+    /// Host capex (CPU, DRAM, NIC, chassis) amortized per IT kW of GPU
+    /// TDP it feeds — TDP-proportional so the line is silicon-neutral
+    /// across die divisors.
+    pub host_usd_per_it_kw: f64,
+    /// Serving-fabric cost model (per endpoint, per GB/s, per switch).
+    pub fabric: FabricCostModel,
+}
+
+impl TcoModel {
+    /// Default pricing: $0.08/kWh, PUE 1.2, 4-year amortization,
+    /// $3000/kW provisioning, $3500/kW host share, and the default
+    /// leaf/spine fabric pricing.
+    pub fn paper_default() -> Self {
+        Self {
+            usd_per_kwh: 0.08,
+            pue: DEFAULT_PUE,
+            amortization_years: 4.0,
+            usd_per_provisioned_kw: DEFAULT_USD_PER_PROVISIONED_KW,
+            host_usd_per_it_kw: 3_500.0,
+            fabric: FabricCostModel::paper_default(),
+        }
+    }
+
+    /// Validates every pricing parameter.
+    pub fn validate(&self) -> Result<()> {
+        check(
+            "usd_per_kwh",
+            self.usd_per_kwh,
+            self.usd_per_kwh.is_finite() && self.usd_per_kwh >= 0.0,
+        )?;
+        check("pue", self.pue, self.pue.is_finite() && self.pue >= 1.0)?;
+        check(
+            "amortization_years",
+            self.amortization_years,
+            self.amortization_years.is_finite() && self.amortization_years > 0.0,
+        )?;
+        check(
+            "usd_per_provisioned_kw",
+            self.usd_per_provisioned_kw,
+            self.usd_per_provisioned_kw.is_finite() && self.usd_per_provisioned_kw >= 0.0,
+        )?;
+        check(
+            "host_usd_per_it_kw",
+            self.host_usd_per_it_kw,
+            self.host_usd_per_it_kw.is_finite() && self.host_usd_per_it_kw >= 0.0,
+        )?;
+        self.fabric.validate()?;
+        Ok(())
+    }
+}
+
+/// A candidate's horizon-share costs, by physical layer, USD.
+///
+/// The first four lines are amortized capex (the horizon's share of a
+/// straight-line schedule); `energy_usd` is opex incurred during the
+/// horizon. [`CostBreakdown::total_usd`] is exactly the sum of the five
+/// parts.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CostBreakdown {
+    /// Serving silicon: yield-adjusted shipped-package cost × serving
+    /// GPUs.
+    pub silicon_usd: f64,
+    /// Spare silicon: the same package cost × hot spares.
+    pub spares_usd: f64,
+    /// Fabric attach: endpoints, per-endpoint bandwidth, switches.
+    pub network_usd: f64,
+    /// Facility power provisioning (PUE-scaled) plus host amortization,
+    /// both per provisioned IT kW.
+    pub provisioning_usd: f64,
+    /// Energy actually drawn over the horizon, behind the PUE, at the
+    /// tariff.
+    pub energy_usd: f64,
+}
+
+impl CostBreakdown {
+    /// Total cost, USD: the exact sum of the five parts.
+    pub fn total_usd(&self) -> f64 {
+        self.silicon_usd
+            + self.spares_usd
+            + self.network_usd
+            + self.provisioning_usd
+            + self.energy_usd
+    }
+}
+
+/// Prices one simulated candidate under the model.
+///
+/// `die_divisor` selects the package-cost model; `cfg` supplies the
+/// fleet shape (serving GPUs, spares, per-endpoint bandwidth, TDP) and
+/// the horizon; `report` supplies the integer-joule energy books.
+pub fn breakdown_for(
+    model: &TcoModel,
+    die_divisor: u32,
+    cfg: &FleetConfig,
+    report: &FleetReport,
+) -> Result<CostBreakdown> {
+    model.validate()?;
+    let pkg = package_model_for_divisor(die_divisor)?;
+    let pkg_usd = pkg.cost_per_shipped_package()?;
+    let serving_gpus = cfg.instances as u64 * cfg.gpus_per_instance as u64;
+    let spare_gpus = cfg.num_cells() as u64 * cfg.spares_per_cell as u64;
+    let endpoints = u32::try_from(serving_gpus + spare_gpus).map_err(|_| {
+        crate::TcoError::InvalidParameter {
+            name: "endpoints",
+            value: (serving_gpus + spare_gpus) as f64,
+        }
+    })?;
+    let network = model.fabric.capex_usd(endpoints, cfg.gpu.net_bw_gbps)?;
+    let it_kw = endpoints as f64 * cfg.gpu.tdp_w / 1000.0;
+    let provisioning = provisioning_capex_usd(it_kw, model.pue, model.usd_per_provisioned_kw)?
+        + it_kw * model.host_usd_per_it_kw;
+    // The horizon's share of a straight-line amortization schedule.
+    let amort = cfg.horizon_s / (model.amortization_years * YEAR_S);
+    // Integer joules → kWh at the wall (behind the PUE), then the tariff.
+    let energy = report.energy_j as f64 / 3.6e6 * model.pue * model.usd_per_kwh;
+    Ok(CostBreakdown {
+        silicon_usd: serving_gpus as f64 * pkg_usd * amort,
+        spares_usd: spare_gpus as f64 * pkg_usd * amort,
+        network_usd: network * amort,
+        provisioning_usd: provisioning * amort,
+        energy_usd: energy,
+    })
+}
+
+/// Tokens that met their tenant's SLOs: per tenant,
+/// `⌊generated × TTFT-attainment × TBT-attainment⌋`, summed. This is the
+/// denominator of $/token — tokens delivered late don't count, which is
+/// what makes availability, queueing and DVFS throttling show up in the
+/// cost metric.
+pub fn slo_tokens(report: &FleetReport) -> u64 {
+    report
+        .per_tenant
+        .iter()
+        .map(|t| (t.generated_tokens as f64 * t.ttft_attainment * t.tbt_attainment) as u64)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::{DesignPoint, SweepBase};
+
+    fn small_run() -> (u32, FleetConfig, FleetReport) {
+        let p = DesignPoint {
+            die_divisor: 4,
+            cell_units: 8,
+            spare_units: 1,
+            split: false,
+            dvfs: false,
+        };
+        let base = SweepBase {
+            equiv_instances: 4,
+            rate_per_equiv: 2.0,
+            hours: 0.1,
+            accel: 2_000.0,
+        };
+        let cfg = p.fleet_config(&base).unwrap();
+        let report = litegpu_fleet::run_sharded(&cfg, 7, cfg.num_cells(), 1).unwrap();
+        (4, cfg, report)
+    }
+
+    #[test]
+    fn breakdown_parts_sum_to_total() {
+        let (d, cfg, report) = small_run();
+        let b = breakdown_for(&TcoModel::paper_default(), d, &cfg, &report).unwrap();
+        let sum = b.silicon_usd + b.spares_usd + b.network_usd + b.provisioning_usd + b.energy_usd;
+        assert_eq!(sum, b.total_usd());
+        for (name, v) in [
+            ("silicon", b.silicon_usd),
+            ("spares", b.spares_usd),
+            ("network", b.network_usd),
+            ("provisioning", b.provisioning_usd),
+            ("energy", b.energy_usd),
+        ] {
+            assert!(v.is_finite() && v >= 0.0, "{name} = {v}");
+            if name != "spares" {
+                assert!(v > 0.0, "{name} must be priced");
+            }
+        }
+    }
+
+    #[test]
+    fn energy_line_prices_the_joule_books() {
+        let (d, cfg, report) = small_run();
+        let m = TcoModel::paper_default();
+        let b = breakdown_for(&m, d, &cfg, &report).unwrap();
+        let expected = report.energy_j as f64 / 3.6e6 * m.pue * m.usd_per_kwh;
+        assert_eq!(b.energy_usd, expected);
+        // Doubling the tariff doubles exactly the energy line.
+        let mut m2 = m;
+        m2.usd_per_kwh *= 2.0;
+        let b2 = breakdown_for(&m2, d, &cfg, &report).unwrap();
+        assert_eq!(b2.energy_usd, 2.0 * b.energy_usd);
+        assert_eq!(b2.silicon_usd, b.silicon_usd);
+    }
+
+    #[test]
+    fn amortization_scales_capex_not_opex() {
+        let (d, cfg, report) = small_run();
+        let m = TcoModel::paper_default();
+        let mut m2 = m;
+        m2.amortization_years = 8.0;
+        let b = breakdown_for(&m, d, &cfg, &report).unwrap();
+        let b2 = breakdown_for(&m2, d, &cfg, &report).unwrap();
+        assert!((b2.silicon_usd * 2.0 - b.silicon_usd).abs() < 1e-12);
+        assert!((b2.network_usd * 2.0 - b.network_usd).abs() < 1e-12);
+        assert_eq!(b2.energy_usd, b.energy_usd);
+    }
+
+    #[test]
+    fn slo_tokens_never_exceed_generated() {
+        let (_, _, report) = small_run();
+        let s = slo_tokens(&report);
+        assert!(
+            s <= report.generated_tokens,
+            "{s} > {}",
+            report.generated_tokens
+        );
+        assert!(
+            s > 0,
+            "the demo workload must deliver some compliant tokens"
+        );
+    }
+
+    #[test]
+    fn invalid_models_rejected() {
+        let mut m = TcoModel::paper_default();
+        m.pue = 0.5;
+        assert!(m.validate().is_err());
+        m = TcoModel::paper_default();
+        m.amortization_years = 0.0;
+        assert!(m.validate().is_err());
+        m = TcoModel::paper_default();
+        m.usd_per_kwh = f64::NAN;
+        assert!(m.validate().is_err());
+    }
+}

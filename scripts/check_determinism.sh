@@ -46,3 +46,24 @@ for combo in mono split dvfs mono_chaos split_chaos dvfs_chaos; do
   done
   echo "    $combo: report, series and trace byte-identical across 1/2/8 threads."
 done
+
+# The TCO sweep layers its own parallelism (work-stolen candidates) on
+# top of the engine's: the full TcoReport — frontier indices, headline
+# and per-point breakdowns — and the frontier CSV must also be
+# byte-identical at any --threads setting.
+for threads in 1 2 8; do
+  cargo run --release -q -p litegpu-bench --bin sim_tco -- \
+    --smoke --threads "$threads" \
+    --series "$det_dir/tco_frontier_t$threads.csv" \
+    --quiet-json 2>/dev/null
+  cp target/experiments/tco.json "$det_dir/tco_t$threads.json"
+done
+for artifact in tco tco_frontier; do
+  case "$artifact" in
+    tco)          a="$det_dir/tco"          ext=json ;;
+    tco_frontier) a="$det_dir/tco_frontier" ext=csv ;;
+  esac
+  cmp "${a}_t1.$ext" "${a}_t2.$ext"
+  cmp "${a}_t1.$ext" "${a}_t8.$ext"
+done
+echo "    tco: TcoReport and frontier CSV byte-identical across 1/2/8 threads."

@@ -16,6 +16,7 @@ pub use litegpu_plot as plot;
 pub use litegpu_roofline as roofline;
 pub use litegpu_sim as sim;
 pub use litegpu_specs as specs;
+pub use litegpu_tco as tco;
 pub use litegpu_telemetry as telemetry;
 pub use litegpu_workload as workload;
 

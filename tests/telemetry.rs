@@ -185,6 +185,41 @@ fn series_counters_reconcile_with_the_report() {
     }
 }
 
+/// The report's derived `energy_per_token_j` — the number the TCO sweep
+/// prices — reconciles with the exact integer-µJ series counter within
+/// the report's µJ → J flooring: re-deriving it from the series gives
+/// the identical f64, and multiplying back recovers the series total to
+/// within one joule of rounding.
+#[test]
+fn energy_per_token_reconciles_with_series_counter() {
+    let cfg = ctrl_chaos_cfg();
+    let fr = run_sharded_full(&cfg, 5, 4, 2).expect("run");
+    let series = fr.series.expect("series requested");
+    let r = &fr.report;
+    assert!(r.generated_tokens > 0, "the demo workload generates tokens");
+    let uj: u64 = series
+        .get("energy_uj")
+        .expect("series must record energy_uj")
+        .values
+        .iter()
+        .sum();
+    // Same flooring as the report: integer µJ → integer J, then divide.
+    let rederived = (uj / 1_000_000) as f64 / r.generated_tokens as f64;
+    assert_eq!(
+        r.energy_per_token_j.to_bits(),
+        rederived.to_bits(),
+        "energy_per_token_j must be exactly the floored series energy per token"
+    );
+    // And the flooring is the only slack: scaling back up lands within
+    // one joule of the exact µJ books.
+    let back_j = r.energy_per_token_j * r.generated_tokens as f64;
+    let exact_j = uj as f64 / 1e6;
+    assert!(
+        (back_j - exact_j).abs() <= 1.0,
+        "derived energy {back_j} J strays more than rounding from the {exact_j} J series total"
+    );
+}
+
 /// The self-profile is populated (serve phase and merge both timed) and
 /// renders valid JSON for `BENCH_fleet.json`.
 #[test]
