@@ -29,9 +29,18 @@ build_test() {
   echo "==> cargo test -q (workspace)"
   cargo test --workspace -q
 
+  echo "==> cargo test --doc (workspace doc-tests)"
+  cargo test --workspace --doc -q
+
   echo "==> fleet determinism + scale smoke (sim_fleet)"
   cargo run --release -q -p litegpu-bench --bin sim_fleet -- \
     --gpu lite --instances 200 --hours 2 --quiet-json
+
+  echo "==> fleet-scale smoke: 100k instances through the event-queue scheduler"
+  cargo run --release -q -p litegpu-bench --bin sim_fleet -- \
+    --gpu lite --instances 100000 --cell-size 64 --hours 2 --rate 0.0005 \
+    --control-interval 300 --ctrl auto --workload multi --serving mono \
+    --no-baseline --shards 0 --threads 4 --seed 42 --quiet-json
 
   echo "==> phase-split smoke: split-vs-mono headline + KV accounting (sim_fleet --serving split)"
   cargo run --release -q -p litegpu-bench --bin sim_fleet -- \
@@ -51,7 +60,7 @@ build_test() {
   cargo run --release -q -p litegpu-bench --bin sim_fleet -- \
     --gpu lite --instances 64 --cell-size 8 --hours 1 --accel 50000 \
     --ctrl auto --workload multi --serving split --chaos rack --no-baseline \
-    --series target/ci-telemetry/series.jsonl --series-dt 60 \
+    --series target/ci-telemetry/series.jsonl --series-dt 60000000 \
     --trace target/ci-telemetry/trace.json --trace-every 16 \
     --profile --quiet-json
   for artifact in series.jsonl trace.json; do
@@ -66,7 +75,7 @@ build_test() {
   echo "==> determinism: byte-identical FleetReport at 1/2/8 threads, serving/control combos with and without chaos"
   ./scripts/check_determinism.sh
 
-  echo "==> perf smoke: BENCH_fleet.json (base + dvfs entries) vs checked-in baseline"
+  echo "==> perf smoke: commit-stamped BENCH_fleet.json (base + dvfs + fleet100k) vs checked-in baseline, >20% regression gate"
   ./scripts/perf_smoke.sh
 }
 

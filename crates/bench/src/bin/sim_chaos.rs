@@ -23,7 +23,7 @@
 //!           [--events N] [--duration S] [--intensity F]
 //!           [--rack-kw K] [--racks-per-domain N]
 //!           [--seed N] [--shards N] [--threads N]
-//!           [--series] [--series-dt S]
+//!           [--series] [--series-dt US]
 //!           [--smoke] [--quiet-json]
 //! ```
 //!
@@ -33,7 +33,8 @@
 //!
 //! `--series` records the recovery timeline the end-of-run table drops:
 //! a deterministic availability/queue/repair time series per campaign
-//! and fleet, sampled every `--series-dt` simulated seconds (default 60)
+//! and fleet, sampled every `--series-dt` integer µs of simulated time
+//! (default 60000000 = 60 s)
 //! and written to `target/experiments/chaos_<kind>_<fleet>_series.jsonl`.
 //! Availability dips sit exactly inside the campaign's outage windows —
 //! `tests/chaos_campaigns.rs` asserts as much.
@@ -56,7 +57,7 @@ struct Args {
     shards: u32,
     threads: u32,
     series: bool,
-    series_dt: f64,
+    series_dt_us: u64,
     quiet_json: bool,
 }
 
@@ -76,7 +77,7 @@ fn parse_args() -> Args {
         shards: 0,
         threads: 0,
         series: false,
-        series_dt: 60.0,
+        series_dt_us: 60_000_000,
         quiet_json: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -100,7 +101,9 @@ fn parse_args() -> Args {
             "--shards" => a.shards = parsed(&flag, value(&mut i)),
             "--threads" => a.threads = parsed(&flag, value(&mut i)),
             "--series" => a.series = true,
-            "--series-dt" => a.series_dt = parsed(&flag, value(&mut i)),
+            "--series-dt" => {
+                a.series_dt_us = litegpu_bench::cli::series_dt_us(&flag, value(&mut i))
+            }
             "--smoke" => {
                 a.instances = 24;
                 a.hours = 0.5;
@@ -145,7 +148,7 @@ fn run_one(
     let mut cfg = cfg.clone();
     if a.series {
         cfg.telemetry = TelemetryConfig {
-            series_dt_s: a.series_dt,
+            series_dt_us: a.series_dt_us,
             ..TelemetryConfig::default()
         };
     }

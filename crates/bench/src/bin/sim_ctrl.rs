@@ -30,12 +30,12 @@
 //!          [--control-interval S] [--warm-pool N] [--dvfs]
 //!          [--workload multi|single] [--serving mono|split]
 //!          [--spares-target A] [--max-spares N] [--quiet-json]
-//!          [--series PATH] [--series-dt S]
+//!          [--series PATH] [--series-dt US]
 //! ```
 //!
 //! `--series PATH` records the deterministic telemetry time series for
 //! each primary fleet (autoscaler pool sizes, queue depth, sheds, clock
-//! distribution, energy rate, ...) every `--series-dt` simulated seconds
+//! distribution, energy rate, ...) every `--series-dt` integer µs of simulated time
 //! (default 60) and writes one JSONL file per fleet with the fleet name
 //! before the extension (`out.jsonl` → `out_h100.jsonl`, `out_lite.jsonl`)
 //! — the when-did-the-autoscaler-lag view the end-of-run report can't
@@ -63,7 +63,7 @@ struct Args {
     max_spares: u32,
     quiet_json: bool,
     series: Option<String>,
-    series_dt: f64,
+    series_dt_us: u64,
 }
 
 fn parse_args() -> Args {
@@ -84,7 +84,7 @@ fn parse_args() -> Args {
         max_spares: 4,
         quiet_json: false,
         series: None,
-        series_dt: 60.0,
+        series_dt_us: 60_000_000,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -109,7 +109,9 @@ fn parse_args() -> Args {
             "--max-spares" => a.max_spares = parsed(&flag, value(&mut i)),
             "--quiet-json" => a.quiet_json = true,
             "--series" => a.series = Some(value(&mut i)),
-            "--series-dt" => a.series_dt = parsed(&flag, value(&mut i)),
+            "--series-dt" => {
+                a.series_dt_us = litegpu_bench::cli::series_dt_us(&flag, value(&mut i))
+            }
             other => {
                 eprintln!("unknown argument: {other}");
                 std::process::exit(2);
@@ -152,7 +154,7 @@ fn configure(base: FleetConfig, a: &Args) -> FleetConfig {
     }
     if a.series.is_some() {
         cfg.telemetry = TelemetryConfig {
-            series_dt_s: a.series_dt,
+            series_dt_us: a.series_dt_us,
             ..TelemetryConfig::default()
         };
     }

@@ -15,7 +15,7 @@
 //!           [--kv-gbps G] [--kv-backlog S] [--no-baseline]
 //!           [--chaos rack|power|partition|thermal|drain]
 //!           [--perf-json PATH] [--quiet-json]
-//!           [--series PATH] [--series-dt S] [--series-per-cell]
+//!           [--series PATH] [--series-dt US] [--series-per-cell]
 //!           [--trace PATH] [--trace-every N] [--profile]
 //! ```
 //!
@@ -49,8 +49,9 @@
 //!
 //! Observability (all off by default, none of it changes report bytes):
 //! `--series PATH` samples the deterministic time-series layer every
-//! `--series-dt` simulated seconds (default 60) and writes JSONL (or CSV
-//! when PATH ends in `.csv`); `--series-per-cell` adds per-cell series.
+//! `--series-dt` integer microseconds of simulated time (default
+//! 60000000 = 60 s windows) and writes JSONL (or CSV when PATH ends in
+//! `.csv`); `--series-per-cell` adds per-cell series.
 //! `--trace PATH` writes a Chrome trace-event JSON (open in Perfetto)
 //! with every 1-in-`--trace-every` request span (default 64) plus all
 //! control-plane commands and chaos events. `--profile` times the engine
@@ -92,7 +93,7 @@ struct Args {
     perf_json: Option<String>,
     quiet_json: bool,
     series: Option<String>,
-    series_dt: f64,
+    series_dt_us: u64,
     series_per_cell: bool,
     trace: Option<String>,
     trace_every: u32,
@@ -126,7 +127,7 @@ fn parse_args() -> Args {
         perf_json: None,
         quiet_json: false,
         series: None,
-        series_dt: 60.0,
+        series_dt_us: 60_000_000,
         series_per_cell: false,
         trace: None,
         trace_every: 64,
@@ -164,7 +165,9 @@ fn parse_args() -> Args {
             "--perf-json" => a.perf_json = Some(value(&mut i)),
             "--quiet-json" => a.quiet_json = true,
             "--series" => a.series = Some(value(&mut i)),
-            "--series-dt" => a.series_dt = parsed(&flag, value(&mut i)),
+            "--series-dt" => {
+                a.series_dt_us = litegpu_bench::cli::series_dt_us(&flag, value(&mut i))
+            }
             "--series-per-cell" => a.series_per_cell = true,
             "--trace" => a.trace = Some(value(&mut i)),
             "--trace-every" => a.trace_every = parsed(&flag, value(&mut i)),
@@ -182,10 +185,6 @@ fn parse_args() -> Args {
     }
     if a.dvfs && a.ctrl == "off" {
         eprintln!("--dvfs needs a control plane: pass --ctrl auto|dvfs|gate");
-        std::process::exit(2);
-    }
-    if a.series.is_some() && !(a.series_dt.is_finite() && a.series_dt > 0.0) {
-        eprintln!("--series-dt must be a positive number of seconds");
         std::process::exit(2);
     }
     if a.trace.is_some() && a.trace_every == 0 {
@@ -265,7 +264,11 @@ fn configure(base: FleetConfig, a: &Args, auto_policy: Policy) -> FleetConfig {
         }
     }
     cfg.telemetry = TelemetryConfig {
-        series_dt_s: if a.series.is_some() { a.series_dt } else { 0.0 },
+        series_dt_us: if a.series.is_some() {
+            a.series_dt_us
+        } else {
+            0
+        },
         per_cell_series: a.series_per_cell,
         trace_every: if a.trace.is_some() { a.trace_every } else { 0 },
         profile: a.profile,

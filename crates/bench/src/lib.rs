@@ -172,6 +172,23 @@ pub mod cli {
             std::process::exit(2);
         })
     }
+
+    /// The one shared parse path for `--series-dt`: a positive integer
+    /// number of **simulated microseconds** per series sample window
+    /// (e.g. `60000000` = 60 s windows). Every binary that exposes the
+    /// flag routes through here so the unit can never drift between
+    /// bins, docs and the engine's `TelemetryConfig::series_dt_us`.
+    pub fn series_dt_us(flag: &str, raw: String) -> u64 {
+        let us: u64 = raw.parse().unwrap_or_else(|_| {
+            eprintln!("invalid value for {flag}: {raw} (expected integer µs of simulated time)");
+            std::process::exit(2);
+        });
+        if us == 0 {
+            eprintln!("{flag} must be >= 1 µs of simulated time");
+            std::process::exit(2);
+        }
+        us
+    }
 }
 
 #[cfg(test)]

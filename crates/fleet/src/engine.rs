@@ -33,17 +33,50 @@
 //! (live or down — no router means stranded traffic) weighs equally in
 //! the split.
 //!
-//! Within a shard, cells step cell-major (all ticks of one cell before
-//! the next), which keeps each cell's working set hot in cache; the hot
-//! loop is Poisson arithmetic plus [`StepCostTable`] lookups, with no
-//! roofline evaluation, no allocation beyond queue churn, and no locks.
+//! Within a shard, cells step cell-major (the whole horizon of one cell
+//! before the next), which keeps each cell's working set hot in cache.
+//! The per-cell hot loop is an **event-queue scheduler**, not a
+//! per-tick scan: all timestamps are integer microseconds quantized to
+//! the tick grid, each cell owns a binary-heap event queue
+//! (`(tick, instance)` entries, ordered by timestamp then instance
+//! index so ties drain in a total order), and the loop only *processes*
+//! a tick when something is due there. The event sources are
+//!
+//! - **step completions** — instances holding queued or running work sit
+//!   in a sorted busy list and are served every tick until idle again;
+//! - **arrival cohorts** — each (cell, tenant) Poisson stream is
+//!   pre-drawn over the horizon (same RNG draws, same order as the old
+//!   per-tick engine, so the streams are bit-identical) into a sorted
+//!   arrival schedule consumed by a cursor;
+//! - **KV-transfer deliveries** — the phase-split link wakes the cell
+//!   when its FIFO head lands (or every tick while the head is blocked
+//!   on a full decode batch);
+//! - **control ticks** — the periodic controller cadence, plus boot
+//!   completions promoted on their own schedule;
+//! - **chaos / lifecycle events** — instance failure and recovery
+//!   times, campaign window edges (outage/partition/drain/thermal
+//!   start and end), and repair-crew dispatch completions, all pushed
+//!   as heap wakeups when their integer-µs times are computed.
+//!
+//! Between events, idle instances accrue nothing per tick: idle energy,
+//! live-tick and clock-residency counters are billed **lazily** in
+//! closed-form spans (`accrue_idle_span`) whenever an instance is next
+//! touched — or when a mode/clock transition, series sample, or the
+//! horizon end forces the span closed. Spurious wakeups are harmless by
+//! construction (every phase is a no-op when nothing is due — exactly
+//! what the per-tick engine executed on quiet ticks), so correctness
+//! only ever hinges on *never missing* a due event; the equivalence
+//! suite (`crates/bench/tests/engine_equivalence.rs`) pins the result
+//! to the pre-refactor engine's bytes, and the hot path stays Poisson
+//! arithmetic plus [`StepCostTable`] lookups, with no roofline
+//! evaluation, no allocation beyond queue churn, and no locks.
 
 use crate::report::{FleetReport, RunMeta, TenantMeta};
 use crate::state::{
     CellState, FailureRates, InstanceState, KvLinkState, ServeKnobs, ShardTotals, TenantKnobs,
     TraceSink,
 };
-use crate::traffic::poisson;
+use crate::traffic::PoissonPlan;
 use crate::workload::WorkloadSpec;
 use crate::{FleetError, Result};
 use litegpu_cluster::failure::FailureModel;
@@ -65,6 +98,8 @@ use litegpu_telemetry::{
 use litegpu_workload::{kv, ModelArch};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::time::Instant;
 
 /// Per-cell prefill→decode KV bandwidth budget for phase-split serving.
@@ -256,12 +291,12 @@ impl ServingMode {
 /// returns them beside the report), while the profile measures host
 /// wall-clock and is exported only through non-determinism-diffed
 /// artifacts.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct TelemetryConfig {
-    /// Time-series sample window, seconds of simulated time (0 disables
-    /// the series layer). Rounded to a whole number of ticks, minimum
-    /// one tick.
-    pub series_dt_s: f64,
+    /// Time-series sample window, integer µs of simulated time (0
+    /// disables the series layer). Rounded to a whole number of ticks,
+    /// minimum one tick.
+    pub series_dt_us: u64,
     /// Also record per-cell copies of the key series metrics
     /// (`cell{i}/...` — fleet-wide metrics are always recorded).
     pub per_cell_series: bool,
@@ -272,25 +307,32 @@ pub struct TelemetryConfig {
     pub profile: bool,
 }
 
-impl Default for TelemetryConfig {
-    fn default() -> Self {
-        Self {
-            series_dt_s: 0.0,
-            per_cell_series: false,
-            trace_every: 0,
-            profile: false,
-        }
-    }
-}
-
 impl TelemetryConfig {
     /// Whether any deterministic layer (series or trace) is on.
     pub fn observes(&self) -> bool {
-        self.series_dt_s > 0.0 || self.trace_every > 0
+        self.series_dt_us > 0 || self.trace_every > 0
     }
 }
 
 /// A complete fleet-simulation configuration.
+///
+/// Start from a preset ([`FleetConfig::lite_demo`] /
+/// [`FleetConfig::h100_demo`]) and override fields; `run*` validates on
+/// entry.
+///
+/// # Examples
+///
+/// ```
+/// use litegpu_fleet::engine::{run, FleetConfig};
+///
+/// let mut cfg = FleetConfig::lite_demo();
+/// cfg.instances = 16;
+/// cfg.cell_size = 8;      // two cells, each with its own spare pool
+/// cfg.horizon_s = 600.0;  // 10 simulated minutes
+/// let report = run(&cfg, 42).unwrap();
+/// assert_eq!(report.instances, 16);
+/// assert!(report.completed > 0);
+/// ```
 #[derive(Debug, Clone)]
 pub struct FleetConfig {
     /// GPU type.
@@ -430,7 +472,7 @@ impl FleetConfig {
 
     /// Validates parameter ranges.
     pub fn validate(&self) -> Result<()> {
-        let checks: [(&'static str, f64, bool); 10] = [
+        let checks: [(&'static str, f64, bool); 9] = [
             ("instances", self.instances as f64, self.instances > 0),
             (
                 "repair_crews_per_cell",
@@ -467,11 +509,6 @@ impl FleetConfig {
                 "failure_acceleration",
                 self.failure_acceleration,
                 self.failure_acceleration.is_finite() && self.failure_acceleration >= 0.0,
-            ),
-            (
-                "telemetry.series_dt_s",
-                self.telemetry.series_dt_s,
-                self.telemetry.series_dt_s.is_finite() && self.telemetry.series_dt_s >= 0.0,
             ),
         ];
         for (name, value, ok) in checks {
@@ -756,6 +793,12 @@ struct Shared<'a> {
     /// Per-tenant per-tick arrival mean per instance
     /// (`lambda[tenant][tick]`), precomputed once per run.
     lambda: Vec<Vec<f64>>,
+    /// Pre-resolved Poisson draws (`plans[tenant][tick]`) for a
+    /// full-size cell (`cell_size` instances): the λ ≤ 0 sentinel and
+    /// the `e^-λ` thresholds are computed once per run instead of once
+    /// per (cell, tick). Cells of any other size (the tail cell, or a
+    /// fleet smaller than one cell) build their own local table.
+    arr_plans: Vec<Vec<PoissonPlan>>,
     /// Per-cell slices of the compiled chaos schedule (empty when the
     /// config has no chaos events).
     chaos: Vec<CellChaos>,
@@ -882,21 +925,58 @@ impl CellTraffic {
         }
     }
 
-    /// Draws every tenant's exogenous arrivals for one tick and routes
-    /// them over the cell in priority order with exact largest-remainder
-    /// splits. Controlled cells route over live instances by the
-    /// (control-tick-stale) weights and apply admission control;
-    /// uncontrolled cells split uniformly over **all** instances — no
-    /// router means a down instance's share queues behind it (stranded
-    /// traffic, exactly what the router exists to fix). Under phase-split
-    /// serving, queue room is granted to the prefill pool only: decode
-    /// instances receive their work over the KV link, never the front
-    /// door. Chaos hooks: a partitioned cell sheds every arrival at the
-    /// front door (attributed to `partition_shed`), and drained slots
-    /// take no new routing regardless of controller presence — a drain
-    /// is a planned, announced exclusion, unlike a silent failure.
+    /// Draws the whole horizon of every tenant's exogenous arrivals up
+    /// front, returning the non-empty batches as `(tick, tenant, count)`
+    /// sorted by tick and, within a tick, by admission (priority) order.
+    ///
+    /// The per-(cell, tenant) RNG streams are independent, so drawing
+    /// tenant-major here consumes each stream exactly as the tick-major
+    /// per-tick draws did — the counts are bit-identical. Zero-count
+    /// draws touched no simulation state in the tick loop (arrivals,
+    /// admission and routing counters all moved only for `n > 0`), so
+    /// dropping them here is also exact; it is what lets the event
+    /// engine skip ticks in which no tenant's draw produced work.
+    fn precompute_arrivals(
+        &mut self,
+        shared: &Shared<'_>,
+        n_insts: usize,
+        ticks: u32,
+    ) -> Vec<(u32, u16, u64)> {
+        let local: Option<Vec<Vec<PoissonPlan>>> = (n_insts != shared.cfg.cell_size as usize)
+            .then(|| plan_arrivals(&shared.lambda, n_insts as f64));
+        let mut evs: Vec<(u32, u16, u16, u64)> = Vec::new();
+        for (pos, &ti) in shared.priority_order.iter().enumerate() {
+            let t = ti as usize;
+            let plans = local.as_ref().map_or(&shared.arr_plans[t], |l| &l[t]);
+            let rng = &mut self.rngs[t];
+            for (k, plan) in plans.iter().enumerate().take(ticks as usize) {
+                let n = plan.draw(rng);
+                if n > 0 {
+                    evs.push((k as u32, pos as u16, ti, n));
+                }
+            }
+        }
+        evs.sort_unstable_by_key(|&(k, pos, _, _)| (k, pos));
+        evs.into_iter().map(|(k, _, ti, n)| (k, ti, n)).collect()
+    }
+
+    /// Routes one tick's precomputed arrival batches over the cell in
+    /// priority order with exact largest-remainder splits. Controlled
+    /// cells route over live instances by the (control-tick-stale)
+    /// weights and apply admission control; uncontrolled cells split
+    /// uniformly over **all** instances — no router means a down
+    /// instance's share queues behind it (stranded traffic, exactly what
+    /// the router exists to fix). Under phase-split serving, queue room
+    /// is granted to the prefill pool only: decode instances receive
+    /// their work over the KV link, never the front door. Chaos hooks: a
+    /// partitioned cell sheds every arrival at the front door
+    /// (attributed to `partition_shed`), and drained slots take no new
+    /// routing regardless of controller presence — a drain is a planned,
+    /// announced exclusion, unlike a silent failure. `on_admit(i)` fires
+    /// for every slot that admitted work (the event engine's busy-set
+    /// hook).
     #[allow(clippy::too_many_arguments)]
-    fn route_tick(
+    fn route_event(
         &mut self,
         tick: u32,
         shared: &Shared<'_>,
@@ -906,6 +986,8 @@ impl CellTraffic {
         partitioned: bool,
         drained: &[bool],
         acc: &mut ShardTotals,
+        batches: &[(u32, u16, u64)],
+        mut on_admit: impl FnMut(usize),
     ) {
         self.eff.clear();
         match ctl {
@@ -933,13 +1015,8 @@ impl CellTraffic {
         }
         let allow_be = ctl.as_ref().is_none_or(|c| c.allow_best_effort);
         let any_target = !partitioned && self.eff.iter().any(|&w| w > 0);
-        for &ti in &shared.priority_order {
+        for &(_, ti, n) in batches {
             let t = ti as usize;
-            let lambda = shared.lambda[t][tick as usize] * insts.len() as f64;
-            let n = poisson(&mut self.rngs[t], lambda);
-            if n == 0 {
-                continue;
-            }
             acc.arrived += n;
             acc.per_tenant[t].arrived += n;
             let class = shared.classes[t];
@@ -968,10 +1045,22 @@ impl CellTraffic {
                     let admitted = insts[i].push_arrivals(tick, share, ti, &shared.knobs, acc);
                     acc.routed += admitted;
                     acc.per_tenant[t].routed += admitted;
+                    if admitted > 0 && insts[i].up {
+                        on_admit(i);
+                    }
                 }
             }
         }
     }
+}
+
+/// Builds the `plans[tenant][tick]` Poisson table for cells of
+/// `n_insts` instances from the per-instance means.
+fn plan_arrivals(lambda: &[Vec<f64>], n_insts: f64) -> Vec<Vec<PoissonPlan>> {
+    lambda
+        .iter()
+        .map(|lt| lt.iter().map(|&l| PoissonPlan::new(l * n_insts)).collect())
+        .collect()
 }
 
 /// One cell's control-plane runtime: the policy stack, the cell's own
@@ -1212,6 +1301,8 @@ impl CellCtl {
 /// the target is the least-loaded live decode slot, ties to the lowest
 /// index — a deterministic choice from cell-local state only. TTFT is
 /// recorded here, so the wait for decode batch room lands in it.
+/// `on_deliver(i)` fires per delivery with the target slot (the event
+/// engine's busy-set hook).
 #[allow(clippy::too_many_arguments)]
 fn deliver_transfers(
     kv: &mut KvLinkState,
@@ -1224,6 +1315,7 @@ fn deliver_transfers(
     knobs: &ServeKnobs,
     mut trace: Option<&mut TraceSink<'_>>,
     acc: &mut ShardTotals,
+    mut on_deliver: impl FnMut(usize),
 ) {
     while let Some(job) = kv.peek_landed(now_us) {
         let serving = |i: usize| ctl.is_none_or(|c| c.modes[i] == SlotMode::Live);
@@ -1272,6 +1364,7 @@ fn deliver_transfers(
                     }
                 }
                 insts[i].admit_decode_cohort(&job);
+                on_deliver(i);
             }
             None => break,
         }
@@ -1287,16 +1380,18 @@ fn deliver_transfers(
 /// (rebalance in flight, pool down), the runs stay parked on the source
 /// instance and re-route on a later tick — admitted work is never
 /// dropped. The runs were admitted once already, so the queue cap does
-/// not re-apply and no routing counters move.
+/// not re-apply and no routing counters move. Returns the slot the runs
+/// landed on (`None` when there was nothing queued), so the event
+/// engine can mark the target busy.
 fn reroute_decode_retries(
     insts: &mut [InstanceState],
     phases: &[Phase],
     ctl: Option<&CellCtl>,
     from: usize,
-) {
+) -> Option<usize> {
     let runs = insts[from].take_queued_runs();
     if runs.is_empty() {
-        return;
+        return None;
     }
     let serving = |i: usize| ctl.is_none_or(|c| c.modes[i] == SlotMode::Live);
     let target = insts
@@ -1306,6 +1401,7 @@ fn reroute_decode_retries(
         .min_by_key(|(i, s)| (s.queued(), *i))
         .map_or(from, |(i, _)| i);
     insts[target].accept_requeued_runs(runs);
+    Some(target)
 }
 
 /// The telemetry one shard produced beside its totals: deterministic
@@ -1623,7 +1719,126 @@ fn sample_series(
     c
 }
 
-/// Steps every cell in `[cell_lo, cell_hi)` through the whole horizon.
+/// Lazily bills instance `i`'s idle ticks `[accrued[i], to)` at its
+/// current administrative mode — the event engine's replacement for the
+/// tick loop's per-tick energy walk over every instance.
+///
+/// Exactness rests on two facts. First, an idle instance's serve was a
+/// pure no-op (`spent == 0`, no RNG draw, `carry_us` already zero), so
+/// a Live idle tick billed exactly the static floor plus one
+/// live/clock/phase tick and a Warm or Booting tick exactly the floor.
+/// Second, every input of that per-tick amount (`up`, mode, clock,
+/// clamp, phase) is constant across the span, because each mutation
+/// site runs behind an accrual barrier: the failure lifecycle and
+/// chaos outages accrue the instance first, control ticks, boot
+/// promotions and thermal-clamp changes accrue the whole cell first,
+/// and the serve path closes its own span every busy tick.
+#[allow(clippy::too_many_arguments)]
+fn accrue_idle_span(
+    acc: &mut ShardTotals,
+    power: &InstancePower,
+    tick_us: u64,
+    nominal_ci: u8,
+    insts: &[InstanceState],
+    ctl: Option<&CellCtl>,
+    clamp: &[u8],
+    phases: &[Phase],
+    accrued: &mut [u32],
+    i: usize,
+    to: u32,
+) {
+    let from = accrued[i];
+    if to <= from {
+        return;
+    }
+    accrued[i] = to;
+    let inst = &insts[i];
+    if !inst.up {
+        return;
+    }
+    let k = (to - from) as u64;
+    let e = power.idle_mw * tick_us / 1000;
+    match ctl.map_or(SlotMode::Live, |c| c.modes[i]) {
+        SlotMode::Live => {
+            acc.energy_uj += e * k;
+            acc.idle_energy_uj += e * k;
+            acc.live_ticks += k;
+            let ci = ctl.map_or(nominal_ci, |c| c.clocks[i]).min(clamp[i]) as usize;
+            acc.clock_ticks[ci] += k;
+            match phases[i] {
+                Phase::Prefill => acc.prefill_live_ticks += k,
+                Phase::Decode => acc.decode_live_ticks += k,
+                Phase::Mixed => {}
+            }
+        }
+        SlotMode::Warm | SlotMode::Booting { .. } => {
+            acc.energy_uj += e * k;
+            acc.idle_energy_uj += e * k;
+        }
+        SlotMode::Cold => {}
+    }
+}
+
+/// Inserts `i` into the busy set (idempotent). The list stays sorted:
+/// busy instances must serve in index order, because concurrent prefill
+/// completions share one FIFO KV link per cell and the enqueue order is
+/// part of the deterministic byte contract.
+fn busy_add(busy: &mut [bool], list: &mut Vec<u32>, i: usize) {
+    if !busy[i] {
+        busy[i] = true;
+        let p = list.partition_point(|&x| (x as usize) < i);
+        list.insert(p, i as u32);
+    }
+}
+
+/// Drops `i` from the busy set if present.
+fn busy_remove(busy: &mut [bool], list: &mut Vec<u32>, i: usize) {
+    if busy[i] {
+        busy[i] = false;
+        if let Ok(p) = list.binary_search(&(i as u32)) {
+            list.remove(p);
+        }
+    }
+}
+
+/// The earliest tick at which a booting slot finishes (`u32::MAX` when
+/// nothing completes inside the horizon): the boot-promotion wakeup
+/// channel, rescanned after every control tick and promotion.
+fn next_boot_tick(modes: &[SlotMode], tick_us: u64, ticks: u32) -> u32 {
+    modes
+        .iter()
+        .filter_map(|m| match m {
+            SlotMode::Booting { until_us } => Some(until_us.div_ceil(tick_us)),
+            _ => None,
+        })
+        .min()
+        .map_or(
+            u32::MAX,
+            |t| {
+                if t < ticks as u64 {
+                    t as u32
+                } else {
+                    u32::MAX
+                }
+            },
+        )
+}
+
+/// Steps every cell in `[cell_lo, cell_hi)` through the whole horizon
+/// on the event-queue scheduler.
+///
+/// Instead of walking every instance every tick, each cell keeps a
+/// min-heap of *wakeups* — `(tick, instance)` failure/recovery events
+/// plus generic "process this tick" entries for chaos window edges and
+/// repair-dispatch readiness — alongside periodic channels (control
+/// interval, boot completions, series sampling, next KV-transfer
+/// landing) and the precomputed arrival schedule. A tick is *processed*
+/// only when some channel is due or an instance holds work; between
+/// processed ticks the cell provably does nothing, and idle energy is
+/// billed lazily per instance when its span closes. Spurious wakeups
+/// are byte-safe by construction (every phase below no-ops when nothing
+/// is due — the tick loop ran all of them every tick); only a missing
+/// wakeup could diverge, which the engine-equivalence goldens pin.
 fn simulate_cells(
     shared: &Shared<'_>,
     seed: u64,
@@ -1641,8 +1856,8 @@ fn simulate_cells(
     let tel = &cfg.telemetry;
     // The series grid: whole ticks per window, trailing partial window
     // dropped. Integer-derived once, so every shard agrees on the grid.
-    let series_every = if tel.series_dt_s > 0.0 {
-        ((tel.series_dt_s / cfg.tick_s).round() as u32).max(1)
+    let series_every = if tel.series_dt_us > 0 {
+        (((tel.series_dt_us + tick_us / 2) / tick_us) as u32).max(1)
     } else {
         0
     };
@@ -1724,7 +1939,94 @@ fn simulate_cells(
             )
         });
         let mut snap = CounterSnap::take(&acc);
-        for tick in 0..ticks {
+        let n = insts.len();
+        // The wakeup heap over `(tick, local idx)`: `idx == u32::MAX`
+        // is a generic "process this tick" entry (chaos window edges,
+        // repair-dispatch readiness); `idx < n` requests that
+        // instance's failure lifecycle at that tick.
+        let mut heap: BinaryHeap<Reverse<(u32, u32)>> = BinaryHeap::new();
+        for (i, inst) in insts.iter().enumerate() {
+            let nf = inst.next_failure_at_us();
+            if nf != u64::MAX && nf / tick_us < ticks as u64 {
+                heap.push(Reverse(((nf / tick_us) as u32, i as u32)));
+            }
+        }
+        if let Some(ch) = chaos {
+            // Chaos window edges are static: schedule every boundary
+            // that must be observed at its exact tick. Outages fire at
+            // the tick containing their start (the `start < t_end`
+            // test); the other windows matter from the first tick at or
+            // after each boundary (the `start <= t_start < end` test).
+            let mut wake = |t: u64| {
+                if t < ticks as u64 {
+                    heap.push(Reverse((t as u32, u32::MAX)));
+                }
+            };
+            for (_, start, _, _) in &ch.outages {
+                wake(start / tick_us);
+            }
+            for &(start, _) in &ch.partitions {
+                wake(start.div_ceil(tick_us));
+            }
+            for (start, end, _) in &ch.drains {
+                wake(start.div_ceil(tick_us));
+                wake(end.div_ceil(tick_us));
+            }
+            for (start, end, _, _) in &ch.thermals {
+                wake(start.div_ceil(tick_us));
+                wake(end.div_ceil(tick_us));
+            }
+        }
+        // Lazy accrual clocks and the busy set (instances holding work;
+        // they serve every tick, in index order).
+        let mut accrued = vec![0u32; n];
+        let mut busy = vec![false; n];
+        let mut busy_list: Vec<u32> = Vec::new();
+        let mut lifecycle_now: Vec<u32> = Vec::new();
+        let mut clamp_scratch: Vec<u8> = vec![u8::MAX; n];
+        // The whole horizon of arrivals, drawn up front (stream-exact —
+        // see `precompute_arrivals`), consumed through a cursor.
+        prof.reset();
+        let arrivals = traffic.precompute_arrivals(shared, n, ticks);
+        prof.mark(PHASE_ROUTE);
+        let mut arr_ptr = 0usize;
+        // Periodic wakeup channels.
+        let mut next_ctrl: u32 = ctl.as_ref().map_or(u32::MAX, |c| c.interval_ticks);
+        let mut next_boot: u32 = u32::MAX;
+        let mut next_sample: u32 = if series_every > 0 {
+            series_every - 1
+        } else {
+            u32::MAX
+        };
+        let mut kv_next: u32 = u32::MAX;
+        let mut kv_blocked = false;
+        let mut decode_retry = false;
+        macro_rules! accrue {
+            ($i:expr, $to:expr) => {
+                accrue_idle_span(
+                    &mut acc,
+                    power,
+                    tick_us,
+                    shared.nominal_ci,
+                    &insts,
+                    ctl.as_ref(),
+                    &clamp,
+                    &phases,
+                    &mut accrued,
+                    $i,
+                    $to,
+                )
+            };
+        }
+        macro_rules! accrue_all {
+            ($to:expr) => {
+                for i in 0..n {
+                    accrue!(i, $to);
+                }
+            };
+        }
+        let mut tick: u32 = 0;
+        while tick < ticks {
             let t_start = tick as u64 * tick_us;
             let t_end = t_start + tick_us;
             prof.reset();
@@ -1734,6 +2036,13 @@ fn simulate_cells(
                 acc.repair_wait_us += job.wait_us;
                 if !job.replenish {
                     insts[job.local_idx as usize].schedule_recovery(job.done_us);
+                    // The recovery can already be due this tick (a
+                    // zero-length repair); the heap drains after
+                    // dispatch, so a same-tick wakeup still runs.
+                    let rt = job.done_us.div_ceil(tick_us).max(tick as u64);
+                    if rt < ticks as u64 {
+                        heap.push(Reverse((rt as u32, job.local_idx)));
+                    }
                 }
                 if let Some(ts) = sink.as_mut() {
                     ts.buf.push(TraceEvent::complete(
@@ -1747,7 +2056,22 @@ fn simulate_cells(
                     ));
                 }
             }
+            lifecycle_now.clear();
+            while let Some(&Reverse((t, i))) = heap.peek() {
+                if t > tick {
+                    break;
+                }
+                heap.pop();
+                // Dedup duplicate instance wakeups: equal entries pop
+                // adjacently, and a doubled lifecycle call could
+                // recover-and-refail within one tick where the tick
+                // loop called it exactly once.
+                if i != u32::MAX && lifecycle_now.last() != Some(&i) {
+                    lifecycle_now.push(i);
+                }
+            }
             let mut partitioned = false;
+            let mut forced_down = false;
             if let Some(ch) = chaos {
                 // Correlated outages fire once, at the tick containing
                 // their window start: every affected up instance goes down
@@ -1777,21 +2101,41 @@ fn simulate_cells(
                         ));
                     }
                     for &li in locals {
-                        let inst = &mut insts[li as usize];
-                        if !inst.up {
+                        let iu = li as usize;
+                        if !insts[iu].up {
                             continue;
                         }
+                        accrue!(iu, tick);
                         acc.failures += 1;
                         acc.by_kind[*kind] += 1;
                         if cell.try_take_spare() {
                             acc.spare_hits += 1;
-                            inst.force_down(at, end.saturating_add(rates.swap_us.max(1)), &mut acc);
+                            insts[iu].force_down(
+                                at,
+                                end.saturating_add(rates.swap_us.max(1)),
+                                &mut acc,
+                            );
                             cell.enqueue_repair(*end, li, true);
                         } else {
                             acc.spare_misses += 1;
-                            inst.force_down(at, u64::MAX, &mut acc);
+                            insts[iu].force_down(at, u64::MAX, &mut acc);
                             cell.enqueue_repair(*end, li, false);
                         }
+                        let du = insts[iu].down_until_at_us();
+                        if du != u64::MAX {
+                            let rt = du.div_ceil(tick_us);
+                            if rt < ticks as u64 {
+                                heap.push(Reverse((rt as u32, li)));
+                            }
+                        }
+                        // The repair job becomes dispatchable at the
+                        // first tick whose start reaches the window end.
+                        let dt = end.div_ceil(tick_us).max(tick as u64 + 1);
+                        if dt < ticks as u64 {
+                            heap.push(Reverse((dt as u32, u32::MAX)));
+                        }
+                        forced_down = true;
+                        busy_remove(&mut busy, &mut busy_list, iu);
                     }
                 }
                 let active = |s: u64, e: u64| s <= t_start && t_start < e;
@@ -1851,7 +2195,7 @@ fn simulate_cells(
                         }
                     }
                 }
-                clamp.fill(u8::MAX);
+                clamp_scratch.fill(u8::MAX);
                 for (e, (start, end, cci, locals)) in ch.thermals.iter().enumerate() {
                     if active(*start, *end) {
                         if !thermal_fired[e] {
@@ -1870,9 +2214,17 @@ fn simulate_cells(
                             }
                         }
                         for &li in locals {
-                            clamp[li as usize] = clamp[li as usize].min(*cci);
+                            clamp_scratch[li as usize] = clamp_scratch[li as usize].min(*cci);
                         }
                     }
+                }
+                if clamp_scratch != clamp {
+                    // A clamp change re-prices Live idle ticks (the
+                    // clock-tick attribution): close every open accrual
+                    // span at the old operating points before
+                    // committing the new clamps.
+                    accrue_all!(tick);
+                    clamp.copy_from_slice(&clamp_scratch);
                 }
                 chaos_outed.fill(false);
                 for (_, start, end, locals) in &ch.outages {
@@ -1884,32 +2236,94 @@ fn simulate_cells(
                 }
             }
             prof.mark(PHASE_CHAOS);
-            for (i, inst) in insts.iter_mut().enumerate() {
-                inst.lifecycle(i as u32, t_start, tick_us, rates, &mut cell, &mut acc);
+            for &i in &lifecycle_now {
+                let iu = i as usize;
+                let was_up = insts[iu].up;
+                accrue!(iu, tick);
+                insts[iu].lifecycle(i, t_start, tick_us, rates, &mut cell, &mut acc);
+                let inst = &insts[iu];
+                if was_up && !inst.up {
+                    forced_down = true;
+                    let du = inst.down_until_at_us();
+                    if du != u64::MAX {
+                        let rt = du.div_ceil(tick_us);
+                        if rt < ticks as u64 {
+                            heap.push(Reverse((rt as u32, i)));
+                        }
+                    }
+                    // The failure enqueued a repair job, dispatchable at
+                    // the next tick at the earliest (this tick's
+                    // dispatch phase already ran).
+                    if tick + 1 < ticks {
+                        heap.push(Reverse((tick + 1, u32::MAX)));
+                    }
+                    busy_remove(&mut busy, &mut busy_list, iu);
+                } else if !was_up && inst.up {
+                    // Recovered. The lifecycle returns after a recovery,
+                    // so a next-failure time already in the past still
+                    // fails no earlier than the next tick.
+                    let nf = inst.next_failure_at_us();
+                    if nf != u64::MAX {
+                        let ft = (nf / tick_us).max(tick as u64 + 1);
+                        if ft < ticks as u64 {
+                            heap.push(Reverse((ft as u32, i)));
+                        }
+                    }
+                    if !inst.is_idle() {
+                        busy_add(&mut busy, &mut busy_list, iu);
+                    }
+                }
             }
             // A failed decode instance's requeued work (KV lost) must go
             // back through the prefill pool — decode slots never prefill,
             // so anything the lifecycle parked on their queue re-routes.
-            if shared.split.is_some() {
-                for i in 0..insts.len() {
+            // Decode-side queues only ever appear through a force-down
+            // flush, so the sweep is due exactly on force-down ticks and
+            // while a previous sweep left work unplaced (`decode_retry`
+            // then forces every tick until the pool can take it).
+            if shared.split.is_some() && (forced_down || decode_retry) {
+                decode_retry = false;
+                for i in 0..n {
                     if phases[i] == Phase::Decode && insts[i].queued() > 0 {
-                        reroute_decode_retries(&mut insts, &phases, ctl.as_ref(), i);
+                        if let Some(tgt) =
+                            reroute_decode_retries(&mut insts, &phases, ctl.as_ref(), i)
+                        {
+                            if tgt != i {
+                                busy_add(&mut busy, &mut busy_list, tgt);
+                            }
+                        }
+                        if insts[i].queued() > 0 {
+                            decode_retry = true;
+                        }
                     }
                 }
             }
             prof.mark(PHASE_LIFECYCLE);
-            if let Some(c) = ctl.as_mut() {
-                c.finish_boots(t_start);
-                if tick > 0 && tick % c.interval_ticks == 0 {
-                    // The control plane observes announced chaos state
-                    // (active outage windows + drains) so the autoscaler
-                    // can hold replacement capacity live instead of
-                    // parking it into the blast radius.
-                    let chaos_down = drained
-                        .iter()
-                        .zip(&chaos_outed)
-                        .filter(|(&d, &o)| d || o)
-                        .count() as u32;
+            // `next_boot`/`next_ctrl` stay at `u32::MAX` without a
+            // control plane, so these fire only when `ctl` is present.
+            if tick >= next_boot {
+                // Booting → Live changes the billing mode: close every
+                // open span first.
+                accrue_all!(tick);
+                if let Some(c) = ctl.as_mut() {
+                    c.finish_boots(t_start);
+                    next_boot = next_boot_tick(&c.modes, tick_us, ticks);
+                }
+            }
+            if tick == next_ctrl {
+                // The control plane observes announced chaos state
+                // (active outage windows + drains) so the autoscaler
+                // can hold replacement capacity live instead of
+                // parking it into the blast radius.
+                let chaos_down = drained
+                    .iter()
+                    .zip(&chaos_outed)
+                    .filter(|(&d, &o)| d || o)
+                    .count() as u32;
+                // Control may change modes, clocks and phases — all
+                // accrual inputs.
+                accrue_all!(tick);
+                if let Some(c) = ctl.as_mut() {
                     c.control(
                         tick,
                         t_start,
@@ -1921,10 +2335,14 @@ fn simulate_cells(
                         sink.as_mut(),
                         &mut acc,
                     );
+                    next_ctrl = next_ctrl.saturating_add(c.interval_ticks);
+                    next_boot = next_boot_tick(&c.modes, tick_us, ticks);
                 }
             }
             prof.mark(PHASE_CONTROL);
-            if let Some(link) = kv.as_mut() {
+            // `kv_next` stays at `u32::MAX` (and `kv_blocked` false)
+            // without a KV link, so this fires only when one exists.
+            if let Some(link) = kv.as_mut().filter(|_| kv_blocked || tick >= kv_next) {
                 deliver_transfers(
                     link,
                     t_start,
@@ -1936,35 +2354,51 @@ fn simulate_cells(
                     knobs,
                     sink.as_mut(),
                     &mut acc,
+                    |i| busy_add(&mut busy, &mut busy_list, i),
                 );
+                // A landed head with no decode room blocks FIFO: the
+                // next tick must process another delivery attempt.
+                kv_blocked = link.peek_landed(t_start).is_some();
             }
             prof.mark(PHASE_KV);
-            traffic.route_tick(
-                tick,
-                shared,
-                ctl.as_mut(),
-                &phases,
-                &mut insts,
-                partitioned,
-                &drained,
-                &mut acc,
-            );
+            if arrivals.get(arr_ptr).is_some_and(|&(t, _, _)| t == tick) {
+                let lo = arr_ptr;
+                while arrivals.get(arr_ptr).is_some_and(|&(t, _, _)| t == tick) {
+                    arr_ptr += 1;
+                }
+                traffic.route_event(
+                    tick,
+                    shared,
+                    ctl.as_mut(),
+                    &phases,
+                    &mut insts,
+                    partitioned,
+                    &drained,
+                    &mut acc,
+                    &arrivals[lo..arr_ptr],
+                    |i| busy_add(&mut busy, &mut busy_list, i),
+                );
+            }
             prof.mark(PHASE_ROUTE);
-            for (i, inst) in insts.iter_mut().enumerate() {
-                let mode = ctl.as_ref().map_or(SlotMode::Live, |c| c.modes[i]);
+            let mut keep = 0usize;
+            for r in 0..busy_list.len() {
+                let iu = busy_list[r] as usize;
+                accrue!(iu, tick);
+                let mode = ctl.as_ref().map_or(SlotMode::Live, |c| c.modes[iu]);
                 // A thermal excursion caps the slot's operating point
                 // below whatever DVFS (or nominal) asked for; the grid is
                 // priced whenever any thermal event exists.
                 let ci = ctl
                     .as_ref()
-                    .map_or(shared.nominal_ci, |c| c.clocks[i])
-                    .min(clamp[i]) as usize;
+                    .map_or(shared.nominal_ci, |c| c.clocks[iu])
+                    .min(clamp[iu]) as usize;
+                let inst = &mut insts[iu];
                 let (spent, nominal_spent) = if mode == SlotMode::Live {
                     inst.serve(
                         tick,
                         shared.lut,
                         knobs,
-                        phases[i],
+                        phases[iu],
                         ci as u8,
                         kv.as_mut(),
                         sink.as_mut(),
@@ -1992,7 +2426,7 @@ fn simulate_cells(
                             acc.dvfs_dyn_uj += dyn_uj;
                             acc.dvfs_nominal_dyn_uj +=
                                 power.dyn_mw[shared.nominal_ci as usize] * nominal_spent / 1000;
-                            match phases[i] {
+                            match phases[iu] {
                                 Phase::Prefill => acc.prefill_live_ticks += 1,
                                 Phase::Decode => acc.decode_live_ticks += 1,
                                 Phase::Mixed => {}
@@ -2006,10 +2440,34 @@ fn simulate_cells(
                         SlotMode::Cold => {}
                     }
                 }
+                accrued[iu] = tick + 1;
+                if insts[iu].up && !insts[iu].is_idle() {
+                    busy_list[keep] = iu as u32;
+                    keep += 1;
+                } else {
+                    busy[iu] = false;
+                }
             }
+            busy_list.truncate(keep);
             prof.mark(PHASE_SERVE);
-            if let Some(s) = series.as_mut() {
-                if (tick + 1) % series_every == 0 {
+            if let Some(link) = kv.as_ref() {
+                kv_next = match link.head_complete_us() {
+                    Some(c) => {
+                        let t = c.div_ceil(tick_us);
+                        if t < ticks as u64 {
+                            t as u32
+                        } else {
+                            u32::MAX
+                        }
+                    }
+                    None => u32::MAX,
+                };
+            }
+            if tick == next_sample {
+                // Sampling reads the energy counter: bill this tick's
+                // idle instances into the closing window first.
+                accrue_all!(tick + 1);
+                if let Some(s) = series.as_mut() {
                     let w = ((tick + 1) / series_every - 1) as usize;
                     let t_end = (tick as u64 + 1) * tick_us;
                     snap = sample_series(
@@ -2028,9 +2486,34 @@ fn simulate_cells(
                         &mut tenant_scratch,
                     );
                 }
+                next_sample = next_sample.saturating_add(series_every);
             }
             prof.mark(PHASE_SAMPLE);
+            if !busy_list.is_empty() || kv_blocked || decode_retry {
+                // Work (or a blocked KV head, or unplaced decode
+                // retries) forces the very next tick.
+                tick += 1;
+            } else {
+                // Idle: jump to the earliest due channel. `max(tick+1)`
+                // guards against stale already-passed channel values.
+                let mut nxt = ticks;
+                if let Some(&Reverse((t, _))) = heap.peek() {
+                    nxt = nxt.min(t);
+                }
+                if let Some(&(t, _, _)) = arrivals.get(arr_ptr) {
+                    nxt = nxt.min(t);
+                }
+                nxt = nxt
+                    .min(next_ctrl)
+                    .min(next_boot)
+                    .min(next_sample)
+                    .min(kv_next);
+                tick = nxt.max(tick + 1);
+            }
         }
+        // Close every remaining idle span at the horizon before the
+        // end-of-run accounting.
+        accrue_all!(ticks);
         let horizon_us = ticks as u64 * tick_us;
         for inst in &insts {
             acc.downtime_us += inst.pending_downtime_us(horizon_us);
@@ -2064,7 +2547,7 @@ fn simulate_cells(
 pub struct FleetRun {
     /// The deterministic fleet report.
     pub report: FleetReport,
-    /// Merged time-series recorder (present when `series_dt_s > 0`).
+    /// Merged time-series recorder (present when `series_dt_us > 0`).
     pub series: Option<SeriesRecorder>,
     /// Merged, totally-ordered trace events (present when `trace_every > 0`).
     pub trace: Option<Vec<TraceEvent>>,
@@ -2075,6 +2558,21 @@ pub struct FleetRun {
 /// Runs the fleet partitioned into `shards` shards on up to `threads`
 /// OS threads. The partition affects wall-clock only: the report is
 /// byte-identical for any `(shards, threads)`.
+///
+/// # Examples
+///
+/// ```
+/// use litegpu_fleet::engine::{run_sharded, FleetConfig};
+///
+/// let mut cfg = FleetConfig::lite_demo();
+/// cfg.instances = 16;
+/// cfg.cell_size = 8;
+/// cfg.horizon_s = 600.0;
+/// // Same seed ⇒ the same report for any shard/thread partition.
+/// let serial = run_sharded(&cfg, 42, 1, 1).unwrap();
+/// let sharded = run_sharded(&cfg, 42, 4, 2).unwrap();
+/// assert_eq!(serial.to_json(), sharded.to_json());
+/// ```
 pub fn run_sharded(cfg: &FleetConfig, seed: u64, shards: u32, threads: u32) -> Result<FleetReport> {
     Ok(run_sharded_full(cfg, seed, shards, threads)?.report)
 }
@@ -2143,9 +2641,13 @@ pub fn run_sharded_full(
                     .collect()
             })
             .collect(),
+        arr_plans: Vec::new(),
         chaos: compile_cell_chaos(cfg, lut.clock_points()),
         knobs,
     };
+    let mut shared = shared;
+    shared.arr_plans = plan_arrivals(&shared.lambda, cfg.cell_size as f64);
+    let shared = shared;
     let cells = cfg.num_cells();
     let shards = shards.clamp(1, cells);
     let threads = threads.clamp(1, shards);

@@ -6,6 +6,13 @@
 //! for any shard/thread partition of the same simulation. JSON rendering
 //! goes through the workspace's deterministic serializer, making the
 //! serialized report byte-identical too.
+//!
+//! The event-queue engine feeds the same totals the per-tick engine
+//! did: counters accumulate at processed ticks, and idle-span billing
+//! (energy, live ticks, clock residency) lands lazily in closed form —
+//! the merge and finalization here are agnostic to *when* a shard
+//! accrued a number, only to the integer sums, which is what keeps the
+//! report byte-identical across engines and partitions.
 
 use crate::state::{ShardTotals, TenantTotals};
 use litegpu_ctrl::PriorityClass;

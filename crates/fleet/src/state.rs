@@ -3,13 +3,18 @@
 //!
 //! Each instance tracks its request queue as run-length-encoded,
 //! tenant-tagged arrival cohorts and its running batch as completion
-//! cohorts ordered by the decode step at which they finish. One
-//! simulation tick advances an instance by: failure lifecycle → arrivals
-//! (routed in by the cell) → serving (prefill prioritized, then decode
-//! steps until the tick's time budget runs out). All state is integer
-//! microseconds / counts, and every random draw comes from the instance's
-//! own RNG stream — the two properties that make sharded results
-//! independent of shard and thread counts.
+//! cohorts ordered by the decode step at which they finish. A processed
+//! tick advances an instance by: failure lifecycle → arrivals (routed in
+//! by the cell) → serving (prefill prioritized, then decode steps until
+//! the tick's time budget runs out). The engine's event loop invokes
+//! these stages only when they are due — `lifecycle` at precomputed
+//! integer-µs failure/recovery times, `serve` only while the instance
+//! holds work — and exposes the next-event times
+//! (`next_failure_at_us`, `down_until_at_us`) so the scheduler can
+//! enqueue exact wakeups instead of polling. All state is integer
+//! microseconds / counts, and every random draw comes from the
+//! instance's own RNG stream — the two properties that make sharded
+//! results independent of shard and thread counts.
 //!
 //! Tenancy is first-class: every queued run and running cohort carries
 //! its tenant index, prefill cost scales with the tenant's prompt length,
@@ -310,6 +315,12 @@ impl KvLinkState {
     /// Removes the FIFO head (after a successful delivery).
     pub fn pop(&mut self) -> Option<KvTransfer> {
         self.queue.pop_front()
+    }
+
+    /// Completion time of the FIFO head, if any transfer is in flight.
+    /// The event engine's next-delivery wakeup derives from this.
+    pub fn head_complete_us(&self) -> Option<u64> {
+        self.queue.front().map(|t| t.complete_us)
     }
 
     /// Bytes queued or awaiting decode capacity (conservation checks).
@@ -796,6 +807,19 @@ impl InstanceState {
     /// Sequences currently decoding.
     pub fn active(&self) -> u32 {
         self.active
+    }
+
+    /// Absolute time of the next scheduled failure, µs (`u64::MAX` when
+    /// failures are disabled). The event engine schedules the failure
+    /// wakeup from this instead of polling `lifecycle` every tick.
+    pub(crate) fn next_failure_at_us(&self) -> u64 {
+        self.next_failure_us
+    }
+
+    /// Scheduled recovery time while down, µs (`u64::MAX` while waiting
+    /// on a repair crew). Drives the event engine's recovery wakeup.
+    pub(crate) fn down_until_at_us(&self) -> u64 {
+        self.down_until_us
     }
 
     /// Whether the instance holds no work (parkable).

@@ -194,7 +194,11 @@ pub fn poisson(rng: &mut StdRng, lambda: f64) -> u64 {
 }
 
 fn poisson_small(rng: &mut StdRng, lambda: f64) -> u64 {
-    let l = (-lambda).exp();
+    knuth(rng, (-lambda).exp())
+}
+
+/// Knuth's product method given the precomputed threshold `l = e^-λ`.
+fn knuth(rng: &mut StdRng, l: f64) -> u64 {
     let mut k = 0u64;
     let mut p = 1.0f64;
     loop {
@@ -203,6 +207,63 @@ fn poisson_small(rng: &mut StdRng, lambda: f64) -> u64 {
             return k;
         }
         k += 1;
+    }
+}
+
+/// A pre-resolved [`poisson`] call for one fixed mean: the chunk count
+/// and the final sub-draw's `e^-λ` threshold, both computed once so the
+/// hot path never calls `exp` for the (dominant) remainder draw.
+///
+/// [`PoissonPlan::draw`] consumes the RNG stream exactly as
+/// `poisson(rng, lambda)` would — same number of uniforms, same count —
+/// which `plan_matches_poisson_draws_and_stream` pins. That equivalence
+/// is what lets the event-driven engine draw a whole horizon of
+/// arrivals per tenant up front without perturbing any stream.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PoissonPlan {
+    /// Number of full-`CHUNK` sub-draws; `u32::MAX` is the λ ≤ 0 (or
+    /// NaN) sentinel, which returns 0 without touching the RNG.
+    chunks: u32,
+    /// `e^-remainder` for the final sub-draw.
+    l_rem: f64,
+}
+
+impl PoissonPlan {
+    const CHUNK: f64 = 16.0;
+
+    pub fn new(lambda: f64) -> Self {
+        if lambda.is_nan() || lambda <= 0.0 {
+            return Self {
+                chunks: u32::MAX,
+                l_rem: 0.0,
+            };
+        }
+        // Replicates poisson()'s repeated-subtraction loop exactly: the
+        // remainder must be bit-identical to what sequential `remaining
+        // -= CHUNK` leaves behind, or `e^-remainder` drifts.
+        let mut remaining = lambda;
+        let mut chunks = 0u32;
+        while remaining > Self::CHUNK {
+            chunks += 1;
+            remaining -= Self::CHUNK;
+        }
+        Self {
+            chunks,
+            l_rem: (-remaining).exp(),
+        }
+    }
+
+    /// Draws one count, consuming the identical RNG stream
+    /// `poisson(rng, lambda)` would consume (nothing at all for λ ≤ 0).
+    pub fn draw(&self, rng: &mut StdRng) -> u64 {
+        if self.chunks == u32::MAX {
+            return 0;
+        }
+        let mut count = 0u64;
+        for _ in 0..self.chunks {
+            count += poisson_small(rng, Self::CHUNK);
+        }
+        count + knuth(rng, self.l_rem)
     }
 }
 
@@ -426,6 +487,32 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         assert_eq!(poisson(&mut rng, 0.0), 0);
         assert_eq!(poisson(&mut rng, -1.0), 0);
+    }
+
+    #[test]
+    fn plan_matches_poisson_draws_and_stream() {
+        // The event engine's pre-planned draws must consume the exact
+        // RNG stream `poisson` consumes — counts AND stream position —
+        // across the sentinel, single-Knuth, chunk-boundary and chunked
+        // branches. Interleaving a marker draw after every count pins
+        // the stream position, not just the values.
+        for lambda in [-1.0, 0.0, 0.05, 3.0, 16.0, 16.5, 200.0, f64::NAN] {
+            let plan = PoissonPlan::new(lambda);
+            let mut a = StdRng::seed_from_u64(11);
+            let mut b = StdRng::seed_from_u64(11);
+            for i in 0..200 {
+                assert_eq!(
+                    poisson(&mut a, lambda),
+                    plan.draw(&mut b),
+                    "lambda {lambda} draw {i}"
+                );
+                assert_eq!(
+                    a.random::<u64>(),
+                    b.random::<u64>(),
+                    "stream drifted at lambda {lambda} draw {i}"
+                );
+            }
+        }
     }
 
     #[test]

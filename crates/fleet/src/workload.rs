@@ -116,6 +116,8 @@ impl Tenant {
 /// A complete fleet workload: the total base arrival rate and the tenants
 /// sharing it.
 ///
+/// # Examples
+///
 /// ```
 /// use litegpu_fleet::ctrl::PriorityClass;
 /// use litegpu_fleet::{Tenant, TrafficPattern, WorkloadSpec};

@@ -30,7 +30,7 @@ for combo in mono split dvfs mono_chaos split_chaos dvfs_chaos; do
       --gpu lite --instances 64 --cell-size 8 --hours 0.5 --accel 50000 \
       --ctrl auto --workload multi "${combo_flags[@]}" --no-baseline \
       --shards 8 --threads "$threads" \
-      --series "$det_dir/series_${combo}_t$threads.jsonl" --series-dt 60 \
+      --series "$det_dir/series_${combo}_t$threads.jsonl" --series-dt 60000000 \
       --trace "$det_dir/trace_${combo}_t$threads.json" --trace-every 16 \
       --quiet-json 2>/dev/null
     cp target/experiments/fleet_lite.json "$det_dir/fleet_lite_${combo}_t$threads.json"

@@ -189,7 +189,7 @@ fn availability_series_dips_exactly_inside_outage_windows() {
     let mut cfg = h100_fleet();
     cfg.failure_acceleration = 0.0; // isolate the correlated losses
     cfg.telemetry = TelemetryConfig {
-        series_dt_s: 60.0,
+        series_dt_us: 60_000_000,
         ..TelemetryConfig::default()
     };
     let spec = compile(&cfg, &plan, &camp, 23).expect("compiled campaign");

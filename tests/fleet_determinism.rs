@@ -228,7 +228,7 @@ fn telemetry_variants() -> Vec<(&'static str, FleetConfig)> {
 fn with_telemetry(cfg: &FleetConfig) -> FleetConfig {
     let mut c = cfg.clone();
     c.telemetry = TelemetryConfig {
-        series_dt_s: 60.0,
+        series_dt_us: 60_000_000,
         per_cell_series: true,
         trace_every: 4,
         profile: false,

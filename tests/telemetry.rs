@@ -29,7 +29,7 @@ fn ctrl_chaos_cfg() -> FleetConfig {
     };
     cfg.chaos = compile(&cfg, &DomainPlan::default(), &camp, 3).expect("compiled campaign");
     cfg.telemetry = TelemetryConfig {
-        series_dt_s: 60.0,
+        series_dt_us: 60_000_000,
         per_cell_series: true,
         trace_every: 2,
         profile: true,
