@@ -51,6 +51,11 @@ build_test() {
   cargo run --release -q -p litegpu-bench --bin sim_ctrl -- \
     --instances 100 --hours 4 --dvfs --quiet-json
 
+  echo "==> balancer smoke: skewed fleet, balanced-vs-isolated SLO + energy/token headline (sim_ctrl --balancer --skew 2x2.5)"
+  cargo run --release -q -p litegpu-bench --bin sim_ctrl -- \
+    --instances 64 --cell-size 8 --hours 0.25 --accel 50000 \
+    --balancer --skew 2x2.5 --quiet-json
+
   echo "==> chaos smoke: campaign sweep, H100-vs-Lite availability under correlated failures (sim_chaos --smoke --series)"
   cargo run --release -q -p litegpu-bench --bin sim_chaos -- \
     --smoke --series --quiet-json

@@ -24,8 +24,14 @@
 //!           [--rack-kw K] [--racks-per-domain N]
 //!           [--seed N] [--shards N] [--threads N]
 //!           [--series] [--series-dt US]
+//!           [--balancer] [--skew HxM]
 //!           [--smoke] [--quiet-json]
 //! ```
+//!
+//! `--balancer` attaches the fleet-scope spill-over balancer to both
+//! fleets (each otherwise uncontrolled), and `--skew HxM` skews the
+//! per-cell demand — together they show whether cross-cell spill-over
+//! keeps absorbing correlated outages when demand is uneven.
 //!
 //! `--instances` sizes the H100 fleet (the Lite fleet gets 4x). `--rate`
 //! is the H100 per-instance request rate (Lite instances carry a quarter
@@ -53,11 +59,9 @@ struct Args {
     intensity: f64,
     rack_kw: f64,
     racks_per_domain: u32,
-    seed: u64,
-    shards: u32,
-    threads: u32,
+    common: litegpu_bench::cli::CommonArgs,
+    bal: litegpu_bench::cli::BalancerArgs,
     series: bool,
-    series_dt_us: u64,
     quiet_json: bool,
 }
 
@@ -73,11 +77,14 @@ fn parse_args() -> Args {
         intensity: 0.5,
         rack_kw: 10.0,
         racks_per_domain: 4,
-        seed: 42,
-        shards: 0,
-        threads: 0,
+        common: litegpu_bench::cli::CommonArgs::new(&[
+            "--seed",
+            "--shards",
+            "--threads",
+            "--series-dt",
+        ]),
+        bal: litegpu_bench::cli::BalancerArgs::default(),
         series: false,
-        series_dt_us: 60_000_000,
         quiet_json: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -97,13 +104,7 @@ fn parse_args() -> Args {
             "--intensity" => a.intensity = parsed(&flag, value(&mut i)),
             "--rack-kw" => a.rack_kw = parsed(&flag, value(&mut i)),
             "--racks-per-domain" => a.racks_per_domain = parsed(&flag, value(&mut i)),
-            "--seed" => a.seed = parsed(&flag, value(&mut i)),
-            "--shards" => a.shards = parsed(&flag, value(&mut i)),
-            "--threads" => a.threads = parsed(&flag, value(&mut i)),
             "--series" => a.series = true,
-            "--series-dt" => {
-                a.series_dt_us = litegpu_bench::cli::series_dt_us(&flag, value(&mut i))
-            }
             "--smoke" => {
                 a.instances = 24;
                 a.hours = 0.5;
@@ -113,12 +114,15 @@ fn parse_args() -> Args {
             }
             "--quiet-json" => a.quiet_json = true,
             other => {
-                eprintln!("unknown argument: {other}");
-                std::process::exit(2);
+                if !a.common.try_parse(&argv, &mut i) && !a.bal.try_parse(&argv, &mut i) {
+                    eprintln!("unknown argument: {other}");
+                    std::process::exit(2);
+                }
             }
         }
         i += 1;
     }
+    a.bal.warn_if_ignored();
     a
 }
 
@@ -133,7 +137,13 @@ fn fleet_pair(a: &Args) -> [(&'static str, FleetConfig); 2] {
         hours: a.hours,
         accel: a.accel,
     };
-    litegpu_bench::fleet_pair::pair_configs(&base, false)
+    let mut pair = litegpu_bench::fleet_pair::pair_configs(&base, false);
+    for (_, cfg) in &mut pair {
+        // Skew + balancer attach per fleet so each gets multipliers
+        // sized to its own cell count.
+        a.bal.apply(cfg);
+    }
+    pair
 }
 
 fn run_one(
@@ -143,16 +153,16 @@ fn run_one(
     plan: &DomainPlan,
     a: &Args,
 ) -> FleetRun {
-    let threads = litegpu_bench::fleet_pair::threads_or_auto(a.threads);
-    let shards = litegpu_bench::fleet_pair::shards_or_cells(a.shards, cfg);
+    let threads = litegpu_bench::fleet_pair::threads_or_auto(a.common.threads);
+    let shards = litegpu_bench::fleet_pair::shards_or_cells(a.common.shards, cfg);
     let mut cfg = cfg.clone();
     if a.series {
         cfg.telemetry = TelemetryConfig {
-            series_dt_us: a.series_dt_us,
+            series_dt_us: a.common.series_dt_us,
             ..TelemetryConfig::default()
         };
     }
-    match run_campaign_full(&cfg, plan, camp, a.seed, shards, threads) {
+    match run_campaign_full(&cfg, plan, camp, a.common.seed, shards, threads) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("campaign {} / fleet {name}: {e}", camp.kind.label());
@@ -204,6 +214,9 @@ fn print_table(camp: &Campaign, rows: &[(&str, &FleetReport)]) {
                 "#         {:<10} ({:<11}) TTFT-SLO {:.4}  TBT-SLO {:.4}",
                 t.name, t.priority, t.ttft_attainment, t.tbt_attainment
             );
+        }
+        if r.balancer.is_some() {
+            eprintln!("#         {}", r.balancer_summary());
         }
     }
 }
@@ -267,7 +280,7 @@ fn main() {
         );
         let report = ChaosReport::new(
             &camp,
-            a.seed,
+            a.common.seed,
             vec![outcome("h100", rh), outcome("lite", rl)],
         );
         let json = report.to_json();

@@ -27,11 +27,23 @@
 //! ```text
 //! sim_ctrl [--instances N] [--hours H] [--rate R] [--accel A]
 //!          [--cell-size N] [--tick S] [--seed N]
+//!          [--shards N] [--threads N]
 //!          [--control-interval S] [--warm-pool N] [--dvfs]
 //!          [--workload multi|single] [--serving mono|split]
+//!          [--balancer] [--balancer-interval S] [--spill-permille N]
+//!          [--hot-factor F] [--quota-headroom F] [--kv-slack-us N]
+//!          [--skew HxM]
 //!          [--spares-target A] [--max-spares N] [--quiet-json]
 //!          [--series PATH] [--series-dt US]
 //! ```
+//!
+//! `--balancer` stacks the fleet-scope spill-over balancer on each
+//! fleet's cell-scope control plane, and `--skew HxM` skews demand
+//! (first `H` cells at `M`x, cold cells scaled to hold fleet-total
+//! demand). With both, the binary also runs each skewed fleet with the
+//! balancer stripped and prints the balanced-vs-isolated headline —
+//! interactive SLO attainment and energy/token, H100 vs Lite — the
+//! two-level control plane's reason to exist.
 //!
 //! `--series PATH` records the deterministic telemetry time series for
 //! each primary fleet (autoscaler pool sizes, queue depth, sheds, clock
@@ -54,7 +66,8 @@ struct Args {
     accel: f64,
     cell_size: u32,
     tick: f64,
-    seed: u64,
+    common: litegpu_bench::cli::CommonArgs,
+    bal: litegpu_bench::cli::BalancerArgs,
     control_interval: f64,
     warm_pool: u32,
     workload: String,
@@ -62,8 +75,6 @@ struct Args {
     spares_target: Option<f64>,
     max_spares: u32,
     quiet_json: bool,
-    series: Option<String>,
-    series_dt_us: u64,
 }
 
 fn parse_args() -> Args {
@@ -75,7 +86,14 @@ fn parse_args() -> Args {
         accel: 200.0,
         cell_size: 20,
         tick: 1.0,
-        seed: 42,
+        common: litegpu_bench::cli::CommonArgs::new(&[
+            "--seed",
+            "--shards",
+            "--threads",
+            "--series",
+            "--series-dt",
+        ]),
+        bal: litegpu_bench::cli::BalancerArgs::default(),
         control_interval: 5.0,
         warm_pool: 1,
         workload: "multi".into(),
@@ -83,8 +101,6 @@ fn parse_args() -> Args {
         spares_target: None,
         max_spares: 4,
         quiet_json: false,
-        series: None,
-        series_dt_us: 60_000_000,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -100,7 +116,6 @@ fn parse_args() -> Args {
             "--accel" => a.accel = parsed(&flag, value(&mut i)),
             "--cell-size" => a.cell_size = parsed(&flag, value(&mut i)),
             "--tick" => a.tick = parsed(&flag, value(&mut i)),
-            "--seed" => a.seed = parsed(&flag, value(&mut i)),
             "--control-interval" => a.control_interval = parsed(&flag, value(&mut i)),
             "--warm-pool" => a.warm_pool = parsed(&flag, value(&mut i)),
             "--workload" => a.workload = value(&mut i),
@@ -108,17 +123,20 @@ fn parse_args() -> Args {
             "--spares-target" => a.spares_target = Some(parsed(&flag, value(&mut i))),
             "--max-spares" => a.max_spares = parsed(&flag, value(&mut i)),
             "--quiet-json" => a.quiet_json = true,
-            "--series" => a.series = Some(value(&mut i)),
-            "--series-dt" => {
-                a.series_dt_us = litegpu_bench::cli::series_dt_us(&flag, value(&mut i))
-            }
             other => {
-                eprintln!("unknown argument: {other}");
-                std::process::exit(2);
+                if !a.common.try_parse(&argv, &mut i) && !a.bal.try_parse(&argv, &mut i) {
+                    eprintln!("unknown argument: {other}");
+                    std::process::exit(2);
+                }
             }
         }
         i += 1;
     }
+    // Accepted-but-ignored flag combinations (stderr only).
+    if a.spares_target.is_none() {
+        litegpu_bench::cli::warn_ignored(&argv, "without --spares-target", &["--max-spares"]);
+    }
+    a.bal.warn_if_ignored();
     a
 }
 
@@ -152,12 +170,15 @@ fn configure(base: FleetConfig, a: &Args) -> FleetConfig {
     if let Some(p) = ctrl.power.as_mut() {
         p.warm_pool = a.warm_pool;
     }
-    if a.series.is_some() {
+    if a.common.series.is_some() {
         cfg.telemetry = TelemetryConfig {
-            series_dt_us: a.series_dt_us,
+            series_dt_us: a.common.series_dt_us,
             ..TelemetryConfig::default()
         };
     }
+    // Last: skew multipliers size to the final cell count, and the
+    // balancer stacks on the fleet's cell-scope stack.
+    a.bal.apply(&mut cfg);
     cfg
 }
 
@@ -176,15 +197,16 @@ fn main() {
     let mut reports = Vec::new();
     for (name, cfg) in &fleets {
         let start = std::time::Instant::now();
-        let threads = litegpu_bench::fleet_pair::threads_or_auto(0);
-        let fleet_run = match run_sharded_full(cfg, a.seed, cfg.num_cells(), threads) {
+        let threads = litegpu_bench::fleet_pair::threads_or_auto(a.common.threads);
+        let shards = litegpu_bench::fleet_pair::shards_or_cells(a.common.shards, cfg);
+        let fleet_run = match run_sharded_full(cfg, a.common.seed, shards, threads) {
             Ok(r) => r,
             Err(e) => {
                 eprintln!("fleet {name}: {e}");
                 std::process::exit(1);
             }
         };
-        if let (Some(path), Some(s)) = (&a.series, fleet_run.series.as_ref()) {
+        if let (Some(path), Some(s)) = (&a.common.series, fleet_run.series.as_ref()) {
             litegpu_bench::write_artifact("series", &series_path(path, name), &s.to_jsonl());
         }
         let report = fleet_run.report;
@@ -198,6 +220,9 @@ fn main() {
         }
         if report.kv_transfer.is_some() {
             eprintln!("#   {}", report.kv_summary());
+        }
+        if report.balancer.is_some() {
+            eprintln!("#   {}", report.balancer_summary());
         }
         let json = report.to_json();
         if !a.quiet_json {
@@ -262,6 +287,54 @@ fn main() {
         );
     }
 
+    if a.bal.enabled {
+        // The two-level headline: the same skewed fleets with the
+        // fleet-scope balancer stripped — what cell isolation costs when
+        // demand is uneven, in interactive SLO and energy per token.
+        eprintln!("# balanced vs isolated (same skewed demand, same cells, balancer off):");
+        for ((name, cfg), balanced) in fleets.iter().zip(&reports) {
+            let mut iso = cfg.clone();
+            if let Some(c) = iso.ctrl.as_mut() {
+                c.balancer = None;
+            }
+            iso.telemetry = TelemetryConfig::default();
+            let isolated = match run(&iso, a.common.seed) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("fleet {name} (isolated): {e}");
+                    std::process::exit(1);
+                }
+            };
+            let att = |r: &litegpu_fleet::FleetReport| {
+                r.interactive_attainment().map_or(f64::NAN, |(t, _)| t)
+            };
+            eprintln!(
+                "#   {name}: interactive TTFT attainment {:.4} vs {:.4} (Δ{:+.4}), \
+                 energy/token {:.3} vs {:.3} J, completed {} vs {}, \
+                 e2e p99 {:.3} vs {:.3} s",
+                att(balanced),
+                att(&isolated),
+                att(balanced) - att(&isolated),
+                balanced.energy_per_token_j,
+                isolated.energy_per_token_j,
+                balanced.completed,
+                isolated.completed,
+                balanced.e2e_p99_s,
+                isolated.e2e_p99_s,
+            );
+            if let Some(b) = balanced.balancer.as_ref() {
+                eprintln!(
+                    "#   {name}: {} requests spilled in {} cohorts over {} flow edges, \
+                     {} quota-clamped",
+                    b.spilled_out,
+                    b.spilled_cohorts,
+                    b.flow.len(),
+                    b.quota_clamped,
+                );
+            }
+        }
+    }
+
     if a.dvfs {
         // The DVFS twins: same fleets, same seed, serving-time clock
         // scaling on. The headline is the energy-vs-latency frontier —
@@ -271,7 +344,7 @@ fn main() {
         for (name, cfg) in &fleets {
             let mut dcfg = cfg.clone();
             dcfg.ctrl = dcfg.ctrl.map(|c| c.with_dvfs());
-            let report = match run(&dcfg, a.seed) {
+            let report = match run(&dcfg, a.common.seed) {
                 Ok(r) => r,
                 Err(e) => {
                     eprintln!("fleet {name} (dvfs): {e}");
@@ -329,7 +402,7 @@ fn main() {
     if let Some(target) = a.spares_target {
         eprintln!("# spare-provisioning sweep to availability >= {target}:");
         for (name, cfg) in &fleets {
-            match spares_for_target(cfg, target, a.max_spares, a.seed) {
+            match spares_for_target(cfg, target, a.max_spares, a.common.seed) {
                 Ok(found) => eprintln!(
                     "#   {name}: {} spare(s)/cell -> availability {:.5}, overhead {:.2}% of fleet GPUs",
                     found.spares_per_cell,

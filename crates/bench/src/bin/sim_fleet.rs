@@ -14,6 +14,9 @@
 //!           [--serving mono|split] [--prefill-fraction F]
 //!           [--kv-gbps G] [--kv-backlog S] [--no-baseline]
 //!           [--chaos rack|power|partition|thermal|drain]
+//!           [--balancer] [--balancer-interval S] [--spill-permille N]
+//!           [--hot-factor F] [--quota-headroom F] [--kv-slack-us N]
+//!           [--skew HxM]
 //!           [--perf-json PATH] [--quiet-json]
 //!           [--series PATH] [--series-dt US] [--series-per-cell]
 //!           [--trace PATH] [--trace-every N] [--profile]
@@ -40,6 +43,15 @@
 //! H100-vs-Lite KV-bandwidth trade. `--perf-json PATH` writes a small
 //! `{instance_ticks, wall_s, ticks_per_sec}` artifact for the primary
 //! run (CI perf smoke).
+//!
+//! `--balancer` turns on the two-level control plane: a fleet-scope
+//! spill-over balancer runs above whatever cell-scope stack `--ctrl`
+//! selected (or alone with `--ctrl off`), redirecting a bounded fraction
+//! of hot cells' arrivals to under-loaded cells each fleet tick and
+//! reporting the exact-conservation flow matrix in the report's
+//! `balancer` section. `--skew HxM` makes the first `H` cells hot at
+//! `M`x their arrival rate (cold cells scaled down to hold fleet-total
+//! demand), e.g. `--skew 2x2.5` for the canonical 2-hot/6-cold mix.
 //!
 //! `--chaos KIND` compiles a small demo campaign of that kind (via
 //! `litegpu-chaos`, seeded from `--seed`) into every fleet, so the CI
@@ -76,9 +88,8 @@ struct Args {
     spares_per_cell: u32,
     cell_size: u32,
     tick: f64,
-    seed: u64,
-    shards: u32,
-    threads: u32,
+    common: litegpu_bench::cli::CommonArgs,
+    bal: litegpu_bench::cli::BalancerArgs,
     ctrl: String,
     dvfs: bool,
     control_interval: f64,
@@ -90,10 +101,7 @@ struct Args {
     kv_backlog: f64,
     no_baseline: bool,
     chaos: Option<String>,
-    perf_json: Option<String>,
     quiet_json: bool,
-    series: Option<String>,
-    series_dt_us: u64,
     series_per_cell: bool,
     trace: Option<String>,
     trace_every: u32,
@@ -110,9 +118,8 @@ fn parse_args() -> Args {
         spares_per_cell: 1,
         cell_size: 20,
         tick: 1.0,
-        seed: 42,
-        shards: 0,
-        threads: 0,
+        common: litegpu_bench::cli::CommonArgs::new(litegpu_bench::cli::CommonArgs::ALL),
+        bal: litegpu_bench::cli::BalancerArgs::default(),
         ctrl: "off".into(),
         dvfs: false,
         control_interval: 5.0,
@@ -124,10 +131,7 @@ fn parse_args() -> Args {
         kv_backlog: KvLink::DEFAULT_MAX_BACKLOG_S,
         no_baseline: false,
         chaos: None,
-        perf_json: None,
         quiet_json: false,
-        series: None,
-        series_dt_us: 60_000_000,
         series_per_cell: false,
         trace: None,
         trace_every: 64,
@@ -148,9 +152,6 @@ fn parse_args() -> Args {
             "--spares-per-cell" => a.spares_per_cell = parsed(&flag, value(&mut i)),
             "--cell-size" => a.cell_size = parsed(&flag, value(&mut i)),
             "--tick" => a.tick = parsed(&flag, value(&mut i)),
-            "--seed" => a.seed = parsed(&flag, value(&mut i)),
-            "--shards" => a.shards = parsed(&flag, value(&mut i)),
-            "--threads" => a.threads = parsed(&flag, value(&mut i)),
             "--ctrl" => a.ctrl = value(&mut i),
             "--dvfs" => a.dvfs = true,
             "--control-interval" => a.control_interval = parsed(&flag, value(&mut i)),
@@ -162,19 +163,16 @@ fn parse_args() -> Args {
             "--kv-backlog" => a.kv_backlog = parsed(&flag, value(&mut i)),
             "--no-baseline" => a.no_baseline = true,
             "--chaos" => a.chaos = Some(value(&mut i)),
-            "--perf-json" => a.perf_json = Some(value(&mut i)),
             "--quiet-json" => a.quiet_json = true,
-            "--series" => a.series = Some(value(&mut i)),
-            "--series-dt" => {
-                a.series_dt_us = litegpu_bench::cli::series_dt_us(&flag, value(&mut i))
-            }
             "--series-per-cell" => a.series_per_cell = true,
             "--trace" => a.trace = Some(value(&mut i)),
             "--trace-every" => a.trace_every = parsed(&flag, value(&mut i)),
             "--profile" => a.profile = true,
             other => {
-                eprintln!("unknown argument: {other}");
-                std::process::exit(2);
+                if !a.common.try_parse(&argv, &mut i) && !a.bal.try_parse(&argv, &mut i) {
+                    eprintln!("unknown argument: {other}");
+                    std::process::exit(2);
+                }
             }
         }
         i += 1;
@@ -191,6 +189,27 @@ fn parse_args() -> Args {
         eprintln!("--trace-every must be >= 1");
         std::process::exit(2);
     }
+    // Accepted-but-ignored flag combinations (stderr only).
+    if a.serving == "mono" {
+        litegpu_bench::cli::warn_ignored(
+            &argv,
+            "under --serving mono",
+            &[
+                "--prefill-fraction",
+                "--kv-gbps",
+                "--kv-backlog",
+                "--no-baseline",
+            ],
+        );
+    }
+    if a.ctrl == "off" {
+        litegpu_bench::cli::warn_ignored(
+            &argv,
+            "without a control plane (--ctrl off)",
+            &["--control-interval", "--warm-pool"],
+        );
+    }
+    a.bal.warn_if_ignored();
     a
 }
 
@@ -255,7 +274,7 @@ fn configure(base: FleetConfig, a: &Args, auto_policy: Policy) -> FleetConfig {
         };
         // Compiled after the rest of the config is settled: the schedule
         // depends on the instance count, tick grid and horizon.
-        match litegpu_chaos::compile(&cfg, &DomainPlan::default(), &campaign, a.seed) {
+        match litegpu_chaos::compile(&cfg, &DomainPlan::default(), &campaign, a.common.seed) {
             Ok(spec) => cfg.chaos = spec,
             Err(e) => {
                 eprintln!("--chaos {slug}: {e}");
@@ -264,8 +283,8 @@ fn configure(base: FleetConfig, a: &Args, auto_policy: Policy) -> FleetConfig {
         }
     }
     cfg.telemetry = TelemetryConfig {
-        series_dt_us: if a.series.is_some() {
-            a.series_dt_us
+        series_dt_us: if a.common.series.is_some() {
+            a.common.series_dt_us
         } else {
             0
         },
@@ -273,14 +292,17 @@ fn configure(base: FleetConfig, a: &Args, auto_policy: Policy) -> FleetConfig {
         trace_every: if a.trace.is_some() { a.trace_every } else { 0 },
         profile: a.profile,
     };
+    // Last: the skew multipliers size to the final cell count, and the
+    // balancer stacks on whatever cell-scope control `--ctrl` selected.
+    a.bal.apply(&mut cfg);
     cfg
 }
 
 fn run_one(name: &str, cfg: &FleetConfig, a: &Args) -> (FleetRun, f64) {
-    let threads = litegpu_bench::fleet_pair::threads_or_auto(a.threads);
-    let shards = litegpu_bench::fleet_pair::shards_or_cells(a.shards, cfg);
+    let threads = litegpu_bench::fleet_pair::threads_or_auto(a.common.threads);
+    let shards = litegpu_bench::fleet_pair::shards_or_cells(a.common.shards, cfg);
     let start = std::time::Instant::now();
-    match run_sharded_full(cfg, a.seed, shards, threads) {
+    match run_sharded_full(cfg, a.common.seed, shards, threads) {
         Ok(r) => (r, start.elapsed().as_secs_f64()),
         Err(e) => {
             eprintln!("fleet {name}: {e}");
@@ -319,7 +341,7 @@ fn main() {
         // fleet only — with `--gpu both` a per-iteration write would
         // silently overwrite the h100 artifacts with lite's.
         if idx == 0 {
-            if let (Some(path), Some(s)) = (&a.series, fleet_run.series.as_ref()) {
+            if let (Some(path), Some(s)) = (&a.common.series, fleet_run.series.as_ref()) {
                 let bytes = if path.ends_with(".csv") {
                     s.to_csv()
                 } else {
@@ -334,7 +356,7 @@ fn main() {
         // The perf artifact records the first fleet only — with
         // `--gpu both` a per-iteration write would silently overwrite
         // the h100 numbers with lite's.
-        if let (Some(path), false) = (&a.perf_json, perf_written) {
+        if let (Some(path), false) = (&a.common.perf_json, perf_written) {
             let instance_ticks = cfg.num_ticks() as u64 * cfg.instances as u64;
             let profile_field = fleet_run.profile.as_ref().map_or(String::new(), |p| {
                 format!("  \"profile\": {},\n", p.to_json())
@@ -350,6 +372,9 @@ fn main() {
         }
         if report.dvfs.is_some() {
             eprintln!("#   {}", report.dvfs_summary());
+        }
+        if report.balancer.is_some() {
+            eprintln!("#   {}", report.balancer_summary());
         }
         if report.kv_transfer.is_some() {
             eprintln!("#   {}", report.kv_summary());

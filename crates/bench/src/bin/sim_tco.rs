@@ -22,8 +22,13 @@
 //! sim_tco [--equiv N] [--rate R] [--hours H] [--accel A]
 //!         [--seed N] [--threads N] [--grid standard|smoke]
 //!         [--usd-per-kwh X] [--amort-years Y]
+//!         [--balancer] [--skew HxM]
 //!         [--series PATH] [--quiet-json] [--smoke]
 //! ```
+//!
+//! `--balancer` / `--skew HxM` price the whole grid under skewed demand
+//! with (or without) the fleet-scope spill-over balancer stacked on each
+//! candidate — the $/token cost of cell isolation under uneven load.
 //!
 //! `--equiv` sizes the fleet in H100-equivalents (divisor-`d` candidates
 //! run `d×` the instances at `1/d` the per-instance rate — same silicon,
@@ -32,19 +37,18 @@
 
 use litegpu_bench::fleet_pair::pair_designs;
 use litegpu_bench::write_artifact;
-use litegpu_tco::{evaluate_sweep, smoke_grid, standard_grid, SweepBase, TcoModel, TcoReport};
+use litegpu_tco::{evaluate_sweep_with, smoke_grid, standard_grid, SweepBase, TcoModel, TcoReport};
 
 struct Args {
     equiv: u32,
     rate: f64,
     hours: f64,
     accel: f64,
-    seed: u64,
-    threads: u32,
+    common: litegpu_bench::cli::CommonArgs,
+    bal: litegpu_bench::cli::BalancerArgs,
     grid: String,
     usd_per_kwh: f64,
     amort_years: f64,
-    series: Option<String>,
     quiet_json: bool,
 }
 
@@ -54,12 +58,11 @@ fn parse_args() -> Args {
         rate: 2.0,
         hours: 1.0,
         accel: 2_000.0,
-        seed: 42,
-        threads: 0,
+        common: litegpu_bench::cli::CommonArgs::new(&["--seed", "--threads", "--series"]),
+        bal: litegpu_bench::cli::BalancerArgs::default(),
         grid: "standard".into(),
         usd_per_kwh: 0.08,
         amort_years: 4.0,
-        series: None,
         quiet_json: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -73,12 +76,9 @@ fn parse_args() -> Args {
             "--rate" => a.rate = parsed(&flag, value(&mut i)),
             "--hours" => a.hours = parsed(&flag, value(&mut i)),
             "--accel" => a.accel = parsed(&flag, value(&mut i)),
-            "--seed" => a.seed = parsed(&flag, value(&mut i)),
-            "--threads" => a.threads = parsed(&flag, value(&mut i)),
             "--grid" => a.grid = value(&mut i),
             "--usd-per-kwh" => a.usd_per_kwh = parsed(&flag, value(&mut i)),
             "--amort-years" => a.amort_years = parsed(&flag, value(&mut i)),
-            "--series" => a.series = Some(value(&mut i)),
             "--quiet-json" => a.quiet_json = true,
             "--smoke" => {
                 a.equiv = 8;
@@ -86,12 +86,15 @@ fn parse_args() -> Args {
                 a.grid = "smoke".into();
             }
             other => {
-                eprintln!("unknown argument: {other}");
-                std::process::exit(2);
+                if !a.common.try_parse(&argv, &mut i) && !a.bal.try_parse(&argv, &mut i) {
+                    eprintln!("unknown argument: {other}");
+                    std::process::exit(2);
+                }
             }
         }
         i += 1;
     }
+    a.bal.warn_if_ignored();
     a
 }
 
@@ -114,16 +117,23 @@ fn main() {
     let mut model = TcoModel::paper_default();
     model.usd_per_kwh = a.usd_per_kwh;
     model.amortization_years = a.amort_years;
-    let threads = litegpu_bench::fleet_pair::threads_or_auto(a.threads);
+    let threads = litegpu_bench::fleet_pair::threads_or_auto(a.common.threads);
     let start = std::time::Instant::now();
-    let points = match evaluate_sweep(&designs, &base, &model, a.seed, threads) {
-        Ok(p) => p,
-        Err(e) => {
-            eprintln!("tco sweep: {e}");
-            std::process::exit(1);
-        }
-    };
-    let report = TcoReport::new(a.seed, base, model, points);
+    // The per-candidate hook stacks the fleet-scope policy (skew and/or
+    // spill-over balancer) onto every design in the grid; with neither
+    // flag it is a no-op and the sweep prices the plain grid.
+    let bal = &a.bal;
+    let points =
+        match evaluate_sweep_with(&designs, &base, &model, a.common.seed, threads, &|cfg| {
+            bal.apply(cfg)
+        }) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("tco sweep: {e}");
+                std::process::exit(1);
+            }
+        };
+    let report = TcoReport::new(a.common.seed, base, model, points);
     eprintln!(
         "# tco: {} designs evaluated in {:.2} s wall ({} threads)",
         report.points.len(),
@@ -198,7 +208,7 @@ fn main() {
         None => eprintln!("#   headline: no priced H100-vs-Lite comparison"),
     }
 
-    if let Some(path) = &a.series {
+    if let Some(path) = &a.common.series {
         write_artifact("series", path, &report.frontier_csv());
     }
     let json = report.to_json();

@@ -189,6 +189,221 @@ pub mod cli {
         }
         us
     }
+
+    /// Stderr-only warnings for flags a binary accepts but the chosen
+    /// mode ignores (e.g. phase flags on a monolithic run). Never
+    /// changes behavior or artifact bytes — stdout and exit status are
+    /// untouched.
+    pub fn warn_ignored(argv: &[String], context: &str, flags: &[&str]) {
+        for flag in flags {
+            if argv.iter().any(|a| a == flag) {
+                eprintln!("# warning: {flag} is ignored {context}");
+            }
+        }
+    }
+
+    /// The CLI surface the fleet-scale binaries (`sim_fleet`,
+    /// `sim_ctrl`, `sim_chaos`, `sim_tco`) used to re-implement
+    /// flag-by-flag: seed, parallelism shape, and the series/perf
+    /// artifact paths. Each binary enables exactly the subset it wires
+    /// up, so a flag outside the subset still exits 2 as an unknown
+    /// argument instead of being silently accepted.
+    pub struct CommonArgs {
+        enabled: &'static [&'static str],
+        /// Simulation seed (`--seed`, default 42).
+        pub seed: u64,
+        /// Shard count (`--shards`, 0 = one per repair cell).
+        pub shards: u32,
+        /// Worker threads (`--threads`, 0 = every available core).
+        pub threads: u32,
+        /// Series artifact path (`--series`).
+        pub series: Option<String>,
+        /// Series sample window, simulated µs (`--series-dt`).
+        pub series_dt_us: u64,
+        /// Perf artifact path (`--perf-json`).
+        pub perf_json: Option<String>,
+    }
+
+    impl CommonArgs {
+        /// Every shared flag, for binaries that wire the full surface.
+        pub const ALL: &'static [&'static str] = &[
+            "--seed",
+            "--shards",
+            "--threads",
+            "--series",
+            "--series-dt",
+            "--perf-json",
+        ];
+
+        /// Defaults matching every binary's historical values, with the
+        /// given flags enabled.
+        pub fn new(enabled: &'static [&'static str]) -> Self {
+            CommonArgs {
+                enabled,
+                seed: 42,
+                shards: 0,
+                threads: 0,
+                series: None,
+                series_dt_us: 60_000_000,
+                perf_json: None,
+            }
+        }
+
+        /// Attempts to consume `argv[*i]` (plus its value) as one of the
+        /// enabled shared flags; returns whether it did.
+        pub fn try_parse(&mut self, argv: &[String], i: &mut usize) -> bool {
+            let flag = argv[*i].clone();
+            if !self.enabled.contains(&flag.as_str()) {
+                return false;
+            }
+            match flag.as_str() {
+                "--seed" => self.seed = parsed(&flag, value(argv, i)),
+                "--shards" => self.shards = parsed(&flag, value(argv, i)),
+                "--threads" => self.threads = parsed(&flag, value(argv, i)),
+                "--series" => self.series = Some(value(argv, i)),
+                "--series-dt" => self.series_dt_us = series_dt_us(&flag, value(argv, i)),
+                "--perf-json" => self.perf_json = Some(value(argv, i)),
+                _ => unreachable!("enabled flags are a subset of the handled set"),
+            }
+            true
+        }
+    }
+
+    use litegpu_fleet::ctrl::{BalancerConfig, CtrlConfig};
+    use litegpu_fleet::FleetConfig;
+
+    /// The shared fleet-scope balancer flag set: `--balancer` turns the
+    /// two-level control plane on, the knob flags override
+    /// [`BalancerConfig`] defaults, and `--skew HxM` makes the first `H`
+    /// cells hot at `M`x their arrival rate with the cold remainder
+    /// scaled down so the fleet-total demand is unchanged (e.g.
+    /// `--skew 2x2.5` on 8 cells gives the canonical 2-hot/6-cold mix
+    /// with the cold cells at 0.5x).
+    #[derive(Default)]
+    pub struct BalancerArgs {
+        /// `--balancer` was passed.
+        pub enabled: bool,
+        /// `--balancer-interval S` (fleet-tick seconds).
+        pub interval_s: Option<f64>,
+        /// `--spill-permille N` (bounded redirect fraction).
+        pub spill_permille: Option<u16>,
+        /// `--hot-factor F` (hot threshold vs fleet-mean queue).
+        pub hot_factor: Option<f64>,
+        /// `--quota-headroom F` (admission quota multiple).
+        pub quota_headroom: Option<f64>,
+        /// `--kv-slack-us N` (phase-split spill eligibility).
+        pub kv_slack_us: Option<u64>,
+        /// `--skew HxM` as `(hot_cells, hot_multiplier)`.
+        pub skew: Option<(u32, f64)>,
+    }
+
+    impl BalancerArgs {
+        /// Attempts to consume `argv[*i]` as one of the balancer flags;
+        /// returns whether it did.
+        pub fn try_parse(&mut self, argv: &[String], i: &mut usize) -> bool {
+            let flag = argv[*i].clone();
+            match flag.as_str() {
+                "--balancer" => self.enabled = true,
+                "--balancer-interval" => self.interval_s = Some(parsed(&flag, value(argv, i))),
+                "--spill-permille" => self.spill_permille = Some(parsed(&flag, value(argv, i))),
+                "--hot-factor" => self.hot_factor = Some(parsed(&flag, value(argv, i))),
+                "--quota-headroom" => self.quota_headroom = Some(parsed(&flag, value(argv, i))),
+                "--kv-slack-us" => self.kv_slack_us = Some(parsed(&flag, value(argv, i))),
+                "--skew" => {
+                    let raw = value(argv, i);
+                    let parts = raw.split_once('x').unwrap_or_else(|| {
+                        eprintln!("invalid value for --skew: {raw} (expected HxM, e.g. 2x2.5)");
+                        std::process::exit(2);
+                    });
+                    self.skew = Some((parsed("--skew", parts.0.into()), {
+                        let m: f64 = parsed("--skew", parts.1.into());
+                        if !(m.is_finite() && m >= 1.0) {
+                            eprintln!("--skew hot multiplier must be >= 1");
+                            std::process::exit(2);
+                        }
+                        m
+                    }));
+                }
+                _ => return false,
+            }
+            true
+        }
+
+        /// The balancer configuration the knob flags resolve to.
+        pub fn config(&self) -> BalancerConfig {
+            let mut b = BalancerConfig::default();
+            if let Some(v) = self.interval_s {
+                b.interval_s = v;
+            }
+            if let Some(v) = self.spill_permille {
+                b.spill_permille = v;
+            }
+            if let Some(v) = self.hot_factor {
+                b.hot_factor = v;
+            }
+            if let Some(v) = self.quota_headroom {
+                b.quota_headroom = v;
+            }
+            if let Some(v) = self.kv_slack_us {
+                b.kv_slack_us = v;
+            }
+            b
+        }
+
+        /// Applies the skew multipliers and (when `--balancer` was
+        /// passed) attaches the fleet-scope balancer on top of whatever
+        /// cell-scope control the config already carries. Call after the
+        /// instance count and cell size are final — the multiplier
+        /// vector is sized to `num_cells()`.
+        pub fn apply(&self, cfg: &mut FleetConfig) {
+            if let Some((hot, mult)) = self.skew {
+                cfg.cell_rate_multipliers = skew_multipliers(cfg.num_cells(), hot, mult);
+            }
+            if self.enabled {
+                cfg.ctrl = Some(match cfg.ctrl.take() {
+                    Some(c) => c.with_balancer(self.config()),
+                    None => CtrlConfig::builder().balancer(self.config()).build(),
+                });
+            }
+        }
+
+        /// Warns (stderr only) when balancer knobs were passed without
+        /// `--balancer` — they would otherwise be silently ignored.
+        pub fn warn_if_ignored(&self) {
+            if self.enabled {
+                return;
+            }
+            for (flag, passed) in [
+                ("--balancer-interval", self.interval_s.is_some()),
+                ("--spill-permille", self.spill_permille.is_some()),
+                ("--hot-factor", self.hot_factor.is_some()),
+                ("--quota-headroom", self.quota_headroom.is_some()),
+                ("--kv-slack-us", self.kv_slack_us.is_some()),
+            ] {
+                if passed {
+                    eprintln!("# warning: {flag} is ignored without --balancer");
+                }
+            }
+        }
+    }
+
+    /// The hot/cold multiplier vector for `--skew HxM`: the first `hot`
+    /// cells at `mult`x, the remainder scaled so the fleet-total arrival
+    /// rate matches the unskewed fleet exactly (clamped at 0 when the
+    /// hot cells already exceed it).
+    pub fn skew_multipliers(num_cells: u32, hot: u32, mult: f64) -> Vec<f64> {
+        let n = num_cells as usize;
+        let hot = (hot as usize).min(n);
+        let cold = n - hot;
+        let cold_mult = if cold == 0 {
+            0.0
+        } else {
+            ((n as f64 - hot as f64 * mult) / cold as f64).max(0.0)
+        };
+        let mut m = vec![mult; hot];
+        m.resize(n, cold_mult);
+        m
+    }
 }
 
 #[cfg(test)]
@@ -236,6 +451,64 @@ mod tests {
             lc.ctrl.unwrap().power.unwrap().policy,
             Policy::GateToEfficiency
         );
+    }
+
+    #[test]
+    fn skew_multipliers_conserve_fleet_demand() {
+        let m = cli::skew_multipliers(8, 2, 2.5);
+        assert_eq!(m.len(), 8);
+        assert_eq!(&m[..2], &[2.5, 2.5]);
+        assert!(m[2..].iter().all(|&c| (c - 0.5).abs() < 1e-12));
+        assert!((m.iter().sum::<f64>() - 8.0).abs() < 1e-12);
+        // Overcommitted hot cells clamp the cold remainder at zero.
+        let m = cli::skew_multipliers(4, 3, 2.0);
+        assert_eq!(m, vec![2.0, 2.0, 2.0, 0.0]);
+        // All-hot leaves no cold remainder to scale.
+        assert_eq!(cli::skew_multipliers(2, 5, 3.0), vec![3.0, 3.0]);
+    }
+
+    #[test]
+    fn common_args_parse_enabled_subset_only() {
+        let argv: Vec<String> = ["--seed", "7", "--threads", "3"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let mut c = cli::CommonArgs::new(&["--seed"]);
+        let mut i = 0;
+        assert!(c.try_parse(&argv, &mut i));
+        assert_eq!((c.seed, i), (7, 1));
+        i = 2;
+        assert!(!c.try_parse(&argv, &mut i), "--threads not enabled");
+        assert_eq!(c.threads, 0);
+        let mut all = cli::CommonArgs::new(cli::CommonArgs::ALL);
+        i = 2;
+        assert!(all.try_parse(&argv, &mut i));
+        assert_eq!(all.threads, 3);
+    }
+
+    #[test]
+    fn balancer_args_resolve_config_and_attach() {
+        let argv: Vec<String> = ["--balancer", "--spill-permille", "450", "--skew", "2x2.5"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let mut b = cli::BalancerArgs::default();
+        let mut i = 0;
+        while i < argv.len() {
+            assert!(b.try_parse(&argv, &mut i), "{}", argv[i]);
+            i += 1;
+        }
+        assert!(b.enabled);
+        assert_eq!(b.config().spill_permille, 450);
+        assert_eq!(b.skew, Some((2, 2.5)));
+        let mut cfg = litegpu_fleet::FleetConfig::lite_demo();
+        cfg.instances = 64;
+        cfg.cell_size = 8;
+        b.apply(&mut cfg);
+        assert_eq!(cfg.cell_rate_multipliers.len(), 8);
+        let ctrl = cfg.ctrl.expect("balancer attaches a control plane");
+        assert_eq!(ctrl.balancer.expect("balancer set").spill_permille, 450);
+        assert_eq!(ctrl.label(), "balancer");
     }
 
     #[test]

@@ -2,9 +2,12 @@
 //! (mono / split / dvfs, each with and without a chaos campaign, all on
 //! the 3-tenant workload) must keep producing the exact report, series
 //! and trace bytes the tick-loop engine produced before the event-queue
-//! rewrite — at 1, 2 and 8 threads. The golden hashes below were
-//! generated from the pre-refactor per-tick engine; any engine change
-//! that drifts a single byte of any artifact fails here.
+//! rewrite — at 1, 2 and 8 threads. The series/trace hashes below were
+//! generated from the pre-refactor per-tick engine; the report hashes
+//! were regenerated when the `balancer` report section landed (a pure
+//! schema addition: `"balancer": null` on every non-balanced run, with
+//! all other bytes — and the series/trace artifacts — unchanged). Any
+//! engine change that drifts a single byte of any artifact fails here.
 //!
 //! Regenerate (only when an *intentional* semantic change lands):
 //! `ENGINE_GOLDEN_PRINT=1 cargo test -p litegpu-bench --test
@@ -31,42 +34,42 @@ const GOLDEN: &[(&str, &[&str], u64, u64, u64)] = &[
     (
         "mono",
         &["--serving", "mono"],
-        0xf6d45ac496fef391,
+        0x514bd279779fd38a,
         0x57d51669e121ff6f,
         0x0178b0f1d5b01d30,
     ),
     (
         "split",
         &["--serving", "split"],
-        0xbd0d75ef9b824454,
+        0x48417fbbd7b83597,
         0x94b8b348bb98f5da,
         0x018e7574744eb70a,
     ),
     (
         "dvfs",
         &["--serving", "split", "--dvfs"],
-        0x7bd51cd2d218a466,
+        0x9ca40b541f79694d,
         0x2bad5179e3a27965,
         0x734c317ed45d5494,
     ),
     (
         "mono_chaos",
         &["--serving", "mono", "--chaos", "rack"],
-        0xff45c75a9234ac60,
+        0xaafdea3a6b34c643,
         0x982a4e3f2c4b2bf3,
         0x070388de9701fc8c,
     ),
     (
         "split_chaos",
         &["--serving", "split", "--chaos", "partition"],
-        0x2b873920c43cc22a,
+        0xdc24d66b0f342681,
         0x0dd4bf4f8e764cdf,
         0xa49e37433b90682a,
     ),
     (
         "dvfs_chaos",
         &["--serving", "split", "--dvfs", "--chaos", "thermal"],
-        0xdddb8ad97fe73d82,
+        0xa6b31b7069b9bf19,
         0x2bad5179e3a27965,
         0xc5c8d9ece9abf736,
     ),

@@ -191,7 +191,12 @@ pub struct PhaseObs {
 ///
 /// Built by the data plane from cell-local state only; controllers must
 /// not assume anything about other cells.
+///
+/// `#[non_exhaustive]`: the data plane constructs one with
+/// [`CellObs::new`] and fills the public fields in; downstream crates
+/// keep compiling when an observation field is added.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub struct CellObs {
     /// Data tick at which this control tick runs.
     pub tick: u32,
@@ -223,6 +228,26 @@ pub struct CellObs {
 }
 
 impl CellObs {
+    /// An empty observation at `tick` covering `interval_s` seconds.
+    ///
+    /// The struct is `#[non_exhaustive]`, so this is the only way to
+    /// build one outside `litegpu-ctrl`; callers fill the remaining
+    /// public fields in afterwards.
+    pub fn new(tick: u32, interval_s: f64) -> Self {
+        CellObs {
+            tick,
+            interval_s,
+            arrived_since_last: 0,
+            arrived_by_class: [0; 3],
+            capacity_rps_per_instance: 0.0,
+            max_queue: 0,
+            chaos_down: 0,
+            phase_split: None,
+            clock_points: Vec::new(),
+            slots: Vec::new(),
+        }
+    }
+
     /// Slots currently live (serving).
     pub fn live(&self) -> u32 {
         self.slots.iter().filter(|s| s.mode == Mode::Live).count() as u32
@@ -260,7 +285,13 @@ impl CellObs {
 /// Commands are applied in emission order; a command that does not match
 /// the slot's current mode (e.g. parking an already-parked slot) is
 /// ignored, so controllers may re-assert state idempotently.
+///
+/// `#[non_exhaustive]`: data planes outside this crate must keep a
+/// wildcard arm when matching, so a new command variant is not a
+/// breaking change (unknown commands are ignored, which is safe — every
+/// command is advisory).
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum Command {
     /// Start activating a parked slot (warm or cold boot latency is
     /// decided by the data plane from the slot's current mode).

@@ -29,6 +29,14 @@
 //! prefill pool only — decode instances receive their work over the
 //! cell's KV link, never the front door.
 //!
+//! The control plane is **two-level**: above the per-cell stack, the
+//! [`fleet`] module defines the fleet-scope [`FleetController`] trait —
+//! once per fleet tick it sees a read-only [`FleetObs`] snapshot of
+//! every cell and emits per-cell [`CellDirective`]s (admission quotas
+//! and cross-cell spill-over routes). See the [`fleet`] module docs for
+//! the snapshot → pure function → commands contract that keeps fleet
+//! feedback compatible with byte-identical sharded execution.
+//!
 //! Everything is strictly cell-local and integer-exact where it touches
 //! the data plane (largest-remainder apportionment, integer energy
 //! accumulators), so a controlled fleet keeps `litegpu-fleet`'s
@@ -37,6 +45,7 @@
 pub mod autoscale;
 pub mod controller;
 pub mod dvfs;
+pub mod fleet;
 pub mod power;
 pub mod route;
 
@@ -45,6 +54,7 @@ pub use controller::{
     CellObs, ClockPoint, Command, Controller, InstanceObs, Mode, Phase, PhaseObs, PriorityClass,
 };
 pub use dvfs::{DvfsConfig, DvfsController};
+pub use fleet::{BalancerConfig, CellDirective, FleetCellObs, FleetController, FleetObs};
 pub use litegpu_cluster::power_mgmt::Policy;
 pub use power::{PowerConfig, PowerGater};
 pub use route::{apportion, apportion_into, Router, RouterConfig};
@@ -52,7 +62,12 @@ pub use route::{apportion, apportion_into, Router, RouterConfig};
 use rand::rngs::StdRng;
 
 /// Control-plane configuration: which policies run, and how often.
+///
+/// `#[non_exhaustive]`: construct one with [`CtrlConfig::builder`] (or
+/// [`CtrlConfig::demo`]) so the next policy addition is not a breaking
+/// change across every bin and test.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub struct CtrlConfig {
     /// Seconds between control ticks (rounded to whole data ticks by the
     /// engine, minimum one).
@@ -68,28 +83,52 @@ pub struct CtrlConfig {
     pub power: Option<PowerConfig>,
     /// Cell-level arrival routing.
     pub router: Option<RouterConfig>,
+    /// Fleet-scope balancer: cross-cell spill-over routing and admission
+    /// quotas, run once per fleet tick (see [`fleet`]). `None` keeps
+    /// cells fully isolated.
+    pub balancer: Option<BalancerConfig>,
 }
 
 impl CtrlConfig {
+    /// A builder starting from the empty control plane (5 s control
+    /// ticks, no policies).
+    ///
+    /// ```
+    /// use litegpu_ctrl::{BalancerConfig, CtrlConfig, RouterConfig};
+    ///
+    /// let cfg = CtrlConfig::builder()
+    ///     .route(RouterConfig::default())
+    ///     .balancer(BalancerConfig::default())
+    ///     .build();
+    /// assert_eq!(cfg.label(), "route+balancer");
+    /// ```
+    pub fn builder() -> CtrlConfigBuilder {
+        CtrlConfigBuilder::default()
+    }
+
     /// The demo control plane: 5 s control ticks, default autoscaler and
     /// router, and the given power policy — [`Policy::DvfsAll`] for
     /// monolithic-GPU fleets, [`Policy::GateToEfficiency`] for Lite.
     pub fn demo(policy: Policy) -> Self {
-        Self {
-            control_interval_s: 5.0,
-            autoscaler: Some(AutoscalerConfig::default()),
-            dvfs: None,
-            power: Some(PowerConfig {
+        Self::builder()
+            .autoscale(AutoscalerConfig::default())
+            .power(PowerConfig {
                 policy,
                 warm_pool: 1,
-            }),
-            router: Some(RouterConfig::default()),
-        }
+            })
+            .route(RouterConfig::default())
+            .build()
     }
 
     /// Adds the default serving-time DVFS policy to this configuration.
     pub fn with_dvfs(mut self) -> Self {
         self.dvfs = Some(DvfsConfig::default());
+        self
+    }
+
+    /// Adds a fleet-scope balancer to this configuration.
+    pub fn with_balancer(mut self, balancer: BalancerConfig) -> Self {
+        self.balancer = Some(balancer);
         self
     }
 
@@ -124,6 +163,9 @@ impl CtrlConfig {
                 return Err("dvfs ewma_alpha must be in (0, 1]");
             }
         }
+        if let Some(b) = &self.balancer {
+            b.validate()?;
+        }
         Ok(())
     }
 
@@ -142,6 +184,9 @@ impl CtrlConfig {
         }
         if self.router.is_some() {
             parts.push("route".to_string());
+        }
+        if self.balancer.is_some() {
+            parts.push("balancer".to_string());
         }
         if parts.is_empty() {
             "none".to_string()
@@ -167,6 +212,75 @@ impl CtrlConfig {
             .flatten()
             .collect(),
         }
+    }
+}
+
+/// Builder for [`CtrlConfig`] (which is `#[non_exhaustive]` and so
+/// cannot be constructed literally outside this crate).
+///
+/// Starts from the empty control plane: 5 s control ticks, every policy
+/// off. Each setter enables one policy; `build` returns the finished
+/// configuration (validate separately with [`CtrlConfig::validate`]).
+#[derive(Debug, Clone)]
+pub struct CtrlConfigBuilder {
+    cfg: CtrlConfig,
+}
+
+impl Default for CtrlConfigBuilder {
+    fn default() -> Self {
+        CtrlConfigBuilder {
+            cfg: CtrlConfig {
+                control_interval_s: 5.0,
+                autoscaler: None,
+                dvfs: None,
+                power: None,
+                router: None,
+                balancer: None,
+            },
+        }
+    }
+}
+
+impl CtrlConfigBuilder {
+    /// Sets the seconds between control ticks.
+    pub fn control_interval(mut self, seconds: f64) -> Self {
+        self.cfg.control_interval_s = seconds;
+        self
+    }
+
+    /// Enables the reactive autoscaler.
+    pub fn autoscale(mut self, cfg: AutoscalerConfig) -> Self {
+        self.cfg.autoscaler = Some(cfg);
+        self
+    }
+
+    /// Enables serving-time DVFS.
+    pub fn dvfs(mut self, cfg: DvfsConfig) -> Self {
+        self.cfg.dvfs = Some(cfg);
+        self
+    }
+
+    /// Enables power gating of parked instances.
+    pub fn power(mut self, cfg: PowerConfig) -> Self {
+        self.cfg.power = Some(cfg);
+        self
+    }
+
+    /// Enables cell-level arrival routing.
+    pub fn route(mut self, cfg: RouterConfig) -> Self {
+        self.cfg.router = Some(cfg);
+        self
+    }
+
+    /// Enables the fleet-scope spill-over balancer.
+    pub fn balancer(mut self, cfg: BalancerConfig) -> Self {
+        self.cfg.balancer = Some(cfg);
+        self
+    }
+
+    /// Returns the finished configuration.
+    pub fn build(self) -> CtrlConfig {
+        self.cfg
     }
 }
 
@@ -296,14 +410,42 @@ mod tests {
         assert!(cmds
             .iter()
             .any(|c| matches!(c, Command::SetWeights { weights } if weights.len() == 2)));
-        let empty = CtrlConfig {
-            control_interval_s: 5.0,
-            autoscaler: None,
-            dvfs: None,
-            power: None,
-            router: None,
-        };
+        let empty = CtrlConfig::builder().build();
         assert!(empty.build().is_empty());
+        assert_eq!(empty.label(), "none");
+    }
+
+    #[test]
+    fn builder_assembles_every_policy() {
+        let c = CtrlConfig::builder()
+            .control_interval(2.5)
+            .autoscale(AutoscalerConfig::default())
+            .dvfs(DvfsConfig::default())
+            .power(PowerConfig {
+                policy: Policy::GateToEfficiency,
+                warm_pool: 1,
+            })
+            .route(RouterConfig::default())
+            .balancer(BalancerConfig::default())
+            .build();
+        c.validate().unwrap();
+        assert_eq!(c.control_interval_s, 2.5);
+        assert_eq!(
+            c.label(),
+            "autoscale+dvfs+gate(GateToEfficiency)+route+balancer"
+        );
+        // The balancer runs at the fleet scope, not in the per-cell stack.
+        assert_eq!(c.build().len(), 4);
+    }
+
+    #[test]
+    fn balancer_config_validated_through_ctrl_config() {
+        let mut c = CtrlConfig::builder()
+            .balancer(BalancerConfig::default())
+            .build();
+        c.validate().unwrap();
+        c.balancer.as_mut().unwrap().spill_permille = 1001;
+        assert!(c.validate().is_err());
     }
 
     #[test]

@@ -82,8 +82,8 @@ use crate::{FleetError, Result};
 use litegpu_cluster::failure::FailureModel;
 use litegpu_cluster::power_mgmt::{self, Policy};
 use litegpu_ctrl::{
-    apportion_into, CellObs, ClockPoint, Command, CtrlConfig, InstanceObs, Mode, Phase, PhaseObs,
-    PriorityClass,
+    apportion_into, BalancerConfig, CellObs, ClockPoint, Command, CtrlConfig, FleetCellObs,
+    FleetController, FleetObs, InstanceObs, Mode, Phase, PhaseObs, PriorityClass,
 };
 use litegpu_roofline::{EngineParams, StepCostTable};
 use litegpu_specs::power::{PowerModel, DVFS_EXPONENT};
@@ -100,6 +100,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::{Barrier, Mutex};
 use std::time::Instant;
 
 /// Per-cell prefill→decode KV bandwidth budget for phase-split serving.
@@ -362,6 +363,12 @@ pub struct FleetConfig {
     /// SLOs). Legacy single-source configs convert with
     /// `TrafficModel::into()`.
     pub workload: WorkloadSpec,
+    /// Per-cell arrival-rate multipliers for skewed load (hot/cold
+    /// cells). Empty means uniform (1.0 everywhere); otherwise the
+    /// length must equal [`FleetConfig::num_cells`]. Cell `c`'s Poisson
+    /// means are scaled by `cell_rate_multipliers[c]` — the knob the
+    /// fleet-scope balancer headline experiments turn.
+    pub cell_rate_multipliers: Vec<f64>,
     /// Hardware failure model (annualized rates; see
     /// `litegpu_cluster::failure`'s unit convention).
     pub failure: FailureModel,
@@ -406,6 +413,7 @@ impl FleetConfig {
             repair_crews_per_cell: 2,
             chaos: ChaosSpec::default(),
             workload: WorkloadSpec::diurnal_demo(1.5),
+            cell_rate_multipliers: Vec::new(),
             failure,
             failure_acceleration: 200.0,
             max_prefill_batch: 4,
@@ -536,6 +544,24 @@ impl FleetConfig {
                         value: clamp,
                     });
                 }
+            }
+        }
+        if !self.cell_rate_multipliers.is_empty() {
+            if self.cell_rate_multipliers.len() != self.num_cells() as usize {
+                return Err(FleetError::InvalidParameter {
+                    name: "cell_rate_multipliers (length must equal num_cells)",
+                    value: self.cell_rate_multipliers.len() as f64,
+                });
+            }
+            if let Some(&m) = self
+                .cell_rate_multipliers
+                .iter()
+                .find(|m| !(m.is_finite() && **m >= 0.0))
+            {
+                return Err(FleetError::InvalidParameter {
+                    name: "cell_rate_multipliers (entries must be finite and >= 0)",
+                    value: m,
+                });
             }
         }
         self.workload.validate().map_err(FleetError::Workload)?;
@@ -892,6 +918,25 @@ enum SlotMode {
     Booting { until_us: u64 },
 }
 
+/// Per-cell flow state the fleet balancer manages between fleet ticks:
+/// the admission quota left for the current fleet window and the window
+/// arrival counter published in the next [`FleetCellObs`] snapshot.
+/// `quota_left == u64::MAX` means "unlimited" and is byte-inert — an
+/// uncontrolled run never sheds on it and never reads `window_arrived`.
+struct FlowCtl {
+    quota_left: u64,
+    window_arrived: u64,
+}
+
+impl Default for FlowCtl {
+    fn default() -> Self {
+        Self {
+            quota_left: u64::MAX,
+            window_arrived: 0,
+        }
+    }
+}
+
 /// One cell's tenant-tagged arrival machinery: a dedicated RNG stream per
 /// tenant (inside the shard partition, so draws never depend on shard or
 /// thread layout) plus the reusable routing buffers that keep the
@@ -941,9 +986,11 @@ impl CellTraffic {
         shared: &Shared<'_>,
         n_insts: usize,
         ticks: u32,
+        scale: f64,
     ) -> Vec<(u32, u16, u64)> {
-        let local: Option<Vec<Vec<PoissonPlan>>> = (n_insts != shared.cfg.cell_size as usize)
-            .then(|| plan_arrivals(&shared.lambda, n_insts as f64));
+        let local: Option<Vec<Vec<PoissonPlan>>> = (n_insts != shared.cfg.cell_size as usize
+            || scale != 1.0)
+            .then(|| plan_arrivals(&shared.lambda, n_insts as f64 * scale));
         let mut evs: Vec<(u32, u16, u16, u64)> = Vec::new();
         for (pos, &ti) in shared.priority_order.iter().enumerate() {
             let t = ti as usize;
@@ -974,7 +1021,10 @@ impl CellTraffic {
     /// routing regardless of controller presence — a drain is a planned,
     /// announced exclusion, unlike a silent failure. `on_admit(i)` fires
     /// for every slot that admitted work (the event engine's busy-set
-    /// hook).
+    /// hook). `flow` carries the fleet balancer's admission quota: once
+    /// a window's quota is spent, further guaranteed-class arrivals are
+    /// shed at the boundary (counted as `quota_clamped` inside
+    /// `admission_shed`); an unlimited quota is byte-inert.
     #[allow(clippy::too_many_arguments)]
     fn route_event(
         &mut self,
@@ -986,6 +1036,7 @@ impl CellTraffic {
         partitioned: bool,
         drained: &[bool],
         acc: &mut ShardTotals,
+        flow: &mut FlowCtl,
         batches: &[(u32, u16, u64)],
         mut on_admit: impl FnMut(usize),
     ) {
@@ -1019,6 +1070,7 @@ impl CellTraffic {
             let t = ti as usize;
             acc.arrived += n;
             acc.per_tenant[t].arrived += n;
+            flow.window_arrived += n;
             let class = shared.classes[t];
             if let Some(c) = ctl.as_deref_mut() {
                 c.arrived_since += n;
@@ -1028,6 +1080,24 @@ impl CellTraffic {
                 acc.rejected += n;
                 acc.admission_shed += n;
                 acc.per_tenant[t].shed += n;
+                continue;
+            }
+            // Fleet admission quota: shed whatever exceeds the window's
+            // remaining budget at the boundary. `u64::MAX` (no balancer,
+            // or no quota directive) never sheds.
+            let n = if flow.quota_left >= n {
+                flow.quota_left -= n;
+                n
+            } else {
+                let shed = n - flow.quota_left;
+                flow.quota_left = 0;
+                acc.rejected += shed;
+                acc.admission_shed += shed;
+                acc.quota_clamped += shed;
+                acc.per_tenant[t].shed += shed;
+                n - shed
+            };
+            if n == 0 {
                 continue;
             }
             if !any_target {
@@ -1143,44 +1213,41 @@ impl CellCtl {
         mut trace: Option<&mut TraceSink<'_>>,
         acc: &mut ShardTotals,
     ) {
-        let obs = CellObs {
-            tick,
-            interval_s: self.interval_ticks as f64 * shared.cfg.tick_s,
-            arrived_since_last: core::mem::take(&mut self.arrived_since),
-            arrived_by_class: core::mem::take(&mut self.arrived_by_class),
-            capacity_rps_per_instance: shared.cap_rps,
-            max_queue: shared.knobs.max_queue,
-            chaos_down,
-            phase_split: shared.split.as_ref().map(|s| PhaseObs {
-                prefill_capacity_rps: s.prefill_capacity_rps,
-                decode_capacity_rps: s.decode_capacity_rps,
-                kv_backlog_us: kv.map_or(0, |k| k.backlog_us(t_start_us)),
-            }),
-            clock_points: shared.clock_points.clone(),
-            slots: self
-                .modes
-                .iter()
-                .zip(insts)
-                .zip(phases.iter())
-                .zip(&self.clocks)
-                .map(|(((m, inst), &phase), &clock)| InstanceObs {
-                    mode: if !inst.up {
-                        Mode::Down
-                    } else {
-                        match m {
-                            SlotMode::Live => Mode::Live,
-                            SlotMode::Warm => Mode::Warm,
-                            SlotMode::Cold => Mode::Cold,
-                            SlotMode::Booting { .. } => Mode::Booting,
-                        }
-                    },
-                    phase,
-                    clock,
-                    queued: inst.queued(),
-                    active: inst.active(),
-                })
-                .collect(),
-        };
+        let mut obs = CellObs::new(tick, self.interval_ticks as f64 * shared.cfg.tick_s);
+        obs.arrived_since_last = core::mem::take(&mut self.arrived_since);
+        obs.arrived_by_class = core::mem::take(&mut self.arrived_by_class);
+        obs.capacity_rps_per_instance = shared.cap_rps;
+        obs.max_queue = shared.knobs.max_queue;
+        obs.chaos_down = chaos_down;
+        obs.phase_split = shared.split.as_ref().map(|s| PhaseObs {
+            prefill_capacity_rps: s.prefill_capacity_rps,
+            decode_capacity_rps: s.decode_capacity_rps,
+            kv_backlog_us: kv.map_or(0, |k| k.backlog_us(t_start_us)),
+        });
+        obs.clock_points = shared.clock_points.clone();
+        obs.slots = self
+            .modes
+            .iter()
+            .zip(insts)
+            .zip(phases.iter())
+            .zip(&self.clocks)
+            .map(|(((m, inst), &phase), &clock)| InstanceObs {
+                mode: if !inst.up {
+                    Mode::Down
+                } else {
+                    match m {
+                        SlotMode::Live => Mode::Live,
+                        SlotMode::Warm => Mode::Warm,
+                        SlotMode::Cold => Mode::Cold,
+                        SlotMode::Booting { .. } => Mode::Booting,
+                    }
+                },
+                phase,
+                clock,
+                queued: inst.queued(),
+                active: inst.active(),
+            })
+            .collect();
         // Every state-*changing* command becomes one control-plane trace
         // instant, emitted by the arm that applies it (so tracing costs
         // nothing on the no-op path). Policies re-assert idempotent
@@ -1248,13 +1315,11 @@ impl CellCtl {
                         trace_cmd(&mut trace, "set_cold", slot);
                     }
                 }
-                Command::SetWeights { weights } => {
-                    if weights.len() == self.modes.len() {
-                        if trace.is_some() && weights != self.weights {
-                            trace_cmd(&mut trace, "set_weights", u32::MAX);
-                        }
-                        self.weights = weights;
+                Command::SetWeights { weights } if weights.len() == self.modes.len() => {
+                    if trace.is_some() && weights != self.weights {
+                        trace_cmd(&mut trace, "set_weights", u32::MAX);
                     }
+                    self.weights = weights;
                 }
                 Command::SetAdmission { allow_best_effort } => {
                     if trace.is_some() && allow_best_effort != self.allow_best_effort {
@@ -1291,6 +1356,9 @@ impl CellCtl {
                         trace_cmd(&mut trace, "set_clock", slot);
                     }
                 }
+                // `Command` is #[non_exhaustive]; a variant this engine
+                // doesn't know is ignored (commands are advisory).
+                _ => {}
             }
         }
     }
@@ -1487,6 +1555,37 @@ impl CounterSnap {
                 .iter()
                 .map(|t| (t.arrived, t.completed, t.shed))
                 .collect(),
+        }
+    }
+
+    /// Shifts this snapshot forward by the counter movement between
+    /// `pause` and `now` — the additions *other* cells of the shard made
+    /// to the accumulator while this cell's stepping was paused between
+    /// fleet windows — so the next window delta still counts only this
+    /// cell's own additions. With cell-major stepping the movement is
+    /// zero and this is a no-op.
+    fn advance(&mut self, pause: &Self, now: &Self) {
+        self.arrived += now.arrived - pause.arrived;
+        self.completed += now.completed - pause.completed;
+        self.rejected += now.rejected - pause.rejected;
+        self.admission_shed += now.admission_shed - pause.admission_shed;
+        self.routing_shed += now.routing_shed - pause.routing_shed;
+        self.tokens += now.tokens - pause.tokens;
+        self.energy_uj += now.energy_uj - pause.energy_uj;
+        self.failures += now.failures - pause.failures;
+        self.restores += now.restores - pause.restores;
+        self.repairs += now.repairs - pause.repairs;
+        self.kv_stalls += now.kv_stalls - pause.kv_stalls;
+        self.ttft_count += now.ttft_count - pause.ttft_count;
+        self.ttft_sum_us += now.ttft_sum_us - pause.ttft_sum_us;
+        for (s, (n, p)) in self
+            .per_tenant
+            .iter_mut()
+            .zip(now.per_tenant.iter().zip(&pause.per_tenant))
+        {
+            s.0 += n.0 - p.0;
+            s.1 += n.1 - p.1;
+            s.2 += n.2 - p.2;
         }
     }
 }
@@ -1824,63 +1923,120 @@ fn next_boot_tick(modes: &[SlotMode], tick_us: u64, ticks: u32) -> u32 {
         )
 }
 
-/// Steps every cell in `[cell_lo, cell_hi)` through the whole horizon
-/// on the event-queue scheduler.
+/// One cell's read-only state published at a fleet-tick boundary: the
+/// fleet-scope observation row plus the cell's own upcoming-window
+/// arrival batches `(tick, tenant, count)` that the planner may spill.
+struct CellSnapshot {
+    obs: FleetCellObs,
+    window: Vec<(u32, u16, u64)>,
+}
+
+/// The per-cell outcome of one fleet plan, applied between windows.
+/// Everything in here was computed by the pure planner from published
+/// snapshots only, so applying it is deterministic for any thread count.
+#[derive(Default)]
+struct CellPlan {
+    /// Admission budget for the coming window (`None` = unlimited).
+    quota: Option<u64>,
+    /// Arrival batches to shrink at the source: `(index relative to the
+    /// cell's arrival cursor, requests to remove)`.
+    deduct: Vec<(usize, u64)>,
+    /// Per-destination spill totals booked at the source: `(dst, requests)`.
+    outflow: Vec<(u32, u64)>,
+    /// Redirected cohorts arriving here: `(tick, tenant, count)`, sorted
+    /// by `(tick, admission order, source cell)`.
+    inflow: Vec<(u32, u16, u64)>,
+}
+
+/// One cell's complete simulation state, stepped through the horizon in
+/// resumable segments.
 ///
-/// Instead of walking every instance every tick, each cell keeps a
-/// min-heap of *wakeups* — `(tick, instance)` failure/recovery events
-/// plus generic "process this tick" entries for chaos window edges and
-/// repair-dispatch readiness — alongside periodic channels (control
-/// interval, boot completions, series sampling, next KV-transfer
-/// landing) and the precomputed arrival schedule. A tick is *processed*
-/// only when some channel is due or an instance holds work; between
-/// processed ticks the cell provably does nothing, and idle energy is
-/// billed lazily per instance when its span closes. Spurious wakeups
-/// are byte-safe by construction (every phase below no-ops when nothing
-/// is due — the tick loop ran all of them every tick); only a missing
-/// wakeup could diverge, which the engine-equivalence goldens pin.
-fn simulate_cells(
-    shared: &Shared<'_>,
-    seed: u64,
-    cell_lo: u32,
-    cell_hi: u32,
-) -> (ShardTotals, ShardTelemetry) {
-    let cfg = shared.cfg;
-    let knobs = &shared.knobs;
-    let rates = &shared.rates;
-    let power = &shared.power;
-    let n_tenants = cfg.workload.tenants.len();
-    let mut acc = ShardTotals::new(n_tenants, shared.lut.num_clocks());
-    let ticks = cfg.num_ticks();
-    let tick_us = knobs.tick_us;
-    let tel = &cfg.telemetry;
-    // The series grid: whole ticks per window, trailing partial window
-    // dropped. Integer-derived once, so every shard agrees on the grid.
-    let series_every = if tel.series_dt_us > 0 {
-        (((tel.series_dt_us + tick_us / 2) / tick_us) as u32).max(1)
-    } else {
-        0
-    };
-    let mut series = (series_every > 0).then(|| {
-        SeriesRecorder::new(
-            series_every as u64 * tick_us,
-            (ticks / series_every.max(1)) as usize,
-        )
-    });
-    let mut trace_buf: Vec<TraceEvent> = Vec::new();
-    let mut prof = ProfTimer::new(tel.profile);
-    let mut tenant_scratch = vec![0u64; n_tenants];
-    for cell_idx in cell_lo..cell_hi {
+/// The cell-major engine ([`simulate_cells`]) runs a single segment
+/// covering the whole horizon — that path is byte-identical to the
+/// pre-extraction loop. The fleet-balancer engine ([`run_balanced`])
+/// runs one segment per fleet window, with [`CellSim::publish`] /
+/// [`CellSim::apply_plan`] at each boundary. Pausing is exact: every
+/// piece of loop state (wakeup heap, accrual clocks, arrival cursor,
+/// periodic channels, the current tick) lives here, and the only
+/// cross-window correction needed is the series snapshot drift — other
+/// cells of the same shard advance the shard accumulator while this
+/// cell is paused, so the sampling snapshot is advanced by the same
+/// amount on re-entry ([`CounterSnap::advance`]).
+struct CellSim<'a> {
+    cell_idx: u32,
+    cell: CellState,
+    insts: Vec<InstanceState>,
+    phases: Vec<Phase>,
+    kv: Option<KvLinkState>,
+    traffic: CellTraffic,
+    ctl: Option<CellCtl>,
+    chaos: Option<&'a CellChaos>,
+    outage_fired: Vec<bool>,
+    partition_fired: Vec<bool>,
+    thermal_fired: Vec<bool>,
+    drain_fired: Vec<bool>,
+    drain_restored: Vec<bool>,
+    drained: Vec<bool>,
+    clamp: Vec<u8>,
+    chaos_outed: Vec<bool>,
+    /// Request-span sampler carried between segments; the borrowing
+    /// [`TraceSink`] is reassembled inside each `run_until` call.
+    sampler: Option<SpanSampler>,
+    series_ids: Option<SeriesIds>,
+    series_every: u32,
+    snap: CounterSnap,
+    /// Shard-accumulator snapshot at the last segment exit, for the
+    /// re-entry drift compensation (kept only when sampling series).
+    pause: Option<CounterSnap>,
+    heap: BinaryHeap<Reverse<(u32, u32)>>,
+    accrued: Vec<u32>,
+    busy: Vec<bool>,
+    busy_list: Vec<u32>,
+    lifecycle_now: Vec<u32>,
+    clamp_scratch: Vec<u8>,
+    arrivals: Vec<(u32, u16, u64)>,
+    arr_ptr: usize,
+    /// Spilled-in cohorts from other cells, sorted by tick (appended in
+    /// window order, and each window's plan is tick-sorted); consumed
+    /// through a cursor like `arrivals`.
+    inflow: Vec<(u32, u16, u64)>,
+    inflow_ptr: usize,
+    flow: FlowCtl,
+    next_ctrl: u32,
+    next_boot: u32,
+    next_sample: u32,
+    kv_next: u32,
+    kv_blocked: bool,
+    decode_retry: bool,
+    tick: u32,
+}
+
+impl<'a> CellSim<'a> {
+    fn new(
+        shared: &'a Shared<'_>,
+        seed: u64,
+        cell_idx: u32,
+        series_every: u32,
+        series: Option<&mut SeriesRecorder>,
+        prof: &mut ProfTimer,
+        acc: &ShardTotals,
+    ) -> Self {
+        let cfg = shared.cfg;
+        let rates = &shared.rates;
+        let n_tenants = cfg.workload.tenants.len();
+        let ticks = cfg.num_ticks();
+        let tick_us = shared.knobs.tick_us;
+        let tel = &cfg.telemetry;
         let first = cell_idx * cfg.cell_size;
         let last = (first + cfg.cell_size).min(cfg.instances);
-        let mut cell = CellState::new(cfg.spares_per_cell, cfg.repair_crews_per_cell);
-        let mut insts: Vec<InstanceState> = (first..last)
+        let cell = CellState::new(cfg.spares_per_cell, cfg.repair_crews_per_cell);
+        let insts: Vec<InstanceState> = (first..last)
             .map(|g| InstanceState::new(seed, g as u64, rates, n_tenants))
             .collect();
         // Phase roles: monolithic cells are all-Mixed; split cells start
         // at the configured fraction (prefill pool on the low-indexed
         // stable primaries) and the phase-aware autoscaler rebalances.
-        let mut phases: Vec<Phase> = match &shared.split {
+        let phases: Vec<Phase> = match &shared.split {
             None => vec![Phase::Mixed; insts.len()],
             Some(s) => {
                 let np = s.prefill_slots(insts.len());
@@ -1895,12 +2051,12 @@ fn simulate_cells(
                     .collect()
             }
         };
-        let mut kv: Option<KvLinkState> = shared
+        let kv: Option<KvLinkState> = shared
             .split
             .as_ref()
             .map(|s| KvLinkState::new(s.kv_bytes_per_s, s.kv_max_backlog_us));
         let mut traffic = CellTraffic::new(seed, cell_idx, n_tenants, insts.len());
-        let mut ctl = cfg.ctrl.as_ref().map(|c| {
+        let ctl = cfg.ctrl.as_ref().map(|c| {
             CellCtl::new(
                 c,
                 seed,
@@ -1914,22 +2070,9 @@ fn simulate_cells(
             .chaos
             .get(cell_idx as usize)
             .filter(|c| !c.is_empty());
-        let mut outage_fired = vec![false; chaos.map_or(0, |c| c.outages.len())];
-        let mut partition_fired = vec![false; chaos.map_or(0, |c| c.partitions.len())];
-        let mut thermal_fired = vec![false; chaos.map_or(0, |c| c.thermals.len())];
-        let mut drain_fired = vec![false; chaos.map_or(0, |c| c.drains.len())];
-        let mut drain_restored = vec![false; chaos.map_or(0, |c| c.drains.len())];
-        let mut drained = vec![false; insts.len()];
-        let mut clamp = vec![u8::MAX; insts.len()];
-        let mut chaos_outed = vec![false; insts.len()];
-        let mut sink = (tel.trace_every > 0).then_some(TraceSink {
-            buf: &mut trace_buf,
-            sampler: SpanSampler::new(tel.trace_every),
-            cell: cell_idx,
-        });
         // Resolve this cell's metric ids once: re-resolution across
         // cells is idempotent, and the tick loop then samples by index.
-        let series_ids = series.as_mut().map(|s| {
+        let series_ids = series.map(|s| {
             SeriesIds::new(
                 s,
                 n_tenants,
@@ -1938,7 +2081,6 @@ fn simulate_cells(
                 tel.per_cell_series.then_some(cell_idx),
             )
         });
-        let mut snap = CounterSnap::take(&acc);
         let n = insts.len();
         // The wakeup heap over `(tick, local idx)`: `idx == u32::MAX`
         // is a generic "process this tick" entry (chaos window edges,
@@ -1977,34 +2119,158 @@ fn simulate_cells(
                 wake(end.div_ceil(tick_us));
             }
         }
-        // Lazy accrual clocks and the busy set (instances holding work;
-        // they serve every tick, in index order).
-        let mut accrued = vec![0u32; n];
-        let mut busy = vec![false; n];
-        let mut busy_list: Vec<u32> = Vec::new();
-        let mut lifecycle_now: Vec<u32> = Vec::new();
-        let mut clamp_scratch: Vec<u8> = vec![u8::MAX; n];
         // The whole horizon of arrivals, drawn up front (stream-exact —
         // see `precompute_arrivals`), consumed through a cursor.
         prof.reset();
-        let arrivals = traffic.precompute_arrivals(shared, n, ticks);
+        let rate_scale = cfg
+            .cell_rate_multipliers
+            .get(cell_idx as usize)
+            .copied()
+            .unwrap_or(1.0);
+        let arrivals = traffic.precompute_arrivals(shared, n, ticks, rate_scale);
         prof.mark(PHASE_ROUTE);
-        let mut arr_ptr = 0usize;
         // Periodic wakeup channels.
-        let mut next_ctrl: u32 = ctl.as_ref().map_or(u32::MAX, |c| c.interval_ticks);
-        let mut next_boot: u32 = u32::MAX;
-        let mut next_sample: u32 = if series_every > 0 {
-            series_every - 1
-        } else {
-            u32::MAX
-        };
-        let mut kv_next: u32 = u32::MAX;
-        let mut kv_blocked = false;
-        let mut decode_retry = false;
+        let next_ctrl = ctl.as_ref().map_or(u32::MAX, |c| c.interval_ticks);
+        Self {
+            cell_idx,
+            cell,
+            insts,
+            phases,
+            kv,
+            traffic,
+            ctl,
+            chaos,
+            outage_fired: vec![false; chaos.map_or(0, |c| c.outages.len())],
+            partition_fired: vec![false; chaos.map_or(0, |c| c.partitions.len())],
+            thermal_fired: vec![false; chaos.map_or(0, |c| c.thermals.len())],
+            drain_fired: vec![false; chaos.map_or(0, |c| c.drains.len())],
+            drain_restored: vec![false; chaos.map_or(0, |c| c.drains.len())],
+            drained: vec![false; n],
+            clamp: vec![u8::MAX; n],
+            chaos_outed: vec![false; n],
+            sampler: (tel.trace_every > 0).then(|| SpanSampler::new(tel.trace_every)),
+            snap: CounterSnap::take(acc),
+            pause: series_ids.is_some().then(|| CounterSnap::take(acc)),
+            series_ids,
+            series_every,
+            heap,
+            accrued: vec![0u32; n],
+            busy: vec![false; n],
+            busy_list: Vec::new(),
+            lifecycle_now: Vec::new(),
+            clamp_scratch: vec![u8::MAX; n],
+            arrivals,
+            arr_ptr: 0,
+            inflow: Vec::new(),
+            inflow_ptr: 0,
+            flow: FlowCtl::default(),
+            next_ctrl,
+            next_boot: u32::MAX,
+            next_sample: if series_every > 0 {
+                series_every - 1
+            } else {
+                u32::MAX
+            },
+            kv_next: u32::MAX,
+            kv_blocked: false,
+            decode_retry: false,
+            tick: 0,
+        }
+    }
+
+    /// Steps this cell until its clock reaches `until` (the cell may
+    /// pause *past* `until` after an idle jump — that is fine, the next
+    /// segment resumes from there). Every phase of the loop body is
+    /// identical to the pre-extraction cell-major loop; only the loop
+    /// bound changed from the horizon to `until`.
+    #[allow(clippy::too_many_arguments)]
+    fn run_until(
+        &mut self,
+        shared: &Shared<'_>,
+        until: u32,
+        acc: &mut ShardTotals,
+        series: &mut Option<SeriesRecorder>,
+        trace_buf: &mut Vec<TraceEvent>,
+        prof: &mut ProfTimer,
+        tenant_scratch: &mut [u64],
+    ) {
+        // Re-entry drift compensation: while this cell was paused, the
+        // shard's other cells advanced `acc`; shift the sampling
+        // snapshot by the same amount so the next window delta counts
+        // only this cell's own additions.
+        if let Some(pause) = self.pause.take() {
+            if self.series_ids.is_some() {
+                self.snap.advance(&pause, &CounterSnap::take(acc));
+            }
+        }
+        let cell_idx = self.cell_idx;
+        let knobs = &shared.knobs;
+        let rates = &shared.rates;
+        let power = &shared.power;
+        let ticks = shared.cfg.num_ticks();
+        let tick_us = knobs.tick_us;
+        let CellSim {
+            cell,
+            insts,
+            phases,
+            kv,
+            traffic,
+            ctl,
+            chaos,
+            outage_fired,
+            partition_fired,
+            thermal_fired,
+            drain_fired,
+            drain_restored,
+            drained,
+            clamp,
+            chaos_outed,
+            sampler,
+            series_ids,
+            series_every,
+            snap: snap_ref,
+            pause: pause_ref,
+            heap,
+            accrued,
+            busy,
+            busy_list,
+            lifecycle_now,
+            clamp_scratch,
+            arrivals,
+            arr_ptr: arr_ptr_ref,
+            inflow,
+            inflow_ptr: inflow_ptr_ref,
+            flow,
+            next_ctrl: next_ctrl_ref,
+            next_boot: next_boot_ref,
+            next_sample: next_sample_ref,
+            kv_next: kv_next_ref,
+            kv_blocked: kv_blocked_ref,
+            decode_retry: decode_retry_ref,
+            tick: tick_ref,
+            ..
+        } = self;
+        let series_every = *series_every;
+        let mut snap = core::mem::take(snap_ref);
+        let mut sink = sampler.take().map(|sampler| TraceSink {
+            buf: trace_buf,
+            sampler,
+            cell: cell_idx,
+        });
+        let n = insts.len();
+        let mut arr_ptr = *arr_ptr_ref;
+        let mut inflow_ptr = *inflow_ptr_ref;
+        let mut next_ctrl = *next_ctrl_ref;
+        let mut next_boot = *next_boot_ref;
+        let mut next_sample = *next_sample_ref;
+        let mut kv_next = *kv_next_ref;
+        let mut kv_blocked = *kv_blocked_ref;
+        let mut decode_retry = *decode_retry_ref;
+        let mut tick = *tick_ref;
         macro_rules! accrue {
             ($i:expr, $to:expr) => {
                 accrue_idle_span(
-                    &mut acc,
+                    acc,
                     power,
                     tick_us,
                     shared.nominal_ci,
@@ -2012,7 +2278,7 @@ fn simulate_cells(
                     ctl.as_ref(),
                     &clamp,
                     &phases,
-                    &mut accrued,
+                    accrued,
                     $i,
                     $to,
                 )
@@ -2025,8 +2291,7 @@ fn simulate_cells(
                 }
             };
         }
-        let mut tick: u32 = 0;
-        while tick < ticks {
+        while tick < until {
             let t_start = tick as u64 * tick_us;
             let t_end = t_start + tick_us;
             prof.reset();
@@ -2110,15 +2375,11 @@ fn simulate_cells(
                         acc.by_kind[*kind] += 1;
                         if cell.try_take_spare() {
                             acc.spare_hits += 1;
-                            insts[iu].force_down(
-                                at,
-                                end.saturating_add(rates.swap_us.max(1)),
-                                &mut acc,
-                            );
+                            insts[iu].force_down(at, end.saturating_add(rates.swap_us.max(1)), acc);
                             cell.enqueue_repair(*end, li, true);
                         } else {
                             acc.spare_misses += 1;
-                            insts[iu].force_down(at, u64::MAX, &mut acc);
+                            insts[iu].force_down(at, u64::MAX, acc);
                             cell.enqueue_repair(*end, li, false);
                         }
                         let du = insts[iu].down_until_at_us();
@@ -2135,7 +2396,7 @@ fn simulate_cells(
                             heap.push(Reverse((dt as u32, u32::MAX)));
                         }
                         forced_down = true;
-                        busy_remove(&mut busy, &mut busy_list, iu);
+                        busy_remove(busy, busy_list, iu);
                     }
                 }
                 let active = |s: u64, e: u64| s <= t_start && t_start < e;
@@ -2224,7 +2485,7 @@ fn simulate_cells(
                     // span at the old operating points before
                     // committing the new clamps.
                     accrue_all!(tick);
-                    clamp.copy_from_slice(&clamp_scratch);
+                    clamp.copy_from_slice(clamp_scratch);
                 }
                 chaos_outed.fill(false);
                 for (_, start, end, locals) in &ch.outages {
@@ -2236,11 +2497,11 @@ fn simulate_cells(
                 }
             }
             prof.mark(PHASE_CHAOS);
-            for &i in &lifecycle_now {
+            for &i in lifecycle_now.iter() {
                 let iu = i as usize;
                 let was_up = insts[iu].up;
                 accrue!(iu, tick);
-                insts[iu].lifecycle(i, t_start, tick_us, rates, &mut cell, &mut acc);
+                insts[iu].lifecycle(i, t_start, tick_us, rates, cell, acc);
                 let inst = &insts[iu];
                 if was_up && !inst.up {
                     forced_down = true;
@@ -2257,7 +2518,7 @@ fn simulate_cells(
                     if tick + 1 < ticks {
                         heap.push(Reverse((tick + 1, u32::MAX)));
                     }
-                    busy_remove(&mut busy, &mut busy_list, iu);
+                    busy_remove(busy, busy_list, iu);
                 } else if !was_up && inst.up {
                     // Recovered. The lifecycle returns after a recovery,
                     // so a next-failure time already in the past still
@@ -2270,7 +2531,7 @@ fn simulate_cells(
                         }
                     }
                     if !inst.is_idle() {
-                        busy_add(&mut busy, &mut busy_list, iu);
+                        busy_add(busy, busy_list, iu);
                     }
                 }
             }
@@ -2285,11 +2546,9 @@ fn simulate_cells(
                 decode_retry = false;
                 for i in 0..n {
                     if phases[i] == Phase::Decode && insts[i].queued() > 0 {
-                        if let Some(tgt) =
-                            reroute_decode_retries(&mut insts, &phases, ctl.as_ref(), i)
-                        {
+                        if let Some(tgt) = reroute_decode_retries(insts, phases, ctl.as_ref(), i) {
                             if tgt != i {
-                                busy_add(&mut busy, &mut busy_list, tgt);
+                                busy_add(busy, busy_list, tgt);
                             }
                         }
                         if insts[i].queued() > 0 {
@@ -2317,7 +2576,7 @@ fn simulate_cells(
                 // parking it into the blast radius.
                 let chaos_down = drained
                     .iter()
-                    .zip(&chaos_outed)
+                    .zip(chaos_outed.iter())
                     .filter(|(&d, &o)| d || o)
                     .count() as u32;
                 // Control may change modes, clocks and phases — all
@@ -2327,13 +2586,13 @@ fn simulate_cells(
                     c.control(
                         tick,
                         t_start,
-                        &insts,
-                        &mut phases,
+                        insts,
+                        phases,
                         kv.as_ref(),
                         shared,
                         chaos_down,
                         sink.as_mut(),
-                        &mut acc,
+                        acc,
                     );
                     next_ctrl = next_ctrl.saturating_add(c.interval_ticks);
                     next_boot = next_boot_tick(&c.modes, tick_us, ticks);
@@ -2346,15 +2605,15 @@ fn simulate_cells(
                 deliver_transfers(
                     link,
                     t_start,
-                    &mut insts,
-                    &phases,
+                    insts,
+                    phases,
                     ctl.as_ref(),
-                    &drained,
+                    drained,
                     shared.lut.max_batch,
                     knobs,
                     sink.as_mut(),
-                    &mut acc,
-                    |i| busy_add(&mut busy, &mut busy_list, i),
+                    acc,
+                    |i| busy_add(busy, busy_list, i),
                 );
                 // A landed head with no decode room blocks FIFO: the
                 // next tick must process another delivery attempt.
@@ -2370,13 +2629,37 @@ fn simulate_cells(
                     tick,
                     shared,
                     ctl.as_mut(),
-                    &phases,
-                    &mut insts,
+                    phases,
+                    insts,
                     partitioned,
-                    &drained,
-                    &mut acc,
+                    drained,
+                    acc,
+                    flow,
                     &arrivals[lo..arr_ptr],
-                    |i| busy_add(&mut busy, &mut busy_list, i),
+                    |i| busy_add(busy, busy_list, i),
+                );
+            }
+            // Cross-cell spill-over: cohorts other cells redirected here
+            // land after the cell's own same-tick arrivals (a fixed,
+            // deterministic admission order) and go through the exact
+            // same routing/admission path.
+            if inflow.get(inflow_ptr).is_some_and(|&(t, _, _)| t == tick) {
+                let lo = inflow_ptr;
+                while inflow.get(inflow_ptr).is_some_and(|&(t, _, _)| t == tick) {
+                    inflow_ptr += 1;
+                }
+                traffic.route_event(
+                    tick,
+                    shared,
+                    ctl.as_mut(),
+                    phases,
+                    insts,
+                    partitioned,
+                    drained,
+                    acc,
+                    flow,
+                    &inflow[lo..inflow_ptr],
+                    |i| busy_add(busy, busy_list, i),
                 );
             }
             prof.mark(PHASE_ROUTE);
@@ -2402,7 +2685,7 @@ fn simulate_cells(
                         ci as u8,
                         kv.as_mut(),
                         sink.as_mut(),
-                        &mut acc,
+                        acc,
                     )
                 } else {
                     (0, 0)
@@ -2476,14 +2759,14 @@ fn simulate_cells(
                         w,
                         t_end,
                         &snap,
-                        &acc,
-                        &insts,
+                        acc,
+                        insts,
                         ctl.as_ref(),
-                        &phases,
+                        phases,
                         kv.as_ref(),
-                        &cell,
-                        &drained,
-                        &mut tenant_scratch,
+                        cell,
+                        drained,
+                        tenant_scratch,
                     );
                 }
                 next_sample = next_sample.saturating_add(series_every);
@@ -2503,6 +2786,9 @@ fn simulate_cells(
                 if let Some(&(t, _, _)) = arrivals.get(arr_ptr) {
                     nxt = nxt.min(t);
                 }
+                if let Some(&(t, _, _)) = inflow.get(inflow_ptr) {
+                    nxt = nxt.min(t);
+                }
                 nxt = nxt
                     .min(next_ctrl)
                     .min(next_boot)
@@ -2511,16 +2797,473 @@ fn simulate_cells(
                 tick = nxt.max(tick + 1);
             }
         }
-        // Close every remaining idle span at the horizon before the
-        // end-of-run accounting.
-        accrue_all!(ticks);
+        // Write the segment's loop state back for the next segment (or
+        // `finalize`).
+        *arr_ptr_ref = arr_ptr;
+        *inflow_ptr_ref = inflow_ptr;
+        *next_ctrl_ref = next_ctrl;
+        *next_boot_ref = next_boot;
+        *next_sample_ref = next_sample;
+        *kv_next_ref = kv_next;
+        *kv_blocked_ref = kv_blocked;
+        *decode_retry_ref = decode_retry;
+        *tick_ref = tick;
+        *snap_ref = snap;
+        *sampler = sink.map(|ts| ts.sampler);
+        *pause_ref = series_ids.is_some().then(|| CounterSnap::take(acc));
+    }
+
+    /// Publishes this cell's fleet-scope observation at a window
+    /// boundary at `now_us`, together with the upcoming window's
+    /// arrival batches (`tick < b_next`) the planner may spill.
+    fn publish(&mut self, now_us: u64, b_next: u32) -> CellSnapshot {
+        let mut obs = FleetCellObs::new();
+        for inst in &self.insts {
+            obs.queued += inst.queued();
+            obs.active += inst.active() as u64;
+            obs.up += u32::from(inst.up);
+        }
+        obs.live = match self.ctl.as_ref() {
+            Some(c) => c
+                .modes
+                .iter()
+                .zip(&self.insts)
+                .filter(|(m, inst)| **m == SlotMode::Live && inst.up)
+                .count() as u32,
+            None => obs.up,
+        };
+        obs.arrived_window = core::mem::take(&mut self.flow.window_arrived);
+        obs.kv_backlog_us = self.kv.as_ref().map_or(0, |k| k.backlog_us(now_us));
+        obs.chaos_down = self
+            .drained
+            .iter()
+            .zip(&self.chaos_outed)
+            .filter(|(&d, &o)| d || o)
+            .count() as u32;
+        // Everything still pending with `tick < b_next` is exactly the
+        // coming window: `run_until` consumed every batch due before
+        // the boundary.
+        let end = self.arrivals[self.arr_ptr..].partition_point(|&(t, _, _)| t < b_next);
+        CellSnapshot {
+            obs,
+            window: self.arrivals[self.arr_ptr..self.arr_ptr + end].to_vec(),
+        }
+    }
+
+    /// Applies one window's fleet directives: resets the admission
+    /// quota, removes spilled requests from this cell's pending
+    /// arrivals, and lands cohorts other cells redirected here. Spill
+    /// accounting books the outflow at the source and the inflow at the
+    /// destination, each into its own shard's accumulator, so the
+    /// merged flow matrix conserves exactly.
+    fn apply_plan(&mut self, plan: CellPlan, acc: &mut ShardTotals) {
+        self.flow.quota_left = plan.quota.unwrap_or(u64::MAX);
+        for &(rel, n) in &plan.deduct {
+            self.arrivals[self.arr_ptr + rel].2 -= n;
+        }
+        for &(dst, n) in &plan.outflow {
+            acc.spill_out += n;
+            *acc.spill_flow.entry((self.cell_idx, dst)).or_insert(0) += n;
+        }
+        if !plan.inflow.is_empty() {
+            acc.spilled_cohorts += plan.inflow.len() as u64;
+            for &(_, _, n) in &plan.inflow {
+                acc.spill_in += n;
+            }
+            let first = plan.inflow[0].0;
+            self.inflow.extend_from_slice(&plan.inflow);
+            // Rewind the idle jump if the cell had already skipped past
+            // the first redirected cohort: between the rewound tick and
+            // the previously computed jump target nothing else is due
+            // (the jump was the minimum over every channel), so the
+            // extra processed ticks only route the new inflow.
+            self.tick = self.tick.min(first);
+        }
+    }
+
+    /// End-of-horizon accounting: closes every remaining idle span and
+    /// books pending downtime and in-flight KV bytes.
+    fn finalize(&mut self, shared: &Shared<'_>, acc: &mut ShardTotals) {
+        let ticks = shared.cfg.num_ticks();
+        let tick_us = shared.knobs.tick_us;
+        for i in 0..self.insts.len() {
+            accrue_idle_span(
+                acc,
+                &shared.power,
+                tick_us,
+                shared.nominal_ci,
+                &self.insts,
+                self.ctl.as_ref(),
+                &self.clamp,
+                &self.phases,
+                &mut self.accrued,
+                i,
+                ticks,
+            );
+        }
         let horizon_us = ticks as u64 * tick_us;
-        for inst in &insts {
+        for inst in &self.insts {
             acc.downtime_us += inst.pending_downtime_us(horizon_us);
         }
-        if let Some(link) = &kv {
+        if let Some(link) = &self.kv {
             acc.kv_bytes_inflight_end += link.inflight_bytes();
         }
+    }
+}
+
+/// The pure fleet planner: turns the published snapshots into one
+/// [`CellPlan`] per cell. Runs on exactly one thread per window, reads
+/// only the snapshots, and is deterministic in them — which is what
+/// keeps balanced runs byte-identical at any `(shards, threads)`.
+///
+/// Spill split: for each source directive the planner walks the source's
+/// window events with a cumulative permille floor
+/// (`take_j = ⌊cum_j·p/1000⌋ − ⌊cum_{j−1}·p/1000⌋`, so the total spilled
+/// is exactly `⌊total·p/1000⌋` regardless of how arrivals batch), and
+/// assigns each taken cohort to the destination whose share of the
+/// spill so far lags its weight the most (largest `w·spilled − given·Σw`,
+/// ties to the lowest index).
+fn plan_fleet(
+    shared: &Shared<'_>,
+    controller: &mut (dyn FleetController + Send),
+    bal_window_s: f64,
+    b: u32,
+    snaps: Vec<CellSnapshot>,
+) -> Vec<CellPlan> {
+    let cells = snaps.len();
+    let mut obs = FleetObs::new(b, bal_window_s);
+    obs.phase_split = shared.split.is_some();
+    obs.capacity_rps_per_instance = shared.cap_rps;
+    obs.max_queue = shared.knobs.max_queue;
+    let mut windows: Vec<Vec<(u32, u16, u64)>> = Vec::with_capacity(cells);
+    for s in snaps {
+        obs.cells.push(s.obs);
+        windows.push(s.window);
+    }
+    let directives = controller.plan(&obs);
+    let mut plans: Vec<CellPlan> = (0..cells).map(|_| CellPlan::default()).collect();
+    // Admission-order position per tenant, for the destination-side sort.
+    let mut pos_of = vec![0u16; shared.classes.len()];
+    for (pos, &ti) in shared.priority_order.iter().enumerate() {
+        pos_of[ti as usize] = pos as u16;
+    }
+    // Directives are sanitized here, not trusted: unknown cells are
+    // dropped, the last directive per cell wins, self/unknown spill
+    // targets are filtered, and the permille is capped at 1000.
+    let mut chosen: Vec<Option<usize>> = vec![None; cells];
+    for (i, d) in directives.iter().enumerate() {
+        if (d.cell as usize) < cells {
+            chosen[d.cell as usize] = Some(i);
+        }
+    }
+    let mut staged: Vec<(u32, u16, u32, u32, u16, u64)> = Vec::new();
+    for (src, pick) in chosen.iter().enumerate() {
+        let Some(di) = pick else { continue };
+        let d = &directives[*di];
+        plans[src].quota = d.admission_quota;
+        let p = u64::from(d.spill_permille.min(1000));
+        if p == 0 {
+            continue;
+        }
+        let targets: Vec<(u32, u64)> = d
+            .spill_to
+            .iter()
+            .copied()
+            .filter(|&(dst, w)| (dst as usize) < cells && dst != d.cell && w > 0)
+            .collect();
+        if targets.is_empty() {
+            continue;
+        }
+        let wsum: u64 = targets.iter().map(|&(_, w)| w).sum();
+        let mut given = vec![0u64; targets.len()];
+        let mut spilled = 0u64;
+        let mut cum = 0u64;
+        for (rel, &(t, ti, c)) in windows[src].iter().enumerate() {
+            let prev = cum * p / 1000;
+            cum += c;
+            let take = cum * p / 1000 - prev;
+            if take == 0 {
+                continue;
+            }
+            spilled += take;
+            let mut best = 0usize;
+            let mut best_score = i128::MIN;
+            for (j, &(_, w)) in targets.iter().enumerate() {
+                let score = w as i128 * spilled as i128 - given[j] as i128 * wsum as i128;
+                if score > best_score {
+                    best_score = score;
+                    best = j;
+                }
+            }
+            given[best] += take;
+            plans[src].deduct.push((rel, take));
+            staged.push((t, pos_of[ti as usize], d.cell, targets[best].0, ti, take));
+        }
+        for (j, &(dst, _)) in targets.iter().enumerate() {
+            if given[j] > 0 {
+                plans[src].outflow.push((dst, given[j]));
+            }
+        }
+    }
+    // Destination inflow in `(tick, admission order, source)` order: a
+    // fixed total order, so every dest routes its spilled cohorts
+    // identically at any thread count.
+    staged.sort_unstable();
+    for (t, _, _, dst, ti, n) in staged {
+        plans[dst as usize].inflow.push((t, ti, n));
+    }
+    plans
+}
+
+/// Steps the whole fleet window-by-window under a fleet-scope balancer.
+///
+/// Each fleet tick is a snapshot → pure function → commands cycle:
+/// every cell runs to the boundary ([`CellSim::run_until`]), publishes
+/// a read-only snapshot, exactly one thread runs the
+/// [`FleetController`] over the assembled [`FleetObs`] (cells still
+/// never read each other's state — only the planner sees the fleet),
+/// and every cell applies its own directive before the next window.
+/// Per-shard accumulators and telemetry are built exactly as in the
+/// cell-major path, so the fixed-order merge — and with it the
+/// byte-identity guarantee over `(shards, threads)` — is unchanged.
+fn run_balanced(
+    shared: &Shared<'_>,
+    seed: u64,
+    shards: u32,
+    threads: u32,
+    bal: &BalancerConfig,
+    slots: &mut [Option<(ShardTotals, ShardTelemetry)>],
+) {
+    let cfg = shared.cfg;
+    let cells = cfg.num_cells();
+    let ticks = cfg.num_ticks();
+    let tick_us = shared.knobs.tick_us;
+    let n_tenants = cfg.workload.tenants.len();
+    let tel = &cfg.telemetry;
+    let series_every = if tel.series_dt_us > 0 {
+        (((tel.series_dt_us + tick_us / 2) / tick_us) as u32).max(1)
+    } else {
+        0
+    };
+    let bal_ticks = ((bal.interval_s / cfg.tick_s).round() as u32).max(1);
+    let bal_window_s = bal_ticks as f64 * cfg.tick_s;
+    let bounds = |s: u32| (s as u64 * cells as u64 / shards as u64) as u32;
+    // Fleet-tick rendezvous state: one slot per cell for the published
+    // snapshot and the returned plan. Each cell's slot is written and
+    // read by its owning worker only (plus the leader), so the locks
+    // are uncontended; they exist to make the handoff race-free.
+    let snaps: Vec<Mutex<Option<CellSnapshot>>> = (0..cells).map(|_| Mutex::new(None)).collect();
+    let plans: Vec<Mutex<Option<CellPlan>>> = (0..cells).map(|_| Mutex::new(None)).collect();
+    let controller: Mutex<Box<dyn FleetController + Send>> = Mutex::new(bal.build());
+    let barrier = Barrier::new(threads as usize);
+    struct BalCtx<'a> {
+        shard: u32,
+        acc: ShardTotals,
+        series: Option<SeriesRecorder>,
+        trace_buf: Vec<TraceEvent>,
+        prof: ProfTimer,
+        tenant_scratch: Vec<u64>,
+        sims: Vec<CellSim<'a>>,
+    }
+    let worker = |w: u32| -> Vec<(u32, (ShardTotals, ShardTelemetry))> {
+        // Per-owned-shard contexts, cells constructed in index order
+        // (metric-registration order is part of the series bytes).
+        let mut ctxs: Vec<BalCtx<'_>> = Vec::new();
+        let mut s = w;
+        while s < shards {
+            let acc = ShardTotals::new(n_tenants, shared.lut.num_clocks());
+            let mut series = (series_every > 0).then(|| {
+                SeriesRecorder::new(
+                    series_every as u64 * tick_us,
+                    (ticks / series_every.max(1)) as usize,
+                )
+            });
+            let mut prof = ProfTimer::new(tel.profile);
+            let sims: Vec<CellSim<'_>> = (bounds(s)..bounds(s + 1))
+                .map(|c| {
+                    CellSim::new(
+                        shared,
+                        seed,
+                        c,
+                        series_every,
+                        series.as_mut(),
+                        &mut prof,
+                        &acc,
+                    )
+                })
+                .collect();
+            ctxs.push(BalCtx {
+                shard: s,
+                acc,
+                series,
+                trace_buf: Vec::new(),
+                prof,
+                tenant_scratch: vec![0u64; n_tenants],
+                sims,
+            });
+            s += threads;
+        }
+        // One sweep through the owned cells per window: apply the
+        // previous window's plan, run to the boundary, and publish —
+        // per cell, while its state is hot in cache. Sweeping the fleet
+        // once per window instead of three times is what keeps the
+        // balancer's overhead small at 100k-instance scale, where a
+        // full pass over cell state is memory-bound.
+        let mut have_plans = false;
+        let mut b = bal_ticks.min(ticks);
+        loop {
+            let b_next = b.saturating_add(bal_ticks).min(ticks);
+            let now_us = b as u64 * tick_us;
+            let publishing = b < ticks;
+            for cx in ctxs.iter_mut() {
+                for sim in cx.sims.iter_mut() {
+                    if have_plans {
+                        let plan = plans[sim.cell_idx as usize]
+                            .lock()
+                            .unwrap()
+                            .take()
+                            .expect("leader planned every cell");
+                        sim.apply_plan(plan, &mut cx.acc);
+                    }
+                    sim.run_until(
+                        shared,
+                        b,
+                        &mut cx.acc,
+                        &mut cx.series,
+                        &mut cx.trace_buf,
+                        &mut cx.prof,
+                        &mut cx.tenant_scratch,
+                    );
+                    if publishing {
+                        let snap = sim.publish(now_us, b_next);
+                        *snaps[sim.cell_idx as usize].lock().unwrap() = Some(snap);
+                    }
+                }
+            }
+            if !publishing {
+                break;
+            }
+            if barrier.wait().is_leader() {
+                let published: Vec<CellSnapshot> = snaps
+                    .iter()
+                    .map(|m| m.lock().unwrap().take().expect("every cell published"))
+                    .collect();
+                let mut ctl = controller.lock().unwrap();
+                let fleet_plans = plan_fleet(shared, ctl.as_mut(), bal_window_s, b, published);
+                for (c, p) in fleet_plans.into_iter().enumerate() {
+                    *plans[c].lock().unwrap() = Some(p);
+                }
+            }
+            barrier.wait();
+            have_plans = true;
+            b = b_next;
+        }
+        ctxs.into_iter()
+            .map(|mut cx| {
+                for sim in cx.sims.iter_mut() {
+                    sim.finalize(shared, &mut cx.acc);
+                }
+                cx.trace_buf.sort_unstable();
+                (
+                    cx.shard,
+                    (
+                        cx.acc,
+                        ShardTelemetry {
+                            series: cx.series,
+                            trace: cx.trace_buf,
+                            profile: cx.prof.p,
+                        },
+                    ),
+                )
+            })
+            .collect()
+    };
+    if threads == 1 {
+        for (s, out) in worker(0) {
+            slots[s as usize] = Some(out);
+        }
+    } else {
+        let out: Vec<Vec<(u32, (ShardTotals, ShardTelemetry))>> = std::thread::scope(|scope| {
+            let worker = &worker;
+            let handles: Vec<_> = (0..threads)
+                .map(|w| scope.spawn(move || worker(w)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("balanced shard worker panicked"))
+                .collect()
+        });
+        for chunk in out {
+            for (s, r) in chunk {
+                slots[s as usize] = Some(r);
+            }
+        }
+    }
+}
+
+/// Steps every cell in `[cell_lo, cell_hi)` through the whole horizon
+/// on the event-queue scheduler.
+///
+/// Instead of walking every instance every tick, each cell keeps a
+/// min-heap of *wakeups* — `(tick, instance)` failure/recovery events
+/// plus generic "process this tick" entries for chaos window edges and
+/// repair-dispatch readiness — alongside periodic channels (control
+/// interval, boot completions, series sampling, next KV-transfer
+/// landing) and the precomputed arrival schedule. A tick is *processed*
+/// only when some channel is due or an instance holds work; between
+/// processed ticks the cell provably does nothing, and idle energy is
+/// billed lazily per instance when its span closes. Spurious wakeups
+/// are byte-safe by construction (every phase below no-ops when nothing
+/// is due — the tick loop ran all of them every tick); only a missing
+/// wakeup could diverge, which the engine-equivalence goldens pin.
+fn simulate_cells(
+    shared: &Shared<'_>,
+    seed: u64,
+    cell_lo: u32,
+    cell_hi: u32,
+) -> (ShardTotals, ShardTelemetry) {
+    let cfg = shared.cfg;
+    let n_tenants = cfg.workload.tenants.len();
+    let mut acc = ShardTotals::new(n_tenants, shared.lut.num_clocks());
+    let ticks = cfg.num_ticks();
+    let tick_us = shared.knobs.tick_us;
+    let tel = &cfg.telemetry;
+    // The series grid: whole ticks per window, trailing partial window
+    // dropped. Integer-derived once, so every shard agrees on the grid.
+    let series_every = if tel.series_dt_us > 0 {
+        (((tel.series_dt_us + tick_us / 2) / tick_us) as u32).max(1)
+    } else {
+        0
+    };
+    let mut series = (series_every > 0).then(|| {
+        SeriesRecorder::new(
+            series_every as u64 * tick_us,
+            (ticks / series_every.max(1)) as usize,
+        )
+    });
+    let mut trace_buf: Vec<TraceEvent> = Vec::new();
+    let mut prof = ProfTimer::new(tel.profile);
+    let mut tenant_scratch = vec![0u64; n_tenants];
+    for cell_idx in cell_lo..cell_hi {
+        let mut sim = CellSim::new(
+            shared,
+            seed,
+            cell_idx,
+            series_every,
+            series.as_mut(),
+            &mut prof,
+            &acc,
+        );
+        sim.run_until(
+            shared,
+            ticks,
+            &mut acc,
+            &mut series,
+            &mut trace_buf,
+            &mut prof,
+            &mut tenant_scratch,
+        );
+        sim.finalize(shared, &mut acc);
     }
     // Pre-sort this shard's events on the worker thread: the main-thread
     // merge then sees one sorted run per shard, which the stable sort
@@ -2655,7 +3398,9 @@ pub fn run_sharded_full(
     let bounds = |s: u32| (s as u64 * cells as u64 / shards as u64) as u32;
 
     let mut slots: Vec<Option<(ShardTotals, ShardTelemetry)>> = (0..shards).map(|_| None).collect();
-    if threads == 1 {
+    if let Some(bal) = cfg.ctrl.as_ref().and_then(|c| c.balancer.as_ref()) {
+        run_balanced(&shared, seed, shards, threads, bal, &mut slots);
+    } else if threads == 1 {
         for (s, slot) in slots.iter_mut().enumerate() {
             let s = s as u32;
             *slot = Some(simulate_cells(&shared, seed, bounds(s), bounds(s + 1)));
@@ -2743,6 +3488,7 @@ pub fn run_sharded_full(
             spares: cells * cfg.spares_per_cell,
             crews_per_cell: cfg.repair_crews_per_cell,
             chaos: !cfg.chaos.events.is_empty(),
+            balancer: cfg.ctrl.as_ref().is_some_and(|c| c.balancer.is_some()),
             horizon_s: horizon_s_eff,
             tick_s: cfg.tick_s,
             tenants: tenants_meta,

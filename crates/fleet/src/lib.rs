@@ -80,7 +80,8 @@ pub use litegpu_ctrl as ctrl;
 pub use litegpu_ctrl::Phase;
 pub use provision::{spares_for_target, SpareSearch};
 pub use report::{
-    ChaosSection, DvfsReport, FailureBreakdown, FleetReport, KvTransferReport, TenantReport,
+    BalancerSection, ChaosSection, DvfsReport, FailureBreakdown, FleetReport, FlowEntry,
+    KvTransferReport, TenantReport,
 };
 pub use traffic::{LengthDist, TrafficModel, TrafficPattern};
 pub use workload::{PriorityClass, Tenant, WorkloadSpec};

@@ -61,6 +61,9 @@ pub(crate) struct RunMeta {
     /// Whether the run carried a chaos campaign (gates the `chaos`
     /// report section).
     pub chaos: bool,
+    /// Whether the fleet-scope balancer ran (gates the `balancer`
+    /// report section).
+    pub balancer: bool,
     /// Effective simulated horizon, seconds.
     pub horizon_s: f64,
     /// Simulation tick, seconds.
@@ -253,6 +256,43 @@ pub struct ChaosSection {
     pub crews_per_cell: u32,
 }
 
+/// One directed edge of the cross-cell spill-over flow matrix.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct FlowEntry {
+    /// Source cell (the hot cell the cohort was deducted from).
+    pub src: u32,
+    /// Destination cell (the under-loaded cell that admitted it).
+    pub dst: u32,
+    /// Requests redirected along this edge over the run.
+    pub requests: u64,
+}
+
+/// The fleet-scope balancer section: spill-over volumes, admission-quota
+/// clamps, and the per-cell flow matrix. Present only when the control
+/// plane carried a [`litegpu_ctrl::BalancerConfig`]. Conservation holds
+/// exactly on the reported integers: `spilled_out == spilled_in ==
+/// sum(flow[].requests)`, and every spilled request is counted arrived
+/// exactly once (at its destination), so fleet arrival totals match the
+/// balancer-off run.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct BalancerSection {
+    /// Requests deducted from hot cells' arrival schedules (source side
+    /// of the flow matrix).
+    pub spilled_out: u64,
+    /// Requests admitted at destination cells via spill-over routing
+    /// (destination side; equals `spilled_out` by construction).
+    pub spilled_in: u64,
+    /// Redirected cohorts (tick-grouped arrival batches) delivered to
+    /// destination cells.
+    pub spilled_cohorts: u64,
+    /// Requests shed by fleet-issued admission quotas (a subset of
+    /// `admission_shed`).
+    pub quota_clamped: u64,
+    /// Directed `src -> dst` spill volumes, in canonical `(src, dst)`
+    /// order — the exact-conservation ledger.
+    pub flow: Vec<FlowEntry>,
+}
+
 /// Aggregated results of a fleet run.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct FleetReport {
@@ -361,6 +401,9 @@ pub struct FleetReport {
     /// Chaos-campaign accounting (drains, partition shed, repair-crew
     /// queue, MTTR; `null` on campaign-free runs).
     pub chaos: Option<ChaosSection>,
+    /// Fleet-scope balancer accounting (spill-over flow matrix + quota
+    /// clamps; `null` unless the control plane ran the balancer).
+    pub balancer: Option<BalancerSection>,
 }
 
 impl FleetReport {
@@ -437,6 +480,17 @@ impl FleetReport {
                 totals.restore_us as f64 / totals.restores as f64 / 1e6
             },
             crews_per_cell: meta.crews_per_cell,
+        });
+        let balancer = meta.balancer.then(|| BalancerSection {
+            spilled_out: totals.spill_out,
+            spilled_in: totals.spill_in,
+            spilled_cohorts: totals.spilled_cohorts,
+            quota_clamped: totals.quota_clamped,
+            flow: totals
+                .spill_flow
+                .iter()
+                .map(|(&(src, dst), &requests)| FlowEntry { src, dst, requests })
+                .collect(),
         });
         let kv_transfer = meta.phase_split.then(|| {
             let link_time_us = meta.cells as u128 * (meta.horizon_s * 1e6) as u128;
@@ -515,6 +569,7 @@ impl FleetReport {
             kv_transfer,
             dvfs,
             chaos,
+            balancer,
         }
     }
 
@@ -569,6 +624,27 @@ impl FleetReport {
                 kv.backpressure_stalls,
                 kv.prefill_pool_mean,
                 kv.decode_pool_mean,
+            ),
+        }
+    }
+
+    /// One-line balancer summary (two-level control-plane runs), or a
+    /// note that cells ran isolated.
+    pub fn balancer_summary(&self) -> String {
+        match &self.balancer {
+            None => "balancer: n/a (isolated cells)".to_string(),
+            Some(b) => format!(
+                "balancer: {} requests spilled cross-cell in {} cohorts over {} flow edges \
+                 ({:.2}% of arrivals), {} quota-clamped",
+                b.spilled_out,
+                b.spilled_cohorts,
+                b.flow.len(),
+                if self.arrived == 0 {
+                    0.0
+                } else {
+                    100.0 * b.spilled_out as f64 / self.arrived as f64
+                },
+                b.quota_clamped,
             ),
         }
     }
@@ -720,6 +796,7 @@ mod tests {
             spares: 10,
             crews_per_cell: 2,
             chaos: false,
+            balancer: false,
             horizon_s: 36_000.0,
             tick_s: 1.0,
             tenants: vec![

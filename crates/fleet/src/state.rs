@@ -30,7 +30,7 @@ use litegpu_telemetry::{SpanSampler, TraceEvent};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 
 /// Where a serving tick appends its sampled trace events. Span ids are
 /// computed unconditionally (they are part of simulation state), but
@@ -416,6 +416,20 @@ pub(crate) struct ShardTotals {
     /// nominal clock, microjoules. `nominal − actual` is the energy DVFS
     /// saved; the idle floor is identical in both worlds.
     pub dvfs_nominal_dyn_uj: u64,
+    /// Requests the fleet balancer redirected out of this shard's cells
+    /// (deducted from their arrival schedules before routing).
+    pub spill_out: u64,
+    /// Requests the fleet balancer redirected *into* this shard's cells.
+    /// Fleet-wide, `spill_in == spill_out` exactly (cohort conservation).
+    pub spill_in: u64,
+    /// Redirected cohorts (batches) received; each appears exactly once.
+    pub spilled_cohorts: u64,
+    /// Arrivals shed at the cell boundary by a fleet admission quota.
+    pub quota_clamped: u64,
+    /// The balancer flow matrix: `(src cell, dst cell) → requests`
+    /// redirected, booked at the source. A `BTreeMap` so the report's
+    /// flow listing has one canonical order.
+    pub spill_flow: BTreeMap<(u32, u32), u64>,
     pub ttft: LatencyHistogram,
     pub tbt: LatencyHistogram,
     pub e2e: LatencyHistogram,
@@ -484,6 +498,13 @@ impl ShardTotals {
         self.clock_retunes += other.clock_retunes;
         self.dvfs_dyn_uj += other.dvfs_dyn_uj;
         self.dvfs_nominal_dyn_uj += other.dvfs_nominal_dyn_uj;
+        self.spill_out += other.spill_out;
+        self.spill_in += other.spill_in;
+        self.spilled_cohorts += other.spilled_cohorts;
+        self.quota_clamped += other.quota_clamped;
+        for (&k, v) in &other.spill_flow {
+            *self.spill_flow.entry(k).or_insert(0) += v;
+        }
         self.ttft.merge(&other.ttft);
         self.tbt.merge(&other.tbt);
         self.e2e.merge(&other.e2e);

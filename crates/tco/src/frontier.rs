@@ -12,6 +12,7 @@
 use crate::design::{DesignPoint, SweepBase};
 use crate::model::{breakdown_for, slo_tokens, CostBreakdown, TcoModel};
 use crate::Result;
+use litegpu_fleet::FleetConfig;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// One evaluated design: the simulated outcome and its price.
@@ -52,14 +53,20 @@ pub struct FrontierPoint {
     pub on_frontier: bool,
 }
 
-/// Evaluates one candidate: configure, simulate, price.
+/// Evaluates one candidate: configure, simulate, price. `tweak` runs
+/// after the design builds its fleet config — the hook the bench CLI
+/// uses to stack fleet-scope policy (demand skew, spill-over balancer)
+/// onto every candidate without growing the design grid itself.
 fn evaluate_one(
     design: &DesignPoint,
     base: &SweepBase,
     model: &TcoModel,
     seed: u64,
+    tweak: &(dyn Fn(&mut FleetConfig) + Sync),
 ) -> Result<FrontierPoint> {
-    let cfg = design.fleet_config(base)?;
+    let mut cfg = design.fleet_config(base)?;
+    tweak(&mut cfg);
+    cfg.validate()?;
     // Fixed shard/thread shape: outer sweep parallelism is the only
     // threading, so per-candidate results cannot depend on the pool size.
     let report = litegpu_fleet::run_sharded(&cfg, seed, cfg.num_cells(), 1)?;
@@ -106,6 +113,23 @@ pub fn evaluate_sweep(
     seed: u64,
     threads: u32,
 ) -> Result<Vec<FrontierPoint>> {
+    evaluate_sweep_with(designs, base, model, seed, threads, &|_| {})
+}
+
+/// [`evaluate_sweep`] with a per-candidate config hook: `tweak` mutates
+/// each candidate's `FleetConfig` after the design point builds it (and
+/// before validation), so callers can price the same grid under
+/// fleet-scope policy — e.g. skewed demand plus the spill-over
+/// balancer. The hook must be deterministic; results stay in design
+/// order and byte-stable at any thread count.
+pub fn evaluate_sweep_with(
+    designs: &[DesignPoint],
+    base: &SweepBase,
+    model: &TcoModel,
+    seed: u64,
+    threads: u32,
+    tweak: &(dyn Fn(&mut FleetConfig) + Sync),
+) -> Result<Vec<FrontierPoint>> {
     model.validate()?;
     base.validate()?;
     let n = designs.len();
@@ -121,7 +145,7 @@ pub fn evaluate_sweep(
                         if i >= n {
                             break;
                         }
-                        out.push((i, evaluate_one(&designs[i], base, model, seed)));
+                        out.push((i, evaluate_one(&designs[i], base, model, seed, tweak)));
                     }
                     out
                 })

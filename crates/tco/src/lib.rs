@@ -40,7 +40,9 @@ pub mod model;
 pub use design::{
     design_space, gpu_for_divisor, smoke_grid, standard_grid, DesignPoint, SweepBase,
 };
-pub use frontier::{evaluate_sweep, pareto, FrontierPoint, Headline, TcoReport};
+pub use frontier::{
+    evaluate_sweep, evaluate_sweep_with, pareto, FrontierPoint, Headline, TcoReport,
+};
 pub use model::{slo_tokens, CostBreakdown, TcoModel};
 
 /// Errors produced by TCO model construction and sweep evaluation.

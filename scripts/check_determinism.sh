@@ -16,7 +16,7 @@ cd "$(dirname "$0")/.."
 
 det_dir="target/ci-determinism"
 mkdir -p "$det_dir"
-for combo in mono split dvfs mono_chaos split_chaos dvfs_chaos; do
+for combo in mono split dvfs mono_chaos split_chaos dvfs_chaos balancer; do
   case "$combo" in
     mono)        combo_flags=(--serving mono) ;;
     split)       combo_flags=(--serving split) ;;
@@ -24,6 +24,11 @@ for combo in mono split dvfs mono_chaos split_chaos dvfs_chaos; do
     mono_chaos)  combo_flags=(--serving mono --chaos rack) ;;
     split_chaos) combo_flags=(--serving split --chaos partition) ;;
     dvfs_chaos)  combo_flags=(--serving split --dvfs --chaos thermal) ;;
+    # The two-level control plane: fleet-scope spill-over balancer on a
+    # skewed demand mix (2 hot cells at 2.5x). Spilled cohorts cross
+    # cell (and shard) boundaries, so this combo is the one that would
+    # catch a rendezvous ordering bug first.
+    balancer)    combo_flags=(--serving mono --balancer --skew 2x2.5) ;;
   esac
   for threads in 1 2 8; do
     cargo run --release -q -p litegpu-bench --bin sim_fleet -- \

@@ -3,12 +3,14 @@
 # phase-split config in both control modes ("base" with nominal clocks,
 # "dvfs" with DVFS clock scaling) and the fleet-scale event-queue config
 # ("fleet100k": 100k instances, sparse traffic, the regime the
-# event-driven scheduler exists for) — then emit one commit-stamped
-# BENCH_fleet.json artifact at the repo root and fail on a >20%
-# ticks/sec regression of any mode against the checked-in baseline
-# (scripts/perf_baseline.json). The job also fails outright if the
-# artifact is missing any mode's entry, so no leg can silently drop out
-# of the gate. The base run carries --profile, so BENCH_fleet.json also
+# event-driven scheduler exists for; plus a "fleet100k_balancer" twin
+# with the fleet-scope spill-over balancer at an hourly fleet tick) —
+# then emit one commit-stamped BENCH_fleet.json artifact at the repo
+# root and fail on a >20% ticks/sec regression of any mode against the
+# checked-in baseline (scripts/perf_baseline.json). The job also fails
+# outright if the artifact is missing any mode's entry, so no leg can
+# silently drop out of the gate. A dedicated balancer gate asserts the
+# fleet-tick balancer pass adds at most 5% to the fleet100k entry. The base run carries --profile, so BENCH_fleet.json also
 # records the per-phase engine time breakdown. BENCH_fleet.json carries
 # the perf trajectory: the committed historical entries (starting with
 # the pre-event-queue tick-loop engine) from perf_baseline.json plus the
@@ -44,11 +46,13 @@ run_fleet() { # $1 = artifact path — the 100k-instance event-queue regime
 run_mode "$out_dir/BENCH_fleet_base.json" --profile
 run_mode "$out_dir/BENCH_fleet_dvfs.json" --dvfs
 run_fleet "$out_dir/BENCH_fleet_100k.json"
+run_fleet "$out_dir/BENCH_fleet_100k_bal.json" --balancer --balancer-interval 3600
 
 read_field() { grep -o "\"$2\": *[0-9]*" "$1" | head -1 | grep -o '[0-9]*$'; }
 measured_base=$(read_field "$out_dir/BENCH_fleet_base.json" ticks_per_sec)
 measured_dvfs=$(read_field "$out_dir/BENCH_fleet_dvfs.json" ticks_per_sec)
 measured_fleet=$(read_field "$out_dir/BENCH_fleet_100k.json" ticks_per_sec)
+measured_bal=$(read_field "$out_dir/BENCH_fleet_100k_bal.json" ticks_per_sec)
 
 # Commit stamp: short hash, with a -dirty suffix when the working tree
 # differs from HEAD (so a locally generated artifact is never mistaken
@@ -68,13 +72,16 @@ if ! git diff --quiet 2>/dev/null; then commit="$commit-dirty"; fi
   sed 's/^/  /' "$out_dir/BENCH_fleet_dvfs.json" | sed '$ s/$/,/'
   echo '  "fleet100k":'
   sed 's/^/  /' "$out_dir/BENCH_fleet_100k.json" | sed '$ s/$/,/'
+  echo '  "fleet100k_balancer":'
+  sed 's/^/  /' "$out_dir/BENCH_fleet_100k_bal.json" | sed '$ s/$/,/'
   sed -n '/"trajectory": \[/,/^  \]/p' scripts/perf_baseline.json | sed '$ d' | sed '$ s/$/,/'
   echo '    {'
   echo "      \"commit\": \"$commit\","
   echo '      "engine": "event-queue",'
   echo "      \"base_ticks_per_sec\": $measured_base,"
   echo "      \"dvfs_ticks_per_sec\": $measured_dvfs,"
-  echo "      \"fleet100k_ticks_per_sec\": $measured_fleet"
+  echo "      \"fleet100k_ticks_per_sec\": $measured_fleet,"
+  echo "      \"fleet100k_balancer_ticks_per_sec\": $measured_bal"
   echo '    }'
   echo '  ]'
   echo '}'
@@ -83,8 +90,8 @@ if ! git diff --quiet 2>/dev/null; then commit="$commit-dirty"; fi
 # All JSON files are produced by this repo with stable formatting, so
 # grep-based field reads stay dependency-free.
 entries=$(grep -c '"ticks_per_sec"' "$bench" || true)
-if [ "$entries" -ne 3 ]; then
-  echo "PERF ARTIFACT INCOMPLETE: BENCH_fleet.json must carry the base, dvfs and fleet100k entries (found $entries)" >&2
+if [ "$entries" -ne 4 ]; then
+  echo "PERF ARTIFACT INCOMPLETE: BENCH_fleet.json must carry the base, dvfs, fleet100k and fleet100k_balancer entries (found $entries)" >&2
   exit 1
 fi
 if ! grep -q '"profile"' "$bench"; then
@@ -116,6 +123,31 @@ for mode in base dvfs fleet100k; do
   fi
 done
 [ "$fail" -eq 0 ] || exit 1
+
+# Balancer overhead gate: the fleet-tick balancer pass (snapshot →
+# pure planner → directives, at an hourly fleet tick — the cadence
+# fleet-scope rebalancing runs at 100k-instance scale) must add at most
+# 5% ticks/sec to the fleet100k entry against a balancer-off twin.
+# Alternating off/on pairs with a best-of-5 verdict, for the same
+# reason as the telemetry gate below: shared-box contention corrupts
+# individual pairs by more than the budget in a random direction, and
+# the least-corrupted pair is the tightest available estimate — while a
+# genuine machinery regression (say a quadratic planner) fails every
+# pair; integer arithmetic only.
+bal_pairs=""
+for _ in 1 2 3 4 5; do
+  run_fleet "$out_dir/BENCH_bal_probe.json"
+  bal_off=$(read_field "$out_dir/BENCH_bal_probe.json" ticks_per_sec)
+  run_fleet "$out_dir/BENCH_bal_probe.json" --balancer --balancer-interval 3600
+  bal_on=$(read_field "$out_dir/BENCH_bal_probe.json" ticks_per_sec)
+  bal_pairs="$bal_pairs $((bal_on * 1000 / bal_off))"
+done
+bal_best=$(printf '%s\n' $bal_pairs | sort -n | tail -1)
+echo "    balancer overhead: on/off permille per pair [${bal_pairs# }], best ${bal_best} (fail under 950)"
+if [ "$bal_best" -lt 950 ]; then
+  echo "BALANCER OVERHEAD: best on/off ratio ${bal_best}/1000 is more than 5% below the balancer-off fleet100k twin" >&2
+  exit 1
+fi
 
 # Telemetry overhead gate: the deterministic layers at operational
 # sampling rates (60 s series windows, 1-in-4096 request traces) must

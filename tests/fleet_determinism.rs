@@ -6,7 +6,7 @@
 //! conservation laws for the priority-aware largest-remainder routing.
 
 use litegpu_repro::chaos::{compile, Campaign, CampaignKind, DomainPlan};
-use litegpu_repro::ctrl::PriorityClass;
+use litegpu_repro::ctrl::{BalancerConfig, CtrlConfig, PriorityClass};
 use litegpu_repro::fleet::{
     run, run_sharded, run_sharded_full, FleetConfig, LengthDist, ServingMode, TelemetryConfig,
     Tenant, TrafficPattern, WorkloadSpec,
@@ -286,6 +286,138 @@ fn telemetry_does_not_change_report_bytes() {
         );
         assert!(observed.profile.is_some(), "{label}: profile requested");
     }
+}
+
+/// Skews the 8-cell test fleet (2 hot cells at 2.5x, 6 cold at 0.5x)
+/// and attaches the fleet-scope spill-over balancer on top of whatever
+/// cell-scope control the config already carries.
+fn with_balancer(cfg: &FleetConfig) -> FleetConfig {
+    let mut c = cfg.clone();
+    c.cell_rate_multipliers = vec![2.5, 2.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5];
+    // More sensitive than the defaults so even the lightly-queued
+    // phase-split variant reliably crosses the hot threshold.
+    let mut bal = BalancerConfig::default();
+    bal.hot_factor = 1.1;
+    bal.interval_s = 30.0;
+    c.ctrl = Some(match c.ctrl {
+        Some(ctrl) => ctrl.with_balancer(bal),
+        None => CtrlConfig::builder().balancer(bal).build(),
+    });
+    c
+}
+
+/// The tentpole guarantee extended to the two-level control plane: with
+/// the fleet-scope balancer active (skewed hot/cold cells, spill-over
+/// routing between them), report, series and trace bytes stay identical
+/// at 1/2/8 threads and across shard counts — for monolithic,
+/// phase-split, DVFS and chaos configs alike.
+#[test]
+fn balancer_byte_identical_across_shards_and_threads() {
+    for (label, cfg) in telemetry_variants() {
+        let cfg = with_telemetry(&with_balancer(&cfg));
+        let base = run_sharded_full(&cfg, 11, 1, 1).expect("balanced run");
+        let report = base.report.to_json();
+        let bal = base.report.balancer.as_ref().expect("balancer section");
+        assert!(bal.spilled_out > 0, "{label}: skew must trigger spill");
+        let mut fr = base;
+        let series = fr.series.take().expect("series requested").to_jsonl();
+        let trace = render_chrome_trace(fr.trace.as_mut().expect("trace requested"));
+        for (shards, threads) in [(8u32, 2u32), (8, 8)] {
+            let mut fr = run_sharded_full(&cfg, 11, shards, threads).expect("balanced run");
+            assert_eq!(
+                fr.report.to_json(),
+                report,
+                "{label}: report bytes at {shards}x{threads}"
+            );
+            let s = fr.series.take().expect("series requested").to_jsonl();
+            let t = render_chrome_trace(fr.trace.as_mut().expect("trace requested"));
+            assert_eq!(s, series, "{label}: series bytes at {shards}x{threads}");
+            assert_eq!(t, trace, "{label}: trace bytes at {shards}x{threads}");
+        }
+    }
+}
+
+/// Exact conservation of spill-over routing: every redirected cohort is
+/// admitted exactly once, the flow matrix's row/column sums match the
+/// spilled totals on both sides, quota clamps stay within the admission
+/// sheds, and the balanced fleet sees exactly the arrivals the isolated
+/// fleet does — per tenant and fleet-wide.
+#[test]
+fn balancer_spill_routing_conserves_flows_and_arrivals() {
+    for (label, cfg) in telemetry_variants() {
+        let skewed = {
+            let mut c = with_balancer(&cfg);
+            c.ctrl = cfg.ctrl.clone(); // same cell-scope control, no balancer
+            c
+        };
+        let off = run(&skewed, 13).expect("isolated run");
+        let on = run(&with_balancer(&cfg), 13).expect("balanced run");
+        assert!(
+            off.balancer.is_none(),
+            "{label}: no section without balancer"
+        );
+        let bal = on.balancer.as_ref().expect("balancer section");
+        assert!(bal.spilled_out > 0, "{label}: skew must trigger spill");
+        assert!(bal.spilled_cohorts > 0, "{label}: cohorts must be counted");
+        // Source outflow == destination inflow == flow-matrix total.
+        assert_eq!(bal.spilled_out, bal.spilled_in, "{label}: out vs in");
+        assert_eq!(
+            bal.flow.iter().map(|f| f.requests).sum::<u64>(),
+            bal.spilled_out,
+            "{label}: flow matrix total"
+        );
+        for f in &bal.flow {
+            assert_ne!(f.src, f.dst, "{label}: self-edge in flow matrix");
+            assert!(f.requests > 0, "{label}: empty flow edge");
+        }
+        // Canonical (src, dst) order makes the ledger deterministic.
+        let keys: Vec<(u32, u32)> = bal.flow.iter().map(|f| (f.src, f.dst)).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(keys, sorted, "{label}: flow matrix order");
+        assert!(
+            bal.quota_clamped <= on.admission_shed,
+            "{label}: quota clamps are a subset of admission sheds"
+        );
+        // Spill-over redirects arrivals; it never invents or loses them.
+        assert_eq!(on.arrived, off.arrived, "{label}: fleet arrivals");
+        for (a, b) in on.per_tenant.iter().zip(&off.per_tenant) {
+            assert_eq!(a.arrived, b.arrived, "{label}: tenant {}", a.name);
+        }
+        assert_eq!(on.routed + on.rejected, on.arrived, "{label}: fleet books");
+    }
+}
+
+/// The headline behavior claim: on the skewed fleet (2 hot cells at
+/// 2.5x, 6 cold at 0.5x), turning spill-over routing on measurably
+/// raises completions and interactive SLO attainment versus isolated
+/// cells — the hot cells' queues drain into cold-cell slack.
+#[test]
+fn balancer_improves_slo_attainment_on_skewed_fleet() {
+    let mut skewed = test_cfg();
+    skewed.cell_rate_multipliers = vec![2.5, 2.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5];
+    let off = run(&skewed, 42).expect("isolated run");
+    let on = run(&with_balancer(&test_cfg()), 42).expect("balanced run");
+    assert_eq!(on.controller, "balancer");
+    assert!(
+        on.completed > off.completed,
+        "balanced {} vs isolated {} completions",
+        on.completed,
+        off.completed
+    );
+    assert!(
+        on.ttft_attainment > off.ttft_attainment + 0.01,
+        "balanced TTFT attainment {} vs isolated {}",
+        on.ttft_attainment,
+        off.ttft_attainment
+    );
+    assert!(
+        on.e2e_p99_s < off.e2e_p99_s,
+        "balanced p99 {} vs isolated p99 {}",
+        on.e2e_p99_s,
+        off.e2e_p99_s
+    );
 }
 
 /// Under the overloaded ramp, admission control sheds the best-effort
